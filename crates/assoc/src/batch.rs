@@ -1,0 +1,331 @@
+//! Theorem 4's concurrent list maintenance: moving `x` items to the front
+//! of the eviction list in `O(log x)` parallel rounds via prefix sums.
+//!
+//! When `p` processors hit `p` resident pages in one tick, LRU requires all
+//! `p` corresponding nodes to move to the list head simultaneously. The
+//! paper's recipe: (1) lazily mark-remove the old nodes, (2) have each
+//! processor claim a unique slot in an auxiliary array via a prefix-sum
+//! (log-depth) counter, (3) stitch the auxiliary array into a mini list in
+//! O(1), and (4) splice the mini list onto the head in O(1).
+//!
+//! We simulate the PRAM execution faithfully enough to *measure the round
+//! count*: [`prefix_sum_rounds`] performs the classic Hillis–Steele scan and
+//! reports its depth, and [`BatchList`] implements the mark-and-sweep lazy
+//! list with batch front-insertion, verifying the resulting order equals a
+//! sequential reference.
+
+/// Exclusive prefix sum computed round-by-round (Hillis–Steele), returning
+/// the scanned array and the number of parallel rounds used.
+///
+/// The round count is `⌈log₂ x⌉` — the `O(log q)` / `O(log p)` factor in
+/// Theorem 4.
+pub fn prefix_sum_rounds(input: &[u64]) -> (Vec<u64>, u32) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // Inclusive scan by doubling strides; each stride is one PRAM round.
+    let mut cur: Vec<u64> = input.to_vec();
+    let mut rounds = 0;
+    let mut stride = 1;
+    while stride < n {
+        let prev = cur.clone();
+        for i in stride..n {
+            cur[i] = prev[i] + prev[i - stride];
+        }
+        stride *= 2;
+        rounds += 1;
+    }
+    // Convert to exclusive.
+    let mut out = vec![0u64; n];
+    out[1..n].copy_from_slice(&cur[..n - 1]);
+    (out, rounds)
+}
+
+/// An eviction-order list supporting lazy removal and O(1)-splice batch
+/// front-insertion, as in the Theorem 4 proof.
+#[derive(Debug, Clone)]
+pub struct BatchList {
+    /// Node payloads; `None` = tombstone from lazy removal.
+    items: Vec<Option<u64>>,
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    head: usize,
+    tail: usize,
+    /// Position of each live value (value → node index).
+    pos: std::collections::HashMap<u64, usize>,
+    tombstones: usize,
+    /// Parallel rounds charged so far (prefix sums).
+    pub rounds_charged: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+impl Default for BatchList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchList {
+    /// An empty list.
+    pub fn new() -> Self {
+        BatchList {
+            items: Vec::new(),
+            next: Vec::new(),
+            prev: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            pos: std::collections::HashMap::new(),
+            tombstones: 0,
+            rounds_charged: 0,
+        }
+    }
+
+    /// Live item count.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when no live items remain.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Physical node count including tombstones (bounded by O(k) via
+    /// [`garbage_collect`](Self::garbage_collect)).
+    pub fn physical_len(&self) -> usize {
+        self.pos.len() + self.tombstones
+    }
+
+    fn alloc(&mut self, v: u64) -> usize {
+        self.items.push(Some(v));
+        self.next.push(NIL);
+        self.prev.push(NIL);
+        self.items.len() - 1
+    }
+
+    /// Lazily removes `value` (tombstone; O(1), no traversal).
+    pub fn mark_remove(&mut self, value: u64) -> bool {
+        match self.pos.remove(&value) {
+            Some(i) => {
+                self.items[i] = None;
+                self.tombstones += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves the batch `values` to the front concurrently: each value is
+    /// mark-removed if present, the batch claims unique auxiliary slots via
+    /// a prefix sum (charging `⌈log₂ x⌉` rounds), forms a mini list, and
+    /// splices it onto the head. The first element of `values` ends up
+    /// frontmost.
+    pub fn batch_move_to_front(&mut self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        for &v in values {
+            self.mark_remove(v);
+        }
+        // Prefix sum assigns each of the x processors a distinct auxiliary
+        // index; we run it for the round count even though the result is
+        // the identity here (each processor contributes 1).
+        let ones = vec![1u64; values.len()];
+        let (offsets, rounds) = prefix_sum_rounds(&ones);
+        self.rounds_charged += rounds as u64;
+        // Build the mini list in auxiliary order, then splice.
+        let mut aux = vec![NIL; values.len()];
+        for (i, &v) in values.iter().enumerate() {
+            let node = self.alloc(v);
+            self.pos.insert(v, node);
+            aux[offsets[i] as usize] = node;
+        }
+        for w in 0..aux.len() {
+            if w + 1 < aux.len() {
+                self.next[aux[w]] = aux[w + 1];
+                self.prev[aux[w + 1]] = aux[w];
+            }
+        }
+        let mini_head = aux[0];
+        let mini_tail = aux[aux.len() - 1];
+        self.next[mini_tail] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = mini_tail;
+        } else {
+            self.tail = mini_tail;
+        }
+        self.head = mini_head;
+    }
+
+    /// Pops the frontmost *live* item, skipping tombstones.
+    pub fn pop_front_live(&mut self) -> Option<u64> {
+        while self.head != NIL {
+            let h = self.head;
+            self.head = self.next[h];
+            if self.head != NIL {
+                self.prev[self.head] = NIL;
+            } else {
+                self.tail = NIL;
+            }
+            if let Some(v) = self.items[h].take() {
+                self.pos.remove(&v);
+                return Some(v);
+            }
+            self.tombstones -= 1;
+        }
+        None
+    }
+
+    /// Physically removes tombstones and compacts storage ("periodically
+    /// run garbage collection", Lemma 1 proof).
+    pub fn garbage_collect(&mut self) {
+        let live: Vec<u64> = self.iter_live().collect();
+        *self = BatchList::new();
+        // Rebuild back-to-front so front order is preserved.
+        for &v in live.iter().rev() {
+            self.batch_move_to_front(&[v]);
+        }
+        // Rebuilding charged rounds; GC itself is off the critical path.
+    }
+
+    /// Iterates live items front to back.
+    pub fn iter_live(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            while cur != NIL {
+                let i = cur;
+                cur = self.next[i];
+                if let Some(v) = self.items[i] {
+                    return Some(v);
+                }
+            }
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_correct_and_log_depth() {
+        let input = vec![1u64; 37];
+        let (scan, rounds) = prefix_sum_rounds(&input);
+        for (i, &s) in scan.iter().enumerate() {
+            assert_eq!(s, i as u64);
+        }
+        assert_eq!(rounds, 6, "ceil(log2 37) = 6");
+        let (_, r1) = prefix_sum_rounds(&[5]);
+        assert_eq!(r1, 0);
+        let (e, r0) = prefix_sum_rounds(&[]);
+        assert!(e.is_empty());
+        assert_eq!(r0, 0);
+    }
+
+    #[test]
+    fn prefix_sum_general_values() {
+        let (scan, _) = prefix_sum_rounds(&[3, 1, 4, 1, 5]);
+        assert_eq!(scan, vec![0, 3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn batch_front_insert_order() {
+        let mut l = BatchList::new();
+        l.batch_move_to_front(&[1, 2, 3]);
+        assert_eq!(l.iter_live().collect::<Vec<_>>(), vec![1, 2, 3]);
+        l.batch_move_to_front(&[4, 5]);
+        assert_eq!(l.iter_live().collect::<Vec<_>>(), vec![4, 5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_move_existing_items() {
+        let mut l = BatchList::new();
+        l.batch_move_to_front(&[1, 2, 3, 4]);
+        l.batch_move_to_front(&[3, 1]); // move two existing to front
+        assert_eq!(l.iter_live().collect::<Vec<_>>(), vec![3, 1, 2, 4]);
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn rounds_charged_are_logarithmic() {
+        let mut l = BatchList::new();
+        let batch: Vec<u64> = (0..64).collect();
+        l.batch_move_to_front(&batch);
+        assert_eq!(l.rounds_charged, 6); // log2(64)
+        l.batch_move_to_front(&[0]);
+        assert_eq!(l.rounds_charged, 6); // single item adds 0 rounds
+    }
+
+    #[test]
+    fn pop_front_live_skips_tombstones() {
+        let mut l = BatchList::new();
+        l.batch_move_to_front(&[1, 2, 3]);
+        l.mark_remove(1);
+        assert_eq!(l.pop_front_live(), Some(2));
+        assert_eq!(l.pop_front_live(), Some(3));
+        assert_eq!(l.pop_front_live(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_reference_under_random_ops() {
+        use hbm_core::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut l = BatchList::new();
+        let mut reference: Vec<u64> = Vec::new(); // front at index 0
+        for _ in 0..500 {
+            let op = rng.gen_range(3);
+            match op {
+                0 => {
+                    // Batch move 1-4 values (may include existing).
+                    let n = 1 + rng.gen_index(4);
+                    let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(40)).collect();
+                    let mut uniq = vals.clone();
+                    uniq.dedup();
+                    // Ensure uniqueness within a batch (processors touch
+                    // distinct pages).
+                    let mut seen = std::collections::HashSet::new();
+                    let vals: Vec<u64> =
+                        vals.into_iter().filter(|v| seen.insert(*v)).collect();
+                    l.batch_move_to_front(&vals);
+                    reference.retain(|v| !vals.contains(v));
+                    for &v in vals.iter().rev() {
+                        reference.insert(0, v);
+                    }
+                }
+                1 => {
+                    let v = rng.gen_range(40);
+                    let was = l.mark_remove(v);
+                    let had = reference.contains(&v);
+                    assert_eq!(was, had);
+                    reference.retain(|&x| x != v);
+                }
+                _ => {
+                    let got = l.pop_front_live();
+                    let want = if reference.is_empty() {
+                        None
+                    } else {
+                        Some(reference.remove(0))
+                    };
+                    assert_eq!(got, want);
+                }
+            }
+            assert_eq!(l.iter_live().collect::<Vec<_>>(), reference);
+        }
+    }
+
+    #[test]
+    fn garbage_collect_drops_tombstones_keeps_order() {
+        let mut l = BatchList::new();
+        l.batch_move_to_front(&[1, 2, 3, 4, 5]);
+        l.mark_remove(2);
+        l.mark_remove(4);
+        assert_eq!(l.physical_len(), 5);
+        l.garbage_collect();
+        assert_eq!(l.physical_len(), 3);
+        assert_eq!(l.iter_live().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+}

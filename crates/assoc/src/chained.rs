@@ -1,0 +1,241 @@
+//! The chained hash table of Lemma 1, with chain-length accounting.
+//!
+//! "The first data structure is a hash table (with chaining to resolve
+//! collisions) which allows us to simulate full-associativity." Every probe
+//! is counted, because in the transformed program each chain node visited is
+//! a real HBM access — the O(1)-expected chain length is exactly what makes
+//! the transformation's overhead constant.
+
+use crate::hashing::CarterWegman;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    value: u32,
+    /// Next entry index in this bucket's chain, or `u32::MAX`.
+    next: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Chained hash table `u64 → u32` with `m` buckets and probe accounting.
+#[derive(Debug, Clone)]
+pub struct ChainedHashTable {
+    buckets: Vec<u32>,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    hash: CarterWegman,
+    len: usize,
+    probes: u64,
+    operations: u64,
+}
+
+impl ChainedHashTable {
+    /// A table with `m` buckets using the hash member drawn from `seed`.
+    pub fn new(m: usize, seed: u64) -> Self {
+        assert!(m > 0);
+        ChainedHashTable {
+            buckets: vec![NIL; m],
+            entries: Vec::new(),
+            free: Vec::new(),
+            hash: CarterWegman::from_seed(seed),
+            len: 0,
+            probes: 0,
+            operations: 0,
+        }
+    }
+
+    /// Entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total chain nodes visited across all operations (each one models an
+    /// HBM access to the metadata region).
+    pub fn total_probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Mean probes per operation — Lemma 1's O(1)-expected quantity.
+    pub fn mean_probes(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.operations as f64
+        }
+    }
+
+    /// Longest current chain (worst bucket).
+    pub fn max_chain(&self) -> usize {
+        let mut max = 0;
+        for &head in &self.buckets {
+            let mut n = 0;
+            let mut cur = head;
+            while cur != NIL {
+                n += 1;
+                cur = self.entries[cur as usize].next;
+            }
+            max = max.max(n);
+        }
+        max
+    }
+
+    /// Looks up `key`, counting chain probes.
+    pub fn get(&mut self, key: u64) -> Option<u32> {
+        self.operations += 1;
+        let b = self.hash.hash(key, self.buckets.len());
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            self.probes += 1;
+            let e = self.entries[cur as usize];
+            if e.key == key {
+                return Some(e.value);
+            }
+            cur = e.next;
+        }
+        None
+    }
+
+    /// Inserts or updates `key → value`; returns the previous value if any.
+    pub fn insert(&mut self, key: u64, value: u32) -> Option<u32> {
+        self.operations += 1;
+        let b = self.hash.hash(key, self.buckets.len());
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            self.probes += 1;
+            let e = &mut self.entries[cur as usize];
+            if e.key == key {
+                return Some(std::mem::replace(&mut e.value, value));
+            }
+            cur = e.next;
+        }
+        let entry = Entry {
+            key,
+            value,
+            next: self.buckets[b],
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = entry;
+                i
+            }
+            None => {
+                self.entries.push(entry);
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.buckets[b] = idx;
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`; returns its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        self.operations += 1;
+        let b = self.hash.hash(key, self.buckets.len());
+        let mut prev = NIL;
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            self.probes += 1;
+            let e = self.entries[cur as usize];
+            if e.key == key {
+                if prev == NIL {
+                    self.buckets[b] = e.next;
+                } else {
+                    self.entries[prev as usize].next = e.next;
+                }
+                self.free.push(cur);
+                self.len -= 1;
+                return Some(e.value);
+            }
+            prev = cur;
+            cur = e.next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let mut t = ChainedHashTable::new(16, 1);
+        assert_eq!(t.insert(100, 1), None);
+        assert_eq!(t.insert(200, 2), None);
+        assert_eq!(t.get(100), Some(1));
+        assert_eq!(t.get(300), None);
+        assert_eq!(t.insert(100, 9), Some(1));
+        assert_eq!(t.get(100), Some(9));
+        assert_eq!(t.remove(100), Some(9));
+        assert_eq!(t.remove(100), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn survives_heavy_collisions() {
+        // One bucket: everything chains; correctness must not depend on the
+        // hash spreading.
+        let mut t = ChainedHashTable::new(1, 1);
+        for i in 0..100u64 {
+            t.insert(i, i as u32);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.max_chain(), 100);
+        for i in 0..100u64 {
+            assert_eq!(t.get(i), Some(i as u32));
+        }
+        for i in (0..100u64).step_by(2) {
+            assert_eq!(t.remove(i), Some(i as u32));
+        }
+        assert_eq!(t.len(), 50);
+        for i in 0..100u64 {
+            assert_eq!(t.get(i), (i % 2 == 1).then_some(i as u32));
+        }
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut t = ChainedHashTable::new(8, 2);
+        for i in 0..50u64 {
+            t.insert(i, 0);
+            t.remove(i);
+        }
+        assert!(t.entries.len() <= 2, "slab should recycle, used {}", t.entries.len());
+    }
+
+    #[test]
+    fn expected_chain_length_is_constant_at_load_one() {
+        // k keys in k buckets (the Lemma 1 configuration): mean probes per
+        // op should be a small constant.
+        let k = 4096;
+        let mut t = ChainedHashTable::new(k, 7);
+        for i in 0..k as u64 {
+            t.insert(i * 2654435761 % (1 << 40), i as u32);
+        }
+        for i in 0..k as u64 {
+            t.get(i * 2654435761 % (1 << 40));
+        }
+        assert!(
+            t.mean_probes() < 3.0,
+            "mean probes {} should be O(1)",
+            t.mean_probes()
+        );
+        assert!(t.max_chain() < 16, "max chain {}", t.max_chain());
+    }
+
+    #[test]
+    fn empty_table_counters() {
+        let mut t = ChainedHashTable::new(4, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.mean_probes(), 0.0);
+        assert_eq!(t.max_chain(), 0);
+    }
+}

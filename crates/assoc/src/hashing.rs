@@ -1,0 +1,134 @@
+//! A 2-universal hash family (Carter–Wegman over a Mersenne prime).
+//!
+//! Lemma 1 of the paper requires "a 2-universal family of hash functions
+//! [45]" so that with `k` cached blocks the expected chain length in the
+//! simulated-associativity hash table is O(1). We implement the classic
+//! `h_{a,b}(x) = ((a·x + b) mod p) mod m` with `p = 2^61 − 1`, whose
+//! mod-p arithmetic reduces to shifts and adds.
+
+use hbm_core::rng::Xoshiro256;
+
+/// The Mersenne prime 2^61 − 1.
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 − 1.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    // x = hi·2^61 + lo  ≡  hi + lo (mod 2^61 − 1), applied twice.
+    let lo = (x as u64) & MERSENNE_61;
+    let hi = (x >> 61) as u64;
+    // hi can itself exceed the modulus (x up to 2^128), so fold twice.
+    let hi_lo = hi & MERSENNE_61;
+    let hi_hi = hi >> 61;
+    let mut s = lo + hi_lo + hi_hi;
+    while s >= MERSENNE_61 {
+        s -= MERSENNE_61;
+    }
+    s
+}
+
+/// One member of the Carter–Wegman family: `x ↦ ((a·x + b) mod p) mod m`.
+#[derive(Debug, Clone, Copy)]
+pub struct CarterWegman {
+    a: u64,
+    b: u64,
+}
+
+impl CarterWegman {
+    /// Draws a random member of the family (`a ∈ [1, p)`, `b ∈ [0, p)`).
+    pub fn random(rng: &mut Xoshiro256) -> Self {
+        CarterWegman {
+            a: 1 + rng.gen_range(MERSENNE_61 - 1),
+            b: rng.gen_range(MERSENNE_61),
+        }
+    }
+
+    /// A fixed member from a seed (deterministic experiments).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ SEED_TAG);
+        Self::random(&mut rng)
+    }
+
+    /// Hashes `x` into `[0, m)`.
+    #[inline]
+    pub fn hash(&self, x: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        let v = mod_mersenne(self.a as u128 * (x & MERSENNE_61) as u128 + self.b as u128);
+        (v % m as u64) as usize
+    }
+}
+
+/// Domain-separation tag so assoc hash seeds never collide with the
+/// simulator's policy seeds derived from the same master seed.
+const SEED_TAG: u64 = (0x02b1_dea1_u64 << 32) | 0x7a6b_1e55;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_mersenne_agrees_with_wide_arithmetic() {
+        for x in [0u128, 1, MERSENNE_61 as u128, u64::MAX as u128, u128::MAX >> 6] {
+            assert_eq!(mod_mersenne(x), (x % MERSENNE_61 as u128) as u64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn hash_stays_in_range() {
+        let h = CarterWegman::from_seed(1);
+        for m in [1usize, 2, 7, 64, 1000] {
+            for x in 0u64..200 {
+                assert!(h.hash(x, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = CarterWegman::from_seed(9);
+        let b = CarterWegman::from_seed(9);
+        for x in 0..100u64 {
+            assert_eq!(a.hash(x, 97), b.hash(x, 97));
+        }
+    }
+
+    #[test]
+    fn different_members_differ() {
+        let a = CarterWegman::from_seed(1);
+        let b = CarterWegman::from_seed(2);
+        let same = (0..200u64).filter(|&x| a.hash(x, 1 << 20) == b.hash(x, 1 << 20)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn collision_probability_is_near_universal() {
+        // For random pairs, Pr[collision] should be close to 1/m.
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let h = CarterWegman::random(&mut rng);
+        let m = 256usize;
+        let trials = 20_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let x = rng.next_u64() & MERSENNE_61;
+            let y = rng.next_u64() & MERSENNE_61;
+            if x != y && h.hash(x, m) == h.hash(y, m) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 3.0 / m as f64, "collision rate {rate} vs 1/m {}", 1.0 / m as f64);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential page ids must not all land in few buckets.
+        let h = CarterWegman::from_seed(5);
+        let m = 128usize;
+        let mut counts = vec![0u32; m];
+        for x in 0..1280u64 {
+            counts[h.hash(x, m)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= 30, "max bucket load {max} for mean 10");
+    }
+}

@@ -1,0 +1,46 @@
+//! # hbm-assoc — the direct-mapped HBM transformation (paper §2)
+//!
+//! Real HBM-as-cache hardware is direct-mapped (KNL, Sapphire Rapids), but
+//! the paper's theory assumes full associativity. Lemma 1 bridges the gap:
+//! a program written for a size-`k` fully-associative HBM with LRU or FIFO
+//! replacement can be automatically transformed to run on a direct-mapped
+//! cache of size Θ(k) with constant-factor overhead; Theorem 4 bounds the
+//! extra parallel cost at O(log q) (FIFO) / O(log p) (LRU); Corollary 1
+//! concludes direct-mapped and fully-associative HBM are asymptotically
+//! equivalent for q = O(1).
+//!
+//! This crate implements the whole construction so the constants can be
+//! *measured*:
+//!
+//! * [`hashing`] — a 2-universal Carter–Wegman family (Mersenne-prime
+//!   arithmetic);
+//! * [`chained`] — the chaining hash table with probe accounting (expected
+//!   O(1) chains at load 1);
+//! * [`transform`] — the transformed cache, the fully-associative
+//!   reference it must replicate exactly, the no-transformation
+//!   direct-mapped baseline, and [`transform::measure_overhead`];
+//! * [`batch`] — Theorem 4's lazy-removal list with prefix-sum batch
+//!   front-insertion and round accounting.
+//!
+//! ```
+//! use hbm_assoc::transform::{measure_overhead, Discipline};
+//!
+//! // A skewed stream over 100 pages through a 32-slot cache.
+//! let stream: Vec<u64> = (0..5000u64).map(|i| (i * i) % 100).collect();
+//! let o = measure_overhead(&stream, 32, Discipline::Lru, 7);
+//! assert_eq!(o.reference_misses, o.transformed_misses);
+//! assert!(o.transfers_per_miss <= 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod chained;
+pub mod hashing;
+pub mod transform;
+
+pub use batch::BatchList;
+pub use chained::ChainedHashTable;
+pub use hashing::CarterWegman;
+pub use transform::{measure_overhead, Discipline, Overhead, TransformedCache};

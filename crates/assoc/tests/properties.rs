@@ -1,0 +1,118 @@
+//! Property-based tests for the direct-mapped transformation (Lemma 1).
+
+use hbm_assoc::batch::BatchList;
+use hbm_assoc::chained::ChainedHashTable;
+use hbm_assoc::transform::{measure_overhead, Discipline, FullyAssociative, TransformedCache};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The transformed cache replicates the fully-associative reference's
+    /// hit/miss sequence exactly, for arbitrary streams, sizes, hash seeds,
+    /// and both disciplines.
+    #[test]
+    fn transformation_is_exact(
+        stream in prop::collection::vec(0u64..500, 1..2000),
+        k in 1usize..64,
+        discipline_lru in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let d = if discipline_lru { Discipline::Lru } else { Discipline::Fifo };
+        let mut reference = FullyAssociative::new(k, d);
+        let mut transformed = TransformedCache::new(k, d, seed);
+        for &p in &stream {
+            prop_assert_eq!(reference.access(p), transformed.access(p).hit);
+        }
+        prop_assert_eq!(reference.hits, transformed.hits);
+        prop_assert_eq!(reference.misses, transformed.misses);
+    }
+
+    /// Lemma 1's constants: ≤ 2 transfers per miss, bounded expected
+    /// per-access cost.
+    #[test]
+    fn overhead_constants(
+        stream in prop::collection::vec(0u64..2000, 1..3000),
+        k in 32usize..256,
+        seed in 0u64..100,
+    ) {
+        let o = measure_overhead(&stream, k, Discipline::Lru, seed);
+        prop_assert!(o.transfers_per_miss <= 2.0);
+        prop_assert!(o.transfers_per_miss >= 1.0 || o.reference_misses == 0);
+        // O(1) *in expectation over the hash draw*; 16 is a loose cap that
+        // still fails if chains grow with k. Tiny tables (k < 32) are
+        // excluded — a single unlucky draw there can chain most of the
+        // table, which the lemma's expectation bound permits.
+        prop_assert!(o.accesses_per_access < 16.0);
+    }
+
+    /// The chained hash table behaves like std's HashMap under arbitrary
+    /// operation sequences.
+    #[test]
+    fn hash_table_matches_std(
+        ops in prop::collection::vec((0u8..3, 0u64..50, 0u32..1000), 0..400),
+        m in 1usize..64,
+        seed in 0u64..100,
+    ) {
+        let mut ours = ChainedHashTable::new(m, seed);
+        let mut std_map = std::collections::HashMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(ours.insert(key, value), std_map.insert(key, value));
+                }
+                1 => {
+                    prop_assert_eq!(ours.get(key), std_map.get(&key).copied());
+                }
+                _ => {
+                    prop_assert_eq!(ours.remove(key), std_map.remove(&key));
+                }
+            }
+            prop_assert_eq!(ours.len(), std_map.len());
+        }
+    }
+
+    /// BatchList front-insertion order matches a sequential reference for
+    /// arbitrary unique batches.
+    #[test]
+    fn batch_list_matches_reference(
+        batches in prop::collection::vec(
+            prop::collection::btree_set(0u64..30, 1..6),
+            1..40,
+        ),
+    ) {
+        let mut l = BatchList::new();
+        let mut reference: Vec<u64> = Vec::new();
+        for batch in batches {
+            let vals: Vec<u64> = batch.into_iter().collect();
+            l.batch_move_to_front(&vals);
+            reference.retain(|v| !vals.contains(v));
+            for &v in vals.iter().rev() {
+                reference.insert(0, v);
+            }
+            prop_assert_eq!(l.iter_live().collect::<Vec<_>>(), reference.clone());
+        }
+        // Drain and compare.
+        while let Some(v) = l.pop_front_live() {
+            prop_assert_eq!(v, reference.remove(0));
+        }
+        prop_assert!(reference.is_empty());
+    }
+
+    /// Prefix sums are exact for arbitrary inputs and use ⌈log₂ n⌉ rounds.
+    #[test]
+    fn prefix_sum_exact(input in prop::collection::vec(0u64..1000, 0..200)) {
+        let (scan, rounds) = hbm_assoc::batch::prefix_sum_rounds(&input);
+        let mut acc = 0u64;
+        for (i, &x) in input.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        let expected_rounds = if input.len() <= 1 {
+            0
+        } else {
+            usize::BITS - (input.len() - 1).leading_zeros()
+        };
+        prop_assert_eq!(rounds, expected_rounds);
+    }
+}

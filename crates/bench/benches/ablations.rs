@@ -1,0 +1,90 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! replacement policy, channel count (Theorem 3), and trace granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_bench::{contended, spgemm_spec};
+use hbm_core::{ArbitrationKind, ReplacementKind, SimBuilder};
+use hbm_traces::{TraceOptions, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_replacement(c: &mut Criterion) {
+    let (w, k) = contended(spgemm_spec());
+    let mut group = c.benchmark_group("ablation_replacement");
+    group.sample_size(10);
+    for rep in ReplacementKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(rep.to_string()), |b| {
+            b.iter(|| {
+                black_box(
+                    SimBuilder::new()
+                        .hbm_slots(k)
+                        .channels(1)
+                        .arbitration(ArbitrationKind::Priority)
+                        .replacement(rep)
+                        .seed(42)
+                        .run(&w),
+                )
+                .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let (w, k) = contended(spgemm_spec());
+    let mut group = c.benchmark_group("ablation_channels");
+    group.sample_size(10);
+    for q in 1..=8usize {
+        group.bench_function(BenchmarkId::from_parameter(q), |b| {
+            b.iter(|| {
+                black_box(
+                    SimBuilder::new()
+                        .hbm_slots(k)
+                        .channels(q)
+                        .arbitration(ArbitrationKind::Priority)
+                        .seed(42)
+                        .run(&w),
+                )
+                .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collapse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_collapse");
+    group.sample_size(10);
+    let spec = WorkloadSpec::Sort {
+        algo: hbm_traces::SortAlgo::Introsort,
+        n: 8_000,
+    };
+    for collapse in [false, true] {
+        let opts = TraceOptions {
+            collapse,
+            ..TraceOptions::default()
+        };
+        let w = spec.workload(8, 42, opts);
+        let k = (2 * w.trace(0).unique_pages()).max(16);
+        group.bench_function(
+            BenchmarkId::from_parameter(if collapse { "collapsed" } else { "raw" }),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        SimBuilder::new()
+                            .hbm_slots(k)
+                            .channels(1)
+                            .arbitration(ArbitrationKind::Priority)
+                            .seed(42)
+                            .run(&w),
+                    )
+                    .makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replacement, bench_channels, bench_collapse);
+criterion_main!(benches);

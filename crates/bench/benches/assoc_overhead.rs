@@ -1,0 +1,62 @@
+//! Bench for the Lemma 1 transformation: per-access cost of the
+//! transformed cache vs the fully-associative reference and the plain
+//! direct-mapped baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_assoc::transform::{
+    measure_overhead, Discipline, FullyAssociative, PlainDirectMapped, TransformedCache,
+};
+use hbm_traces::synthetic::zipf_trace;
+use std::hint::black_box;
+
+fn stream() -> Vec<u64> {
+    zipf_trace(2000, 100_000, 1.0, 3)
+        .into_iter()
+        .map(|p| p as u64)
+        .collect()
+}
+
+fn bench_assoc(c: &mut Criterion) {
+    let s = stream();
+    let k = 512;
+
+    // Shape check: transformation replicates the reference at O(1) cost.
+    let o = measure_overhead(&s[..20_000], k, Discipline::Lru, 1);
+    assert_eq!(o.reference_misses, o.transformed_misses);
+    assert!(o.accesses_per_access < 8.0);
+
+    let mut group = c.benchmark_group("assoc_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(s.len() as u64));
+    group.bench_function(BenchmarkId::new("model", "fully_associative"), |b| {
+        b.iter(|| {
+            let mut cache = FullyAssociative::new(k, Discipline::Lru);
+            for &p in &s {
+                black_box(cache.access(p));
+            }
+            cache.misses
+        })
+    });
+    group.bench_function(BenchmarkId::new("model", "transformed"), |b| {
+        b.iter(|| {
+            let mut cache = TransformedCache::new(k, Discipline::Lru, 1);
+            for &p in &s {
+                black_box(cache.access(p));
+            }
+            cache.misses
+        })
+    });
+    group.bench_function(BenchmarkId::new("model", "plain_direct"), |b| {
+        b.iter(|| {
+            let mut cache = PlainDirectMapped::new(k, 1);
+            for &p in &s {
+                black_box(cache.access(p));
+            }
+            cache.misses
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assoc);
+criterion_main!(benches);

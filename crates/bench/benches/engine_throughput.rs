@@ -1,0 +1,66 @@
+//! Component bench: raw tick-engine throughput (ticks and served
+//! references per second) across arbitration policies and channel counts.
+//! This is the simulator-performance bench, independent of any figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_core::{ArbitrationKind, SimBuilder, Workload};
+use hbm_traces::synthetic::zipf_trace;
+use std::hint::black_box;
+
+fn workload(p: usize) -> Workload {
+    let mut w = Workload::new();
+    for core in 0..p {
+        w.push(zipf_trace(512, 20_000, 0.9, core as u64).into());
+    }
+    w
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    let p = 32;
+    let w = workload(p);
+    group.throughput(Throughput::Elements(w.total_refs() as u64));
+
+    let kinds = [
+        ArbitrationKind::Fifo,
+        ArbitrationKind::Priority,
+        ArbitrationKind::DynamicPriority { period: 1000 },
+        ArbitrationKind::RandomPick,
+        ArbitrationKind::FrFcfs { row_shift: 2 },
+    ];
+    for arb in kinds {
+        group.bench_function(BenchmarkId::new("policy", arb.label()), |b| {
+            b.iter(|| {
+                black_box(
+                    SimBuilder::new()
+                        .hbm_slots(1024)
+                        .channels(1)
+                        .arbitration(arb)
+                        .seed(1)
+                        .run(&w),
+                )
+                .served
+            })
+        });
+    }
+    for q in [1usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("channels", q), |b| {
+            b.iter(|| {
+                black_box(
+                    SimBuilder::new()
+                        .hbm_slots(1024)
+                        .channels(q)
+                        .arbitration(ArbitrationKind::Priority)
+                        .seed(1)
+                        .run(&w),
+                )
+                .served
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Benches for the beyond-the-paper extensions: non-disjoint (shared)
+//! workloads, graph workloads, the far-latency link model, and
+//! SweepPriority.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_core::{ArbitrationKind, SimBuilder, Workload};
+use hbm_traces::spgemm::spgemm_shared_workload;
+use hbm_traces::{TraceOptions, WorkloadSpec};
+use std::hint::black_box;
+
+fn run(w: &Workload, k: usize, arb: ArbitrationKind, far: u64) -> u64 {
+    SimBuilder::new()
+        .hbm_slots(k)
+        .channels(1)
+        .far_latency(far)
+        .arbitration(arb)
+        .seed(42)
+        .run(w)
+        .makespan
+}
+
+fn bench_shared(c: &mut Criterion) {
+    let shared = spgemm_shared_workload(12, 60, 0.1, 42, 4096, true);
+    let disjoint = Workload::from_refs(
+        shared.traces().iter().map(|t| t.as_slice().to_vec()).collect(),
+    );
+    let k = disjoint.total_unique_pages() / 2;
+    // Shape check: sharing saves far-channel fetches.
+    let rs = SimBuilder::new().hbm_slots(k).run(&shared);
+    let rd = SimBuilder::new().hbm_slots(k).run(&disjoint);
+    assert!(rs.fetches < rd.fetches);
+
+    let mut group = c.benchmark_group("shared_workloads");
+    group.sample_size(10);
+    group.bench_function("disjoint", |b| {
+        b.iter(|| black_box(run(&disjoint, k, ArbitrationKind::Priority, 1)))
+    });
+    group.bench_function("shared", |b| {
+        b.iter(|| black_box(run(&shared, k, ArbitrationKind::Priority, 1)))
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_workloads");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("bfs", WorkloadSpec::Bfs { n: 3000, degree: 4 }),
+        (
+            "pagerank",
+            WorkloadSpec::PageRank {
+                n: 1500,
+                degree: 4,
+                iters: 3,
+            },
+        ),
+    ] {
+        let w = spec.workload(8, 42, TraceOptions::default());
+        let k = (2 * w.trace(0).unique_pages()).max(16);
+        for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+            group.bench_function(BenchmarkId::new(name, arb.label()), |b| {
+                b.iter(|| black_box(run(&w, k, arb, 1)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_far_latency(c: &mut Criterion) {
+    let spec = WorkloadSpec::Cyclic { pages: 64, reps: 10 };
+    let w = spec.workload(16, 42, TraceOptions::default());
+    let k = 16 * 64 / 4;
+    let mut group = c.benchmark_group("far_latency");
+    group.sample_size(10);
+    for lat in [1u64, 4, 16] {
+        group.bench_function(BenchmarkId::from_parameter(lat), |b| {
+            b.iter(|| black_box(run(&w, k, ArbitrationKind::Priority, lat)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_priority(c: &mut Criterion) {
+    let spec = WorkloadSpec::SpGemm { n: 80, density: 0.1 };
+    let w = spec.workload(16, 42, TraceOptions::default());
+    let k = 2 * w.trace(0).unique_pages();
+    let mut group = c.benchmark_group("sweep_priority");
+    group.sample_size(10);
+    for arb in [
+        ArbitrationKind::SweepPriority { period: 10 * k as u64 },
+        ArbitrationKind::DynamicPriority { period: 10 * k as u64 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(arb.label()), |b| {
+            b.iter(|| black_box(run(&w, k, arb, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shared,
+    bench_graph,
+    bench_far_latency,
+    bench_sweep_priority
+);
+criterion_main!(benches);

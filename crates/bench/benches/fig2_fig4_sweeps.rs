@@ -1,0 +1,51 @@
+//! Benches for Figures 2 and 4: FIFO vs (Dynamic) Priority on the two
+//! instrumented workloads, in the contended regime where the policies
+//! diverge. Each group times one policy cell and asserts the figure's
+//! shape once up front.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_bench::{contended, run, sort_spec, spgemm_spec, verify_priority_wins};
+use hbm_core::ArbitrationKind;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for (name, spec) in [("spgemm", spgemm_spec()), ("sort", sort_spec())] {
+        let (w, k) = contended(spec);
+        // Shape check (Figure 2's high-p half): Priority dominates here.
+        let fifo = run(&w, k, ArbitrationKind::Fifo);
+        let prio = run(&w, k, ArbitrationKind::Priority);
+        verify_priority_wins(&fifo, &prio, 1.2);
+        for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+            group.bench_with_input(
+                BenchmarkId::new(name, arb.label()),
+                &arb,
+                |b, &arb| b.iter(|| black_box(run(&w, k, arb)).makespan),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for (name, spec) in [("spgemm", spgemm_spec()), ("sort", sort_spec())] {
+        let (w, k) = contended(spec);
+        let dynamic = ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        };
+        // Shape check (Figure 4): Dynamic Priority also beats FIFO here.
+        let fifo = run(&w, k, ArbitrationKind::Fifo);
+        let dyn_r = run(&w, k, dynamic);
+        verify_priority_wins(&fifo, &dyn_r, 1.2);
+        group.bench_function(BenchmarkId::new(name, dynamic.label()), |b| {
+            b.iter(|| black_box(run(&w, k, dynamic)).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig4);
+criterion_main!(benches);

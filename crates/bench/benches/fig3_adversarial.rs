@@ -1,0 +1,41 @@
+//! Bench for Figure 3: the Dataset 3 FIFO-killer at growing thread counts.
+//! Asserts the linear-blowup shape, then times both policies per `p`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_bench::{fig3_config, run};
+use hbm_core::ArbitrationKind;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+
+    // Shape check: the FIFO/Priority ratio grows with p (Figure 3).
+    let ratio_at = |p: usize| {
+        let (w, k) = fig3_config(p);
+        let fifo = run(&w, k, ArbitrationKind::Fifo).makespan as f64;
+        let prio = run(&w, k, ArbitrationKind::Priority).makespan as f64;
+        fifo / prio
+    };
+    let (r8, r32) = (ratio_at(8), ratio_at(32));
+    assert!(
+        r32 > 1.5 * r8,
+        "Figure 3 shape: ratio must grow with p ({r8} -> {r32})"
+    );
+
+    for p in [8usize, 16, 32] {
+        let (w, k) = fig3_config(p);
+        group.throughput(Throughput::Elements(w.total_refs() as u64));
+        for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+            group.bench_with_input(
+                BenchmarkId::new(arb.label(), p),
+                &arb,
+                |b, &arb| b.iter(|| black_box(run(&w, k, arb)).makespan),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

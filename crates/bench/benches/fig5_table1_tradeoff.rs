@@ -1,0 +1,51 @@
+//! Bench for Figure 5 / Table 1: the remap-interval trade-off. Verifies
+//! the orderings the paper reports (FIFO lowest inconsistency + worst
+//! makespan; Priority highest inconsistency + best response time; Dynamic
+//! in between), then times the policy family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_bench::{contended, run, spgemm_spec};
+use hbm_core::ArbitrationKind;
+use std::hint::black_box;
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let (w, k) = contended(spgemm_spec());
+
+    // Shape checks (Table 1 orderings).
+    let fifo = run(&w, k, ArbitrationKind::Fifo);
+    let prio = run(&w, k, ArbitrationKind::Priority);
+    let dynamic = run(
+        &w,
+        k,
+        ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        },
+    );
+    assert!(fifo.response.inconsistency <= dynamic.response.inconsistency);
+    assert!(dynamic.response.inconsistency <= prio.response.inconsistency * 1.05);
+    assert!(prio.response.mean <= fifo.response.mean);
+
+    let mut group = c.benchmark_group("fig5_table1");
+    group.sample_size(10);
+    let kinds = [
+        ArbitrationKind::Fifo,
+        ArbitrationKind::Priority,
+        ArbitrationKind::DynamicPriority { period: k as u64 },
+        ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        },
+        ArbitrationKind::CyclePriority {
+            period: 10 * k as u64,
+        },
+        ArbitrationKind::RandomPick,
+    ];
+    for arb in kinds {
+        group.bench_function(BenchmarkId::from_parameter(arb.label()), |b| {
+            b.iter(|| black_box(run(&w, k, arb)).response.inconsistency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benches for Figure 6 / Table 2: the synthetic-KNL microbenchmarks.
+//! Verifies properties P1–P4 hold, then times the pointer-chase and GLUPS
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_knl_model::{
+    glups::simulate_bandwidth_mibs, pointer_chase::simulate_latency_ns, validate, Machine, MemMode,
+};
+use std::hint::black_box;
+
+const MIB: u64 = 1 << 20;
+const GIB: u64 = 1 << 30;
+
+fn bench_knl(c: &mut Criterion) {
+    let m = Machine::knl();
+    assert!(validate(&m).all_hold(), "P1-P4 must hold before timing");
+
+    let mut group = c.benchmark_group("fig6_pointer_chase");
+    group.sample_size(10);
+    for (name, bytes) in [("64MiB", 64 * MIB), ("4GiB", 4 * GIB), ("64GiB", 64 * GIB)] {
+        for mode in [MemMode::FlatDram, MemMode::Cache] {
+            group.bench_function(BenchmarkId::new(mode.to_string(), name), |b| {
+                b.iter(|| {
+                    black_box(simulate_latency_ns(&m, mode, bytes, 100_000, 7))
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2_glups");
+    group.sample_size(10);
+    for (name, bytes) in [("1GiB", GIB), ("32GiB", 32 * GIB)] {
+        for mode in [MemMode::FlatDram, MemMode::FlatHbm, MemMode::Cache] {
+            group.bench_function(BenchmarkId::new(mode.to_string(), name), |b| {
+                b.iter(|| {
+                    black_box(simulate_bandwidth_mibs(&m, mode, bytes, 100_000, 7))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knl);
+criterion_main!(benches);

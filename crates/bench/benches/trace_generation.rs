@@ -1,0 +1,68 @@
+//! Component bench: instrumented trace generation throughput for every
+//! workload family (the paper's §3.2 pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_traces::dense::DenseVariant;
+use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    let opts = TraceOptions::default();
+    let specs: Vec<(&str, WorkloadSpec)> = vec![
+        (
+            "introsort_8k",
+            WorkloadSpec::Sort {
+                algo: SortAlgo::Introsort,
+                n: 8_000,
+            },
+        ),
+        (
+            "mergesort_8k",
+            WorkloadSpec::Sort {
+                algo: SortAlgo::Mergesort,
+                n: 8_000,
+            },
+        ),
+        (
+            "spgemm_80",
+            WorkloadSpec::SpGemm {
+                n: 80,
+                density: 0.10,
+            },
+        ),
+        (
+            "spmv_120x3",
+            WorkloadSpec::SpMv {
+                n: 120,
+                density: 0.10,
+                reps: 3,
+            },
+        ),
+        (
+            "dense_ikj_48",
+            WorkloadSpec::Dense {
+                n: 48,
+                variant: DenseVariant::Ikj,
+            },
+        ),
+        (
+            "zipf_100k",
+            WorkloadSpec::Zipf {
+                pages: 1000,
+                len: 100_000,
+                alpha: 1.0,
+            },
+        ),
+    ];
+    for (name, spec) in specs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(spec.generate_trace(7, opts)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracegen);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! # hbm-bench — criterion benches regenerating each paper artifact
+//!
+//! One bench target per table/figure (plus component and ablation
+//! benches). Criterion measures the *wall-clock cost of regenerating* each
+//! artifact at bench scale; the artifact's *content* (who wins, by what
+//! factor) is asserted by each bench's `verify_*` helper here, so a bench
+//! run doubles as a shape check of the reproduction.
+//!
+//! Bench-scale parameters live here so all targets agree.
+
+use hbm_core::{ArbitrationKind, Report, SimBuilder, Workload};
+use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
+use hbm_traces::{TraceOptions, WorkloadSpec};
+
+/// Bench-scale SpGEMM spec (working set ≈ 23 pages/core).
+pub fn spgemm_spec() -> WorkloadSpec {
+    WorkloadSpec::SpGemm {
+        n: 80,
+        density: 0.10,
+    }
+}
+
+/// Bench-scale sort spec.
+pub fn sort_spec() -> WorkloadSpec {
+    WorkloadSpec::Sort {
+        algo: hbm_traces::SortAlgo::Introsort,
+        n: 8_000,
+    }
+}
+
+/// Builds a bench workload of `p` cores.
+pub fn workload(spec: WorkloadSpec, p: usize) -> Workload {
+    spec.workload(p, 42, TraceOptions::default())
+}
+
+/// A contended (workload, k) pair for the given spec: HBM holds roughly
+/// two per-core working sets for 16 cores.
+pub fn contended(spec: WorkloadSpec) -> (Workload, usize) {
+    let w = workload(spec, 16);
+    let k = (2 * w.trace(0).unique_pages()).max(16);
+    (w, k)
+}
+
+/// Runs one policy on a workload (q = 1, fixed seed).
+pub fn run(w: &Workload, k: usize, arb: ArbitrationKind) -> Report {
+    SimBuilder::new()
+        .hbm_slots(k)
+        .channels(1)
+        .arbitration(arb)
+        .seed(42)
+        .run(w)
+}
+
+/// The bench-scale Figure 3 configuration.
+pub fn fig3_config(p: usize) -> (Workload, usize) {
+    let pages = 64;
+    let reps = 10;
+    (cyclic_workload(p, pages, reps), figure3_hbm_slots(p, pages, 4))
+}
+
+/// Asserts the Figure 2/3 shape: Priority beats FIFO under contention.
+pub fn verify_priority_wins(fifo: &Report, prio: &Report, factor: f64) {
+    assert!(
+        fifo.makespan as f64 > factor * prio.makespan as f64,
+        "expected FIFO {} > {factor} x Priority {}",
+        fifo.makespan,
+        prio.makespan
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_are_contended() {
+        let (w, k) = contended(spgemm_spec());
+        let fifo = run(&w, k, ArbitrationKind::Fifo);
+        let prio = run(&w, k, ArbitrationKind::Priority);
+        verify_priority_wins(&fifo, &prio, 1.5);
+    }
+
+    #[test]
+    fn fig3_config_is_the_fifo_killer() {
+        let (w, k) = fig3_config(16);
+        let fifo = run(&w, k, ArbitrationKind::Fifo);
+        assert_eq!(fifo.hits, 0);
+    }
+}

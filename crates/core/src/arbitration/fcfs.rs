@@ -1,0 +1,108 @@
+//! First-come-first-served arbitration (the paper's FIFO).
+
+use super::{ArbitrationPolicy, Request};
+use crate::ids::{CoreId, Tick};
+use std::collections::VecDeque;
+
+/// FCFS: requests leave the queue in exactly the order they arrived.
+///
+/// This is the policy Theorem 2 proves Ω(p/ds)-competitive even with d
+/// memory and s bandwidth augmentation — the "butter scraped over too much
+/// bread" failure mode: HBM gets spread thinly over all threads and nobody
+/// retains a working set.
+#[derive(Debug, Default, Clone)]
+pub struct FcfsArbiter {
+    queue: VecDeque<Request>,
+}
+
+impl FcfsArbiter {
+    /// An empty FCFS queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ArbitrationPolicy for FcfsArbiter {
+    fn enqueue(&mut self, req: Request) {
+        debug_assert!(
+            self.queue.iter().all(|r| r.core != req.core),
+            "core {} already queued",
+            req.core
+        );
+        self.queue.push_back(req);
+    }
+
+    fn maybe_remap(&mut self, _tick: Tick) -> bool {
+        false
+    }
+
+    fn select(&mut self, max: usize, out: &mut Vec<Request>) {
+        out.clear();
+        for _ in 0..max {
+            match self.queue.pop_front() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn priority_of(&self, _core: CoreId) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalPage;
+
+    fn req(core: CoreId, arrival: Tick) -> Request {
+        Request {
+            core,
+            page: GlobalPage::new(core, 0),
+            arrival,
+        }
+    }
+
+    #[test]
+    fn strict_arrival_order() {
+        let mut a = FcfsArbiter::new();
+        for (c, t) in [(5u32, 0u64), (2, 1), (9, 2)] {
+            a.enqueue(req(c, t));
+        }
+        let mut buf = Vec::new();
+        a.select(10, &mut buf);
+        assert_eq!(buf.iter().map(|r| r.core).collect::<Vec<_>>(), vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn partial_selection_preserves_rest() {
+        let mut a = FcfsArbiter::new();
+        for c in 0..5 {
+            a.enqueue(req(c, c as u64));
+        }
+        let mut buf = Vec::new();
+        a.select(2, &mut buf);
+        assert_eq!(buf.iter().map(|r| r.core).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(a.len(), 3);
+        a.select(2, &mut buf);
+        assert_eq!(buf.iter().map(|r| r.core).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn no_priority_notion() {
+        let a = FcfsArbiter::new();
+        assert_eq!(a.priority_of(0), None);
+    }
+
+    #[test]
+    fn remap_is_a_noop() {
+        let mut a = FcfsArbiter::new();
+        assert!(!a.maybe_remap(0));
+        assert!(!a.maybe_remap(100));
+    }
+}

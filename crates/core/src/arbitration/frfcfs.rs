@@ -1,0 +1,160 @@
+//! First-ready FCFS: the "adaptive open page" FIFO variant of real DRAM
+//! controllers (Rixner et al. 2000; paper §1.1 and §1.3).
+//!
+//! This is an *extension* beyond the paper's simulated policies: the paper
+//! notes Intel's controllers use an FR-FCFS-like scheme and that "much of
+//! the literature focuses on optimizations to the basic FCFS policy". We
+//! model it at page granularity: a DRAM *row* is a `2^row_shift`-page
+//! aligned group, the controller keeps the most recently accessed row per
+//! channel "open", and requests to open rows are served before older
+//! requests to closed rows (ties by age).
+
+use super::{ArbitrationPolicy, Request};
+use crate::ids::{CoreId, Tick};
+use std::collections::VecDeque;
+
+/// FR-FCFS arbiter with `2^row_shift` pages per row.
+#[derive(Debug, Clone)]
+pub struct FrFcfsArbiter {
+    queue: VecDeque<Request>,
+    /// Most recently opened rows, newest last; bounded by the number of
+    /// selections per call (one open row per in-flight channel).
+    open_rows: VecDeque<u64>,
+    open_cap: usize,
+    row_shift: u8,
+}
+
+impl FrFcfsArbiter {
+    /// A new FR-FCFS queue; rows are `2^row_shift` pages.
+    pub fn new(row_shift: u8) -> Self {
+        FrFcfsArbiter {
+            queue: VecDeque::new(),
+            open_rows: VecDeque::new(),
+            open_cap: 1,
+            row_shift,
+        }
+    }
+
+    fn row_of(&self, req: &Request) -> u64 {
+        req.page.0 >> self.row_shift
+    }
+
+    fn note_open(&mut self, row: u64) {
+        if let Some(pos) = self.open_rows.iter().position(|&r| r == row) {
+            self.open_rows.remove(pos);
+        }
+        self.open_rows.push_back(row);
+        while self.open_rows.len() > self.open_cap {
+            self.open_rows.pop_front();
+        }
+    }
+}
+
+impl ArbitrationPolicy for FrFcfsArbiter {
+    fn enqueue(&mut self, req: Request) {
+        debug_assert!(self.queue.iter().all(|r| r.core != req.core));
+        self.queue.push_back(req);
+    }
+
+    fn maybe_remap(&mut self, _tick: Tick) -> bool {
+        false
+    }
+
+    fn select(&mut self, max: usize, out: &mut Vec<Request>) {
+        out.clear();
+        // One open row tracked per simultaneously-served request.
+        self.open_cap = max.max(1);
+        for _ in 0..max {
+            if self.queue.is_empty() {
+                break;
+            }
+            // First-ready: oldest request whose row is open; else oldest.
+            let idx = self
+                .queue
+                .iter()
+                .position(|r| self.open_rows.contains(&(r.page.0 >> self.row_shift)))
+                .unwrap_or(0);
+            let req = self.queue.remove(idx).expect("index valid");
+            let row = self.row_of(&req);
+            self.note_open(row);
+            out.push(req);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn priority_of(&self, _core: CoreId) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalPage;
+
+    fn req_page(core: CoreId, page: u64) -> Request {
+        Request {
+            core,
+            page: GlobalPage(page),
+            arrival: core as u64,
+        }
+    }
+
+    #[test]
+    fn falls_back_to_fcfs_with_no_open_row() {
+        let mut a = FrFcfsArbiter::new(2);
+        a.enqueue(req_page(0, 100));
+        a.enqueue(req_page(1, 200));
+        let mut buf = Vec::new();
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 0);
+    }
+
+    #[test]
+    fn open_row_hit_jumps_the_queue() {
+        let mut a = FrFcfsArbiter::new(2); // rows of 4 pages
+        let mut buf = Vec::new();
+        // Serve page 8 (row 2): row 2 now open.
+        a.enqueue(req_page(0, 8));
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 0);
+        // Queue: core 1 -> row 5 (page 20), core 2 -> row 2 (page 9, open).
+        a.enqueue(req_page(1, 20));
+        a.enqueue(req_page(2, 9));
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 2, "row-hit request served first");
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 1);
+    }
+
+    #[test]
+    fn row_shift_zero_means_page_granularity_rows() {
+        let mut a = FrFcfsArbiter::new(0);
+        let mut buf = Vec::new();
+        a.enqueue(req_page(0, 7));
+        a.select(1, &mut buf);
+        a.enqueue(req_page(1, 8));
+        a.enqueue(req_page(2, 7)); // exact same page id can't recur per
+                                   // model, but same row id can across cores
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 2);
+    }
+
+    #[test]
+    fn drains_completely() {
+        let mut a = FrFcfsArbiter::new(3);
+        for c in 0..10 {
+            a.enqueue(req_page(c, (c as u64) * 3));
+        }
+        let mut buf = Vec::new();
+        let mut total = 0;
+        while !a.is_empty() {
+            a.select(4, &mut buf);
+            total += buf.len();
+        }
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,286 @@
+//! Far-channel arbitration policies (paper §1.1, policy 2 — "the problem").
+//!
+//! When more than `q` outstanding requests need the DRAM channels, the
+//! arbitration policy decides which `q` are served this tick. The paper
+//! studies:
+//!
+//! * **FIFO / FCFS** ([`FcfsArbiter`]): serve in arrival order. Natural,
+//!   ubiquitous in real DRAM controllers, and provably Ω(p)-competitive in
+//!   the worst case (Theorem 2).
+//! * **Priority** ([`PriorityArbiter`] with [`RemapStrategy::None`]): a
+//!   static pecking order among threads; O(1)-competitive (Theorem 1) and
+//!   O(q)-competitive with q channels (Theorem 3), but unfair — low-priority
+//!   threads can starve.
+//! * **Dynamic Priority** ([`RemapStrategy::Random`]): randomly re-permute
+//!   priorities every `T` ticks. Keeps the competitive bound (for `T ≥ k`)
+//!   while slashing response-time variance — the paper's headline scheme.
+//! * **Cycle Priority** ([`RemapStrategy::Cycle`]): deterministically rotate
+//!   priorities every `T` ticks; hardware-friendlier than shared randomness.
+//! * **Cycle-Reverse** and **Interleave** ([`RemapStrategy::CycleReverse`],
+//!   [`RemapStrategy::Interleave`]): the other deterministic permutation
+//!   schedules from the paper's parameter sweep (§1.2). The paper does not
+//!   spell out their permutations; we document our reading on each variant.
+//! * **Random pick** ([`RandomPickArbiter`]): serve uniformly random waiting
+//!   requests — the `T → 1` limit of Dynamic Priority (§4).
+//! * **FR-FCFS** ([`FrFcfsArbiter`]): first-ready FCFS, the "adaptive open
+//!   page" FIFO variant real controllers use (§1.1); an extension beyond the
+//!   paper's simulations, included because the paper names it as the
+//!   incumbent.
+
+mod fcfs;
+mod frfcfs;
+pub mod permute;
+mod priority;
+mod random_pick;
+
+pub use fcfs::FcfsArbiter;
+pub use frfcfs::FrFcfsArbiter;
+pub use priority::{PriorityArbiter, RemapStrategy};
+pub use random_pick::RandomPickArbiter;
+
+use crate::ids::{CoreId, GlobalPage, Tick};
+use serde::{Deserialize, Serialize};
+
+/// One outstanding block request waiting for a far channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The requesting core (each core has at most one outstanding request).
+    pub core: CoreId,
+    /// The page to fetch from DRAM.
+    pub page: GlobalPage,
+    /// Tick at which the request entered the queue.
+    pub arrival: Tick,
+}
+
+/// Which far-channel arbitration policy to run, with its parameters.
+///
+/// `period` values are in ticks; the paper expresses them as multiples of
+/// the HBM size `k` (e.g. `T = 10k`), which `SimBuilder::remap_period_times_k`
+/// computes for you.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbitrationKind {
+    /// First-come-first-served (the paper's FIFO).
+    Fifo,
+    /// Static priority: thread id = priority, fixed forever.
+    Priority,
+    /// Randomly permute priorities every `period` ticks.
+    DynamicPriority {
+        /// Remap interval `T` in ticks.
+        period: u64,
+    },
+    /// Rotate priorities by one every `period` ticks.
+    CyclePriority {
+        /// Remap interval `T` in ticks.
+        period: u64,
+    },
+    /// Rotate priorities backwards by one every `period` ticks.
+    CycleReversePriority {
+        /// Remap interval `T` in ticks.
+        period: u64,
+    },
+    /// Apply a perfect-shuffle (riffle) permutation every `period` ticks.
+    InterleavePriority {
+        /// Remap interval `T` in ticks.
+        period: u64,
+    },
+    /// Step to the lexicographically next permutation every `period`
+    /// ticks, visiting all `p!` priority orders before repeating (§4's
+    /// suggested deterministic fix for asymmetric-work starvation).
+    SweepPriority {
+        /// Remap interval `T` in ticks.
+        period: u64,
+    },
+    /// Serve uniformly random waiting requests each tick.
+    RandomPick,
+    /// First-ready FCFS: prefer requests that hit a currently open DRAM row,
+    /// break ties by age. `row_shift` sets the row size to `2^row_shift`
+    /// pages.
+    FrFcfs {
+        /// log2 of pages per DRAM row.
+        row_shift: u8,
+    },
+}
+
+impl ArbitrationKind {
+    /// Instantiates the arbiter for `p` cores. `seed` feeds the randomized
+    /// policies; deterministic policies ignore it.
+    pub fn build(self, p: usize, seed: u64) -> Box<dyn ArbitrationPolicy> {
+        match self {
+            ArbitrationKind::Fifo => Box::new(FcfsArbiter::new()),
+            ArbitrationKind::Priority => {
+                Box::new(PriorityArbiter::new(p, RemapStrategy::None, 0, seed))
+            }
+            ArbitrationKind::DynamicPriority { period } => {
+                Box::new(PriorityArbiter::new(p, RemapStrategy::Random, period, seed))
+            }
+            ArbitrationKind::CyclePriority { period } => {
+                Box::new(PriorityArbiter::new(p, RemapStrategy::Cycle, period, seed))
+            }
+            ArbitrationKind::CycleReversePriority { period } => Box::new(PriorityArbiter::new(
+                p,
+                RemapStrategy::CycleReverse,
+                period,
+                seed,
+            )),
+            ArbitrationKind::InterleavePriority { period } => Box::new(PriorityArbiter::new(
+                p,
+                RemapStrategy::Interleave,
+                period,
+                seed,
+            )),
+            ArbitrationKind::SweepPriority { period } => Box::new(PriorityArbiter::new(
+                p,
+                RemapStrategy::ExhaustiveSweep,
+                period,
+                seed,
+            )),
+            ArbitrationKind::RandomPick => Box::new(RandomPickArbiter::new(seed)),
+            ArbitrationKind::FrFcfs { row_shift } => Box::new(FrFcfsArbiter::new(row_shift)),
+        }
+    }
+
+    /// The remap period, if this kind periodically re-permutes priorities.
+    pub fn period(&self) -> Option<u64> {
+        match self {
+            ArbitrationKind::DynamicPriority { period }
+            | ArbitrationKind::CyclePriority { period }
+            | ArbitrationKind::CycleReversePriority { period }
+            | ArbitrationKind::InterleavePriority { period }
+            | ArbitrationKind::SweepPriority { period } => Some(*period),
+            _ => None,
+        }
+    }
+
+    /// Short stable name for tables and CSV output.
+    pub fn label(&self) -> String {
+        match self {
+            ArbitrationKind::Fifo => "FIFO".into(),
+            ArbitrationKind::Priority => "Priority".into(),
+            ArbitrationKind::DynamicPriority { period } => format!("Dynamic(T={period})"),
+            ArbitrationKind::CyclePriority { period } => format!("Cycle(T={period})"),
+            ArbitrationKind::CycleReversePriority { period } => format!("CycleRev(T={period})"),
+            ArbitrationKind::InterleavePriority { period } => format!("Interleave(T={period})"),
+            ArbitrationKind::SweepPriority { period } => format!("Sweep(T={period})"),
+            ArbitrationKind::RandomPick => "RandomPick".into(),
+            ArbitrationKind::FrFcfs { row_shift } => format!("FR-FCFS(row=2^{row_shift})"),
+        }
+    }
+}
+
+impl std::fmt::Display for ArbitrationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Interface every far-channel arbiter implements.
+///
+/// The engine calls `maybe_remap` at step 1 of each tick, `enqueue` at step
+/// 2 for each newly missing request, and `select` at step 5 to pop up to
+/// `q` requests for the far channels.
+pub trait ArbitrationPolicy: Send {
+    /// Adds a request to the queue. Each core has at most one outstanding
+    /// request, so `req.core` is not currently queued.
+    fn enqueue(&mut self, req: Request);
+
+    /// Step 1 housekeeping. Returns `true` if priorities were re-permuted
+    /// this tick (for the remap counter).
+    fn maybe_remap(&mut self, tick: Tick) -> bool;
+
+    /// Pops up to `max` requests, best-first per the policy, into `out`
+    /// (which is cleared first).
+    fn select(&mut self, max: usize, out: &mut Vec<Request>);
+
+    /// Number of waiting requests.
+    fn len(&self) -> usize;
+
+    /// True when no requests wait.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current priority of `core` (0 = highest), if the policy has a notion
+    /// of priority.
+    fn priority_of(&self, core: CoreId) -> Option<u32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(core: CoreId, arrival: Tick) -> Request {
+        Request {
+            core,
+            page: GlobalPage::new(core, 0),
+            arrival,
+        }
+    }
+
+    /// Every policy must return exactly the queued requests, never invent or
+    /// lose one.
+    #[test]
+    fn conservation_across_all_kinds() {
+        let kinds = [
+            ArbitrationKind::Fifo,
+            ArbitrationKind::Priority,
+            ArbitrationKind::DynamicPriority { period: 3 },
+            ArbitrationKind::CyclePriority { period: 3 },
+            ArbitrationKind::CycleReversePriority { period: 3 },
+            ArbitrationKind::InterleavePriority { period: 3 },
+            ArbitrationKind::SweepPriority { period: 3 },
+            ArbitrationKind::RandomPick,
+            ArbitrationKind::FrFcfs { row_shift: 2 },
+        ];
+        for kind in kinds {
+            let mut a = kind.build(16, 11);
+            for c in 0..16 {
+                a.enqueue(req(c, c as u64));
+            }
+            assert_eq!(a.len(), 16);
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            for t in 0..8u64 {
+                a.maybe_remap(t);
+                a.select(3, &mut buf);
+                got.extend(buf.iter().map(|r| r.core));
+            }
+            assert!(a.is_empty(), "{kind}: queue drained");
+            got.sort_unstable();
+            assert_eq!(got, (0..16).collect::<Vec<_>>(), "{kind}: conservation");
+        }
+    }
+
+    #[test]
+    fn select_respects_max() {
+        let mut a = ArbitrationKind::Fifo.build(4, 0);
+        for c in 0..4 {
+            a.enqueue(req(c, 0));
+        }
+        let mut buf = Vec::new();
+        a.select(0, &mut buf);
+        assert!(buf.is_empty());
+        a.select(2, &mut buf);
+        assert_eq!(buf.len(), 2);
+        a.select(10, &mut buf);
+        assert_eq!(buf.len(), 2, "only 2 remained");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ArbitrationKind::Fifo.label(), "FIFO");
+        assert_eq!(
+            ArbitrationKind::DynamicPriority { period: 100 }.label(),
+            "Dynamic(T=100)"
+        );
+        assert_eq!(ArbitrationKind::FrFcfs { row_shift: 3 }.label(), "FR-FCFS(row=2^3)");
+    }
+
+    #[test]
+    fn period_accessor() {
+        assert_eq!(ArbitrationKind::Fifo.period(), None);
+        assert_eq!(
+            ArbitrationKind::CyclePriority { period: 7 }.period(),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Permutation schedules for priority remapping (paper Definition 1).
+//!
+//! A permutation `pi` maps thread ids to priorities: `pi[i]` is the priority
+//! of thread `i`, with **0 the highest**. The schedules below transform `pi`
+//! in place every remap interval.
+
+use crate::rng::Xoshiro256;
+
+/// The identity permutation on `n` threads (static Priority's `pi`).
+pub fn identity(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Replaces `pi` with a uniformly random permutation (Dynamic Priority).
+pub fn randomize(pi: &mut [u32], rng: &mut Xoshiro256) {
+    for (i, v) in pi.iter_mut().enumerate() {
+        *v = i as u32;
+    }
+    rng.shuffle(pi);
+}
+
+/// Cycle Priority: `pi'(i) = (pi(i) + 1) mod n`.
+///
+/// Every thread's priority number increases by one (wrapping), so the thread
+/// that was highest becomes lowest and everyone else moves up one rank.
+pub fn cycle(pi: &mut [u32]) {
+    let n = pi.len() as u32;
+    if n == 0 {
+        return;
+    }
+    for v in pi.iter_mut() {
+        *v = (*v + 1) % n;
+    }
+}
+
+/// Cycle-Reverse: `pi'(i) = (pi(i) + n − 1) mod n` — the inverse rotation.
+///
+/// The paper lists "cycle-reverse" among its sweep variants without a
+/// formula; we read it as cycling in the opposite direction, so the thread
+/// that was lowest priority becomes highest-but-one step at a time the
+/// other way.
+pub fn cycle_reverse(pi: &mut [u32]) {
+    let n = pi.len() as u32;
+    if n == 0 {
+        return;
+    }
+    for v in pi.iter_mut() {
+        *v = (*v + n - 1) % n;
+    }
+}
+
+/// Interleave: apply a perfect riffle shuffle to the priority values.
+///
+/// Priorities `0..n` are re-dealt so the first half interleaves with the
+/// second half: old priority `v < ceil(n/2)` becomes `2v`, old priority
+/// `v ≥ ceil(n/2)` becomes `2(v − ceil(n/2)) + 1`. Our reading of the
+/// paper's "interleave" sweep variant: repeated application mixes formerly
+/// adjacent priorities apart deterministically.
+pub fn interleave(pi: &mut [u32]) {
+    let n = pi.len() as u32;
+    if n == 0 {
+        return;
+    }
+    let half = n.div_ceil(2);
+    for v in pi.iter_mut() {
+        *v = if *v < half { *v * 2 } else { (*v - half) * 2 + 1 };
+    }
+}
+
+/// Advances `pi` to the lexicographically next permutation, wrapping from
+/// the last permutation back to the identity (C++ `std::next_permutation`
+/// semantics). Returns `false` on the wrap.
+///
+/// §4 suggests that Cycle Priority's starvation on asymmetric work "can
+/// likely be mitigated by instead cycling through all permutations"; this
+/// schedule does exactly that — every one of the `n!` priority orders is
+/// visited before any repeats, with no shared randomness.
+pub fn next_permutation(pi: &mut [u32]) -> bool {
+    let n = pi.len();
+    if n < 2 {
+        return false;
+    }
+    // Find the longest non-increasing suffix.
+    let mut i = n - 1;
+    while i > 0 && pi[i - 1] >= pi[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        pi.reverse(); // last permutation -> identity
+        return false;
+    }
+    // Swap the pivot with the rightmost element exceeding it.
+    let mut j = n - 1;
+    while pi[j] <= pi[i - 1] {
+        j -= 1;
+    }
+    pi.swap(i - 1, j);
+    pi[i..].reverse();
+    true
+}
+
+/// Checks that `pi` is a permutation of `0..n` (debug validation).
+pub fn is_permutation(pi: &[u32]) -> bool {
+    let n = pi.len();
+    let mut seen = vec![false; n];
+    for &v in pi {
+        let Some(s) = seen.get_mut(v as usize) else {
+            return false;
+        };
+        if *s {
+            return false;
+        }
+        *s = true;
+    }
+    true
+}
+
+/// Inverts a permutation: `inv[pi[i]] = i`.
+///
+/// Useful to ask "which thread holds priority r?".
+pub fn invert(pi: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; pi.len()];
+    for (i, &v) in pi.iter().enumerate() {
+        inv[v as usize] = i as u32;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_permutation() {
+        let pi = identity(10);
+        assert!(is_permutation(&pi));
+        assert_eq!(pi[3], 3);
+    }
+
+    #[test]
+    fn cycle_rotates_and_stays_permutation() {
+        let mut pi = identity(5);
+        cycle(&mut pi);
+        assert_eq!(pi, vec![1, 2, 3, 4, 0]);
+        assert!(is_permutation(&pi));
+        // n applications returns to identity.
+        for _ in 0..4 {
+            cycle(&mut pi);
+        }
+        assert_eq!(pi, identity(5));
+    }
+
+    #[test]
+    fn cycle_reverse_undoes_cycle() {
+        let mut pi = identity(7);
+        cycle(&mut pi);
+        cycle_reverse(&mut pi);
+        assert_eq!(pi, identity(7));
+    }
+
+    #[test]
+    fn interleave_is_permutation_even_and_odd_n() {
+        for n in [0usize, 1, 2, 3, 8, 9, 17, 64] {
+            let mut pi = identity(n);
+            interleave(&mut pi);
+            assert!(is_permutation(&pi), "n={n}");
+        }
+    }
+
+    #[test]
+    fn interleave_small_example() {
+        // n=4, half=2: 0->0, 1->2, 2->1, 3->3
+        let mut pi = identity(4);
+        interleave(&mut pi);
+        assert_eq!(pi, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn interleave_eventually_cycles_back() {
+        let mut pi = identity(8);
+        let start = pi.clone();
+        let mut steps = 0;
+        loop {
+            interleave(&mut pi);
+            steps += 1;
+            assert!(is_permutation(&pi));
+            if pi == start || steps > 1000 {
+                break;
+            }
+        }
+        assert!(steps <= 1000, "riffle shuffle has small order");
+    }
+
+    #[test]
+    fn randomize_produces_permutations() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut pi = identity(32);
+        for _ in 0..20 {
+            randomize(&mut pi, &mut rng);
+            assert!(is_permutation(&pi));
+        }
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut pi = identity(16);
+        randomize(&mut pi, &mut rng);
+        let inv = invert(&pi);
+        for i in 0..16 {
+            assert_eq!(inv[pi[i] as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_inputs() {
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[1, 2]));
+        assert!(is_permutation(&[]));
+        assert!(is_permutation(&[0]));
+    }
+
+    #[test]
+    fn next_permutation_visits_all_orders() {
+        let mut pi = identity(4);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(pi.clone());
+        for _ in 0..23 {
+            assert!(next_permutation(&mut pi));
+            assert!(is_permutation(&pi));
+            assert!(seen.insert(pi.clone()), "repeated {pi:?}");
+        }
+        // 24th step wraps back to the identity.
+        assert!(!next_permutation(&mut pi));
+        assert_eq!(pi, identity(4));
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn next_permutation_degenerate_sizes() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(!next_permutation(&mut empty));
+        let mut one = vec![0u32];
+        assert!(!next_permutation(&mut one));
+        let mut two = vec![0u32, 1];
+        assert!(next_permutation(&mut two));
+        assert_eq!(two, vec![1, 0]);
+        assert!(!next_permutation(&mut two));
+        assert_eq!(two, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_schedules_are_noops() {
+        let mut pi: Vec<u32> = vec![];
+        cycle(&mut pi);
+        cycle_reverse(&mut pi);
+        interleave(&mut pi);
+        assert!(pi.is_empty());
+    }
+}

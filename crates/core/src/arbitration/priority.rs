@@ -1,0 +1,274 @@
+//! The priority family: static Priority, Dynamic Priority, Cycle Priority,
+//! Cycle-Reverse, and Interleave (paper Definition 1).
+//!
+//! All five share one arbiter: a priority assignment `pi` (thread → rank,
+//! 0 highest) plus a remap schedule applied every `T` ticks. A
+//! `BTreeSet<(rank, core)>` indexes the waiting requests so selection of the
+//! `q` best is O(q log p) and a remap is O(p log p) — remaps are rare
+//! (`T ≥ k ≥ 1000` in all paper configurations), so this never shows up in
+//! profiles.
+
+use super::permute;
+use super::{ArbitrationPolicy, Request};
+use crate::ids::{CoreId, Tick};
+use crate::rng::Xoshiro256;
+use std::collections::BTreeSet;
+
+/// How (and whether) the priority permutation changes at each remap tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapStrategy {
+    /// Never remap: the static Priority policy of Das et al.
+    None,
+    /// Fresh uniformly random permutation: Dynamic Priority.
+    Random,
+    /// `pi'(i) = (pi(i) + 1) mod p`: Cycle Priority.
+    Cycle,
+    /// `pi'(i) = (pi(i) + p − 1) mod p`: Cycle-Reverse.
+    CycleReverse,
+    /// Perfect riffle of the priority values: Interleave.
+    Interleave,
+    /// Lexicographic sweep through all `p!` permutations — §4's suggested
+    /// fix for Cycle Priority's asymmetric-work starvation, still with no
+    /// shared randomness.
+    ExhaustiveSweep,
+}
+
+/// Priority-based far-channel arbiter with an optional remap schedule.
+pub struct PriorityArbiter {
+    /// `pi[i]` = current priority rank of thread `i` (0 = highest).
+    pi: Vec<u32>,
+    /// Waiting requests indexed by `(rank, core)`.
+    waiting: BTreeSet<(u32, CoreId)>,
+    /// Request payload per core (each core queues at most one request).
+    pending: Vec<Option<Request>>,
+    strategy: RemapStrategy,
+    /// Remap interval `T` in ticks; 0 disables remapping regardless of
+    /// strategy.
+    period: u64,
+    rng: Xoshiro256,
+    remaps: u64,
+}
+
+impl PriorityArbiter {
+    /// A priority arbiter over `p` threads. `pi` starts as the identity
+    /// permutation (thread 0 highest), exactly the paper's static Priority;
+    /// `strategy`/`period` layer the remap schedule on top.
+    pub fn new(p: usize, strategy: RemapStrategy, period: u64, seed: u64) -> Self {
+        PriorityArbiter {
+            pi: permute::identity(p),
+            waiting: BTreeSet::new(),
+            pending: vec![None; p],
+            strategy,
+            period,
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            remaps: 0,
+        }
+    }
+
+    /// Number of remaps performed so far.
+    pub fn remap_count(&self) -> u64 {
+        self.remaps
+    }
+
+    /// The current permutation (thread → rank), for observability.
+    pub fn permutation(&self) -> &[u32] {
+        &self.pi
+    }
+
+    fn apply_remap(&mut self) {
+        match self.strategy {
+            RemapStrategy::None => return,
+            RemapStrategy::Random => permute::randomize(&mut self.pi, &mut self.rng),
+            RemapStrategy::Cycle => permute::cycle(&mut self.pi),
+            RemapStrategy::CycleReverse => permute::cycle_reverse(&mut self.pi),
+            RemapStrategy::Interleave => permute::interleave(&mut self.pi),
+            RemapStrategy::ExhaustiveSweep => {
+                permute::next_permutation(&mut self.pi);
+            }
+        }
+        debug_assert!(permute::is_permutation(&self.pi));
+        // Rebuild the waiting index under the new ranks.
+        let cores: Vec<CoreId> = self.waiting.iter().map(|&(_, c)| c).collect();
+        self.waiting.clear();
+        for c in cores {
+            self.waiting.insert((self.pi[c as usize], c));
+        }
+        self.remaps += 1;
+    }
+}
+
+impl ArbitrationPolicy for PriorityArbiter {
+    fn enqueue(&mut self, req: Request) {
+        let c = req.core as usize;
+        debug_assert!(self.pending[c].is_none(), "core {} already queued", req.core);
+        self.pending[c] = Some(req);
+        self.waiting.insert((self.pi[c], req.core));
+    }
+
+    fn maybe_remap(&mut self, tick: Tick) -> bool {
+        if self.strategy == RemapStrategy::None || self.period == 0 || !tick.is_multiple_of(self.period) {
+            return false;
+        }
+        self.apply_remap();
+        true
+    }
+
+    fn select(&mut self, max: usize, out: &mut Vec<Request>) {
+        out.clear();
+        for _ in 0..max {
+            let Some(&(rank, core)) = self.waiting.iter().next() else {
+                break;
+            };
+            self.waiting.remove(&(rank, core));
+            let req = self.pending[core as usize]
+                .take()
+                .expect("waiting entry has pending request");
+            out.push(req);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn priority_of(&self, core: CoreId) -> Option<u32> {
+        self.pi.get(core as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalPage;
+
+    fn req(core: CoreId) -> Request {
+        Request {
+            core,
+            page: GlobalPage::new(core, 0),
+            arrival: 0,
+        }
+    }
+
+    fn drain_order(a: &mut PriorityArbiter) -> Vec<CoreId> {
+        let mut buf = Vec::new();
+        a.select(usize::MAX, &mut buf);
+        buf.iter().map(|r| r.core).collect()
+    }
+
+    #[test]
+    fn static_priority_serves_lowest_thread_id_first() {
+        let mut a = PriorityArbiter::new(8, RemapStrategy::None, 0, 0);
+        for c in [6u32, 1, 4, 0] {
+            a.enqueue(req(c));
+        }
+        assert_eq!(drain_order(&mut a), vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn high_priority_jumps_queue_regardless_of_arrival() {
+        let mut a = PriorityArbiter::new(4, RemapStrategy::None, 0, 0);
+        a.enqueue(req(3)); // arrives first
+        a.enqueue(req(0)); // arrives later, but rank 0
+        let mut buf = Vec::new();
+        a.select(1, &mut buf);
+        assert_eq!(buf[0].core, 0);
+    }
+
+    #[test]
+    fn static_never_remaps() {
+        let mut a = PriorityArbiter::new(4, RemapStrategy::None, 5, 0);
+        for t in 0..100 {
+            assert!(!a.maybe_remap(t));
+        }
+        assert_eq!(a.remap_count(), 0);
+    }
+
+    #[test]
+    fn cycle_demotes_the_leader() {
+        let mut a = PriorityArbiter::new(3, RemapStrategy::Cycle, 10, 0);
+        assert_eq!(a.priority_of(0), Some(0));
+        assert!(a.maybe_remap(10));
+        // pi(i) = i+1 mod 3: thread 2 now has rank 0.
+        assert_eq!(a.priority_of(2), Some(0));
+        assert_eq!(a.priority_of(0), Some(1));
+        a.enqueue(req(0));
+        a.enqueue(req(2));
+        assert_eq!(drain_order(&mut a), vec![2, 0]);
+    }
+
+    #[test]
+    fn remap_only_on_multiples_of_period() {
+        let mut a = PriorityArbiter::new(4, RemapStrategy::Cycle, 7, 0);
+        let fired: Vec<u64> = (0..22).filter(|&t| a.maybe_remap(t)).collect();
+        assert_eq!(fired, vec![0, 7, 14, 21]);
+    }
+
+    #[test]
+    fn remap_reorders_waiting_requests() {
+        let mut a = PriorityArbiter::new(3, RemapStrategy::Cycle, 1, 0);
+        a.enqueue(req(0));
+        a.enqueue(req(1));
+        a.enqueue(req(2));
+        // After one cycle, ranks are 1,2,0 → thread 2 first.
+        a.maybe_remap(1);
+        assert_eq!(drain_order(&mut a), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn dynamic_remap_is_seed_deterministic() {
+        let run = |seed| {
+            let mut a = PriorityArbiter::new(16, RemapStrategy::Random, 1, seed);
+            a.maybe_remap(1);
+            a.permutation().to_vec()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn dynamic_remap_counts() {
+        let mut a = PriorityArbiter::new(8, RemapStrategy::Random, 4, 1);
+        for t in 0..16 {
+            a.maybe_remap(t);
+        }
+        assert_eq!(a.remap_count(), 4); // t = 0, 4, 8, 12
+    }
+
+    #[test]
+    fn period_zero_disables_remap() {
+        let mut a = PriorityArbiter::new(8, RemapStrategy::Random, 0, 1);
+        for t in 0..10 {
+            assert!(!a.maybe_remap(t));
+        }
+    }
+
+    #[test]
+    fn pending_slot_freed_after_select() {
+        let mut a = PriorityArbiter::new(2, RemapStrategy::None, 0, 0);
+        a.enqueue(req(1));
+        let mut buf = Vec::new();
+        a.select(1, &mut buf);
+        assert!(a.is_empty());
+        // Core 1 can queue again.
+        a.enqueue(req(1));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn interleave_strategy_changes_ranks() {
+        let mut a = PriorityArbiter::new(8, RemapStrategy::Interleave, 1, 0);
+        a.maybe_remap(1);
+        // half=4: thread 1 (rank 1) -> rank 2; thread 4 (rank 4) -> rank 1.
+        assert_eq!(a.priority_of(1), Some(2));
+        assert_eq!(a.priority_of(4), Some(1));
+    }
+
+    #[test]
+    fn cycle_reverse_promotes_the_tail() {
+        let mut a = PriorityArbiter::new(4, RemapStrategy::CycleReverse, 1, 0);
+        a.maybe_remap(1);
+        // pi(i) = i-1 mod 4: thread 1 now rank 0.
+        assert_eq!(a.priority_of(1), Some(0));
+        assert_eq!(a.priority_of(0), Some(3));
+    }
+}

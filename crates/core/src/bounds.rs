@@ -1,0 +1,104 @@
+//! Simple makespan lower bounds, used to sanity-check the competitive
+//! claims (Theorems 1–3) empirically.
+//!
+//! No policy — including the offline optimum — can beat these bounds, so
+//! `report.makespan / lower_bound(..)` upper-bounds the true competitive
+//! ratio of a run. The tests in `tests/competitive.rs` check that Priority's
+//! ratio stays small on adversarial inputs while FIFO's grows with `p`,
+//! mirroring Theorems 1 and 2.
+
+use crate::workload::Workload;
+
+/// Longest single trace: a core serves at most one reference per tick.
+pub fn work_bound(workload: &Workload) -> u64 {
+    workload.max_trace_len() as u64
+}
+
+/// Every distinct page must cross a far channel at least once, and only `q`
+/// can cross per tick: `⌈unique_pages / q⌉` (cold-miss bound). Pages that
+/// fit in HBM still must be fetched once.
+pub fn channel_bound(workload: &Workload, q: usize) -> u64 {
+    (workload.total_unique_pages() as u64).div_ceil(q as u64)
+}
+
+/// The max of the valid bounds: the floor no policy can beat.
+///
+/// Note there is deliberately *no* capacity-pressure term: even when the
+/// distinct pages far exceed `k`, an optimal schedule can batch threads so
+/// each page is fetched only once during its thread's residency window
+/// (exactly what Priority approximates), so `⌈unique/q⌉` is the only
+/// traffic every schedule must pay. `k` is accepted for signature
+/// stability and future refinements.
+pub fn makespan_lower_bound(workload: &Workload, _k: usize, q: usize) -> u64 {
+    work_bound(workload)
+        .max(channel_bound(workload, q))
+        // Any non-empty workload needs at least 2 ticks (fetch + serve).
+        .max(if workload.total_refs() > 0 { 2 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimBuilder;
+    use crate::arbitration::ArbitrationKind;
+
+    #[test]
+    fn bounds_on_simple_workload() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]; 4]);
+        assert_eq!(work_bound(&w), 6);
+        assert_eq!(channel_bound(&w, 1), 12);
+        assert_eq!(channel_bound(&w, 4), 3);
+        assert_eq!(makespan_lower_bound(&w, 8, 1), 12);
+        assert_eq!(makespan_lower_bound(&w, 8, 4), 6);
+    }
+
+    #[test]
+    fn priority_on_batched_cycles_approaches_one_fetch_per_page() {
+        // The reason there is no capacity term: Priority batches threads so
+        // each page is fetched close to once even when unique pages are 4x
+        // the HBM. Its makespan lands within a small factor of the bound.
+        let trace: Vec<u32> = (0..32).cycle().take(32 * 10).collect();
+        let w = Workload::from_refs(vec![trace; 16]);
+        let k = 16 * 32 / 4;
+        let r = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(ArbitrationKind::Priority)
+            .run(&w);
+        let lb = makespan_lower_bound(&w, k, 1);
+        assert!(r.makespan >= lb);
+        assert!(
+            (r.makespan as f64) < 8.0 * lb as f64,
+            "priority {} vs bound {lb}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn empty_workload_bound_is_zero() {
+        assert_eq!(makespan_lower_bound(&Workload::new(), 10, 1), 0);
+    }
+
+    #[test]
+    fn no_policy_beats_the_bound() {
+        let refs: Vec<u32> = (0..64).map(|i| i % 16).collect();
+        let w = Workload::from_refs(vec![refs; 6]);
+        for k in [4usize, 16, 64, 256] {
+            for q in [1usize, 2, 4] {
+                let lb = makespan_lower_bound(&w, k, q);
+                for kind in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+                    let r = SimBuilder::new()
+                        .hbm_slots(k)
+                        .channels(q)
+                        .arbitration(kind)
+                        .run(&w);
+                    assert!(
+                        r.makespan >= lb,
+                        "{kind} makespan {} below lower bound {lb} (k={k}, q={q})",
+                        r.makespan
+                    );
+                }
+            }
+        }
+    }
+}

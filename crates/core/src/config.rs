@@ -1,0 +1,264 @@
+//! Simulation configuration and the [`SimBuilder`] entry point.
+
+use crate::arbitration::ArbitrationKind;
+use crate::engine::Engine;
+use crate::metrics::Report;
+use crate::observer::{NoopObserver, SimObserver};
+use crate::replacement::ReplacementKind;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// HBM capacity `k` in block slots.
+    pub hbm_slots: usize,
+    /// Far channels `q` between HBM and DRAM (paper: `1 ≤ q ≪ p`).
+    pub channels: usize,
+    /// Far-channel arbitration policy.
+    pub arbitration: ArbitrationKind,
+    /// Block-replacement policy.
+    pub replacement: ReplacementKind,
+    /// Far-channel transfer time in ticks (the paper's model: 1). Values
+    /// above 1 model a slower DRAM link: a fetch started at `t` occupies
+    /// its channel for `far_latency` ticks and the page is served at
+    /// `t + far_latency` at the earliest — a first step toward the
+    /// cycle-accurate timing the paper's future work calls for.
+    pub far_latency: u64,
+    /// Seed for every randomized component (policies, shuffles).
+    pub seed: u64,
+    /// Safety bound: abort (with `Report::truncated = true`) after this many
+    /// ticks.
+    pub max_ticks: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            hbm_slots: 1024,
+            channels: 1,
+            arbitration: ArbitrationKind::Fifo,
+            replacement: ReplacementKind::Lru,
+            far_latency: 1,
+            seed: 0,
+            max_ticks: u64::MAX,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter sanity; returns a message on the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hbm_slots == 0 {
+            return Err("hbm_slots must be ≥ 1".into());
+        }
+        if self.channels == 0 {
+            return Err("channels (q) must be ≥ 1".into());
+        }
+        if self.far_latency == 0 {
+            return Err("far_latency must be ≥ 1 tick".into());
+        }
+        if let Some(period) = self.arbitration.period() {
+            if period == 0 {
+                return Err("remap period T must be ≥ 1 tick".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for simulation runs — the crate's main entry point.
+///
+/// ```
+/// use hbm_core::{SimBuilder, ArbitrationKind, ReplacementKind, Workload};
+///
+/// let w = Workload::from_refs(vec![vec![0, 1, 0, 1], vec![5, 6, 5, 6]]);
+/// let report = SimBuilder::new()
+///     .hbm_slots(4)
+///     .channels(1)
+///     .arbitration(ArbitrationKind::Priority)
+///     .replacement(ReplacementKind::Lru)
+///     .seed(42)
+///     .run(&w);
+/// assert_eq!(report.served, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    config: SimConfig,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimBuilder {
+    /// Starts from [`SimConfig::default`].
+    pub fn new() -> Self {
+        SimBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Starts from an explicit config.
+    pub fn from_config(config: SimConfig) -> Self {
+        SimBuilder { config }
+    }
+
+    /// Sets HBM capacity `k` (slots).
+    pub fn hbm_slots(mut self, k: usize) -> Self {
+        self.config.hbm_slots = k;
+        self
+    }
+
+    /// Sets the number of far channels `q`.
+    pub fn channels(mut self, q: usize) -> Self {
+        self.config.channels = q;
+        self
+    }
+
+    /// Sets the arbitration policy.
+    pub fn arbitration(mut self, kind: ArbitrationKind) -> Self {
+        self.config.arbitration = kind;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(mut self, kind: ReplacementKind) -> Self {
+        self.config.replacement = kind;
+        self
+    }
+
+    /// Sets the far-channel transfer time in ticks (default 1, the paper's
+    /// model).
+    pub fn far_latency(mut self, ticks: u64) -> Self {
+        self.config.far_latency = ticks;
+        self
+    }
+
+    /// Sets the seed for randomized policies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the tick safety bound.
+    pub fn max_ticks(mut self, max: u64) -> Self {
+        self.config.max_ticks = max;
+        self
+    }
+
+    /// Convenience: re-parameterizes a priority-family arbitration kind with
+    /// `T = multiple × k` ticks, the paper's way of quoting remap intervals
+    /// ("we talk about T as a multiple of k", §4).
+    pub fn remap_period_times_k(mut self, multiple: u64) -> Self {
+        let period = multiple.saturating_mul(self.config.hbm_slots as u64).max(1);
+        self.config.arbitration = match self.config.arbitration {
+            ArbitrationKind::DynamicPriority { .. } => ArbitrationKind::DynamicPriority { period },
+            ArbitrationKind::CyclePriority { .. } => ArbitrationKind::CyclePriority { period },
+            ArbitrationKind::CycleReversePriority { .. } => {
+                ArbitrationKind::CycleReversePriority { period }
+            }
+            ArbitrationKind::InterleavePriority { .. } => {
+                ArbitrationKind::InterleavePriority { period }
+            }
+            other => other,
+        };
+        self
+    }
+
+    /// The config built so far.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion (or `max_ticks`).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration (see [`SimConfig::validate`]).
+    pub fn run(&self, workload: &Workload) -> Report {
+        self.run_with_observer(workload, &mut NoopObserver)
+    }
+
+    /// Runs with a custom [`SimObserver`] receiving every event.
+    pub fn run_with_observer<O: SimObserver>(&self, workload: &Workload, observer: &mut O) -> Report {
+        if let Err(e) = self.config.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        Engine::new(self.config, workload).run(observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let c = SimConfig {
+            hbm_slots: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_q_rejected() {
+        let c = SimConfig {
+            channels: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_far_latency_rejected() {
+        let c = SimConfig {
+            far_latency: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let c = SimConfig {
+            arbitration: ArbitrationKind::DynamicPriority { period: 0 },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn remap_period_times_k_computes_ticks() {
+        let b = SimBuilder::new()
+            .hbm_slots(100)
+            .arbitration(ArbitrationKind::DynamicPriority { period: 1 })
+            .remap_period_times_k(10);
+        assert_eq!(
+            b.config().arbitration,
+            ArbitrationKind::DynamicPriority { period: 1000 }
+        );
+    }
+
+    #[test]
+    fn remap_period_times_k_leaves_fifo_alone() {
+        let b = SimBuilder::new()
+            .arbitration(ArbitrationKind::Fifo)
+            .remap_period_times_k(10);
+        assert_eq!(b.config().arbitration, ArbitrationKind::Fifo);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn run_panics_on_invalid_config() {
+        let w = Workload::from_refs(vec![vec![0]]);
+        SimBuilder::new().hbm_slots(0).run(&w);
+    }
+}

@@ -1,0 +1,544 @@
+//! The tick engine: a faithful implementation of the simulation loop of
+//! paper §3.1.
+//!
+//! Each tick `t` performs, in order:
+//!
+//! 1. if `t` is a multiple of the remap period `T`, remap priorities;
+//! 2. for each core's current request not resident in HBM, add it to the
+//!    DRAM request queue (once);
+//! 3. if the queue holds more requests than HBM has empty slots, evict up
+//!    to `q` pages by the replacement policy;
+//! 4. for each core's current request resident in HBM, serve it;
+//! 5. fetch up to `q` queued pages (arbitration order) from DRAM into HBM.
+//!
+//! A served core issues its next request on the following tick, so an HBM
+//! hit has response time exactly 1 and a miss at least 2, as in §2.
+//!
+//! **One guard beyond the paper's pseudocode:** step 3 never evicts a
+//! *pinned* page — one that is some core's current request, already resident
+//! and about to be served. The paper's configurations (`k ≥ 1000 ≥ p`) never
+//! exercise this corner; without the guard, `k < p` workloads can livelock
+//! (a page is fetched, evicted by step 3 of the next tick, re-requested,
+//! forever). Pinned pages are unpinned as soon as they are served, which is
+//! always the next serve step, so the guard cannot deadlock eviction.
+//!
+//! The engine runs in O(total references + makespan·q) time and O(p + k)
+//! space: cores waiting in the DRAM queue cost nothing per tick.
+
+use crate::arbitration::{ArbitrationPolicy, Request};
+use crate::config::SimConfig;
+use crate::fxhash::FxHashMap;
+use crate::hbm::Hbm;
+use crate::ids::{CoreId, Tick};
+use crate::metrics::{MetricsCollector, Report};
+use crate::observer::SimObserver;
+use crate::workload::Workload;
+
+#[derive(Debug, Clone, Copy)]
+struct CoreRt {
+    /// Index of the current (unserved) reference; `== trace.len()` when done.
+    pos: usize,
+    /// Tick at which the current request was issued.
+    issue_tick: Tick,
+    /// Whether the current request went through the DRAM queue.
+    was_miss: bool,
+}
+
+/// A single in-progress simulation. Most callers use
+/// [`crate::SimBuilder::run`]; the engine is public so tests and tools can
+/// drive it tick by tick via [`Engine::step`].
+pub struct Engine<'w> {
+    config: SimConfig,
+    workload: &'w Workload,
+    hbm: Hbm,
+    arbiter: Box<dyn ArbitrationPolicy>,
+    cores: Vec<CoreRt>,
+    /// Cores whose next request must be examined this tick (step 2).
+    need_issue: Vec<CoreId>,
+    need_issue_next: Vec<CoreId>,
+    /// Cores whose current request is resident and will be served (step 4).
+    ready: Vec<CoreId>,
+    ready_next: Vec<CoreId>,
+    /// Resident pages awaiting a serve, with waiter counts (never evicted).
+    pinned: FxHashMap<u64, u32>,
+    /// Cores waiting on each in-flight far-channel fetch. For disjoint
+    /// workloads every list has length 1; shared (non-disjoint) workloads
+    /// coalesce concurrent requests for the same page into one fetch.
+    waiters: FxHashMap<u64, Vec<CoreId>>,
+    fetch_buf: Vec<Request>,
+    /// Fetches currently crossing a far channel: `(arrival_tick, request)`.
+    /// Empty whenever `far_latency == 1` outside step 5 (transfers complete
+    /// within their starting tick, the paper's model).
+    in_flight: Vec<(Tick, Request)>,
+    /// Per-channel busy-until tick.
+    channel_busy: Vec<Tick>,
+    metrics: MetricsCollector,
+    tick: Tick,
+    remaining: usize,
+    makespan: Tick,
+}
+
+impl<'w> Engine<'w> {
+    /// Prepares a run of `workload` under `config`.
+    pub fn new(config: SimConfig, workload: &'w Workload) -> Self {
+        let p = workload.cores();
+        let mut need_issue = Vec::with_capacity(p);
+        let mut cores = Vec::with_capacity(p);
+        let mut remaining = 0;
+        for c in 0..p {
+            let empty = workload.trace(c as CoreId).is_empty();
+            cores.push(CoreRt {
+                pos: 0,
+                issue_tick: 0,
+                was_miss: false,
+            });
+            if !empty {
+                need_issue.push(c as CoreId);
+                remaining += 1;
+            }
+        }
+        Engine {
+            hbm: Hbm::new(config.hbm_slots, config.replacement, config.seed),
+            arbiter: config.arbitration.build(p, config.seed),
+            cores,
+            need_issue,
+            need_issue_next: Vec::with_capacity(p),
+            ready: Vec::with_capacity(p),
+            ready_next: Vec::with_capacity(p),
+            pinned: FxHashMap::default(),
+            waiters: FxHashMap::default(),
+            fetch_buf: Vec::with_capacity(config.channels),
+            in_flight: Vec::with_capacity(config.channels),
+            channel_busy: vec![0; config.channels],
+            metrics: MetricsCollector::new(p),
+            tick: 0,
+            remaining,
+            makespan: 0,
+            config,
+            workload,
+        }
+    }
+
+    /// The tick about to execute (0 before the first [`step`](Self::step)).
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// True once every core has served its whole trace.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Cores still running.
+    pub fn cores_remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The HBM state (inspection).
+    pub fn hbm(&self) -> &Hbm {
+        &self.hbm
+    }
+
+    /// Current priority of `core` under the arbitration policy, if any.
+    pub fn priority_of(&self, core: CoreId) -> Option<u32> {
+        self.arbiter.priority_of(core)
+    }
+
+    /// Executes one tick (steps 1–5). No-op when [`is_done`](Self::is_done).
+    pub fn step<O: SimObserver>(&mut self, observer: &mut O) {
+        if self.is_done() {
+            return;
+        }
+        let t = self.tick;
+        let q = self.config.channels;
+        observer.on_tick_start(t);
+
+        // Step 1: remap priorities on schedule.
+        if self.arbiter.maybe_remap(t) {
+            self.metrics.record_remap();
+            observer.on_remap(t);
+        }
+
+        // Step 2: issue requests; misses enter the DRAM queue.
+        debug_assert!(self.need_issue_next.is_empty());
+        for i in 0..self.need_issue.len() {
+            let core = self.need_issue[i];
+            let rt = &mut self.cores[core as usize];
+            let page = self.workload.global_page(core, rt.pos);
+            if self.hbm.contains(page) {
+                rt.was_miss = false;
+                *self.pinned.entry(page.0).or_insert(0) += 1;
+                self.ready.push(core);
+            } else {
+                rt.was_miss = true;
+                self.metrics.record_miss();
+                match self.waiters.entry(page.0) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        // Another core already has this fetch in flight
+                        // (shared workloads only): coalesce.
+                        e.get_mut().push(core);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(vec![core]);
+                        self.arbiter.enqueue(Request {
+                            core,
+                            page,
+                            arrival: t,
+                        });
+                        observer.on_enqueue(t, core, page);
+                    }
+                }
+            }
+        }
+        self.need_issue.clear();
+
+        // Step 3: evict up to q pages when the queue exceeds free capacity.
+        // Slots are reserved for in-flight transfers so their arrival can
+        // never find the HBM full.
+        let mut evicted = 0;
+        while evicted < q
+            && self.arbiter.len() > self.hbm.free_slots().saturating_sub(self.in_flight.len())
+        {
+            let pinned = &self.pinned;
+            match self.hbm.evict_one(&mut |p| pinned.contains_key(&p.0)) {
+                Some(page) => {
+                    evicted += 1;
+                    self.metrics.record_eviction();
+                    observer.on_evict(t, page);
+                }
+                None => break, // every resident page is pinned
+            }
+        }
+
+        // Step 4: serve resident requests.
+        for i in 0..self.ready.len() {
+            let core = self.ready[i];
+            let rt = &mut self.cores[core as usize];
+            let page = self.workload.global_page(core, rt.pos);
+            let response = t - rt.issue_tick + 1;
+            let hit = !rt.was_miss;
+            self.hbm.touch(page);
+            match self.pinned.get_mut(&page.0) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.pinned.remove(&page.0);
+                }
+            }
+            self.metrics.record_serve(core, response, hit);
+            observer.on_serve(t, core, page, response, hit);
+            rt.pos += 1;
+            if rt.pos == self.workload.trace(core).len() {
+                self.remaining -= 1;
+                self.makespan = self.makespan.max(t + 1);
+                self.metrics.record_finish(core, t + 1);
+                observer.on_core_done(t + 1, core);
+            } else {
+                rt.issue_tick = t + 1;
+                self.need_issue_next.push(core);
+            }
+        }
+        self.ready.clear();
+
+        // Step 5: start up to q transfers on free far channels, then land
+        // the transfers that complete this tick. With far_latency = 1 (the
+        // paper's model) a transfer started now lands now, so the two
+        // phases collapse into the original "fetch up to q pages".
+        let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
+        let room = self
+            .hbm
+            .free_slots()
+            .saturating_sub(self.in_flight.len());
+        let n = free_channels.min(room);
+        self.arbiter.select(n, &mut self.fetch_buf);
+        for i in 0..self.fetch_buf.len() {
+            let req = self.fetch_buf[i];
+            // Claim a free channel.
+            for b in self.channel_busy.iter_mut() {
+                if *b <= t {
+                    *b = t + self.config.far_latency;
+                    break;
+                }
+            }
+            self.in_flight.push((t + self.config.far_latency - 1, req));
+        }
+        // Land arrivals (including same-tick ones when far_latency == 1).
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let (arrival, req) = self.in_flight[i];
+            if arrival > t {
+                i += 1;
+                continue;
+            }
+            self.in_flight.swap_remove(i);
+            self.hbm.insert(req.page);
+            let ws = self
+                .waiters
+                .remove(&req.page.0)
+                .expect("every queued fetch has waiters");
+            *self.pinned.entry(req.page.0).or_insert(0) += ws.len() as u32;
+            for core in ws {
+                self.ready_next.push(core);
+            }
+            self.metrics.record_fetch();
+            observer.on_fetch(t, req.core, req.page);
+        }
+
+        self.metrics.sample_queue_len(self.arbiter.len());
+        std::mem::swap(&mut self.need_issue, &mut self.need_issue_next);
+        std::mem::swap(&mut self.ready, &mut self.ready_next);
+        debug_assert!(self.ready_next.is_empty() && self.need_issue_next.is_empty());
+        self.tick = t + 1;
+    }
+
+    /// Runs to completion (or `max_ticks`) and reports.
+    pub fn run<O: SimObserver>(mut self, observer: &mut O) -> Report {
+        while !self.is_done() && self.tick < self.config.max_ticks {
+            self.step(observer);
+        }
+        let truncated = !self.is_done();
+        let makespan = if truncated { self.tick } else { self.makespan };
+        self.metrics.finish(makespan, truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitration::ArbitrationKind;
+    use crate::config::SimBuilder;
+    use crate::observer::{NoopObserver, RecordingObserver};
+    use crate::replacement::ReplacementKind;
+
+    fn builder() -> SimBuilder {
+        SimBuilder::new()
+            .hbm_slots(8)
+            .channels(1)
+            .replacement(ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn single_core_single_page_miss_then_hits() {
+        // Trace [0, 0, 0]: first reference misses (w=2), rest hit (w=1).
+        let w = Workload::from_refs(vec![vec![0, 0, 0]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder().run_with_observer(&w, &mut obs);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.hits, 2);
+        assert_eq!(r.misses, 1);
+        let responses: Vec<u64> = obs.serves.iter().map(|s| s.3).collect();
+        assert_eq!(responses, vec![2, 1, 1]);
+        // Timeline: t0 enqueue+fetch, t1 serve(w=2), t2 serve, t3 serve.
+        assert_eq!(r.makespan, 4);
+    }
+
+    #[test]
+    fn hit_response_time_is_exactly_one() {
+        // Preload by referencing page 0 twice; the second is a hit at w=1.
+        let w = Workload::from_refs(vec![vec![0, 0]]);
+        let mut obs = RecordingObserver::default();
+        builder().run_with_observer(&w, &mut obs);
+        assert_eq!(obs.serves[1].3, 1);
+        assert!(obs.serves[1].4, "second serve is a hit");
+    }
+
+    #[test]
+    fn miss_response_time_is_at_least_two() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 3]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder().run_with_observer(&w, &mut obs);
+        assert_eq!(r.misses, 4);
+        assert!(obs.serves.iter().all(|s| s.3 >= 2));
+    }
+
+    #[test]
+    fn two_cores_contend_for_one_channel() {
+        // Both cores miss at t0; only one fetch per tick, so the second
+        // core's first serve is a tick later.
+        let w = Workload::from_refs(vec![vec![0], vec![0]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder().run_with_observer(&w, &mut obs);
+        assert_eq!(r.served, 2);
+        assert_eq!(r.misses, 2);
+        let mut responses: Vec<u64> = obs.serves.iter().map(|s| s.3).collect();
+        responses.sort_unstable();
+        assert_eq!(responses, vec![2, 3], "serialized far channel");
+        assert_eq!(r.makespan, 3);
+    }
+
+    #[test]
+    fn q_channels_fetch_in_parallel() {
+        // With q = 2 both misses are fetched the same tick.
+        let w = Workload::from_refs(vec![vec![0], vec![0]]);
+        let r = builder().channels(2).run(&w);
+        assert_eq!(r.makespan, 2);
+        // With q = 1 it takes 3 (see previous test).
+    }
+
+    #[test]
+    fn makespan_lower_bound_is_trace_length() {
+        // All hits after the first fetch: makespan >= trace length.
+        let w = Workload::from_refs(vec![vec![0; 100]]);
+        let r = builder().run(&w);
+        assert!(r.makespan >= 100);
+        assert_eq!(r.served, 100);
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let w = Workload::new();
+        let r = builder().run(&w);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.served, 0);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn empty_trace_core_is_skipped() {
+        let w = Workload::from_refs(vec![vec![], vec![0, 1]]);
+        let r = builder().run(&w);
+        assert_eq!(r.served, 2);
+        assert_eq!(r.per_core[0].served, 0);
+        assert_eq!(r.per_core[0].finish_tick, 0);
+    }
+
+    #[test]
+    fn max_ticks_truncates() {
+        let w = Workload::from_refs(vec![(0..100u32).collect()]);
+        let r = builder().max_ticks(10).run(&w);
+        assert!(r.truncated);
+        assert_eq!(r.makespan, 10);
+        assert!(r.served < 100);
+    }
+
+    #[test]
+    fn priority_serves_core_zero_first() {
+        // Two cores, one channel: under static Priority core 0's request is
+        // always fetched first.
+        let w = Workload::from_refs(vec![vec![0, 1, 2], vec![0, 1, 2]]);
+        let mut obs = RecordingObserver::default();
+        builder()
+            .arbitration(ArbitrationKind::Priority)
+            .run_with_observer(&w, &mut obs);
+        let first_fetches: Vec<CoreId> = obs.fetches.iter().take(2).map(|f| f.1).collect();
+        assert_eq!(first_fetches[0], 0, "core 0 has priority");
+    }
+
+    #[test]
+    fn fifo_and_priority_agree_on_single_core() {
+        // With one core there is no contention: policies must coincide.
+        let refs: Vec<u32> = (0..50).map(|i| i % 10).collect();
+        let w = Workload::from_refs(vec![refs]);
+        let f = builder().arbitration(ArbitrationKind::Fifo).run(&w);
+        let p = builder().arbitration(ArbitrationKind::Priority).run(&w);
+        assert_eq!(f.makespan, p.makespan);
+        assert_eq!(f.hits, p.hits);
+    }
+
+    #[test]
+    fn eviction_happens_when_hbm_too_small() {
+        // 2-slot HBM, trace cycling over 4 pages: every access misses.
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 3, 0, 1, 2, 3]]);
+        let r = builder().hbm_slots(2).run(&w);
+        assert_eq!(r.hits, 0);
+        assert!(r.evictions >= 6);
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages() {
+        // Page 0 re-referenced between cold pages stays resident in a
+        // 3-slot LRU HBM.
+        let w = Workload::from_refs(vec![vec![0, 1, 0, 2, 0, 3, 0, 4, 0]]);
+        let r = builder().hbm_slots(3).run(&w);
+        let zero_refs = 5u64;
+        assert!(
+            r.hits >= zero_refs - 1,
+            "page 0 should hit after first fetch; hits = {}",
+            r.hits
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let refs: Vec<u32> = (0..200).map(|i| (i * 17) % 37).collect();
+        let w = Workload::from_refs(vec![refs.clone(), refs]);
+        let run = || {
+            builder()
+                .arbitration(ArbitrationKind::DynamicPriority { period: 16 })
+                .seed(99)
+                .run(&w)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.response.inconsistency, b.response.inconsistency);
+    }
+
+    #[test]
+    fn step_by_step_matches_run() {
+        let w = Workload::from_refs(vec![vec![0, 1, 0, 1]]);
+        let config = *builder().config();
+        let mut engine = Engine::new(config, &w);
+        let mut ticks = 0;
+        while !engine.is_done() {
+            engine.step(&mut NoopObserver);
+            ticks += 1;
+            assert!(ticks < 1000, "must terminate");
+        }
+        let r_whole = builder().run(&w);
+        assert_eq!(engine.tick(), r_whole.makespan);
+    }
+
+    #[test]
+    fn k_less_than_p_makes_progress() {
+        // 2-slot HBM, 8 cores: the pinning guard must prevent livelock.
+        let w = Workload::from_refs(vec![vec![0, 1]; 8]);
+        let r = builder().hbm_slots(2).max_ticks(10_000).run(&w);
+        assert!(!r.truncated, "k < p workload must still complete");
+        assert_eq!(r.served, 16);
+    }
+
+    #[test]
+    fn remap_events_counted() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 3, 4, 5, 6, 7]; 4]);
+        let r = builder()
+            .hbm_slots(4)
+            .arbitration(ArbitrationKind::DynamicPriority { period: 5 })
+            .run(&w);
+        assert!(r.remaps >= 1);
+    }
+
+    #[test]
+    fn report_per_core_finish_ticks_bounded_by_makespan() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        let r = builder().run(&w);
+        for c in &r.per_core {
+            assert!(c.finish_tick <= r.makespan);
+        }
+        assert_eq!(
+            r.per_core.iter().map(|c| c.finish_tick).max().unwrap(),
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn hit_rate_consistency() {
+        let w = Workload::from_refs(vec![vec![0, 0, 1, 1, 0]; 3]);
+        let r = builder().run(&w);
+        assert_eq!(r.hits + r.misses, r.served);
+        assert!((r.hit_rate - r.hits as f64 / r.served as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observer_event_counts_match_report() {
+        let w = Workload::from_refs(vec![vec![0, 1, 0, 2], vec![0, 3]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder().run_with_observer(&w, &mut obs);
+        assert_eq!(obs.serves.len() as u64, r.served);
+        assert_eq!(obs.enqueues.len() as u64, r.misses);
+        assert_eq!(obs.fetches.len() as u64, r.misses, "every miss is fetched once");
+        assert_eq!(r.fetches, r.misses, "disjoint: fetches == misses");
+        assert_eq!(obs.evictions.len() as u64, r.evictions);
+        assert_eq!(obs.completions.len(), 2);
+    }
+}

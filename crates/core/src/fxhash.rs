@@ -1,0 +1,115 @@
+//! A fast, dependency-free hasher for the simulator's hot hash maps.
+//!
+//! The HBM residency map is consulted once per outstanding request per tick,
+//! which makes SipHash (std's default) a measurable cost at paper scale
+//! (hundreds of cores × millions of ticks). This module implements the
+//! multiply-xor "Fx" hash used by rustc — not cryptographic, but our keys
+//! are page ids we generate ourselves, so HashDoS is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc Fx hash: a word-at-a-time multiply-rotate-xor mix.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+    }
+
+    #[test]
+    fn nearby_values_hash_differently() {
+        // Not a strict requirement of a hash, but Fx should separate
+        // consecutive integers; a failure here means the mix is broken.
+        let h: Vec<u64> = (0u64..64).map(|i| hash_of(&i)).collect();
+        let mut uniq = h.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), h.len());
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 2) as u32)));
+        }
+        assert_eq!(m.remove(&500), Some(1000));
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        // Exercise the chunks_exact remainder path.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(b"abcdefghi".as_slice()), hash_of(b"abcdefghj".as_slice()));
+    }
+}

@@ -1,0 +1,266 @@
+//! The shared HBM: `k` block slots, a residency map, and a replacement
+//! policy (paper §2, "the k blocks within the HBM").
+//!
+//! The HBM is fully associative (Property 3, §3); Corollary 1 of the paper
+//! justifies this as asymptotically equivalent to the direct-mapped caches
+//! real hardware ships (see the `hbm-assoc` crate for the constructive
+//! transformation).
+
+use crate::fxhash::FxHashMap;
+use crate::ids::GlobalPage;
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+
+/// The HBM state: slot array, page→slot map, free list, replacement policy.
+pub struct Hbm {
+    slots: Vec<Option<GlobalPage>>,
+    map: FxHashMap<u64, u32>,
+    free: Vec<u32>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl Hbm {
+    /// An HBM with `capacity` slots managed by `kind` (seeded for the
+    /// Random policy).
+    pub fn new(capacity: usize, kind: ReplacementKind, seed: u64) -> Self {
+        assert!(capacity > 0, "HBM must have at least one slot");
+        Hbm {
+            slots: vec![None; capacity],
+            map: FxHashMap::default(),
+            free: (0..capacity as u32).rev().collect(),
+            policy: kind.build(capacity, seed),
+        }
+    }
+
+    /// Total slots `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resident page count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Unoccupied slots.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Is `page` resident?
+    #[inline]
+    pub fn contains(&self, page: GlobalPage) -> bool {
+        self.map.contains_key(&page.0)
+    }
+
+    /// Marks a resident `page` as just-served (policy hit bookkeeping).
+    ///
+    /// # Panics
+    /// Panics if `page` is not resident.
+    pub fn touch(&mut self, page: GlobalPage) {
+        let slot = *self.map.get(&page.0).expect("touch of non-resident page");
+        self.policy.on_hit(slot);
+    }
+
+    /// Inserts `page` into a free slot.
+    ///
+    /// # Panics
+    /// Panics if HBM is full (callers must evict first) or the page is
+    /// already resident.
+    pub fn insert(&mut self, page: GlobalPage) {
+        assert!(!self.contains(page), "page {page} already resident");
+        let slot = self.free.pop().expect("insert into full HBM");
+        self.slots[slot as usize] = Some(page);
+        self.map.insert(page.0, slot);
+        self.policy.on_insert(slot);
+    }
+
+    /// Evicts the policy's victim among pages for which `pinned(page)` is
+    /// false. Returns the evicted page, or `None` if all candidates are
+    /// pinned (or HBM is empty).
+    pub fn evict_one(&mut self, pinned: &mut dyn FnMut(GlobalPage) -> bool) -> Option<GlobalPage> {
+        let slots = &self.slots;
+        let victim = self.policy.choose_victim(&mut |slot| {
+            let page = slots[slot as usize].expect("policy tracks occupied slots");
+            pinned(page)
+        })?;
+        let page = self.slots[victim as usize].take().expect("victim occupied");
+        self.policy.on_evict(victim);
+        self.map.remove(&page.0);
+        self.free.push(victim);
+        Some(page)
+    }
+
+    /// Removes a specific resident page (used by the direct-mapped
+    /// transformation harness and tests, not by the tick loop).
+    pub fn remove(&mut self, page: GlobalPage) -> bool {
+        let Some(slot) = self.map.remove(&page.0) else {
+            return false;
+        };
+        self.slots[slot as usize] = None;
+        self.policy.on_evict(slot);
+        self.free.push(slot);
+        true
+    }
+
+    /// Iterates resident pages in arbitrary order.
+    pub fn resident(&self) -> impl Iterator<Item = GlobalPage> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// The replacement policy kind in use.
+    pub fn replacement_kind(&self) -> ReplacementKind {
+        self.policy.kind()
+    }
+
+    /// Internal consistency check (tests and debug assertions).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.map.len() + self.free.len(), self.slots.len());
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(p) = s {
+                assert_eq!(self.map.get(&p.0), Some(&(i as u32)));
+            }
+        }
+        for f in &self.free {
+            assert!(self.slots[*f as usize].is_none());
+        }
+    }
+}
+
+impl std::fmt::Debug for Hbm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hbm")
+            .field("capacity", &self.capacity())
+            .field("resident", &self.len())
+            .field("policy", &self.policy.kind())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(core: u32, local: u32) -> GlobalPage {
+        GlobalPage::new(core, local)
+    }
+
+    fn never(_: GlobalPage) -> bool {
+        false
+    }
+
+    #[test]
+    fn insert_lookup_evict_cycle() {
+        let mut h = Hbm::new(3, ReplacementKind::Lru, 0);
+        h.insert(page(0, 1));
+        h.insert(page(0, 2));
+        assert!(h.contains(page(0, 1)));
+        assert!(!h.contains(page(0, 3)));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.free_slots(), 1);
+        let v = h.evict_one(&mut never).unwrap();
+        assert_eq!(v, page(0, 1), "LRU evicts oldest insert");
+        assert!(!h.contains(page(0, 1)));
+        h.check_invariants();
+    }
+
+    #[test]
+    fn lru_touch_changes_victim() {
+        let mut h = Hbm::new(3, ReplacementKind::Lru, 0);
+        h.insert(page(0, 1));
+        h.insert(page(0, 2));
+        h.insert(page(0, 3));
+        h.touch(page(0, 1));
+        assert_eq!(h.evict_one(&mut never).unwrap(), page(0, 2));
+        h.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "full HBM")]
+    fn insert_into_full_panics() {
+        let mut h = Hbm::new(1, ReplacementKind::Lru, 0);
+        h.insert(page(0, 1));
+        h.insert(page(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_insert_panics() {
+        let mut h = Hbm::new(2, ReplacementKind::Lru, 0);
+        h.insert(page(0, 1));
+        h.insert(page(0, 1));
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let mut h = Hbm::new(2, ReplacementKind::Lru, 0);
+        h.insert(page(0, 1));
+        h.insert(page(0, 2));
+        let v = h.evict_one(&mut |p| p == page(0, 1)).unwrap();
+        assert_eq!(v, page(0, 2));
+        assert!(h.evict_one(&mut |p| p == page(0, 1)).is_none());
+    }
+
+    #[test]
+    fn remove_specific_page() {
+        let mut h = Hbm::new(2, ReplacementKind::Fifo, 0);
+        h.insert(page(1, 7));
+        assert!(h.remove(page(1, 7)));
+        assert!(!h.remove(page(1, 7)));
+        assert_eq!(h.free_slots(), 2);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut h = Hbm::new(2, ReplacementKind::Lru, 0);
+        for i in 0..50 {
+            h.insert(page(0, i));
+            if h.free_slots() == 0 {
+                h.evict_one(&mut never).unwrap();
+            }
+        }
+        h.check_invariants();
+        assert_eq!(h.len() + h.free_slots(), 2);
+    }
+
+    #[test]
+    fn resident_iterates_exactly_the_resident_set() {
+        let mut h = Hbm::new(4, ReplacementKind::Clock, 0);
+        h.insert(page(0, 1));
+        h.insert(page(2, 9));
+        let mut got: Vec<_> = h.resident().collect();
+        got.sort();
+        assert_eq!(got, vec![page(0, 1), page(2, 9)]);
+    }
+
+    #[test]
+    fn evict_from_empty_is_none() {
+        let mut h = Hbm::new(4, ReplacementKind::Random, 1);
+        assert!(h.evict_one(&mut never).is_none());
+    }
+
+    #[test]
+    fn works_with_every_replacement_kind() {
+        for kind in ReplacementKind::ALL {
+            let mut h = Hbm::new(8, kind, 42);
+            for i in 0..8 {
+                h.insert(page(0, i));
+            }
+            for _ in 0..8 {
+                assert!(h.evict_one(&mut never).is_some());
+            }
+            assert!(h.is_empty());
+            h.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! The HBM+DRAM model (paper §2) works with three kinds of identity:
+//! simulation time (*ticks*), cores, and pages. Per Property 1 of §3, the
+//! sets of pages accessed by each core are mutually exclusive, so a global
+//! page identity is the pair *(core, local page)*. We pack that pair into a
+//! single `u64` ([`GlobalPage`]) so the HBM residency structures can key on
+//! one word.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time, measured in ticks of the model's synchronous clock.
+///
+/// One tick is the time to transfer one block across any single channel
+/// (HBM→core or DRAM→HBM); the paper normalizes both to 1.
+pub type Tick = u64;
+
+/// Index of a core, `0..p`.
+pub type CoreId = u32;
+
+/// A page identifier local to one core's request sequence.
+///
+/// Traces are stored per-core with local ids; the simulator namespaces them
+/// into [`GlobalPage`]s, which keeps trace storage at 4 bytes per reference.
+pub type LocalPage = u32;
+
+/// A globally unique page: the pair *(core, local page)* packed as
+/// `(core as u64) << 32 | local`.
+///
+/// Because request sequences are disjoint across cores (Property 1, §3),
+/// this packing is a bijection onto the set of pages any workload can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalPage(pub u64);
+
+impl GlobalPage {
+    /// Packs a core id and a core-local page id into a global page.
+    #[inline]
+    pub fn new(core: CoreId, local: LocalPage) -> Self {
+        GlobalPage(((core as u64) << 32) | local as u64)
+    }
+
+    /// The core whose namespace this page belongs to.
+    #[inline]
+    pub fn core(self) -> CoreId {
+        (self.0 >> 32) as CoreId
+    }
+
+    /// The core-local page id.
+    #[inline]
+    pub fn local(self) -> LocalPage {
+        self.0 as u32
+    }
+}
+
+impl std::fmt::Display for GlobalPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.core(), self.local())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = GlobalPage::new(7, 123_456);
+        assert_eq!(g.core(), 7);
+        assert_eq!(g.local(), 123_456);
+    }
+
+    #[test]
+    fn distinct_cores_distinct_pages() {
+        assert_ne!(GlobalPage::new(0, 5), GlobalPage::new(1, 5));
+        assert_ne!(GlobalPage::new(2, 0), GlobalPage::new(0, 2));
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let g = GlobalPage::new(u32::MAX, u32::MAX);
+        assert_eq!(g.core(), u32::MAX);
+        assert_eq!(g.local(), u32::MAX);
+    }
+
+    #[test]
+    fn display_is_core_colon_local() {
+        assert_eq!(GlobalPage::new(3, 9).to_string(), "3:9");
+    }
+}

@@ -1,0 +1,295 @@
+//! Metrics collection and the simulation [`Report`].
+//!
+//! The paper's evaluation uses three headline numbers — **makespan** (§2),
+//! **inconsistency** = stddev of response times (§4), and **average response
+//! time** (Table 1) — plus hit/miss counts to explain them. The collector
+//! streams everything (no per-request storage) so paper-scale runs stay in
+//! O(p) memory.
+
+use crate::ids::{CoreId, Tick};
+use crate::stats::{LogHistogram, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Per-core outcome summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreReport {
+    /// Requests served to this core.
+    pub served: u64,
+    /// HBM hits among them.
+    pub hits: u64,
+    /// Tick at which this core finished (its makespan); 0 for an empty
+    /// trace.
+    pub finish_tick: Tick,
+    /// Mean response time over this core's requests.
+    pub mean_response: f64,
+    /// Max response time this core ever saw — the starvation indicator.
+    pub max_response: u64,
+}
+
+/// Response-time summary across all requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseSummary {
+    /// Served request count.
+    pub count: u64,
+    /// Average response time (Table 1's right column).
+    pub mean: f64,
+    /// Standard deviation — the paper's **inconsistency** (Table 1's left
+    /// column, Figure 5's x-axis).
+    pub inconsistency: f64,
+    /// Fastest response (1 for any hit).
+    pub min: u64,
+    /// Slowest response.
+    pub max: u64,
+    /// Upper bound on the 99th-percentile response time (log2 buckets).
+    pub p99_upper_bound: u64,
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Ticks until the last core completed (the optimization objective).
+    pub makespan: Tick,
+    /// Total requests served (= total trace references).
+    pub served: u64,
+    /// HBM hits.
+    pub hits: u64,
+    /// HBM misses (per-core requests that waited on a far channel).
+    pub misses: u64,
+    /// Far-channel block fetches. Equals `misses` for disjoint workloads;
+    /// smaller when shared workloads coalesce concurrent requests.
+    pub fetches: u64,
+    /// Pages evicted from HBM.
+    pub evictions: u64,
+    /// Priority remap events.
+    pub remaps: u64,
+    /// Fraction of served requests that hit.
+    pub hit_rate: f64,
+    /// Response-time summary (the fairness metrics).
+    pub response: ResponseSummary,
+    /// Mean DRAM-queue length sampled each tick.
+    pub mean_queue_len: f64,
+    /// Max DRAM-queue length ever.
+    pub max_queue_len: u64,
+    /// Per-core summaries.
+    pub per_core: Vec<CoreReport>,
+    /// True if the run hit `max_ticks` before all cores finished.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Stddev of per-core finish ticks — how unevenly threads completed.
+    pub fn finish_spread(&self) -> f64 {
+        let ticks: Vec<f64> = self.per_core.iter().map(|c| c.finish_tick as f64).collect();
+        crate::stats::stddev(&ticks)
+    }
+
+    /// Max over cores of their max response time (worst starvation).
+    pub fn worst_response(&self) -> u64 {
+        self.per_core.iter().map(|c| c.max_response).max().unwrap_or(0)
+    }
+}
+
+/// Streaming collector the engine feeds during a run.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    global: Welford,
+    histogram: LogHistogram,
+    per_core: Vec<Welford>,
+    core_hits: Vec<u64>,
+    finish: Vec<Tick>,
+    hits: u64,
+    misses: u64,
+    fetches: u64,
+    evictions: u64,
+    remaps: u64,
+    queue_len_sum: u128,
+    queue_len_samples: u64,
+    max_queue_len: u64,
+}
+
+impl MetricsCollector {
+    /// A collector for `p` cores.
+    pub fn new(p: usize) -> Self {
+        MetricsCollector {
+            global: Welford::new(),
+            histogram: LogHistogram::new(),
+            per_core: vec![Welford::new(); p],
+            core_hits: vec![0; p],
+            finish: vec![0; p],
+            hits: 0,
+            misses: 0,
+            fetches: 0,
+            evictions: 0,
+            remaps: 0,
+            queue_len_sum: 0,
+            queue_len_samples: 0,
+            max_queue_len: 0,
+        }
+    }
+
+    /// Records a served request with its response time; `hit` marks an HBM
+    /// hit (response time 1 by construction).
+    #[inline]
+    pub fn record_serve(&mut self, core: CoreId, response: u64, hit: bool) {
+        self.global.push(response);
+        self.histogram.push(response);
+        self.per_core[core as usize].push(response);
+        if hit {
+            self.hits += 1;
+            self.core_hits[core as usize] += 1;
+        }
+    }
+
+    /// Records a request entering the DRAM queue (a miss).
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a far-channel fetch.
+    #[inline]
+    pub fn record_fetch(&mut self) {
+        self.fetches += 1;
+    }
+
+    /// Records an eviction.
+    #[inline]
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Records a priority remap.
+    #[inline]
+    pub fn record_remap(&mut self) {
+        self.remaps += 1;
+    }
+
+    /// Samples the queue length at the end of a tick.
+    #[inline]
+    pub fn sample_queue_len(&mut self, len: usize) {
+        self.queue_len_sum += len as u128;
+        self.queue_len_samples += 1;
+        self.max_queue_len = self.max_queue_len.max(len as u64);
+    }
+
+    /// Records a core finishing at `tick` (1-based completion time).
+    #[inline]
+    pub fn record_finish(&mut self, core: CoreId, tick: Tick) {
+        self.finish[core as usize] = tick;
+    }
+
+    /// Freezes into a [`Report`].
+    pub fn finish(self, makespan: Tick, truncated: bool) -> Report {
+        let served = self.global.count();
+        let per_core = self
+            .per_core
+            .iter()
+            .zip(&self.finish)
+            .zip(&self.core_hits)
+            .map(|((w, &finish_tick), &hits)| CoreReport {
+                served: w.count(),
+                hits,
+                finish_tick,
+                mean_response: w.mean(),
+                max_response: w.max().unwrap_or(0),
+            })
+            .collect();
+        Report {
+            makespan,
+            served,
+            hits: self.hits,
+            misses: self.misses,
+            fetches: self.fetches,
+            evictions: self.evictions,
+            remaps: self.remaps,
+            hit_rate: if served == 0 {
+                0.0
+            } else {
+                self.hits as f64 / served as f64
+            },
+            response: ResponseSummary {
+                count: served,
+                mean: self.global.mean(),
+                inconsistency: self.global.stddev(),
+                min: self.global.min().unwrap_or(0),
+                max: self.global.max().unwrap_or(0),
+                p99_upper_bound: self.histogram.quantile_upper_bound(0.99),
+            },
+            mean_queue_len: if self.queue_len_samples == 0 {
+                0.0
+            } else {
+                self.queue_len_sum as f64 / self.queue_len_samples as f64
+            },
+            max_queue_len: self.max_queue_len,
+            per_core,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_correctly() {
+        let mut m = MetricsCollector::new(2);
+        m.record_serve(0, 1, true);
+        m.record_serve(0, 3, false);
+        m.record_miss();
+        m.record_serve(1, 5, false);
+        m.record_miss();
+        m.record_fetch();
+        m.record_fetch();
+        m.record_eviction();
+        m.record_finish(0, 10);
+        m.record_finish(1, 12);
+        m.sample_queue_len(4);
+        m.sample_queue_len(0);
+        let r = m.finish(12, false);
+        assert_eq!(r.makespan, 12);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.misses, 2);
+        assert_eq!(r.fetches, 2);
+        assert_eq!(r.evictions, 1);
+        assert!((r.hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.response.mean - 3.0).abs() < 1e-12);
+        assert_eq!(r.response.min, 1);
+        assert_eq!(r.response.max, 5);
+        assert_eq!(r.mean_queue_len, 2.0);
+        assert_eq!(r.max_queue_len, 4);
+        assert_eq!(r.per_core[0].served, 2);
+        assert_eq!(r.per_core[0].hits, 1);
+        assert_eq!(r.per_core[1].finish_tick, 12);
+        assert_eq!(r.worst_response(), 5);
+    }
+
+    #[test]
+    fn empty_run_report_is_sane() {
+        let m = MetricsCollector::new(0);
+        let r = m.finish(0, false);
+        assert_eq!(r.served, 0);
+        assert_eq!(r.hit_rate, 0.0);
+        assert_eq!(r.response.inconsistency, 0.0);
+        assert_eq!(r.worst_response(), 0);
+        assert_eq!(r.finish_spread(), 0.0);
+    }
+
+    #[test]
+    fn finish_spread_measures_imbalance() {
+        let mut m = MetricsCollector::new(2);
+        m.record_serve(0, 1, true);
+        m.record_serve(1, 1, true);
+        m.record_finish(0, 100);
+        m.record_finish(1, 300);
+        let r = m.finish(300, false);
+        assert!((r.finish_spread() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_flag_propagates() {
+        let m = MetricsCollector::new(1);
+        assert!(m.finish(5, true).truncated);
+    }
+}

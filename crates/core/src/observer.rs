@@ -1,0 +1,117 @@
+//! Observation hooks into the tick loop.
+//!
+//! Tests, trace debuggers, and custom metrics can watch every simulator
+//! event without the engine paying for it: the engine is generic over the
+//! observer, and the default [`NoopObserver`]'s empty inline methods
+//! compile to nothing.
+
+use crate::ids::{CoreId, GlobalPage, Tick};
+
+/// Receives one callback per simulator event.
+///
+/// Within a tick the engine guarantees the call order: `on_tick_start`,
+/// `on_remap?`, `on_enqueue*`, `on_evict*`, `on_serve*`, `on_fetch*`.
+pub trait SimObserver {
+    /// A tick begins.
+    #[inline]
+    fn on_tick_start(&mut self, _tick: Tick) {}
+
+    /// Priorities were re-permuted (step 1).
+    #[inline]
+    fn on_remap(&mut self, _tick: Tick) {}
+
+    /// A missing request entered the DRAM queue (step 2).
+    #[inline]
+    fn on_enqueue(&mut self, _tick: Tick, _core: CoreId, _page: GlobalPage) {}
+
+    /// A page was evicted from HBM (step 3).
+    #[inline]
+    fn on_evict(&mut self, _tick: Tick, _page: GlobalPage) {}
+
+    /// A page was served to its core (step 4). `response` is the paper's
+    /// `w_j^i`; `hit` is true when the request never crossed a far channel.
+    #[inline]
+    fn on_serve(&mut self, _tick: Tick, _core: CoreId, _page: GlobalPage, _response: u64, _hit: bool) {
+    }
+
+    /// A page was fetched from DRAM into HBM over a far channel (step 5).
+    #[inline]
+    fn on_fetch(&mut self, _tick: Tick, _core: CoreId, _page: GlobalPage) {}
+
+    /// A core served its final reference.
+    #[inline]
+    fn on_core_done(&mut self, _tick: Tick, _core: CoreId) {}
+}
+
+/// The do-nothing observer; the engine's default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+/// Records every event into vectors — test and debugging aid. Memory grows
+/// with the event count, so use only on small runs.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    /// `(tick, core, page)` for each enqueue.
+    pub enqueues: Vec<(Tick, CoreId, GlobalPage)>,
+    /// `(tick, page)` for each eviction.
+    pub evictions: Vec<(Tick, GlobalPage)>,
+    /// `(tick, core, page, response, hit)` for each serve.
+    pub serves: Vec<(Tick, CoreId, GlobalPage, u64, bool)>,
+    /// `(tick, core, page)` for each fetch.
+    pub fetches: Vec<(Tick, CoreId, GlobalPage)>,
+    /// Ticks at which priorities were remapped.
+    pub remaps: Vec<Tick>,
+    /// `(tick, core)` completion events.
+    pub completions: Vec<(Tick, CoreId)>,
+}
+
+impl SimObserver for RecordingObserver {
+    fn on_remap(&mut self, tick: Tick) {
+        self.remaps.push(tick);
+    }
+
+    fn on_enqueue(&mut self, tick: Tick, core: CoreId, page: GlobalPage) {
+        self.enqueues.push((tick, core, page));
+    }
+
+    fn on_evict(&mut self, tick: Tick, page: GlobalPage) {
+        self.evictions.push((tick, page));
+    }
+
+    fn on_serve(&mut self, tick: Tick, core: CoreId, page: GlobalPage, response: u64, hit: bool) {
+        self.serves.push((tick, core, page, response, hit));
+    }
+
+    fn on_fetch(&mut self, tick: Tick, core: CoreId, page: GlobalPage) {
+        self.fetches.push((tick, core, page));
+    }
+
+    fn on_core_done(&mut self, tick: Tick, core: CoreId) {
+        self.completions.push((tick, core));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut o = RecordingObserver::default();
+        o.on_remap(3);
+        o.on_enqueue(3, 1, GlobalPage::new(1, 9));
+        o.on_serve(4, 1, GlobalPage::new(1, 9), 2, false);
+        o.on_core_done(4, 1);
+        assert_eq!(o.remaps, vec![3]);
+        assert_eq!(o.enqueues.len(), 1);
+        assert_eq!(o.serves[0].3, 2);
+        assert_eq!(o.completions, vec![(4, 1)]);
+    }
+
+    #[test]
+    fn noop_observer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopObserver>(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! CLOCK (second-chance) replacement.
+
+use super::{ReplacementKind, ReplacementPolicy};
+
+/// CLOCK: a circular sweep with one reference bit per slot. Hits set the
+/// bit; the hand clears bits until it finds an unreferenced slot, which it
+/// evicts. This approximates LRU at O(1) state per slot, which is why real
+/// DRAM-side caches favour it (paper §2 cites CLOCK [36] among practical
+/// policies).
+#[derive(Debug, Clone)]
+pub struct ClockPolicy {
+    referenced: Vec<bool>,
+    tracked: Vec<bool>,
+    hand: usize,
+    live: usize,
+}
+
+impl ClockPolicy {
+    /// New CLOCK bookkeeping for `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        ClockPolicy {
+            referenced: vec![false; capacity],
+            tracked: vec![false; capacity],
+            hand: 0,
+            live: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.hand = (self.hand + 1) % self.referenced.len().max(1);
+    }
+}
+
+impl ReplacementPolicy for ClockPolicy {
+    fn on_insert(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(!self.tracked[i]);
+        self.tracked[i] = true;
+        // A fresh page gets its reference bit set so it survives the first
+        // sweep (second-chance semantics).
+        self.referenced[i] = true;
+        self.live += 1;
+    }
+
+    fn on_hit(&mut self, slot: u32) {
+        self.referenced[slot as usize] = true;
+    }
+
+    fn choose_victim(&mut self, pinned: &mut dyn FnMut(u32) -> bool) -> Option<u32> {
+        if self.live == 0 {
+            return None;
+        }
+        // Two full sweeps suffice: the first can clear every reference bit,
+        // the second must then find an unreferenced, unpinned slot — unless
+        // all live slots are pinned, in which case we give up.
+        let n = self.referenced.len();
+        let mut unpinned_seen = false;
+        for pass in 0..2 * n + 1 {
+            let i = self.hand;
+            if self.tracked[i] {
+                let slot = i as u32;
+                if !pinned(slot) {
+                    unpinned_seen = true;
+                    if self.referenced[i] {
+                        self.referenced[i] = false;
+                    } else {
+                        self.advance();
+                        return Some(slot);
+                    }
+                }
+            }
+            self.advance();
+            if pass == n && !unpinned_seen {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn on_evict(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(self.tracked[i]);
+        self.tracked[i] = false;
+        self.referenced[i] = false;
+        self.live -= 1;
+    }
+
+    fn kind(&self) -> ReplacementKind {
+        ReplacementKind::Clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never(_: u32) -> bool {
+        false
+    }
+
+    #[test]
+    fn unreferenced_evicted_before_referenced() {
+        let mut p = ClockPolicy::new(4);
+        for s in 0..4 {
+            p.on_insert(s);
+        }
+        // First sweep clears everyone; second sweep would evict 0. Hit 0 to
+        // protect it: then 1 is the first unreferenced slot.
+        let v = p.choose_victim(&mut never).unwrap();
+        p.on_hit(v); // give the chosen one a reference again
+        p.on_evict(v); // but the contract is caller evicts what was chosen
+        assert!(v < 4);
+    }
+
+    #[test]
+    fn hit_grants_second_chance() {
+        let mut p = ClockPolicy::new(3);
+        p.on_insert(0);
+        p.on_insert(1);
+        p.on_insert(2);
+        // Drain reference bits with one victim choice, evict it.
+        let first = p.choose_victim(&mut never).unwrap();
+        assert_eq!(first, 0, "hand starts at slot 0 after clearing sweep");
+        p.on_evict(first);
+        // Keep hitting slot 1; slot 2 should be evicted next, not 1.
+        p.on_hit(1);
+        let second = p.choose_victim(&mut never).unwrap();
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn empty_policy_declines() {
+        let mut p = ClockPolicy::new(4);
+        assert_eq!(p.choose_victim(&mut never), None);
+    }
+
+    #[test]
+    fn sparse_tracking_skips_untracked() {
+        let mut p = ClockPolicy::new(8);
+        p.on_insert(3);
+        p.on_insert(6);
+        let v = p.choose_victim(&mut never).unwrap();
+        assert!(v == 3 || v == 6);
+    }
+}

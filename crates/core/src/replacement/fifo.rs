@@ -1,0 +1,84 @@
+//! First-in-first-out replacement (insertion order, hits ignored).
+
+use super::{ReplacementKind, ReplacementPolicy};
+use crate::slab_list::SlabList;
+
+/// FIFO replacement: evict the page fetched longest ago. Unlike
+/// [`super::LruPolicy`], hits do not refresh a slot. The paper's Lemma 1
+/// transformation supports FIFO as well as LRU precisely because the order
+/// list is only touched on misses (Theorem 4).
+#[derive(Debug, Clone)]
+pub struct FifoPolicy {
+    order: SlabList,
+}
+
+impl FifoPolicy {
+    /// New FIFO bookkeeping for `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        FifoPolicy {
+            order: SlabList::new(capacity),
+        }
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn on_insert(&mut self, slot: u32) {
+        self.order.push_back(slot);
+    }
+
+    fn on_hit(&mut self, _slot: u32) {
+        // Insertion order is immutable under hits.
+    }
+
+    fn choose_victim(&mut self, pinned: &mut dyn FnMut(u32) -> bool) -> Option<u32> {
+        let mut cur = self.order.front();
+        while let Some(slot) = cur {
+            if !pinned(slot) {
+                return Some(slot);
+            }
+            cur = self.order.next(slot);
+        }
+        None
+    }
+
+    fn on_evict(&mut self, slot: u32) {
+        self.order.unlink(slot);
+    }
+
+    fn kind(&self) -> ReplacementKind {
+        ReplacementKind::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never(_: u32) -> bool {
+        false
+    }
+
+    #[test]
+    fn hits_do_not_refresh() {
+        let mut p = FifoPolicy::new(4);
+        p.on_insert(0);
+        p.on_insert(1);
+        p.on_hit(0);
+        p.on_hit(0);
+        // Despite the hits, 0 entered first and is evicted first.
+        assert_eq!(p.choose_victim(&mut never), Some(0));
+    }
+
+    #[test]
+    fn eviction_in_insertion_order() {
+        let mut p = FifoPolicy::new(4);
+        for s in [2u32, 0, 3, 1] {
+            p.on_insert(s);
+        }
+        for expect in [2u32, 0, 3, 1] {
+            let v = p.choose_victim(&mut never).unwrap();
+            assert_eq!(v, expect);
+            p.on_evict(v);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Block-replacement policies for the HBM (paper §1.1, policy 1).
+//!
+//! The paper's theory combines every far-channel arbitration policy with LRU
+//! replacement and notes that "HBM replacement is not the problem": LRU and
+//! variants retain their classical guarantees [Sleator–Tarjan '85] in the
+//! HBM setting. We implement LRU plus the alternatives the paper names
+//! (FIFO, CLOCK) and a Random baseline so the claim can be tested as an
+//! ablation (`ablation_replacement` bench).
+//!
+//! A policy tracks *slot indices* (`0..k`), not pages — the [`crate::hbm::Hbm`]
+//! owns the page↔slot mapping. Policies never choose a *pinned* slot: a slot
+//! whose page is some core's current request and about to be served this
+//! tick. (With the paper's parameters, `k ≥ p`, pinning never matters; it
+//! guards the `k < p` corner from livelock. See DESIGN.md §1.)
+
+mod clock;
+mod fifo;
+mod lru;
+mod random;
+
+pub use clock::ClockPolicy;
+pub use fifo::FifoPolicy;
+pub use lru::LruPolicy;
+pub use random::RandomPolicy;
+
+use serde::{Deserialize, Serialize};
+
+/// Which block-replacement policy to run (selectable in [`crate::SimBuilder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementKind {
+    /// Least-recently-used: evict the slot whose page was served longest ago.
+    Lru,
+    /// First-in-first-out: evict the slot whose page was *fetched* longest
+    /// ago, regardless of hits since.
+    Fifo,
+    /// CLOCK (second-chance): approximate LRU with one reference bit per
+    /// slot and a sweeping hand.
+    Clock,
+    /// Uniform random victim; the no-information baseline.
+    Random,
+}
+
+impl ReplacementKind {
+    /// All kinds, for sweeps and ablations.
+    pub const ALL: [ReplacementKind; 4] = [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Clock,
+        ReplacementKind::Random,
+    ];
+
+    /// Instantiates the policy for an HBM of `capacity` slots.
+    ///
+    /// `seed` only matters for [`ReplacementKind::Random`].
+    pub fn build(self, capacity: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+        match self {
+            ReplacementKind::Lru => Box::new(LruPolicy::new(capacity)),
+            ReplacementKind::Fifo => Box::new(FifoPolicy::new(capacity)),
+            ReplacementKind::Clock => Box::new(ClockPolicy::new(capacity)),
+            ReplacementKind::Random => Box::new(RandomPolicy::new(capacity, seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ReplacementKind::Lru => "LRU",
+            ReplacementKind::Fifo => "FIFO",
+            ReplacementKind::Clock => "CLOCK",
+            ReplacementKind::Random => "Random",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Bookkeeping interface every replacement policy implements.
+///
+/// The HBM calls `on_insert` when a page is fetched into a slot, `on_hit`
+/// when a resident page is served, `choose_victim` when it must evict, and
+/// `on_evict` after the chosen victim (or an externally-chosen slot) leaves.
+pub trait ReplacementPolicy: Send {
+    /// A page was fetched into `slot`.
+    fn on_insert(&mut self, slot: u32);
+
+    /// The page in `slot` was served to its core (an HBM hit).
+    fn on_hit(&mut self, slot: u32);
+
+    /// Picks a victim slot among tracked slots for which `pinned` is false.
+    ///
+    /// Returns `None` if every tracked slot is pinned (the caller then skips
+    /// eviction this tick).
+    fn choose_victim(&mut self, pinned: &mut dyn FnMut(u32) -> bool) -> Option<u32>;
+
+    /// The page in `slot` was evicted; forget the slot.
+    fn on_evict(&mut self, slot: u32);
+
+    /// The kind tag, for reporting.
+    fn kind(&self) -> ReplacementKind;
+}
+
+#[cfg(test)]
+pub(crate) mod policy_tests {
+    //! Shared conformance tests run against every policy implementation.
+    use super::*;
+
+    fn never(_: u32) -> bool {
+        false
+    }
+
+    /// Inserting then evicting every slot must visit each slot exactly once.
+    pub fn eviction_is_a_permutation(mut p: Box<dyn ReplacementPolicy>, n: u32) {
+        for s in 0..n {
+            p.on_insert(s);
+        }
+        let mut victims = Vec::new();
+        for _ in 0..n {
+            let v = p.choose_victim(&mut never).expect("victim exists");
+            p.on_evict(v);
+            victims.push(v);
+        }
+        victims.sort_unstable();
+        assert_eq!(victims, (0..n).collect::<Vec<_>>());
+        assert!(p.choose_victim(&mut never).is_none(), "policy drained");
+    }
+
+    /// A fully pinned policy must decline to evict.
+    pub fn respects_pinning(mut p: Box<dyn ReplacementPolicy>, n: u32) {
+        for s in 0..n {
+            p.on_insert(s);
+        }
+        assert!(p.choose_victim(&mut |_| true).is_none());
+        // Pin all but slot 1: the victim must be 1.
+        let v = p.choose_victim(&mut |s| s != 1).expect("one unpinned slot");
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn all_kinds_conform() {
+        for kind in ReplacementKind::ALL {
+            eviction_is_a_permutation(kind.build(16, 7), 16);
+            respects_pinning(kind.build(8, 7), 8);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementKind::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementKind::Clock.to_string(), "CLOCK");
+    }
+}

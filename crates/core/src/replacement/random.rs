@@ -1,0 +1,140 @@
+//! Uniform-random replacement, the no-information baseline.
+
+use super::{ReplacementKind, ReplacementPolicy};
+use crate::rng::Xoshiro256;
+
+/// Random replacement: evicts a uniformly random tracked, unpinned slot.
+///
+/// Classical paging theory shows Random is k-competitive like FIFO but
+/// without FIFO's pathological adversaries; we keep it as the ablation
+/// baseline for the paper's "replacement is not the problem" claim.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    /// Dense vector of tracked slots, for O(1) random pick.
+    tracked: Vec<u32>,
+    /// slot -> index in `tracked`, or `u32::MAX`.
+    pos: Vec<u32>,
+    rng: Xoshiro256,
+}
+
+impl RandomPolicy {
+    /// New random policy; `seed` fixes the victim sequence.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        RandomPolicy {
+            tracked: Vec::with_capacity(capacity),
+            pos: vec![u32::MAX; capacity],
+            rng: Xoshiro256::seed_from_u64(seed ^ 0xB10C_4EA1_C0FF_EE00),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn on_insert(&mut self, slot: u32) {
+        debug_assert_eq!(self.pos[slot as usize], u32::MAX);
+        self.pos[slot as usize] = self.tracked.len() as u32;
+        self.tracked.push(slot);
+    }
+
+    fn on_hit(&mut self, _slot: u32) {}
+
+    fn choose_victim(&mut self, pinned: &mut dyn FnMut(u32) -> bool) -> Option<u32> {
+        if self.tracked.is_empty() {
+            return None;
+        }
+        // Try a handful of random probes, then fall back to a scan so that
+        // heavy pinning cannot make selection loop forever.
+        for _ in 0..8 {
+            let slot = self.tracked[self.rng.gen_index(self.tracked.len())];
+            if !pinned(slot) {
+                return Some(slot);
+            }
+        }
+        let start = self.rng.gen_index(self.tracked.len());
+        for off in 0..self.tracked.len() {
+            let slot = self.tracked[(start + off) % self.tracked.len()];
+            if !pinned(slot) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    fn on_evict(&mut self, slot: u32) {
+        let i = self.pos[slot as usize];
+        debug_assert_ne!(i, u32::MAX);
+        let last = *self.tracked.last().unwrap();
+        self.tracked.swap_remove(i as usize);
+        if last != slot {
+            self.pos[last as usize] = i;
+        }
+        self.pos[slot as usize] = u32::MAX;
+    }
+
+    fn kind(&self) -> ReplacementKind {
+        ReplacementKind::Random
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never(_: u32) -> bool {
+        false
+    }
+
+    #[test]
+    fn victims_are_tracked_slots() {
+        let mut p = RandomPolicy::new(16, 1);
+        for s in [1u32, 5, 9] {
+            p.on_insert(s);
+        }
+        for _ in 0..50 {
+            let v = p.choose_victim(&mut never).unwrap();
+            assert!([1, 5, 9].contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut p = RandomPolicy::new(16, 99);
+            for s in 0..16 {
+                p.on_insert(s);
+            }
+            let mut vs = Vec::new();
+            for _ in 0..16 {
+                let v = p.choose_victim(&mut never).unwrap();
+                p.on_evict(v);
+                vs.push(v);
+            }
+            vs
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn pinned_fallback_scan_terminates() {
+        let mut p = RandomPolicy::new(8, 3);
+        for s in 0..8 {
+            p.on_insert(s);
+        }
+        // Pin everything except slot 6; the fallback scan must find it.
+        assert_eq!(p.choose_victim(&mut |s| s != 6), Some(6));
+    }
+
+    #[test]
+    fn swap_remove_bookkeeping_survives_interleaving() {
+        let mut p = RandomPolicy::new(8, 4);
+        for s in 0..8 {
+            p.on_insert(s);
+        }
+        p.on_evict(3);
+        p.on_evict(7);
+        p.on_insert(3);
+        for _ in 0..20 {
+            let v = p.choose_victim(&mut never).unwrap();
+            assert_ne!(v, 7);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! An intrusive doubly-linked list stored in a slab of fixed capacity.
+//!
+//! This is the recency/insertion-order structure behind the LRU, FIFO, and
+//! CLOCK replacement policies ([`crate::replacement`]) and mirrors the
+//! "doubly-linked list which allows us to simulate LRU or FIFO" of the
+//! paper's Lemma 1 proof. All operations are O(1); nodes are addressed by
+//! slot index rather than pointer, so the structure is `Copy`-friendly,
+//! cache-dense, and trivially serializable.
+//!
+//! Slot indices are managed by the caller (the HBM slot array) — the list
+//! only maintains prev/next order among *linked* slots. Unlinked slots are
+//! simply absent from the order.
+
+/// Sentinel meaning "no slot".
+pub const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: u32,
+    next: u32,
+    linked: bool,
+}
+
+/// Doubly-linked list over slot indices `0..capacity`.
+///
+/// Front = least-recently-used / first-in; back = most-recently-used /
+/// last-in. The replacement policies define the semantics; the list just
+/// keeps order.
+#[derive(Debug, Clone)]
+pub struct SlabList {
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl SlabList {
+    /// Creates an empty list with room for `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity < NIL as usize, "capacity must fit in u32");
+        SlabList {
+            nodes: vec![
+                Node {
+                    prev: NIL,
+                    next: NIL,
+                    linked: false
+                };
+                capacity
+            ],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no slot is linked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The front slot (eviction candidate for LRU/FIFO), or `None` if empty.
+    #[inline]
+    pub fn front(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// The back slot (most recent), or `None` if empty.
+    #[inline]
+    pub fn back(&self) -> Option<u32> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Whether `slot` is currently linked.
+    #[inline]
+    pub fn contains(&self, slot: u32) -> bool {
+        self.nodes[slot as usize].linked
+    }
+
+    /// The slot after `slot` towards the back, or `None`.
+    #[inline]
+    pub fn next(&self, slot: u32) -> Option<u32> {
+        debug_assert!(self.contains(slot));
+        let n = self.nodes[slot as usize].next;
+        (n != NIL).then_some(n)
+    }
+
+    /// Links `slot` at the back (most-recent end).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `slot` is already linked.
+    pub fn push_back(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(!self.nodes[i].linked, "slot {slot} already linked");
+        self.nodes[i] = Node {
+            prev: self.tail,
+            next: NIL,
+            linked: true,
+        };
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+    }
+
+    /// Links `slot` at the front (least-recent end).
+    pub fn push_front(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(!self.nodes[i].linked, "slot {slot} already linked");
+        self.nodes[i] = Node {
+            prev: NIL,
+            next: self.head,
+            linked: true,
+        };
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+        self.len += 1;
+    }
+
+    /// Unlinks `slot` from wherever it is.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `slot` is not linked.
+    pub fn unlink(&mut self, slot: u32) {
+        let i = slot as usize;
+        debug_assert!(self.nodes[i].linked, "slot {slot} not linked");
+        let Node { prev, next, .. } = self.nodes[i];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[i] = Node {
+            prev: NIL,
+            next: NIL,
+            linked: false,
+        };
+        self.len -= 1;
+    }
+
+    /// Unlinks the front slot and returns it.
+    pub fn pop_front(&mut self) -> Option<u32> {
+        let h = self.front()?;
+        self.unlink(h);
+        Some(h)
+    }
+
+    /// Moves `slot` to the back (marks it most recent). O(1).
+    pub fn move_to_back(&mut self, slot: u32) {
+        if self.tail == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_back(slot);
+    }
+
+    /// Moves `slot` to the front. O(1).
+    pub fn move_to_front(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// Iterates slots from front to back.
+    pub fn iter(&self) -> SlabListIter<'_> {
+        SlabListIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+/// Front-to-back iterator over a [`SlabList`].
+pub struct SlabListIter<'a> {
+    list: &'a SlabList,
+    cur: u32,
+}
+
+impl Iterator for SlabListIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NIL {
+            return None;
+        }
+        let out = self.cur;
+        self.cur = self.list.nodes[self.cur as usize].next;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(l: &SlabList) -> Vec<u32> {
+        l.iter().collect()
+    }
+
+    #[test]
+    fn push_back_preserves_order() {
+        let mut l = SlabList::new(8);
+        for s in [3, 1, 4, 1 + 4, 2] {
+            l.push_back(s);
+        }
+        assert_eq!(collect(&l), vec![3, 1, 4, 5, 2]);
+        assert_eq!(l.front(), Some(3));
+        assert_eq!(l.back(), Some(2));
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn push_front_reverses_order() {
+        let mut l = SlabList::new(4);
+        for s in 0..4 {
+            l.push_front(s);
+        }
+        assert_eq!(collect(&l), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unlink_middle_front_back() {
+        let mut l = SlabList::new(8);
+        for s in 0..5 {
+            l.push_back(s);
+        }
+        l.unlink(2); // middle
+        assert_eq!(collect(&l), vec![0, 1, 3, 4]);
+        l.unlink(0); // front
+        assert_eq!(collect(&l), vec![1, 3, 4]);
+        l.unlink(4); // back
+        assert_eq!(collect(&l), vec![1, 3]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn move_to_back_acts_like_lru_touch() {
+        let mut l = SlabList::new(4);
+        for s in 0..4 {
+            l.push_back(s);
+        }
+        l.move_to_back(1);
+        assert_eq!(collect(&l), vec![0, 2, 3, 1]);
+        l.move_to_back(1); // already back: no-op
+        assert_eq!(collect(&l), vec![0, 2, 3, 1]);
+        l.move_to_back(0);
+        assert_eq!(collect(&l), vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn move_to_front_demotes() {
+        let mut l = SlabList::new(4);
+        for s in 0..3 {
+            l.push_back(s);
+        }
+        l.move_to_front(2);
+        assert_eq!(collect(&l), vec![2, 0, 1]);
+        l.move_to_front(2);
+        assert_eq!(collect(&l), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn pop_front_drains_in_order() {
+        let mut l = SlabList::new(4);
+        for s in [2, 0, 3] {
+            l.push_back(s);
+        }
+        assert_eq!(l.pop_front(), Some(2));
+        assert_eq!(l.pop_front(), Some(0));
+        assert_eq!(l.pop_front(), Some(3));
+        assert_eq!(l.pop_front(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = SlabList::new(2);
+        l.push_back(1);
+        assert_eq!(l.front(), l.back());
+        l.move_to_back(1);
+        l.move_to_front(1);
+        assert_eq!(collect(&l), vec![1]);
+        l.unlink(1);
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn relink_after_unlink() {
+        let mut l = SlabList::new(4);
+        l.push_back(0);
+        l.push_back(1);
+        l.unlink(0);
+        l.push_back(0);
+        assert_eq!(collect(&l), vec![1, 0]);
+        assert!(l.contains(0) && l.contains(1) && !l.contains(2));
+    }
+
+    #[test]
+    fn next_walks_towards_back() {
+        let mut l = SlabList::new(4);
+        for s in 0..3 {
+            l.push_back(s);
+        }
+        assert_eq!(l.next(0), Some(1));
+        assert_eq!(l.next(1), Some(2));
+        assert_eq!(l.next(2), None);
+    }
+}

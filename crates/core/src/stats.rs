@@ -1,0 +1,314 @@
+//! Streaming statistics for response times and queue lengths.
+//!
+//! Paper-scale runs serve hundreds of millions of requests, so we never
+//! store individual response times: [`Welford`] keeps count/mean/variance in
+//! O(1) space with numerically stable updates, and [`LogHistogram`] keeps
+//! power-of-two buckets for percentile estimates. *Inconsistency* (paper §4)
+//! is exactly `Welford::stddev` over all response times.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Folds in one observation.
+    #[inline]
+    pub fn push(&mut self, x: u64) {
+        self.count += 1;
+        let xf = x as f64;
+        let delta = xf - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (xf - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation — the paper's *inconsistency* when fed
+    /// response times.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Power-of-two bucketed histogram over `u64` observations.
+///
+/// Bucket `b` counts observations with `floor(log2(x)) == b` (bucket 0
+/// counts x ∈ {0, 1}). Gives percentile estimates within a factor of 2,
+/// which is all the starvation analyses need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (64 buckets, covering all of `u64`).
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    fn bucket_of(x: u64) -> usize {
+        (64 - x.max(1).leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn push(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges another histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (p ∈ [0, 1]).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Non-empty buckets as `(bucket_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b >= 63 { u64::MAX } else { (2u64 << b) - 1 }, c))
+            .collect()
+    }
+}
+
+/// Mean of a slice (helper for experiment post-processing).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_on_known_data() {
+        let data = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12, "known stddev 2");
+        assert_eq!(w.min(), Some(2));
+        assert_eq!(w.max(), Some(9));
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.min(), None);
+        let mut w1 = Welford::new();
+        w1.push(42);
+        assert_eq!(w1.mean(), 42.0);
+        assert_eq!(w1.stddev(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let all: Vec<u64> = (0..1000).map(|i| (i * 7919) % 513).collect();
+        let mut seq = Welford::new();
+        for &x in &all {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &all[..317] {
+            a.push(x);
+        }
+        for &x in &all[317..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.stddev() - seq.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(5);
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.push(1);
+        }
+        h.push(1000);
+        // Median is in the x<=1 bucket; the 99.5th percentile is in the
+        // bucket containing 1000 (512..1023 -> upper bound 1023).
+        assert_eq!(h.quantile_upper_bound(0.5), 1);
+        assert_eq!(h.quantile_upper_bound(0.999), 1023);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.push(3);
+        b.push(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! Workloads: one page-reference trace per core (paper §3.2).
+//!
+//! A [`Trace`] is a core-local sequence of page references (`u32` local
+//! ids); a [`Workload`] bundles `p` of them. Per Property 1 the simulator
+//! namespaces local ids by core, so two cores referencing local page 7
+//! reference *different* global pages.
+
+use crate::ids::{CoreId, GlobalPage, LocalPage};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One core's page-reference sequence, with core-local page ids.
+///
+/// Traces are reference-counted so a workload replicated across many cores
+/// (or reused across a parameter sweep) shares storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    refs: Arc<[LocalPage]>,
+}
+
+impl Trace {
+    /// Wraps a sequence of local page references.
+    pub fn new(refs: Vec<LocalPage>) -> Self {
+        Trace { refs: refs.into() }
+    }
+
+    /// Number of references.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True for the empty trace (a core with no work).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The `i`-th reference.
+    #[inline]
+    pub fn get(&self, i: usize) -> LocalPage {
+        self.refs[i]
+    }
+
+    /// All references as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[LocalPage] {
+        &self.refs
+    }
+
+    /// Number of distinct pages referenced.
+    pub fn unique_pages(&self) -> usize {
+        let mut sorted: Vec<LocalPage> = self.refs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Collapses runs of consecutive identical references into one.
+    ///
+    /// Under the model a repeated reference to the page just served is a
+    /// guaranteed hit costing one tick; collapsing shortens traces (a lot,
+    /// for scan-heavy code) without changing which policy wins. The
+    /// `ablation_collapse` bench quantifies this.
+    pub fn collapse_consecutive(&self) -> Trace {
+        let mut out = Vec::with_capacity(self.refs.len() / 2 + 1);
+        for &r in self.refs.iter() {
+            if out.last() != Some(&r) {
+                out.push(r);
+            }
+        }
+        Trace::new(out)
+    }
+}
+
+impl From<Vec<LocalPage>> for Trace {
+    fn from(v: Vec<LocalPage>) -> Self {
+        Trace::new(v)
+    }
+}
+
+/// A `p`-core workload: one trace per core.
+///
+/// By default traces are **disjoint** (Property 1, §3): each core's local
+/// page ids live in a private namespace. A workload built with
+/// [`Workload::shared_from_refs`] instead interprets ids *globally*, so
+/// several cores can reference — and contend for or share — the same page.
+/// Non-disjoint sequences are the paper's first listed item of future work
+/// (§6.1); the engine supports them by coalescing far-channel requests for
+/// the same page.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Workload {
+    traces: Vec<Trace>,
+    #[serde(default)]
+    shared: bool,
+}
+
+impl Workload {
+    /// A workload with no cores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from per-core reference vectors (disjoint namespaces).
+    pub fn from_refs(traces: Vec<Vec<LocalPage>>) -> Self {
+        Workload {
+            traces: traces.into_iter().map(Trace::new).collect(),
+            shared: false,
+        }
+    }
+
+    /// Builds a **non-disjoint** workload: page ids are global, so the same
+    /// id on two cores is the same page (future-work extension, §6.1).
+    pub fn shared_from_refs(traces: Vec<Vec<LocalPage>>) -> Self {
+        Workload {
+            traces: traces.into_iter().map(Trace::new).collect(),
+            shared: true,
+        }
+    }
+
+    /// Whether page ids are shared across cores.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Adds one core's trace; returns the new core's id.
+    pub fn push(&mut self, trace: Trace) -> CoreId {
+        self.traces.push(trace);
+        (self.traces.len() - 1) as CoreId
+    }
+
+    /// Replicates `trace` onto `p` cores (sharing storage). Each core still
+    /// addresses a disjoint page set because ids are namespaced per core.
+    pub fn replicate(trace: Trace, p: usize) -> Self {
+        Workload {
+            traces: vec![trace; p],
+            shared: false,
+        }
+    }
+
+    /// Number of cores `p`.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The trace of `core`.
+    #[inline]
+    pub fn trace(&self, core: CoreId) -> &Trace {
+        &self.traces[core as usize]
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Total references across cores.
+    pub fn total_refs(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// Total distinct global pages across cores: the sum of per-core unique
+    /// counts for disjoint workloads, the union size for shared ones.
+    pub fn total_unique_pages(&self) -> usize {
+        if !self.shared {
+            return self.traces.iter().map(Trace::unique_pages).sum();
+        }
+        let mut all: Vec<LocalPage> = self
+            .traces
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// Longest single trace — a trivial makespan lower bound, since a core
+    /// serves at most one reference per tick.
+    pub fn max_trace_len(&self) -> usize {
+        self.traces.iter().map(Trace::len).max().unwrap_or(0)
+    }
+
+    /// The global page for `core`'s reference index `i`.
+    #[inline]
+    pub fn global_page(&self, core: CoreId, i: usize) -> GlobalPage {
+        let local = self.traces[core as usize].get(i);
+        if self.shared {
+            GlobalPage(local as u64)
+        } else {
+            GlobalPage::new(core, local)
+        }
+    }
+
+    /// Collapses consecutive duplicate references in every trace.
+    pub fn collapse_consecutive(&self) -> Workload {
+        Workload {
+            traces: self.traces.iter().map(Trace::collapse_consecutive).collect(),
+            shared: self.shared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_basics() {
+        let t = Trace::new(vec![1, 2, 2, 3]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(2), 2);
+        assert_eq!(t.unique_pages(), 3);
+    }
+
+    #[test]
+    fn collapse_consecutive_removes_runs_only() {
+        let t = Trace::new(vec![1, 1, 1, 2, 2, 1, 3, 3, 3, 3]);
+        assert_eq!(t.collapse_consecutive().as_slice(), &[1, 2, 1, 3]);
+        // Empty trace stays empty.
+        assert!(Trace::new(vec![]).collapse_consecutive().is_empty());
+    }
+
+    #[test]
+    fn workload_counts() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2], vec![0, 0, 0, 0]]);
+        assert_eq!(w.cores(), 2);
+        assert_eq!(w.total_refs(), 7);
+        assert_eq!(w.total_unique_pages(), 4); // 3 + 1, disjoint namespaces
+        assert_eq!(w.max_trace_len(), 4);
+    }
+
+    #[test]
+    fn replicate_shares_storage_but_namespaces_pages() {
+        let w = Workload::replicate(Trace::new(vec![5, 6]), 3);
+        assert_eq!(w.cores(), 3);
+        assert_eq!(w.total_unique_pages(), 6);
+        assert_ne!(w.global_page(0, 0), w.global_page(1, 0));
+        assert_eq!(w.global_page(2, 1), GlobalPage::new(2, 6));
+    }
+
+    #[test]
+    fn empty_workload_edge_cases() {
+        let w = Workload::new();
+        assert_eq!(w.cores(), 0);
+        assert_eq!(w.total_refs(), 0);
+        assert_eq!(w.max_trace_len(), 0);
+    }
+
+    #[test]
+    fn push_returns_sequential_core_ids() {
+        let mut w = Workload::new();
+        assert_eq!(w.push(Trace::new(vec![1])), 0);
+        assert_eq!(w.push(Trace::new(vec![2])), 1);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let t = Trace::new((0..1000).collect());
+        let u = t.clone();
+        assert_eq!(t.as_slice(), u.as_slice());
+        assert!(std::sync::Arc::ptr_eq(&t.refs, &u.refs), "clone shares storage");
+    }
+}

@@ -1,0 +1,120 @@
+//! The far-channel transfer-latency extension: `far_latency > 1` models a
+//! slower DRAM link while `far_latency = 1` is exactly the paper's model.
+
+use hbm_core::{ArbitrationKind, RecordingObserver, ReplacementKind, SimBuilder, Workload};
+
+fn builder(k: usize, q: usize, lat: u64) -> SimBuilder {
+    SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .far_latency(lat)
+        .arbitration(ArbitrationKind::Fifo)
+        .replacement(ReplacementKind::Lru)
+}
+
+#[test]
+fn latency_one_is_the_paper_model() {
+    // Cross-check against the hand-computed timeline test: [0, 1] with
+    // q = 1, k = 2 gives makespan 4 and responses [2, 2].
+    let w = Workload::from_refs(vec![vec![0, 1]]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(2, 1, 1).run_with_observer(&w, &mut obs);
+    assert_eq!(r.makespan, 4);
+    assert_eq!(obs.serves.iter().map(|s| s.3).collect::<Vec<_>>(), vec![2, 2]);
+}
+
+#[test]
+fn miss_response_scales_with_far_latency() {
+    // A single cold miss: issued t0, transfer occupies F ticks, served at
+    // t = F, response F + 1.
+    for lat in [1u64, 2, 3, 8] {
+        let w = Workload::from_refs(vec![vec![0]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder(4, 1, lat).run_with_observer(&w, &mut obs);
+        assert_eq!(obs.serves[0].3, lat + 1, "far_latency {lat}");
+        assert_eq!(r.makespan, lat + 1);
+    }
+}
+
+#[test]
+fn hits_are_unaffected_by_far_latency() {
+    let w = Workload::from_refs(vec![vec![0, 0, 0, 0]]);
+    let mut obs = RecordingObserver::default();
+    builder(4, 1, 5).run_with_observer(&w, &mut obs);
+    // First serve pays the slow link; the rest are 1-tick hits.
+    let responses: Vec<u64> = obs.serves.iter().map(|s| s.3).collect();
+    assert_eq!(responses, vec![6, 1, 1, 1]);
+}
+
+#[test]
+fn channel_occupied_for_full_transfer() {
+    // Two cores, one channel, latency 3: the second fetch cannot start
+    // until the first completes. Serves at t=3 and t=6.
+    let w = Workload::from_refs(vec![vec![0], vec![0]]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(8, 1, 3).run_with_observer(&w, &mut obs);
+    let mut serve_ticks: Vec<u64> = obs.serves.iter().map(|s| s.0).collect();
+    serve_ticks.sort_unstable();
+    assert_eq!(serve_ticks, vec![3, 6]);
+    assert_eq!(r.makespan, 7);
+}
+
+#[test]
+fn extra_channels_hide_transfer_latency() {
+    // With q = 2 and latency 3, both transfers overlap fully.
+    let w = Workload::from_refs(vec![vec![0], vec![0]]);
+    let r = builder(8, 2, 3).run(&w);
+    assert_eq!(r.makespan, 4, "both land at t=2, served t=3");
+}
+
+#[test]
+fn conservation_under_slow_link() {
+    let traces: Vec<Vec<u32>> = (0..6).map(|c| (0..50u32).map(|i| (i * 3 + c) % 20).collect()).collect();
+    let w = Workload::from_refs(traces);
+    for lat in [1u64, 2, 4] {
+        for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+            let r = SimBuilder::new()
+                .hbm_slots(16)
+                .channels(2)
+                .far_latency(lat)
+                .arbitration(arb)
+                .max_ticks(1_000_000)
+                .run(&w);
+            assert!(!r.truncated);
+            assert_eq!(r.served, w.total_refs() as u64);
+            assert_eq!(r.fetches, r.misses);
+        }
+    }
+}
+
+#[test]
+fn makespan_monotone_in_far_latency() {
+    let traces: Vec<Vec<u32>> = (0..8).map(|c| (0..60u32).map(|i| (i * (c + 1)) % 24).collect()).collect();
+    let w = Workload::from_refs(traces);
+    let mut last = 0;
+    for lat in [1u64, 2, 4, 8] {
+        let r = builder(32, 2, lat).run(&w);
+        assert!(r.makespan >= last, "latency {lat}: {} < {last}", r.makespan);
+        last = r.makespan;
+    }
+}
+
+#[test]
+fn priority_still_beats_fifo_on_slow_links() {
+    // The arbitration result is robust to the transfer-time model.
+    let trace: Vec<u32> = (0..32).cycle().take(32 * 10).collect();
+    let w = Workload::from_refs(vec![trace; 16]);
+    let k = 16 * 32 / 4;
+    let run = |arb| {
+        SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .far_latency(4)
+            .arbitration(arb)
+            .run(&w)
+            .makespan
+    };
+    let fifo = run(ArbitrationKind::Fifo);
+    let prio = run(ArbitrationKind::Priority);
+    assert!(fifo > 2 * prio, "fifo {fifo} vs prio {prio}");
+}

@@ -1,0 +1,172 @@
+//! Hand-computed tick timelines verifying the engine implements §3.1's loop
+//! exactly — the ground truth the rest of the repository builds on.
+
+use hbm_core::{
+    ArbitrationKind, RecordingObserver, ReplacementKind, SimBuilder, Workload,
+};
+
+fn builder(k: usize, q: usize, arb: ArbitrationKind) -> SimBuilder {
+    SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .replacement(ReplacementKind::Lru)
+}
+
+/// One core, trace [0, 1]. Timeline (q=1, k=2):
+/// t0: issue 0 -> miss, enqueue; fetch 0.
+/// t1: 0 resident -> serve (w = 1-0+1 = 2). Core advances.
+/// t2: issue 1 -> miss, enqueue; fetch 1.
+/// t3: serve 1 (w = 2). Done; makespan = 4.
+#[test]
+fn exact_timeline_single_core_two_cold_misses() {
+    let w = Workload::from_refs(vec![vec![0, 1]]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(2, 1, ArbitrationKind::Fifo).run_with_observer(&w, &mut obs);
+    assert_eq!(r.makespan, 4);
+    assert_eq!(obs.enqueues, vec![(0, 0, hbm_core::GlobalPage::new(0, 0)), (2, 0, hbm_core::GlobalPage::new(0, 1))]);
+    assert_eq!(obs.fetches.iter().map(|f| f.0).collect::<Vec<_>>(), vec![0, 2]);
+    assert_eq!(obs.serves.iter().map(|s| (s.0, s.3)).collect::<Vec<_>>(), vec![(1, 2), (3, 2)]);
+}
+
+/// Three cores race for one channel under FCFS; all request distinct pages
+/// at t0. Fetch order = enqueue order (core index order at t0).
+/// Serve times: core0 at t1 (w=2), core1 at t2 (w=3), core2 at t3 (w=4).
+#[test]
+fn exact_timeline_fcfs_serialization() {
+    let w = Workload::from_refs(vec![vec![0], vec![0], vec![0]]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(8, 1, ArbitrationKind::Fifo).run_with_observer(&w, &mut obs);
+    assert_eq!(r.makespan, 4);
+    let serves: Vec<(u64, u32, u64)> = obs.serves.iter().map(|s| (s.0, s.1, s.3)).collect();
+    assert_eq!(serves, vec![(1, 0, 2), (2, 1, 3), (3, 2, 4)]);
+}
+
+/// Under static Priority with the same race, the fetch order is priority
+/// order — identical here (core 0 highest), but reversing arrival shows the
+/// difference: FIFO would honour arrival, Priority does not.
+#[test]
+fn priority_overrides_arrival_order() {
+    // Core 2's request "arrives" in the same tick as everyone's; priority
+    // decides. To create distinct arrivals, give core 0 a leading hit so its
+    // miss arrives one tick later than cores 1 and 2.
+    //
+    // t0: c0 issues page 0 -> miss (everyone misses; queue [c0,c1,c2] or
+    // priority order). Instead: preload c0's page via duplicate reference.
+    let w = Workload::from_refs(vec![vec![0, 1], vec![0], vec![0]]);
+    let mut obs_p = RecordingObserver::default();
+    builder(8, 1, ArbitrationKind::Priority).run_with_observer(&w, &mut obs_p);
+    // Fetches: t0 c0:0 (rank 0 wins), t1 c1:0, ... c0's page 1 misses at t2
+    // after serving page 0 at t1; it beats c2 despite arriving later.
+    let fetch_cores: Vec<u32> = obs_p.fetches.iter().map(|f| f.1).collect();
+    assert_eq!(fetch_cores, vec![0, 1, 0, 2], "c0's later request beats c2");
+
+    let mut obs_f = RecordingObserver::default();
+    builder(8, 1, ArbitrationKind::Fifo).run_with_observer(&w, &mut obs_f);
+    let fetch_cores_f: Vec<u32> = obs_f.fetches.iter().map(|f| f.1).collect();
+    assert_eq!(fetch_cores_f, vec![0, 1, 2, 0], "FIFO honours arrival");
+}
+
+/// The FIFO-killer of §3.2/§4 in miniature: each core cycles over its pages
+/// with HBM holding only a quarter of the union. FIFO gets zero (or
+/// near-zero) hits; Priority retains working sets and hits plenty.
+#[test]
+fn fifo_killer_microcosm() {
+    let pages = 64u32;
+    let reps = 50usize;
+    let p = 16usize;
+    let trace: Vec<u32> = (0..pages).cycle().take(pages as usize * reps).collect();
+    let w = Workload::from_refs(vec![trace; p]);
+    let k = (pages as usize * p) / 4; // quarter of the union, as in Figure 3
+
+    let fifo = builder(k, 1, ArbitrationKind::Fifo).run(&w);
+    let prio = builder(k, 1, ArbitrationKind::Priority).run(&w);
+
+    assert_eq!(fifo.hits, 0, "FIFO re-evicts every page before reuse");
+    assert!(
+        prio.hit_rate > 0.5,
+        "Priority protects working sets; hit rate {}",
+        prio.hit_rate
+    );
+    assert!(
+        fifo.makespan > 2 * prio.makespan,
+        "FIFO {} vs Priority {}",
+        fifo.makespan,
+        prio.makespan
+    );
+}
+
+/// Theorem 3 in action: q channels cut Priority's makespan when the
+/// workload is channel-bound.
+#[test]
+fn multiple_channels_scale_throughput() {
+    // 16 cores, all cold misses (no reuse): pure channel-bound workload.
+    // Each core has at most one outstanding request and a 2-tick
+    // issue/serve cadence, so p must comfortably exceed 2q for the channels
+    // to saturate.
+    let trace: Vec<u32> = (0..200).collect();
+    let w = Workload::from_refs(vec![trace; 16]);
+    let k = 8000; // everything fits; only cold misses matter
+    let m1 = builder(k, 1, ArbitrationKind::Priority).run(&w).makespan;
+    let m4 = builder(k, 4, ArbitrationKind::Priority).run(&w).makespan;
+    // 3200 fetches over 1 vs 4 channels: near-linear speedup.
+    assert!(m1 >= 3200);
+    assert!((m4 as f64) < m1 as f64 / 2.5, "q=4 {} vs q=1 {}", m4, m1);
+}
+
+/// Dynamic Priority's response-time bound: a thread reaches the top
+/// priority within p permutations, so no request waits beyond ~p*T plus the
+/// queue drain; inconsistency is far below static Priority's on a starving
+/// workload.
+#[test]
+fn dynamic_priority_reduces_starvation() {
+    let pages = 64u32;
+    let p = 16usize;
+    let trace: Vec<u32> = (0..pages).cycle().take(pages as usize * 50).collect();
+    let w = Workload::from_refs(vec![trace; p]);
+    let k = (pages as usize * p) / 4;
+
+    let stat = builder(k, 1, ArbitrationKind::Priority).run(&w);
+    let dyn_ = builder(k, 1, ArbitrationKind::DynamicPriority { period: k as u64 }).run(&w);
+    let fifo = builder(k, 1, ArbitrationKind::Fifo).run(&w);
+
+    assert!(
+        dyn_.response.inconsistency < stat.response.inconsistency,
+        "dynamic {} < static {}",
+        dyn_.response.inconsistency,
+        stat.response.inconsistency
+    );
+    // Worst-case starvation drops too.
+    assert!(dyn_.worst_response() < stat.worst_response());
+    // Makespan stays in the same ballpark as Priority (the paper: as good
+    // or better than both FIFO and Priority; allow 10% at this tiny scale)
+    // and far below FIFO's.
+    assert!(dyn_.makespan as f64 <= stat.makespan as f64 * 1.10);
+    assert!(dyn_.makespan * 2 < fifo.makespan);
+    // FIFO's signature: lowest inconsistency, worst makespan (Table 1).
+    assert!(fifo.response.inconsistency < dyn_.response.inconsistency);
+}
+
+/// Per-core disjointness: two cores referencing the same local ids touch
+/// disjoint global pages, so one core's locality cannot create hits for the
+/// other.
+#[test]
+fn namespaces_are_disjoint() {
+    let w = Workload::from_refs(vec![vec![0, 0, 0], vec![0, 0, 0]]);
+    let r = builder(8, 2, ArbitrationKind::Fifo).run(&w);
+    // Each core cold-misses its own page 0 once: 2 misses, not 1.
+    assert_eq!(r.misses, 2);
+    assert_eq!(r.hits, 4);
+}
+
+/// Remap cadence: with period T, remaps happen at t = 0, T, 2T, ...
+#[test]
+fn remap_cadence_matches_step_one() {
+    let w = Workload::from_refs(vec![vec![0, 1, 2, 3, 4, 5, 6, 7]; 4]);
+    let mut obs = RecordingObserver::default();
+    builder(4, 1, ArbitrationKind::CyclePriority { period: 8 }).run_with_observer(&w, &mut obs);
+    for t in &obs.remaps {
+        assert_eq!(t % 8, 0);
+    }
+    assert!(!obs.remaps.is_empty());
+}

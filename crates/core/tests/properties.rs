@@ -1,0 +1,301 @@
+//! Property-based tests over the simulator's invariants.
+//!
+//! These run every arbitration × replacement combination on randomized
+//! workloads and check the conservation laws and model guarantees that must
+//! hold for *any* policy.
+
+use hbm_core::bounds::makespan_lower_bound;
+use hbm_core::{
+    ArbitrationKind, RecordingObserver, ReplacementKind, Report, SimBuilder, Workload,
+};
+use proptest::prelude::*;
+
+/// Strategy: a workload of 1..=6 cores, each with 0..=40 references over a
+/// small page universe (forcing reuse and eviction).
+fn workloads() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..12, 0..40),
+        1..6,
+    )
+    .prop_map(Workload::from_refs)
+}
+
+fn arbitration_kinds() -> impl Strategy<Value = ArbitrationKind> {
+    prop_oneof![
+        Just(ArbitrationKind::Fifo),
+        Just(ArbitrationKind::Priority),
+        Just(ArbitrationKind::DynamicPriority { period: 7 }),
+        Just(ArbitrationKind::CyclePriority { period: 5 }),
+        Just(ArbitrationKind::CycleReversePriority { period: 9 }),
+        Just(ArbitrationKind::InterleavePriority { period: 6 }),
+        Just(ArbitrationKind::RandomPick),
+        Just(ArbitrationKind::FrFcfs { row_shift: 2 }),
+    ]
+}
+
+fn replacement_kinds() -> impl Strategy<Value = ReplacementKind> {
+    prop_oneof![
+        Just(ReplacementKind::Lru),
+        Just(ReplacementKind::Fifo),
+        Just(ReplacementKind::Clock),
+        Just(ReplacementKind::Random),
+    ]
+}
+
+fn run(
+    w: &Workload,
+    k: usize,
+    q: usize,
+    arb: ArbitrationKind,
+    rep: ReplacementKind,
+    seed: u64,
+) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .replacement(rep)
+        .seed(seed)
+        .max_ticks(1_000_000)
+        .run_with_observer(w, &mut obs);
+    (report, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reference is served exactly once, for every policy combination.
+    #[test]
+    fn conservation_of_requests(
+        w in workloads(),
+        k in 1usize..20,
+        q in 1usize..4,
+        arb in arbitration_kinds(),
+        rep in replacement_kinds(),
+        seed in 0u64..1000,
+    ) {
+        let (r, obs) = run(&w, k, q, arb, rep, seed);
+        prop_assert!(!r.truncated, "run must terminate");
+        prop_assert_eq!(r.served, w.total_refs() as u64);
+        prop_assert_eq!(r.hits + r.misses, r.served);
+        prop_assert_eq!(obs.serves.len() as u64, r.served);
+        prop_assert_eq!(obs.fetches.len() as u64, r.misses);
+        // Each core is served exactly its trace length, in trace order.
+        for (c, t) in w.traces().iter().enumerate() {
+            let served: Vec<u32> = obs
+                .serves
+                .iter()
+                .filter(|s| s.1 == c as u32)
+                .map(|s| s.2.local())
+                .collect();
+            prop_assert_eq!(served.as_slice(), t.as_slice());
+        }
+    }
+
+    /// Makespan never beats the information-theoretic lower bound, and hits
+    /// have response exactly 1 while misses have response >= 2.
+    #[test]
+    fn makespan_and_response_bounds(
+        w in workloads(),
+        k in 1usize..20,
+        q in 1usize..4,
+        arb in arbitration_kinds(),
+        rep in replacement_kinds(),
+    ) {
+        let (r, obs) = run(&w, k, q, arb, rep, 1);
+        let lb = makespan_lower_bound(&w, k, q);
+        prop_assert!(r.makespan >= lb || w.total_refs() == 0,
+            "makespan {} below lower bound {}", r.makespan, lb);
+        for (_, _, _, response, hit) in &obs.serves {
+            if *hit {
+                prop_assert_eq!(*response, 1);
+            } else {
+                prop_assert!(*response >= 2);
+            }
+        }
+    }
+
+    /// Bit-for-bit determinism given (workload, config, seed).
+    #[test]
+    fn determinism(
+        w in workloads(),
+        arb in arbitration_kinds(),
+        seed in 0u64..100,
+    ) {
+        let (a, oa) = run(&w, 8, 2, arb, ReplacementKind::Lru, seed);
+        let (b, ob) = run(&w, 8, 2, arb, ReplacementKind::Lru, seed);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.response.mean, b.response.mean);
+        prop_assert_eq!(oa.serves, ob.serves);
+        prop_assert_eq!(oa.evictions, ob.evictions);
+    }
+
+    /// With one core there is no channel contention: all arbitration
+    /// policies produce the same makespan.
+    #[test]
+    fn single_core_policies_coincide(
+        refs in prop::collection::vec(0u32..10, 1..60),
+        k in 2usize..12,
+    ) {
+        let w = Workload::from_refs(vec![refs]);
+        let base = run(&w, k, 1, ArbitrationKind::Fifo, ReplacementKind::Lru, 0).0;
+        for arb in [
+            ArbitrationKind::Priority,
+            ArbitrationKind::DynamicPriority { period: 3 },
+            ArbitrationKind::RandomPick,
+        ] {
+            let r = run(&w, k, 1, arb, ReplacementKind::Lru, 0).0;
+            prop_assert_eq!(r.makespan, base.makespan, "{} differs", arb);
+            prop_assert_eq!(r.hits, base.hits);
+        }
+    }
+
+    /// Resident set never exceeds k; evictions only happen under pressure.
+    #[test]
+    fn hbm_capacity_respected(
+        w in workloads(),
+        k in 1usize..6,
+    ) {
+        let (r, _) = run(&w, k, 1, ArbitrationKind::Fifo, ReplacementKind::Lru, 0);
+        // If everything fits, nothing is evicted.
+        if w.total_unique_pages() <= k {
+            prop_assert_eq!(r.evictions, 0);
+            // Each unique page misses exactly once (cold), rest hit.
+            prop_assert_eq!(r.misses, w.total_unique_pages() as u64);
+        }
+    }
+
+    /// Workloads that fit in HBM: misses = unique pages regardless of
+    /// policy, and makespan is within fetch-serialization of the bound.
+    #[test]
+    fn fitting_workload_only_cold_misses(
+        traces in prop::collection::vec(prop::collection::vec(0u32..5, 1..30), 1..4),
+        arb in arbitration_kinds(),
+    ) {
+        let w = Workload::from_refs(traces);
+        let k = w.total_unique_pages().max(1);
+        let (r, _) = run(&w, k, 1, arb, ReplacementKind::Lru, 3);
+        prop_assert_eq!(r.misses, w.total_unique_pages() as u64);
+        prop_assert_eq!(r.evictions, 0);
+    }
+
+    /// More channels help FIFO substantially — scheduling anomalies can
+    /// cost a few ticks (timing shifts change eviction order), but q=4 can
+    /// never be *worse* than q=1 beyond small-constant noise.
+    #[test]
+    fn more_channels_help_fifo(
+        w in workloads(),
+        k in 4usize..16,
+    ) {
+        let m1 = run(&w, k, 1, ArbitrationKind::Fifo, ReplacementKind::Lru, 0).0.makespan;
+        let m4 = run(&w, k, 4, ArbitrationKind::Fifo, ReplacementKind::Lru, 0).0.makespan;
+        prop_assert!(m4 <= m1 + m1 / 4 + 8, "q=4 makespan {m4} vs q=1 {m1}");
+    }
+
+    /// Collapsing consecutive duplicate references never increases makespan.
+    #[test]
+    fn collapse_shortens(
+        refs in prop::collection::vec(0u32..6, 1..50),
+    ) {
+        let w = Workload::from_refs(vec![refs; 2]);
+        let wc = w.collapse_consecutive();
+        let a = run(&w, 4, 1, ArbitrationKind::Priority, ReplacementKind::Lru, 0).0;
+        let b = run(&wc, 4, 1, ArbitrationKind::Priority, ReplacementKind::Lru, 0).0;
+        prop_assert!(b.makespan <= a.makespan);
+        prop_assert_eq!(b.misses, a.misses, "collapsing only removes guaranteed hits");
+    }
+}
+
+/// Strategy: shared workloads — global page ids drawn from one small
+/// universe, so cross-core sharing actually occurs.
+fn shared_workloads() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(prop::collection::vec(0u32..10, 1..30), 2..5)
+        .prop_map(Workload::shared_from_refs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shared workloads conserve requests under every policy and never
+    /// fetch more than they miss; fetches are also bounded below by the
+    /// union of pages (every distinct page crosses at least once).
+    #[test]
+    fn shared_conservation(
+        w in shared_workloads(),
+        k in 2usize..16,
+        q in 1usize..3,
+        arb in arbitration_kinds(),
+        seed in 0u64..100,
+    ) {
+        let (r, obs) = run(&w, k, q, arb, ReplacementKind::Lru, seed);
+        prop_assert!(!r.truncated);
+        prop_assert_eq!(r.served, w.total_refs() as u64);
+        prop_assert!(r.fetches <= r.misses, "coalescing only reduces fetches");
+        prop_assert!(r.fetches >= w.total_unique_pages() as u64);
+        prop_assert_eq!(obs.fetches.len() as u64, r.fetches);
+        // Per-core serve order still equals the trace.
+        for (c, t) in w.traces().iter().enumerate() {
+            let served: Vec<u32> = obs
+                .serves
+                .iter()
+                .filter(|s| s.1 == c as u32)
+                .map(|s| s.2.local())
+                .collect();
+            prop_assert_eq!(served.as_slice(), t.as_slice());
+        }
+    }
+
+    /// A shared workload never takes longer than the identical traces run
+    /// disjointly (sharing only removes far-channel work) — checked for
+    /// FIFO, whose schedule is insensitive to page identity beyond
+    /// residency.
+    #[test]
+    fn sharing_never_hurts_fifo(
+        traces in prop::collection::vec(prop::collection::vec(0u32..8, 1..25), 2..5),
+        k in 4usize..16,
+    ) {
+        let shared = Workload::shared_from_refs(traces.clone());
+        let disjoint = Workload::from_refs(traces);
+        let rs = run(&shared, k, 1, ArbitrationKind::Fifo, ReplacementKind::Lru, 0).0;
+        let rd = run(&disjoint, k, 1, ArbitrationKind::Fifo, ReplacementKind::Lru, 0).0;
+        prop_assert!(
+            rs.makespan <= rd.makespan + rd.makespan / 10 + 4,
+            "shared {} vs disjoint {}",
+            rs.makespan,
+            rd.makespan
+        );
+    }
+
+    /// far_latency = 1 is bit-identical to the default engine; larger
+    /// latencies preserve conservation and only slow things down.
+    #[test]
+    fn far_latency_semantics(
+        w in workloads(),
+        k in 2usize..16,
+        q in 1usize..3,
+        lat in 1u64..6,
+    ) {
+        let base = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(q)
+            .arbitration(ArbitrationKind::Priority)
+            .run(&w);
+        let slow = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(q)
+            .far_latency(lat)
+            .arbitration(ArbitrationKind::Priority)
+            .max_ticks(10_000_000)
+            .run(&w);
+        prop_assert!(!slow.truncated);
+        prop_assert_eq!(slow.served, base.served);
+        if lat == 1 {
+            prop_assert_eq!(slow.makespan, base.makespan);
+            prop_assert_eq!(slow.hits, base.hits);
+        } else {
+            prop_assert!(slow.makespan >= base.makespan);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Non-disjoint (shared-page) workloads — the paper's §6.1 future-work
+//! extension. Page ids are global, so cores can contend for and share the
+//! same pages; the engine coalesces concurrent far-channel requests.
+
+use hbm_core::{ArbitrationKind, RecordingObserver, ReplacementKind, SimBuilder, Workload};
+
+fn builder(k: usize, q: usize, arb: ArbitrationKind) -> SimBuilder {
+    SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .replacement(ReplacementKind::Lru)
+        .seed(7)
+}
+
+#[test]
+fn same_id_is_the_same_page_when_shared() {
+    // Two cores, both referencing page 0 three times.
+    let shared = Workload::shared_from_refs(vec![vec![0, 0, 0], vec![0, 0, 0]]);
+    let disjoint = Workload::from_refs(vec![vec![0, 0, 0], vec![0, 0, 0]]);
+    assert_eq!(shared.total_unique_pages(), 1);
+    assert_eq!(disjoint.total_unique_pages(), 2);
+
+    let rs = builder(4, 1, ArbitrationKind::Fifo).run(&shared);
+    let rd = builder(4, 1, ArbitrationKind::Fifo).run(&disjoint);
+    // Shared: one fetch serves both cores' cold miss.
+    let mut obs = RecordingObserver::default();
+    builder(4, 1, ArbitrationKind::Fifo).run_with_observer(&shared, &mut obs);
+    assert_eq!(obs.fetches.len(), 1, "coalesced into one far-channel fetch");
+    assert_eq!(rs.served, 6);
+    assert_eq!(rd.served, 6);
+    // Both cores' first reference was a miss (each waited on the fetch).
+    assert_eq!(rs.misses, 2);
+    assert!(rs.makespan <= rd.makespan);
+}
+
+#[test]
+fn one_cores_fetch_warms_the_other() {
+    // Core 0 touches page 5 early; core 1 touches it later and must hit.
+    let w = Workload::shared_from_refs(vec![vec![5, 1, 2, 3], vec![9, 9, 9, 5]]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(16, 1, ArbitrationKind::Fifo).run_with_observer(&w, &mut obs);
+    // Core 1's final reference to page 5 is a hit (fetched by core 0).
+    let last_serve = obs
+        .serves
+        .iter()
+        .rev()
+        .find(|s| s.1 == 1)
+        .expect("core 1 served");
+    assert_eq!(last_serve.2 .0, 5);
+    assert!(last_serve.4, "page 5 already resident: hit");
+    assert_eq!(r.served, 8);
+}
+
+#[test]
+fn coalesced_requests_all_serve_next_tick() {
+    // Four cores all cold-miss the same page at t0: one fetch, four serves
+    // at t1 (response 2 each).
+    let w = Workload::shared_from_refs(vec![vec![42]; 4]);
+    let mut obs = RecordingObserver::default();
+    let r = builder(8, 1, ArbitrationKind::Priority).run_with_observer(&w, &mut obs);
+    assert_eq!(obs.fetches.len(), 1);
+    assert_eq!(r.served, 4);
+    assert_eq!(r.makespan, 2);
+    for s in &obs.serves {
+        assert_eq!(s.0, 1, "all served at tick 1");
+        assert_eq!(s.3, 2, "response time 2 (miss)");
+    }
+}
+
+#[test]
+fn shared_conservation_under_every_policy() {
+    // Overlapping working sets with reuse, small HBM.
+    let traces: Vec<Vec<u32>> = (0..6)
+        .map(|c| (0..40u32).map(|i| (i * (c + 2)) % 16).collect())
+        .collect();
+    let w = Workload::shared_from_refs(traces);
+    for arb in [
+        ArbitrationKind::Fifo,
+        ArbitrationKind::Priority,
+        ArbitrationKind::DynamicPriority { period: 8 },
+        ArbitrationKind::RandomPick,
+        ArbitrationKind::FrFcfs { row_shift: 1 },
+    ] {
+        let r = builder(8, 2, arb).max_ticks(100_000).run(&w);
+        assert!(!r.truncated, "{arb}");
+        assert_eq!(r.served, w.total_refs() as u64, "{arb}");
+        assert_eq!(r.hits + r.misses, r.served, "{arb}");
+    }
+}
+
+#[test]
+fn sharing_reduces_total_fetches_versus_disjoint() {
+    // All cores walk the same global pages: the shared version fetches the
+    // union once per eviction cycle while the disjoint version fetches per
+    // core.
+    let trace: Vec<u32> = (0..32).collect();
+    let shared = Workload::shared_from_refs(vec![trace.clone(); 8]);
+    let disjoint = Workload::from_refs(vec![trace; 8]);
+    let k = 64;
+    let mut obs_s = RecordingObserver::default();
+    let mut obs_d = RecordingObserver::default();
+    builder(k, 1, ArbitrationKind::Fifo).run_with_observer(&shared, &mut obs_s);
+    builder(k, 1, ArbitrationKind::Fifo).run_with_observer(&disjoint, &mut obs_d);
+    assert!(
+        obs_s.fetches.len() * 4 < obs_d.fetches.len(),
+        "shared {} vs disjoint {}",
+        obs_s.fetches.len(),
+        obs_d.fetches.len()
+    );
+}
+
+#[test]
+fn shared_mode_is_deterministic() {
+    let traces: Vec<Vec<u32>> = (0..4)
+        .map(|c| (0..60u32).map(|i| (i * 7 + c) % 24).collect())
+        .collect();
+    let w = Workload::shared_from_refs(traces);
+    let run = || builder(12, 1, ArbitrationKind::DynamicPriority { period: 24 }).run(&w);
+    let (a, b) = (run(), run());
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.hits, b.hits);
+}
+
+#[test]
+fn serde_roundtrip_preserves_shared_flag() {
+    let w = Workload::shared_from_refs(vec![vec![1, 2], vec![2, 3]]);
+    assert!(w.is_shared());
+    let cloned = w.clone();
+    assert!(cloned.is_shared());
+    assert_eq!(cloned.total_unique_pages(), 3);
+}

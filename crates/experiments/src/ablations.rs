@@ -1,0 +1,151 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
+use hbm_core::{ArbitrationKind, ReplacementKind};
+use hbm_traces::TraceOptions;
+
+/// Replacement-policy ablation: the paper claims "HBM replacement is not
+/// the problem" — LRU, FIFO, CLOCK (and even Random) should land within a
+/// modest band of each other, while the arbitration policy moves makespan
+/// by integer factors.
+pub fn replacement(scale: Scale, seed: u64) -> ResultTable {
+    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
+    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
+    let w = pool.workload(p);
+    let jobs: Vec<(ReplacementKind, ArbitrationKind)> = ReplacementKind::ALL
+        .into_iter()
+        .flat_map(|r| {
+            [ArbitrationKind::Fifo, ArbitrationKind::Priority]
+                .into_iter()
+                .map(move |a| (r, a))
+        })
+        .collect();
+    let results = hbm_par::parallel_map(&jobs, |&(rep, arb)| {
+        let r = hbm_core::SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(arb)
+            .replacement(rep)
+            .seed(seed)
+            .run(&w);
+        (rep, arb, r.makespan, r.hit_rate)
+    });
+    let mut t = ResultTable::new(
+        "Ablation replacement — replacement × arbitration policy (SpGEMM)",
+        &["replacement", "arbitration", "makespan", "hit_rate"],
+    );
+    for (rep, arb, makespan, hit_rate) in results {
+        t.push_row(vec![
+            rep.to_string(),
+            arb.label(),
+            makespan.to_string(),
+            f3(hit_rate),
+        ]);
+    }
+    t
+}
+
+/// Trace-granularity ablation: collapsing consecutive same-page references
+/// shortens traces but must not change which policy wins.
+pub fn collapse(scale: Scale, seed: u64) -> ResultTable {
+    let (p, k) = contended_config(scale.sort_spec(), scale, seed);
+    let mut t = ResultTable::new(
+        "Ablation collapse — trace granularity (collapse consecutive same-page refs)",
+        &["collapse", "total_refs", "fifo_makespan", "priority_makespan", "ratio"],
+    );
+    for collapse in [false, true] {
+        let opts = TraceOptions {
+            collapse,
+            ..TraceOptions::default()
+        };
+        let pool = TracePool::generate(scale.sort_spec(), p, seed, opts);
+        let w = pool.workload(p);
+        let fifo = run_cell(&w, k, 1, ArbitrationKind::Fifo, seed);
+        let prio = run_cell(&w, k, 1, ArbitrationKind::Priority, seed);
+        t.push_row(vec![
+            collapse.to_string(),
+            w.total_refs().to_string(),
+            fifo.makespan.to_string(),
+            prio.makespan.to_string(),
+            f3(fifo.makespan as f64 / prio.makespan.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// FR-FCFS extension: the real controllers' FIFO variant against plain
+/// FIFO and Priority.
+pub fn frfcfs(scale: Scale, seed: u64) -> ResultTable {
+    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
+    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
+    let w = pool.workload(p);
+    let kinds = [
+        ArbitrationKind::Fifo,
+        ArbitrationKind::FrFcfs { row_shift: 2 },
+        ArbitrationKind::FrFcfs { row_shift: 4 },
+        ArbitrationKind::Priority,
+    ];
+    let results = hbm_par::parallel_map(&kinds, |&arb| {
+        let r = run_cell(&w, k, 1, arb, seed);
+        (arb, r.makespan, r.response.mean)
+    });
+    let mut t = ResultTable::new(
+        "Extension frfcfs — FR-FCFS (open-row FIFO variant) vs FIFO and Priority",
+        &["policy", "makespan", "mean_response"],
+    );
+    for (arb, makespan, mean) in results {
+        t.push_row(vec![arb.label(), makespan.to_string(), f3(mean)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replacement_is_not_the_problem() {
+        let t = replacement(Scale::Small, 9);
+        assert_eq!(t.rows.len(), 8);
+        // Within one arbitration policy, replacement choice moves makespan
+        // by far less than the arbitration choice does at high contention.
+        let get = |rep: &str, arb: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == rep && r[1] == arb)
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        let lru_prio = get("LRU", "Priority");
+        let clock_prio = get("CLOCK", "Priority");
+        assert!(
+            (clock_prio / lru_prio - 1.0).abs() < 0.5,
+            "replacement swing should be modest: LRU {lru_prio} vs CLOCK {clock_prio}"
+        );
+    }
+
+    #[test]
+    fn collapse_preserves_the_winner() {
+        let t = collapse(Scale::Small, 9);
+        assert_eq!(t.rows.len(), 2);
+        let r_raw: f64 = t.rows[0][4].parse().unwrap();
+        let r_col: f64 = t.rows[1][4].parse().unwrap();
+        // Same side of 1.0 (or both near 1).
+        assert!(
+            (r_raw - 1.0) * (r_col - 1.0) >= 0.0
+                || (r_raw - 1.0).abs() < 0.15
+                || (r_col - 1.0).abs() < 0.15,
+            "winner flipped: raw {r_raw} vs collapsed {r_col}"
+        );
+        let refs_raw: u64 = t.rows[0][1].parse().unwrap();
+        let refs_col: u64 = t.rows[1][1].parse().unwrap();
+        assert!(refs_col < refs_raw, "collapse must shorten traces");
+    }
+
+    #[test]
+    fn frfcfs_runs() {
+        let t = frfcfs(Scale::Small, 9);
+        assert_eq!(t.rows.len(), 4);
+    }
+}

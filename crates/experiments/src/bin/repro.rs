@@ -1,0 +1,259 @@
+//! `repro` — regenerate the figures and tables of *Automatic HBM
+//! Management: Models and Algorithms* (SPAA 2022).
+//!
+//! ```text
+//! repro <command> [--scale small|default|full] [--seed N] [--out DIR]
+//!
+//! commands:
+//!   fig2       Figure 2a/2b  FIFO vs Priority ratio sweep
+//!   fig3       Figure 3      adversarial Dataset 3
+//!   fig4       Figure 4a/4b  FIFO vs Dynamic Priority
+//!   fig5       Figure 5a/5b  makespan/inconsistency trade-off
+//!   table1     Table 1a/1b   inconsistency & response time
+//!   fig6       Figure 6      pointer chasing (synthetic KNL)
+//!   table2     Table 2a/2b   latency & GLUPS bandwidth
+//!   validate   §5            property checks P1-P4
+//!   channels   Theorem 3     q = 1..10 sweep
+//!   augment    Theorem 2     d/s resource augmentation grid
+//!   mrc        methodology   LRU miss-ratio curves of the workloads
+//!   assoc      Lemma 1       direct-mapped transformation overhead
+//!   schemes    §4            permutation schemes × work skew
+//!   ablate     ablations     replacement / granularity / FR-FCFS
+//!   all        everything above
+//! ```
+//!
+//! Tables print as markdown on stdout; with `--out DIR` each table is also
+//! written as a CSV named after its title. `--plot` additionally renders
+//! fig2/fig3/fig4/fig5 as ASCII charts (the paper's artifacts are plots —
+//! the crossovers and frontiers are easier to see than in the tables).
+
+use hbm_experiments::common::{ResultTable, Scale};
+use hbm_experiments::fig2::Panel;
+use hbm_experiments::{
+    ablations, assoc_exp, augment, channels, fig2, fig3, fig4, knl_exp, mrc, schemes, tradeoff,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    command: String,
+    scale: Scale,
+    seed: u64,
+    out: Option<PathBuf>,
+    plot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut scale = Scale::Default;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut plot = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--plot" => plot = true,
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        scale,
+        seed,
+        out,
+        plot,
+    })
+}
+
+fn usage() -> String {
+    "usage: repro <fig2|fig3|fig4|fig5|table1|fig6|table2|validate|channels|augment|mrc|assoc|schemes|ablate|all> [--scale small|default|full] [--seed N] [--out DIR] [--plot]".into()
+}
+
+fn slug(title: &str) -> String {
+    title
+        .chars()
+        .take_while(|&c| c != '—')
+        .collect::<String>()
+        .trim()
+        .to_lowercase()
+        .replace([' ', '/'], "_")
+        .replace(|c: char| !c.is_alphanumeric() && c != '_', "")
+}
+
+fn emit(tables: Vec<ResultTable>, out: &Option<PathBuf>) {
+    for t in tables {
+        println!("{}", t.to_markdown());
+        if let Some(dir) = out {
+            std::fs::create_dir_all(dir).expect("create --out dir");
+            let path = dir.join(format!("{}.csv", slug(&t.title)));
+            std::fs::write(&path, t.to_csv()).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, String> {
+    // Monte Carlo budgets for the KNL microbenchmarks per scale.
+    let (ops, blocks) = match scale {
+        Scale::Small => (20_000, 20_000),
+        Scale::Default => (500_000, 500_000),
+        Scale::Full => (1 << 27, 4_000_000),
+    };
+    Ok(match cmd {
+        "fig2" => vec![
+            fig2::run(Panel::SpGemm, scale, seed),
+            fig2::run(Panel::Sort, scale, seed),
+        ],
+        "fig3" => vec![fig3::run(scale, seed)],
+        "fig4" => vec![
+            fig4::run(Panel::SpGemm, scale, seed),
+            fig4::run(Panel::Sort, scale, seed),
+        ],
+        "fig5" => vec![
+            tradeoff::run_fig5(Panel::SpGemm, scale, seed),
+            tradeoff::run_fig5(Panel::Sort, scale, seed),
+        ],
+        "table1" => vec![
+            tradeoff::run_table1(Panel::SpGemm, scale, seed),
+            tradeoff::run_table1(Panel::Sort, scale, seed),
+        ],
+        "fig6" => vec![knl_exp::run_fig6(ops, seed)],
+        "table2" => vec![knl_exp::run_table2a(ops, seed), knl_exp::run_table2b(blocks, seed)],
+        "validate" => vec![knl_exp::run_validation()],
+        "channels" => vec![channels::run(scale, seed)],
+        "augment" => vec![augment::run(scale, seed)],
+        "mrc" => vec![mrc::run(scale, seed)],
+        "assoc" => vec![assoc_exp::run(scale, seed)],
+        "schemes" => vec![schemes::run(scale, seed)],
+        "ablate" => vec![
+            ablations::replacement(scale, seed),
+            ablations::collapse(scale, seed),
+            ablations::frfcfs(scale, seed),
+        ],
+        "all" => {
+            let cmds = [
+                "fig2", "fig3", "fig4", "fig5", "table1", "fig6", "table2", "validate",
+                "channels", "augment", "mrc", "assoc", "schemes", "ablate",
+            ];
+            let mut all = Vec::new();
+            for c in cmds {
+                eprintln!("[repro] running {c} (scale {scale}) ...");
+                let t0 = Instant::now();
+                all.extend(run_command(c, scale, seed)?);
+                eprintln!("[repro] {c} done in {:.1}s", t0.elapsed().as_secs_f64());
+            }
+            all
+        }
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    })
+}
+
+/// Plot-capable commands: computes cells once, returns (tables, charts).
+fn run_with_plots(
+    cmd: &str,
+    scale: Scale,
+    seed: u64,
+) -> Option<(Vec<ResultTable>, Vec<String>)> {
+    use hbm_experiments::sweep::plot_cells;
+    match cmd {
+        "fig2" => {
+            let a = fig2::run_cells(Panel::SpGemm, scale, seed);
+            let b = fig2::run_cells(Panel::Sort, scale, seed);
+            Some((
+                vec![fig2::render(Panel::SpGemm, &a), fig2::render(Panel::Sort, &b)],
+                vec![
+                    plot_cells(&a, "Figure 2a — SpGEMM", "Priority").render(),
+                    plot_cells(&b, "Figure 2b — GNU sort", "Priority").render(),
+                ],
+            ))
+        }
+        "fig3" => {
+            let cells = fig3::run_cells(scale, seed);
+            Some((
+                vec![fig3::render(&cells)],
+                vec![fig3::plot_cells(&cells).render()],
+            ))
+        }
+        "fig4" => {
+            let a = fig4::run_cells(Panel::SpGemm, scale, seed);
+            let b = fig4::run_cells(Panel::Sort, scale, seed);
+            Some((
+                vec![fig4::render(Panel::SpGemm, &a), fig4::render(Panel::Sort, &b)],
+                vec![
+                    plot_cells(&a, "Figure 4a — SpGEMM", "Dynamic").render(),
+                    plot_cells(&b, "Figure 4b — GNU sort", "Dynamic").render(),
+                ],
+            ))
+        }
+        "fig5" => {
+            let a = tradeoff::run_points(Panel::SpGemm, scale, seed);
+            let b = tradeoff::run_points(Panel::Sort, scale, seed);
+            Some((
+                vec![
+                    tradeoff::run_fig5(Panel::SpGemm, scale, seed),
+                    tradeoff::run_fig5(Panel::Sort, scale, seed),
+                ],
+                vec![
+                    tradeoff::plot_points(&a, "Figure 5a — SpGEMM").render(),
+                    tradeoff::plot_points(&b, "Figure 5b — GNU sort").render(),
+                ],
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = Instant::now();
+    if args.plot {
+        if let Some((tables, charts)) = run_with_plots(&args.command, args.scale, args.seed) {
+            emit(tables, &args.out);
+            for c in charts {
+                println!("{c}");
+            }
+            eprintln!(
+                "[repro] {} finished in {:.1}s (scale {}, seed {})",
+                args.command,
+                t0.elapsed().as_secs_f64(),
+                args.scale,
+                args.seed
+            );
+            return;
+        }
+        eprintln!("[repro] --plot not supported for '{}'; showing tables", args.command);
+    }
+    match run_command(&args.command, args.scale, args.seed) {
+        Ok(tables) => {
+            emit(tables, &args.out);
+            eprintln!(
+                "[repro] {} finished in {:.1}s (scale {}, seed {})",
+                args.command,
+                t0.elapsed().as_secs_f64(),
+                args.scale,
+                args.seed
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The multi-channel extension (Theorem 3): sweeping `q` from 1 to 10.
+//!
+//! The paper's model extension allows `1 ≤ q ≪ p` far channels and proves
+//! Priority O(q)-competitive. This experiment measures how makespan scales
+//! with `q` for FIFO and Priority on a contended workload — channels keep
+//! helping until the workload stops being channel-bound.
+
+use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
+use hbm_core::ArbitrationKind;
+use hbm_traces::TraceOptions;
+use serde::Serialize;
+
+/// One q-sweep point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ChannelCell {
+    /// Far-channel count.
+    pub q: usize,
+    /// FIFO makespan.
+    pub fifo_makespan: u64,
+    /// Priority makespan.
+    pub priority_makespan: u64,
+}
+
+/// Runs the sweep for `q ∈ 1..=10` on the SpGEMM workload.
+pub fn run_cells(scale: Scale, seed: u64) -> Vec<ChannelCell> {
+    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
+    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
+    let w = pool.workload(p);
+    let qs: Vec<usize> = (1..=10).collect();
+    hbm_par::parallel_map(&qs, |&q| ChannelCell {
+        q,
+        fifo_makespan: run_cell(&w, k, q, ArbitrationKind::Fifo, seed).makespan,
+        priority_makespan: run_cell(&w, k, q, ArbitrationKind::Priority, seed).makespan,
+    })
+}
+
+/// Runs and renders the channel sweep.
+pub fn run(scale: Scale, seed: u64) -> ResultTable {
+    let cells = run_cells(scale, seed);
+    let base_f = cells[0].fifo_makespan as f64;
+    let base_p = cells[0].priority_makespan as f64;
+    let mut t = ResultTable::new(
+        "Multi-channel sweep (Theorem 3) — SpGEMM makespan vs q",
+        &["q", "fifo_makespan", "priority_makespan", "fifo_speedup", "priority_speedup"],
+    );
+    for c in &cells {
+        t.push_row(vec![
+            c.q.to_string(),
+            c.fifo_makespan.to_string(),
+            c.priority_makespan.to_string(),
+            f3(base_f / c.fifo_makespan as f64),
+            f3(base_p / c.priority_makespan as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_help_then_saturate() {
+        let cells = run_cells(Scale::Small, 3);
+        assert_eq!(cells.len(), 10);
+        // q=2 helps both policies vs q=1 on a contended workload.
+        assert!(cells[1].fifo_makespan < cells[0].fifo_makespan);
+        assert!(cells[1].priority_makespan <= cells[0].priority_makespan);
+        // Makespan never increases by much as q grows (small anomalies from
+        // eviction timing are allowed).
+        for w in cells.windows(2) {
+            assert!(
+                w[1].fifo_makespan as f64 <= w[0].fifo_makespan as f64 * 1.1,
+                "q={} regressed", w[1].q
+            );
+        }
+        // Speedup is bounded by the work bound: it saturates.
+        let s10 = cells[0].fifo_makespan as f64 / cells[9].fifo_makespan as f64;
+        assert!(s10 < 10.0, "cannot exceed the work lower bound");
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2: FIFO vs static Priority on SpGEMM (2a) and GNU sort (2b).
+//!
+//! Paper's findings this experiment reproduces: "FIFO can dominate at low
+//! processor counts (Priority up to 1.37× worse) but priority always
+//! dominates at high processor counts (FIFO up to 3.3× worse)."
+
+use crate::common::{f3, hbm_sizes_for, ResultTable, Scale, TracePool};
+use crate::sweep::{ratio_sweep, summarize, RatioCell};
+use hbm_core::ArbitrationKind;
+use hbm_traces::TraceOptions;
+
+/// Which panel of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// 2a: SpGEMM.
+    SpGemm,
+    /// 2b: GNU sort.
+    Sort,
+}
+
+/// Runs one panel and returns the raw cells.
+pub fn run_cells(panel: Panel, scale: Scale, seed: u64) -> Vec<RatioCell> {
+    let spec = match panel {
+        Panel::SpGemm => scale.spgemm_spec(),
+        Panel::Sort => scale.sort_spec(),
+    };
+    let threads = scale.thread_counts();
+    let max_p = *threads.iter().max().expect("nonempty");
+    let hbm_sizes = hbm_sizes_for(spec, scale, seed);
+    let pool = TracePool::generate(spec, max_p, seed, TraceOptions::default());
+    ratio_sweep(
+        &pool,
+        &threads,
+        &hbm_sizes,
+        |_| ArbitrationKind::Priority,
+        1,
+        seed,
+    )
+}
+
+/// Runs one panel and renders the Figure 2 table (one row per (p, k)).
+pub fn run(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
+    render(panel, &run_cells(panel, scale, seed))
+}
+
+/// Renders the Figure 2 table from precomputed cells.
+pub fn render(panel: Panel, cells: &[crate::sweep::RatioCell]) -> ResultTable {
+    let name = match panel {
+        Panel::SpGemm => "Figure 2a — SpGEMM: FIFO/Priority makespan ratio (>1 favours Priority)",
+        Panel::Sort => "Figure 2b — GNU sort: FIFO/Priority makespan ratio (>1 favours Priority)",
+    };
+    let mut t = ResultTable::new(
+        name,
+        &[
+            "p",
+            "k",
+            "fifo_makespan",
+            "priority_makespan",
+            "ratio",
+            "fifo_hit_rate",
+            "priority_hit_rate",
+        ],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.p.to_string(),
+            c.k.to_string(),
+            c.fifo_makespan.to_string(),
+            c.challenger_makespan.to_string(),
+            f3(c.ratio()),
+            f3(c.fifo_hit_rate),
+            f3(c.challenger_hit_rate),
+        ]);
+    }
+    let s = summarize(cells);
+    t.push_row(vec![
+        "summary".into(),
+        "-".into(),
+        format!("max ratio {:.2} at p={}", s.max_ratio, s.max_ratio_p),
+        format!("min ratio {:.2} at p={}", s.min_ratio, s.min_ratio_p),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::summarize;
+
+    #[test]
+    fn small_scale_shows_priority_dominance_at_high_p() {
+        // The paper's headline: at high thread counts Priority wins.
+        let cells = run_cells(Panel::SpGemm, Scale::Small, 7);
+        let s = summarize(&cells);
+        assert!(
+            s.max_ratio > 1.1,
+            "Priority should win somewhere: max ratio {}",
+            s.max_ratio
+        );
+        // The max ratio occurs at a higher thread count than the min.
+        assert!(s.max_ratio_p >= s.min_ratio_p);
+    }
+
+    #[test]
+    fn table_renders_with_summary_row() {
+        let t = run(Panel::Sort, Scale::Small, 3);
+        assert!(t.title.contains("Figure 2b"));
+        assert!(t.rows.len() > 5);
+        assert!(t.rows.last().unwrap()[0] == "summary");
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 4: Dynamic Priority (T = 10k) vs FIFO on SpGEMM (4a) and sort
+//! (4b).
+//!
+//! "Randomized remapping has mitigated any advantages that FIFO held in
+//! Figure 2": the ratio should now be ≥ ~1 everywhere — Dynamic Priority
+//! never loses to FIFO, and still wins big at high thread counts.
+
+use crate::common::{f3, hbm_sizes_for, ResultTable, Scale, TracePool};
+use crate::fig2::Panel;
+use crate::sweep::{ratio_sweep, summarize, RatioCell};
+use hbm_core::ArbitrationKind;
+use hbm_traces::TraceOptions;
+
+/// The remap interval used by the paper's Figure 4: `T = 10·k` ticks.
+pub const REMAP_MULTIPLIER: u64 = 10;
+
+/// Runs one panel and returns the raw cells (FIFO vs Dynamic Priority).
+pub fn run_cells(panel: Panel, scale: Scale, seed: u64) -> Vec<RatioCell> {
+    let spec = match panel {
+        Panel::SpGemm => scale.spgemm_spec(),
+        Panel::Sort => scale.sort_spec(),
+    };
+    let threads = scale.thread_counts();
+    let max_p = *threads.iter().max().expect("nonempty");
+    let hbm_sizes = hbm_sizes_for(spec, scale, seed);
+    let pool = TracePool::generate(spec, max_p, seed, TraceOptions::default());
+    ratio_sweep(
+        &pool,
+        &threads,
+        &hbm_sizes,
+        |k| ArbitrationKind::DynamicPriority {
+            period: REMAP_MULTIPLIER * k as u64,
+        },
+        1,
+        seed,
+    )
+}
+
+/// Runs and renders one Figure 4 panel.
+pub fn run(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
+    render(panel, &run_cells(panel, scale, seed))
+}
+
+/// Renders the Figure 4 table from precomputed cells.
+pub fn render(panel: Panel, cells: &[RatioCell]) -> ResultTable {
+    let name = match panel {
+        Panel::SpGemm => {
+            "Figure 4a — SpGEMM: FIFO/DynamicPriority(T=10k) makespan ratio (>1 favours Dynamic)"
+        }
+        Panel::Sort => {
+            "Figure 4b — GNU sort: FIFO/DynamicPriority(T=10k) makespan ratio (>1 favours Dynamic)"
+        }
+    };
+    let mut t = ResultTable::new(
+        name,
+        &["p", "k", "fifo_makespan", "dynamic_makespan", "ratio"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.p.to_string(),
+            c.k.to_string(),
+            c.fifo_makespan.to_string(),
+            c.challenger_makespan.to_string(),
+            f3(c.ratio()),
+        ]);
+    }
+    let s = summarize(cells);
+    t.push_row(vec![
+        "summary".into(),
+        "-".into(),
+        format!("min ratio {:.3} at p={}", s.min_ratio, s.min_ratio_p),
+        format!("max ratio {:.2} at p={}", s.max_ratio, s.max_ratio_p),
+        "-".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2;
+
+    #[test]
+    fn dynamic_priority_never_loses_badly() {
+        // Figure 4's claim, at test scale: the min ratio across the sweep
+        // stays close to (or above) 1 — FIFO's Figure 2 advantage is gone.
+        let f4 = summarize(&run_cells(Panel::SpGemm, Scale::Small, 11));
+        let f2 = summarize(&fig2::run_cells(Panel::SpGemm, Scale::Small, 11));
+        // Dynamic's worst cell is no worse than static Priority's worst.
+        assert!(
+            f4.min_ratio >= f2.min_ratio * 0.95,
+            "dynamic min {} vs static min {}",
+            f4.min_ratio,
+            f2.min_ratio
+        );
+        assert!(f4.min_ratio > 0.8, "dynamic worst case {}", f4.min_ratio);
+        assert!(f4.max_ratio > 1.0, "dynamic still wins at high p");
+    }
+
+    #[test]
+    fn renders() {
+        let t = run(Panel::Sort, Scale::Small, 2);
+        assert!(t.title.contains("Figure 4b"));
+        assert!(!t.rows.is_empty());
+    }
+}

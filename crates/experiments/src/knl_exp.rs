@@ -1,0 +1,153 @@
+//! Figure 6 and Table 2: the §5 model-validation experiments on the
+//! synthetic KNL.
+
+use crate::common::{f3, ResultTable};
+use hbm_knl_model::{bandwidth_sweep, latency_sweep, validate, Machine};
+
+const KIB: u64 = 1 << 10;
+const MIB: u64 = 1 << 20;
+const GIB: u64 = 1 << 30;
+
+fn fmt_size(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{}GiB", bytes / GIB)
+    } else if bytes >= MIB {
+        format!("{}MiB", bytes / MIB)
+    } else {
+        format!("{}KiB", bytes / KIB)
+    }
+}
+
+/// Figure 6 sizes: powers of two, 1 KiB – 64 GiB.
+pub fn fig6_sizes() -> Vec<u64> {
+    (10..=36).map(|s| 1u64 << s).collect()
+}
+
+/// Table 2a sizes: 16 MiB – 64 GiB.
+pub fn table2a_sizes() -> Vec<u64> {
+    (24..=36).map(|s| 1u64 << s).collect()
+}
+
+/// Table 2b sizes: 512 MiB – 64 GiB.
+pub fn table2b_sizes() -> Vec<u64> {
+    (29..=36).map(|s| 1u64 << s).collect()
+}
+
+/// Figure 6: pointer-chasing latency across the full hierarchy.
+pub fn run_fig6(ops: u64, seed: u64) -> ResultTable {
+    let m = Machine::knl();
+    let rows = latency_sweep(&m, &fig6_sizes(), ops, seed);
+    let mut t = ResultTable::new(
+        "Figure 6 — pointer chasing on the synthetic KNL (ns per op)",
+        &["array", "flat_dram_ns", "flat_hbm_ns", "cache_mode_ns"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            fmt_size(r.bytes),
+            f3(r.dram_ns),
+            r.hbm_ns.map_or("-".into(), f3),
+            f3(r.cache_ns),
+        ]);
+    }
+    t
+}
+
+/// Table 2a: latency for array sizes beyond shared L2.
+pub fn run_table2a(ops: u64, seed: u64) -> ResultTable {
+    let m = Machine::knl();
+    let rows = latency_sweep(&m, &table2a_sizes(), ops, seed);
+    let mut t = ResultTable::new(
+        "Table 2a — pointer-chase latency (ns/update); paper: DRAM 168.9-364.7, HBM 187.6-343.1, cache 190.6-489.6",
+        &["array", "dram_ns", "hbm_ns", "cache_ns"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            fmt_size(r.bytes),
+            f3(r.dram_ns),
+            r.hbm_ns.map_or("-".into(), f3),
+            f3(r.cache_ns),
+        ]);
+    }
+    t
+}
+
+/// Table 2b: GLUPS bandwidth (272 threads).
+pub fn run_table2b(blocks_cap: u64, seed: u64) -> ResultTable {
+    let m = Machine::knl();
+    let rows = bandwidth_sweep(&m, &table2b_sizes(), blocks_cap, seed);
+    let mut t = ResultTable::new(
+        "Table 2b — GLUPS bandwidth (MiB/s); paper: DRAM ~67.5k, HBM ~300-324k, cache 308k->147k",
+        &["array", "dram_mibs", "hbm_mibs", "cache_mibs"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            fmt_size(r.bytes),
+            format!("{:.0}", r.dram_mibs),
+            r.hbm_mibs.map_or("-".into(), |b| format!("{b:.0}")),
+            format!("{:.0}", r.cache_mibs),
+        ]);
+    }
+    t
+}
+
+/// The §5 property checks (P1–P4) as a table.
+pub fn run_validation() -> ResultTable {
+    let report = validate(&Machine::knl());
+    let mut t = ResultTable::new(
+        "§5 model validation — Properties 1-4 on the synthetic KNL",
+        &["property", "statement", "measured", "holds"],
+    );
+    for c in &report.checks {
+        t.push_row(vec![
+            format!("P{}", c.id),
+            c.statement.clone(),
+            f3(c.measured),
+            c.holds.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_covers_the_hierarchy() {
+        let t = run_fig6(20_000, 1);
+        assert_eq!(t.rows.len(), 27);
+        assert_eq!(t.rows[0][0], "1KiB");
+        assert_eq!(t.rows.last().unwrap()[0], "64GiB");
+        // HBM column empty beyond 8 GiB.
+        assert_eq!(t.rows.last().unwrap()[2], "-");
+    }
+
+    #[test]
+    fn table2a_shape() {
+        let t = run_table2a(20_000, 1);
+        assert_eq!(t.rows[0][0], "16MiB");
+        // Latency rises monotonically down the table for DRAM.
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first + 100.0);
+    }
+
+    #[test]
+    fn table2b_shows_the_cliff() {
+        let t = run_table2b(50_000, 1);
+        let cache_8g: f64 = t.rows[4][3].parse().unwrap(); // 8 GiB row
+        let cache_64g: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(cache_64g < 0.6 * cache_8g);
+        let dram_64g: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(cache_64g > dram_64g, "cache mode still beats flat DRAM");
+    }
+
+    #[test]
+    fn validation_all_hold() {
+        let t = run_validation();
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            assert_eq!(r[3], "true", "{} failed", r[0]);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hbm-experiments — reproductions of every figure and table
+//!
+//! Each module regenerates one artifact of *Automatic HBM Management*
+//! (SPAA 2022); the `repro` binary exposes them as subcommands. All
+//! experiments are deterministic given a seed, run their cells in parallel
+//! via `hbm-par`, and render [`common::ResultTable`]s (markdown or CSV).
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig2`] | Figure 2a/2b — FIFO vs Priority ratio sweep |
+//! | [`fig3`] | Figure 3 — the Dataset 3 FIFO-killer |
+//! | [`fig4`] | Figure 4a/4b — FIFO vs Dynamic Priority |
+//! | [`tradeoff`] | Figure 5a/5b and Table 1a/1b — T sweep |
+//! | [`knl_exp`] | Figure 6, Table 2a/2b, §5 property checks |
+//! | [`channels`] | Theorem 3 — q ∈ 1..10 sweep |
+//! | [`assoc_exp`] | Lemma 1 — direct-mapped overhead |
+//! | [`schemes`] | §4 — permutation schemes × work skew |
+//! | [`ablations`] | replacement / granularity / FR-FCFS ablations |
+//! | [`augment`] | Theorem 2 — d/s resource augmentation |
+//! | [`plot`] | ASCII charts for the figure commands (`--plot`) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod assoc_exp;
+pub mod augment;
+pub mod channels;
+pub mod common;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod knl_exp;
+pub mod mrc;
+pub mod plot;
+pub mod schemes;
+pub mod sweep;
+pub mod tradeoff;
+
+pub use common::{ResultTable, Scale};

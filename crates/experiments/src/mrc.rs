@@ -1,0 +1,78 @@
+//! Miss-ratio curves of the paper's workloads — the measurement behind the
+//! working-set-multiplier methodology (DESIGN.md §9).
+//!
+//! The sweeps express HBM sizes as multiples of a per-core working set;
+//! this experiment shows those working sets directly: for each workload,
+//! the LRU miss ratio of one core's trace as the cache grows, its knee, and
+//! the all-or-nothing step of the Dataset 3 adversary.
+
+use crate::common::{f3, ResultTable, Scale};
+use hbm_traces::analysis::mrc_for;
+use hbm_traces::WorkloadSpec;
+
+/// Runs the MRC characterization and renders it.
+pub fn run(scale: Scale, seed: u64) -> ResultTable {
+    let (pages, reps) = scale.cyclic_params();
+    let specs: Vec<(&str, WorkloadSpec)> = vec![
+        ("sort", scale.sort_spec()),
+        ("spgemm", scale.spgemm_spec()),
+        ("cyclic", WorkloadSpec::Cyclic { pages, reps }),
+    ];
+    let rows = hbm_par::parallel_map(&specs, |(name, spec)| {
+        let mrc = mrc_for(*spec, seed);
+        let ws = mrc.working_set();
+        (
+            name.to_string(),
+            mrc.total,
+            mrc.unique_pages(),
+            ws,
+            mrc.miss_ratio_at(ws / 2),
+            mrc.miss_ratio_at(ws),
+            mrc.size_for_miss_ratio(0.05),
+        )
+    });
+    let mut t = ResultTable::new(
+        "Workload characterization — LRU miss-ratio curves (one core's trace)",
+        &[
+            "workload",
+            "refs",
+            "unique_pages",
+            "working_set",
+            "miss_ratio_at_ws/2",
+            "miss_ratio_at_ws",
+            "k_for_5pct_miss",
+        ],
+    );
+    for (name, refs, uniq, ws, half, full, knee) in rows {
+        t.push_row(vec![
+            name,
+            refs.to_string(),
+            uniq.to_string(),
+            ws.to_string(),
+            f3(half),
+            f3(full),
+            knee.map_or("-".into(), |k| k.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_matches_expectations() {
+        let t = run(Scale::Small, 7);
+        assert_eq!(t.rows.len(), 3);
+        let cyclic = t.rows.iter().find(|r| r[0] == "cyclic").unwrap();
+        let (pages, _) = Scale::Small.cyclic_params();
+        // The adversary's working set is exactly its page count, and at
+        // half that size the trace thrashes completely.
+        assert_eq!(cyclic[3], pages.to_string());
+        let half: f64 = cyclic[4].parse().unwrap();
+        assert!(half > 0.9, "cyclic at ws/2 must thrash: {half}");
+        let full: f64 = cyclic[5].parse().unwrap();
+        assert!(full < 0.2, "cyclic at ws has only cold misses: {full}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Terminal plotting: render the paper's figures as ASCII charts.
+//!
+//! The paper's artifacts are *plots*; tables alone hide the shapes (the
+//! crossover in Figure 2, the linear blow-up in Figure 3, the L-shaped
+//! trade-off frontier in Figure 5). [`AsciiPlot`] renders series of (x, y)
+//! points on a labelled grid with optional log axes, so `repro <cmd>
+//! --plot` shows the figure itself.
+
+/// One named series of points, drawn with its marker character.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Marker drawn at each point.
+    pub marker: char,
+    /// The (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new series.
+    pub fn new(name: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            marker,
+            points,
+        }
+    }
+}
+
+/// An ASCII scatter/line chart.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// A plot with the given title and axis labels (default 72×20 cells,
+    /// linear axes).
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        AsciiPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the grid size in character cells.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Uses a log₁₀ x-axis (points with x ≤ 0 are dropped).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a log₁₀ y-axis (points with y ≤ 0 are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.log10()
+        } else {
+            x
+        }
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.log10()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64, char)> = self
+            .series
+            .iter()
+            .flat_map(|s| {
+                s.points
+                    .iter()
+                    .filter(|(x, y)| (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0))
+                    .map(move |&(x, y)| (self.tx(x), self.ty(y), s.marker))
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        if pts.is_empty() {
+            out.push_str("(no points)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+        let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+        for &(x, y, _) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(x, y, m) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            // Later series overwrite; collisions show the last marker.
+            grid[row][cx] = m;
+        }
+        let untx = |v: f64| if self.log_x { 10f64.powf(v) } else { v };
+        let unty = |v: f64| if self.log_y { 10f64.powf(v) } else { v };
+        out.push_str(&format!(
+            "{} (top = {:.3}, bottom = {:.3})\n",
+            self.y_label,
+            unty(y1),
+            unty(y0)
+        ));
+        for row in &grid {
+            out.push_str("  |");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "   {}: {:.3} .. {:.3}{}\n",
+            self.x_label,
+            untx(x0),
+            untx(x1),
+            if self.log_x { " (log)" } else { "" }
+        ));
+        for s in &self.series {
+            out.push_str(&format!("   {} {}\n", s.marker, s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_corners() {
+        let p = AsciiPlot::new("t", "x", "y")
+            .size(11, 5)
+            .series(Series::new("s", '*', vec![(0.0, 0.0), (10.0, 4.0)]));
+        let r = p.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // Grid rows are lines[2..7]; top-right has the max point.
+        assert!(lines[2].ends_with('*'), "top row: {:?}", lines[2]);
+        assert!(lines[6].starts_with("  |*"), "bottom row: {:?}", lines[6]);
+        assert!(r.contains("* s"));
+    }
+
+    #[test]
+    fn empty_plot_degrades_gracefully() {
+        let r = AsciiPlot::new("t", "x", "y").render();
+        assert!(r.contains("no points"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let p = AsciiPlot::new("t", "x", "y")
+            .series(Series::new("s", 'o', vec![(1.0, 5.0), (2.0, 5.0)]));
+        let r = p.render();
+        assert!(r.contains('o'));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let p = AsciiPlot::new("t", "x", "y")
+            .log_x()
+            .log_y()
+            .series(Series::new("s", 'x', vec![(0.0, 1.0), (10.0, 100.0), (100.0, 10.0)]));
+        let r = p.render();
+        assert!(r.contains("(log)"));
+        let grid_markers: usize = r
+            .lines()
+            .filter(|l| l.starts_with("  |"))
+            .map(|l| l.matches('x').count())
+            .sum();
+        assert_eq!(grid_markers, 2, "the x<=0 point must be dropped");
+    }
+
+    #[test]
+    fn multiple_series_share_the_grid() {
+        let p = AsciiPlot::new("t", "x", "y")
+            .size(20, 8)
+            .series(Series::new("a", 'a', vec![(0.0, 0.0)]))
+            .series(Series::new("b", 'b', vec![(1.0, 1.0)]));
+        let r = p.render();
+        assert!(r.contains('a'));
+        assert!(r.contains('b'));
+    }
+}

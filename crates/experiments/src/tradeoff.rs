@@ -1,0 +1,238 @@
+//! Figure 5 and Table 1: the makespan/inconsistency trade-off across
+//! remap intervals.
+//!
+//! Figure 5 plots makespan vs inconsistency for FIFO, Priority, and the
+//! Dynamic/Cycle Priority families as the permutation interval `T` sweeps;
+//! Table 1 reports inconsistency and average response time for
+//! `T ∈ {k, 5k, 10k, 100k}`. One sweep produces both: "Most of the
+//! inconsistency can be removed with minimal loss in performance."
+
+use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
+use crate::fig2::Panel;
+use hbm_core::ArbitrationKind;
+use hbm_traces::{TraceOptions, WorkloadSpec};
+use serde::Serialize;
+
+/// Outcome of one policy on the trade-off workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyPoint {
+    /// Policy label ("FIFO", "Priority", "Dynamic Priority T = 10k", …).
+    pub label: String,
+    /// Remap multiplier if the policy has one (T = mult·k).
+    pub multiplier: Option<u64>,
+    /// Makespan.
+    pub makespan: u64,
+    /// Inconsistency (stddev of response times).
+    pub inconsistency: f64,
+    /// Average response time.
+    pub mean_response: f64,
+    /// Worst single response time (starvation).
+    pub max_response: u64,
+}
+
+/// The (p, k) configuration for the trade-off experiment.
+///
+/// Figure 5 / Table 1 live in the *contended* regime: HBM holds about two
+/// per-core working sets while many more threads compete, so static
+/// Priority starves the tail and the trade-off is visible. `k` is derived
+/// from the measured working set of one generated trace.
+pub fn config(spec: WorkloadSpec, scale: Scale, seed: u64) -> (usize, usize) {
+    contended_config(spec, scale, seed)
+}
+
+/// Runs the trade-off sweep for one panel; returns points in a fixed
+/// order: FIFO, Dynamic×multipliers, Cycle×multipliers, Priority.
+pub fn run_points(panel: Panel, scale: Scale, seed: u64) -> Vec<PolicyPoint> {
+    let spec = match panel {
+        Panel::SpGemm => scale.spgemm_spec(),
+        Panel::Sort => scale.sort_spec(),
+    };
+    let (p, k) = config(spec, scale, seed);
+    let pool = TracePool::generate(spec, p, seed, TraceOptions::default());
+    let w = pool.workload(p);
+
+    let mut jobs: Vec<(String, Option<u64>, ArbitrationKind)> =
+        vec![("FIFO".into(), None, ArbitrationKind::Fifo)];
+    for &m in &scale.remap_multipliers() {
+        jobs.push((
+            format!("Dynamic Priority T = {m}k"),
+            Some(m),
+            ArbitrationKind::DynamicPriority {
+                period: m * k as u64,
+            },
+        ));
+    }
+    for &m in &scale.remap_multipliers() {
+        jobs.push((
+            format!("Cycle Priority T = {m}k"),
+            Some(m),
+            ArbitrationKind::CyclePriority {
+                period: m * k as u64,
+            },
+        ));
+    }
+    jobs.push(("Priority".into(), None, ArbitrationKind::Priority));
+
+    hbm_par::parallel_map(&jobs, |(label, mult, arb)| {
+        let r = run_cell(&w, k, 1, *arb, seed);
+        PolicyPoint {
+            label: label.clone(),
+            multiplier: *mult,
+            makespan: r.makespan,
+            inconsistency: r.response.inconsistency,
+            mean_response: r.response.mean,
+            max_response: r.worst_response(),
+        }
+    })
+}
+
+/// Renders the Figure 5 chart: inconsistency (x, log) vs makespan (y).
+pub fn plot_points(points: &[PolicyPoint], title: &str) -> crate::plot::AsciiPlot {
+    use crate::plot::{AsciiPlot, Series};
+    let pick = |prefix: &str| -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .filter(|p| p.label.starts_with(prefix))
+            .map(|p| (p.inconsistency.max(1e-3), p.makespan as f64))
+            .collect()
+    };
+    AsciiPlot::new(title, "inconsistency (stddev of response times)", "makespan")
+        .log_x()
+        .series(Series::new("FIFO", 'F', pick("FIFO")))
+        .series(Series::new("Dynamic Priority (T sweep)", 'd', pick("Dynamic")))
+        .series(Series::new("Cycle Priority (T sweep)", 'c', pick("Cycle")))
+        .series(Series::new("Priority", 'P', pick("Priority")))
+}
+
+/// Figure 5 rendering: makespan vs inconsistency per policy point.
+pub fn run_fig5(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
+    let points = run_points(panel, scale, seed);
+    let spec = match panel {
+        Panel::SpGemm => scale.spgemm_spec(),
+        Panel::Sort => scale.sort_spec(),
+    };
+    let (p, k) = config(spec, scale, seed);
+    let name = match panel {
+        Panel::SpGemm => format!(
+            "Figure 5a — SpGEMM (p={p}, k={k}): inconsistency vs makespan across schemes and T"
+        ),
+        Panel::Sort => format!(
+            "Figure 5b — GNU sort (p={p}, k={k}): inconsistency vs makespan across schemes and T"
+        ),
+    };
+    let mut t = ResultTable::new(name, &["policy", "inconsistency", "makespan", "max_response"]);
+    for pt in &points {
+        t.push_row(vec![
+            pt.label.clone(),
+            f3(pt.inconsistency),
+            pt.makespan.to_string(),
+            pt.max_response.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 1 rendering: inconsistency and average response time, for the
+/// paper's multipliers {1, 5, 10, 100} plus FIFO and Priority.
+pub fn run_table1(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
+    let points = run_points(panel, scale, seed);
+    let paper_mults = [1u64, 5, 10, 100];
+    let name = match panel {
+        Panel::SpGemm => "Table 1a — SpGEMM: inconsistency and average response time",
+        Panel::Sort => "Table 1b — GNU sort: inconsistency and average response time",
+    };
+    let mut t = ResultTable::new(name, &["queuing_policy", "inconsistency", "response_time"]);
+    for pt in &points {
+        let keep = match pt.multiplier {
+            None => true,
+            Some(m) => paper_mults.contains(&m),
+        };
+        if keep {
+            t.push_row(vec![
+                pt.label.clone(),
+                f3(pt.inconsistency),
+                f3(pt.mean_response),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_label<'a>(points: &'a [PolicyPoint], label: &str) -> &'a PolicyPoint {
+        points.iter().find(|p| p.label == label).expect("label")
+    }
+
+    #[test]
+    fn paper_orderings_hold_at_small_scale() {
+        let points = run_points(Panel::SpGemm, Scale::Small, 5);
+        let fifo = by_label(&points, "FIFO");
+        let prio = by_label(&points, "Priority");
+
+        // Table 1's claims: FIFO has lowest inconsistency and highest mean
+        // response; Priority the opposite.
+        for pt in &points {
+            if pt.label != "FIFO" {
+                assert!(
+                    pt.inconsistency >= fifo.inconsistency * 0.9,
+                    "{}: inconsistency {} below FIFO's {}",
+                    pt.label,
+                    pt.inconsistency,
+                    fifo.inconsistency
+                );
+                assert!(
+                    pt.mean_response <= fifo.mean_response * 1.1,
+                    "{}: response {} above FIFO's {}",
+                    pt.label,
+                    pt.mean_response,
+                    fifo.mean_response
+                );
+            }
+        }
+        assert!(
+            prio.inconsistency >= points.iter().map(|p| p.inconsistency).fold(0.0, f64::max) * 0.99,
+            "Priority has (near-)max inconsistency"
+        );
+        // Figure 5's claim: FIFO has the worst makespan.
+        for pt in &points {
+            assert!(
+                pt.makespan <= fifo.makespan + fifo.makespan / 10,
+                "{} makespan {} should not exceed FIFO's {} by much",
+                pt.label,
+                pt.makespan,
+                fifo.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn more_frequent_remap_means_less_inconsistency() {
+        let points = run_points(Panel::SpGemm, Scale::Small, 5);
+        let dyn_points: Vec<&PolicyPoint> = points
+            .iter()
+            .filter(|p| p.label.starts_with("Dynamic"))
+            .collect();
+        assert!(dyn_points.len() >= 2);
+        // T=1k vs the largest multiplier: smaller T, smaller inconsistency.
+        let small_t = dyn_points.first().unwrap();
+        let large_t = dyn_points.last().unwrap();
+        assert!(
+            small_t.inconsistency <= large_t.inconsistency,
+            "T=k {} should have lower inconsistency than T=100k {}",
+            small_t.inconsistency,
+            large_t.inconsistency
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let f5 = run_fig5(Panel::Sort, Scale::Small, 2);
+        assert!(f5.title.contains("Figure 5b"));
+        let t1 = run_table1(Panel::Sort, Scale::Small, 2);
+        assert!(t1.rows.iter().any(|r| r[0] == "FIFO"));
+        assert!(t1.rows.iter().any(|r| r[0] == "Priority"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The GLUPS bandwidth microbenchmark of §5.1 (Giga-Large-Updates per
+//! Second), run against the synthetic machine.
+//!
+//! "We record the average MiB/s that can be read, xor'd, and written in
+//! randomly chosen blocks of length 1024 bytes … we perform this operation
+//! until the entire array's worth of data has been updated." GLUPS (vs
+//! GUPS) uses 1024-byte blocks — 16 cache lines — specifically to saturate
+//! every HBM channel.
+//!
+//! The model: all 272 threads stream 1 KiB read-xor-write updates. The
+//! achieved bandwidth is the bottleneck mix of the levels the traffic
+//! crosses. In cache mode a fraction `h = usable_hbm / array` of randomly
+//! chosen blocks hit warmed HBM; the rest cross the DRAM↔HBM far channel
+//! (with write-back amplification), giving the harmonic-mean bandwidth
+//! `1 / (h/bw_hbm + (1−h)·wb/bw_far)` — which reproduces Table 2b's cliff
+//! beyond 16 GiB while staying above flat DRAM (Property 4).
+
+use crate::machine::{Machine, MemMode};
+use hbm_core::rng::Xoshiro256;
+
+/// Block size of one "large update" (bytes): 128 doubles = 16 cache lines.
+pub const BLOCK_BYTES: u64 = 1024;
+
+/// Closed-form achieved bandwidth in MiB/s for an array of `bytes`.
+/// `None` when the allocation is impossible (flat HBM beyond its limit).
+pub fn expected_bandwidth_mibs(machine: &Machine, mode: MemMode, bytes: u64) -> Option<f64> {
+    match mode {
+        MemMode::FlatDram => Some(machine.dram_bw_mibs),
+        MemMode::FlatHbm => machine.hbm_can_allocate(bytes).then_some(machine.hbm_bw_mibs),
+        MemMode::Cache => {
+            let h = machine.cache_hit_fraction(bytes);
+            let denom = h / machine.hbm_bw_mibs
+                + (1.0 - h) * machine.writeback_factor / machine.far_bw_mibs;
+            Some(1.0 / denom)
+        }
+    }
+}
+
+/// Simulates the GLUPS run block by block: every block of the array is
+/// updated once in random order; cache-mode blocks hit or miss HBM by a
+/// seeded draw against the warmed-fraction probability. Returns achieved
+/// MiB/s. `blocks_cap` bounds the sampled blocks (the full 64 GiB sweep
+/// would otherwise loop 64 M times for identical output).
+pub fn simulate_bandwidth_mibs(
+    machine: &Machine,
+    mode: MemMode,
+    bytes: u64,
+    blocks_cap: u64,
+    seed: u64,
+) -> Option<f64> {
+    if mode == MemMode::FlatHbm && !machine.hbm_can_allocate(bytes) {
+        return None;
+    }
+    let total_blocks = (bytes / BLOCK_BYTES).max(1);
+    let sampled = total_blocks.min(blocks_cap.max(1));
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let h = machine.cache_hit_fraction(bytes);
+
+    // Nanoseconds to move one block through each path at the path's
+    // bandwidth (MiB/s -> bytes/ns = bw * 2^20 / 1e9).
+    let ns_per_block = |bw_mibs: f64, amplification: f64| -> f64 {
+        let bytes_per_ns = bw_mibs * (1u64 << 20) as f64 / 1e9;
+        BLOCK_BYTES as f64 * amplification / bytes_per_ns
+    };
+
+    let mut total_ns = 0.0f64;
+    for _ in 0..sampled {
+        let t = match mode {
+            MemMode::FlatDram => ns_per_block(machine.dram_bw_mibs, 1.0),
+            MemMode::FlatHbm => ns_per_block(machine.hbm_bw_mibs, 1.0),
+            MemMode::Cache => {
+                if rng.gen_f64() < h {
+                    ns_per_block(machine.hbm_bw_mibs, 1.0)
+                } else {
+                    ns_per_block(machine.far_bw_mibs, machine.writeback_factor)
+                }
+            }
+        };
+        total_ns += t;
+    }
+    // Scale sampled time to the whole array, then MiB/s.
+    let full_ns = total_ns * (total_blocks as f64 / sampled as f64);
+    let mib = bytes.max(BLOCK_BYTES) as f64 / (1u64 << 20) as f64;
+    Some(mib / (full_ns / 1e9))
+}
+
+/// One row of the Table 2b sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthRow {
+    /// Array size in bytes.
+    pub bytes: u64,
+    /// Flat-DRAM MiB/s.
+    pub dram_mibs: f64,
+    /// Flat-HBM MiB/s (`None` beyond the allocation limit).
+    pub hbm_mibs: Option<f64>,
+    /// Cache-mode MiB/s.
+    pub cache_mibs: f64,
+}
+
+/// Sweeps array sizes and returns the bandwidth table.
+pub fn bandwidth_sweep(
+    machine: &Machine,
+    sizes: &[u64],
+    blocks_cap: u64,
+    seed: u64,
+) -> Vec<BandwidthRow> {
+    sizes
+        .iter()
+        .map(|&bytes| BandwidthRow {
+            bytes,
+            dram_mibs: simulate_bandwidth_mibs(machine, MemMode::FlatDram, bytes, blocks_cap, seed)
+                .expect("DRAM always allocatable"),
+            hbm_mibs: simulate_bandwidth_mibs(machine, MemMode::FlatHbm, bytes, blocks_cap, seed),
+            cache_mibs: simulate_bandwidth_mibs(machine, MemMode::Cache, bytes, blocks_cap, seed)
+                .expect("cache mode always allocatable"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn property2_hbm_bandwidth_advantage() {
+        let m = Machine::knl();
+        let d = expected_bandwidth_mibs(&m, MemMode::FlatDram, GIB).unwrap();
+        let h = expected_bandwidth_mibs(&m, MemMode::FlatHbm, GIB).unwrap();
+        let ratio = h / d;
+        assert!(
+            (4.3..5.0).contains(&ratio),
+            "paper measures 4.3-4.8x; model gives {ratio}"
+        );
+    }
+
+    #[test]
+    fn cache_mode_matches_paper_table2b() {
+        let m = Machine::knl();
+        // (bytes, paper cache-mode MiB/s), 10% tolerance — except 32 GiB
+        // where the paper's own number wobbles; allow 20%.
+        for (bytes, paper, tol) in [
+            (4 * GIB, 319_459.0, 0.10),
+            (16 * GIB, 272_787.0, 0.10),
+            (32 * GIB, 148_989.0, 0.20),
+            (64 * GIB, 146_600.0, 0.10),
+        ] {
+            let b = expected_bandwidth_mibs(&m, MemMode::Cache, bytes).unwrap();
+            assert!(
+                (b - paper).abs() / paper < tol,
+                "{} GiB: model {b} vs paper {paper}",
+                bytes / GIB
+            );
+        }
+    }
+
+    #[test]
+    fn property4_cliff_but_still_above_dram() {
+        let m = Machine::knl();
+        let within = expected_bandwidth_mibs(&m, MemMode::Cache, 8 * GIB).unwrap();
+        let beyond = expected_bandwidth_mibs(&m, MemMode::Cache, 32 * GIB).unwrap();
+        let dram = expected_bandwidth_mibs(&m, MemMode::FlatDram, 32 * GIB).unwrap();
+        assert!(beyond < 0.65 * within, "cliff: {beyond} vs {within}");
+        assert!(beyond > 1.5 * dram, "but still well above DRAM {dram}");
+    }
+
+    #[test]
+    fn simulation_converges_to_expectation() {
+        let m = Machine::knl();
+        for (mode, bytes) in [
+            (MemMode::FlatDram, GIB),
+            (MemMode::FlatHbm, 2 * GIB),
+            (MemMode::Cache, 32 * GIB),
+        ] {
+            let e = expected_bandwidth_mibs(&m, mode, bytes).unwrap();
+            let s = simulate_bandwidth_mibs(&m, mode, bytes, 100_000, 5).unwrap();
+            assert!((s - e).abs() / e < 0.05, "{mode}: sim {s} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn hbm_allocation_limit() {
+        let m = Machine::knl();
+        assert!(simulate_bandwidth_mibs(&m, MemMode::FlatHbm, 16 * GIB, 1000, 0).is_none());
+        assert!(expected_bandwidth_mibs(&m, MemMode::FlatHbm, 16 * GIB).is_none());
+    }
+
+    #[test]
+    fn sweep_rows_complete() {
+        let m = Machine::knl();
+        let rows = bandwidth_sweep(&m, &[512 * MIB, 32 * GIB], 10_000, 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].hbm_mibs.is_some());
+        assert!(rows[1].hbm_mibs.is_none());
+        assert!(rows[1].cache_mibs < rows[0].cache_mibs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = Machine::knl();
+        assert_eq!(
+            simulate_bandwidth_mibs(&m, MemMode::Cache, 32 * GIB, 50_000, 9),
+            simulate_bandwidth_mibs(&m, MemMode::Cache, 32 * GIB, 50_000, 9)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The four model-validation properties of §5, as measurable checks.
+//!
+//! The paper validates the HBM+DRAM model against KNL by establishing:
+//!
+//! * **P1** — HBM and DRAM have similar direct-access latency;
+//! * **P2** — HBM has substantially higher bandwidth than DRAM;
+//! * **P3** — a cache-mode miss to DRAM costs about double an HBM hit;
+//! * **P4** — past HBM capacity, the DRAM channel bottlenecks bandwidth,
+//!   but cache mode still beats flat DRAM.
+//!
+//! [`validate`] measures all four on a [`Machine`] and reports pass/fail
+//! with the underlying numbers, so the §5 experiment and its tests share
+//! one implementation.
+
+use crate::glups::expected_bandwidth_mibs;
+use crate::machine::{Machine, MemMode};
+use crate::pointer_chase::expected_latency_ns;
+use serde::{Deserialize, Serialize};
+
+/// Result of one property check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertyCheck {
+    /// Property id (1–4).
+    pub id: u8,
+    /// One-line statement.
+    pub statement: String,
+    /// Measured quantity driving the verdict.
+    pub measured: f64,
+    /// Whether the property holds on this machine.
+    pub holds: bool,
+}
+
+/// Validation report over all four properties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Individual checks.
+    pub checks: Vec<PropertyCheck>,
+}
+
+impl ValidationReport {
+    /// True if every property holds.
+    pub fn all_hold(&self) -> bool {
+        self.checks.iter().all(|c| c.holds)
+    }
+}
+
+/// Measures Properties 1–4 on `machine`.
+pub fn validate(machine: &Machine) -> ValidationReport {
+    const GIB: u64 = 1 << 30;
+    let probe = 4 * GIB;
+
+    // P1: latency ratio HBM/DRAM flat, mid-sized array.
+    let dram_lat = expected_latency_ns(machine, MemMode::FlatDram, probe).expect("dram");
+    let hbm_lat = expected_latency_ns(machine, MemMode::FlatHbm, probe).expect("hbm fits 4 GiB");
+    let p1_ratio = hbm_lat / dram_lat;
+    let p1 = PropertyCheck {
+        id: 1,
+        statement: "HBM and DRAM have similar direct-access latency (ratio < 1.25)".into(),
+        measured: p1_ratio,
+        holds: p1_ratio < 1.25 && p1_ratio > 0.8,
+    };
+
+    // P2: bandwidth ratio HBM/DRAM.
+    let dram_bw = expected_bandwidth_mibs(machine, MemMode::FlatDram, probe).expect("dram");
+    let hbm_bw = expected_bandwidth_mibs(machine, MemMode::FlatHbm, probe).expect("hbm");
+    let p2_ratio = hbm_bw / dram_bw;
+    let p2 = PropertyCheck {
+        id: 2,
+        statement: "HBM bandwidth exceeds DRAM's substantially (ratio > 3)".into(),
+        measured: p2_ratio,
+        holds: p2_ratio > 3.0,
+    };
+
+    // P3: deep cache-mode miss latency ≈ 2× the HBM portion. Following the
+    // paper we subtract the shared-L2/mesh baseline before comparing.
+    let deep = 64 * GIB;
+    let baseline = machine
+        .levels
+        .last()
+        .map(|l| l.latency_ns)
+        .unwrap_or(0.0);
+    let hbm_part = expected_latency_ns(machine, MemMode::FlatHbm, machine.hbm_alloc_limit)
+        .expect("hbm at its limit")
+        - baseline;
+    let miss_part = expected_latency_ns(machine, MemMode::Cache, deep).expect("cache") - baseline;
+    let p3_ratio = miss_part / hbm_part;
+    let p3 = PropertyCheck {
+        id: 3,
+        statement: "cache-mode miss costs ~2x an HBM access beyond the mesh (1.5-3x)".into(),
+        measured: p3_ratio,
+        holds: (1.5..3.0).contains(&p3_ratio),
+    };
+
+    // P4: bandwidth cliff past HBM capacity, yet still above flat DRAM.
+    let within = expected_bandwidth_mibs(machine, MemMode::Cache, 8 * GIB).expect("cache");
+    let beyond = expected_bandwidth_mibs(machine, MemMode::Cache, 32 * GIB).expect("cache");
+    let p4_cliff = beyond / within;
+    let p4 = PropertyCheck {
+        id: 4,
+        statement: "past HBM capacity the far channel bottlenecks (cliff) but beats flat DRAM"
+            .into(),
+        measured: p4_cliff,
+        holds: p4_cliff < 0.7 && beyond > dram_bw,
+    };
+
+    ValidationReport {
+        checks: vec![p1, p2, p3, p4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_preset_validates_all_properties() {
+        let r = validate(&Machine::knl());
+        for c in &r.checks {
+            assert!(c.holds, "P{} failed: {} (measured {})", c.id, c.statement, c.measured);
+        }
+        assert!(r.all_hold());
+    }
+
+    #[test]
+    fn measured_values_match_paper_headlines() {
+        let r = validate(&Machine::knl());
+        // P2: paper reports 4.3-4.8x.
+        assert!((4.0..5.2).contains(&r.checks[1].measured));
+        // P3: paper: "double latency penalty".
+        assert!((1.5..2.6).contains(&r.checks[2].measured));
+    }
+
+    #[test]
+    fn a_degenerate_machine_fails_validation() {
+        // Make HBM no faster than DRAM: P2 must fail.
+        let mut m = Machine::knl();
+        m.hbm_bw_mibs = m.dram_bw_mibs;
+        let r = validate(&m);
+        assert!(!r.checks[1].holds);
+        assert!(!r.all_hold());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the synthetic KNL model.
+
+use hbm_knl_model::glups::{expected_bandwidth_mibs, simulate_bandwidth_mibs};
+use hbm_knl_model::pointer_chase::{expected_latency_ns, simulate_latency_ns};
+use hbm_knl_model::{Machine, MemMode};
+use proptest::prelude::*;
+
+fn modes() -> impl Strategy<Value = MemMode> {
+    prop_oneof![
+        Just(MemMode::FlatDram),
+        Just(MemMode::FlatHbm),
+        Just(MemMode::Cache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency is monotone non-decreasing in the array size for every mode.
+    #[test]
+    fn latency_monotone(mode in modes(), shift in 10u32..35) {
+        let m = Machine::knl();
+        let a = expected_latency_ns(&m, mode, 1 << shift);
+        let b = expected_latency_ns(&m, mode, 1 << (shift + 1));
+        match (a, b) {
+            (Some(a), Some(b)) => prop_assert!(b >= a - 1e-9, "{a} -> {b}"),
+            (None, Some(_)) => prop_assert!(false, "allocatable grew with size"),
+            _ => {}
+        }
+    }
+
+    /// Flat HBM is always within its fixed offset of flat DRAM (Property 1)
+    /// wherever it can allocate. The raw memory component differs by
+    /// exactly `hbm_extra_ns`; the end-to-end expectation differs by at
+    /// most that (on-chip caches serve part of small arrays identically).
+    #[test]
+    fn p1_holds_at_every_size(shift in 20u32..33) {
+        let m = Machine::knl();
+        let bytes = 1u64 << shift;
+        let mem_h = m.flat_memory_latency_ns(MemMode::FlatHbm, bytes);
+        let mem_d = m.flat_memory_latency_ns(MemMode::FlatDram, bytes);
+        prop_assert!((mem_h - mem_d - m.hbm_extra_ns).abs() < 1e-9);
+        if let Some(h) = expected_latency_ns(&m, MemMode::FlatHbm, bytes) {
+            let d = expected_latency_ns(&m, MemMode::FlatDram, bytes).unwrap();
+            prop_assert!(h >= d - 1e-9, "HBM never faster than DRAM flat");
+            prop_assert!(h - d <= m.hbm_extra_ns + 1e-9);
+        }
+    }
+
+    /// Monte Carlo simulation converges to the closed form within 10% for
+    /// any mode/size/seed.
+    #[test]
+    fn simulation_tracks_expectation(
+        mode in modes(),
+        shift in 16u32..36,
+        seed in 0u64..100,
+    ) {
+        let m = Machine::knl();
+        let bytes = 1u64 << shift;
+        let (sim, exp) = (
+            simulate_latency_ns(&m, mode, bytes, 50_000, seed),
+            expected_latency_ns(&m, mode, bytes),
+        );
+        prop_assert_eq!(sim.is_some(), exp.is_some());
+        if let (Some(s), Some(e)) = (sim, exp) {
+            prop_assert!((s - e).abs() / e.max(1e-9) < 0.10, "sim {s} vs exp {e}");
+        }
+    }
+
+    /// Cache-mode bandwidth is always between the far-channel floor and the
+    /// HBM ceiling, and decreases with the array size.
+    #[test]
+    fn cache_bandwidth_bounded_and_monotone(shift in 29u32..36) {
+        let m = Machine::knl();
+        let a = expected_bandwidth_mibs(&m, MemMode::Cache, 1 << shift).unwrap();
+        let b = expected_bandwidth_mibs(&m, MemMode::Cache, 1 << (shift + 1)).unwrap();
+        prop_assert!(b <= a + 1e-9);
+        let floor = m.far_bw_mibs / m.writeback_factor;
+        prop_assert!(a <= m.hbm_bw_mibs + 1e-9);
+        prop_assert!(b >= floor - 1e-9);
+    }
+
+    /// Bandwidth simulation converges to the closed form.
+    #[test]
+    fn bandwidth_sim_tracks_expectation(
+        mode in modes(),
+        shift in 29u32..36,
+        seed in 0u64..50,
+    ) {
+        let m = Machine::knl();
+        let bytes = 1u64 << shift;
+        let sim = simulate_bandwidth_mibs(&m, mode, bytes, 50_000, seed);
+        let exp = expected_bandwidth_mibs(&m, mode, bytes);
+        prop_assert_eq!(sim.is_some(), exp.is_some());
+        if let (Some(s), Some(e)) = (sim, exp) {
+            prop_assert!((s - e).abs() / e < 0.10, "sim {s} vs exp {e}");
+        }
+    }
+}

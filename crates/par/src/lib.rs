@@ -1,0 +1,217 @@
+//! # hbm-par — scoped parallel sweep utilities
+//!
+//! The paper's evaluation sweeps thread counts × HBM sizes × policies ×
+//! remap intervals; each cell is an independent, deterministic simulation.
+//! This crate provides the small data-parallel layer that runs those cells
+//! across OS threads: a self-scheduling parallel map built on
+//! `crossbeam::scope` (dynamic load balancing via an atomic cursor —
+//! simulation cells have wildly different costs, so static chunking would
+//! straggle).
+//!
+//! Determinism: results are returned in input order regardless of which
+//! worker computed them, so parallel sweeps produce byte-identical output
+//! to sequential ones.
+//!
+//! ```
+//! let squares = hbm_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 64 (sweeps beyond that are disk/memory bound).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(64)
+}
+
+/// Parallel map preserving input order, using [`default_threads`] workers.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, default_threads(), f)
+}
+
+/// Parallel map preserving input order with an explicit worker count.
+///
+/// Workers self-schedule one item at a time off an atomic cursor, so
+/// heterogeneous item costs balance automatically. With `threads <= 1` the
+/// map runs inline (no thread spawn), which keeps small sweeps cheap and
+/// stack traces simple.
+pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A send can only fail if the receiver is gone, which
+                // cannot happen while this scope is alive.
+                let _ = tx.send((i, f(&items[i])));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(tx);
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Runs `f` once per index `0..n` in parallel, returning results in index
+/// order. Convenience wrapper for sweeps parameterized by position.
+pub fn parallel_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    parallel_map(&indices, |&i| f(i))
+}
+
+/// Fold the results of a parallel map: `map` runs in parallel, `fold` runs
+/// sequentially in input order (so the fold stays deterministic).
+pub fn parallel_map_fold<T, R, A, M, F>(items: &[T], init: A, map: M, mut fold: F) -> A
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync,
+    F: FnMut(A, R) -> A,
+{
+    let mut acc = init;
+    for r in parallel_map(items, map) {
+        acc = fold(acc, r);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out = parallel_map_with(&input, 8, |&x| x * 3);
+        assert_eq!(out, input.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = parallel_map_with(&[1, 2, 3], 1, |&x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map_with(&[1, 2], 32, |&x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn every_item_computed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let input: Vec<u64> = (0..1000).collect();
+        let out = parallel_map_with(&input, 16, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn unbalanced_work_balances() {
+        // Items with wildly different costs: correctness (not speed) check.
+        let input: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(&input, 8, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * x * 100) {
+                acc = acc.wrapping_add(i);
+            }
+            let _ = acc;
+            x
+        });
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn map_indices() {
+        assert_eq!(parallel_map_indices(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn map_fold_is_deterministic() {
+        let input: Vec<u64> = (0..100).collect();
+        let s = parallel_map_fold(
+            &input,
+            String::new(),
+            |&x| x % 10,
+            |mut acc, r| {
+                acc.push_str(&r.to_string());
+                acc
+            },
+        );
+        let expect: String = (0..100u64).map(|x| (x % 10).to_string()).collect();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let input = vec![1u32, 2, 3];
+        let _ = parallel_map_with(&input, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Dataset 3: traces designed to be bad for FIFO (paper §3.2, Figure 3).
+//!
+//! "FIFO performs asymptotically poorly when run on a long sequence of
+//! unique pages, repeated many times. We generate the sequence 1, 2, 3 …
+//! 256 and repeat it 100 times." With HBM sized to a quarter of the union
+//! of all threads' pages, FIFO never hits (every page is re-evicted before
+//! its reuse) while Priority retains whole working sets — the 40× of
+//! Figure 3.
+
+use hbm_core::{LocalPage, Trace, Workload};
+
+/// One core's cyclic trace: pages `0..pages`, repeated `reps` times.
+///
+/// The paper's Dataset 3 is `cyclic_trace(256, 100)`.
+pub fn cyclic_trace(pages: u32, reps: usize) -> Vec<LocalPage> {
+    let mut out = Vec::with_capacity(pages as usize * reps);
+    for _ in 0..reps {
+        out.extend(0..pages);
+    }
+    out
+}
+
+/// The full Dataset 3 workload: `p` cores each running [`cyclic_trace`].
+/// Pages are disjoint across cores automatically (core-local namespaces).
+pub fn cyclic_workload(p: usize, pages: u32, reps: usize) -> Workload {
+    Workload::replicate(Trace::new(cyclic_trace(pages, reps)), p)
+}
+
+/// HBM size for the Figure 3 configuration: enough memory for exactly
+/// `1/denominator` of the unique pages across all threads (the paper uses
+/// `denominator = 4`).
+pub fn figure3_hbm_slots(p: usize, pages: u32, denominator: usize) -> usize {
+    ((p * pages as usize) / denominator).max(1)
+}
+
+/// A *sawtooth* variant: ascending then descending sweep. LRU handles this
+/// better than the pure cycle (the turnaround reuses recent pages), so it
+/// probes the boundary of the FIFO-killer family.
+pub fn sawtooth_trace(pages: u32, reps: usize) -> Vec<LocalPage> {
+    let mut out = Vec::with_capacity((2 * pages as usize).saturating_sub(2).max(1) * reps);
+    for _ in 0..reps {
+        out.extend(0..pages);
+        if pages > 2 {
+            out.extend((1..pages - 1).rev());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_core::{ArbitrationKind, ReplacementKind, SimBuilder};
+
+    #[test]
+    fn cyclic_trace_shape() {
+        let t = cyclic_trace(4, 3);
+        assert_eq!(t, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn paper_dataset3_dimensions() {
+        let t = cyclic_trace(256, 100);
+        assert_eq!(t.len(), 25_600);
+        let w = cyclic_workload(8, 256, 100);
+        assert_eq!(w.cores(), 8);
+        assert_eq!(w.total_unique_pages(), 8 * 256);
+        assert_eq!(figure3_hbm_slots(8, 256, 4), 512);
+    }
+
+    #[test]
+    fn sawtooth_shape() {
+        assert_eq!(sawtooth_trace(4, 1), vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(sawtooth_trace(2, 2), vec![0, 1, 0, 1]);
+        assert_eq!(sawtooth_trace(1, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn fifo_never_hits_on_dataset3() {
+        // Scaled-down Figure 3 setup: FIFO must have a 0% hit rate.
+        let p = 8;
+        let w = cyclic_workload(p, 32, 5);
+        let k = figure3_hbm_slots(p, 32, 4);
+        let r = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(ArbitrationKind::Fifo)
+            .replacement(ReplacementKind::Lru)
+            .run(&w);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.misses, w.total_refs() as u64);
+    }
+
+    #[test]
+    fn priority_beats_fifo_on_dataset3() {
+        let p = 16;
+        let w = cyclic_workload(p, 64, 20);
+        let k = figure3_hbm_slots(p, 64, 4);
+        let mk = |arb| {
+            SimBuilder::new()
+                .hbm_slots(k)
+                .channels(1)
+                .arbitration(arb)
+                .run(&w)
+                .makespan
+        };
+        let fifo = mk(ArbitrationKind::Fifo);
+        let prio = mk(ArbitrationKind::Priority);
+        assert!(fifo > 2 * prio, "fifo {fifo} vs prio {prio}");
+    }
+}

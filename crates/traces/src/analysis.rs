@@ -1,0 +1,275 @@
+//! Trace characterization: LRU stack distances and miss-ratio curves.
+//!
+//! The experiments size HBM in units of the per-core working set; this
+//! module is the measurement behind that methodology. [`stack_distances`]
+//! implements Mattson's algorithm — the LRU *stack distance* of a reference
+//! is the number of distinct pages touched since the previous reference to
+//! the same page — using a Fenwick tree over time indices (O(n log n)).
+//! Because LRU is a stack algorithm, one pass yields the miss count for
+//! *every* cache size at once: a reference with stack distance `d` hits in
+//! any LRU cache with at least `d + 1` slots ([`MissRatioCurve`]).
+
+use crate::memlog::DEFAULT_PAGE_BYTES;
+use hbm_core::LocalPage;
+
+/// Fenwick (binary-indexed) tree over `n` slots, point update / prefix sum.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// The LRU stack distance of each reference: `None` for a cold (first)
+/// reference, otherwise the number of *distinct* pages referenced since the
+/// previous access to the same page (0 = immediate re-reference).
+pub fn stack_distances(trace: &[LocalPage]) -> Vec<Option<u32>> {
+    let n = trace.len();
+    let mut out = Vec::with_capacity(n);
+    // marker[t] = 1 if time t is the most recent access of its page.
+    let mut fen = Fenwick::new(n);
+    let mut last_access: std::collections::HashMap<LocalPage, usize> =
+        std::collections::HashMap::new();
+    for (t, &page) in trace.iter().enumerate() {
+        match last_access.get(&page) {
+            None => out.push(None),
+            Some(&prev) => {
+                // Distinct pages since prev = markers in (prev, t).
+                let d = fen.prefix(t.saturating_sub(1)) - fen.prefix(prev);
+                out.push(Some(d));
+            }
+        }
+        if let Some(&prev) = last_access.get(&page) {
+            fen.add(prev, -1);
+        }
+        fen.add(t, 1);
+        last_access.insert(page, t);
+    }
+    out
+}
+
+/// Miss counts for every LRU cache size, computed in one pass.
+#[derive(Debug, Clone)]
+pub struct MissRatioCurve {
+    /// Total references.
+    pub total: u64,
+    /// Cold (first-touch) misses — unavoidable at any size.
+    pub cold: u64,
+    /// `hist[d]` = references with stack distance exactly `d`.
+    hist: Vec<u64>,
+}
+
+impl MissRatioCurve {
+    /// Builds the curve from a trace.
+    pub fn from_trace(trace: &[LocalPage]) -> Self {
+        let dists = stack_distances(trace);
+        let mut hist = Vec::new();
+        let mut cold = 0;
+        for d in dists {
+            match d {
+                None => cold += 1,
+                Some(d) => {
+                    let d = d as usize;
+                    if hist.len() <= d {
+                        hist.resize(d + 1, 0);
+                    }
+                    hist[d] += 1;
+                }
+            }
+        }
+        MissRatioCurve {
+            total: trace.len() as u64,
+            cold,
+            hist,
+        }
+    }
+
+    /// Unique pages in the trace (= cold misses).
+    pub fn unique_pages(&self) -> u64 {
+        self.cold
+    }
+
+    /// Misses an LRU cache of `k` slots incurs on this trace: cold misses
+    /// plus every reference whose stack distance is ≥ k.
+    pub fn misses_at(&self, k: usize) -> u64 {
+        let capacity_misses: u64 = self.hist.iter().skip(k).sum();
+        self.cold + capacity_misses
+    }
+
+    /// Miss ratio at `k` slots (0 for an empty trace).
+    pub fn miss_ratio_at(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misses_at(k) as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest `k` whose miss ratio is at most `target` (cold misses
+    /// included), or `None` if even a cache holding everything exceeds it.
+    pub fn size_for_miss_ratio(&self, target: f64) -> Option<usize> {
+        let full = self.unique_pages() as usize;
+        for k in 0..=full {
+            if self.miss_ratio_at(k) <= target {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// The *working set* in the experiments' sense: the smallest cache
+    /// whose only misses are cold misses.
+    pub fn working_set(&self) -> usize {
+        self.hist.len()
+    }
+}
+
+/// Convenience: the miss-ratio curve of a workload spec's single-core trace.
+pub fn mrc_for(spec: crate::workload_gen::WorkloadSpec, seed: u64) -> MissRatioCurve {
+    let opts = crate::workload_gen::TraceOptions {
+        page_bytes: DEFAULT_PAGE_BYTES,
+        collapse: true,
+    };
+    MissRatioCurve::from_trace(&spec.generate_trace(seed, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n·u) reference: simulate LRU of size k directly.
+    fn lru_misses(trace: &[LocalPage], k: usize) -> u64 {
+        let mut stack: Vec<LocalPage> = Vec::new();
+        let mut misses = 0;
+        for &p in trace {
+            match stack.iter().position(|&x| x == p) {
+                Some(i) => {
+                    stack.remove(i);
+                }
+                None => {
+                    misses += 1;
+                    if stack.len() == k {
+                        stack.pop();
+                    }
+                }
+            }
+            if k > 0 {
+                stack.insert(0, p);
+            }
+        }
+        misses
+    }
+
+    #[test]
+    fn distances_on_known_sequence() {
+        // a b c a b b: a cold, b cold, c cold, a dist 2, b dist 2, b dist 0.
+        let trace = [0, 1, 2, 0, 1, 1];
+        assert_eq!(
+            stack_distances(&trace),
+            vec![None, None, None, Some(2), Some(2), Some(0)]
+        );
+    }
+
+    #[test]
+    fn curve_matches_direct_lru_simulation() {
+        use hbm_core::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let trace: Vec<u32> = (0..3000)
+            .map(|_| {
+                let u = rng.gen_f64();
+                ((u * u) * 60.0) as u32
+            })
+            .collect();
+        let mrc = MissRatioCurve::from_trace(&trace);
+        for k in [1usize, 2, 4, 8, 16, 32, 64] {
+            assert_eq!(
+                mrc.misses_at(k),
+                lru_misses(&trace, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_trace_is_all_or_nothing() {
+        // The Dataset 3 pathology in MRC form: distance = pages - 1 for
+        // every non-cold reference, so the curve is a step function.
+        let trace = crate::adversarial::cyclic_trace(32, 5);
+        let mrc = MissRatioCurve::from_trace(&trace);
+        assert_eq!(mrc.unique_pages(), 32);
+        assert_eq!(mrc.misses_at(31), trace.len() as u64, "thrash below 32");
+        assert_eq!(mrc.misses_at(32), 32, "cold misses only at 32");
+        assert_eq!(mrc.working_set(), 32);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let trace = crate::synthetic::zipf_trace(100, 5000, 1.0, 7);
+        let mrc = MissRatioCurve::from_trace(&trace);
+        let mut last = u64::MAX;
+        for k in 0..110 {
+            let m = mrc.misses_at(k);
+            assert!(m <= last);
+            last = m;
+        }
+        assert_eq!(mrc.misses_at(200), mrc.unique_pages());
+    }
+
+    #[test]
+    fn size_for_miss_ratio_finds_the_knee() {
+        let trace = crate::adversarial::cyclic_trace(16, 10);
+        let mrc = MissRatioCurve::from_trace(&trace);
+        // 10% miss ratio requires the full working set on a cyclic trace.
+        assert_eq!(mrc.size_for_miss_ratio(0.2), Some(16));
+        assert!(mrc.size_for_miss_ratio(0.0001).is_none(), "cold misses remain");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mrc = MissRatioCurve::from_trace(&[]);
+        assert_eq!(mrc.total, 0);
+        assert_eq!(mrc.miss_ratio_at(4), 0.0);
+        let one = MissRatioCurve::from_trace(&[9]);
+        assert_eq!(one.misses_at(0), 1);
+        assert_eq!(one.working_set(), 0);
+    }
+
+    #[test]
+    fn fenwick_basics() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 1);
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 3);
+        assert_eq!(f.prefix(7), 4);
+        f.add(3, -2);
+        assert_eq!(f.prefix(7), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! `tracegen` — generate, inspect, and save workload trace files.
+//!
+//! ```text
+//! tracegen <spec> [--cores P] [--seed N] [--out FILE.hbmt] [--raw]
+//!
+//! specs:
+//!   sort:N            introsort of N ints        (e.g. sort:50000)
+//!   mergesort:N       mergesort of N ints
+//!   spgemm:N:D        N x N CSR x CSR at density D (e.g. spgemm:600:0.1)
+//!   cyclic:PAGES:REPS the Figure 3 adversary
+//!   zipf:PAGES:LEN:A  Zipf-skewed references
+//!   bfs:N:DEG         BFS on a random graph
+//!   pagerank:N:DEG:IT PageRank power iterations
+//! ```
+//!
+//! Prints per-core stats (refs, unique pages, working set) and optionally
+//! writes the binary trace file `repro`-compatible tools can replay.
+
+use hbm_traces::analysis::MissRatioCurve;
+use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
+use std::path::PathBuf;
+
+fn parse_spec(s: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or(format!("missing field {i} in '{s}'"))?
+            .parse()
+            .map_err(|_| format!("bad number in '{s}'"))
+    };
+    let fnum = |i: usize| -> Result<f64, String> {
+        parts
+            .get(i)
+            .ok_or(format!("missing field {i} in '{s}'"))?
+            .parse()
+            .map_err(|_| format!("bad float in '{s}'"))
+    };
+    Ok(match parts[0] {
+        "sort" => WorkloadSpec::Sort {
+            algo: SortAlgo::Introsort,
+            n: num(1)?,
+        },
+        "mergesort" => WorkloadSpec::Sort {
+            algo: SortAlgo::Mergesort,
+            n: num(1)?,
+        },
+        "spgemm" => WorkloadSpec::SpGemm {
+            n: num(1)?,
+            density: fnum(2)?,
+        },
+        "cyclic" => WorkloadSpec::Cyclic {
+            pages: num(1)? as u32,
+            reps: num(2)?,
+        },
+        "zipf" => WorkloadSpec::Zipf {
+            pages: num(1)? as u32,
+            len: num(2)?,
+            alpha: fnum(3)?,
+        },
+        "bfs" => WorkloadSpec::Bfs {
+            n: num(1)?,
+            degree: num(2)?,
+        },
+        "pagerank" => WorkloadSpec::PageRank {
+            n: num(1)?,
+            degree: num(2)?,
+            iters: num(3)?,
+        },
+        other => return Err(format!("unknown spec kind '{other}'")),
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: tracegen <spec> [--cores P] [--seed N] [--out FILE.hbmt] [--raw]";
+    let Some(spec_str) = args.next() else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let spec = match parse_spec(&spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut cores = 1usize;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut collapse = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cores" => cores = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--out" => out = args.next().map(PathBuf::from),
+            "--raw" => collapse = false,
+            other => {
+                eprintln!("unknown flag '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts = TraceOptions {
+        collapse,
+        ..TraceOptions::default()
+    };
+    let w = spec.workload(cores, seed, opts);
+    println!("# {} — {cores} core(s), seed {seed}, collapse {collapse}", spec.label());
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>16}",
+        "core", "refs", "unique", "working_set", "miss@ws/2"
+    );
+    for c in 0..w.cores() as u32 {
+        let mrc = MissRatioCurve::from_trace(w.trace(c).as_slice());
+        let ws = mrc.working_set();
+        println!(
+            "{c:>5} {:>12} {:>12} {ws:>12} {:>15.1}%",
+            w.trace(c).len(),
+            w.trace(c).unique_pages(),
+            100.0 * mrc.miss_ratio_at(ws / 2),
+        );
+    }
+    println!(
+        "total refs {} | total unique pages {}",
+        w.total_refs(),
+        w.total_unique_pages()
+    );
+    if let Some(path) = out {
+        hbm_traces::io::save_workload(&w, &path).expect("write trace file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,179 @@
+//! Dense matrix-matrix multiplication traces.
+//!
+//! The paper's parameter sweep includes "Dense Matrix Multiplication"
+//! alongside the sparse kernel (§1.2). We implement the classic triple loop
+//! (ijk order) and a blocked/tiled variant over logged arrays — the blocked
+//! variant exists because its much smaller working set makes an instructive
+//! contrast in the HBM simulations (better reuse → fewer far-channel
+//! crossings).
+
+use crate::memlog::{LoggedVec, Recorder};
+use hbm_core::rng::Xoshiro256;
+use hbm_core::LocalPage;
+
+/// Loop order/structure of the dense kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenseVariant {
+    /// Naive `for i { for j { for k { c[i][j] += a[i][k] * b[k][j] } } }`.
+    Ijk,
+    /// Cache-friendlier `ikj` order (streams B and C rows).
+    Ikj,
+    /// Square tiling with the given tile edge.
+    Blocked(usize),
+}
+
+impl std::fmt::Display for DenseVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DenseVariant::Ijk => write!(f, "ijk"),
+            DenseVariant::Ikj => write!(f, "ikj"),
+            DenseVariant::Blocked(t) => write!(f, "blocked{t}"),
+        }
+    }
+}
+
+/// Multiplies two random `n × n` matrices with the chosen loop structure,
+/// returning the page trace and (for tests) the result matrix.
+pub fn matmul_run(
+    n: usize,
+    variant: DenseVariant,
+    seed: u64,
+    page_bytes: u64,
+    collapse: bool,
+) -> (Vec<LocalPage>, Vec<f64>) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let av: Vec<f64> = (0..n * n).map(|_| rng.gen_f64()).collect();
+    let bv: Vec<f64> = (0..n * n).map(|_| rng.gen_f64()).collect();
+
+    let rec = Recorder::new(page_bytes, collapse);
+    let a = LoggedVec::new(av, &rec);
+    let b = LoggedVec::new(bv, &rec);
+    let mut c: LoggedVec<f64> = LoggedVec::zeroed(n * n, &rec);
+
+    match variant {
+        DenseVariant::Ijk => {
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += a.get(i * n + k) * b.get(k * n + j);
+                    }
+                    c.set(i * n + j, acc);
+                }
+            }
+        }
+        DenseVariant::Ikj => {
+            for i in 0..n {
+                for k in 0..n {
+                    let aik = a.get(i * n + k);
+                    for j in 0..n {
+                        let cur = c.get(i * n + j);
+                        c.set(i * n + j, cur + aik * b.get(k * n + j));
+                    }
+                }
+            }
+        }
+        DenseVariant::Blocked(t) => {
+            let t = t.max(1);
+            for ii in (0..n).step_by(t) {
+                for kk in (0..n).step_by(t) {
+                    for jj in (0..n).step_by(t) {
+                        for i in ii..(ii + t).min(n) {
+                            for k in kk..(kk + t).min(n) {
+                                let aik = a.get(i * n + k);
+                                for j in jj..(jj + t).min(n) {
+                                    let cur = c.get(i * n + j);
+                                    c.set(i * n + j, cur + aik * b.get(k * n + j));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let result = c.unlogged().to_vec();
+    drop((a, b, c));
+    (rec.into_trace(), result)
+}
+
+/// The page trace alone (the usual entry point for workload builders).
+pub fn matmul_trace(
+    n: usize,
+    variant: DenseVariant,
+    seed: u64,
+    page_bytes: u64,
+    collapse: bool,
+) -> Vec<LocalPage> {
+    matmul_run(n, variant, seed, page_bytes, collapse).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_compute_the_same_product() {
+        let (_, ijk) = matmul_run(17, DenseVariant::Ijk, 1, 4096, true);
+        let (_, ikj) = matmul_run(17, DenseVariant::Ikj, 1, 4096, true);
+        let (_, blk) = matmul_run(17, DenseVariant::Blocked(4), 1, 4096, true);
+        for i in 0..ijk.len() {
+            assert!((ijk[i] - ikj[i]).abs() < 1e-9);
+            assert!((ijk[i] - blk[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_deterministic() {
+        let a = matmul_trace(12, DenseVariant::Ijk, 2, 4096, true);
+        let b = matmul_trace(12, DenseVariant::Ijk, 2, 4096, true);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn variants_touch_identical_page_sets() {
+        // Same matrices, same address layout: every variant touches exactly
+        // the pages of A, B, and C — only the order differs.
+        let uniq = |v| {
+            let mut t = matmul_trace(48, v, 3, 4096, true);
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let ijk = uniq(DenseVariant::Ijk);
+        assert_eq!(ijk, uniq(DenseVariant::Ikj));
+        assert_eq!(ijk, uniq(DenseVariant::Blocked(8)));
+        // 48x48 doubles = 18432 B per matrix = 5 pages each, 3 matrices.
+        assert_eq!(ijk.len(), 15);
+    }
+
+    #[test]
+    fn collapse_never_lengthens() {
+        for v in [DenseVariant::Ijk, DenseVariant::Ikj, DenseVariant::Blocked(8)] {
+            let raw = matmul_trace(32, v, 3, 4096, false).len();
+            let col = matmul_trace(32, v, 3, 4096, true).len();
+            assert!(col <= raw, "{v}: {col} > {raw}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let (t, c) = matmul_run(1, DenseVariant::Ijk, 4, 4096, false);
+        assert_eq!(c.len(), 1);
+        assert!(!t.is_empty());
+        let (t0, c0) = matmul_run(0, DenseVariant::Blocked(8), 4, 4096, false);
+        assert!(c0.is_empty());
+        assert!(t0.is_empty());
+    }
+
+    #[test]
+    fn blocked_tile_larger_than_n_equals_plain_ikj_result() {
+        let (_, blk) = matmul_run(9, DenseVariant::Blocked(100), 5, 4096, true);
+        let (_, ikj) = matmul_run(9, DenseVariant::Ikj, 5, 4096, true);
+        for i in 0..blk.len() {
+            assert!((blk[i] - ikj[i]).abs() < 1e-9);
+        }
+    }
+}

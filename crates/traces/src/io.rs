@@ -1,0 +1,147 @@
+//! Trace persistence: a compact binary format for workloads.
+//!
+//! The paper's pipeline logged accesses "to a file" and fed files to the
+//! simulator. We support the same decoupling: generate once, save, replay
+//! across many simulator configurations. The format is self-describing and
+//! versioned:
+//!
+//! ```text
+//! magic   b"HBMT"
+//! version u32 LE (currently 1)
+//! cores   u32 LE
+//! per core: len u64 LE, then len × u32 LE page ids
+//! ```
+
+use hbm_core::{Trace, Workload};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HBMT";
+const VERSION: u32 = 1;
+
+/// Serializes a workload to any writer.
+pub fn write_workload<W: Write>(w: &Workload, mut out: W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(w.cores() as u32).to_le_bytes())?;
+    for t in w.traces() {
+        out.write_all(&(t.len() as u64).to_le_bytes())?;
+        // Buffer per trace to avoid one syscall per reference.
+        let mut buf = Vec::with_capacity(t.len() * 4);
+        for &p in t.as_slice() {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        out.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a workload from any reader.
+pub fn read_workload<R: Read>(mut input: R) -> io::Result<Workload> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut u32buf = [0u8; 4];
+    input.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    input.read_exact(&mut u32buf)?;
+    let cores = u32::from_le_bytes(u32buf);
+    let mut w = Workload::new();
+    let mut u64buf = [0u8; 8];
+    for _ in 0..cores {
+        input.read_exact(&mut u64buf)?;
+        let len = u64::from_le_bytes(u64buf) as usize;
+        let mut bytes = vec![0u8; len * 4];
+        input.read_exact(&mut bytes)?;
+        let refs: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect();
+        w.push(Trace::new(refs));
+    }
+    Ok(w)
+}
+
+/// Saves a workload to `path`.
+pub fn save_workload(w: &Workload, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_workload(w, io::BufWriter::new(file))
+}
+
+/// Loads a workload from `path`.
+pub fn load_workload(path: &Path) -> io::Result<Workload> {
+    let file = std::fs::File::open(path)?;
+    read_workload(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        Workload::from_refs(vec![vec![1, 2, 3, 2, 1], vec![], vec![9, 9, 9]])
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let w = sample();
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let r = read_workload(&buf[..]).unwrap();
+        assert_eq!(r.cores(), 3);
+        for c in 0..3 {
+            assert_eq!(r.trace(c).as_slice(), w.trace(c).as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_workload_roundtrip() {
+        let w = Workload::new();
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        assert_eq!(read_workload(&buf[..]).unwrap().cores(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00";
+        assert!(read_workload(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_workload(&Workload::new(), &mut buf).unwrap();
+        buf[4] = 99;
+        let err = read_workload(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_workload(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_workload(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("hbm_traces_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.hbmt");
+        let w = sample();
+        save_workload(&w, &path).unwrap();
+        let r = load_workload(&path).unwrap();
+        assert_eq!(r.total_refs(), w.total_refs());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! # hbm-traces — instrumented workload generators
+//!
+//! Reproduces the trace-generation pipeline of *Automatic HBM Management*
+//! (SPAA 2022), §3.2. The paper instrumented real programs — GNU sort via
+//! logging iterators and TACO SpGEMM via logging array objects — to capture
+//! every memory access, then mapped addresses to page references. This
+//! crate does the same in Rust:
+//!
+//! * [`memlog`] — the instrumented-memory substrate ([`memlog::LoggedVec`],
+//!   address space, page mapping, collapse-at-record);
+//! * [`sort`] — Dataset 1: introsort (libstdc++ `std::sort`, the paper's
+//!   "GNU sort"), plus quicksort / heapsort / mergesort;
+//! * [`spgemm`] — Dataset 2: Gustavson CSR×CSR with a TACO-style workspace,
+//!   plus SpMV;
+//! * [`dense`] — dense matmul (ijk / ikj / blocked);
+//! * [`adversarial`] — Dataset 3: the FIFO-killer cyclic trace of Figure 3;
+//! * [`synthetic`] — uniform / Zipf / stream / strided / permutation-walk
+//!   streams for ablations;
+//! * [`workload_gen`] — [`workload_gen::WorkloadSpec`]: one spec → `p`
+//!   cores × "same program, different randomness", with optional work skew;
+//! * [`io`] — versioned binary trace files.
+//!
+//! ```
+//! use hbm_traces::workload_gen::{TraceOptions, WorkloadSpec};
+//! use hbm_traces::sort::SortAlgo;
+//!
+//! // 4 cores each sorting 10k integers (a scaled-down Dataset 1).
+//! let spec = WorkloadSpec::Sort { algo: SortAlgo::Introsort, n: 10_000 };
+//! let workload = spec.workload(4, 42, TraceOptions::default());
+//! assert_eq!(workload.cores(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod analysis;
+pub mod dense;
+pub mod graph;
+pub mod io;
+pub mod memlog;
+pub mod sort;
+pub mod spgemm;
+pub mod synthetic;
+pub mod workload_gen;
+
+pub use memlog::{LoggedVec, Recorder, DEFAULT_PAGE_BYTES};
+pub use sort::SortAlgo;
+pub use spgemm::{spgemm_shared_workload, Csr};
+pub use workload_gen::{TraceOptions, WorkSkew, WorkloadSpec};

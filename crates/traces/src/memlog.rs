@@ -1,0 +1,341 @@
+//! Instrumented memory: the Rust analogue of the paper's logging C++
+//! iterators and array wrappers (§3.2).
+//!
+//! The paper generated traces by "overloading C++ operators to log memory
+//! accesses" and then, "in a preprocessing step, each array dereference ...
+//! is mapped to its page reference". We reproduce that pipeline:
+//!
+//! * [`AddressSpace`] hands out page-aligned virtual base addresses, one
+//!   region per simulated array;
+//! * [`LoggedVec`] wraps a `Vec` and records the byte address of every
+//!   element access into the shared [`Recorder`];
+//! * the recorder maps addresses to page ids on the fly (the preprocessing
+//!   step) and can collapse consecutive duplicates at record time, which
+//!   keeps multi-million-access traces compact.
+
+use hbm_core::LocalPage;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default page/block size in bytes (4 KiB — 512 doubles per page).
+pub const DEFAULT_PAGE_BYTES: u64 = 4096;
+
+/// Bump allocator for simulated virtual addresses; regions are page-aligned
+/// so two arrays never share a page.
+#[derive(Debug)]
+pub struct AddressSpace {
+    next: u64,
+    page_bytes: u64,
+}
+
+impl AddressSpace {
+    /// A fresh address space with the given page size (must be a power of
+    /// two).
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        AddressSpace {
+            next: 0,
+            page_bytes,
+        }
+    }
+
+    /// Reserves `bytes` and returns the region's base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        let span = bytes.max(1).div_ceil(self.page_bytes) * self.page_bytes;
+        self.next += span;
+        base
+    }
+
+    /// Advances the bump pointer to at least `addr` (rounded up to a page).
+    ///
+    /// Used to place per-core *private* regions at disjoint global offsets
+    /// when building non-disjoint workloads: the shared arrays are
+    /// allocated first at identical addresses in every core's recorder,
+    /// then each core skips to its own private base.
+    pub fn skip_to(&mut self, addr: u64) {
+        let aligned = addr.div_ceil(self.page_bytes) * self.page_bytes;
+        self.next = self.next.max(aligned);
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    space: AddressSpace,
+    pages: Vec<LocalPage>,
+    raw_accesses: u64,
+    collapse: bool,
+    page_shift: u32,
+}
+
+/// Shared access recorder: allocates regions and accumulates the page
+/// trace. Clone it freely — clones share state (single-threaded `Rc`).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<RecorderInner>>,
+}
+
+impl Recorder {
+    /// A recorder with the given page size. When `collapse` is set,
+    /// consecutive accesses to the same page record one reference — the
+    /// trace-granularity knob studied by the `ablation_collapse` bench.
+    pub fn new(page_bytes: u64, collapse: bool) -> Self {
+        Recorder {
+            inner: Rc::new(RefCell::new(RecorderInner {
+                space: AddressSpace::new(page_bytes),
+                pages: Vec::new(),
+                raw_accesses: 0,
+                collapse,
+                page_shift: page_bytes.trailing_zeros(),
+            })),
+        }
+    }
+
+    /// A recorder with [`DEFAULT_PAGE_BYTES`] pages and collapsing on.
+    pub fn with_defaults() -> Self {
+        Recorder::new(DEFAULT_PAGE_BYTES, true)
+    }
+
+    /// Allocates a page-aligned region of `bytes` bytes.
+    pub fn alloc(&self, bytes: u64) -> u64 {
+        self.inner.borrow_mut().space.alloc(bytes)
+    }
+
+    /// Advances the allocator to at least `addr` (see
+    /// [`AddressSpace::skip_to`]).
+    pub fn skip_to(&self, addr: u64) {
+        self.inner.borrow_mut().space.skip_to(addr);
+    }
+
+    /// Records one access at byte address `addr`.
+    #[inline]
+    pub fn record(&self, addr: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.raw_accesses += 1;
+        let page = addr >> inner.page_shift;
+        let page: LocalPage = page.try_into().expect("page id exceeds u32 (trace too large)");
+        if inner.collapse && inner.pages.last() == Some(&page) {
+            return;
+        }
+        inner.pages.push(page);
+    }
+
+    /// Raw element accesses recorded (before collapsing).
+    pub fn raw_accesses(&self) -> u64 {
+        self.inner.borrow().raw_accesses
+    }
+
+    /// Page references recorded so far (after collapsing).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().pages.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the recorder and returns the page trace.
+    ///
+    /// # Panics
+    /// Panics if other clones of this recorder are still alive (they would
+    /// observe a drained log).
+    pub fn into_trace(self) -> Vec<LocalPage> {
+        let inner = Rc::try_unwrap(self.inner)
+            .expect("all LoggedVecs must be dropped before extracting the trace");
+        inner.into_inner().pages
+    }
+}
+
+/// A `Vec<T>` whose every element access is logged — the paper's
+/// "array-like objects that log all accesses to a file", minus the file.
+#[derive(Debug)]
+pub struct LoggedVec<T> {
+    data: Vec<T>,
+    base: u64,
+    elem_bytes: u64,
+    rec: Recorder,
+}
+
+impl<T: Copy> LoggedVec<T> {
+    /// Wraps `data` in a fresh region of `rec`'s address space.
+    pub fn new(data: Vec<T>, rec: &Recorder) -> Self {
+        let elem_bytes = std::mem::size_of::<T>().max(1) as u64;
+        let base = rec.alloc(elem_bytes * data.len() as u64);
+        LoggedVec {
+            data,
+            base,
+            elem_bytes,
+            rec: rec.clone(),
+        }
+    }
+
+    /// A zero-filled logged vector of length `n`.
+    pub fn zeroed(n: usize, rec: &Recorder) -> Self
+    where
+        T: Default,
+    {
+        LoggedVec::new(vec![T::default(); n], rec)
+    }
+
+    #[inline]
+    fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.data.len());
+        self.base + i as u64 * self.elem_bytes
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logged read of element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.rec.record(self.addr(i));
+        self.data[i]
+    }
+
+    /// Logged write of element `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.rec.record(self.addr(i));
+        self.data[i] = v;
+    }
+
+    /// Logged swap of elements `i` and `j` (records both addresses).
+    #[inline]
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.rec.record(self.addr(i));
+        self.rec.record(self.addr(j));
+        self.data.swap(i, j);
+    }
+
+    /// Unlogged view of the data (verification only — the real program
+    /// would not get this shortcut).
+    pub fn unlogged(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the wrapper, returning the plain data.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_space_is_page_aligned_and_disjoint() {
+        let mut s = AddressSpace::new(4096);
+        let a = s.alloc(10);
+        let b = s.alloc(5000);
+        let c = s.alloc(1);
+        assert_eq!(a, 0);
+        assert_eq!(b, 4096);
+        assert_eq!(c, 4096 + 8192);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b % 4096, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_rejected() {
+        AddressSpace::new(1000);
+    }
+
+    #[test]
+    fn recorder_maps_addresses_to_pages() {
+        let rec = Recorder::new(64, false);
+        rec.record(0);
+        rec.record(63);
+        rec.record(64);
+        rec.record(200);
+        assert_eq!(rec.clone().len(), 4);
+        drop(rec.clone());
+        let trace = rec.into_trace();
+        assert_eq!(trace, vec![0, 0, 1, 3]);
+    }
+
+    #[test]
+    fn collapse_merges_consecutive_same_page() {
+        let rec = Recorder::new(64, true);
+        for addr in [0u64, 8, 16, 64, 72, 0] {
+            rec.record(addr);
+        }
+        assert_eq!(rec.raw_accesses(), 6);
+        let trace = rec.into_trace();
+        assert_eq!(trace, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn logged_vec_records_reads_writes_swaps() {
+        let rec = Recorder::new(64, false);
+        let mut v = LoggedVec::new(vec![10i64, 20, 30, 40], &rec);
+        assert_eq!(v.get(0), 10);
+        v.set(3, 99);
+        v.swap(0, 3);
+        assert_eq!(v.unlogged(), &[99, 20, 30, 10]);
+        drop(v);
+        // Accesses: get(0), set(3), swap(0,3) -> 4 raw records.
+        assert_eq!(rec.raw_accesses(), 4);
+        let trace = rec.into_trace();
+        // 8-byte i64: elements 0..3 at addrs 0,8,16,24 -> all page 0.
+        assert_eq!(trace, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_vecs_never_share_a_page() {
+        let rec = Recorder::new(4096, false);
+        let a: LoggedVec<u8> = LoggedVec::new(vec![0; 10], &rec);
+        let b: LoggedVec<u8> = LoggedVec::new(vec![0; 10], &rec);
+        a.get(9);
+        b.get(0);
+        drop(a);
+        drop(b);
+        let trace = rec.into_trace();
+        assert_ne!(trace[0], trace[1]);
+    }
+
+    #[test]
+    fn big_elements_span_pages() {
+        let rec = Recorder::new(64, false);
+        let v = LoggedVec::new(vec![[0u8; 40]; 4], &rec);
+        v.get(0); // addr 0 -> page 0
+        v.get(2); // addr 80 -> page 1
+        drop(v);
+        assert_eq!(rec.into_trace(), vec![0, 1]);
+    }
+
+    #[test]
+    fn zeroed_constructor() {
+        let rec = Recorder::with_defaults();
+        let v: LoggedVec<f64> = LoggedVec::zeroed(8, &rec);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.unlogged(), &[0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be dropped")]
+    fn into_trace_with_live_vec_panics() {
+        let rec = Recorder::with_defaults();
+        let _v: LoggedVec<u8> = LoggedVec::zeroed(1, &rec);
+        let rec2 = rec.clone();
+        drop(rec);
+        let _ = rec2.into_trace(); // _v still holds a clone
+    }
+}

@@ -1,0 +1,360 @@
+//! Dataset 1: sorting traces (paper §3.2).
+//!
+//! The paper instrumented **GNU sort** — `std::sort` from libstdc++ [53] —
+//! by handing it logging iterators over 500,000 random integers. libstdc++'s
+//! `std::sort` is *introsort*: median-of-3 quicksort with a `2·⌊log₂ n⌋`
+//! depth limit falling back to heapsort, finished by insertion sort below a
+//! 16-element threshold. We implement exactly that algorithm (plus the
+//! plain quicksort the paper's sweep also mentions, heapsort, and a
+//! top-down mergesort) over [`LoggedVec`], so every element comparison and
+//! move lands in the address trace just as the authors' logging iterators
+//! captured.
+
+use crate::memlog::{LoggedVec, Recorder};
+use hbm_core::rng::Xoshiro256;
+use hbm_core::LocalPage;
+
+/// The insertion-sort threshold used by libstdc++ (`_S_threshold`).
+const INSERTION_THRESHOLD: usize = 16;
+
+/// Which sorting algorithm generates the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortAlgo {
+    /// libstdc++ `std::sort`: the paper's "GNU sort".
+    Introsort,
+    /// Plain median-of-3 quicksort without depth limiting.
+    Quicksort,
+    /// Bottom-of-the-recursion heapsort (also introsort's fallback).
+    Heapsort,
+    /// Top-down mergesort with an auxiliary buffer (`std::stable_sort`
+    /// shape).
+    Mergesort,
+}
+
+impl SortAlgo {
+    /// All algorithms, for sweeps.
+    pub const ALL: [SortAlgo; 4] = [
+        SortAlgo::Introsort,
+        SortAlgo::Quicksort,
+        SortAlgo::Heapsort,
+        SortAlgo::Mergesort,
+    ];
+}
+
+impl std::fmt::Display for SortAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SortAlgo::Introsort => "introsort",
+            SortAlgo::Quicksort => "quicksort",
+            SortAlgo::Heapsort => "heapsort",
+            SortAlgo::Mergesort => "mergesort",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sorts `v` in place with `algo`, logging every access.
+pub fn sort_logged(v: &mut LoggedVec<i64>, algo: SortAlgo, rec: &Recorder) {
+    let n = v.len();
+    match algo {
+        SortAlgo::Introsort => {
+            let depth_limit = 2 * (usize::BITS - n.max(1).leading_zeros()) as usize;
+            introsort_loop(v, 0, n, depth_limit);
+            insertion_sort(v, 0, n);
+        }
+        SortAlgo::Quicksort => quicksort(v, 0, n),
+        SortAlgo::Heapsort => heapsort(v, 0, n),
+        SortAlgo::Mergesort => {
+            let mut aux = LoggedVec::zeroed(n, rec);
+            mergesort(v, &mut aux, 0, n);
+        }
+    }
+    debug_assert!(v.unlogged().windows(2).all(|w| w[0] <= w[1]));
+}
+
+fn insertion_sort(v: &mut LoggedVec<i64>, lo: usize, hi: usize) {
+    for i in lo + 1..hi {
+        let key = v.get(i);
+        let mut j = i;
+        while j > lo && v.get(j - 1) > key {
+            let prev = v.get(j - 1);
+            v.set(j, prev);
+            j -= 1;
+        }
+        v.set(j, key);
+    }
+}
+
+/// Median-of-3: orders `a < b < c` candidates and returns the median's
+/// index, exactly as `__move_median_to_first` does by value comparison.
+fn median3(v: &LoggedVec<i64>, a: usize, b: usize, c: usize) -> usize {
+    let (va, vb, vc) = (v.get(a), v.get(b), v.get(c));
+    if (va <= vb && vb <= vc) || (vc <= vb && vb <= va) {
+        b
+    } else if (vb <= va && va <= vc) || (vc <= va && va <= vb) {
+        a
+    } else {
+        c
+    }
+}
+
+/// Hoare-style partition around the median-of-3 pivot; returns the split.
+fn partition(v: &mut LoggedVec<i64>, lo: usize, hi: usize) -> usize {
+    let mid = lo + (hi - lo) / 2;
+    let m = median3(v, lo, mid, hi - 1);
+    v.swap(lo, m);
+    let pivot = v.get(lo);
+    let mut i = lo + 1;
+    let mut j = hi - 1;
+    loop {
+        while i <= j && v.get(i) < pivot {
+            i += 1;
+        }
+        while i <= j && v.get(j) > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        v.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+    v.swap(lo, j);
+    j
+}
+
+fn introsort_loop(v: &mut LoggedVec<i64>, mut lo: usize, hi: usize, mut depth: usize) {
+    let mut hi = hi;
+    while hi - lo > INSERTION_THRESHOLD {
+        if depth == 0 {
+            heapsort(v, lo, hi);
+            return;
+        }
+        depth -= 1;
+        let p = partition(v, lo, hi);
+        // Recurse on the smaller side, loop on the larger (bounded stack).
+        if p - lo < hi - p {
+            introsort_loop(v, lo, p, depth);
+            lo = p + 1;
+        } else {
+            introsort_loop(v, p + 1, hi, depth);
+            hi = p;
+        }
+    }
+}
+
+fn quicksort(v: &mut LoggedVec<i64>, lo: usize, hi: usize) {
+    if hi - lo <= 1 {
+        return;
+    }
+    if hi - lo <= INSERTION_THRESHOLD {
+        insertion_sort(v, lo, hi);
+        return;
+    }
+    let p = partition(v, lo, hi);
+    quicksort(v, lo, p);
+    quicksort(v, p + 1, hi);
+}
+
+fn sift_down(v: &mut LoggedVec<i64>, lo: usize, start: usize, end: usize) {
+    // Heap rooted at `lo`, elements lo..end, sifting index `start`.
+    let mut root = start;
+    loop {
+        let child = lo + 2 * (root - lo) + 1;
+        if child >= end {
+            break;
+        }
+        let mut swap = root;
+        if v.get(swap) < v.get(child) {
+            swap = child;
+        }
+        if child + 1 < end && v.get(swap) < v.get(child + 1) {
+            swap = child + 1;
+        }
+        if swap == root {
+            break;
+        }
+        v.swap(root, swap);
+        root = swap;
+    }
+}
+
+fn heapsort(v: &mut LoggedVec<i64>, lo: usize, hi: usize) {
+    let n = hi - lo;
+    if n <= 1 {
+        return;
+    }
+    for start in (lo..lo + n / 2).rev() {
+        sift_down(v, lo, start, hi);
+    }
+    for end in (lo + 1..hi).rev() {
+        v.swap(lo, end);
+        sift_down(v, lo, lo, end);
+    }
+}
+
+fn mergesort(v: &mut LoggedVec<i64>, aux: &mut LoggedVec<i64>, lo: usize, hi: usize) {
+    if hi - lo <= 1 {
+        return;
+    }
+    if hi - lo <= INSERTION_THRESHOLD {
+        insertion_sort(v, lo, hi);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    mergesort(v, aux, lo, mid);
+    mergesort(v, aux, mid, hi);
+    // Merge v[lo..mid] and v[mid..hi] through aux.
+    for i in lo..hi {
+        let x = v.get(i);
+        aux.set(i, x);
+    }
+    let (mut i, mut j) = (lo, mid);
+    for k in lo..hi {
+        let take_left = if i >= mid {
+            false
+        } else if j >= hi {
+            true
+        } else {
+            aux.get(i) <= aux.get(j)
+        };
+        if take_left {
+            let x = aux.get(i);
+            v.set(k, x);
+            i += 1;
+        } else {
+            let x = aux.get(j);
+            v.set(k, x);
+            j += 1;
+        }
+    }
+}
+
+/// Generates one core's sorting page trace: sort `n` random integers with
+/// `algo`, pages of `page_bytes` bytes, consecutive-duplicate collapsing
+/// per `collapse`. The paper's Dataset 1 is `Introsort` with `n = 500_000`.
+pub fn sort_trace(
+    algo: SortAlgo,
+    n: usize,
+    seed: u64,
+    page_bytes: u64,
+    collapse: bool,
+) -> Vec<LocalPage> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let data: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+    let rec = Recorder::new(page_bytes, collapse);
+    let mut v = LoggedVec::new(data, &rec);
+    sort_logged(&mut v, algo, &rec);
+    drop(v);
+    rec.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorts(algo: SortAlgo, n: usize, seed: u64) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let data: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 1000) as i64).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let rec = Recorder::new(4096, false);
+        let mut v = LoggedVec::new(data, &rec);
+        sort_logged(&mut v, algo, &rec);
+        assert_eq!(v.unlogged(), expect.as_slice(), "{algo} n={n}");
+    }
+
+    #[test]
+    fn all_algorithms_sort_correctly() {
+        for algo in SortAlgo::ALL {
+            for n in [0usize, 1, 2, 15, 16, 17, 100, 1000] {
+                check_sorts(algo, n, 42 + n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse_inputs() {
+        for algo in SortAlgo::ALL {
+            let rec = Recorder::new(4096, false);
+            let mut v = LoggedVec::new((0..200i64).collect(), &rec);
+            sort_logged(&mut v, algo, &rec);
+            assert!(v.unlogged().windows(2).all(|w| w[0] <= w[1]));
+
+            let rec2 = Recorder::new(4096, false);
+            let mut v2 = LoggedVec::new((0..200i64).rev().collect(), &rec2);
+            sort_logged(&mut v2, algo, &rec2);
+            assert!(v2.unlogged().windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn sorts_constant_input() {
+        for algo in SortAlgo::ALL {
+            let rec = Recorder::new(4096, false);
+            let mut v = LoggedVec::new(vec![7i64; 100], &rec);
+            sort_logged(&mut v, algo, &rec);
+            assert_eq!(v.unlogged(), &[7i64; 100][..]);
+        }
+    }
+
+    #[test]
+    fn trace_is_nonempty_and_deterministic() {
+        let a = sort_trace(SortAlgo::Introsort, 2000, 7, 4096, true);
+        let b = sort_trace(SortAlgo::Introsort, 2000, 7, 4096, true);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // 2000 i64s = 16 KB = 4 pages of data; trace touches all of them.
+        let mut pages = a.clone();
+        pages.sort_unstable();
+        pages.dedup();
+        assert!(pages.len() >= 4, "touched {} pages", pages.len());
+    }
+
+    #[test]
+    fn different_seeds_different_traces() {
+        let a = sort_trace(SortAlgo::Introsort, 1000, 1, 4096, true);
+        let b = sort_trace(SortAlgo::Introsort, 1000, 2, 4096, true);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn collapse_reduces_trace_length() {
+        let raw = sort_trace(SortAlgo::Introsort, 5000, 3, 4096, false);
+        let collapsed = sort_trace(SortAlgo::Introsort, 5000, 3, 4096, true);
+        assert!(collapsed.len() < raw.len() / 2, "{} vs {}", collapsed.len(), raw.len());
+    }
+
+    #[test]
+    fn introsort_access_count_is_n_log_n_ish() {
+        let n = 10_000usize;
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let data: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+        let rec = Recorder::new(4096, true);
+        let mut v = LoggedVec::new(data, &rec);
+        sort_logged(&mut v, SortAlgo::Introsort, &rec);
+        drop(v);
+        let accesses = rec.raw_accesses() as f64;
+        let nlogn = n as f64 * (n as f64).log2();
+        assert!(accesses > n as f64, "must touch every element");
+        assert!(
+            accesses < 12.0 * nlogn,
+            "accesses {accesses} exceed 12·n·log n = {}",
+            12.0 * nlogn
+        );
+    }
+
+    #[test]
+    fn mergesort_uses_auxiliary_pages() {
+        // Mergesort's aux buffer doubles the footprint vs quicksort.
+        let uniq = |algo| {
+            let t = sort_trace(algo, 4096, 9, 4096, true);
+            let mut p = t;
+            p.sort_unstable();
+            p.dedup();
+            p.len()
+        };
+        assert!(uniq(SortAlgo::Mergesort) > uniq(SortAlgo::Quicksort));
+    }
+}

@@ -1,0 +1,488 @@
+//! Dataset 2: TACO-style sparse matrix kernels (paper §3.2).
+//!
+//! The paper replaced the arrays in TACO-generated SpGEMM code with logging
+//! array objects and multiplied two 600×600 matrices with ~10% density. A
+//! TACO CSR×CSR kernel is Gustavson's algorithm with a dense workspace
+//! accumulator; we implement exactly that over [`LoggedVec`]s for the
+//! position (`pos`), coordinate (`crd`), and value arrays — the same
+//! memory-access structure TACO emits. The abstract also mentions sparse
+//! matrix-*vector* product, so [`spmv_trace`] is provided too, along with
+//! dense matmul in [`crate::dense`].
+
+use crate::memlog::{LoggedVec, Recorder};
+use hbm_core::rng::Xoshiro256;
+use hbm_core::LocalPage;
+
+/// A CSR sparse matrix (unlogged; logging wraps the arrays during the
+/// kernel run).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// Row pointers, `nrows + 1` entries (TACO's `pos`).
+    pub row_ptr: Vec<u32>,
+    /// Column indices per nonzero (TACO's `crd`).
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// A random `nrows × ncols` CSR where each entry exists independently
+    /// with probability `density` (the paper: 600×600, density 0.10).
+    ///
+    /// Values are uniform in [0, 1); the structure is Bernoulli per entry,
+    /// matching "approximately 10% of the elements exist ... randomly
+    /// generated".
+    pub fn random(nrows: usize, ncols: usize, density: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&density));
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        for _ in 0..nrows {
+            for j in 0..ncols {
+                if rng.gen_f64() < density {
+                    col_idx.push(j as u32);
+                    vals.push(rng.gen_f64());
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Dense reference of this matrix (tests only; O(nrows·ncols) memory).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for (i, row) in d.iter_mut().enumerate() {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                row[self.col_idx[k as usize] as usize] = self.vals[k as usize];
+            }
+        }
+        d
+    }
+}
+
+/// Result of a logged kernel: the page trace plus the numeric output so
+/// tests can verify the instrumented kernel computes the right thing.
+#[derive(Debug)]
+pub struct KernelRun {
+    /// The page-reference trace.
+    pub trace: Vec<LocalPage>,
+    /// Raw (pre-collapse) access count.
+    pub raw_accesses: u64,
+    /// The kernel's numeric result: C's nonzeros as (row, col, value), or
+    /// the output vector for SpMV.
+    pub output: Vec<(u32, u32, f64)>,
+}
+
+/// Gustavson SpGEMM `C = A·B` over logged arrays, TACO workspace variant.
+///
+/// For each row `i` of A, scatter `a_ik · b_kj` into a dense workspace of
+/// size `B.ncols` tracked by an occupancy list, then gather the row of C in
+/// column order of first touch — the exact loop structure of TACO's
+/// `C(i,j) = A(i,k) * B(k,j)` CSR kernel with a workspace.
+pub fn spgemm_run(a: &Csr, b: &Csr, page_bytes: u64, collapse: bool) -> KernelRun {
+    spgemm_run_in(a, b, Recorder::new(page_bytes, collapse), None)
+}
+
+/// Gustavson SpGEMM into a caller-supplied recorder. `private_skip` places
+/// all non-B arrays at/after the given address — the layout hook behind
+/// [`spgemm_shared_workload`] (B is allocated first so its pages coincide
+/// across cores; everything else is per-core private). Takes the recorder
+/// by value: the trace is extracted at the end.
+pub fn spgemm_run_in(a: &Csr, b: &Csr, rec: Recorder, private_skip: Option<u64>) -> KernelRun {
+    assert_eq!(a.ncols, b.nrows, "dimension mismatch");
+
+    // B's arrays first: identical allocation order and sizes give identical
+    // addresses in every core's recorder, which is what makes B shareable.
+    let b_pos = LoggedVec::new(b.row_ptr.clone(), &rec);
+    let b_crd = LoggedVec::new(b.col_idx.clone(), &rec);
+    let b_val = LoggedVec::new(b.vals.clone(), &rec);
+    if let Some(base) = private_skip {
+        rec.skip_to(base);
+    }
+    // A's arrays.
+    let a_pos = LoggedVec::new(a.row_ptr.clone(), &rec);
+    let a_crd = LoggedVec::new(a.col_idx.clone(), &rec);
+    let a_val = LoggedVec::new(a.vals.clone(), &rec);
+    // Workspace: dense accumulator + occupancy flags + touched-column list.
+    let mut w_val: LoggedVec<f64> = LoggedVec::zeroed(b.ncols, &rec);
+    let mut w_set: LoggedVec<u8> = LoggedVec::zeroed(b.ncols, &rec);
+    let mut w_lst: LoggedVec<u32> = LoggedVec::zeroed(b.ncols, &rec);
+    // C in crd/val form, appended row by row. Preallocated (generous upper
+    // estimate) so the address space stays stable; fill level tracked
+    // manually. Overflow beyond the estimate is counted but not stored —
+    // the trace, not C, is the product here.
+    let cap_guess = (a.nnz().max(1)) * 8 + b.ncols;
+    let mut c_crd: LoggedVec<u32> = LoggedVec::new(vec![0; cap_guess], &rec);
+    let mut c_val: LoggedVec<f64> = LoggedVec::new(vec![0.0; cap_guess], &rec);
+    let mut c_len = 0usize;
+
+    let mut output = Vec::new();
+    for i in 0..a.nrows {
+        let mut touched = 0usize;
+        let row_start = a_pos.get(i) as usize;
+        let row_end = a_pos.get(i + 1) as usize;
+        for ka in row_start..row_end {
+            let k = a_crd.get(ka) as usize;
+            let av = a_val.get(ka);
+            let b_start = b_pos.get(k) as usize;
+            let b_end = b_pos.get(k + 1) as usize;
+            for kb in b_start..b_end {
+                let j = b_crd.get(kb) as usize;
+                let bv = b_val.get(kb);
+                if w_set.get(j) == 0 {
+                    w_set.set(j, 1);
+                    w_lst.set(touched, j as u32);
+                    touched += 1;
+                    w_val.set(j, av * bv);
+                } else {
+                    let cur = w_val.get(j);
+                    w_val.set(j, cur + av * bv);
+                }
+            }
+        }
+        // Gather the row of C and reset the workspace.
+        for t in 0..touched {
+            let j = w_lst.get(t) as usize;
+            let v = w_val.get(j);
+            if c_len < c_crd.len() {
+                c_crd.set(c_len, j as u32);
+                c_val.set(c_len, v);
+            }
+            c_len += 1;
+            w_set.set(j, 0);
+            output.push((i as u32, j as u32, v));
+        }
+    }
+
+    drop((a_pos, a_crd, a_val, b_pos, b_crd, b_val, w_val, w_set, w_lst, c_crd, c_val));
+    let raw = rec.raw_accesses();
+    KernelRun {
+        trace: rec.into_trace(),
+        raw_accesses: raw,
+        output,
+    }
+}
+
+/// Sparse matrix-vector product `y = A·x` over logged arrays (the
+/// kernel named in the paper's abstract).
+pub fn spmv_run(a: &Csr, page_bytes: u64, collapse: bool, seed: u64) -> KernelRun {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let xv: Vec<f64> = (0..a.ncols).map(|_| rng.gen_f64()).collect();
+    let rec = Recorder::new(page_bytes, collapse);
+    let a_pos = LoggedVec::new(a.row_ptr.clone(), &rec);
+    let a_crd = LoggedVec::new(a.col_idx.clone(), &rec);
+    let a_val = LoggedVec::new(a.vals.clone(), &rec);
+    let x = LoggedVec::new(xv, &rec);
+    let mut y: LoggedVec<f64> = LoggedVec::zeroed(a.nrows, &rec);
+
+    let mut output = Vec::new();
+    for i in 0..a.nrows {
+        let start = a_pos.get(i) as usize;
+        let end = a_pos.get(i + 1) as usize;
+        let mut acc = 0.0;
+        for k in start..end {
+            let j = a_crd.get(k) as usize;
+            acc += a_val.get(k) * x.get(j);
+        }
+        y.set(i, acc);
+        output.push((i as u32, 0, acc));
+    }
+
+    drop((a_pos, a_crd, a_val, x, y));
+    let raw = rec.raw_accesses();
+    KernelRun {
+        trace: rec.into_trace(),
+        raw_accesses: raw,
+        output,
+    }
+}
+
+/// A **non-disjoint** SpGEMM workload (future work, §6.1): `p` cores each
+/// multiply their own random `A_i` against one *shared* B. B's pos/crd/val
+/// pages carry identical global ids on every core, so the cores genuinely
+/// share them in HBM (one fetch can warm B for everyone); each core's A,
+/// workspace, and C live at disjoint private offsets.
+pub fn spgemm_shared_workload(
+    p: usize,
+    n: usize,
+    density: f64,
+    seed: u64,
+    page_bytes: u64,
+    collapse: bool,
+) -> hbm_core::Workload {
+    use hbm_core::rng::splitmix64;
+
+    let b = Csr::random(n, n, density, seed ^ 0xB00_5EED);
+    // Generate every core's A up front so private bases can be laid out
+    // by prefix sum (A sizes differ per core).
+    let seeds: Vec<u64> = (0..p)
+        .map(|core| {
+            let mut s = seed;
+            for _ in 0..=core {
+                splitmix64(&mut s);
+            }
+            s
+        })
+        .collect();
+    let a_mats = hbm_par::parallel_map(&seeds, |&s| Csr::random(n, n, density, s));
+
+    // Shared span: B's three arrays, page-aligned each.
+    let pages = |bytes: u64| bytes.div_ceil(page_bytes);
+    let shared_span = (pages((b.row_ptr.len() * 4) as u64)
+        + pages((b.col_idx.len() * 4) as u64)
+        + pages((b.vals.len() * 8) as u64))
+        * page_bytes;
+    // Private spans: A's arrays + workspace + C (same cap formula as the
+    // kernel), plus one guard page.
+    let private_span = |a: &Csr| -> u64 {
+        let cap = a.nnz().max(1) * 8 + b.ncols;
+        (pages((a.row_ptr.len() * 4) as u64)
+            + pages((a.col_idx.len() * 4) as u64)
+            + pages((a.vals.len() * 8) as u64)
+            + pages((b.ncols * 8) as u64)
+            + pages(b.ncols as u64)
+            + pages((b.ncols * 4) as u64)
+            + pages((cap * 4) as u64)
+            + pages((cap * 8) as u64)
+            + 1)
+            * page_bytes
+    };
+    let mut bases = Vec::with_capacity(p);
+    let mut next = shared_span;
+    for a in &a_mats {
+        bases.push(next);
+        next += private_span(a);
+    }
+
+    let jobs: Vec<(usize, u64)> = bases.into_iter().enumerate().collect();
+    let traces = hbm_par::parallel_map(&jobs, |&(core, base)| {
+        let rec = Recorder::new(page_bytes, collapse);
+        spgemm_run_in(&a_mats[core], &b, rec, Some(base)).trace
+    });
+    hbm_core::Workload::shared_from_refs(traces)
+}
+
+/// Convenience: the page trace of the paper's Dataset 2 kernel, `C = A·B`
+/// with independently random A and B.
+pub fn spgemm_trace(
+    n: usize,
+    density: f64,
+    seed: u64,
+    page_bytes: u64,
+    collapse: bool,
+) -> Vec<LocalPage> {
+    let a = Csr::random(n, n, density, seed);
+    let b = Csr::random(n, n, density, seed.wrapping_add(0x5eed));
+    spgemm_run(&a, &b, page_bytes, collapse).trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_matmul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = a.len();
+        let m = b[0].len();
+        let kk = b.len();
+        let mut c = vec![vec![0.0; m]; n];
+        for i in 0..n {
+            for k in 0..kk {
+                for j in 0..m {
+                    c[i][j] += a[i][k] * b[k][j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn random_csr_has_expected_density() {
+        let a = Csr::random(100, 100, 0.1, 1);
+        let nnz = a.nnz();
+        assert!((700..1300).contains(&nnz), "nnz {nnz} far from 1000");
+        assert_eq!(a.row_ptr.len(), 101);
+        assert_eq!(*a.row_ptr.last().unwrap() as usize, nnz);
+        // Column indices strictly increasing within each row.
+        for i in 0..100 {
+            let row = &a.col_idx[a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize];
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_and_full_density() {
+        let z = Csr::random(10, 10, 0.0, 1);
+        assert_eq!(z.nnz(), 0);
+        let f = Csr::random(10, 10, 1.0, 1);
+        assert_eq!(f.nnz(), 100);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference() {
+        let a = Csr::random(30, 25, 0.2, 3);
+        let b = Csr::random(25, 40, 0.2, 4);
+        let run = spgemm_run(&a, &b, 4096, true);
+        let want = dense_matmul(&a.to_dense(), &b.to_dense());
+        let mut got = vec![vec![0.0; 40]; 30];
+        for (i, j, v) in &run.output {
+            got[*i as usize][*j as usize] = *v;
+        }
+        for i in 0..30 {
+            for j in 0..40 {
+                assert!(
+                    (got[i][j] - want[i][j]).abs() < 1e-9,
+                    "C[{i}][{j}] = {} want {}",
+                    got[i][j],
+                    want[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_trace_deterministic_and_nonempty() {
+        let a = spgemm_trace(60, 0.1, 5, 4096, true);
+        let b = spgemm_trace(60, 0.1, 5, 4096, true);
+        assert_eq!(a, b);
+        assert!(a.len() > 100);
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let a = Csr::random(50, 50, 0.15, 9);
+        let run = spmv_run(&a, 4096, true, 10);
+        let d = a.to_dense();
+        // Recompute x with the same seed to check y.
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let x: Vec<f64> = (0..50).map(|_| rng.gen_f64()).collect();
+        for (i, _, y) in &run.output {
+            let want: f64 = (0..50).map(|j| d[*i as usize][j] * x[j]).sum();
+            assert!((y - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spgemm_touches_many_pages() {
+        let t = spgemm_trace(100, 0.1, 7, 4096, true);
+        let mut p = t.clone();
+        p.sort_unstable();
+        p.dedup();
+        // pos/crd/val × 2 matrices + workspace + C: at least a dozen pages.
+        assert!(p.len() >= 12, "only {} unique pages", p.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spgemm_rejects_mismatched_dims() {
+        let a = Csr::random(4, 5, 0.5, 1);
+        let b = Csr::random(4, 5, 0.5, 2);
+        spgemm_run(&a, &b, 4096, true);
+    }
+
+    #[test]
+    fn shared_workload_shares_exactly_bs_pages() {
+        let p = 4;
+        let w = spgemm_shared_workload(p, 50, 0.15, 9, 4096, true);
+        assert!(w.is_shared());
+        assert_eq!(w.cores(), p);
+        let uniq = |c: u32| -> std::collections::BTreeSet<u32> {
+            w.trace(c).as_slice().iter().copied().collect()
+        };
+        // Intersection across all cores = B's pages (nonempty).
+        let mut inter = uniq(0);
+        for c in 1..p as u32 {
+            inter = inter.intersection(&uniq(c)).copied().collect();
+        }
+        assert!(!inter.is_empty(), "cores must share B's pages");
+        // Private pages are disjoint: pages outside the intersection never
+        // appear on two cores.
+        for c1 in 0..p as u32 {
+            for c2 in (c1 + 1)..p as u32 {
+                let both: Vec<u32> = uniq(c1)
+                    .intersection(&uniq(c2))
+                    .copied()
+                    .filter(|pg| !inter.contains(pg))
+                    .collect();
+                assert!(both.is_empty(), "cores {c1},{c2} share private pages {both:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_workload_coalesces_fetches_in_simulation() {
+        use hbm_core::{ArbitrationKind, SimBuilder};
+        let p = 6;
+        let shared = spgemm_shared_workload(p, 40, 0.15, 3, 4096, true);
+        // Disjoint control: same traces, private namespaces.
+        let disjoint = hbm_core::Workload::from_refs(
+            shared
+                .traces()
+                .iter()
+                .map(|t| t.as_slice().to_vec())
+                .collect(),
+        );
+        let k = shared.total_unique_pages(); // everything fits: cold misses only
+        let run = |w: &hbm_core::Workload| {
+            SimBuilder::new()
+                .hbm_slots(k.max(disjoint.total_unique_pages()))
+                .channels(1)
+                .arbitration(ArbitrationKind::Fifo)
+                .run(w)
+        };
+        let rs = run(&shared);
+        let rd = run(&disjoint);
+        assert_eq!(rs.served, rd.served);
+        assert!(
+            rs.fetches < rd.fetches,
+            "sharing B must save fetches: {} vs {}",
+            rs.fetches,
+            rd.fetches
+        );
+        assert_eq!(rd.fetches, rd.misses);
+        assert_eq!(
+            rs.fetches as usize,
+            shared.total_unique_pages(),
+            "each distinct page fetched once when everything fits"
+        );
+    }
+
+    #[test]
+    fn shared_workload_deterministic() {
+        let a = spgemm_shared_workload(3, 30, 0.2, 5, 4096, true);
+        let b = spgemm_shared_workload(3, 30, 0.2, 5, 4096, true);
+        for c in 0..3 {
+            assert_eq!(a.trace(c).as_slice(), b.trace(c).as_slice());
+        }
+    }
+
+    #[test]
+    fn raw_access_count_scales_with_flops() {
+        let a = Csr::random(80, 80, 0.1, 11);
+        let b = Csr::random(80, 80, 0.1, 12);
+        let run = spgemm_run(&a, &b, 4096, true);
+        // Each scalar multiply touches >= 4 arrays.
+        let flops: usize = (0..a.nrows)
+            .flat_map(|i| a.col_idx[a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize].iter())
+            .map(|&k| (b.row_ptr[k as usize + 1] - b.row_ptr[k as usize]) as usize)
+            .sum();
+        assert!(run.raw_accesses as usize >= 3 * flops);
+    }
+}

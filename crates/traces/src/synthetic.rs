@@ -1,0 +1,163 @@
+//! Synthetic reference streams beyond the paper's three datasets.
+//!
+//! These exist for robustness testing and ablations: uniform random access
+//! (no locality), Zipfian access (power-law locality, the usual cache-
+//! friendly skew), sequential streaming, strided access, and a random-walk
+//! "pointer chase" over a permuted ring (the access pattern of the §5
+//! latency microbenchmark, reused here as a trace generator).
+
+use hbm_core::rng::Xoshiro256;
+use hbm_core::LocalPage;
+
+/// Uniform random references over `pages` pages.
+pub fn uniform_trace(pages: u32, len: usize, seed: u64) -> Vec<LocalPage> {
+    assert!(pages > 0);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(pages as u64) as u32).collect()
+}
+
+/// Zipfian references: page `i` drawn with probability ∝ `1/(i+1)^alpha`.
+///
+/// Uses inverse-CDF sampling over a precomputed table; `alpha ≈ 0.8–1.2`
+/// spans typical cache-workload skews.
+pub fn zipf_trace(pages: u32, len: usize, alpha: f64, seed: u64) -> Vec<LocalPage> {
+    assert!(pages > 0);
+    assert!(alpha >= 0.0);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Cumulative distribution over pages.
+    let mut cdf = Vec::with_capacity(pages as usize);
+    let mut acc = 0.0f64;
+    for i in 0..pages {
+        acc += 1.0 / ((i as f64) + 1.0).powf(alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..len)
+        .map(|_| {
+            let x = rng.gen_f64() * total;
+            // Binary search for the first cdf entry >= x.
+            match cdf.binary_search_by(|c| c.partial_cmp(&x).expect("no NaN")) {
+                Ok(i) | Err(i) => (i as u32).min(pages - 1),
+            }
+        })
+        .collect()
+}
+
+/// Sequential stream: `0, 1, 2, …` over `pages`, `passes` times — the
+/// STREAM-benchmark shape (pure cold misses at page granularity once per
+/// pass unless the whole footprint fits).
+pub fn stream_trace(pages: u32, passes: usize) -> Vec<LocalPage> {
+    let mut out = Vec::with_capacity(pages as usize * passes);
+    for _ in 0..passes {
+        out.extend(0..pages);
+    }
+    out
+}
+
+/// Strided access: pages `0, s, 2s, …` wrapping modulo `pages`, visiting
+/// `len` references.
+pub fn strided_trace(pages: u32, stride: u32, len: usize) -> Vec<LocalPage> {
+    assert!(pages > 0);
+    let mut out = Vec::with_capacity(len);
+    let mut cur = 0u64;
+    for _ in 0..len {
+        out.push((cur % pages as u64) as u32);
+        cur += stride as u64;
+    }
+    out
+}
+
+/// Random walk along a random permutation cycle of `pages` pages — every
+/// page visited once per lap in an unpredictable order (the §5 pointer-
+/// chasing pattern at page granularity).
+pub fn permutation_walk_trace(pages: u32, laps: usize, seed: u64) -> Vec<LocalPage> {
+    assert!(pages > 0);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..pages).collect();
+    rng.shuffle(&mut perm);
+    // next[p] = successor of p along one big cycle through `perm`.
+    let mut next = vec![0u32; pages as usize];
+    for i in 0..pages as usize {
+        next[perm[i] as usize] = perm[(i + 1) % pages as usize];
+    }
+    let mut out = Vec::with_capacity(pages as usize * laps);
+    let mut cur = perm[0];
+    for _ in 0..pages as usize * laps {
+        out.push(cur);
+        cur = next[cur as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_range() {
+        let t = uniform_trace(10, 5000, 1);
+        assert_eq!(t.len(), 5000);
+        assert!(t.iter().all(|&p| p < 10));
+        let mut seen = t.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10, "all pages appear in 5000 draws");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let t = zipf_trace(100, 20_000, 1.0, 2);
+        let count0 = t.iter().filter(|&&p| p == 0).count();
+        let count99 = t.iter().filter(|&&p| p == 99).count();
+        assert!(count0 > 10 * count99.max(1), "page 0 {count0} vs page 99 {count99}");
+        assert!(t.iter().all(|&p| p < 100));
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let t = zipf_trace(10, 10_000, 0.0, 3);
+        let count0 = t.iter().filter(|&&p| p == 0).count();
+        assert!((700..1300).contains(&count0), "count0 = {count0}");
+    }
+
+    #[test]
+    fn stream_shape() {
+        assert_eq!(stream_trace(3, 2), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn strided_wraps() {
+        assert_eq!(strided_trace(4, 3, 6), vec![0, 3, 2, 1, 0, 3]);
+        // Stride sharing a factor with pages still wraps correctly.
+        assert_eq!(strided_trace(4, 2, 4), vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn permutation_walk_visits_every_page_each_lap() {
+        let t = permutation_walk_trace(16, 3, 4);
+        assert_eq!(t.len(), 48);
+        for lap in 0..3 {
+            let mut lap_pages: Vec<u32> = t[lap * 16..(lap + 1) * 16].to_vec();
+            lap_pages.sort_unstable();
+            assert_eq!(lap_pages, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn permutation_walk_order_is_seed_dependent() {
+        assert_ne!(
+            permutation_walk_trace(32, 1, 1),
+            permutation_walk_trace(32, 1, 2)
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_trace(5, 100, 9), uniform_trace(5, 100, 9));
+        assert_eq!(zipf_trace(5, 100, 1.0, 9), zipf_trace(5, 100, 1.0, 9));
+        assert_eq!(
+            permutation_walk_trace(8, 2, 9),
+            permutation_walk_trace(8, 2, 9)
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Workload construction: from a kernel spec to a `p`-core [`Workload`].
+//!
+//! Per §3.2 of the paper, a workload is "1 independent run of a program per
+//! processor … each trace generated from the same program with different
+//! randomness". [`WorkloadSpec::workload`] does exactly that, deriving a
+//! per-core seed from the master seed. [`WorkSkew`] additionally supports
+//! the paper's "distribution of work across the cores" sweep axis
+//! (balanced vs. asymmetric work, the case where Cycle Priority
+//! "continuously places the same thread behind the most demanding
+//! thread").
+
+use crate::adversarial::{cyclic_trace, sawtooth_trace};
+use crate::dense::{matmul_trace, DenseVariant};
+use crate::graph::{bfs_trace, pagerank_trace};
+use crate::memlog::DEFAULT_PAGE_BYTES;
+use crate::sort::{sort_trace, SortAlgo};
+use crate::spgemm::{spgemm_trace, spmv_run, Csr};
+use crate::synthetic;
+use hbm_core::rng::splitmix64;
+use hbm_core::{LocalPage, Trace, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Page size and trace-granularity options shared by all generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOptions {
+    /// Block/page size in bytes.
+    pub page_bytes: u64,
+    /// Collapse consecutive same-page references at record time.
+    pub collapse: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            page_bytes: DEFAULT_PAGE_BYTES,
+            collapse: true,
+        }
+    }
+}
+
+/// Which program generates each core's trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// Dataset 1: sort `n` random integers (paper: introsort, n = 500 000).
+    Sort {
+        /// Sorting algorithm.
+        algo: SortAlgo,
+        /// Number of integers.
+        n: usize,
+    },
+    /// Dataset 2: `C = A·B` on random `n × n` CSR matrices with the given
+    /// density (paper: n = 600, density 0.10).
+    SpGemm {
+        /// Matrix dimension.
+        n: usize,
+        /// Nonzero probability per entry.
+        density: f64,
+    },
+    /// Sparse matrix-vector product `y = A·x`, repeated `reps` times
+    /// (abstract's kernel; one pass is short, so it is iterated).
+    SpMv {
+        /// Matrix dimension.
+        n: usize,
+        /// Nonzero probability per entry.
+        density: f64,
+        /// SpMV passes over the same matrix.
+        reps: usize,
+    },
+    /// Dense `n × n` matmul with the given loop structure.
+    Dense {
+        /// Matrix dimension.
+        n: usize,
+        /// Loop order.
+        variant: DenseVariant,
+    },
+    /// Dataset 3: the FIFO-killer cycle over `pages` pages, `reps` times.
+    Cyclic {
+        /// Unique pages per core.
+        pages: u32,
+        /// Repetitions.
+        reps: usize,
+    },
+    /// Ascending/descending sweep (LRU-friendlier adversary variant).
+    Sawtooth {
+        /// Unique pages per core.
+        pages: u32,
+        /// Repetitions.
+        reps: usize,
+    },
+    /// Uniform random references.
+    Uniform {
+        /// Unique pages per core.
+        pages: u32,
+        /// Trace length.
+        len: usize,
+    },
+    /// Zipf-skewed references.
+    Zipf {
+        /// Unique pages per core.
+        pages: u32,
+        /// Trace length.
+        len: usize,
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// Random-permutation walk (pointer-chase shape).
+    PermutationWalk {
+        /// Unique pages per core.
+        pages: u32,
+        /// Laps around the cycle.
+        laps: usize,
+    },
+    /// BFS over a random graph with `n` vertices and `degree` average
+    /// out-degree (irregular frontier-driven access; §1.3's graph
+    /// workloads).
+    Bfs {
+        /// Vertex count.
+        n: usize,
+        /// Average out-degree.
+        degree: usize,
+    },
+    /// PageRank power iterations on a power-law graph.
+    PageRank {
+        /// Vertex count.
+        n: usize,
+        /// Average out-degree.
+        degree: usize,
+        /// Power iterations.
+        iters: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// The paper's Dataset 1 at full scale.
+    pub fn paper_sort() -> Self {
+        WorkloadSpec::Sort {
+            algo: SortAlgo::Introsort,
+            n: 500_000,
+        }
+    }
+
+    /// The paper's Dataset 2 at full scale.
+    pub fn paper_spgemm() -> Self {
+        WorkloadSpec::SpGemm {
+            n: 600,
+            density: 0.10,
+        }
+    }
+
+    /// The paper's Dataset 3.
+    pub fn paper_cyclic() -> Self {
+        WorkloadSpec::Cyclic {
+            pages: 256,
+            reps: 100,
+        }
+    }
+
+    /// Generates one core's trace with this spec and the given seed.
+    pub fn generate_trace(&self, seed: u64, opts: TraceOptions) -> Vec<LocalPage> {
+        match *self {
+            WorkloadSpec::Sort { algo, n } => {
+                sort_trace(algo, n, seed, opts.page_bytes, opts.collapse)
+            }
+            WorkloadSpec::SpGemm { n, density } => {
+                spgemm_trace(n, density, seed, opts.page_bytes, opts.collapse)
+            }
+            WorkloadSpec::SpMv { n, density, reps } => {
+                let a = Csr::random(n, n, density, seed);
+                let mut out = Vec::new();
+                for r in 0..reps.max(1) {
+                    out.extend(spmv_run(&a, opts.page_bytes, opts.collapse, seed ^ r as u64).trace);
+                }
+                out
+            }
+            WorkloadSpec::Dense { n, variant } => {
+                matmul_trace(n, variant, seed, opts.page_bytes, opts.collapse)
+            }
+            WorkloadSpec::Cyclic { pages, reps } => cyclic_trace(pages, reps),
+            WorkloadSpec::Sawtooth { pages, reps } => sawtooth_trace(pages, reps),
+            WorkloadSpec::Uniform { pages, len } => synthetic::uniform_trace(pages, len, seed),
+            WorkloadSpec::Zipf { pages, len, alpha } => {
+                synthetic::zipf_trace(pages, len, alpha, seed)
+            }
+            WorkloadSpec::PermutationWalk { pages, laps } => {
+                synthetic::permutation_walk_trace(pages, laps, seed)
+            }
+            WorkloadSpec::Bfs { n, degree } => {
+                bfs_trace(n, degree, seed, opts.page_bytes, opts.collapse)
+            }
+            WorkloadSpec::PageRank { n, degree, iters } => {
+                pagerank_trace(n, degree, iters, seed, opts.page_bytes, opts.collapse)
+            }
+        }
+    }
+
+    /// Builds the `p`-core workload: core `i` runs this spec with seed
+    /// `split(seed, i)` — same program, different randomness (§3.2).
+    ///
+    /// Trace generation runs in parallel across cores.
+    pub fn workload(&self, p: usize, seed: u64, opts: TraceOptions) -> Workload {
+        self.workload_skewed(p, seed, opts, WorkSkew::Balanced)
+    }
+
+    /// Like [`workload`](Self::workload) but with asymmetric work across
+    /// cores.
+    pub fn workload_skewed(
+        &self,
+        p: usize,
+        seed: u64,
+        opts: TraceOptions,
+        skew: WorkSkew,
+    ) -> Workload {
+        let spec = *self;
+        let traces = hbm_par::parallel_map_indices(p, |core| {
+            let mut s = seed;
+            for _ in 0..=core {
+                splitmix64(&mut s);
+            }
+            let core_spec = skew.scale_spec(&spec, core, p);
+            Trace::new(core_spec.generate_trace(s, opts))
+        });
+        let mut w = Workload::new();
+        for t in traces {
+            w.push(t);
+        }
+        w
+    }
+
+    /// Short stable name for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            WorkloadSpec::Sort { algo, n } => format!("sort({algo},n={n})"),
+            WorkloadSpec::SpGemm { n, density } => format!("spgemm(n={n},d={density})"),
+            WorkloadSpec::SpMv { n, density, reps } => {
+                format!("spmv(n={n},d={density},reps={reps})")
+            }
+            WorkloadSpec::Dense { n, variant } => format!("dense({variant},n={n})"),
+            WorkloadSpec::Cyclic { pages, reps } => format!("cyclic(pages={pages},reps={reps})"),
+            WorkloadSpec::Sawtooth { pages, reps } => {
+                format!("sawtooth(pages={pages},reps={reps})")
+            }
+            WorkloadSpec::Uniform { pages, len } => format!("uniform(pages={pages},len={len})"),
+            WorkloadSpec::Zipf { pages, len, alpha } => {
+                format!("zipf(pages={pages},len={len},a={alpha})")
+            }
+            WorkloadSpec::PermutationWalk { pages, laps } => {
+                format!("permwalk(pages={pages},laps={laps})")
+            }
+            WorkloadSpec::Bfs { n, degree } => format!("bfs(n={n},deg={degree})"),
+            WorkloadSpec::PageRank { n, degree, iters } => {
+                format!("pagerank(n={n},deg={degree},iters={iters})")
+            }
+        }
+    }
+}
+
+/// How work is distributed across cores (the paper's sweep axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkSkew {
+    /// Every core runs the same-size problem.
+    Balanced,
+    /// Core `i` runs a problem scaled by `(i + 1) / p` — a linear ramp.
+    LinearRamp,
+    /// Core 0 runs a `factor×` problem; the rest are balanced.
+    OneHeavy(u32),
+}
+
+impl WorkSkew {
+    fn scale(self, base: usize, core: usize, p: usize) -> usize {
+        match self {
+            WorkSkew::Balanced => base,
+            WorkSkew::LinearRamp => (base * (core + 1) / p.max(1)).max(1),
+            WorkSkew::OneHeavy(f) => {
+                if core == 0 {
+                    base * f as usize
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    fn scale_spec(self, spec: &WorkloadSpec, core: usize, p: usize) -> WorkloadSpec {
+        let mut s = *spec;
+        match &mut s {
+            WorkloadSpec::Sort { n, .. }
+            | WorkloadSpec::SpGemm { n, .. }
+            | WorkloadSpec::SpMv { n, .. }
+            | WorkloadSpec::Dense { n, .. } => *n = self.scale(*n, core, p),
+            WorkloadSpec::Cyclic { reps, .. } | WorkloadSpec::Sawtooth { reps, .. } => {
+                *reps = self.scale(*reps, core, p)
+            }
+            WorkloadSpec::Uniform { len, .. } | WorkloadSpec::Zipf { len, .. } => {
+                *len = self.scale(*len, core, p)
+            }
+            WorkloadSpec::PermutationWalk { laps, .. } => *laps = self.scale(*laps, core, p),
+            WorkloadSpec::Bfs { n, .. } => *n = self.scale(*n, core, p),
+            WorkloadSpec::PageRank { iters, .. } => *iters = self.scale(*iters, core, p),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> TraceOptions {
+        TraceOptions::default()
+    }
+
+    #[test]
+    fn workload_has_p_cores_with_distinct_traces() {
+        let w = WorkloadSpec::Sort {
+            algo: SortAlgo::Introsort,
+            n: 1000,
+        }
+        .workload(4, 7, opts());
+        assert_eq!(w.cores(), 4);
+        // Different randomness per core -> different traces.
+        assert_ne!(w.trace(0).as_slice(), w.trace(1).as_slice());
+        assert_ne!(w.trace(1).as_slice(), w.trace(2).as_slice());
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_master_seed() {
+        let spec = WorkloadSpec::Uniform {
+            pages: 50,
+            len: 200,
+        };
+        let a = spec.workload(3, 42, opts());
+        let b = spec.workload(3, 42, opts());
+        for c in 0..3 {
+            assert_eq!(a.trace(c).as_slice(), b.trace(c).as_slice());
+        }
+        let c = spec.workload(3, 43, opts());
+        assert_ne!(a.trace(0).as_slice(), c.trace(0).as_slice());
+    }
+
+    #[test]
+    fn cyclic_ignores_seed() {
+        let spec = WorkloadSpec::Cyclic { pages: 8, reps: 2 };
+        let w = spec.workload(2, 1, opts());
+        assert_eq!(w.trace(0).as_slice(), w.trace(1).as_slice());
+        assert_eq!(w.trace(0).len(), 16);
+    }
+
+    #[test]
+    fn linear_ramp_scales_work() {
+        let spec = WorkloadSpec::Uniform {
+            pages: 10,
+            len: 100,
+        };
+        let w = spec.workload_skewed(4, 1, opts(), WorkSkew::LinearRamp);
+        assert_eq!(w.trace(0).len(), 25);
+        assert_eq!(w.trace(3).len(), 100);
+    }
+
+    #[test]
+    fn one_heavy_scales_core_zero_only() {
+        let spec = WorkloadSpec::Cyclic { pages: 4, reps: 3 };
+        let w = spec.workload_skewed(3, 1, opts(), WorkSkew::OneHeavy(5));
+        assert_eq!(w.trace(0).len(), 4 * 15);
+        assert_eq!(w.trace(1).len(), 4 * 3);
+    }
+
+    #[test]
+    fn spmv_reps_extend_trace() {
+        let one = WorkloadSpec::SpMv {
+            n: 40,
+            density: 0.2,
+            reps: 1,
+        }
+        .generate_trace(5, opts());
+        let three = WorkloadSpec::SpMv {
+            n: 40,
+            density: 0.2,
+            reps: 3,
+        }
+        .generate_trace(5, opts());
+        assert!(three.len() > 2 * one.len());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            WorkloadSpec::paper_cyclic().label(),
+            "cyclic(pages=256,reps=100)"
+        );
+        assert_eq!(
+            WorkloadSpec::SpGemm { n: 600, density: 0.1 }.label(),
+            "spgemm(n=600,d=0.1)"
+        );
+    }
+
+    #[test]
+    fn paper_presets() {
+        assert_eq!(
+            WorkloadSpec::paper_sort(),
+            WorkloadSpec::Sort {
+                algo: SortAlgo::Introsort,
+                n: 500_000
+            }
+        );
+        assert_eq!(
+            WorkloadSpec::paper_spgemm(),
+            WorkloadSpec::SpGemm {
+                n: 600,
+                density: 0.10
+            }
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the instrumented workload generators.
+
+use hbm_traces::memlog::{LoggedVec, Recorder};
+use hbm_traces::sort::{sort_logged, SortAlgo};
+use hbm_traces::spgemm::Csr;
+use hbm_traces::synthetic;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every sorting algorithm sorts arbitrary inputs while being logged.
+    #[test]
+    fn logged_sorts_sort(
+        mut data in prop::collection::vec(-1000i64..1000, 0..300),
+        algo_idx in 0usize..4,
+    ) {
+        let algo = SortAlgo::ALL[algo_idx];
+        let rec = Recorder::new(4096, true);
+        let mut v = LoggedVec::new(data.clone(), &rec);
+        sort_logged(&mut v, algo, &rec);
+        data.sort_unstable();
+        prop_assert_eq!(v.unlogged(), data.as_slice());
+    }
+
+    /// The recorded trace length is bounded by the raw access count, and
+    /// collapsing only ever shortens.
+    #[test]
+    fn trace_length_bounded_by_accesses(
+        data in prop::collection::vec(0i64..100, 2..200),
+    ) {
+        let rec = Recorder::new(64, false);
+        let mut v = LoggedVec::new(data.clone(), &rec);
+        sort_logged(&mut v, SortAlgo::Introsort, &rec);
+        drop(v);
+        let raw_accesses = rec.raw_accesses();
+        let raw_trace = rec.into_trace();
+        prop_assert_eq!(raw_trace.len() as u64, raw_accesses);
+
+        let rec2 = Recorder::new(64, true);
+        let mut v2 = LoggedVec::new(data, &rec2);
+        sort_logged(&mut v2, SortAlgo::Introsort, &rec2);
+        drop(v2);
+        let collapsed = rec2.into_trace();
+        prop_assert!(collapsed.len() <= raw_trace.len());
+        // Collapsing preserves the deduplicated sequence.
+        let mut dedup = raw_trace.clone();
+        dedup.dedup();
+        prop_assert_eq!(collapsed, dedup);
+    }
+
+    /// Random CSR matrices are structurally valid for any density.
+    #[test]
+    fn csr_always_valid(
+        n in 1usize..60,
+        m in 1usize..60,
+        density in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let a = Csr::random(n, m, density, seed);
+        prop_assert_eq!(a.row_ptr.len(), n + 1);
+        prop_assert_eq!(a.row_ptr[0], 0);
+        prop_assert_eq!(*a.row_ptr.last().unwrap() as usize, a.nnz());
+        prop_assert_eq!(a.col_idx.len(), a.vals.len());
+        prop_assert!(a.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        for i in 0..n {
+            let row = &a.col_idx[a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize];
+            prop_assert!(row.iter().all(|&j| (j as usize) < m));
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// SpGEMM against the dense reference on arbitrary matrices.
+    #[test]
+    fn spgemm_correct_on_arbitrary_matrices(
+        n in 2usize..20,
+        k in 2usize..20,
+        m in 2usize..20,
+        d1 in 0.05f64..0.6,
+        d2 in 0.05f64..0.6,
+        seed in 0u64..50,
+    ) {
+        let a = Csr::random(n, k, d1, seed);
+        let b = Csr::random(k, m, d2, seed + 1);
+        let run = hbm_traces::spgemm::spgemm_run(&a, &b, 4096, true);
+        let (da, db) = (a.to_dense(), b.to_dense());
+        let mut want = vec![vec![0.0f64; m]; n];
+        for i in 0..n {
+            for kk in 0..k {
+                for j in 0..m {
+                    want[i][j] += da[i][kk] * db[kk][j];
+                }
+            }
+        }
+        let mut got = vec![vec![0.0f64; m]; n];
+        for (i, j, v) in &run.output {
+            got[*i as usize][*j as usize] = *v;
+        }
+        for i in 0..n {
+            for j in 0..m {
+                prop_assert!((got[i][j] - want[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Synthetic generators respect their page bounds and lengths.
+    #[test]
+    fn synthetic_generators_in_bounds(
+        pages in 1u32..500,
+        len in 0usize..2000,
+        seed in 0u64..100,
+    ) {
+        let u = synthetic::uniform_trace(pages, len, seed);
+        prop_assert_eq!(u.len(), len);
+        prop_assert!(u.iter().all(|&p| p < pages));
+        let z = synthetic::zipf_trace(pages, len, 1.0, seed);
+        prop_assert_eq!(z.len(), len);
+        prop_assert!(z.iter().all(|&p| p < pages));
+        let s = synthetic::strided_trace(pages, 7, len);
+        prop_assert!(s.iter().all(|&p| p < pages));
+    }
+
+    /// The permutation walk visits each page exactly once per lap, for any
+    /// size and seed.
+    #[test]
+    fn permutation_walk_laps_are_permutations(
+        pages in 1u32..100,
+        laps in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let t = synthetic::permutation_walk_trace(pages, laps, seed);
+        prop_assert_eq!(t.len(), pages as usize * laps);
+        for lap in 0..laps {
+            let mut chunk: Vec<u32> =
+                t[lap * pages as usize..(lap + 1) * pages as usize].to_vec();
+            chunk.sort_unstable();
+            prop_assert_eq!(chunk, (0..pages).collect::<Vec<_>>());
+        }
+    }
+
+    /// Trace I/O round-trips arbitrary ref vectors.
+    #[test]
+    fn io_roundtrip_arbitrary(
+        traces in prop::collection::vec(prop::collection::vec(0u32..10000, 0..100), 0..6),
+    ) {
+        let w = hbm_core::Workload::from_refs(traces);
+        let mut buf = Vec::new();
+        hbm_traces::io::write_workload(&w, &mut buf).unwrap();
+        let r = hbm_traces::io::read_workload(&buf[..]).unwrap();
+        prop_assert_eq!(w.cores(), r.cores());
+        for c in 0..w.cores() as u32 {
+            prop_assert_eq!(w.trace(c).as_slice(), r.trace(c).as_slice());
+        }
+    }
+}

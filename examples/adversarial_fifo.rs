@@ -1,0 +1,50 @@
+//! The Figure 3 experiment end-to-end: watch FIFO collapse while Priority
+//! stays near-optimal on the adversarial Dataset 3, and verify the paper's
+//! claim that the gap grows linearly with thread count.
+//!
+//! ```text
+//! cargo run --release --example adversarial_fifo
+//! ```
+
+use hbm::core::bounds::makespan_lower_bound;
+use hbm::core::{ArbitrationKind, SimBuilder};
+use hbm::traces::adversarial::{cyclic_workload, figure3_hbm_slots};
+
+fn main() {
+    let pages = 128u32;
+    let reps = 25;
+    println!("Dataset 3: cycle over {pages} pages, {reps} repetitions per core,");
+    println!("HBM sized to 1/4 of the union of all cores' pages.\n");
+    println!(
+        "{:>4} | {:>12} {:>12} | {:>7} | {:>17}",
+        "p", "FIFO", "Priority", "ratio", "Priority vs bound"
+    );
+
+    for p in [4usize, 8, 16, 32, 64] {
+        let w = cyclic_workload(p, pages, reps);
+        let k = figure3_hbm_slots(p, pages, 4);
+        let run = |arb| {
+            SimBuilder::new()
+                .hbm_slots(k)
+                .channels(1)
+                .arbitration(arb)
+                .run(&w)
+        };
+        let fifo = run(ArbitrationKind::Fifo);
+        let prio = run(ArbitrationKind::Priority);
+        let bound = makespan_lower_bound(&w, k, 1);
+        println!(
+            "{p:>4} | {:>12} {:>12} | {:>7.2} | {:>15.2}x",
+            fifo.makespan,
+            prio.makespan,
+            fifo.makespan as f64 / prio.makespan as f64,
+            prio.makespan as f64 / bound as f64,
+        );
+        assert_eq!(fifo.hits, 0, "FIFO re-evicts every page before reuse");
+    }
+
+    println!("\nFIFO never hits (every page is evicted before its reuse); its");
+    println!("makespan is the full serialized miss stream, growing linearly in p.");
+    println!("Priority's makespan stays within a small constant of the lower");
+    println!("bound — Theorem 1's O(1)-competitiveness, with the constant visible.");
+}

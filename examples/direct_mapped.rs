@@ -1,0 +1,59 @@
+//! Lemma 1 live: run a real workload trace through (a) a fully-associative
+//! LRU cache, (b) the paper's direct-mapped transformation, and (c) a
+//! plain direct-mapped cache, and compare.
+//!
+//! ```text
+//! cargo run --release --example direct_mapped
+//! ```
+
+use hbm::assoc::transform::{measure_overhead, Discipline};
+use hbm::traces::{TraceOptions, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::SpGemm {
+        n: 150,
+        density: 0.10,
+    };
+    let trace = spec.generate_trace(42, TraceOptions::default());
+    let stream: Vec<u64> = trace.iter().map(|&p| p as u64).collect();
+    let k = 64;
+
+    println!(
+        "SpGEMM trace: {} page references over {} unique pages; cache k = {k}\n",
+        stream.len(),
+        {
+            let mut u = trace.clone();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        }
+    );
+
+    for discipline in [Discipline::Lru, Discipline::Fifo] {
+        let o = measure_overhead(&stream, k, discipline, 7);
+        println!("{discipline:?} replacement:");
+        println!("  fully-associative misses : {}", o.reference_misses);
+        println!(
+            "  transformed misses       : {} (identical by construction)",
+            o.transformed_misses
+        );
+        println!(
+            "  far-channel transfers    : {:.2} per miss (fetch + write-back ≤ 2)",
+            o.transfers_per_miss
+        );
+        println!(
+            "  HBM accesses             : {:.2} per original access (O(1) expected)",
+            o.accesses_per_access
+        );
+        println!(
+            "  plain direct-mapped      : {} misses ({:.1}x the associative cache)\n",
+            o.plain_direct_misses,
+            o.plain_direct_misses as f64 / o.reference_misses.max(1) as f64
+        );
+    }
+
+    println!("The transformation tracks the fully-associative cache exactly at a");
+    println!("constant-factor cost, while naive direct mapping pays conflict");
+    println!("misses — this is why Corollary 1 lets the paper's theory (stated");
+    println!("for fully-associative HBM) apply to real direct-mapped hardware.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate the HBM+DRAM model in ten lines.
+//!
+//! Builds a tiny workload, runs it under FIFO and Priority far-channel
+//! arbitration, and prints the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hbm::core::{ArbitrationKind, ReplacementKind, SimBuilder, Workload};
+
+fn main() {
+    // Eight cores, each cycling over 64 private pages ten times, with an
+    // HBM that holds only a quarter of the union — the paper's §3.2
+    // FIFO-killer in miniature.
+    let workload = hbm::traces::adversarial::cyclic_workload(8, 64, 10);
+    let k = hbm::traces::adversarial::figure3_hbm_slots(8, 64, 4);
+
+    for arbitration in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
+        let report = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(arbitration)
+            .replacement(ReplacementKind::Lru)
+            .seed(42)
+            .run(&workload);
+        println!(
+            "{:<10} makespan = {:>8} ticks | hit rate = {:>5.1}% | inconsistency = {:>8.1}",
+            arbitration.label(),
+            report.makespan,
+            100.0 * report.hit_rate,
+            report.response.inconsistency,
+        );
+    }
+
+    // Custom workloads are plain per-core page sequences:
+    let custom = Workload::from_refs(vec![vec![0, 1, 0, 1, 2], vec![5, 5, 5]]);
+    let r = SimBuilder::new().hbm_slots(4).run(&custom);
+    println!(
+        "custom workload: served {} requests in {} ticks",
+        r.served, r.makespan
+    );
+}

@@ -1,0 +1,66 @@
+//! Sorting study: instrumented GNU-sort traces under every arbitration
+//! policy, plus a look at how the sorting algorithm itself changes the
+//! page-access structure.
+//!
+//! ```text
+//! cargo run --release --example sort_study
+//! ```
+
+use hbm::core::{ArbitrationKind, SimBuilder};
+use hbm::traces::{SortAlgo, TraceOptions, WorkloadSpec};
+
+fn main() {
+    let opts = TraceOptions::default();
+
+    // Part 1: trace anatomy per algorithm.
+    println!("trace anatomy, sorting 8,000 integers (page = 4 KiB):");
+    println!(
+        "{:>10} | {:>10} {:>10}",
+        "algorithm", "page refs", "unique"
+    );
+    for algo in SortAlgo::ALL {
+        let t = hbm::traces::sort::sort_trace(algo, 8_000, 7, 4096, true);
+        let mut u = t.clone();
+        u.sort_unstable();
+        u.dedup();
+        println!("{algo:>10} | {:>10} {:>10}", t.len(), u.len());
+    }
+
+    // Part 2: policy shoot-out on the mergesort workload (the GNU
+    // parallel-mode sort the paper instruments), 24 cores.
+    let spec = WorkloadSpec::Sort {
+        algo: SortAlgo::Mergesort,
+        n: 6_000,
+    };
+    let p = 24;
+    let w = spec.workload(p, 42, opts);
+    let k = 2 * w.trace(0).unique_pages();
+    println!("\n{p} cores sorting independently, k = {k} slots:");
+    println!(
+        "{:>22} | {:>10} | {:>13} | {:>9}",
+        "policy", "makespan", "inconsistency", "mean resp"
+    );
+    let policies = [
+        ArbitrationKind::Fifo,
+        ArbitrationKind::FrFcfs { row_shift: 2 },
+        ArbitrationKind::Priority,
+        ArbitrationKind::DynamicPriority { period: 10 * k as u64 },
+        ArbitrationKind::CyclePriority { period: 10 * k as u64 },
+        ArbitrationKind::RandomPick,
+    ];
+    for arb in policies {
+        let r = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(arb)
+            .seed(42)
+            .run(&w);
+        println!(
+            "{:>22} | {:>10} | {:>13.1} | {:>9.2}",
+            arb.label(),
+            r.makespan,
+            r.response.inconsistency,
+            r.response.mean
+        );
+    }
+}

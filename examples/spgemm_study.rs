@@ -1,0 +1,59 @@
+//! SpGEMM study: the workload the paper's introduction motivates.
+//!
+//! Generates TACO-style sparse matrix-matrix multiplication traces (one
+//! independent instance per core, §3.2 Dataset 2), then shows how the
+//! choice of far-channel arbitration changes makespan as the core count
+//! grows — a miniature Figure 2a.
+//!
+//! ```text
+//! cargo run --release --example spgemm_study
+//! ```
+
+use hbm::core::{ArbitrationKind, SimBuilder};
+use hbm::traces::{TraceOptions, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::SpGemm {
+        n: 120,
+        density: 0.10,
+    };
+    let opts = TraceOptions::default();
+
+    // Measure one core's working set and size HBM at two working sets, the
+    // contended regime of the paper's evaluation.
+    let probe = spec.generate_trace(1, opts);
+    let mut uniq = probe.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let k = 2 * uniq.len();
+    println!("per-core working set ≈ {} pages; HBM k = {k} slots\n", uniq.len());
+    println!(
+        "{:>4} | {:>12} {:>12} {:>12} | {:>7}",
+        "p", "FIFO", "Priority", "Dynamic", "F/P"
+    );
+
+    for p in [2usize, 8, 16, 32, 48] {
+        let w = spec.workload(p, 42, opts);
+        let run = |arb| {
+            SimBuilder::new()
+                .hbm_slots(k)
+                .channels(1)
+                .arbitration(arb)
+                .seed(42)
+                .run(&w)
+                .makespan
+        };
+        let fifo = run(ArbitrationKind::Fifo);
+        let prio = run(ArbitrationKind::Priority);
+        let dynamic = run(ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        });
+        println!(
+            "{p:>4} | {fifo:>12} {prio:>12} {dynamic:>12} | {:>7.2}",
+            fifo as f64 / prio as f64
+        );
+    }
+    println!("\nAt low p the policies tie; past the contention knee FIFO thrashes");
+    println!("(\"butter scraped over too much bread\") while Priority protects");
+    println!("whole working sets. Dynamic Priority matches the winner everywhere.");
+}

@@ -1,0 +1,70 @@
+//! Tuning Dynamic Priority's remap interval T — the Figure 5 / Table 1
+//! trade-off, interactively explorable.
+//!
+//! As T shrinks, inconsistency (response-time stddev) falls towards FIFO's
+//! while makespan degrades towards random selection; as T grows, both
+//! approach static Priority. The paper's recommendation — T ≥ 10k with a
+//! wide flat region — is visible in the output.
+//!
+//! ```text
+//! cargo run --release --example tuning_dynamic_priority
+//! ```
+
+use hbm::core::{ArbitrationKind, SimBuilder};
+use hbm::traces::{TraceOptions, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::SpGemm {
+        n: 100,
+        density: 0.10,
+    };
+    let p = 24;
+    let w = spec.workload(p, 42, TraceOptions::default());
+    let k = 2 * w.trace(0).unique_pages();
+    let run = |arb| {
+        SimBuilder::new()
+            .hbm_slots(k)
+            .channels(1)
+            .arbitration(arb)
+            .seed(42)
+            .run(&w)
+    };
+
+    println!("SpGEMM, p = {p}, k = {k} slots (two working sets)\n");
+    println!(
+        "{:>24} | {:>10} | {:>13} | {:>12}",
+        "policy", "makespan", "inconsistency", "worst resp"
+    );
+    let fifo = run(ArbitrationKind::Fifo);
+    println!(
+        "{:>24} | {:>10} | {:>13.1} | {:>12}",
+        "FIFO",
+        fifo.makespan,
+        fifo.response.inconsistency,
+        fifo.worst_response()
+    );
+    for mult in [1u64, 2, 5, 10, 20, 50, 100] {
+        let r = run(ArbitrationKind::DynamicPriority {
+            period: mult * k as u64,
+        });
+        println!(
+            "{:>24} | {:>10} | {:>13.1} | {:>12}",
+            format!("Dynamic T = {mult}k"),
+            r.makespan,
+            r.response.inconsistency,
+            r.worst_response()
+        );
+    }
+    let prio = run(ArbitrationKind::Priority);
+    println!(
+        "{:>24} | {:>10} | {:>13.1} | {:>12}",
+        "Priority (T = ∞)",
+        prio.makespan,
+        prio.response.inconsistency,
+        prio.worst_response()
+    );
+
+    println!("\nReading the table: pick the smallest T whose makespan still");
+    println!("matches Priority's — you keep the O(1)-competitive makespan and");
+    println!("shed an order of magnitude of inconsistency (thread starvation).");
+}

@@ -1,0 +1,39 @@
+//! # hbm — Automatic HBM Management: Models and Algorithms
+//!
+//! Facade crate for the reproduction of DeLayo et al., *Automatic HBM
+//! Management: Models and Algorithms* (SPAA 2022). It re-exports the
+//! workspace crates so downstream users can depend on a single crate:
+//!
+//! * [`core`] — the HBM+DRAM model simulator (tick engine, far-channel
+//!   arbitration policies, block-replacement policies, metrics).
+//! * [`traces`] — instrumented workload generators (GNU-sort analogue,
+//!   TACO-style SpGEMM, dense matmul, adversarial and synthetic traces).
+//! * [`assoc`] — the direct-mapped-cache transformation of §2 (Lemma 1).
+//! * [`knl`] — the synthetic Knights Landing machine model and the
+//!   pointer-chasing / GLUPS microbenchmarks of §5.
+//! * [`experiments`] — ready-made reproductions of every figure and table.
+//! * [`par`] — small crossbeam-based parallel sweep utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hbm::core::{SimBuilder, ArbitrationKind, ReplacementKind};
+//! use hbm::traces::adversarial::cyclic_workload;
+//!
+//! // 8 cores, each cycling through 64 unique pages 10 times; HBM holds
+//! // only a quarter of the total unique pages — the FIFO-killer of §3.2.
+//! let workload = cyclic_workload(8, 64, 10);
+//! let report = SimBuilder::new()
+//!     .hbm_slots(8 * 64 / 4)
+//!     .arbitration(ArbitrationKind::Priority)
+//!     .replacement(ReplacementKind::Lru)
+//!     .run(&workload);
+//! assert!(report.makespan > 0);
+//! ```
+
+pub use hbm_assoc as assoc;
+pub use hbm_core as core;
+pub use hbm_experiments as experiments;
+pub use hbm_knl_model as knl;
+pub use hbm_par as par;
+pub use hbm_traces as traces;

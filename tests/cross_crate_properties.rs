@@ -1,0 +1,122 @@
+//! Property-based tests across crate boundaries: random kernel specs and
+//! simulator configurations, checking the invariants that tie the repo
+//! together.
+
+use hbm::core::{ArbitrationKind, ReplacementKind, SimBuilder};
+use hbm::traces::{SortAlgo, TraceOptions, WorkloadSpec};
+use proptest::prelude::*;
+
+fn small_specs() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (500usize..3000).prop_map(|n| WorkloadSpec::Sort {
+            algo: SortAlgo::Introsort,
+            n
+        }),
+        (500usize..3000).prop_map(|n| WorkloadSpec::Sort {
+            algo: SortAlgo::Mergesort,
+            n
+        }),
+        (20usize..60, 0.05f64..0.3).prop_map(|(n, density)| WorkloadSpec::SpGemm { n, density }),
+        (8u32..64, 2usize..6).prop_map(|(pages, reps)| WorkloadSpec::Cyclic { pages, reps }),
+        (10u32..200, 100usize..2000, 0.5f64..1.5)
+            .prop_map(|(pages, len, alpha)| WorkloadSpec::Zipf { pages, len, alpha }),
+        (8u32..64, 1usize..4).prop_map(|(pages, laps)| WorkloadSpec::PermutationWalk {
+            pages,
+            laps
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated workload simulates to completion under any policy,
+    /// serving exactly its reference count, with a makespan at least the
+    /// longest trace and at most the fully-serialized bound.
+    #[test]
+    fn any_kernel_any_policy_terminates_and_conserves(
+        spec in small_specs(),
+        p in 1usize..6,
+        k_ws in 1usize..4,
+        q in 1usize..3,
+        arb_idx in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let w = spec.workload(p, seed, TraceOptions::default());
+        let k = (k_ws * w.trace(0).unique_pages()).max(4);
+        let arb = [
+            ArbitrationKind::Fifo,
+            ArbitrationKind::Priority,
+            ArbitrationKind::DynamicPriority { period: (k as u64).max(1) },
+            ArbitrationKind::RandomPick,
+        ][arb_idx];
+        let r = SimBuilder::new()
+            .hbm_slots(k)
+            .channels(q)
+            .arbitration(arb)
+            .seed(seed)
+            .max_ticks(200_000_000)
+            .run(&w);
+        prop_assert!(!r.truncated);
+        prop_assert_eq!(r.served, w.total_refs() as u64);
+        prop_assert!(r.makespan >= w.max_trace_len() as u64);
+        // Fully-serialized upper bound: every reference a miss, one per
+        // tick across all channels, plus per-core serve ticks.
+        let upper = 3 * w.total_refs() as u64 + 16;
+        prop_assert!(r.makespan <= upper, "makespan {} > bound {}", r.makespan, upper);
+    }
+
+    /// Replacement policy never changes *correctness*, only performance:
+    /// served counts identical, makespans within the serialized bound.
+    #[test]
+    fn replacement_changes_performance_not_semantics(
+        spec in small_specs(),
+        seed in 0u64..20,
+    ) {
+        let w = spec.workload(3, seed, TraceOptions::default());
+        let k = w.trace(0).unique_pages().max(4);
+        let mut served = Vec::new();
+        for rep in ReplacementKind::ALL {
+            let r = SimBuilder::new()
+                .hbm_slots(k)
+                .arbitration(ArbitrationKind::Priority)
+                .replacement(rep)
+                .seed(seed)
+                .run(&w);
+            served.push(r.served);
+        }
+        prop_assert!(served.windows(2).all(|x| x[0] == x[1]));
+    }
+
+    /// The Lemma 1 transformation is exact on arbitrary generated traces.
+    #[test]
+    fn transformation_exact_on_generated_traces(
+        spec in small_specs(),
+        k in 8usize..128,
+        seed in 0u64..20,
+    ) {
+        use hbm::assoc::transform::{measure_overhead, Discipline};
+        let stream: Vec<u64> = spec
+            .generate_trace(seed, TraceOptions::default())
+            .into_iter()
+            .map(|p| p as u64)
+            .collect();
+        let o = measure_overhead(&stream, k, Discipline::Lru, seed);
+        prop_assert_eq!(o.reference_misses, o.transformed_misses);
+        prop_assert!(o.transfers_per_miss <= 2.0);
+    }
+
+    /// Workload serialization round-trips bit-exactly for any generated
+    /// workload.
+    #[test]
+    fn io_roundtrip(spec in small_specs(), p in 1usize..4, seed in 0u64..20) {
+        let w = spec.workload(p, seed, TraceOptions::default());
+        let mut buf = Vec::new();
+        hbm::traces::io::write_workload(&w, &mut buf).unwrap();
+        let w2 = hbm::traces::io::read_workload(&buf[..]).unwrap();
+        prop_assert_eq!(w.cores(), w2.cores());
+        for c in 0..w.cores() as u32 {
+            prop_assert_eq!(w.trace(c).as_slice(), w2.trace(c).as_slice());
+        }
+    }
+}
