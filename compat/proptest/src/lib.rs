@@ -1,0 +1,1219 @@
+//! Offline in-tree stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no network access and no
+//! vendored registry, so the real `proptest` cannot be resolved. This crate
+//! reimplements the subset of its API the workspace uses, with the same
+//! semantics where they matter for the tests:
+//!
+//! - [`Strategy`] / [`ValueTree`] with genuine shrinking (binary search on
+//!   numbers, element removal + recursive element shrinking on vectors,
+//!   shrink-through-map on [`Map`]).
+//! - The [`proptest!`] macro, [`ProptestConfig`], `prop_assert*!`,
+//!   [`prop_oneof!`], [`Just`], [`any`], tuple strategies, integer and `f64`
+//!   range strategies, and `prop::collection::vec`.
+//! - Deterministic seeding derived from the test name, overridable with
+//!   `PROPTEST_SEED`; case count overridable with `PROPTEST_CASES`.
+//!
+//! Failing cases are shrunk and reported with the minimal input found plus
+//! the seed needed to replay the run.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64 seeding + xoshiro256**)
+// ---------------------------------------------------------------------------
+
+/// The RNG handed to strategies when generating a value tree.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Expands a 64-bit seed into the full generator state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..span` (`span > 0`), unbiased via rejection.
+    pub fn gen_index(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "gen_index span must be positive");
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core traits
+// ---------------------------------------------------------------------------
+
+/// A generated value plus the state needed to shrink it.
+///
+/// `simplify` moves toward a simpler value; `complicate` steps back toward
+/// the last known-failing value after an over-aggressive simplification.
+/// Both return `false` when no further movement is possible.
+pub trait ValueTree {
+    /// The value type produced.
+    type Value: fmt::Debug;
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+    /// Attempts to make the current value simpler.
+    fn simplify(&mut self) -> bool;
+    /// Attempts to partially undo the last simplification.
+    fn complicate(&mut self) -> bool;
+}
+
+/// A recipe for generating shrinkable values.
+pub trait Strategy: Clone {
+    /// The value type produced.
+    type Value: fmt::Debug + Clone + 'static;
+    /// The shrink-state type produced by [`Strategy::new_tree`].
+    type Tree: ValueTree<Value = Self::Value>;
+
+    /// Generates a fresh value tree from `rng`.
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+    /// Maps generated values through `f`, shrinking through the map.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: fmt::Debug + Clone + 'static,
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy for storage in heterogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(ObjStrategyImpl(self)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer range strategies (binary-search shrinking toward the range start)
+// ---------------------------------------------------------------------------
+
+/// Shrink state for numeric strategies: binary search over `[min, hi]`
+/// where `hi` is the smallest known-failing value.
+#[derive(Debug, Clone)]
+pub struct NumTree<T> {
+    min: i128,
+    curr: i128,
+    hi: i128,
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl ValueTree for NumTree<$t> {
+            type Value = $t;
+            fn current(&self) -> $t {
+                self.curr as $t
+            }
+            fn simplify(&mut self) -> bool {
+                if self.curr == self.min {
+                    return false;
+                }
+                self.hi = self.curr;
+                self.curr = self.min + (self.curr - self.min) / 2;
+                true
+            }
+            fn complicate(&mut self) -> bool {
+                if self.curr >= self.hi {
+                    return false;
+                }
+                // hi > curr here, so the difference is positive.
+                let step = (self.hi - self.curr + 1) / 2;
+                self.curr += step;
+                true
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            type Tree = NumTree<$t>;
+            fn new_tree(&self, rng: &mut TestRng) -> NumTree<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let pick = self.start as i128
+                    + rng.gen_index(span.min(u64::MAX as u128) as u64) as i128;
+                NumTree {
+                    min: self.start as i128,
+                    curr: pick,
+                    hi: pick,
+                    _marker: std::marker::PhantomData,
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            type Tree = NumTree<$t>;
+            fn new_tree(&self, rng: &mut TestRng) -> NumTree<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let pick = if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i128-scale ranges:
+                    // sample the low 64 bits uniformly.
+                    lo as i128 + rng.next_u64() as i128
+                } else {
+                    lo as i128 + rng.gen_index(span as u64) as i128
+                };
+                NumTree {
+                    min: lo as i128,
+                    curr: pick,
+                    hi: pick,
+                    _marker: std::marker::PhantomData,
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )+};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// f64 range strategy
+// ---------------------------------------------------------------------------
+
+/// Shrink state for `f64` ranges: halving toward the range start with an
+/// epsilon cutoff to guarantee termination.
+#[derive(Debug, Clone)]
+pub struct F64Tree {
+    min: f64,
+    curr: f64,
+    hi: f64,
+    eps: f64,
+}
+
+impl ValueTree for F64Tree {
+    type Value = f64;
+    fn current(&self) -> f64 {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if (self.curr - self.min).abs() <= self.eps {
+            return false;
+        }
+        self.hi = self.curr;
+        self.curr = self.min + (self.curr - self.min) / 2.0;
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        if (self.hi - self.curr).abs() <= self.eps {
+            return false;
+        }
+        self.curr += (self.hi - self.curr) / 2.0;
+        true
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    type Tree = F64Tree;
+    fn new_tree(&self, rng: &mut TestRng) -> F64Tree {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let pick = self.start + rng.gen_f64() * (self.end - self.start);
+        F64Tree {
+            min: self.start,
+            curr: pick,
+            hi: pick,
+            eps: (self.end - self.start).abs() * 1e-6 + 1e-12,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bool
+// ---------------------------------------------------------------------------
+
+/// Shrink state for `bool`: `true` simplifies to `false` once.
+#[derive(Debug, Clone)]
+pub struct BoolTree {
+    curr: bool,
+    orig: bool,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr {
+            self.curr = false;
+            true
+        } else {
+            false
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        if !self.curr && self.orig {
+            self.curr = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    type Tree = BoolTree;
+    fn new_tree(&self, rng: &mut TestRng) -> BoolTree {
+        let v = rng.next_u64() & 1 == 1;
+        BoolTree { curr: v, orig: v }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just
+// ---------------------------------------------------------------------------
+
+/// A strategy that always yields one fixed value (no shrinking).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+/// Value tree for [`Just`].
+#[derive(Debug, Clone)]
+pub struct JustTree<T>(T);
+
+impl<T: fmt::Debug + Clone> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    type Tree = JustTree<T>;
+    fn new_tree(&self, _rng: &mut TestRng) -> JustTree<T> {
+        JustTree(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+/// Value tree for [`Map`]: shrinks the inner tree, mapping on read.
+pub struct MapTree<T, F> {
+    inner: T,
+    f: F,
+}
+
+impl<T, F, O> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> O,
+    O: fmt::Debug,
+{
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+    O: fmt::Debug + Clone + 'static,
+{
+    type Value = O;
+    type Tree = MapTree<S::Tree, F>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        MapTree {
+            inner: self.source.new_tree(rng),
+            f: self.f.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boxed strategies + Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub trait ObjTree<V> {
+    fn obj_current(&self) -> V;
+    fn obj_simplify(&mut self) -> bool;
+    fn obj_complicate(&mut self) -> bool;
+}
+
+impl<T: ValueTree> ObjTree<T::Value> for T {
+    fn obj_current(&self) -> T::Value {
+        self.current()
+    }
+    fn obj_simplify(&mut self) -> bool {
+        self.simplify()
+    }
+    fn obj_complicate(&mut self) -> bool {
+        self.complicate()
+    }
+}
+
+impl<V: fmt::Debug> ValueTree for Box<dyn ObjTree<V>> {
+    type Value = V;
+    fn current(&self) -> V {
+        (**self).obj_current()
+    }
+    fn simplify(&mut self) -> bool {
+        (**self).obj_simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        (**self).obj_complicate()
+    }
+}
+
+trait ObjStrategy<V> {
+    fn obj_new_tree(&self, rng: &mut TestRng) -> Box<dyn ObjTree<V>>;
+}
+
+struct ObjStrategyImpl<S>(S);
+
+impl<S> ObjStrategy<S::Value> for ObjStrategyImpl<S>
+where
+    S: Strategy + 'static,
+{
+    fn obj_new_tree(&self, rng: &mut TestRng) -> Box<dyn ObjTree<S::Value>> {
+        Box::new(self.0.new_tree(rng))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<V>(Rc<dyn ObjStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: fmt::Debug + Clone + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    type Tree = Box<dyn ObjTree<V>>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        self.0.obj_new_tree(rng)
+    }
+}
+
+/// Uniform choice between alternative strategies ([`prop_oneof!`]).
+///
+/// Shrinking stays within the chosen branch.
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// A union over the given alternatives (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<V: fmt::Debug + Clone + 'static> Strategy for Union<V> {
+    type Value = V;
+    type Tree = Box<dyn ObjTree<V>>;
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        let idx = rng.gen_index(self.0.len() as u64) as usize;
+        self.0[idx].new_tree(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($TreeName:ident; $(($T:ident, $t:ident, $i:expr)),+) => {
+        /// Shrink state for a tuple strategy; components shrink left to
+        /// right, `complicate` routes to the last-shrunk component.
+        pub struct $TreeName<$($T),+> {
+            $($t: $T,)+
+            last: usize,
+        }
+
+        impl<$($T: ValueTree),+> ValueTree for $TreeName<$($T),+> {
+            type Value = ($($T::Value,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.$t.current(),)+)
+            }
+            fn simplify(&mut self) -> bool {
+                $(
+                    if self.$t.simplify() {
+                        self.last = $i;
+                        return true;
+                    }
+                )+
+                false
+            }
+            fn complicate(&mut self) -> bool {
+                $(
+                    if self.last == $i {
+                        return self.$t.complicate();
+                    }
+                )+
+                false
+            }
+        }
+
+        impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+            type Value = ($($T::Value,)+);
+            type Tree = $TreeName<$($T::Tree),+>;
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                let ($($t,)+) = self;
+                $TreeName {
+                    $($t: $t.new_tree(rng),)+
+                    last: usize::MAX,
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(Tuple1Tree; (A, t0, 0));
+impl_tuple!(Tuple2Tree; (A, t0, 0), (B, t1, 1));
+impl_tuple!(Tuple3Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2));
+impl_tuple!(Tuple4Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2), (D, t3, 3));
+impl_tuple!(Tuple5Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2), (D, t3, 3), (E, t4, 4));
+impl_tuple!(Tuple6Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2), (D, t3, 3), (E, t4, 4), (F, t5, 5));
+impl_tuple!(Tuple7Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2), (D, t3, 3), (E, t4, 4), (F, t5, 5), (G, t6, 6));
+impl_tuple!(Tuple8Tree; (A, t0, 0), (B, t1, 1), (C, t2, 2), (D, t3, 3), (E, t4, 4), (F, t5, 5), (G, t6, 6), (H, t7, 7));
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// `prop::collection` — currently just [`collection::vec`].
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length.
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths in the given range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element` with a length drawn from
+    /// `size`. Shrinks by dropping elements (respecting the minimum
+    /// length), then by shrinking individual elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum LastAction {
+        None,
+        Removed(usize),
+        Shrunk(usize),
+    }
+
+    /// Shrink state for [`VecStrategy`].
+    pub struct VecValueTree<T> {
+        elems: Vec<T>,
+        included: Vec<bool>,
+        min_len: usize,
+        rm_ptr: usize,
+        el_ptr: usize,
+        last: LastAction,
+    }
+
+    impl<T: ValueTree> VecValueTree<T> {
+        fn live(&self) -> usize {
+            self.included.iter().filter(|&&b| b).count()
+        }
+    }
+
+    impl<T: ValueTree> ValueTree for VecValueTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Self::Value {
+            self.elems
+                .iter()
+                .zip(&self.included)
+                .filter(|&(_, &inc)| inc)
+                .map(|(e, _)| e.current())
+                .collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            while self.rm_ptr < self.elems.len() {
+                let i = self.rm_ptr;
+                self.rm_ptr += 1;
+                if self.included[i] && self.live() > self.min_len {
+                    self.included[i] = false;
+                    self.last = LastAction::Removed(i);
+                    return true;
+                }
+            }
+            while self.el_ptr < self.elems.len() {
+                let i = self.el_ptr;
+                if self.included[i] && self.elems[i].simplify() {
+                    self.last = LastAction::Shrunk(i);
+                    return true;
+                }
+                self.el_ptr += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            match self.last {
+                LastAction::Removed(i) => {
+                    self.included[i] = true;
+                    self.last = LastAction::None;
+                    true
+                }
+                LastAction::Shrunk(i) => {
+                    let moved = self.elems[i].complicate();
+                    if !moved {
+                        self.last = LastAction::None;
+                    }
+                    moved
+                }
+                LastAction::None => false,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        type Tree = VecValueTree<S::Tree>;
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+            let span = (self.size.max_incl - self.size.min + 1) as u64;
+            let len = self.size.min + rng.gen_index(span) as usize;
+            let elems: Vec<S::Tree> = (0..len).map(|_| self.element.new_tree(rng)).collect();
+            let included = vec![true; len];
+            VecValueTree {
+                elems,
+                included,
+                min_len: self.size.min,
+                rm_ptr: 0,
+                el_ptr: 0,
+                last: LastAction::None,
+            }
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with sizes in the given range.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        inner: VecStrategy<S>,
+        min: usize,
+    }
+
+    /// Generates sets of *distinct* values from `element` with a size drawn
+    /// from `size`. Generation redraws until the deduplicated draw meets the
+    /// minimum size; shrinking reuses the vec shrinker and rejects any step
+    /// that would dedup the set below the minimum.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let size = size.into();
+        BTreeSetStrategy {
+            inner: VecStrategy { element, size },
+            min: size.min,
+        }
+    }
+
+    /// Shrink state for [`BTreeSetStrategy`].
+    pub struct BTreeSetValueTree<T: ValueTree> {
+        inner: VecValueTree<T>,
+        min: usize,
+    }
+
+    impl<T: ValueTree> BTreeSetValueTree<T>
+    where
+        T::Value: Ord,
+    {
+        fn set_len(&self) -> usize {
+            self.inner
+                .current()
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+                .len()
+        }
+    }
+
+    impl<T: ValueTree> ValueTree for BTreeSetValueTree<T>
+    where
+        T::Value: Ord + Clone + fmt::Debug + 'static,
+    {
+        type Value = BTreeSet<T::Value>;
+
+        fn current(&self) -> Self::Value {
+            self.inner.current().into_iter().collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            if !self.inner.simplify() {
+                return false;
+            }
+            if self.set_len() < self.min {
+                // Undo the step that collapsed duplicates below the minimum
+                // and stop shrinking here (conservative but sound).
+                let _ = self.inner.complicate();
+                return false;
+            }
+            true
+        }
+
+        fn complicate(&mut self) -> bool {
+            self.inner.complicate()
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        type Tree = BTreeSetValueTree<S::Tree>;
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+            for _ in 0..64 {
+                let tree = self.inner.new_tree(rng);
+                let distinct = tree.current().into_iter().collect::<BTreeSet<_>>().len();
+                if distinct >= self.min {
+                    return BTreeSetValueTree {
+                        inner: tree,
+                        min: self.min,
+                    };
+                }
+            }
+            panic!(
+                "btree_set: element strategy cannot produce {} distinct values",
+                self.min
+            );
+        }
+    }
+}
+
+/// Namespace mirror of the real crate: `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: fmt::Debug + Clone + 'static {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (e.g. `any::<bool>()`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// Errors, config, runner
+// ---------------------------------------------------------------------------
+
+/// A test-case failure produced by the `prop_assert*!` macros (or a panic).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Upper bound on shrink iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// Default config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case<V, F>(test: &F, value: V) -> Option<TestCaseError>
+where
+    V: fmt::Debug,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test panicked".to_string());
+            Some(TestCaseError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Drives one property test: generates `config.cases` inputs, and on the
+/// first failure shrinks to a minimal failing input before panicking.
+///
+/// `PROPTEST_CASES` overrides the case count; `PROPTEST_SEED` fixes the
+/// base seed (by default derived from the test name, so runs are
+/// deterministic but distinct per test).
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let base_seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+
+    for case in 0..cases as u64 {
+        let mut rng = TestRng::seed_from_u64(
+            base_seed ^ (case.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut tree = strategy.new_tree(&mut rng);
+        let Some(mut failure) = run_case(&test, tree.current()) else {
+            continue;
+        };
+        let mut minimal = tree.current();
+        let mut iters: u32 = 0;
+        'shrink: while iters < config.max_shrink_iters {
+            iters += 1;
+            if !tree.simplify() {
+                break;
+            }
+            match run_case(&test, tree.current()) {
+                Some(f) => {
+                    failure = f;
+                    minimal = tree.current();
+                }
+                None => loop {
+                    if iters >= config.max_shrink_iters {
+                        break 'shrink;
+                    }
+                    iters += 1;
+                    if !tree.complicate() {
+                        break 'shrink;
+                    }
+                    if let Some(f) = run_case(&test, tree.current()) {
+                        failure = f;
+                        minimal = tree.current();
+                        break;
+                    }
+                },
+            }
+        }
+        panic!(
+            "proptest `{name}` failed at case {case}/{cases} \
+             (base seed {base_seed}; set PROPTEST_SEED={base_seed} to replay)\n\
+             minimal failing input: {minimal:?}\n{failure}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(config = $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat_param in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($s,)+);
+            $crate::run_proptest(&config, stringify!($name), strategy, |($($p,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items!(config = $config; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (and
+/// triggering shrinking) rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left != *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among the listed strategies (all must yield the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = (5u32..17).new_tree(&mut rng);
+            let v = t.current();
+            assert!((5..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shrink_finds_boundary() {
+        // Property: x < 50. Fails for x >= 50; minimal counterexample is 50.
+        let mut found = None;
+        let strategy = 0u32..1000;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_proptest(
+                &ProptestConfig::with_cases(64),
+                "shrink_finds_boundary_inner",
+                strategy,
+                |x| {
+                    if x >= 50 {
+                        Err(TestCaseError::fail(format!("x = {x}")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        if let Err(p) = result {
+            let msg = p.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("minimal failing input: 50"),
+                "expected shrink to 50, got: {msg}"
+            );
+            found = Some(());
+        }
+        assert!(found.is_some(), "property should have failed");
+    }
+
+    #[test]
+    fn vec_shrinks_toward_minimal_length() {
+        let strategy = collection::vec(0u32..100, 0..20);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_proptest(
+                &ProptestConfig::with_cases(64),
+                "vec_shrink_inner",
+                strategy,
+                |v: Vec<u32>| {
+                    if v.len() >= 3 {
+                        Err(TestCaseError::fail("too long"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let p = result.expect_err("property should fail");
+        let msg = p.downcast_ref::<String>().cloned().unwrap_or_default();
+        // Minimal failing vec has exactly 3 elements, each shrunk to 0.
+        assert!(
+            msg.contains("[0, 0, 0]"),
+            "expected minimal vec [0, 0, 0], got: {msg}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_with_config(v in prop::collection::vec(0u8..10, 0..8)) {
+            prop_assert!(v.len() < 8);
+            for b in &v {
+                prop_assert!(*b < 10);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(
+            kind in prop_oneof![Just(1u32), Just(2u32), 10u32..20],
+            pair in (0u32..5, 0.1f64..0.9).prop_map(|(a, f)| (a * 2, f)),
+        ) {
+            prop_assert!(kind == 1 || kind == 2 || (10..20).contains(&kind));
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(pair.1 > 0.0 && pair.1 < 1.0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline in-tree stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` for documentation and
+//! future wire formats but performs no runtime (de)serialization — results
+//! are written as hand-rolled CSV. In an environment with no network and no
+//! vendored registry the real crate cannot be resolved, so this stand-in
+//! provides the same names: marker traits with blanket impls (so any
+//! `T: Serialize` bound is satisfied) and the no-op derive macros from the
+//! `serde_derive` stand-in.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(feature = "serde_derive")]
+pub use serde_derive::{Deserialize, Serialize};

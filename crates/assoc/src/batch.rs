@@ -288,8 +288,7 @@ mod tests {
                     // Ensure uniqueness within a batch (processors touch
                     // distinct pages).
                     let mut seen = std::collections::HashSet::new();
-                    let vals: Vec<u64> =
-                        vals.into_iter().filter(|v| seen.insert(*v)).collect();
+                    let vals: Vec<u64> = vals.into_iter().filter(|v| seen.insert(*v)).collect();
                     l.batch_move_to_front(&vals);
                     reference.retain(|v| !vals.contains(v));
                     for &v in vals.iter().rev() {

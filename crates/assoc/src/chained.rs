@@ -207,7 +207,11 @@ mod tests {
             t.insert(i, 0);
             t.remove(i);
         }
-        assert!(t.entries.len() <= 2, "slab should recycle, used {}", t.entries.len());
+        assert!(
+            t.entries.len() <= 2,
+            "slab should recycle, used {}",
+            t.entries.len()
+        );
     }
 
     #[test]

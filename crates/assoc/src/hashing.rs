@@ -68,7 +68,13 @@ mod tests {
 
     #[test]
     fn mod_mersenne_agrees_with_wide_arithmetic() {
-        for x in [0u128, 1, MERSENNE_61 as u128, u64::MAX as u128, u128::MAX >> 6] {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            u64::MAX as u128,
+            u128::MAX >> 6,
+        ] {
             assert_eq!(mod_mersenne(x), (x % MERSENNE_61 as u128) as u64, "x={x}");
         }
     }
@@ -96,7 +102,9 @@ mod tests {
     fn different_members_differ() {
         let a = CarterWegman::from_seed(1);
         let b = CarterWegman::from_seed(2);
-        let same = (0..200u64).filter(|&x| a.hash(x, 1 << 20) == b.hash(x, 1 << 20)).count();
+        let same = (0..200u64)
+            .filter(|&x| a.hash(x, 1 << 20) == b.hash(x, 1 << 20))
+            .count();
         assert!(same < 5);
     }
 
@@ -116,7 +124,11 @@ mod tests {
             }
         }
         let rate = collisions as f64 / trials as f64;
-        assert!(rate < 3.0 / m as f64, "collision rate {rate} vs 1/m {}", 1.0 / m as f64);
+        assert!(
+            rate < 3.0 / m as f64,
+            "collision rate {rate} vs 1/m {}",
+            1.0 / m as f64
+        );
     }
 
     #[test]

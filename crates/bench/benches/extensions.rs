@@ -22,7 +22,11 @@ fn run(w: &Workload, k: usize, arb: ArbitrationKind, far: u64) -> u64 {
 fn bench_shared(c: &mut Criterion) {
     let shared = spgemm_shared_workload(12, 60, 0.1, 42, 4096, true);
     let disjoint = Workload::from_refs(
-        shared.traces().iter().map(|t| t.as_slice().to_vec()).collect(),
+        shared
+            .traces()
+            .iter()
+            .map(|t| t.as_slice().to_vec())
+            .collect(),
     );
     let k = disjoint.total_unique_pages() / 2;
     // Shape check: sharing saves far-channel fetches.
@@ -67,7 +71,10 @@ fn bench_graph(c: &mut Criterion) {
 }
 
 fn bench_far_latency(c: &mut Criterion) {
-    let spec = WorkloadSpec::Cyclic { pages: 64, reps: 10 };
+    let spec = WorkloadSpec::Cyclic {
+        pages: 64,
+        reps: 10,
+    };
     let w = spec.workload(16, 42, TraceOptions::default());
     let k = 16 * 64 / 4;
     let mut group = c.benchmark_group("far_latency");
@@ -81,14 +88,21 @@ fn bench_far_latency(c: &mut Criterion) {
 }
 
 fn bench_sweep_priority(c: &mut Criterion) {
-    let spec = WorkloadSpec::SpGemm { n: 80, density: 0.1 };
+    let spec = WorkloadSpec::SpGemm {
+        n: 80,
+        density: 0.1,
+    };
     let w = spec.workload(16, 42, TraceOptions::default());
     let k = 2 * w.trace(0).unique_pages();
     let mut group = c.benchmark_group("sweep_priority");
     group.sample_size(10);
     for arb in [
-        ArbitrationKind::SweepPriority { period: 10 * k as u64 },
-        ArbitrationKind::DynamicPriority { period: 10 * k as u64 },
+        ArbitrationKind::SweepPriority {
+            period: 10 * k as u64,
+        },
+        ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        },
     ] {
         group.bench_function(BenchmarkId::from_parameter(arb.label()), |b| {
             b.iter(|| black_box(run(&w, k, arb, 1)))

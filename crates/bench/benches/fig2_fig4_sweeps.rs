@@ -18,11 +18,9 @@ fn bench_fig2(c: &mut Criterion) {
         let prio = run(&w, k, ArbitrationKind::Priority);
         verify_priority_wins(&fifo, &prio, 1.2);
         for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
-            group.bench_with_input(
-                BenchmarkId::new(name, arb.label()),
-                &arb,
-                |b, &arb| b.iter(|| black_box(run(&w, k, arb)).makespan),
-            );
+            group.bench_with_input(BenchmarkId::new(name, arb.label()), &arb, |b, &arb| {
+                b.iter(|| black_box(run(&w, k, arb)).makespan)
+            });
         }
     }
     group.finish();

@@ -27,11 +27,9 @@ fn bench_fig3(c: &mut Criterion) {
         let (w, k) = fig3_config(p);
         group.throughput(Throughput::Elements(w.total_refs() as u64));
         for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
-            group.bench_with_input(
-                BenchmarkId::new(arb.label(), p),
-                &arb,
-                |b, &arb| b.iter(|| black_box(run(&w, k, arb)).makespan),
-            );
+            group.bench_with_input(BenchmarkId::new(arb.label(), p), &arb, |b, &arb| {
+                b.iter(|| black_box(run(&w, k, arb)).makespan)
+            });
         }
     }
     group.finish();

@@ -20,9 +20,7 @@ fn bench_knl(c: &mut Criterion) {
     for (name, bytes) in [("64MiB", 64 * MIB), ("4GiB", 4 * GIB), ("64GiB", 64 * GIB)] {
         for mode in [MemMode::FlatDram, MemMode::Cache] {
             group.bench_function(BenchmarkId::new(mode.to_string(), name), |b| {
-                b.iter(|| {
-                    black_box(simulate_latency_ns(&m, mode, bytes, 100_000, 7))
-                })
+                b.iter(|| black_box(simulate_latency_ns(&m, mode, bytes, 100_000, 7)))
             });
         }
     }
@@ -33,9 +31,7 @@ fn bench_knl(c: &mut Criterion) {
     for (name, bytes) in [("1GiB", GIB), ("32GiB", 32 * GIB)] {
         for mode in [MemMode::FlatDram, MemMode::FlatHbm, MemMode::Cache] {
             group.bench_function(BenchmarkId::new(mode.to_string(), name), |b| {
-                b.iter(|| {
-                    black_box(simulate_bandwidth_mibs(&m, mode, bytes, 100_000, 7))
-                })
+                b.iter(|| black_box(simulate_bandwidth_mibs(&m, mode, bytes, 100_000, 7)))
             });
         }
     }

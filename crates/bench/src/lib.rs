@@ -55,7 +55,10 @@ pub fn run(w: &Workload, k: usize, arb: ArbitrationKind) -> Report {
 pub fn fig3_config(p: usize) -> (Workload, usize) {
     let pages = 64;
     let reps = 10;
-    (cyclic_workload(p, pages, reps), figure3_hbm_slots(p, pages, 4))
+    (
+        cyclic_workload(p, pages, reps),
+        figure3_hbm_slots(p, pages, 4),
+    )
 }
 
 /// Asserts the Figure 2/3 shape: Priority beats FIFO under contention.

@@ -76,7 +76,10 @@ mod tests {
         }
         let mut buf = Vec::new();
         a.select(10, &mut buf);
-        assert_eq!(buf.iter().map(|r| r.core).collect::<Vec<_>>(), vec![5, 2, 9]);
+        assert_eq!(
+            buf.iter().map(|r| r.core).collect::<Vec<_>>(),
+            vec![5, 2, 9]
+        );
     }
 
     #[test]

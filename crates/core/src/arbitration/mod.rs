@@ -272,7 +272,10 @@ mod tests {
             ArbitrationKind::DynamicPriority { period: 100 }.label(),
             "Dynamic(T=100)"
         );
-        assert_eq!(ArbitrationKind::FrFcfs { row_shift: 3 }.label(), "FR-FCFS(row=2^3)");
+        assert_eq!(
+            ArbitrationKind::FrFcfs { row_shift: 3 }.label(),
+            "FR-FCFS(row=2^3)"
+        );
     }
 
     #[test]

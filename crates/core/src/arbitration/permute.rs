@@ -63,7 +63,11 @@ pub fn interleave(pi: &mut [u32]) {
     }
     let half = n.div_ceil(2);
     for v in pi.iter_mut() {
-        *v = if *v < half { *v * 2 } else { (*v - half) * 2 + 1 };
+        *v = if *v < half {
+            *v * 2
+        } else {
+            (*v - half) * 2 + 1
+        };
     }
 }
 

@@ -100,13 +100,20 @@ impl PriorityArbiter {
 impl ArbitrationPolicy for PriorityArbiter {
     fn enqueue(&mut self, req: Request) {
         let c = req.core as usize;
-        debug_assert!(self.pending[c].is_none(), "core {} already queued", req.core);
+        debug_assert!(
+            self.pending[c].is_none(),
+            "core {} already queued",
+            req.core
+        );
         self.pending[c] = Some(req);
         self.waiting.insert((self.pi[c], req.core));
     }
 
     fn maybe_remap(&mut self, tick: Tick) -> bool {
-        if self.strategy == RemapStrategy::None || self.period == 0 || !tick.is_multiple_of(self.period) {
+        if self.strategy == RemapStrategy::None
+            || self.period == 0
+            || !tick.is_multiple_of(self.period)
+        {
             return false;
         }
         self.apply_remap();

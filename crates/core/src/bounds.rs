@@ -39,8 +39,8 @@ pub fn makespan_lower_bound(workload: &Workload, _k: usize, q: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SimBuilder;
     use crate::arbitration::ArbitrationKind;
+    use crate::config::SimBuilder;
 
     #[test]
     fn bounds_on_simple_workload() {

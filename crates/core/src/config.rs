@@ -182,7 +182,11 @@ impl SimBuilder {
     }
 
     /// Runs with a custom [`SimObserver`] receiving every event.
-    pub fn run_with_observer<O: SimObserver>(&self, workload: &Workload, observer: &mut O) -> Report {
+    pub fn run_with_observer<O: SimObserver>(
+        &self,
+        workload: &Workload,
+        observer: &mut O,
+    ) -> Report {
         if let Err(e) = self.config.validate() {
             panic!("invalid simulation config: {e}");
         }

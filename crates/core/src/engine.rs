@@ -24,6 +24,16 @@
 //!
 //! The engine runs in O(total references + makespan·q) time and O(p + k)
 //! space: cores waiting in the DRAM queue cost nothing per tick.
+//!
+//! **Canonical intra-tick order:** wherever the paper says "for each core"
+//! (steps 2 and 4), the engine processes cores in increasing core id, and
+//! in-flight transfers land in the order they were started. This pins down
+//! a single deterministic trajectory — replacement-policy state, RNG draws
+//! and observer event streams included — which the naive
+//! [`crate::oracle::OracleEngine`] reproduces independently; the
+//! differential suite (`crates/core/tests/differential.rs`) asserts the two
+//! engines are bit-identical. Any optimization that reorders these loops
+//! must preserve the canonical order or fail that suite.
 
 use crate::arbitration::{ArbitrationPolicy, Request};
 use crate::config::SimConfig;
@@ -159,8 +169,11 @@ impl<'w> Engine<'w> {
             observer.on_remap(t);
         }
 
-        // Step 2: issue requests; misses enter the DRAM queue.
+        // Step 2: issue requests; misses enter the DRAM queue. The worklist
+        // is sorted so "for each core" means increasing core id (canonical
+        // order, see module docs).
         debug_assert!(self.need_issue_next.is_empty());
+        self.need_issue.sort_unstable();
         for i in 0..self.need_issue.len() {
             let core = self.need_issue[i];
             let rt = &mut self.cores[core as usize];
@@ -210,7 +223,10 @@ impl<'w> Engine<'w> {
             }
         }
 
-        // Step 4: serve resident requests.
+        // Step 4: serve resident requests in increasing core id (canonical
+        // order; the list arrives in landing order, which follows fetch
+        // order, not id order).
+        self.ready.sort_unstable();
         for i in 0..self.ready.len() {
             let core = self.ready[i];
             let rt = &mut self.cores[core as usize];
@@ -244,10 +260,7 @@ impl<'w> Engine<'w> {
         // paper's model) a transfer started now lands now, so the two
         // phases collapse into the original "fetch up to q pages".
         let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
-        let room = self
-            .hbm
-            .free_slots()
-            .saturating_sub(self.in_flight.len());
+        let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
         let n = free_channels.min(room);
         self.arbiter.select(n, &mut self.fetch_buf);
         for i in 0..self.fetch_buf.len() {
@@ -261,7 +274,10 @@ impl<'w> Engine<'w> {
             }
             self.in_flight.push((t + self.config.far_latency - 1, req));
         }
-        // Land arrivals (including same-tick ones when far_latency == 1).
+        // Land arrivals (including same-tick ones when far_latency == 1) in
+        // the order the transfers started — stable `remove`, not
+        // `swap_remove`, so HBM insertion order is canonical. The list
+        // holds at most q entries, so the shift is negligible.
         let mut i = 0;
         while i < self.in_flight.len() {
             let (arrival, req) = self.in_flight[i];
@@ -269,7 +285,7 @@ impl<'w> Engine<'w> {
                 i += 1;
                 continue;
             }
-            self.in_flight.swap_remove(i);
+            self.in_flight.remove(i);
             self.hbm.insert(req.page);
             let ws = self
                 .waiters
@@ -536,7 +552,11 @@ mod tests {
         let r = builder().run_with_observer(&w, &mut obs);
         assert_eq!(obs.serves.len() as u64, r.served);
         assert_eq!(obs.enqueues.len() as u64, r.misses);
-        assert_eq!(obs.fetches.len() as u64, r.misses, "every miss is fetched once");
+        assert_eq!(
+            obs.fetches.len() as u64,
+            r.misses,
+            "every miss is fetched once"
+        );
         assert_eq!(r.fetches, r.misses, "disjoint: fetches == misses");
         assert_eq!(obs.evictions.len() as u64, r.evictions);
         assert_eq!(obs.completions.len(), 2);

@@ -110,6 +110,9 @@ mod tests {
     fn byte_stream_tail_handled() {
         // Exercise the chunks_exact remainder path.
         assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
-        assert_ne!(hash_of(b"abcdefghi".as_slice()), hash_of(b"abcdefghj".as_slice()));
+        assert_ne!(
+            hash_of(b"abcdefghi".as_slice()),
+            hash_of(b"abcdefghj".as_slice())
+        );
     }
 }

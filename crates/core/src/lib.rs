@@ -64,10 +64,12 @@ pub mod hbm;
 pub mod ids;
 pub mod metrics;
 pub mod observer;
+pub mod oracle;
 pub mod replacement;
 pub mod rng;
 pub mod slab_list;
 pub mod stats;
+pub mod testkit;
 pub mod workload;
 
 pub use arbitration::{ArbitrationKind, ArbitrationPolicy, Request};
@@ -76,5 +78,6 @@ pub use engine::Engine;
 pub use ids::{CoreId, GlobalPage, LocalPage, Tick};
 pub use metrics::{CoreReport, Report, ResponseSummary};
 pub use observer::{NoopObserver, RecordingObserver, SimObserver};
+pub use oracle::OracleEngine;
 pub use replacement::{ReplacementKind, ReplacementPolicy};
 pub use workload::{Trace, Workload};

@@ -85,7 +85,11 @@ impl Report {
 
     /// Max over cores of their max response time (worst starvation).
     pub fn worst_response(&self) -> u64 {
-        self.per_core.iter().map(|c| c.max_response).max().unwrap_or(0)
+        self.per_core
+            .iter()
+            .map(|c| c.max_response)
+            .max()
+            .unwrap_or(0)
     }
 }
 

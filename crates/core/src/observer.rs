@@ -31,7 +31,14 @@ pub trait SimObserver {
     /// A page was served to its core (step 4). `response` is the paper's
     /// `w_j^i`; `hit` is true when the request never crossed a far channel.
     #[inline]
-    fn on_serve(&mut self, _tick: Tick, _core: CoreId, _page: GlobalPage, _response: u64, _hit: bool) {
+    fn on_serve(
+        &mut self,
+        _tick: Tick,
+        _core: CoreId,
+        _page: GlobalPage,
+        _response: u64,
+        _hit: bool,
+    ) {
     }
 
     /// A page was fetched from DRAM into HBM over a far channel (step 5).

@@ -1,0 +1,397 @@
+//! The oracle engine: a literal, deliberately unoptimized implementation of
+//! the paper §3.1 tick loop, used as the reference in differential testing.
+//!
+//! [`OracleEngine`] executes exactly the same model as [`crate::Engine`] —
+//! same [`SimConfig`], [`Workload`], [`Report`], and observer events — but
+//! the way the pseudocode reads, with none of the engine's machinery:
+//!
+//! * **Full scans**: steps 2 and 4 scan *all* `p` cores every tick in
+//!   increasing core id (the canonical order, see `engine.rs` module docs),
+//!   instead of maintaining incremental `need_issue`/`ready` worklists.
+//! * **No hash maps for bookkeeping**: pinned pages live in an association
+//!   list searched linearly; the set of cores waiting on a landed page is
+//!   recomputed by scanning every core.
+//! * **No coalescing shortcuts**: whether a missing page is already queued
+//!   or in flight is decided by rescanning all waiting cores, not by a
+//!   waiter table.
+//!
+//! The policy objects themselves ([`crate::hbm::Hbm`] and the
+//! [`crate::arbitration`] arbiters) are shared with the fast engine on
+//! purpose: they *are* the policy specification (including every RNG draw),
+//! and each has its own direct unit tests. What the oracle re-derives
+//! independently is the tick loop — scheduling, queueing, pinning, landing,
+//! response-time accounting — which is where engine optimizations live and
+//! where silent divergence from the model would creep in.
+//!
+//! Per tick the oracle costs O(p + k); the fast engine costs O(serves + q).
+//! The differential suite (`crates/core/tests/differential.rs`) asserts the
+//! two produce bit-identical reports and event streams across the policy
+//! cross-product.
+//!
+//! Each tick `t` performs, in order (paper §3.1):
+//!
+//! 1. if `t` is a multiple of the remap period `T`, remap priorities;
+//! 2. for each core's newly issued request: serve marker if resident in
+//!    HBM, else enter the DRAM queue (once per distinct page);
+//! 3. if the queue holds more requests than HBM has empty slots, evict up
+//!    to `q` unpinned pages by the replacement policy;
+//! 4. for each core with a resident marked request, serve it;
+//! 5. start up to `q` fetches (arbitration order) and land completed
+//!    transfers into HBM.
+
+use crate::arbitration::{ArbitrationPolicy, Request};
+use crate::config::SimConfig;
+use crate::hbm::Hbm;
+use crate::ids::{CoreId, Tick};
+use crate::metrics::{MetricsCollector, Report};
+use crate::observer::SimObserver;
+use crate::workload::Workload;
+
+/// Per-core state, one struct per core, updated only by full scans.
+#[derive(Debug, Clone, Copy)]
+struct OracleCore {
+    /// Index of the current (unserved) reference.
+    pos: usize,
+    /// Tick at which the current request was issued.
+    issue_tick: Tick,
+    /// Whether the current request went through the DRAM queue.
+    was_miss: bool,
+    /// Tick at which the current request will be served, once known.
+    serve_tick: Option<Tick>,
+    /// True from the miss being issued until its page lands in HBM.
+    waiting: bool,
+    /// True once the whole trace is served (or the trace is empty).
+    finished: bool,
+}
+
+/// The reference implementation of the §3.1 tick loop. Construct with
+/// [`OracleEngine::new`], then [`step`](Self::step) or
+/// [`run`](Self::run) exactly like [`crate::Engine`].
+pub struct OracleEngine<'w> {
+    config: SimConfig,
+    workload: &'w Workload,
+    hbm: Hbm,
+    arbiter: Box<dyn ArbitrationPolicy>,
+    cores: Vec<OracleCore>,
+    /// Pinned pages with waiter counts, as an association list.
+    pinned: Vec<(u64, u32)>,
+    /// Fetches currently crossing a far channel: `(arrival_tick, request)`.
+    in_flight: Vec<(Tick, Request)>,
+    /// Per-channel busy-until tick.
+    channel_busy: Vec<Tick>,
+    metrics: MetricsCollector,
+    tick: Tick,
+    remaining: usize,
+    makespan: Tick,
+}
+
+impl<'w> OracleEngine<'w> {
+    /// Prepares a run of `workload` under `config`.
+    pub fn new(config: SimConfig, workload: &'w Workload) -> Self {
+        let p = workload.cores();
+        let mut cores = Vec::with_capacity(p);
+        let mut remaining = 0;
+        for c in 0..p {
+            let empty = workload.trace(c as CoreId).is_empty();
+            cores.push(OracleCore {
+                pos: 0,
+                issue_tick: 0,
+                was_miss: false,
+                serve_tick: None,
+                waiting: false,
+                finished: empty,
+            });
+            if !empty {
+                remaining += 1;
+            }
+        }
+        OracleEngine {
+            hbm: Hbm::new(config.hbm_slots, config.replacement, config.seed),
+            arbiter: config.arbitration.build(p, config.seed),
+            cores,
+            pinned: Vec::new(),
+            in_flight: Vec::new(),
+            channel_busy: vec![0; config.channels],
+            metrics: MetricsCollector::new(p),
+            tick: 0,
+            remaining,
+            makespan: 0,
+            config,
+            workload,
+        }
+    }
+
+    /// The tick about to execute (0 before the first [`step`](Self::step)).
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// True once every core has served its whole trace.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn pin(&mut self, page: u64) {
+        for entry in &mut self.pinned {
+            if entry.0 == page {
+                entry.1 += 1;
+                return;
+            }
+        }
+        self.pinned.push((page, 1));
+    }
+
+    fn unpin(&mut self, page: u64) {
+        for (i, entry) in self.pinned.iter_mut().enumerate() {
+            if entry.0 == page {
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    self.pinned.remove(i);
+                }
+                return;
+            }
+        }
+        panic!("unpin of unpinned page {page}");
+    }
+
+    fn is_pinned(&self, page: u64) -> bool {
+        self.pinned.iter().any(|&(p, _)| p == page)
+    }
+
+    /// Is some core already waiting on `page` (queued or in flight)?
+    fn page_covered(&self, page: u64) -> bool {
+        (0..self.cores.len()).any(|c| {
+            let st = &self.cores[c];
+            st.waiting && self.workload.global_page(c as CoreId, st.pos).0 == page
+        })
+    }
+
+    /// Executes one tick (steps 1–5). No-op when [`is_done`](Self::is_done).
+    pub fn step<O: SimObserver>(&mut self, observer: &mut O) {
+        if self.is_done() {
+            return;
+        }
+        let t = self.tick;
+        let q = self.config.channels;
+        let p = self.cores.len();
+        observer.on_tick_start(t);
+
+        // Step 1: remap priorities on schedule.
+        if self.arbiter.maybe_remap(t) {
+            self.metrics.record_remap();
+            observer.on_remap(t);
+        }
+
+        // Step 2: scan every core in id order; examine newly issued
+        // requests. A request is newly issued when its core is neither
+        // waiting on DRAM nor already scheduled for a serve.
+        for c in 0..p {
+            let st = self.cores[c];
+            if st.finished || st.waiting || st.serve_tick.is_some() {
+                continue;
+            }
+            debug_assert_eq!(st.issue_tick, t, "idle core must have just issued");
+            let page = self.workload.global_page(c as CoreId, st.pos);
+            if self.hbm.contains(page) {
+                self.cores[c].was_miss = false;
+                self.pin(page.0);
+                self.cores[c].serve_tick = Some(t);
+            } else {
+                self.cores[c].was_miss = true;
+                self.metrics.record_miss();
+                let covered = self.page_covered(page.0);
+                self.cores[c].waiting = true;
+                if !covered {
+                    self.arbiter.enqueue(Request {
+                        core: c as CoreId,
+                        page,
+                        arrival: t,
+                    });
+                    observer.on_enqueue(t, c as CoreId, page);
+                }
+            }
+        }
+
+        // Step 3: evict up to q unpinned pages while the queue exceeds the
+        // free capacity left after reserving slots for in-flight transfers.
+        let mut evicted = 0;
+        while evicted < q
+            && self.arbiter.len() > self.hbm.free_slots().saturating_sub(self.in_flight.len())
+        {
+            let pinned = &self.pinned;
+            match self
+                .hbm
+                .evict_one(&mut |page| pinned.iter().any(|&(pp, _)| pp == page.0))
+            {
+                Some(page) => {
+                    evicted += 1;
+                    self.metrics.record_eviction();
+                    observer.on_evict(t, page);
+                }
+                None => break, // every resident page is pinned
+            }
+        }
+
+        // Step 4: scan every core in id order; serve requests scheduled for
+        // this tick.
+        for c in 0..p {
+            let st = self.cores[c];
+            if st.serve_tick != Some(t) {
+                continue;
+            }
+            let page = self.workload.global_page(c as CoreId, st.pos);
+            debug_assert!(self.hbm.contains(page), "served page must be resident");
+            debug_assert!(self.is_pinned(page.0), "served page must be pinned");
+            let response = t - st.issue_tick + 1;
+            let hit = !st.was_miss;
+            self.hbm.touch(page);
+            self.unpin(page.0);
+            self.metrics.record_serve(c as CoreId, response, hit);
+            observer.on_serve(t, c as CoreId, page, response, hit);
+            let rt = &mut self.cores[c];
+            rt.pos += 1;
+            rt.serve_tick = None;
+            if rt.pos == self.workload.trace(c as CoreId).len() {
+                rt.finished = true;
+                self.remaining -= 1;
+                self.makespan = self.makespan.max(t + 1);
+                self.metrics.record_finish(c as CoreId, t + 1);
+                observer.on_core_done(t + 1, c as CoreId);
+            } else {
+                rt.issue_tick = t + 1;
+            }
+        }
+
+        // Step 5: start up to q transfers on free far channels, then land
+        // completed transfers in start order.
+        let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
+        let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
+        let n = free_channels.min(room);
+        let mut fetch_buf = Vec::new();
+        self.arbiter.select(n, &mut fetch_buf);
+        for &req in &fetch_buf {
+            for b in self.channel_busy.iter_mut() {
+                if *b <= t {
+                    *b = t + self.config.far_latency;
+                    break;
+                }
+            }
+            self.in_flight.push((t + self.config.far_latency - 1, req));
+        }
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let (arrival, req) = self.in_flight[i];
+            if arrival > t {
+                i += 1;
+                continue;
+            }
+            self.in_flight.remove(i);
+            self.hbm.insert(req.page);
+            // Every core waiting on this page gets a serve next tick; the
+            // page is pinned once per waiter so step 3 cannot evict it
+            // before all of them are served.
+            for c in 0..p {
+                let st = self.cores[c];
+                if st.waiting && self.workload.global_page(c as CoreId, st.pos) == req.page {
+                    self.pin(req.page.0);
+                    let rt = &mut self.cores[c];
+                    rt.waiting = false;
+                    rt.serve_tick = Some(t + 1);
+                }
+            }
+            self.metrics.record_fetch();
+            observer.on_fetch(t, req.core, req.page);
+        }
+
+        self.metrics.sample_queue_len(self.arbiter.len());
+        self.tick = t + 1;
+    }
+
+    /// Runs to completion (or `max_ticks`) and reports.
+    pub fn run<O: SimObserver>(mut self, observer: &mut O) -> Report {
+        while !self.is_done() && self.tick < self.config.max_ticks {
+            self.step(observer);
+        }
+        let truncated = !self.is_done();
+        let makespan = if truncated { self.tick } else { self.makespan };
+        self.metrics.finish(makespan, truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimBuilder;
+    use crate::observer::{NoopObserver, RecordingObserver};
+
+    fn config() -> SimConfig {
+        SimConfig {
+            hbm_slots: 8,
+            channels: 1,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_core_timeline_matches_paper() {
+        // Trace [0, 0, 0]: miss (w=2) then two hits (w=1); makespan 4.
+        let w = Workload::from_refs(vec![vec![0, 0, 0]]);
+        let mut obs = RecordingObserver::default();
+        let r = OracleEngine::new(config(), &w).run(&mut obs);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.hits, 2);
+        assert_eq!(r.misses, 1);
+        let responses: Vec<u64> = obs.serves.iter().map(|s| s.3).collect();
+        assert_eq!(responses, vec![2, 1, 1]);
+        assert_eq!(r.makespan, 4);
+    }
+
+    #[test]
+    fn two_cores_one_channel_serialize() {
+        let w = Workload::from_refs(vec![vec![0], vec![0]]);
+        let r = OracleEngine::new(config(), &w).run(&mut NoopObserver);
+        assert_eq!(r.served, 2);
+        assert_eq!(r.makespan, 3);
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let w = Workload::new();
+        let r = OracleEngine::new(config(), &w).run(&mut NoopObserver);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.served, 0);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn shared_pages_coalesce_into_one_fetch() {
+        // Both cores request the same global page at t0: one fetch serves
+        // both.
+        let w = Workload::shared_from_refs(vec![vec![7], vec![7]]);
+        let r = OracleEngine::new(config(), &w).run(&mut NoopObserver);
+        assert_eq!(r.served, 2);
+        assert_eq!(r.misses, 2);
+        assert_eq!(r.fetches, 1, "coalesced");
+    }
+
+    #[test]
+    fn k_less_than_p_makes_progress() {
+        let w = Workload::from_refs(vec![vec![0, 1]; 8]);
+        let mut cfg = config();
+        cfg.hbm_slots = 2;
+        cfg.max_ticks = 10_000;
+        let r = OracleEngine::new(cfg, &w).run(&mut NoopObserver);
+        assert!(!r.truncated, "pinning guard must prevent livelock");
+        assert_eq!(r.served, 16);
+    }
+
+    #[test]
+    fn matches_fast_engine_on_a_simple_cell() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2], vec![3, 4, 3, 4]]);
+        let fast = SimBuilder::from_config(config()).run(&w);
+        let oracle = OracleEngine::new(config(), &w).run(&mut NoopObserver);
+        assert_eq!(fast.makespan, oracle.makespan);
+        assert_eq!(fast.hits, oracle.hits);
+        assert_eq!(fast.evictions, oracle.evictions);
+    }
+}

@@ -1,0 +1,339 @@
+//! Shared test support for differential and conformance testing.
+//!
+//! This module generates randomized simulation *cells* — a `(SimConfig,
+//! Workload)` pair — spanning the full policy cross-product, and checks
+//! that [`Engine`] and [`OracleEngine`] agree on them **bit-identically**:
+//! same [`Report`] (floats compared by bit pattern), same observer event
+//! streams, same per-core response-time histograms.
+//!
+//! Generators are deterministic functions of a `u64` seed rather than
+//! proptest strategies, so the library carries no test-framework
+//! dependency; property tests shrink over the seed/parameter integers and
+//! call [`random_cell`] / [`check_conformance`] inside the property.
+
+use crate::arbitration::ArbitrationKind;
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::metrics::Report;
+use crate::observer::RecordingObserver;
+use crate::oracle::OracleEngine;
+use crate::replacement::ReplacementKind;
+use crate::rng::Xoshiro256;
+use crate::workload::Workload;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// One differential test cell: a configuration plus a workload.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Simulation parameters.
+    pub config: SimConfig,
+    /// The traces to replay.
+    pub workload: Workload,
+}
+
+/// Every arbitration kind, parameterized with the given remap period /
+/// row shift where applicable. Covers all five paper policies (FIFO,
+/// Priority, the Permute family, RandomPick) plus the FR-FCFS extension.
+pub fn all_arbitrations(period: u64) -> Vec<ArbitrationKind> {
+    vec![
+        ArbitrationKind::Fifo,
+        ArbitrationKind::Priority,
+        ArbitrationKind::DynamicPriority { period },
+        ArbitrationKind::CyclePriority { period },
+        ArbitrationKind::CycleReversePriority { period },
+        ArbitrationKind::InterleavePriority { period },
+        ArbitrationKind::SweepPriority { period },
+        ArbitrationKind::RandomPick,
+        ArbitrationKind::FrFcfs { row_shift: 2 },
+    ]
+}
+
+/// All replacement kinds.
+pub fn all_replacements() -> [ReplacementKind; 4] {
+    ReplacementKind::ALL
+}
+
+/// A deterministic pseudo-random workload: `p` traces over a universe of
+/// `pages` local pages, each at most `max_len` references (empty traces
+/// included on purpose — they are an engine edge case). Three per-trace
+/// styles are mixed: cyclic sweeps (replacement adversaries), uniform
+/// random, and hot-page skew (coalescing exercise when `shared`).
+pub fn random_workload(seed: u64, p: usize, pages: u32, max_len: usize, shared: bool) -> Workload {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut traces = Vec::with_capacity(p);
+    for _ in 0..p {
+        let len = rng.gen_index(max_len + 1);
+        let style = rng.gen_index(3);
+        let mut t = Vec::with_capacity(len);
+        for i in 0..len {
+            let page = match style {
+                0 => (i as u32) % pages,
+                1 => rng.gen_index(pages as usize) as u32,
+                _ => {
+                    if rng.gen_index(2) == 0 {
+                        0
+                    } else {
+                        rng.gen_index(pages as usize) as u32
+                    }
+                }
+            };
+            t.push(page);
+        }
+        traces.push(t);
+    }
+    if shared {
+        Workload::shared_from_refs(traces)
+    } else {
+        Workload::from_refs(traces)
+    }
+}
+
+/// A fully random cell derived from one seed: random arbitration (all 9
+/// kinds), replacement (all 4), `p ≤ 6`, `k ≤ 16`, `q ≤ 4`, remap period
+/// `T ≤ 24`, `far_latency ≤ 3`, disjoint or shared traces.
+pub fn random_cell(seed: u64) -> Cell {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let p = 1 + rng.gen_index(6);
+    let pages = 1 + rng.gen_index(12) as u32;
+    let max_len = rng.gen_index(33);
+    let shared = rng.gen_index(4) == 0;
+    let hbm_slots = 1 + rng.gen_index(16);
+    let channels = 1 + rng.gen_index(4);
+    let far_latency = 1 + rng.gen_index(3) as u64;
+    let period = 1 + rng.gen_index(24) as u64;
+    let arbs = all_arbitrations(period);
+    let arbitration = arbs[rng.gen_index(arbs.len())];
+    let replacement = all_replacements()[rng.gen_index(4)];
+    let sim_seed = rng.next_u64();
+    let workload = random_workload(rng.next_u64(), p, pages, max_len, shared);
+    Cell {
+        config: SimConfig {
+            hbm_slots,
+            channels,
+            arbitration,
+            replacement,
+            far_latency,
+            seed: sim_seed,
+            max_ticks: 100_000,
+        },
+        workload,
+    }
+}
+
+/// Runs the optimized [`Engine`], recording every event.
+pub fn run_engine(config: SimConfig, workload: &Workload) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = Engine::new(config, workload).run(&mut obs);
+    (report, obs)
+}
+
+/// Runs the naive [`OracleEngine`], recording every event.
+pub fn run_oracle(config: SimConfig, workload: &Workload) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = OracleEngine::new(config, workload).run(&mut obs);
+    (report, obs)
+}
+
+/// Per-core response-time histograms (`response → count`) from a recorded
+/// serve stream.
+pub fn response_histograms(obs: &RecordingObserver, p: usize) -> Vec<BTreeMap<u64, u64>> {
+    let mut hists = vec![BTreeMap::new(); p];
+    for &(_, core, _, response, _) in &obs.serves {
+        *hists[core as usize].entry(response).or_insert(0) += 1;
+    }
+    hists
+}
+
+fn first_diff<T: PartialEq + Debug>(name: &str, engine: &[T], oracle: &[T]) -> Result<(), String> {
+    if engine == oracle {
+        return Ok(());
+    }
+    let i = engine
+        .iter()
+        .zip(oracle)
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| engine.len().min(oracle.len()));
+    Err(format!(
+        "{name} streams diverge (engine has {} events, oracle {}); first difference at index {i}:\n  engine: {:?}\n  oracle: {:?}",
+        engine.len(),
+        oracle.len(),
+        engine.get(i),
+        oracle.get(i),
+    ))
+}
+
+macro_rules! cmp_count {
+    ($field:ident, $a:expr, $b:expr) => {
+        if $a.$field != $b.$field {
+            return Err(format!(
+                concat!(stringify!($field), " differs: engine {:?} vs oracle {:?}"),
+                $a.$field, $b.$field
+            ));
+        }
+    };
+}
+
+macro_rules! cmp_f64_bits {
+    ($field:ident, $a:expr, $b:expr) => {
+        if $a.$field.to_bits() != $b.$field.to_bits() {
+            return Err(format!(
+                concat!(
+                    stringify!($field),
+                    " differs bitwise: engine {:?} vs oracle {:?}"
+                ),
+                $a.$field, $b.$field
+            ));
+        }
+    };
+}
+
+/// Field-by-field comparison of two reports; floats must match **bit for
+/// bit** (both engines perform the identical arithmetic in the identical
+/// order, so even accumulated means and stddevs are reproducible exactly).
+pub fn compare_reports(engine: &Report, oracle: &Report) -> Result<(), String> {
+    cmp_count!(makespan, engine, oracle);
+    cmp_count!(served, engine, oracle);
+    cmp_count!(hits, engine, oracle);
+    cmp_count!(misses, engine, oracle);
+    cmp_count!(fetches, engine, oracle);
+    cmp_count!(evictions, engine, oracle);
+    cmp_count!(remaps, engine, oracle);
+    cmp_count!(truncated, engine, oracle);
+    cmp_count!(max_queue_len, engine, oracle);
+    cmp_f64_bits!(hit_rate, engine, oracle);
+    cmp_f64_bits!(mean_queue_len, engine, oracle);
+    {
+        let (engine, oracle) = (&engine.response, &oracle.response);
+        cmp_count!(count, engine, oracle);
+        cmp_count!(min, engine, oracle);
+        cmp_count!(max, engine, oracle);
+        cmp_count!(p99_upper_bound, engine, oracle);
+        cmp_f64_bits!(mean, engine, oracle);
+        cmp_f64_bits!(inconsistency, engine, oracle);
+    }
+    if engine.per_core.len() != oracle.per_core.len() {
+        return Err(format!(
+            "per_core length differs: engine {} vs oracle {}",
+            engine.per_core.len(),
+            oracle.per_core.len()
+        ));
+    }
+    for (c, (engine, oracle)) in engine.per_core.iter().zip(&oracle.per_core).enumerate() {
+        let err = |msg: String| format!("per_core[{c}]: {msg}");
+        let inner = (|| -> Result<(), String> {
+            cmp_count!(served, engine, oracle);
+            cmp_count!(hits, engine, oracle);
+            cmp_count!(finish_tick, engine, oracle);
+            cmp_count!(max_response, engine, oracle);
+            cmp_f64_bits!(mean_response, engine, oracle);
+            Ok(())
+        })();
+        inner.map_err(err)?;
+    }
+    Ok(())
+}
+
+/// Comparison of complete event streams from both engines — stronger than
+/// the report comparison: the two simulations must emit the very same
+/// enqueue/evict/serve/fetch/remap/completion sequences.
+pub fn compare_events(
+    engine: &RecordingObserver,
+    oracle: &RecordingObserver,
+) -> Result<(), String> {
+    first_diff("enqueue", &engine.enqueues, &oracle.enqueues)?;
+    first_diff("eviction", &engine.evictions, &oracle.evictions)?;
+    first_diff("serve", &engine.serves, &oracle.serves)?;
+    first_diff("fetch", &engine.fetches, &oracle.fetches)?;
+    first_diff("remap", &engine.remaps, &oracle.remaps)?;
+    first_diff("completion", &engine.completions, &oracle.completions)?;
+    Ok(())
+}
+
+/// Runs one cell through both engines and verifies full agreement:
+/// bit-identical [`Report`], identical event streams, and identical
+/// per-core response-time histograms. Returns the (shared) report on
+/// success, a human-readable divergence description on failure.
+pub fn check_conformance(config: SimConfig, workload: &Workload) -> Result<Report, String> {
+    let (engine_report, engine_obs) = run_engine(config, workload);
+    let (oracle_report, oracle_obs) = run_oracle(config, workload);
+    compare_reports(&engine_report, &oracle_report)?;
+    compare_events(&engine_obs, &oracle_obs)?;
+    let p = workload.cores();
+    let engine_hists = response_histograms(&engine_obs, p);
+    let oracle_hists = response_histograms(&oracle_obs, p);
+    for (c, (he, ho)) in engine_hists.iter().zip(&oracle_hists).enumerate() {
+        if he != ho {
+            return Err(format!(
+                "per-core response histogram differs for core {c}:\n  engine: {he:?}\n  oracle: {ho:?}"
+            ));
+        }
+    }
+    Ok(engine_report)
+}
+
+/// Like [`check_conformance`] but panics with full cell context on any
+/// divergence. Returns the shared report.
+pub fn assert_conformance(config: SimConfig, workload: &Workload) -> Report {
+    match check_conformance(config, workload) {
+        Ok(report) => report,
+        Err(msg) => panic!(
+            "Engine and OracleEngine diverge!\n{msg}\nconfig: {config:?}\nworkload ({} cores, shared: {}): {:?}",
+            workload.cores(),
+            workload.is_shared(),
+            workload
+                .traces()
+                .iter()
+                .map(|t| t.as_slice().to_vec())
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoreId;
+
+    #[test]
+    fn random_workload_is_deterministic() {
+        let a = random_workload(7, 4, 8, 20, false);
+        let b = random_workload(7, 4, 8, 20, false);
+        assert_eq!(a.cores(), b.cores());
+        for c in 0..a.cores() as CoreId {
+            assert_eq!(a.trace(c).as_slice(), b.trace(c).as_slice());
+        }
+    }
+
+    #[test]
+    fn random_cell_spans_policies() {
+        // Over a modest seed range the generator must hit every
+        // arbitration and replacement kind.
+        let mut arbs = std::collections::HashSet::new();
+        let mut reps = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let cell = random_cell(seed);
+            arbs.insert(std::mem::discriminant(&cell.config.arbitration));
+            reps.insert(cell.config.replacement);
+        }
+        assert_eq!(arbs.len(), 9, "all arbitration kinds generated");
+        assert_eq!(reps.len(), 4, "all replacement kinds generated");
+    }
+
+    #[test]
+    fn conformance_on_a_handful_of_cells() {
+        for seed in 0..8 {
+            let cell = random_cell(seed);
+            assert_conformance(cell.config, &cell.workload);
+        }
+    }
+
+    #[test]
+    fn histograms_count_serves() {
+        let w = Workload::from_refs(vec![vec![0, 0, 0]]);
+        let (_, obs) = run_engine(SimConfig::default(), &w);
+        let h = response_histograms(&obs, 1);
+        assert_eq!(h[0].get(&1), Some(&2), "two hits at response 1");
+        assert_eq!(h[0].get(&2), Some(&1), "one miss at response 2");
+    }
+}

@@ -197,7 +197,11 @@ impl Workload {
     /// Collapses consecutive duplicate references in every trace.
     pub fn collapse_consecutive(&self) -> Workload {
         Workload {
-            traces: self.traces.iter().map(Trace::collapse_consecutive).collect(),
+            traces: self
+                .traces
+                .iter()
+                .map(Trace::collapse_consecutive)
+                .collect(),
             shared: self.shared,
         }
     }
@@ -262,6 +266,9 @@ mod tests {
         let t = Trace::new((0..1000).collect());
         let u = t.clone();
         assert_eq!(t.as_slice(), u.as_slice());
-        assert!(std::sync::Arc::ptr_eq(&t.refs, &u.refs), "clone shares storage");
+        assert!(
+            std::sync::Arc::ptr_eq(&t.refs, &u.refs),
+            "clone shares storage"
+        );
     }
 }

@@ -1,0 +1,230 @@
+//! Differential conformance suite: `Engine` vs `OracleEngine`.
+//!
+//! The optimized [`hbm_core::Engine`] carries worklists, waiter maps, and
+//! coalescing shortcuts; the [`hbm_core::OracleEngine`] is a literal,
+//! full-scan transcription of the paper's five-step tick loop (DESIGN.md
+//! §"The tick loop"). This suite drives both over the full policy
+//! cross-product and requires **bit-identical** behaviour: same `Report`
+//! (floats compared by bit pattern), same observer event streams, same
+//! per-core response-time histograms.
+//!
+//! Layers:
+//! 1. an exhaustive grid — every arbitration × replacement kind × several
+//!    workload shapes × two parameter sets (288 cells);
+//! 2. proptest-randomized cells that shrink failures to minimal workloads;
+//! 3. metamorphic checks of paper invariants on *both* engines (hit
+//!    response exactly 1 / miss ≥ 2, makespan monotone in `k` and `q`).
+//!
+//! Policy (see README.md §Conformance testing): every PR that optimizes
+//! the engine must keep this suite green.
+
+use hbm_core::testkit::{
+    all_arbitrations, all_replacements, assert_conformance, check_conformance, random_cell,
+    random_workload, run_engine, run_oracle,
+};
+use hbm_core::{ArbitrationKind, ReplacementKind, SimConfig, Workload};
+use proptest::prelude::*;
+
+/// Workload shapes for the exhaustive grid. Deliberately varied: disjoint
+/// cyclic sweeps (replacement adversaries), disjoint uniform-random,
+/// shared hot-page traces (exercises fetch coalescing), and a ragged mix
+/// with an empty trace (engine edge case).
+fn grid_workloads() -> Vec<Workload> {
+    vec![
+        // Four cores cycling over six pages each — thrashes small HBM.
+        Workload::from_refs(vec![(0..6).cycle().take(18).collect(); 4]),
+        // Pseudo-random disjoint traces.
+        random_workload(11, 3, 8, 24, false),
+        // Shared universe: cross-core coalescing actually occurs.
+        random_workload(23, 4, 5, 20, true),
+        // Ragged: one empty trace, one singleton, one longer.
+        Workload::from_refs(vec![vec![], vec![2], vec![0, 1, 2, 3, 0, 1, 2, 3]]),
+    ]
+}
+
+/// The exhaustive policy grid: 9 arbitration kinds × 4 replacement kinds
+/// × 4 workload shapes × 2 parameter sets = 288 cells, every one checked
+/// for full Engine/OracleEngine agreement. This alone exceeds the
+/// 256-cell floor the conformance harness promises.
+#[test]
+fn exhaustive_policy_grid() {
+    // (hbm_slots, channels, far_latency, remap period)
+    let params = [(4usize, 1usize, 1u64, 5u64), (8, 2, 3, 3)];
+    let workloads = grid_workloads();
+    let mut cells = 0u32;
+    for &(k, q, far, period) in &params {
+        for arbitration in all_arbitrations(period) {
+            for replacement in all_replacements() {
+                for (wi, w) in workloads.iter().enumerate() {
+                    let config = SimConfig {
+                        hbm_slots: k,
+                        channels: q,
+                        arbitration,
+                        replacement,
+                        far_latency: far,
+                        seed: 0x5eed ^ (wi as u64),
+                        max_ticks: 100_000,
+                    };
+                    assert_conformance(config, w);
+                    cells += 1;
+                }
+            }
+        }
+    }
+    assert!(cells >= 256, "grid ran {cells} cells, expected >= 256");
+}
+
+/// Seed-driven random cells across the entire generator space (all nine
+/// arbitration kinds, all four replacement kinds, shared and disjoint
+/// traces, p ≤ 6, k ≤ 16, q ≤ 4, far_latency ≤ 3).
+#[test]
+fn random_cells_conform() {
+    for seed in 0..96 {
+        let cell = random_cell(seed);
+        assert_conformance(cell.config, &cell.workload);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structured random cells where proptest owns the trace contents, so
+    /// a divergence shrinks to a minimal workload (fewest cores, shortest
+    /// traces, smallest page ids) rather than an opaque seed.
+    #[test]
+    fn engine_matches_oracle(
+        traces in prop::collection::vec(prop::collection::vec(0u32..10, 0..24), 1..5),
+        policy in (0usize..9, 0usize..4),
+        k in 1usize..12,
+        q in 1usize..4,
+        timing in (1u64..4, 1u64..12),
+        shared in 0usize..2,
+        seed in 0u64..1024,
+    ) {
+        let (arb_i, rep_i) = policy;
+        let (far_latency, period) = timing;
+        let workload = if shared == 1 {
+            Workload::shared_from_refs(traces)
+        } else {
+            Workload::from_refs(traces)
+        };
+        let config = SimConfig {
+            hbm_slots: k,
+            channels: q,
+            arbitration: all_arbitrations(period)[arb_i],
+            replacement: all_replacements()[rep_i],
+            far_latency,
+            seed,
+            max_ticks: 100_000,
+        };
+        if let Err(msg) = check_conformance(config, &workload) {
+            return Err(TestCaseError::fail(format!(
+                "Engine and OracleEngine diverge: {msg}\nconfig: {config:?}"
+            )));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic layer: paper invariants checked on BOTH engines.
+// ---------------------------------------------------------------------------
+
+/// Model §2: a hit is served in exactly 1 tick; a miss must wait for a
+/// far transfer, so its response is at least 2. (Exactly 2 is reachable
+/// even with `far_latency > 1`: a miss on a page whose fetch — issued
+/// earlier by another core — lands the same tick is served one tick
+/// later.) Checked on every serve event of both engines across a spread
+/// of random cells.
+#[test]
+fn metamorphic_hit_one_miss_at_least_two() {
+    let mut serves = 0usize;
+    for seed in 100..164 {
+        let cell = random_cell(seed);
+        for (engine_name, obs) in [
+            ("Engine", run_engine(cell.config, &cell.workload).1),
+            ("OracleEngine", run_oracle(cell.config, &cell.workload).1),
+        ] {
+            for &(tick, core, _, response, hit) in &obs.serves {
+                serves += 1;
+                assert_eq!(
+                    hit,
+                    response == 1,
+                    "{engine_name}: serve at tick {tick} core {core} has response {response} but hit={hit}"
+                );
+                assert!(
+                    hit || response >= 2,
+                    "{engine_name}: miss response {response} < 2"
+                );
+            }
+        }
+    }
+    assert!(serves > 1000, "invariant exercised on only {serves} serves");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Makespan is monotone non-increasing in `k` for a single LRU core:
+    /// LRU has the inclusion property, so a bigger HBM can only turn
+    /// misses into hits, and with one core there is no interference to
+    /// reorder anything. Exact, on both engines.
+    #[test]
+    fn metamorphic_makespan_monotone_in_k(
+        refs in prop::collection::vec(0u32..8, 1..40),
+        k in 1usize..10,
+    ) {
+        let w = Workload::from_refs(vec![refs]);
+        let mk = |slots: usize| SimConfig {
+            hbm_slots: slots,
+            channels: 1,
+            arbitration: ArbitrationKind::Fifo,
+            replacement: ReplacementKind::Lru,
+            far_latency: 1,
+            seed: 0,
+            max_ticks: 100_000,
+        };
+        let small_e = run_engine(mk(k), &w).0.makespan;
+        let big_e = run_engine(mk(k + 1), &w).0.makespan;
+        prop_assert!(big_e <= small_e, "Engine: k={k} makespan {small_e} < k+1 makespan {big_e}");
+        let small_o = run_oracle(mk(k), &w).0.makespan;
+        let big_o = run_oracle(mk(k + 1), &w).0.makespan;
+        prop_assert!(big_o <= small_o, "OracleEngine: k={k} makespan {small_o} < k+1 makespan {big_o}");
+        // And the two engines agree with each other (differential re-check).
+        prop_assert_eq!(small_e, small_o);
+        prop_assert_eq!(big_e, big_o);
+    }
+
+    /// Makespan is monotone non-increasing in `q` up to small-constant
+    /// scheduling noise: extra far channels can only drain the miss queue
+    /// faster, but timing shifts may perturb eviction order (a Belady-
+    /// style anomaly), so multi-core monotonicity holds within a slack
+    /// band rather than exactly. Checked on both engines.
+    #[test]
+    fn metamorphic_makespan_monotone_in_q(
+        traces in prop::collection::vec(prop::collection::vec(0u32..6, 1..30), 2..5),
+        rep_i in 0usize..4,
+    ) {
+        let w = Workload::from_refs(traces);
+        let mk = |q: usize| SimConfig {
+            hbm_slots: 6,
+            channels: q,
+            arbitration: ArbitrationKind::Fifo,
+            replacement: all_replacements()[rep_i],
+            far_latency: 1,
+            seed: 7,
+            max_ticks: 100_000,
+        };
+        type Runner = fn(SimConfig, &Workload) -> (hbm_core::Report, hbm_core::RecordingObserver);
+        for (engine_name, runner) in [
+            ("Engine", run_engine as Runner),
+            ("OracleEngine", run_oracle as Runner),
+        ] {
+            let m1 = runner(mk(1), &w).0.makespan;
+            let m4 = runner(mk(4), &w).0.makespan;
+            prop_assert!(
+                m4 <= m1 + m1 / 4 + 8,
+                "{engine_name}: q=4 makespan {m4} vs q=1 {m1}"
+            );
+        }
+    }
+}

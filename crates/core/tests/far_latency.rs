@@ -20,7 +20,10 @@ fn latency_one_is_the_paper_model() {
     let mut obs = RecordingObserver::default();
     let r = builder(2, 1, 1).run_with_observer(&w, &mut obs);
     assert_eq!(r.makespan, 4);
-    assert_eq!(obs.serves.iter().map(|s| s.3).collect::<Vec<_>>(), vec![2, 2]);
+    assert_eq!(
+        obs.serves.iter().map(|s| s.3).collect::<Vec<_>>(),
+        vec![2, 2]
+    );
 }
 
 #[test]
@@ -69,7 +72,9 @@ fn extra_channels_hide_transfer_latency() {
 
 #[test]
 fn conservation_under_slow_link() {
-    let traces: Vec<Vec<u32>> = (0..6).map(|c| (0..50u32).map(|i| (i * 3 + c) % 20).collect()).collect();
+    let traces: Vec<Vec<u32>> = (0..6)
+        .map(|c| (0..50u32).map(|i| (i * 3 + c) % 20).collect())
+        .collect();
     let w = Workload::from_refs(traces);
     for lat in [1u64, 2, 4] {
         for arb in [ArbitrationKind::Fifo, ArbitrationKind::Priority] {
@@ -89,7 +94,9 @@ fn conservation_under_slow_link() {
 
 #[test]
 fn makespan_monotone_in_far_latency() {
-    let traces: Vec<Vec<u32>> = (0..8).map(|c| (0..60u32).map(|i| (i * (c + 1)) % 24).collect()).collect();
+    let traces: Vec<Vec<u32>> = (0..8)
+        .map(|c| (0..60u32).map(|i| (i * (c + 1)) % 24).collect())
+        .collect();
     let w = Workload::from_refs(traces);
     let mut last = 0;
     for lat in [1u64, 2, 4, 8] {

@@ -1,9 +1,7 @@
 //! Hand-computed tick timelines verifying the engine implements §3.1's loop
 //! exactly — the ground truth the rest of the repository builds on.
 
-use hbm_core::{
-    ArbitrationKind, RecordingObserver, ReplacementKind, SimBuilder, Workload,
-};
+use hbm_core::{ArbitrationKind, RecordingObserver, ReplacementKind, SimBuilder, Workload};
 
 fn builder(k: usize, q: usize, arb: ArbitrationKind) -> SimBuilder {
     SimBuilder::new()
@@ -24,9 +22,21 @@ fn exact_timeline_single_core_two_cold_misses() {
     let mut obs = RecordingObserver::default();
     let r = builder(2, 1, ArbitrationKind::Fifo).run_with_observer(&w, &mut obs);
     assert_eq!(r.makespan, 4);
-    assert_eq!(obs.enqueues, vec![(0, 0, hbm_core::GlobalPage::new(0, 0)), (2, 0, hbm_core::GlobalPage::new(0, 1))]);
-    assert_eq!(obs.fetches.iter().map(|f| f.0).collect::<Vec<_>>(), vec![0, 2]);
-    assert_eq!(obs.serves.iter().map(|s| (s.0, s.3)).collect::<Vec<_>>(), vec![(1, 2), (3, 2)]);
+    assert_eq!(
+        obs.enqueues,
+        vec![
+            (0, 0, hbm_core::GlobalPage::new(0, 0)),
+            (2, 0, hbm_core::GlobalPage::new(0, 1))
+        ]
+    );
+    assert_eq!(
+        obs.fetches.iter().map(|f| f.0).collect::<Vec<_>>(),
+        vec![0, 2]
+    );
+    assert_eq!(
+        obs.serves.iter().map(|s| (s.0, s.3)).collect::<Vec<_>>(),
+        vec![(1, 2), (3, 2)]
+    );
 }
 
 /// Three cores race for one channel under FCFS; all request distinct pages

@@ -5,19 +5,14 @@
 //! hold for *any* policy.
 
 use hbm_core::bounds::makespan_lower_bound;
-use hbm_core::{
-    ArbitrationKind, RecordingObserver, ReplacementKind, Report, SimBuilder, Workload,
-};
+use hbm_core::{ArbitrationKind, RecordingObserver, ReplacementKind, Report, SimBuilder, Workload};
 use proptest::prelude::*;
 
 /// Strategy: a workload of 1..=6 cores, each with 0..=40 references over a
 /// small page universe (forcing reuse and eviction).
 fn workloads() -> impl Strategy<Value = Workload> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..12, 0..40),
-        1..6,
-    )
-    .prop_map(Workload::from_refs)
+    prop::collection::vec(prop::collection::vec(0u32..12, 0..40), 1..6)
+        .prop_map(Workload::from_refs)
 }
 
 fn arbitration_kinds() -> impl Strategy<Value = ArbitrationKind> {
@@ -194,16 +189,22 @@ proptest! {
         prop_assert!(m4 <= m1 + m1 / 4 + 8, "q=4 makespan {m4} vs q=1 {m1}");
     }
 
-    /// Collapsing consecutive duplicate references never increases makespan.
+    /// Collapsing consecutive duplicate references removes only guaranteed
+    /// hits. For a *single* core this is exact: the duplicate re-touches the
+    /// page that is already most-recently-used, so cache state is unchanged
+    /// and each removed ref saves exactly one tick. (With multiple cores the
+    /// timing shift changes arbitration/LRU interleaving, so miss counts can
+    /// legitimately drift — that version is not a theorem.)
     #[test]
     fn collapse_shortens(
         refs in prop::collection::vec(0u32..6, 1..50),
     ) {
-        let w = Workload::from_refs(vec![refs; 2]);
+        let w = Workload::from_refs(vec![refs.clone()]);
         let wc = w.collapse_consecutive();
+        let removed = (w.total_refs() - wc.total_refs()) as u64;
         let a = run(&w, 4, 1, ArbitrationKind::Priority, ReplacementKind::Lru, 0).0;
         let b = run(&wc, 4, 1, ArbitrationKind::Priority, ReplacementKind::Lru, 0).0;
-        prop_assert!(b.makespan <= a.makespan);
+        prop_assert_eq!(b.makespan + removed, a.makespan);
         prop_assert_eq!(b.misses, a.misses, "collapsing only removes guaranteed hits");
     }
 }

@@ -51,7 +51,13 @@ pub fn collapse(scale: Scale, seed: u64) -> ResultTable {
     let (p, k) = contended_config(scale.sort_spec(), scale, seed);
     let mut t = ResultTable::new(
         "Ablation collapse — trace granularity (collapse consecutive same-page refs)",
-        &["collapse", "total_refs", "fifo_makespan", "priority_makespan", "ratio"],
+        &[
+            "collapse",
+            "total_refs",
+            "fifo_makespan",
+            "priority_makespan",
+            "ratio",
+        ],
     );
     for collapse in [false, true] {
         let opts = TraceOptions {
@@ -110,10 +116,7 @@ mod tests {
         // Within one arbitration policy, replacement choice moves makespan
         // by far less than the arbitration choice does at high contention.
         let get = |rep: &str, arb: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == rep && r[1] == arb)
-                .unwrap()[2]
+            t.rows.iter().find(|r| r[0] == rep && r[1] == arb).unwrap()[2]
                 .parse()
                 .unwrap()
         };

@@ -71,7 +71,11 @@ mod tests {
             let transfers: f64 = r[4].parse().unwrap();
             assert!(transfers <= 2.0);
             let per_access: f64 = r[5].parse().unwrap();
-            assert!(per_access < 8.0, "{}: per-access overhead {per_access}", r[0]);
+            assert!(
+                per_access < 8.0,
+                "{}: per-access overhead {per_access}",
+                r[0]
+            );
         }
     }
 }

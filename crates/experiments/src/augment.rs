@@ -74,7 +74,14 @@ pub fn run(scale: Scale, seed: u64) -> ResultTable {
             "Theorem 2 — FIFO under d·memory / s·bandwidth augmentation vs base Priority \
              (Dataset 3, p={p}, pages={pages})"
         ),
-        &["d", "s", "fifo_makespan", "priority_makespan", "gap", "gap_times_ds"],
+        &[
+            "d",
+            "s",
+            "fifo_makespan",
+            "priority_makespan",
+            "gap",
+            "gap_times_ds",
+        ],
     );
     for c in &cells {
         t.push_row(vec![
@@ -102,7 +109,11 @@ mod tests {
         let cells = run_cells(Scale::Small, 1);
         assert_eq!(cells.len(), 9);
         let base = cell(&cells, 1, 1);
-        assert!(base.gap() > 3.0, "un-augmented FIFO loses big: {}", base.gap());
+        assert!(
+            base.gap() > 3.0,
+            "un-augmented FIFO loses big: {}",
+            base.gap()
+        );
         // Un-augmented FIFO never hits on this adversary, so its makespan
         // is exactly the serialized reference stream.
 

@@ -129,7 +129,10 @@ fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, S
             tradeoff::run_table1(Panel::Sort, scale, seed),
         ],
         "fig6" => vec![knl_exp::run_fig6(ops, seed)],
-        "table2" => vec![knl_exp::run_table2a(ops, seed), knl_exp::run_table2b(blocks, seed)],
+        "table2" => vec![
+            knl_exp::run_table2a(ops, seed),
+            knl_exp::run_table2b(blocks, seed),
+        ],
         "validate" => vec![knl_exp::run_validation()],
         "channels" => vec![channels::run(scale, seed)],
         "augment" => vec![augment::run(scale, seed)],
@@ -143,8 +146,8 @@ fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, S
         ],
         "all" => {
             let cmds = [
-                "fig2", "fig3", "fig4", "fig5", "table1", "fig6", "table2", "validate",
-                "channels", "augment", "mrc", "assoc", "schemes", "ablate",
+                "fig2", "fig3", "fig4", "fig5", "table1", "fig6", "table2", "validate", "channels",
+                "augment", "mrc", "assoc", "schemes", "ablate",
             ];
             let mut all = Vec::new();
             for c in cmds {
@@ -160,18 +163,17 @@ fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, S
 }
 
 /// Plot-capable commands: computes cells once, returns (tables, charts).
-fn run_with_plots(
-    cmd: &str,
-    scale: Scale,
-    seed: u64,
-) -> Option<(Vec<ResultTable>, Vec<String>)> {
+fn run_with_plots(cmd: &str, scale: Scale, seed: u64) -> Option<(Vec<ResultTable>, Vec<String>)> {
     use hbm_experiments::sweep::plot_cells;
     match cmd {
         "fig2" => {
             let a = fig2::run_cells(Panel::SpGemm, scale, seed);
             let b = fig2::run_cells(Panel::Sort, scale, seed);
             Some((
-                vec![fig2::render(Panel::SpGemm, &a), fig2::render(Panel::Sort, &b)],
+                vec![
+                    fig2::render(Panel::SpGemm, &a),
+                    fig2::render(Panel::Sort, &b),
+                ],
                 vec![
                     plot_cells(&a, "Figure 2a — SpGEMM", "Priority").render(),
                     plot_cells(&b, "Figure 2b — GNU sort", "Priority").render(),
@@ -189,7 +191,10 @@ fn run_with_plots(
             let a = fig4::run_cells(Panel::SpGemm, scale, seed);
             let b = fig4::run_cells(Panel::Sort, scale, seed);
             Some((
-                vec![fig4::render(Panel::SpGemm, &a), fig4::render(Panel::Sort, &b)],
+                vec![
+                    fig4::render(Panel::SpGemm, &a),
+                    fig4::render(Panel::Sort, &b),
+                ],
                 vec![
                     plot_cells(&a, "Figure 4a — SpGEMM", "Dynamic").render(),
                     plot_cells(&b, "Figure 4b — GNU sort", "Dynamic").render(),
@@ -238,7 +243,10 @@ fn main() {
             );
             return;
         }
-        eprintln!("[repro] --plot not supported for '{}'; showing tables", args.command);
+        eprintln!(
+            "[repro] --plot not supported for '{}'; showing tables",
+            args.command
+        );
     }
     match run_command(&args.command, args.scale, args.seed) {
         Ok(tables) => {

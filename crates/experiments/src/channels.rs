@@ -41,7 +41,13 @@ pub fn run(scale: Scale, seed: u64) -> ResultTable {
     let base_p = cells[0].priority_makespan as f64;
     let mut t = ResultTable::new(
         "Multi-channel sweep (Theorem 3) — SpGEMM makespan vs q",
-        &["q", "fifo_makespan", "priority_makespan", "fifo_speedup", "priority_speedup"],
+        &[
+            "q",
+            "fifo_makespan",
+            "priority_makespan",
+            "fifo_speedup",
+            "priority_speedup",
+        ],
     );
     for c in &cells {
         t.push_row(vec![
@@ -71,7 +77,8 @@ mod tests {
         for w in cells.windows(2) {
             assert!(
                 w[1].fifo_makespan as f64 <= w[0].fifo_makespan as f64 * 1.1,
-                "q={} regressed", w[1].q
+                "q={} regressed",
+                w[1].q
             );
         }
         // Speedup is bounded by the work bound: it saturates.

@@ -77,7 +77,9 @@ impl Scale {
         match self {
             Scale::Small => vec![1, 2, 4, 8, 16],
             Scale::Default | Scale::Full => {
-                vec![1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 100, 120, 150, 200]
+                vec![
+                    1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 100, 120, 150, 200,
+                ]
             }
         }
     }

@@ -72,7 +72,10 @@ pub fn plot_cells(cells: &[Fig3Cell]) -> crate::plot::AsciiPlot {
     .series(Series::new(
         "FIFO",
         'f',
-        cells.iter().map(|c| (c.p as f64, c.fifo_makespan as f64)).collect(),
+        cells
+            .iter()
+            .map(|c| (c.p as f64, c.fifo_makespan as f64))
+            .collect(),
     ))
     .series(Series::new(
         "Priority",
@@ -93,7 +96,14 @@ pub fn run(scale: Scale, seed: u64) -> ResultTable {
 pub fn render(cells: &[Fig3Cell]) -> ResultTable {
     let mut t = ResultTable::new(
         "Figure 3 — Dataset 3 (cycle over 256 pages, k = 1/4 of union): FIFO vs Priority",
-        &["p", "k", "fifo_makespan", "priority_makespan", "ratio", "fifo_hit_rate"],
+        &[
+            "p",
+            "k",
+            "fifo_makespan",
+            "priority_makespan",
+            "ratio",
+            "fifo_hit_rate",
+        ],
     );
     for c in cells {
         t.push_row(vec![

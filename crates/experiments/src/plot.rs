@@ -197,8 +197,11 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let p = AsciiPlot::new("t", "x", "y")
-            .series(Series::new("s", 'o', vec![(1.0, 5.0), (2.0, 5.0)]));
+        let p = AsciiPlot::new("t", "x", "y").series(Series::new(
+            "s",
+            'o',
+            vec![(1.0, 5.0), (2.0, 5.0)],
+        ));
         let r = p.render();
         assert!(r.contains('o'));
     }
@@ -208,7 +211,11 @@ mod tests {
         let p = AsciiPlot::new("t", "x", "y")
             .log_x()
             .log_y()
-            .series(Series::new("s", 'x', vec![(0.0, 1.0), (10.0, 100.0), (100.0, 10.0)]));
+            .series(Series::new(
+                "s",
+                'x',
+                vec![(0.0, 1.0), (10.0, 100.0), (100.0, 10.0)],
+            ));
         let r = p.render();
         assert!(r.contains("(log)"));
         let grid_markers: usize = r

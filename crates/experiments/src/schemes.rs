@@ -34,19 +34,24 @@ pub fn run_cells(scale: Scale, seed: u64) -> Vec<SchemeCell> {
     let schemes: Vec<(&str, ArbitrationKind)> = vec![
         ("Dynamic", ArbitrationKind::DynamicPriority { period }),
         ("Cycle", ArbitrationKind::CyclePriority { period }),
-        ("CycleReverse", ArbitrationKind::CycleReversePriority { period }),
+        (
+            "CycleReverse",
+            ArbitrationKind::CycleReversePriority { period },
+        ),
         ("Interleave", ArbitrationKind::InterleavePriority { period }),
         ("Sweep", ArbitrationKind::SweepPriority { period }),
         ("Static", ArbitrationKind::Priority),
         ("RandomPick", ArbitrationKind::RandomPick),
     ];
-    let skews = [("balanced", WorkSkew::Balanced), ("one-heavy", WorkSkew::OneHeavy(4))];
+    let skews = [
+        ("balanced", WorkSkew::Balanced),
+        ("one-heavy", WorkSkew::OneHeavy(4)),
+    ];
 
     let mut jobs = Vec::new();
     for (skew_name, skew) in skews {
         let spec = scale.spgemm_spec();
-        let w = spec
-            .workload_skewed(p, seed, TraceOptions::default(), skew);
+        let w = spec.workload_skewed(p, seed, TraceOptions::default(), skew);
         for (scheme_name, arb) in &schemes {
             jobs.push((
                 scheme_name.to_string(),
@@ -73,7 +78,13 @@ pub fn run(scale: Scale, seed: u64) -> ResultTable {
     let cells = run_cells(scale, seed);
     let mut t = ResultTable::new(
         "Permutation schemes × work distribution (T = 10k)",
-        &["scheme", "work", "makespan", "inconsistency", "max_response"],
+        &[
+            "scheme",
+            "work",
+            "makespan",
+            "inconsistency",
+            "max_response",
+        ],
     );
     for c in &cells {
         t.push_row(vec![

@@ -145,7 +145,14 @@ mod tests {
     #[test]
     fn sweep_covers_all_cells_in_order() {
         let pool = tiny_pool();
-        let cells = ratio_sweep(&pool, &[2, 4], &[16, 64], |_| ArbitrationKind::Priority, 1, 0);
+        let cells = ratio_sweep(
+            &pool,
+            &[2, 4],
+            &[16, 64],
+            |_| ArbitrationKind::Priority,
+            1,
+            0,
+        );
         assert_eq!(cells.len(), 4);
         assert_eq!(
             cells.iter().map(|c| (c.p, c.k)).collect::<Vec<_>>(),
@@ -165,14 +172,7 @@ mod tests {
         let pool = tiny_pool();
         // k = 64: two of the eight 32-page working sets fit — the regime
         // where Priority protects working sets and FIFO thrashes.
-        let cells = ratio_sweep(
-            &pool,
-            &[1, 8],
-            &[64],
-            |_| ArbitrationKind::Priority,
-            1,
-            0,
-        );
+        let cells = ratio_sweep(&pool, &[1, 8], &[64], |_| ArbitrationKind::Priority, 1, 0);
         let s = summarize(&cells);
         assert!(s.min_ratio <= s.max_ratio);
         // At p=1 the policies coincide: ratio exactly 1.

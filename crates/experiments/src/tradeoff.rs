@@ -96,12 +96,20 @@ pub fn plot_points(points: &[PolicyPoint], title: &str) -> crate::plot::AsciiPlo
             .map(|p| (p.inconsistency.max(1e-3), p.makespan as f64))
             .collect()
     };
-    AsciiPlot::new(title, "inconsistency (stddev of response times)", "makespan")
-        .log_x()
-        .series(Series::new("FIFO", 'F', pick("FIFO")))
-        .series(Series::new("Dynamic Priority (T sweep)", 'd', pick("Dynamic")))
-        .series(Series::new("Cycle Priority (T sweep)", 'c', pick("Cycle")))
-        .series(Series::new("Priority", 'P', pick("Priority")))
+    AsciiPlot::new(
+        title,
+        "inconsistency (stddev of response times)",
+        "makespan",
+    )
+    .log_x()
+    .series(Series::new("FIFO", 'F', pick("FIFO")))
+    .series(Series::new(
+        "Dynamic Priority (T sweep)",
+        'd',
+        pick("Dynamic"),
+    ))
+    .series(Series::new("Cycle Priority (T sweep)", 'c', pick("Cycle")))
+    .series(Series::new("Priority", 'P', pick("Priority")))
 }
 
 /// Figure 5 rendering: makespan vs inconsistency per policy point.
@@ -120,7 +128,10 @@ pub fn run_fig5(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
             "Figure 5b — GNU sort (p={p}, k={k}): inconsistency vs makespan across schemes and T"
         ),
     };
-    let mut t = ResultTable::new(name, &["policy", "inconsistency", "makespan", "max_response"]);
+    let mut t = ResultTable::new(
+        name,
+        &["policy", "inconsistency", "makespan", "max_response"],
+    );
     for pt in &points {
         t.push_row(vec![
             pt.label.clone(),

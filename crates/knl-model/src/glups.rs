@@ -26,7 +26,9 @@ pub const BLOCK_BYTES: u64 = 1024;
 pub fn expected_bandwidth_mibs(machine: &Machine, mode: MemMode, bytes: u64) -> Option<f64> {
     match mode {
         MemMode::FlatDram => Some(machine.dram_bw_mibs),
-        MemMode::FlatHbm => machine.hbm_can_allocate(bytes).then_some(machine.hbm_bw_mibs),
+        MemMode::FlatHbm => machine
+            .hbm_can_allocate(bytes)
+            .then_some(machine.hbm_bw_mibs),
         MemMode::Cache => {
             let h = machine.cache_hit_fraction(bytes);
             let denom = h / machine.hbm_bw_mibs

@@ -234,9 +234,15 @@ mod tests {
         // the post-sharedL2 HBM access cost).
         let deep = m.flat_memory_latency_ns(MemMode::Cache, 64 * GIB);
         let flat = m.flat_memory_latency_ns(MemMode::FlatDram, 64 * GIB);
-        assert!(deep > flat + 100.0, "cache-mode deep miss {deep} vs flat {flat}");
+        assert!(
+            deep > flat + 100.0,
+            "cache-mode deep miss {deep} vs flat {flat}"
+        );
         // Paper's 64 GiB cache-mode value: 489.6 ns.
-        assert!((deep - 489.6).abs() / 489.6 < 0.12, "model {deep} vs paper 489.6");
+        assert!(
+            (deep - 489.6).abs() / 489.6 < 0.12,
+            "model {deep} vs paper 489.6"
+        );
     }
 
     #[test]

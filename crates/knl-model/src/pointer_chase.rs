@@ -199,7 +199,10 @@ mod tests {
         // the plateau dominates.
         assert!(d <= 170.0);
         let d256 = expected_latency_ns(&m, MemMode::FlatDram, 256 * MIB).unwrap();
-        assert!((d256 - 235.6).abs() / 235.6 < 0.15, "model {d256} vs paper 235.6");
+        assert!(
+            (d256 - 235.6).abs() / 235.6 < 0.15,
+            "model {d256} vs paper 235.6"
+        );
     }
 
     #[test]
@@ -222,7 +225,13 @@ mod tests {
     #[test]
     fn zero_ops_and_zero_bytes() {
         let m = Machine::knl();
-        assert_eq!(simulate_latency_ns(&m, MemMode::FlatDram, 0, 100, 0), Some(0.0));
-        assert_eq!(simulate_latency_ns(&m, MemMode::FlatDram, MIB, 0, 0), Some(0.0));
+        assert_eq!(
+            simulate_latency_ns(&m, MemMode::FlatDram, 0, 100, 0),
+            Some(0.0)
+        );
+        assert_eq!(
+            simulate_latency_ns(&m, MemMode::FlatDram, MIB, 0, 0),
+            Some(0.0)
+        );
     }
 }

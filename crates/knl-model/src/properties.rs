@@ -74,11 +74,7 @@ pub fn validate(machine: &Machine) -> ValidationReport {
     // P3: deep cache-mode miss latency ≈ 2× the HBM portion. Following the
     // paper we subtract the shared-L2/mesh baseline before comparing.
     let deep = 64 * GIB;
-    let baseline = machine
-        .levels
-        .last()
-        .map(|l| l.latency_ns)
-        .unwrap_or(0.0);
+    let baseline = machine.levels.last().map(|l| l.latency_ns).unwrap_or(0.0);
     let hbm_part = expected_latency_ns(machine, MemMode::FlatHbm, machine.hbm_alloc_limit)
         .expect("hbm at its limit")
         - baseline;
@@ -116,7 +112,11 @@ mod tests {
     fn knl_preset_validates_all_properties() {
         let r = validate(&Machine::knl());
         for c in &r.checks {
-            assert!(c.holds, "P{} failed: {} (measured {})", c.id, c.statement, c.measured);
+            assert!(
+                c.holds,
+                "P{} failed: {} (measured {})",
+                c.id, c.statement, c.measured
+            );
         }
         assert!(r.all_hold());
     }

@@ -4,13 +4,18 @@
 //! remap intervals; each cell is an independent, deterministic simulation.
 //! This crate provides the small data-parallel layer that runs those cells
 //! across OS threads: a self-scheduling parallel map built on
-//! `crossbeam::scope` (dynamic load balancing via an atomic cursor —
+//! [`std::thread::scope`] (dynamic load balancing via an atomic cursor —
 //! simulation cells have wildly different costs, so static chunking would
 //! straggle).
 //!
 //! Determinism: results are returned in input order regardless of which
 //! worker computed them, so parallel sweeps produce byte-identical output
 //! to sequential ones.
+//!
+//! Panic safety: every worker is joined before `parallel_map_with` returns,
+//! so a panicking closure can neither deadlock the sweep nor leak threads —
+//! the panic surfaces as a single `"sweep worker panicked"` panic after all
+//! workers have stopped.
 //!
 //! ```
 //! let squares = hbm_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -48,6 +53,10 @@ where
 /// heterogeneous item costs balance automatically. With `threads <= 1` the
 /// map runs inline (no thread spawn), which keeps small sweeps cheap and
 /// stack traces simple.
+///
+/// # Panics
+/// If any worker closure panics, all remaining workers are drained and
+/// joined first, then this function panics with `"sweep worker panicked"`.
 pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -60,36 +69,47 @@ where
     }
     let workers = threads.min(n);
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panicked = false;
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        debug_assert!(slots[i].is_none());
+                        slots[i] = Some(r);
+                    }
                 }
-                // A send can only fail if the receiver is gone, which
-                // cannot happen while this scope is alive.
-                let _ = tx.send((i, f(&items[i])));
-            });
+                Err(_) => panicked = true,
+            }
         }
+        if panicked {
+            panic!("sweep worker panicked");
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
     })
-    .expect("sweep worker panicked");
-    drop(tx);
-
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in rx {
-        debug_assert!(slots[i].is_none());
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index computed exactly once"))
-        .collect()
 }
 
 /// Runs `f` once per index `0..n` in parallel, returning results in index

@@ -134,12 +134,7 @@ impl MissRatioCurve {
     /// included), or `None` if even a cache holding everything exceeds it.
     pub fn size_for_miss_ratio(&self, target: f64) -> Option<usize> {
         let full = self.unique_pages() as usize;
-        for k in 0..=full {
-            if self.miss_ratio_at(k) <= target {
-                return Some(k);
-            }
-        }
-        None
+        (0..=full).find(|&k| self.miss_ratio_at(k) <= target)
     }
 
     /// The *working set* in the experiments' sense: the smallest cache
@@ -207,11 +202,7 @@ mod tests {
             .collect();
         let mrc = MissRatioCurve::from_trace(&trace);
         for k in [1usize, 2, 4, 8, 16, 32, 64] {
-            assert_eq!(
-                mrc.misses_at(k),
-                lru_misses(&trace, k),
-                "k = {k}"
-            );
+            assert_eq!(mrc.misses_at(k), lru_misses(&trace, k), "k = {k}");
         }
     }
 
@@ -246,7 +237,10 @@ mod tests {
         let mrc = MissRatioCurve::from_trace(&trace);
         // 10% miss ratio requires the full working set on a cyclic trace.
         assert_eq!(mrc.size_for_miss_ratio(0.2), Some(16));
-        assert!(mrc.size_for_miss_ratio(0.0001).is_none(), "cold misses remain");
+        assert!(
+            mrc.size_for_miss_ratio(0.0001).is_none(),
+            "cold misses remain"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ fn main() {
         ..TraceOptions::default()
     };
     let w = spec.workload(cores, seed, opts);
-    println!("# {} — {cores} core(s), seed {seed}, collapse {collapse}", spec.label());
+    println!(
+        "# {} — {cores} core(s), seed {seed}, collapse {collapse}",
+        spec.label()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>16}",
         "core", "refs", "unique", "working_set", "miss@ws/2"

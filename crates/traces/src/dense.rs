@@ -151,7 +151,11 @@ mod tests {
 
     #[test]
     fn collapse_never_lengthens() {
-        for v in [DenseVariant::Ijk, DenseVariant::Ikj, DenseVariant::Blocked(8)] {
+        for v in [
+            DenseVariant::Ijk,
+            DenseVariant::Ikj,
+            DenseVariant::Blocked(8),
+        ] {
             let raw = matmul_trace(32, v, 3, 4096, false).len();
             let col = matmul_trace(32, v, 3, 4096, true).len();
             assert!(col <= raw, "{v}: {col} > {raw}");

@@ -284,8 +284,14 @@ mod tests {
 
     #[test]
     fn traces_deterministic_and_distinct_by_seed() {
-        assert_eq!(bfs_trace(300, 4, 1, 4096, true), bfs_trace(300, 4, 1, 4096, true));
-        assert_ne!(bfs_trace(300, 4, 1, 4096, true), bfs_trace(300, 4, 2, 4096, true));
+        assert_eq!(
+            bfs_trace(300, 4, 1, 4096, true),
+            bfs_trace(300, 4, 1, 4096, true)
+        );
+        assert_ne!(
+            bfs_trace(300, 4, 1, 4096, true),
+            bfs_trace(300, 4, 2, 4096, true)
+        );
         assert_eq!(
             pagerank_trace(200, 4, 3, 1, 4096, true),
             pagerank_trace(200, 4, 3, 1, 4096, true)

@@ -32,7 +32,10 @@ impl AddressSpace {
     /// A fresh address space with the given page size (must be a power of
     /// two).
     pub fn new(page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         AddressSpace {
             next: 0,
             page_bytes,
@@ -118,7 +121,9 @@ impl Recorder {
         let mut inner = self.inner.borrow_mut();
         inner.raw_accesses += 1;
         let page = addr >> inner.page_shift;
-        let page: LocalPage = page.try_into().expect("page id exceeds u32 (trace too large)");
+        let page: LocalPage = page
+            .try_into()
+            .expect("page id exceeds u32 (trace too large)");
         if inner.collapse && inner.pages.last() == Some(&page) {
             return;
         }

@@ -323,7 +323,12 @@ mod tests {
     fn collapse_reduces_trace_length() {
         let raw = sort_trace(SortAlgo::Introsort, 5000, 3, 4096, false);
         let collapsed = sort_trace(SortAlgo::Introsort, 5000, 3, 4096, true);
-        assert!(collapsed.len() < raw.len() / 2, "{} vs {}", collapsed.len(), raw.len());
+        assert!(
+            collapsed.len() < raw.len() / 2,
+            "{} vs {}",
+            collapsed.len(),
+            raw.len()
+        );
     }
 
     #[test]

@@ -172,7 +172,9 @@ pub fn spgemm_run_in(a: &Csr, b: &Csr, rec: Recorder, private_skip: Option<u64>)
         }
     }
 
-    drop((a_pos, a_crd, a_val, b_pos, b_crd, b_val, w_val, w_set, w_lst, c_crd, c_val));
+    drop((
+        a_pos, a_crd, a_val, b_pos, b_crd, b_val, w_val, w_set, w_lst, c_crd, c_val,
+    ));
     let raw = rec.raw_accesses();
     KernelRun {
         trace: rec.into_trace(),
@@ -421,7 +423,10 @@ mod tests {
                     .copied()
                     .filter(|pg| !inter.contains(pg))
                     .collect();
-                assert!(both.is_empty(), "cores {c1},{c2} share private pages {both:?}");
+                assert!(
+                    both.is_empty(),
+                    "cores {c1},{c2} share private pages {both:?}"
+                );
             }
         }
     }

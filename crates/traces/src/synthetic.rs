@@ -13,7 +13,9 @@ use hbm_core::LocalPage;
 pub fn uniform_trace(pages: u32, len: usize, seed: u64) -> Vec<LocalPage> {
     assert!(pages > 0);
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(pages as u64) as u32).collect()
+    (0..len)
+        .map(|_| rng.gen_range(pages as u64) as u32)
+        .collect()
 }
 
 /// Zipfian references: page `i` drawn with probability ∝ `1/(i+1)^alpha`.
@@ -109,7 +111,10 @@ mod tests {
         let t = zipf_trace(100, 20_000, 1.0, 2);
         let count0 = t.iter().filter(|&&p| p == 0).count();
         let count99 = t.iter().filter(|&&p| p == 99).count();
-        assert!(count0 > 10 * count99.max(1), "page 0 {count0} vs page 99 {count99}");
+        assert!(
+            count0 > 10 * count99.max(1),
+            "page 0 {count0} vs page 99 {count99}"
+        );
         assert!(t.iter().all(|&p| p < 100));
     }
 

@@ -388,7 +388,11 @@ mod tests {
             "cyclic(pages=256,reps=100)"
         );
         assert_eq!(
-            WorkloadSpec::SpGemm { n: 600, density: 0.1 }.label(),
+            WorkloadSpec::SpGemm {
+                n: 600,
+                density: 0.1
+            }
+            .label(),
             "spgemm(n=600,d=0.1)"
         );
     }

@@ -16,7 +16,10 @@ use hbm::traces::{TraceOptions, WorkloadSpec};
 fn main() {
     let p = 24;
     for (name, spec) in [
-        ("BFS (random graph, n=4000, deg=4)", WorkloadSpec::Bfs { n: 4000, degree: 4 }),
+        (
+            "BFS (random graph, n=4000, deg=4)",
+            WorkloadSpec::Bfs { n: 4000, degree: 4 },
+        ),
         (
             "PageRank (power-law graph, n=2000, deg=4, 4 iters)",
             WorkloadSpec::PageRank {
@@ -40,7 +43,9 @@ fn main() {
         for arb in [
             ArbitrationKind::Fifo,
             ArbitrationKind::Priority,
-            ArbitrationKind::DynamicPriority { period: 10 * k as u64 },
+            ArbitrationKind::DynamicPriority {
+                period: 10 * k as u64,
+            },
         ] {
             let r = SimBuilder::new()
                 .hbm_slots(k)

@@ -19,14 +19,7 @@ fn main() {
         "{:>8} | {:>10} {:>10} {:>10}",
         "array", "flat DRAM", "flat HBM", "cache"
     );
-    let sizes: Vec<u64> = vec![
-        16 * MIB,
-        256 * MIB,
-        GIB,
-        8 * GIB,
-        16 * GIB,
-        64 * GIB,
-    ];
+    let sizes: Vec<u64> = vec![16 * MIB, 256 * MIB, GIB, 8 * GIB, 16 * GIB, 64 * GIB];
     for row in latency_sweep(&machine, &sizes, 100_000, 7) {
         println!(
             "{:>8} | {:>10.1} {:>10} {:>10.1}",
@@ -36,7 +29,8 @@ fn main() {
                 format!("{}MiB", row.bytes / MIB)
             },
             row.dram_ns,
-            row.hbm_ns.map_or("   (n/a)".to_string(), |v| format!("{v:.1}")),
+            row.hbm_ns
+                .map_or("   (n/a)".to_string(), |v| format!("{v:.1}")),
             row.cache_ns,
         );
     }
@@ -52,7 +46,8 @@ fn main() {
             "{:>8} | {:>10.0} {:>10} {:>10.0}",
             format!("{}GiB", row.bytes / GIB),
             row.dram_mibs,
-            row.hbm_mibs.map_or("   (n/a)".to_string(), |v| format!("{v:.0}")),
+            row.hbm_mibs
+                .map_or("   (n/a)".to_string(), |v| format!("{v:.0}")),
             row.cache_mibs,
         );
     }

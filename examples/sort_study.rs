@@ -14,10 +14,7 @@ fn main() {
 
     // Part 1: trace anatomy per algorithm.
     println!("trace anatomy, sorting 8,000 integers (page = 4 KiB):");
-    println!(
-        "{:>10} | {:>10} {:>10}",
-        "algorithm", "page refs", "unique"
-    );
+    println!("{:>10} | {:>10} {:>10}", "algorithm", "page refs", "unique");
     for algo in SortAlgo::ALL {
         let t = hbm::traces::sort::sort_trace(algo, 8_000, 7, 4096, true);
         let mut u = t.clone();
@@ -44,8 +41,12 @@ fn main() {
         ArbitrationKind::Fifo,
         ArbitrationKind::FrFcfs { row_shift: 2 },
         ArbitrationKind::Priority,
-        ArbitrationKind::DynamicPriority { period: 10 * k as u64 },
-        ArbitrationKind::CyclePriority { period: 10 * k as u64 },
+        ArbitrationKind::DynamicPriority {
+            period: 10 * k as u64,
+        },
+        ArbitrationKind::CyclePriority {
+            period: 10 * k as u64,
+        },
         ArbitrationKind::RandomPick,
     ];
     for arb in policies {

@@ -26,7 +26,10 @@ fn main() {
     uniq.sort_unstable();
     uniq.dedup();
     let k = 2 * uniq.len();
-    println!("per-core working set ≈ {} pages; HBM k = {k} slots\n", uniq.len());
+    println!(
+        "per-core working set ≈ {} pages; HBM k = {k} slots\n",
+        uniq.len()
+    );
     println!(
         "{:>4} | {:>12} {:>12} {:>12} | {:>7}",
         "p", "FIFO", "Priority", "Dynamic", "F/P"

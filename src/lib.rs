@@ -12,7 +12,7 @@
 //! * [`knl`] — the synthetic Knights Landing machine model and the
 //!   pointer-chasing / GLUPS microbenchmarks of §5.
 //! * [`experiments`] — ready-made reproductions of every figure and table.
-//! * [`par`] — small crossbeam-based parallel sweep utilities.
+//! * [`par`] — small std::thread::scope-based parallel sweep utilities.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,168 @@
+//! Cross-crate conformance cells: the differential Engine/OracleEngine
+//! harness (`hbm_core::testkit`) driven by *real* inputs from the other
+//! workspace crates rather than synthetic random traces —
+//!
+//! * workloads from the `hbm-traces` program generators (sort, SpGEMM,
+//!   the adversarial cycle, Zipf) at miniature sizes,
+//! * simulation parameters derived from the calibrated `hbm-knl-model`
+//!   KNL machine description,
+//! * plus the Lemma 1 direct-mapped-transformation invariants from
+//!   `hbm-assoc` on the same generated streams.
+//!
+//! Core-only differential coverage lives in
+//! `crates/core/tests/differential.rs`; this file is the cross-crate
+//! layer of the same suite.
+
+use hbm::assoc::transform::{measure_overhead, Discipline};
+use hbm::core::testkit::{all_arbitrations, all_replacements, assert_conformance};
+use hbm::core::{ArbitrationKind, ReplacementKind, SimConfig};
+use hbm::knl::machine::Machine;
+use hbm::traces::{SortAlgo, TraceOptions, WorkloadSpec};
+
+/// Miniature versions of the paper's datasets: big enough to exercise
+/// real access patterns (recursion, sparse scatter, cyclic thrash, skew),
+/// small enough that the O(p + k)-per-tick oracle replays them in
+/// milliseconds.
+fn tiny_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Sort {
+            algo: SortAlgo::Introsort,
+            n: 400,
+        },
+        WorkloadSpec::SpGemm {
+            n: 24,
+            density: 0.15,
+        },
+        WorkloadSpec::Cyclic { pages: 12, reps: 6 },
+        WorkloadSpec::Zipf {
+            pages: 20,
+            len: 120,
+            alpha: 1.1,
+        },
+    ]
+}
+
+/// Every tiny dataset × a spread of policies must be bit-identical
+/// between the two engines.
+#[test]
+fn trace_generator_workloads_conform() {
+    let opts = TraceOptions::default();
+    for (si, spec) in tiny_specs().iter().enumerate() {
+        let workload = spec.workload(3, 0xC0FFEE + si as u64, opts);
+        for arbitration in [
+            ArbitrationKind::Fifo,
+            ArbitrationKind::Priority,
+            ArbitrationKind::DynamicPriority { period: 8 },
+            ArbitrationKind::RandomPick,
+        ] {
+            for replacement in [ReplacementKind::Lru, ReplacementKind::Clock] {
+                let config = SimConfig {
+                    hbm_slots: 10,
+                    channels: 2,
+                    arbitration,
+                    replacement,
+                    far_latency: 2,
+                    seed: 42 + si as u64,
+                    max_ticks: 2_000_000,
+                };
+                let report = assert_conformance(config, &workload);
+                assert!(!report.truncated, "{spec:?} must run to completion");
+                assert_eq!(report.served, workload.total_refs() as u64);
+            }
+        }
+    }
+}
+
+/// A simulation configuration derived from the calibrated KNL machine
+/// model, scaled down by a fixed page-granularity factor so the oracle
+/// stays cheap:
+///
+/// * `channels` ≈ far-channel : DRAM bandwidth ratio (≈ 2 on KNL),
+/// * `far_latency` ≈ flat-DRAM : flat-HBM latency ratio rounded up,
+/// * `hbm_slots` = the same fraction of the (scaled) total page universe
+///   that 16 GiB MCDRAM is of a 64 GiB working set.
+fn knl_scaled_config(machine: &Machine, total_pages: usize) -> SimConfig {
+    let channels = (machine.far_bw_mibs / machine.dram_bw_mibs)
+        .round()
+        .max(1.0) as usize;
+    let dram_ns = machine.dram_base_ns;
+    let hbm_ns = dram_ns + machine.hbm_extra_ns;
+    let far_latency = (hbm_ns / dram_ns).ceil().max(2.0) as u64;
+    let working_set_bytes = 4 * machine.hbm_capacity; // paper's out-of-core regime
+    let hbm_fraction = machine.hbm_capacity as f64 / working_set_bytes as f64;
+    let hbm_slots = ((total_pages as f64 * hbm_fraction) as usize).max(1);
+    SimConfig {
+        hbm_slots,
+        channels,
+        arbitration: ArbitrationKind::DynamicPriority { period: 64 },
+        replacement: ReplacementKind::Lru,
+        far_latency,
+        seed: 0x6b6e_6c21,
+        max_ticks: 2_000_000,
+    }
+}
+
+/// KNL-derived configurations × every arbitration/replacement pairing on
+/// a shared SpGEMM workload.
+#[test]
+fn knl_machine_configs_conform() {
+    let machine = Machine::knl();
+    let spec = WorkloadSpec::Cyclic { pages: 16, reps: 5 };
+    let workload = spec.workload(4, 99, TraceOptions::default());
+    let total_pages: usize = 4 * 16; // p cores × pages per core
+    let base = knl_scaled_config(&machine, total_pages);
+    assert!(base.channels >= 2, "KNL far bandwidth implies ≥ 2 channels");
+    for arbitration in all_arbitrations(32) {
+        for replacement in all_replacements() {
+            let config = SimConfig {
+                arbitration,
+                replacement,
+                ..base
+            };
+            assert_conformance(config, &workload);
+        }
+    }
+}
+
+/// Lemma 1 on generated streams: the hashed direct-mapped transformation
+/// replicates the fully-associative hit/miss sequence exactly, with at
+/// most 2 far transfers per miss. (No ordering claim against the *plain*
+/// direct-mapped baseline: on the cyclic adversary fully-associative LRU
+/// misses everything while direct mapping keeps conflict-free pages
+/// resident, so either can win — only the cold-miss floor is universal.)
+#[test]
+fn lemma1_direct_mapped_factor_on_generated_streams() {
+    let opts = TraceOptions::default();
+    for spec in tiny_specs() {
+        let trace = spec.generate_trace(7, opts);
+        let stream: Vec<u64> = trace.iter().map(|&p| p as u64).collect();
+        if stream.is_empty() {
+            continue;
+        }
+        let k = (stream.len() / 8).clamp(4, 64);
+        for discipline in [Discipline::Lru, Discipline::Fifo] {
+            for seed in 0..4 {
+                let o = measure_overhead(&stream, k, discipline, seed);
+                assert_eq!(
+                    o.reference_misses, o.transformed_misses,
+                    "{spec:?}: transformation must preserve the miss sequence"
+                );
+                assert!(
+                    o.transfers_per_miss <= 2.0,
+                    "{spec:?}: Lemma 1 bound violated: {} transfers/miss",
+                    o.transfers_per_miss
+                );
+                let unique = {
+                    let mut s: Vec<u64> = stream.clone();
+                    s.sort_unstable();
+                    s.dedup();
+                    s.len() as u64
+                };
+                assert!(
+                    o.plain_direct_misses >= unique.min(o.reference_misses),
+                    "{spec:?}: every distinct page cold-misses at least once"
+                );
+            }
+        }
+    }
+}

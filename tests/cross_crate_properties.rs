@@ -20,10 +20,8 @@ fn small_specs() -> impl Strategy<Value = WorkloadSpec> {
         (8u32..64, 2usize..6).prop_map(|(pages, reps)| WorkloadSpec::Cyclic { pages, reps }),
         (10u32..200, 100usize..2000, 0.5f64..1.5)
             .prop_map(|(pages, len, alpha)| WorkloadSpec::Zipf { pages, len, alpha }),
-        (8u32..64, 1usize..4).prop_map(|(pages, laps)| WorkloadSpec::PermutationWalk {
-            pages,
-            laps
-        }),
+        (8u32..64, 1usize..4)
+            .prop_map(|(pages, laps)| WorkloadSpec::PermutationWalk { pages, laps }),
     ]
 }
 

@@ -168,7 +168,10 @@ fn channels_scale_on_instrumented_workload() {
     let m4 = run(&w, k, 4, ArbitrationKind::Priority).makespan;
     let m8 = run(&w, k, 8, ArbitrationKind::Priority).makespan;
     assert!(m4 < m1, "q=4 ({m4}) should beat q=1 ({m1})");
-    assert!(m8 <= m4 + m4 / 10, "q=8 ({m8}) should not regress vs q=4 ({m4})");
+    assert!(
+        m8 <= m4 + m4 / 10,
+        "q=8 ({m8}) should not regress vs q=4 ({m4})"
+    );
 }
 
 /// The whole trace pipeline is deterministic end to end: same seed, same
@@ -181,12 +184,7 @@ fn pipeline_is_deterministic() {
     };
     let mk = || {
         let w = spec.workload(4, 9, TraceOptions::default());
-        run(
-            &w,
-            64,
-            2,
-            ArbitrationKind::DynamicPriority { period: 640 },
-        )
+        run(&w, 64, 2, ArbitrationKind::DynamicPriority { period: 640 })
     };
     let (a, b) = (mk(), mk());
     assert_eq!(a.makespan, b.makespan);
@@ -227,10 +225,7 @@ fn lemma1_holds_on_all_kernels() {
             n: 60,
             density: 0.10,
         },
-        WorkloadSpec::Cyclic {
-            pages: 64,
-            reps: 5,
-        },
+        WorkloadSpec::Cyclic { pages: 64, reps: 5 },
         WorkloadSpec::Zipf {
             pages: 300,
             len: 20_000,

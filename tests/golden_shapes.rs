@@ -1,0 +1,164 @@
+//! Golden-shape regression tests for the Figure 2 / Figure 3 experiments
+//! at `Scale::Small`.
+//!
+//! The full-scale sweeps in `results/*.csv` exhibit the paper's headline
+//! qualitative orderings; these tests pin the same *shapes* (not exact
+//! numbers) at the cheap scale so a regression in the engine, the trace
+//! generators, or the sweep drivers shows up in `cargo test`:
+//!
+//! * Figure 2: FIFO beats (or matches) static Priority *pre-thrash* —
+//!   when HBM is ample relative to the working sets — while Priority
+//!   dominates decisively at high thread counts under contention
+//!   (`results/figure_2a.csv` min ratio 0.82, max 37.4;
+//!   `figure_2b.csv` min 0.77, max 59.6).
+//! * Figure 3: on the adversarial cyclic dataset FIFO misses every page,
+//!   its makespan grows linearly with `p`, and the FIFO/Priority ratio
+//!   climbs without bound (`results/figure_3.csv` reaches 24× at p=128).
+//!
+//! Everything here is fully deterministic: fixed seed, fixed scale.
+
+use hbm::experiments::common::Scale;
+use hbm::experiments::fig2::{self, Panel};
+use hbm::experiments::fig3;
+use hbm::experiments::sweep::{summarize, RatioCell};
+
+const SEED: u64 = 7;
+
+fn cell(cells: &[RatioCell], p: usize, k: usize) -> &RatioCell {
+    cells
+        .iter()
+        .find(|c| c.p == p && c.k == k)
+        .unwrap_or_else(|| panic!("no cell at p={p}, k={k}"))
+}
+
+#[test]
+fn fig2a_spgemm_shapes() {
+    let cells = fig2::run_cells(Panel::SpGemm, Scale::Small, SEED);
+
+    // Single-core: arbitration is irrelevant with one requester, so the
+    // two policies are tick-for-tick identical at every HBM size.
+    for c in cells.iter().filter(|c| c.p == 1) {
+        assert_eq!(
+            c.fifo_makespan, c.challenger_makespan,
+            "p=1, k={}: arbitration must not matter with one core",
+            c.k
+        );
+    }
+
+    // Pre-thrash (ample HBM, k=115 covers the working sets): the two
+    // policies stay within 2% of each other even at the top thread count.
+    let easy = cell(&cells, 16, 115);
+    let ratio = easy.ratio();
+    assert!(
+        (0.98..=1.02).contains(&ratio),
+        "pre-thrash cell should be a near-tie, got ratio {ratio:.3}"
+    );
+
+    // Under contention (tight HBM, high p) Priority dominates — the
+    // paper's "FIFO up to 3.3× worse" regime.
+    assert!(
+        cell(&cells, 8, 23).ratio() > 2.0,
+        "p=8, k=23: expected decisive Priority win, got {:.3}",
+        cell(&cells, 8, 23).ratio()
+    );
+    assert!(
+        cell(&cells, 16, 46).ratio() > 3.0,
+        "p=16, k=46: expected decisive Priority win, got {:.3}",
+        cell(&cells, 16, 46).ratio()
+    );
+
+    // Shape summary: the best Priority showing is at a thread count at
+    // least as high as FIFO's best showing.
+    let s = summarize(&cells);
+    assert!(s.max_ratio > 2.5, "max ratio {:.3}", s.max_ratio);
+    assert!(s.max_ratio_p >= s.min_ratio_p);
+}
+
+#[test]
+fn fig2b_sort_shapes() {
+    let cells = fig2::run_cells(Panel::Sort, Scale::Small, SEED);
+
+    // FIFO beats Priority pre-thrash: at moderate contention the static
+    // pecking order starves low-rank threads for no benefit, and FIFO's
+    // fairness wins outright (paper: "Priority up to 1.37× worse").
+    assert!(
+        cell(&cells, 8, 16).ratio() < 0.95,
+        "p=8, k=16: expected FIFO to win, got ratio {:.3}",
+        cell(&cells, 8, 16).ratio()
+    );
+    assert!(
+        cell(&cells, 16, 32).ratio() < 0.95,
+        "p=16, k=32: expected FIFO to win, got ratio {:.3}",
+        cell(&cells, 16, 32).ratio()
+    );
+
+    // But at the highest contention cell Priority dominates anyway.
+    assert!(
+        cell(&cells, 16, 16).ratio() > 2.0,
+        "p=16, k=16: expected Priority to dominate, got ratio {:.3}",
+        cell(&cells, 16, 16).ratio()
+    );
+
+    // With ample HBM (k=80) everything is a near-tie at every p.
+    for c in cells.iter().filter(|c| c.k == 80) {
+        let r = c.ratio();
+        assert!(
+            (0.99..=1.01).contains(&r),
+            "p={}, k=80: expected near-tie, got {r:.3}",
+            c.p
+        );
+    }
+}
+
+#[test]
+fn fig3_adversarial_shapes() {
+    let cells = fig3::run_cells(Scale::Small, SEED);
+    assert!(cells.len() >= 4, "Small sweep has at least 4 thread counts");
+
+    for c in &cells {
+        // The cyclic adversary defeats LRU under FIFO completely.
+        assert_eq!(
+            c.fifo_hit_rate, 0.0,
+            "p={}: FIFO must miss every reference on the cycle",
+            c.p
+        );
+        // Priority never loses on this dataset.
+        assert!(
+            c.priority_makespan <= c.fifo_makespan,
+            "p={}: Priority must not lose on the adversarial cycle",
+            c.p
+        );
+    }
+
+    // FIFO makespan grows (at least) linearly in p: doubling the thread
+    // count at fixed per-thread work doubles the far-channel traffic and
+    // FIFO shares the pain evenly.
+    for w in cells.windows(2) {
+        assert!(
+            w[1].fifo_makespan >= 2 * w[0].fifo_makespan - w[0].fifo_makespan / 8,
+            "FIFO makespan should ~double from p={} to p={}: {} -> {}",
+            w[0].p,
+            w[1].p,
+            w[0].fifo_makespan,
+            w[1].fifo_makespan
+        );
+    }
+
+    // The FIFO/Priority gap widens monotonically with p and is decisive
+    // by the top of the Small sweep.
+    for w in cells.windows(2) {
+        assert!(
+            w[1].ratio() >= w[0].ratio(),
+            "ratio must be non-decreasing in p: {:.3} -> {:.3}",
+            w[0].ratio(),
+            w[1].ratio()
+        );
+    }
+    let last = cells.last().unwrap();
+    assert!(
+        last.ratio() > 4.0,
+        "p={}: expected ratio > 4, got {:.3}",
+        last.p,
+        last.ratio()
+    );
+}
