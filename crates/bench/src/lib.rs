@@ -12,6 +12,8 @@ use hbm_core::{ArbitrationKind, Report, SimBuilder, Workload};
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use hbm_traces::{TraceOptions, WorkloadSpec};
 
+pub mod harness;
+
 /// Bench-scale SpGEMM spec (working set ≈ 23 pages/core).
 pub fn spgemm_spec() -> WorkloadSpec {
     WorkloadSpec::SpGemm {

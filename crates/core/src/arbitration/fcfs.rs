@@ -36,6 +36,10 @@ impl ArbitrationPolicy for FcfsArbiter {
         false
     }
 
+    fn next_remap_at_or_after(&self, _tick: Tick) -> Option<Tick> {
+        None
+    }
+
     fn select(&mut self, max: usize, out: &mut Vec<Request>) {
         out.clear();
         for _ in 0..max {

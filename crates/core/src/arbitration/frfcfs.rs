@@ -60,6 +60,10 @@ impl ArbitrationPolicy for FrFcfsArbiter {
         false
     }
 
+    fn next_remap_at_or_after(&self, _tick: Tick) -> Option<Tick> {
+        None
+    }
+
     fn select(&mut self, max: usize, out: &mut Vec<Request>) {
         out.clear();
         // One open row tracked per simultaneously-served request.

@@ -139,6 +139,41 @@ impl ArbitrationKind {
         }
     }
 
+    /// Instantiates the arbiter behind the engine's enum dispatch: the two
+    /// policy families every paper experiment exercises (FIFO and the
+    /// priority family) are dispatched statically so their queue operations
+    /// inline into the tick loop; the rest fall back to the trait object.
+    /// Behavior is identical to [`build`](Self::build) in every case.
+    pub fn build_dispatch(self, p: usize, seed: u64) -> Arbiter {
+        match self {
+            ArbitrationKind::Fifo => Arbiter::Fcfs(FcfsArbiter::new()),
+            ArbitrationKind::Priority
+            | ArbitrationKind::DynamicPriority { .. }
+            | ArbitrationKind::CyclePriority { .. }
+            | ArbitrationKind::CycleReversePriority { .. }
+            | ArbitrationKind::InterleavePriority { .. }
+            | ArbitrationKind::SweepPriority { .. } => {
+                let (strategy, period) = match self {
+                    ArbitrationKind::Priority => (RemapStrategy::None, 0),
+                    ArbitrationKind::DynamicPriority { period } => (RemapStrategy::Random, period),
+                    ArbitrationKind::CyclePriority { period } => (RemapStrategy::Cycle, period),
+                    ArbitrationKind::CycleReversePriority { period } => {
+                        (RemapStrategy::CycleReverse, period)
+                    }
+                    ArbitrationKind::InterleavePriority { period } => {
+                        (RemapStrategy::Interleave, period)
+                    }
+                    ArbitrationKind::SweepPriority { period } => {
+                        (RemapStrategy::ExhaustiveSweep, period)
+                    }
+                    _ => unreachable!(),
+                };
+                Arbiter::Priority(PriorityArbiter::new(p, strategy, period, seed))
+            }
+            other => Arbiter::Other(other.build(p, seed)),
+        }
+    }
+
     /// The remap period, if this kind periodically re-permutes priorities.
     pub fn period(&self) -> Option<u64> {
         match self {
@@ -187,8 +222,26 @@ pub trait ArbitrationPolicy: Send {
     /// this tick (for the remap counter).
     fn maybe_remap(&mut self, tick: Tick) -> bool;
 
+    /// The earliest tick `u ≥ tick` at which [`maybe_remap`](Self::maybe_remap)
+    /// may return `true`, or `None` if it never will again.
+    ///
+    /// The engine uses this to skip `maybe_remap` calls on quiet ticks and
+    /// to fast-forward through inert spans. Returning `Some(tick)` ("maybe
+    /// right now") is always a safe conservative answer, and the default
+    /// does exactly that — at the cost of disabling the fast-forward
+    /// optimization. An override must be *exact* about when remaps fire, or
+    /// the engine's trajectory diverges from the canonical one.
+    fn next_remap_at_or_after(&self, tick: Tick) -> Option<Tick> {
+        Some(tick)
+    }
+
     /// Pops up to `max` requests, best-first per the policy, into `out`
     /// (which is cleared first).
+    ///
+    /// Calling `select` with `max == 0` or an empty queue must be a pure
+    /// no-op apart from clearing `out` (no RNG draws, no observable state
+    /// change): the engine skips such calls on its fast path, so any other
+    /// behavior would make the optimized trajectory diverge.
     fn select(&mut self, max: usize, out: &mut Vec<Request>);
 
     /// Number of waiting requests.
@@ -202,6 +255,74 @@ pub trait ArbitrationPolicy: Send {
     /// Current priority of `core` (0 = highest), if the policy has a notion
     /// of priority.
     fn priority_of(&self, core: CoreId) -> Option<u32>;
+}
+
+/// Statically-dispatched arbiter handle (see
+/// [`ArbitrationKind::build_dispatch`]). Each method forwards to the same
+/// [`ArbitrationPolicy`] implementation the boxed form would call, so the
+/// trajectory is representation-independent; the enum only removes the
+/// virtual-call indirection from the engine's per-tick loop.
+pub enum Arbiter {
+    /// Inlined FIFO.
+    Fcfs(FcfsArbiter),
+    /// Inlined priority family (static/dynamic/cycle/…).
+    Priority(PriorityArbiter),
+    /// Any other policy, behind the trait object.
+    Other(Box<dyn ArbitrationPolicy>),
+}
+
+macro_rules! arbiter_forward {
+    ($self:ident, $a:ident => $e:expr) => {
+        match $self {
+            Arbiter::Fcfs($a) => $e,
+            Arbiter::Priority($a) => $e,
+            Arbiter::Other($a) => $e,
+        }
+    };
+}
+
+impl Arbiter {
+    /// See [`ArbitrationPolicy::enqueue`].
+    #[inline]
+    pub fn enqueue(&mut self, req: Request) {
+        arbiter_forward!(self, a => a.enqueue(req))
+    }
+
+    /// See [`ArbitrationPolicy::maybe_remap`].
+    #[inline]
+    pub fn maybe_remap(&mut self, tick: Tick) -> bool {
+        arbiter_forward!(self, a => a.maybe_remap(tick))
+    }
+
+    /// See [`ArbitrationPolicy::next_remap_at_or_after`].
+    #[inline]
+    pub fn next_remap_at_or_after(&self, tick: Tick) -> Option<Tick> {
+        arbiter_forward!(self, a => a.next_remap_at_or_after(tick))
+    }
+
+    /// See [`ArbitrationPolicy::select`].
+    #[inline]
+    pub fn select(&mut self, max: usize, out: &mut Vec<Request>) {
+        arbiter_forward!(self, a => a.select(max, out))
+    }
+
+    /// See [`ArbitrationPolicy::len`].
+    #[inline]
+    pub fn len(&self) -> usize {
+        arbiter_forward!(self, a => a.len())
+    }
+
+    /// See [`ArbitrationPolicy::is_empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// See [`ArbitrationPolicy::priority_of`].
+    #[inline]
+    pub fn priority_of(&self, core: CoreId) -> Option<u32> {
+        arbiter_forward!(self, a => a.priority_of(core))
+    }
 }
 
 #[cfg(test)]

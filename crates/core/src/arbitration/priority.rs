@@ -2,17 +2,17 @@
 //! Cycle-Reverse, and Interleave (paper Definition 1).
 //!
 //! All five share one arbiter: a priority assignment `pi` (thread → rank,
-//! 0 highest) plus a remap schedule applied every `T` ticks. A
-//! `BTreeSet<(rank, core)>` indexes the waiting requests so selection of the
-//! `q` best is O(q log p) and a remap is O(p log p) — remaps are rare
-//! (`T ≥ k ≥ 1000` in all paper configurations), so this never shows up in
-//! profiles.
+//! 0 highest) plus a remap schedule applied every `T` ticks. Waiting
+//! requests are indexed by a bitset over ranks: since `pi` is a
+//! permutation, ranks are unique, so "lowest `(rank, core)`" is just the
+//! lowest set bit — selection of the `q` best is a `⌈p/64⌉`-word scan with
+//! no allocation or pointer chasing, and a remap rebuild is O(p). This is
+//! the engine's hot select path for every priority-family policy.
 
 use super::permute;
 use super::{ArbitrationPolicy, Request};
 use crate::ids::{CoreId, Tick};
 use crate::rng::Xoshiro256;
-use std::collections::BTreeSet;
 
 /// How (and whether) the priority permutation changes at each remap tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +37,12 @@ pub enum RemapStrategy {
 pub struct PriorityArbiter {
     /// `pi[i]` = current priority rank of thread `i` (0 = highest).
     pi: Vec<u32>,
-    /// Waiting requests indexed by `(rank, core)`.
-    waiting: BTreeSet<(u32, CoreId)>,
+    /// `inv[r]` = the thread currently holding rank `r` (inverse of `pi`).
+    inv: Vec<CoreId>,
+    /// Bit `r` set ⇔ the thread with rank `r` has a waiting request.
+    waiting_bits: Vec<u64>,
+    /// Number of set bits in `waiting_bits`.
+    waiting_count: usize,
     /// Request payload per core (each core queues at most one request).
     pending: Vec<Option<Request>>,
     strategy: RemapStrategy,
@@ -56,7 +60,9 @@ impl PriorityArbiter {
     pub fn new(p: usize, strategy: RemapStrategy, period: u64, seed: u64) -> Self {
         PriorityArbiter {
             pi: permute::identity(p),
-            waiting: BTreeSet::new(),
+            inv: (0..p as CoreId).collect(),
+            waiting_bits: vec![0; p.div_ceil(64)],
+            waiting_count: 0,
             pending: vec![None; p],
             strategy,
             period,
@@ -87,11 +93,13 @@ impl PriorityArbiter {
             }
         }
         debug_assert!(permute::is_permutation(&self.pi));
-        // Rebuild the waiting index under the new ranks.
-        let cores: Vec<CoreId> = self.waiting.iter().map(|&(_, c)| c).collect();
-        self.waiting.clear();
-        for c in cores {
-            self.waiting.insert((self.pi[c as usize], c));
+        // Rebuild the inverse and the waiting index under the new ranks.
+        self.waiting_bits.fill(0);
+        for (c, &rank) in self.pi.iter().enumerate() {
+            self.inv[rank as usize] = c as CoreId;
+            if self.pending[c].is_some() {
+                self.waiting_bits[rank as usize / 64] |= 1u64 << (rank % 64);
+            }
         }
         self.remaps += 1;
     }
@@ -106,7 +114,9 @@ impl ArbitrationPolicy for PriorityArbiter {
             req.core
         );
         self.pending[c] = Some(req);
-        self.waiting.insert((self.pi[c], req.core));
+        let rank = self.pi[c] as usize;
+        self.waiting_bits[rank / 64] |= 1u64 << (rank % 64);
+        self.waiting_count += 1;
     }
 
     fn maybe_remap(&mut self, tick: Tick) -> bool {
@@ -120,22 +130,39 @@ impl ArbitrationPolicy for PriorityArbiter {
         true
     }
 
+    fn next_remap_at_or_after(&self, tick: Tick) -> Option<Tick> {
+        if self.strategy == RemapStrategy::None || self.period == 0 {
+            return None;
+        }
+        // The next multiple of `period` at or after `tick` — exactly the
+        // ticks `maybe_remap` fires on (including tick 0).
+        Some(tick.div_ceil(self.period).saturating_mul(self.period))
+    }
+
     fn select(&mut self, max: usize, out: &mut Vec<Request>) {
         out.clear();
-        for _ in 0..max {
-            let Some(&(rank, core)) = self.waiting.iter().next() else {
-                break;
-            };
-            self.waiting.remove(&(rank, core));
+        while out.len() < max && self.waiting_count > 0 {
+            // Lowest set bit across the words = best (lowest) waiting rank.
+            let (w, word) = self
+                .waiting_bits
+                .iter()
+                .enumerate()
+                .find(|(_, &word)| word != 0)
+                .map(|(w, &word)| (w, word))
+                .expect("waiting_count > 0 implies a set bit");
+            let rank = w * 64 + word.trailing_zeros() as usize;
+            self.waiting_bits[w] = word & (word - 1);
+            self.waiting_count -= 1;
+            let core = self.inv[rank];
             let req = self.pending[core as usize]
                 .take()
-                .expect("waiting entry has pending request");
+                .expect("waiting bit has pending request");
             out.push(req);
         }
     }
 
     fn len(&self) -> usize {
-        self.waiting.len()
+        self.waiting_count
     }
 
     fn priority_of(&self, core: CoreId) -> Option<u32> {

@@ -22,8 +22,9 @@
 //! forever). Pinned pages are unpinned as soon as they are served, which is
 //! always the next serve step, so the guard cannot deadlock eviction.
 //!
-//! The engine runs in O(total references + makespan·q) time and O(p + k)
-//! space: cores waiting in the DRAM queue cost nothing per tick.
+//! The engine runs in O(total references + executed ticks·q) time and
+//! O(p + k + pages) space: cores waiting in the DRAM queue cost nothing per
+//! tick.
 //!
 //! **Canonical intra-tick order:** wherever the paper says "for each core"
 //! (steps 2 and 4), the engine processes cores in increasing core id, and
@@ -34,47 +35,131 @@
 //! differential suite (`crates/core/tests/differential.rs`) asserts the two
 //! engines are bit-identical. Any optimization that reorders these loops
 //! must preserve the canonical order or fail that suite.
+//!
+//! # Hot-path representation
+//!
+//! All per-page state is keyed by a dense [`PageIndexer`] index instead of
+//! a hash of the raw page id: residency lives in the HBM's dense slot
+//! table ([`Hbm::with_indexer`]), pin counts in a flat `Vec<u32>`, and
+//! fetch waiters in intrusive chains (`waiter_head/tail` per page,
+//! `waiter_next` per core — each core waits on at most one page). A miss
+//! therefore costs a handful of array writes and no allocation. The engine
+//! also mirrors the arbiter's queue length to avoid virtual calls in the
+//! eviction predicate.
+//!
+//! # Event-driven fast-forward
+//!
+//! Ticks where nothing can happen — no core issues (both worklists empty),
+//! no in-flight transfer lands, no remap fires, the eviction predicate is
+//! false, and no fetch can start — are *inert*: executing them only calls
+//! `maybe_remap` (which declines), `select` on no capacity (a no-op by the
+//! [`crate::arbitration::ArbitrationPolicy`] contract), and samples the
+//! unchanged queue length. [`Engine::step`] proves a span of ticks inert by
+//! computing the next event tick (next remap via
+//! [`crate::arbitration::ArbitrationPolicy::next_remap_at_or_after`], earliest in-flight
+//! arrival, earliest channel free time when requests wait) and jumps
+//! straight to it, batching the queue-length samples
+//! ([`MetricsCollector::sample_queue_len_n`] is integer-exact). The
+//! trajectory — every policy decision, RNG draw, event and metric — is
+//! bit-identical to the tick-by-tick one; only
+//! [`SimObserver::on_tick_start`] callbacks for inert ticks are elided.
+//! With `far_latency > 1` this skips most of the makespan outright.
 
-use crate::arbitration::{ArbitrationPolicy, Request};
+use crate::arbitration::{Arbiter, Request};
 use crate::config::SimConfig;
-use crate::fxhash::FxHashMap;
 use crate::hbm::Hbm;
-use crate::ids::{CoreId, Tick};
+use crate::ids::{CoreId, GlobalPage, Tick};
 use crate::metrics::{MetricsCollector, Report};
 use crate::observer::SimObserver;
+use crate::page_index::PageIndexer;
 use crate::workload::Workload;
+use std::sync::Arc;
+
+/// Sentinel for "no core" / "no waiter" in the intrusive waiter chains.
+const NIL: u32 = u32::MAX;
+
+/// Per-page hot state, packed into one 16-byte record so the issue / land /
+/// serve phases of a miss each touch a single cache line instead of three
+/// parallel arrays (the dense-index tables are the engine's main working
+/// set at paper scale).
+#[derive(Debug, Clone, Copy)]
+#[repr(align(16))]
+struct PageRt {
+    /// Pin count: resident requests awaiting a serve (never evicted while
+    /// non-zero).
+    pinned: u32,
+    /// First core of the intrusive waiter chain (`NIL` when no fetch is in
+    /// flight for this page).
+    waiter_head: u32,
+    /// Last core of the chain (appended on coalesce).
+    waiter_tail: u32,
+}
+
+impl PageRt {
+    const EMPTY: PageRt = PageRt {
+        pinned: 0,
+        waiter_head: NIL,
+        waiter_tail: NIL,
+    };
+}
 
 #[derive(Debug, Clone, Copy)]
 struct CoreRt {
-    /// Index of the current (unserved) reference; `== trace.len()` when done.
+    /// Position of the current (unserved) reference in the engine's
+    /// flattened trace arrays; `== end` when done.
     pos: usize,
+    /// One past this core's last reference in the flattened arrays.
+    end: usize,
     /// Tick at which the current request was issued.
     issue_tick: Tick,
     /// Whether the current request went through the DRAM queue.
     was_miss: bool,
+    /// The current request's page (set at issue, read at serve).
+    cur_page: GlobalPage,
+    /// Dense index of `cur_page`.
+    cur_idx: u32,
 }
 
 /// A single in-progress simulation. Most callers use
 /// [`crate::SimBuilder::run`]; the engine is public so tests and tools can
 /// drive it tick by tick via [`Engine::step`].
-pub struct Engine<'w> {
+pub struct Engine {
     config: SimConfig,
-    workload: &'w Workload,
     hbm: Hbm,
-    arbiter: Box<dyn ArbitrationPolicy>,
+    arbiter: Arbiter,
     cores: Vec<CoreRt>,
-    /// Cores whose next request must be examined this tick (step 2).
-    need_issue: Vec<CoreId>,
-    need_issue_next: Vec<CoreId>,
-    /// Cores whose current request is resident and will be served (step 4).
-    ready: Vec<CoreId>,
-    ready_next: Vec<CoreId>,
-    /// Resident pages awaiting a serve, with waiter counts (never evicted).
-    pinned: FxHashMap<u64, u32>,
-    /// Cores waiting on each in-flight far-channel fetch. For disjoint
-    /// workloads every list has length 1; shared (non-disjoint) workloads
-    /// coalesce concurrent requests for the same page into one fetch.
-    waiters: FxHashMap<u64, Vec<CoreId>>,
+    /// Flattened reference stream, precomputed at construction: reference
+    /// `i` of the stream has raw page id `trace_page[i]` and dense index
+    /// `trace_idx[i]`; core `c` owns the half-open range
+    /// `[cores[c].pos, cores[c].end)`. The per-tick issue path is thereby
+    /// two array loads — no workload call, no index computation.
+    trace_page: Vec<u64>,
+    trace_idx: Vec<u32>,
+    /// Worklist bitsets, one bit per core (`word * 64 + bit` = core id).
+    /// Word-ascending, bit-ascending iteration visits cores in increasing
+    /// id — the canonical order — without any per-tick sort.
+    /// `issue_bits`: cores whose next request must be examined this tick
+    /// (step 2); `ready_bits`: cores whose current request is resident and
+    /// will be served (step 4); the `_next` pair collects work for the
+    /// following tick and is swapped in at end of tick.
+    issue_bits: Vec<u64>,
+    issue_next_bits: Vec<u64>,
+    ready_bits: Vec<u64>,
+    ready_next_bits: Vec<u64>,
+    /// Population counts of the four bitsets (cheap emptiness checks for
+    /// the fast-forward gate).
+    issue_count: usize,
+    issue_next_count: usize,
+    ready_count: usize,
+    ready_next_count: usize,
+    /// Per-page hot state by dense index: pin count plus the intrusive
+    /// waiter chain head/tail (see [`PageRt`]). `waiter_next` chains cores
+    /// in insertion order; each core waits on at most one page. For
+    /// disjoint workloads every chain has length 1; shared (non-disjoint)
+    /// workloads coalesce concurrent requests for the same page into one
+    /// fetch.
+    pages: Vec<PageRt>,
+    waiter_next: Vec<u32>,
     fetch_buf: Vec<Request>,
     /// Fetches currently crossing a far channel: `(arrival_tick, request)`.
     /// Empty whenever `far_latency == 1` outside step 5 (transfers complete
@@ -82,50 +167,89 @@ pub struct Engine<'w> {
     in_flight: Vec<(Tick, Request)>,
     /// Per-channel busy-until tick.
     channel_busy: Vec<Tick>,
+    /// Mirror of `arbiter.len()`, maintained so the hot path never pays a
+    /// virtual call for the eviction/fetch predicates.
+    queue_len: usize,
+    /// The next tick at which the arbiter may remap, per
+    /// [`crate::arbitration::ArbitrationPolicy::next_remap_at_or_after`].
+    next_remap: Option<Tick>,
     metrics: MetricsCollector,
     tick: Tick,
     remaining: usize,
     makespan: Tick,
 }
 
-impl<'w> Engine<'w> {
-    /// Prepares a run of `workload` under `config`.
-    pub fn new(config: SimConfig, workload: &'w Workload) -> Self {
+impl Engine {
+    /// Prepares a run of `workload` under `config`. The engine snapshots
+    /// the workload into its flattened trace arrays, so it does not borrow
+    /// `workload` after construction.
+    pub fn new(config: SimConfig, workload: &Workload) -> Self {
         let p = workload.cores();
-        let mut need_issue = Vec::with_capacity(p);
+        let indexer = Arc::new(PageIndexer::for_workload(workload));
+        let total_pages = indexer.total_pages();
+        let words = p.div_ceil(64);
+        let mut issue_bits = vec![0u64; words];
+        let mut issue_count = 0;
         let mut cores = Vec::with_capacity(p);
         let mut remaining = 0;
+        let total_refs = workload.total_refs();
+        let mut trace_page = Vec::with_capacity(total_refs);
+        let mut trace_idx = Vec::with_capacity(total_refs);
         for c in 0..p {
-            let empty = workload.trace(c as CoreId).is_empty();
+            let len = workload.trace(c as CoreId).len();
+            let base = trace_page.len();
+            for i in 0..len {
+                let g = workload.global_page(c as CoreId, i);
+                trace_page.push(g.0);
+                trace_idx.push(indexer.index(g));
+            }
             cores.push(CoreRt {
-                pos: 0,
+                pos: base,
+                end: base + len,
                 issue_tick: 0,
                 was_miss: false,
+                cur_page: GlobalPage(0),
+                cur_idx: 0,
             });
-            if !empty {
-                need_issue.push(c as CoreId);
+            if len > 0 {
+                issue_bits[c / 64] |= 1u64 << (c % 64);
+                issue_count += 1;
                 remaining += 1;
             }
         }
+        let arbiter = config.arbitration.build_dispatch(p, config.seed);
+        let next_remap = arbiter.next_remap_at_or_after(0);
         Engine {
-            hbm: Hbm::new(config.hbm_slots, config.replacement, config.seed),
-            arbiter: config.arbitration.build(p, config.seed),
+            hbm: Hbm::with_indexer(
+                config.hbm_slots,
+                config.replacement,
+                config.seed,
+                Arc::clone(&indexer),
+            ),
+            arbiter,
             cores,
-            need_issue,
-            need_issue_next: Vec::with_capacity(p),
-            ready: Vec::with_capacity(p),
-            ready_next: Vec::with_capacity(p),
-            pinned: FxHashMap::default(),
-            waiters: FxHashMap::default(),
+            trace_page,
+            trace_idx,
+            issue_bits,
+            issue_next_bits: vec![0; words],
+            ready_bits: vec![0; words],
+            ready_next_bits: vec![0; words],
+            issue_count,
+            issue_next_count: 0,
+            ready_count: 0,
+            ready_next_count: 0,
+            pages: vec![PageRt::EMPTY; total_pages],
+            waiter_next: vec![NIL; p],
             fetch_buf: Vec::with_capacity(config.channels),
             in_flight: Vec::with_capacity(config.channels),
             channel_busy: vec![0; config.channels],
+            queue_len: 0,
+            next_remap,
             metrics: MetricsCollector::new(p),
             tick: 0,
             remaining,
             makespan: 0,
             config,
-            workload,
         }
     }
 
@@ -154,67 +278,144 @@ impl<'w> Engine<'w> {
         self.arbiter.priority_of(core)
     }
 
+    /// Fast-forwards `self.tick` over a maximal span of inert ticks (see
+    /// module docs), clamped to `max_ticks`. Returns `true` when the clamp
+    /// was hit, i.e. the caller should not execute a tick.
+    fn fast_forward(&mut self) -> bool {
+        if self.issue_count != 0 || self.ready_count != 0 {
+            return false;
+        }
+        let t = self.tick;
+        // Earliest tick at which anything can happen again.
+        let mut next = Tick::MAX;
+        if let Some(r) = self.next_remap {
+            next = next.min(r);
+        }
+        for &(arrival, _) in &self.in_flight {
+            next = next.min(arrival);
+        }
+        if self.queue_len > 0 {
+            if self.queue_len > self.hbm.free_slots().saturating_sub(self.in_flight.len()) {
+                // The eviction predicate already holds: this tick evicts.
+                next = next.min(t);
+            } else {
+                // Room exists, so a fetch starts the moment a channel
+                // frees (a channel with busy-until `b` is free at `b`).
+                for &b in &self.channel_busy {
+                    next = next.min(b);
+                }
+            }
+        }
+        // With worklists empty and no pending event, every remaining core
+        // is queued or in flight, so `next` is finite here in practice;
+        // `max_ticks` caps it regardless, matching a truncated run.
+        let target = next.min(self.config.max_ticks).max(t);
+        if target > t {
+            // Each skipped tick ends with the same queue-length sample the
+            // executed loop would have taken (integer-exact batching).
+            self.metrics.sample_queue_len_n(self.queue_len, target - t);
+            self.tick = target;
+            if target == self.config.max_ticks {
+                return true; // truncation boundary: run() stops here
+            }
+        }
+        false
+    }
+
     /// Executes one tick (steps 1–5). No-op when [`is_done`](Self::is_done).
+    ///
+    /// When the upcoming span of ticks is provably inert the engine first
+    /// fast-forwards across it (module docs), so one `step` call may
+    /// advance [`tick`](Self::tick) by more than one.
     pub fn step<O: SimObserver>(&mut self, observer: &mut O) {
         if self.is_done() {
+            return;
+        }
+        if self.fast_forward() {
             return;
         }
         let t = self.tick;
         let q = self.config.channels;
         observer.on_tick_start(t);
 
-        // Step 1: remap priorities on schedule.
-        if self.arbiter.maybe_remap(t) {
-            self.metrics.record_remap();
-            observer.on_remap(t);
+        // Step 1: remap priorities on schedule. `next_remap` caches the
+        // arbiter's schedule so quiet ticks skip the call entirely.
+        if self.next_remap.is_some_and(|r| r <= t) {
+            if self.arbiter.maybe_remap(t) {
+                self.metrics.record_remap();
+                observer.on_remap(t);
+            }
+            self.next_remap = self.arbiter.next_remap_at_or_after(t + 1);
         }
 
-        // Step 2: issue requests; misses enter the DRAM queue. The worklist
-        // is sorted so "for each core" means increasing core id (canonical
+        // Step 2: issue requests; misses enter the DRAM queue. Bit-ascending
+        // iteration means "for each core" is increasing core id (canonical
         // order, see module docs).
-        debug_assert!(self.need_issue_next.is_empty());
-        self.need_issue.sort_unstable();
-        for i in 0..self.need_issue.len() {
-            let core = self.need_issue[i];
-            let rt = &mut self.cores[core as usize];
-            let page = self.workload.global_page(core, rt.pos);
-            if self.hbm.contains(page) {
-                rt.was_miss = false;
-                *self.pinned.entry(page.0).or_insert(0) += 1;
-                self.ready.push(core);
-            } else {
-                rt.was_miss = true;
-                self.metrics.record_miss();
-                match self.waiters.entry(page.0) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        // Another core already has this fetch in flight
-                        // (shared workloads only): coalesce.
-                        e.get_mut().push(core);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(vec![core]);
-                        self.arbiter.enqueue(Request {
-                            core,
-                            page,
-                            arrival: t,
-                        });
-                        observer.on_enqueue(t, core, page);
+        debug_assert_eq!(self.issue_next_count, 0);
+        if self.issue_count > 0 {
+            self.issue_count = 0;
+            for w in 0..self.issue_bits.len() {
+                let mut word = self.issue_bits[w];
+                if word == 0 {
+                    continue;
+                }
+                self.issue_bits[w] = 0;
+                while word != 0 {
+                    let bit = word & word.wrapping_neg();
+                    word ^= bit;
+                    let core = (w as u32) * 64 + bit.trailing_zeros();
+                    let rt = &mut self.cores[core as usize];
+                    let page = GlobalPage(self.trace_page[rt.pos]);
+                    let idx = self.trace_idx[rt.pos];
+                    rt.cur_page = page;
+                    rt.cur_idx = idx;
+                    if self.hbm.contains_idx(idx) {
+                        rt.was_miss = false;
+                        self.pages[idx as usize].pinned += 1;
+                        self.ready_bits[w] |= bit;
+                        self.ready_count += 1;
+                    } else {
+                        rt.was_miss = true;
+                        self.metrics.record_miss();
+                        let pg = &mut self.pages[idx as usize];
+                        if pg.waiter_head == NIL {
+                            pg.waiter_head = core;
+                            pg.waiter_tail = core;
+                            self.waiter_next[core as usize] = NIL;
+                            self.queue_len += 1;
+                            self.arbiter.enqueue(Request {
+                                core,
+                                page,
+                                arrival: t,
+                            });
+                            observer.on_enqueue(t, core, page);
+                        } else {
+                            // Another core already has this fetch in flight
+                            // (shared workloads only): coalesce, appending to
+                            // the chain so landing preserves insertion order.
+                            let tail = pg.waiter_tail;
+                            pg.waiter_tail = core;
+                            self.waiter_next[tail as usize] = core;
+                            self.waiter_next[core as usize] = NIL;
+                        }
                     }
                 }
             }
         }
-        self.need_issue.clear();
 
         // Step 3: evict up to q pages when the queue exceeds free capacity.
         // Slots are reserved for in-flight transfers so their arrival can
         // never find the HBM full.
         let mut evicted = 0;
         while evicted < q
-            && self.arbiter.len() > self.hbm.free_slots().saturating_sub(self.in_flight.len())
+            && self.queue_len > self.hbm.free_slots().saturating_sub(self.in_flight.len())
         {
-            let pinned = &self.pinned;
-            match self.hbm.evict_one(&mut |p| pinned.contains_key(&p.0)) {
-                Some(page) => {
+            let pages = &self.pages;
+            match self
+                .hbm
+                .evict_one_idx(&mut |idx| pages[idx as usize].pinned != 0)
+            {
+                Some((page, _)) => {
                     evicted += 1;
                     self.metrics.record_eviction();
                     observer.on_evict(t, page);
@@ -224,85 +425,118 @@ impl<'w> Engine<'w> {
         }
 
         // Step 4: serve resident requests in increasing core id (canonical
-        // order; the list arrives in landing order, which follows fetch
-        // order, not id order).
-        self.ready.sort_unstable();
-        for i in 0..self.ready.len() {
-            let core = self.ready[i];
-            let rt = &mut self.cores[core as usize];
-            let page = self.workload.global_page(core, rt.pos);
-            let response = t - rt.issue_tick + 1;
-            let hit = !rt.was_miss;
-            self.hbm.touch(page);
-            match self.pinned.get_mut(&page.0) {
-                Some(count) if *count > 1 => *count -= 1,
-                _ => {
-                    self.pinned.remove(&page.0);
+        // order for free: bit-ascending iteration, regardless of the order
+        // in which fetches landed).
+        if self.ready_count > 0 {
+            self.ready_count = 0;
+            for w in 0..self.ready_bits.len() {
+                let mut word = self.ready_bits[w];
+                if word == 0 {
+                    continue;
+                }
+                self.ready_bits[w] = 0;
+                while word != 0 {
+                    let bit = word & word.wrapping_neg();
+                    word ^= bit;
+                    let core = (w as u32) * 64 + bit.trailing_zeros();
+                    let rt = &mut self.cores[core as usize];
+                    let page = rt.cur_page;
+                    let idx = rt.cur_idx;
+                    let response = t - rt.issue_tick + 1;
+                    let hit = !rt.was_miss;
+                    self.hbm.touch_idx(idx);
+                    self.pages[idx as usize].pinned -= 1;
+                    self.metrics.record_serve(core, response, hit);
+                    observer.on_serve(t, core, page, response, hit);
+                    rt.pos += 1;
+                    if rt.pos == rt.end {
+                        self.remaining -= 1;
+                        self.makespan = self.makespan.max(t + 1);
+                        self.metrics.record_finish(core, t + 1);
+                        observer.on_core_done(t + 1, core);
+                    } else {
+                        rt.issue_tick = t + 1;
+                        self.issue_next_bits[w] |= bit;
+                        self.issue_next_count += 1;
+                    }
                 }
             }
-            self.metrics.record_serve(core, response, hit);
-            observer.on_serve(t, core, page, response, hit);
-            rt.pos += 1;
-            if rt.pos == self.workload.trace(core).len() {
-                self.remaining -= 1;
-                self.makespan = self.makespan.max(t + 1);
-                self.metrics.record_finish(core, t + 1);
-                observer.on_core_done(t + 1, core);
-            } else {
-                rt.issue_tick = t + 1;
-                self.need_issue_next.push(core);
-            }
         }
-        self.ready.clear();
 
         // Step 5: start up to q transfers on free far channels, then land
         // the transfers that complete this tick. With far_latency = 1 (the
         // paper's model) a transfer started now lands now, so the two
         // phases collapse into the original "fetch up to q pages".
-        let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
-        let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
-        let n = free_channels.min(room);
-        self.arbiter.select(n, &mut self.fetch_buf);
-        for i in 0..self.fetch_buf.len() {
-            let req = self.fetch_buf[i];
-            // Claim a free channel.
-            for b in self.channel_busy.iter_mut() {
-                if *b <= t {
-                    *b = t + self.config.far_latency;
-                    break;
+        if self.queue_len > 0 {
+            let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
+            let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
+            let n = free_channels.min(room);
+            if n > 0 {
+                self.arbiter.select(n, &mut self.fetch_buf);
+                self.queue_len -= self.fetch_buf.len();
+                for i in 0..self.fetch_buf.len() {
+                    let req = self.fetch_buf[i];
+                    // Claim a free channel.
+                    for b in self.channel_busy.iter_mut() {
+                        if *b <= t {
+                            *b = t + self.config.far_latency;
+                            break;
+                        }
+                    }
+                    self.in_flight.push((t + self.config.far_latency - 1, req));
                 }
             }
-            self.in_flight.push((t + self.config.far_latency - 1, req));
         }
         // Land arrivals (including same-tick ones when far_latency == 1) in
         // the order the transfers started — stable `remove`, not
         // `swap_remove`, so HBM insertion order is canonical. The list
         // holds at most q entries, so the shift is negligible.
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            let (arrival, req) = self.in_flight[i];
-            if arrival > t {
-                i += 1;
-                continue;
+        if !self.in_flight.is_empty() {
+            let mut i = 0;
+            while i < self.in_flight.len() {
+                let (arrival, req) = self.in_flight[i];
+                if arrival > t {
+                    i += 1;
+                    continue;
+                }
+                self.in_flight.remove(i);
+                // The fetching core is still parked on this reference, so
+                // its cached `cur_idx` is the page's dense index — no
+                // indexer lookup needed.
+                let idx = self.cores[req.core as usize].cur_idx;
+                self.hbm.insert_idx(req.page, idx);
+                // Promote the whole waiter chain (they all become ready;
+                // the serve loop's bit order restores canonical id order).
+                let pg = &mut self.pages[idx as usize];
+                let mut c = pg.waiter_head;
+                debug_assert!(c != NIL, "every queued fetch has waiters");
+                pg.waiter_head = NIL;
+                pg.waiter_tail = NIL;
+                let mut n_waiters = 0u32;
+                while c != NIL {
+                    self.ready_next_bits[(c / 64) as usize] |= 1u64 << (c % 64);
+                    self.ready_next_count += 1;
+                    n_waiters += 1;
+                    c = self.waiter_next[c as usize];
+                }
+                self.pages[idx as usize].pinned += n_waiters;
+                self.metrics.record_fetch();
+                observer.on_fetch(t, req.core, req.page);
             }
-            self.in_flight.remove(i);
-            self.hbm.insert(req.page);
-            let ws = self
-                .waiters
-                .remove(&req.page.0)
-                .expect("every queued fetch has waiters");
-            *self.pinned.entry(req.page.0).or_insert(0) += ws.len() as u32;
-            for core in ws {
-                self.ready_next.push(core);
-            }
-            self.metrics.record_fetch();
-            observer.on_fetch(t, req.core, req.page);
         }
 
-        self.metrics.sample_queue_len(self.arbiter.len());
-        std::mem::swap(&mut self.need_issue, &mut self.need_issue_next);
-        std::mem::swap(&mut self.ready, &mut self.ready_next);
-        debug_assert!(self.ready_next.is_empty() && self.need_issue_next.is_empty());
+        self.metrics.sample_queue_len(self.queue_len);
+        debug_assert_eq!(self.queue_len, self.arbiter.len(), "queue mirror drift");
+        #[cfg(debug_assertions)]
+        self.hbm.check_invariants();
+        std::mem::swap(&mut self.issue_bits, &mut self.issue_next_bits);
+        std::mem::swap(&mut self.ready_bits, &mut self.ready_next_bits);
+        self.issue_count = self.issue_next_count;
+        self.issue_next_count = 0;
+        self.ready_count = self.ready_next_count;
+        self.ready_next_count = 0;
+        debug_assert!(self.issue_next_bits.iter().all(|&w| w == 0));
+        debug_assert!(self.ready_next_bits.iter().all(|&w| w == 0));
         self.tick = t + 1;
     }
 
@@ -560,5 +794,68 @@ mod tests {
         assert_eq!(r.fetches, r.misses, "disjoint: fetches == misses");
         assert_eq!(obs.evictions.len() as u64, r.evictions);
         assert_eq!(obs.completions.len(), 2);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_far_latency_ticks() {
+        // One core, far_latency 10, q = 1: each miss spends 9 inert ticks
+        // waiting for the transfer. step() must cover each wait in one call.
+        let w = Workload::from_refs(vec![vec![0, 1, 2]]);
+        let config = *builder().far_latency(10).config();
+        let mut engine = Engine::new(config, &w);
+        let mut steps = 0;
+        while !engine.is_done() {
+            engine.step(&mut NoopObserver);
+            steps += 1;
+            assert!(steps < 100, "must terminate");
+        }
+        let makespan = engine.tick();
+        assert!(
+            steps < makespan,
+            "fast-forward must execute fewer steps ({steps}) than ticks ({makespan})"
+        );
+        // Trajectory must match the same run driven through run().
+        let r = builder().far_latency(10).run(&w);
+        assert_eq!(r.makespan, makespan);
+        assert_eq!(r.misses, 3);
+    }
+
+    #[test]
+    fn fast_forward_never_skips_a_remap_boundary() {
+        // far_latency 25 creates inert spans crossing several remap
+        // boundaries (T = 7): every multiple of 7 in range must still fire.
+        let period = 7u64;
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 3]]);
+        let mut obs = RecordingObserver::default();
+        let r = builder()
+            .far_latency(25)
+            .arbitration(ArbitrationKind::DynamicPriority { period })
+            .run_with_observer(&w, &mut obs);
+        let expected = 1 + (r.makespan - 1) / period; // t = 0, 7, 14, ... < makespan
+        assert_eq!(
+            r.remaps, expected,
+            "every t ≡ 0 (mod {period}) below the makespan must remap"
+        );
+        for &t in &obs.remaps {
+            assert_eq!(t % period, 0, "remap fired off-schedule at {t}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_truncation_matches_tickwise_sampling() {
+        // A run truncated mid-flight: the skipped span must contribute the
+        // same queue samples as the oracle's tick-by-tick execution.
+        let w = Workload::from_refs(vec![vec![0, 1], vec![2, 3, 4]]);
+        let config = *builder().far_latency(1000).max_ticks(50).config();
+        let fast = Engine::new(config, &w).run(&mut NoopObserver);
+        let slow = crate::oracle::OracleEngine::new(config, &w).run(&mut NoopObserver);
+        assert!(fast.truncated && slow.truncated);
+        assert_eq!(fast.makespan, slow.makespan);
+        assert_eq!(
+            fast.mean_queue_len.to_bits(),
+            slow.mean_queue_len.to_bits(),
+            "skipped span must contribute identical samples"
+        );
+        assert_eq!(fast.max_queue_len, slow.max_queue_len);
     }
 }

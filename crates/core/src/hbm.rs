@@ -5,29 +5,81 @@
 //! justifies this as asymptotically equivalent to the direct-mapped caches
 //! real hardware ships (see the `hbm-assoc` crate for the constructive
 //! transformation).
+//!
+//! Two residency-map representations share one slot/policy core:
+//! [`Hbm::new`] keys residency by a hash map over raw page ids (the
+//! reference representation, used by the naive oracle and by callers with
+//! an open-ended page universe), while [`Hbm::with_indexer`] keys it by a
+//! dense [`PageIndexer`] table (the engine's hot path — residency checks
+//! are two array loads). Slot assignment — free-list pop order, policy
+//! victim choices — is identical in both modes, so the two representations
+//! produce bit-identical trajectories; the differential suite relies on
+//! this.
 
 use crate::fxhash::FxHashMap;
 use crate::ids::GlobalPage;
-use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::page_index::PageIndexer;
+use crate::replacement::{ReplacementKind, Replacer};
+use std::sync::Arc;
+
+/// Sentinel in the dense slot table for "not resident".
+const NO_SLOT: u32 = u32::MAX;
+
+enum PageMap {
+    /// Reference representation: raw page id → slot.
+    Hash(FxHashMap<u64, u32>),
+    /// Dense representation: `slot_of[dense index] = slot` (or `NO_SLOT`).
+    Dense {
+        slot_of: Vec<u32>,
+        indexer: Arc<PageIndexer>,
+    },
+}
 
 /// The HBM state: slot array, page→slot map, free list, replacement policy.
 pub struct Hbm {
     slots: Vec<Option<GlobalPage>>,
-    map: FxHashMap<u64, u32>,
+    map: PageMap,
     free: Vec<u32>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: Replacer,
+    /// Dense index of each occupied slot's page (dense mode only; unused —
+    /// and never read — in hash mode). Lets eviction recover the index
+    /// without re-deriving it from the page id.
+    slot_idx: Vec<u32>,
 }
 
 impl Hbm {
     /// An HBM with `capacity` slots managed by `kind` (seeded for the
-    /// Random policy).
+    /// Random policy), using the hash residency map.
     pub fn new(capacity: usize, kind: ReplacementKind, seed: u64) -> Self {
         assert!(capacity > 0, "HBM must have at least one slot");
         Hbm {
             slots: vec![None; capacity],
-            map: FxHashMap::default(),
+            map: PageMap::Hash(FxHashMap::default()),
             free: (0..capacity as u32).rev().collect(),
-            policy: kind.build(capacity, seed),
+            policy: kind.build_dispatch(capacity, seed),
+            slot_idx: vec![0; capacity],
+        }
+    }
+
+    /// An HBM using a dense residency table over `indexer`'s page universe.
+    /// Behaviorally identical to [`Hbm::new`] for pages the indexer knows;
+    /// inserting a page outside that universe panics.
+    pub fn with_indexer(
+        capacity: usize,
+        kind: ReplacementKind,
+        seed: u64,
+        indexer: Arc<PageIndexer>,
+    ) -> Self {
+        assert!(capacity > 0, "HBM must have at least one slot");
+        Hbm {
+            slots: vec![None; capacity],
+            map: PageMap::Dense {
+                slot_of: vec![NO_SLOT; indexer.total_pages()],
+                indexer,
+            },
+            free: (0..capacity as u32).rev().collect(),
+            policy: kind.build_dispatch(capacity, seed),
+            slot_idx: vec![0; capacity],
         }
     }
 
@@ -40,13 +92,13 @@ impl Hbm {
     /// Resident page count.
     #[inline]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len() - self.free.len()
     }
 
     /// True when nothing is resident.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Unoccupied slots.
@@ -55,10 +107,31 @@ impl Hbm {
         self.free.len()
     }
 
+    #[inline]
+    fn slot_of(&self, page: GlobalPage) -> Option<u32> {
+        match &self.map {
+            PageMap::Hash(m) => m.get(&page.0).copied(),
+            PageMap::Dense { slot_of, indexer } => {
+                let slot = slot_of[indexer.try_index(page)? as usize];
+                (slot != NO_SLOT).then_some(slot)
+            }
+        }
+    }
+
     /// Is `page` resident?
     #[inline]
     pub fn contains(&self, page: GlobalPage) -> bool {
-        self.map.contains_key(&page.0)
+        self.slot_of(page).is_some()
+    }
+
+    /// Is the page with dense index `idx` resident? (Dense mode only — the
+    /// engine's hot path, where the index is already in hand.)
+    #[inline]
+    pub fn contains_idx(&self, idx: u32) -> bool {
+        match &self.map {
+            PageMap::Dense { slot_of, .. } => slot_of[idx as usize] != NO_SLOT,
+            PageMap::Hash(_) => panic!("contains_idx requires Hbm::with_indexer"),
+        }
     }
 
     /// Marks a resident `page` as just-served (policy hit bookkeeping).
@@ -66,7 +139,18 @@ impl Hbm {
     /// # Panics
     /// Panics if `page` is not resident.
     pub fn touch(&mut self, page: GlobalPage) {
-        let slot = *self.map.get(&page.0).expect("touch of non-resident page");
+        let slot = self.slot_of(page).expect("touch of non-resident page");
+        self.policy.on_hit(slot);
+    }
+
+    /// Dense-index form of [`touch`](Self::touch).
+    #[inline]
+    pub fn touch_idx(&mut self, idx: u32) {
+        let slot = match &self.map {
+            PageMap::Dense { slot_of, .. } => slot_of[idx as usize],
+            PageMap::Hash(_) => panic!("touch_idx requires Hbm::with_indexer"),
+        };
+        debug_assert_ne!(slot, NO_SLOT, "touch of non-resident page");
         self.policy.on_hit(slot);
     }
 
@@ -79,14 +163,55 @@ impl Hbm {
         assert!(!self.contains(page), "page {page} already resident");
         let slot = self.free.pop().expect("insert into full HBM");
         self.slots[slot as usize] = Some(page);
-        self.map.insert(page.0, slot);
+        match &mut self.map {
+            PageMap::Hash(m) => {
+                m.insert(page.0, slot);
+            }
+            PageMap::Dense { slot_of, indexer } => {
+                let idx = indexer.index(page);
+                slot_of[idx as usize] = slot;
+                self.slot_idx[slot as usize] = idx;
+            }
+        }
         self.policy.on_insert(slot);
+    }
+
+    /// Dense-index form of [`insert`](Self::insert): `idx` must be the
+    /// indexer's index for `page`.
+    #[inline]
+    pub fn insert_idx(&mut self, page: GlobalPage, idx: u32) {
+        let slot = self.free.pop().expect("insert into full HBM");
+        self.slots[slot as usize] = Some(page);
+        match &mut self.map {
+            PageMap::Dense { slot_of, .. } => {
+                debug_assert_eq!(slot_of[idx as usize], NO_SLOT, "page already resident");
+                slot_of[idx as usize] = slot;
+            }
+            PageMap::Hash(_) => panic!("insert_idx requires Hbm::with_indexer"),
+        }
+        self.slot_idx[slot as usize] = idx;
+        self.policy.on_insert(slot);
+    }
+
+    fn unmap(&mut self, page: GlobalPage) {
+        match &mut self.map {
+            PageMap::Hash(m) => {
+                m.remove(&page.0);
+            }
+            PageMap::Dense { slot_of, indexer } => {
+                slot_of[indexer.index(page) as usize] = NO_SLOT;
+            }
+        }
     }
 
     /// Evicts the policy's victim among pages for which `pinned(page)` is
     /// false. Returns the evicted page, or `None` if all candidates are
-    /// pinned (or HBM is empty).
-    pub fn evict_one(&mut self, pinned: &mut dyn FnMut(GlobalPage) -> bool) -> Option<GlobalPage> {
+    /// pinned (or HBM is empty). Generic so the hot LRU path dispatches the
+    /// predicate statically.
+    pub fn evict_one<F: FnMut(GlobalPage) -> bool + ?Sized>(
+        &mut self,
+        pinned: &mut F,
+    ) -> Option<GlobalPage> {
         let slots = &self.slots;
         let victim = self.policy.choose_victim(&mut |slot| {
             let page = slots[slot as usize].expect("policy tracks occupied slots");
@@ -94,19 +219,43 @@ impl Hbm {
         })?;
         let page = self.slots[victim as usize].take().expect("victim occupied");
         self.policy.on_evict(victim);
-        self.map.remove(&page.0);
+        self.unmap(page);
         self.free.push(victim);
         Some(page)
+    }
+
+    /// Dense-index form of [`evict_one`](Self::evict_one): the pinned
+    /// predicate receives the victim candidate's dense index (no page-id
+    /// lookup on the hot path), and the evicted page is returned with its
+    /// index. Dense mode only; identical victim choice to `evict_one`.
+    pub fn evict_one_idx<F: FnMut(u32) -> bool>(
+        &mut self,
+        pinned: &mut F,
+    ) -> Option<(GlobalPage, u32)> {
+        let slot_idx = &self.slot_idx;
+        let victim = self
+            .policy
+            .choose_victim(&mut |slot| pinned(slot_idx[slot as usize]))?;
+        let page = self.slots[victim as usize].take().expect("victim occupied");
+        self.policy.on_evict(victim);
+        let idx = self.slot_idx[victim as usize];
+        match &mut self.map {
+            PageMap::Dense { slot_of, .. } => slot_of[idx as usize] = NO_SLOT,
+            PageMap::Hash(_) => panic!("evict_one_idx requires Hbm::with_indexer"),
+        }
+        self.free.push(victim);
+        Some((page, idx))
     }
 
     /// Removes a specific resident page (used by the direct-mapped
     /// transformation harness and tests, not by the tick loop).
     pub fn remove(&mut self, page: GlobalPage) -> bool {
-        let Some(slot) = self.map.remove(&page.0) else {
+        let Some(slot) = self.slot_of(page) else {
             return false;
         };
         self.slots[slot as usize] = None;
         self.policy.on_evict(slot);
+        self.unmap(page);
         self.free.push(slot);
         true
     }
@@ -124,10 +273,14 @@ impl Hbm {
     /// Internal consistency check (tests and debug assertions).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        assert_eq!(self.map.len() + self.free.len(), self.slots.len());
+        let mapped = match &self.map {
+            PageMap::Hash(m) => m.len(),
+            PageMap::Dense { slot_of, .. } => slot_of.iter().filter(|&&s| s != NO_SLOT).count(),
+        };
+        assert_eq!(mapped + self.free.len(), self.slots.len());
         for (i, s) in self.slots.iter().enumerate() {
             if let Some(p) = s {
-                assert_eq!(self.map.get(&p.0), Some(&(i as u32)));
+                assert_eq!(self.slot_of(*p), Some(i as u32));
             }
         }
         for f in &self.free {
@@ -149,6 +302,7 @@ impl std::fmt::Debug for Hbm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::Workload;
 
     fn page(core: u32, local: u32) -> GlobalPage {
         GlobalPage::new(core, local)
@@ -262,5 +416,62 @@ mod tests {
             assert!(h.is_empty());
             h.check_invariants();
         }
+    }
+
+    /// Replays the same operation sequence through both residency-map
+    /// representations and asserts identical observable behavior — the
+    /// property the engine/oracle differential suite builds on.
+    #[test]
+    fn dense_mode_matches_hash_mode() {
+        let w = Workload::from_refs(vec![(0..6u32).collect(), (0..6u32).collect()]);
+        let indexer = Arc::new(PageIndexer::for_workload(&w));
+        for kind in ReplacementKind::ALL {
+            let mut hash = Hbm::new(4, kind, 7);
+            let mut dense = Hbm::with_indexer(4, kind, 7, Arc::clone(&indexer));
+            let refs: Vec<GlobalPage> = (0..24)
+                .map(|i| GlobalPage::new(i % 2, (i * 5 + 1) % 6))
+                .collect();
+            for &g in &refs {
+                assert_eq!(hash.contains(g), dense.contains(g), "{kind:?} contains {g}");
+                let idx = indexer.index(g);
+                assert_eq!(dense.contains(g), dense.contains_idx(idx));
+                if hash.contains(g) {
+                    hash.touch(g);
+                    dense.touch_idx(idx);
+                } else {
+                    if hash.free_slots() == 0 {
+                        let vh = hash.evict_one(&mut never);
+                        let vd = dense.evict_one(&mut never);
+                        assert_eq!(vh, vd, "{kind:?} victim");
+                    }
+                    hash.insert(g);
+                    dense.insert_idx(g, idx);
+                }
+                hash.check_invariants();
+                dense.check_invariants();
+            }
+            assert_eq!(hash.len(), dense.len());
+            let mut rh: Vec<_> = hash.resident().collect();
+            let mut rd: Vec<_> = dense.resident().collect();
+            rh.sort();
+            rd.sort();
+            assert_eq!(rh, rd, "{kind:?} resident sets");
+        }
+    }
+
+    #[test]
+    fn dense_mode_generic_api_still_works() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2]]);
+        let indexer = Arc::new(PageIndexer::for_workload(&w));
+        let mut h = Hbm::with_indexer(2, ReplacementKind::Lru, 0, indexer);
+        h.insert(page(0, 0));
+        assert!(h.contains(page(0, 0)));
+        assert!(!h.contains(page(0, 2)));
+        // Pages outside the indexed universe are simply non-resident.
+        assert!(!h.contains(page(9, 9)));
+        assert!(!h.remove(page(9, 9)));
+        h.touch(page(0, 0));
+        assert!(h.remove(page(0, 0)));
+        h.check_invariants();
     }
 }

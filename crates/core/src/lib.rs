@@ -65,6 +65,7 @@ pub mod ids;
 pub mod metrics;
 pub mod observer;
 pub mod oracle;
+pub mod page_index;
 pub mod replacement;
 pub mod rng;
 pub mod slab_list;
@@ -79,5 +80,6 @@ pub use ids::{CoreId, GlobalPage, LocalPage, Tick};
 pub use metrics::{CoreReport, Report, ResponseSummary};
 pub use observer::{NoopObserver, RecordingObserver, SimObserver};
 pub use oracle::OracleEngine;
+pub use page_index::PageIndexer;
 pub use replacement::{ReplacementKind, ReplacementPolicy};
 pub use workload::{Trace, Workload};

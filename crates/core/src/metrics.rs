@@ -7,7 +7,7 @@
 //! O(p) memory.
 
 use crate::ids::{CoreId, Tick};
-use crate::stats::{LogHistogram, Welford};
+use crate::stats::{IntMoments, LogHistogram};
 use serde::{Deserialize, Serialize};
 
 /// Per-core outcome summary.
@@ -96,9 +96,8 @@ impl Report {
 /// Streaming collector the engine feeds during a run.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
-    global: Welford,
     histogram: LogHistogram,
-    per_core: Vec<Welford>,
+    per_core: Vec<IntMoments>,
     core_hits: Vec<u64>,
     finish: Vec<Tick>,
     hits: u64,
@@ -115,9 +114,8 @@ impl MetricsCollector {
     /// A collector for `p` cores.
     pub fn new(p: usize) -> Self {
         MetricsCollector {
-            global: Welford::new(),
             histogram: LogHistogram::new(),
-            per_core: vec![Welford::new(); p],
+            per_core: vec![IntMoments::new(); p],
             core_hits: vec![0; p],
             finish: vec![0; p],
             hits: 0,
@@ -135,7 +133,6 @@ impl MetricsCollector {
     /// hit (response time 1 by construction).
     #[inline]
     pub fn record_serve(&mut self, core: CoreId, response: u64, hit: bool) {
-        self.global.push(response);
         self.histogram.push(response);
         self.per_core[core as usize].push(response);
         if hit {
@@ -176,6 +173,20 @@ impl MetricsCollector {
         self.max_queue_len = self.max_queue_len.max(len as u64);
     }
 
+    /// Batched form of [`sample_queue_len`](Self::sample_queue_len): records
+    /// `n` consecutive end-of-tick samples that all observed length `len`.
+    /// Integer accumulation makes this bit-identical to `n` single samples —
+    /// the engine's fast-forward path depends on that.
+    #[inline]
+    pub fn sample_queue_len_n(&mut self, len: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.queue_len_sum += (len as u128) * (n as u128);
+        self.queue_len_samples += n;
+        self.max_queue_len = self.max_queue_len.max(len as u64);
+    }
+
     /// Records a core finishing at `tick` (1-based completion time).
     #[inline]
     pub fn record_finish(&mut self, core: CoreId, tick: Tick) {
@@ -184,7 +195,14 @@ impl MetricsCollector {
 
     /// Freezes into a [`Report`].
     pub fn finish(self, makespan: Tick, truncated: bool) -> Report {
-        let served = self.global.count();
+        // The global response summary is the exact merge of the per-core
+        // accumulators (same integer sums), so the serve path only pays for
+        // one moments update per request.
+        let mut global = IntMoments::new();
+        for m in &self.per_core {
+            global.merge(m);
+        }
+        let served = global.count();
         let per_core = self
             .per_core
             .iter()
@@ -213,10 +231,10 @@ impl MetricsCollector {
             },
             response: ResponseSummary {
                 count: served,
-                mean: self.global.mean(),
-                inconsistency: self.global.stddev(),
-                min: self.global.min().unwrap_or(0),
-                max: self.global.max().unwrap_or(0),
+                mean: global.mean(),
+                inconsistency: global.stddev(),
+                min: global.min().unwrap_or(0),
+                max: global.max().unwrap_or(0),
                 p99_upper_bound: self.histogram.quantile_upper_bound(0.99),
             },
             mean_queue_len: if self.queue_len_samples == 0 {

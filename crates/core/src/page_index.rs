@@ -1,0 +1,226 @@
+//! Dense page indexing: maps every [`GlobalPage`] a workload can reference
+//! to a compact `u32` index, so the engine's hot-path state (residency,
+//! pin counts, waiter chains) lives in flat arrays instead of hash maps.
+//!
+//! Workload traces use contiguous core-local page ids (Property 1, §3.2),
+//! so for disjoint workloads the map is a pure offset: core `c`'s local
+//! page `l` gets index `base[c] + l`, computed from one O(total refs) scan
+//! with no hashing at all. Shared (non-disjoint) workloads use the global
+//! id directly. When a workload's id space is pathologically sparse —
+//! dense sizing would dwarf the trace — the indexer falls back to a
+//! one-time hash compaction pass, so the per-tick hot path still sees
+//! dense `u32` indices; only [`PageIndexer::index`] pays a hash lookup.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::GlobalPage;
+use crate::workload::Workload;
+
+/// Dense-size budget: direct (offset-based) indexing is used only while the
+/// dense universe stays within a multiple of the trace length, between an
+/// always-acceptable floor and a hard memory cap (the engine allocates a
+/// few `u32` words per indexed page).
+fn direct_limit(total_refs: usize) -> usize {
+    total_refs.saturating_mul(16).clamp(1 << 20, 1 << 28)
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// Disjoint workload: index = `base[core] + local`. `base` holds `p+1`
+    /// cumulative offsets so `base[c+1]` bounds core `c`'s segment.
+    DirectDisjoint { base: Vec<u32> },
+    /// Shared workload with a compact global id space: index = global id.
+    DirectShared,
+    /// Sparse id space: one-time hash compaction, first-appearance order
+    /// (canonical: cores in increasing id, references in trace order).
+    Remap { map: FxHashMap<u64, u32> },
+}
+
+/// A precomputed map from workload pages to dense `0..total_pages` indices.
+#[derive(Debug)]
+pub struct PageIndexer {
+    mode: Mode,
+    total: usize,
+}
+
+impl PageIndexer {
+    /// Builds the indexer for `workload` (one scan of every trace).
+    pub fn for_workload(workload: &Workload) -> PageIndexer {
+        let limit = direct_limit(workload.total_refs());
+        if workload.is_shared() {
+            let max = workload
+                .traces()
+                .iter()
+                .flat_map(|t| t.as_slice().iter().copied())
+                .max();
+            let total = max.map_or(0, |m| m as usize + 1);
+            if total <= limit {
+                return PageIndexer {
+                    mode: Mode::DirectShared,
+                    total,
+                };
+            }
+            return Self::remap(workload);
+        }
+        let p = workload.cores();
+        let mut base = Vec::with_capacity(p + 1);
+        let mut total = 0usize;
+        base.push(0);
+        for trace in workload.traces() {
+            if let Some(&m) = trace.as_slice().iter().max() {
+                total += m as usize + 1;
+            }
+            if total > limit {
+                return Self::remap(workload);
+            }
+            base.push(total as u32);
+        }
+        PageIndexer {
+            mode: Mode::DirectDisjoint { base },
+            total,
+        }
+    }
+
+    /// Hash-compaction fallback: assigns indices in first-appearance order.
+    fn remap(workload: &Workload) -> PageIndexer {
+        let mut map = FxHashMap::default();
+        for core in 0..workload.cores() {
+            let core = core as crate::ids::CoreId;
+            for i in 0..workload.trace(core).len() {
+                let g = workload.global_page(core, i);
+                let next = map.len() as u32;
+                map.entry(g.0).or_insert(next);
+            }
+        }
+        let total = map.len();
+        PageIndexer {
+            mode: Mode::Remap { map },
+            total,
+        }
+    }
+
+    /// Size of the dense index space (all indices are `< total_pages`).
+    #[inline]
+    pub fn total_pages(&self) -> usize {
+        self.total
+    }
+
+    /// True when indexing is a pure offset computation (no hashing).
+    pub fn is_direct(&self) -> bool {
+        !matches!(self.mode, Mode::Remap { .. })
+    }
+
+    /// The dense index of `page`.
+    ///
+    /// # Panics
+    /// May panic (or return an out-of-range index) for pages outside the
+    /// workload's universe; use [`try_index`](Self::try_index) for those.
+    #[inline]
+    pub fn index(&self, page: GlobalPage) -> u32 {
+        match &self.mode {
+            Mode::DirectDisjoint { base } => base[page.core() as usize] + page.local(),
+            Mode::DirectShared => page.0 as u32,
+            Mode::Remap { map } => *map.get(&page.0).expect("page outside workload universe"),
+        }
+    }
+
+    /// The dense index of `page`, or `None` if it is outside the universe.
+    pub fn try_index(&self, page: GlobalPage) -> Option<u32> {
+        match &self.mode {
+            Mode::DirectDisjoint { base } => {
+                let core = page.core() as usize;
+                if core + 1 >= base.len() {
+                    return None;
+                }
+                let idx = base[core].checked_add(page.local())?;
+                (idx < base[core + 1]).then_some(idx)
+            }
+            Mode::DirectShared => (page.0 < self.total as u64).then_some(page.0 as u32),
+            Mode::Remap { map } => map.get(&page.0).copied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoreId;
+
+    #[test]
+    fn disjoint_workload_gets_direct_offsets() {
+        let w = Workload::from_refs(vec![vec![0, 2, 1], vec![5, 0]]);
+        let ix = PageIndexer::for_workload(&w);
+        assert!(ix.is_direct());
+        // Core 0 spans locals 0..=2 (3 pages), core 1 spans 0..=5 (6).
+        assert_eq!(ix.total_pages(), 9);
+        assert_eq!(ix.index(GlobalPage::new(0, 2)), 2);
+        assert_eq!(ix.index(GlobalPage::new(1, 0)), 3);
+        assert_eq!(ix.index(GlobalPage::new(1, 5)), 8);
+    }
+
+    #[test]
+    fn indices_are_unique_across_cores() {
+        let w = Workload::from_refs(vec![vec![0, 1], vec![0, 1], vec![0, 1]]);
+        let ix = PageIndexer::for_workload(&w);
+        let mut seen = Vec::new();
+        for c in 0..3 {
+            for l in 0..2 {
+                seen.push(ix.index(GlobalPage::new(c as CoreId, l)));
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "no two workload pages share an index");
+        assert!(seen.iter().all(|&i| (i as usize) < ix.total_pages()));
+    }
+
+    #[test]
+    fn shared_workload_uses_global_ids() {
+        let w = Workload::shared_from_refs(vec![vec![0, 7], vec![7, 3]]);
+        let ix = PageIndexer::for_workload(&w);
+        assert!(ix.is_direct());
+        assert_eq!(ix.total_pages(), 8);
+        // Page 7 referenced by both cores resolves to one index.
+        assert_eq!(ix.index(GlobalPage(7)), 7);
+    }
+
+    #[test]
+    fn sparse_ids_fall_back_to_remap() {
+        // One reference to an astronomically large local id: direct sizing
+        // would need ~2^31 entries for a 2-reference trace.
+        let w = Workload::from_refs(vec![vec![0, u32::MAX - 1]]);
+        let ix = PageIndexer::for_workload(&w);
+        assert!(!ix.is_direct());
+        assert_eq!(ix.total_pages(), 2);
+        let a = ix.index(GlobalPage::new(0, 0));
+        let b = ix.index(GlobalPage::new(0, u32::MAX - 1));
+        assert_ne!(a, b);
+        assert!((a as usize) < 2 && (b as usize) < 2);
+    }
+
+    #[test]
+    fn try_index_rejects_foreign_pages() {
+        let w = Workload::from_refs(vec![vec![0, 1]]);
+        let ix = PageIndexer::for_workload(&w);
+        assert_eq!(ix.try_index(GlobalPage::new(0, 1)), Some(1));
+        assert_eq!(
+            ix.try_index(GlobalPage::new(0, 2)),
+            None,
+            "beyond max local"
+        );
+        assert_eq!(ix.try_index(GlobalPage::new(1, 0)), None, "unknown core");
+        let shared = Workload::shared_from_refs(vec![vec![4]]);
+        let sx = PageIndexer::for_workload(&shared);
+        assert_eq!(sx.try_index(GlobalPage(4)), Some(4));
+        assert_eq!(sx.try_index(GlobalPage(5)), None);
+    }
+
+    #[test]
+    fn empty_and_degenerate_workloads() {
+        assert_eq!(PageIndexer::for_workload(&Workload::new()).total_pages(), 0);
+        let w = Workload::from_refs(vec![vec![], vec![3]]);
+        let ix = PageIndexer::for_workload(&w);
+        assert_eq!(ix.total_pages(), 4);
+        assert_eq!(ix.index(GlobalPage::new(1, 3)), 3);
+        assert_eq!(ix.try_index(GlobalPage::new(0, 0)), None, "empty core");
+    }
+}

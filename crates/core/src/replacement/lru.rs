@@ -23,6 +23,24 @@ impl LruPolicy {
     pub fn order(&self) -> impl Iterator<Item = u32> + '_ {
         self.order.iter()
     }
+
+    /// [`ReplacementPolicy::choose_victim`] with a statically-dispatched
+    /// pinned predicate — the engine's hot eviction path (via
+    /// [`crate::replacement::Replacer`]); the trait method delegates here.
+    #[inline]
+    pub fn choose_victim_impl<F: FnMut(u32) -> bool + ?Sized>(
+        &mut self,
+        pinned: &mut F,
+    ) -> Option<u32> {
+        let mut cur = self.order.front();
+        while let Some(slot) = cur {
+            if !pinned(slot) {
+                return Some(slot);
+            }
+            cur = self.order.next(slot);
+        }
+        None
+    }
 }
 
 impl ReplacementPolicy for LruPolicy {
@@ -35,14 +53,7 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn choose_victim(&mut self, pinned: &mut dyn FnMut(u32) -> bool) -> Option<u32> {
-        let mut cur = self.order.front();
-        while let Some(slot) = cur {
-            if !pinned(slot) {
-                return Some(slot);
-            }
-            cur = self.order.next(slot);
-        }
-        None
+        self.choose_victim_impl(pinned)
     }
 
     fn on_evict(&mut self, slot: u32) {

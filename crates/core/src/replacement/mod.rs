@@ -60,6 +60,73 @@ impl ReplacementKind {
             ReplacementKind::Random => Box::new(RandomPolicy::new(capacity, seed)),
         }
     }
+
+    /// Instantiates the policy behind the HBM's enum dispatch: LRU — the
+    /// paper's default, on the hot path of every experiment — is dispatched
+    /// statically so its slab-list operations inline into the HBM calls;
+    /// the rest fall back to the trait object. Behavior is identical to
+    /// [`build`](Self::build) in every case.
+    pub fn build_dispatch(self, capacity: usize, seed: u64) -> Replacer {
+        match self {
+            ReplacementKind::Lru => Replacer::Lru(LruPolicy::new(capacity)),
+            other => Replacer::Other(other.build(capacity, seed)),
+        }
+    }
+}
+
+/// Statically-dispatched replacement-policy handle (see
+/// [`ReplacementKind::build_dispatch`]). Forwards every call to the same
+/// [`ReplacementPolicy`] implementation the boxed form would use.
+pub enum Replacer {
+    /// Inlined LRU.
+    Lru(LruPolicy),
+    /// Any other policy, behind the trait object.
+    Other(Box<dyn ReplacementPolicy>),
+}
+
+macro_rules! replacer_forward {
+    ($self:ident, $p:ident => $e:expr) => {
+        match $self {
+            Replacer::Lru($p) => $e,
+            Replacer::Other($p) => $e,
+        }
+    };
+}
+
+impl Replacer {
+    /// See [`ReplacementPolicy::on_insert`].
+    #[inline]
+    pub fn on_insert(&mut self, slot: u32) {
+        replacer_forward!(self, p => p.on_insert(slot))
+    }
+
+    /// See [`ReplacementPolicy::on_hit`].
+    #[inline]
+    pub fn on_hit(&mut self, slot: u32) {
+        replacer_forward!(self, p => p.on_hit(slot))
+    }
+
+    /// See [`ReplacementPolicy::choose_victim`]. Generic over the pinned
+    /// predicate so the LRU arm avoids a virtual call per candidate.
+    #[inline]
+    pub fn choose_victim<F: FnMut(u32) -> bool + ?Sized>(&mut self, pinned: &mut F) -> Option<u32> {
+        match self {
+            Replacer::Lru(p) => p.choose_victim_impl(pinned),
+            Replacer::Other(p) => p.choose_victim(&mut |slot| pinned(slot)),
+        }
+    }
+
+    /// See [`ReplacementPolicy::on_evict`].
+    #[inline]
+    pub fn on_evict(&mut self, slot: u32) {
+        replacer_forward!(self, p => p.on_evict(slot))
+    }
+
+    /// See [`ReplacementPolicy::kind`].
+    #[inline]
+    pub fn kind(&self) -> ReplacementKind {
+        replacer_forward!(self, p => p.kind())
+    }
 }
 
 impl std::fmt::Display for ReplacementKind {

@@ -1,12 +1,115 @@
 //! Streaming statistics for response times and queue lengths.
 //!
 //! Paper-scale runs serve hundreds of millions of requests, so we never
-//! store individual response times: [`Welford`] keeps count/mean/variance in
-//! O(1) space with numerically stable updates, and [`LogHistogram`] keeps
-//! power-of-two buckets for percentile estimates. *Inconsistency* (paper §4)
-//! is exactly `Welford::stddev` over all response times.
+//! store individual response times: [`IntMoments`] keeps exact integer
+//! sums in O(1) space (the engine's hot path — a push is two adds and a
+//! multiply, no floating point), [`Welford`] keeps count/mean/variance
+//! with numerically stable f64 updates for float-valued data, and
+//! [`LogHistogram`] keeps power-of-two buckets for percentile estimates.
+//! *Inconsistency* (paper §4) is the standard deviation over all response
+//! times.
 
 use serde::{Deserialize, Serialize};
+
+/// Exact moment accumulator for integer observations.
+///
+/// Keeps `Σx` and `Σx²` as 128-bit integers, so the mean and variance are
+/// computed from *exact* sums with a single rounding at the end — both
+/// cheaper per observation than [`Welford`] (no divisions on the hot path)
+/// and at least as accurate for integer data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IntMoments {
+    count: u64,
+    sum: u128,
+    sumsq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl IntMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        IntMoments {
+            count: 0,
+            sum: 0,
+            sumsq: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Folds in one observation.
+    #[inline]
+    pub fn push(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += x as u128;
+        self.sumsq += (x as u128) * (x as u128);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds another accumulator into this one: the result is exactly the
+    /// accumulator of the concatenated observation streams (all fields are
+    /// integer sums or min/max, so merging loses nothing).
+    pub fn merge(&mut self, other: &IntMoments) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        // n·Σx² − (Σx)² is exact and non-negative (Cauchy–Schwarz) when it
+        // fits in 128 bits, which covers every realistic run; fall back to
+        // the float identity only on overflow.
+        match (
+            (self.count as u128).checked_mul(self.sumsq),
+            self.sum.checked_mul(self.sum),
+        ) {
+            (Some(nsq), Some(sq)) => (nsq - sq) as f64 / (n * n),
+            _ => {
+                let mean = self.sum as f64 / n;
+                (self.sumsq as f64 / n - mean * mean).max(0.0)
+            }
+        }
+    }
+
+    /// Population standard deviation — the paper's *inconsistency* when fed
+    /// response times.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
 
 /// Welford's online algorithm for mean and variance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -201,6 +304,73 @@ pub fn stddev(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn int_moments_match_welford() {
+        let data: Vec<u64> = (0..10_000).map(|i| (i * 7919) % 1013).collect();
+        let mut m = IntMoments::new();
+        let mut w = Welford::new();
+        for &x in &data {
+            m.push(x);
+            w.push(x);
+        }
+        assert_eq!(m.count(), w.count());
+        assert!((m.mean() - w.mean()).abs() < 1e-9);
+        assert!((m.stddev() - w.stddev()).abs() < 1e-6);
+        assert_eq!(m.min(), w.min());
+        assert_eq!(m.max(), w.max());
+    }
+
+    #[test]
+    fn int_moments_empty_and_single() {
+        let m = IntMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.stddev(), 0.0);
+        assert_eq!(m.min(), None);
+        let mut m1 = IntMoments::new();
+        m1.push(42);
+        assert_eq!(m1.mean(), 42.0);
+        assert_eq!(m1.stddev(), 0.0);
+        assert_eq!(m1.max(), Some(42));
+    }
+
+    #[test]
+    fn int_moments_merge_equals_concatenation() {
+        let data: Vec<u64> = (0..5_000).map(|i| (i * 31) % 257).collect();
+        let mut whole = IntMoments::new();
+        let mut a = IntMoments::new();
+        let mut b = IntMoments::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.push(x);
+            if i % 3 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            };
+        }
+        let mut merged = IntMoments::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        merged.merge(&IntMoments::new()); // empty is the identity
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        // Bit-identical, not just close: the sums are the same integers.
+        assert_eq!(merged.mean().to_bits(), whole.mean().to_bits());
+        assert_eq!(merged.variance().to_bits(), whole.variance().to_bits());
+    }
+
+    #[test]
+    fn int_moments_exact_on_constant_data() {
+        // A constant stream must report exactly zero variance — the exact
+        // integer path cannot suffer the cancellation a float Σx² would.
+        let mut m = IntMoments::new();
+        for _ in 0..1_000_000 {
+            m.push(1_000_003);
+        }
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.mean(), 1_000_003.0);
+    }
 
     #[test]
     fn welford_matches_naive_on_known_data() {

@@ -126,6 +126,83 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Large seeded cells: conformance at benchmark scale.
+// ---------------------------------------------------------------------------
+
+/// Deterministic trace mixing a cyclic sweep with a seeded xorshift jitter,
+/// exactly `len` references over `pages` local pages. Unlike
+/// [`random_workload`], the length is exact, so the large-cell tests can
+/// guarantee their reference-count floor.
+fn long_trace(seed: u64, pages: u32, len: usize) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x.is_multiple_of(4) {
+                (x % pages as u64) as u32
+            } else {
+                (i as u32) % pages
+            }
+        })
+        .collect()
+}
+
+/// Two cells at a scale the exhaustive grid and proptest layers never
+/// reach (>= 10^5 references each), so index arithmetic, worklist
+/// bookkeeping, and the waiter chains are exercised far past the
+/// shrink-friendly sizes above.
+///
+/// Cell 1 — `k < p` corner: more cores than HBM slots, where the pinning
+/// guard is load-bearing every tick (a victim must be skipped whenever
+/// its page is about to be served) and the far queue stays saturated.
+///
+/// Cell 2 — shared universe with multiple channels and `far_latency > 1`,
+/// so cross-core fetch coalescing and in-flight ordering run at scale.
+#[test]
+fn large_seeded_cells_conform() {
+    // Cell 1: 8 disjoint cores x 13_000 refs = 104_000 references, k=5 < p=8.
+    let w1 = Workload::from_refs(
+        (0..8)
+            .map(|c| long_trace(0xA11CE + c, 24, 13_000))
+            .collect(),
+    );
+    assert!(w1.total_refs() >= 100_000, "cell 1 below the size floor");
+    let c1 = SimConfig {
+        hbm_slots: 5,
+        channels: 1,
+        arbitration: ArbitrationKind::Fifo,
+        replacement: ReplacementKind::Lru,
+        far_latency: 2,
+        seed: 0xA11CE,
+        max_ticks: 3_000_000,
+    };
+    let r1 = assert_conformance(c1, &w1);
+    assert!(r1.served == 104_000, "cell 1 must run to completion");
+
+    // Cell 2: 10 cores x 10_500 refs = 105_000 references over a shared
+    // 40-page universe, k=16, q=3, far_latency=4, priority arbitration.
+    let w2 = Workload::shared_from_refs(
+        (0..10)
+            .map(|c| long_trace(0xB0B0 + 7 * c, 40, 10_500))
+            .collect(),
+    );
+    assert!(w2.total_refs() >= 100_000, "cell 2 below the size floor");
+    let c2 = SimConfig {
+        hbm_slots: 16,
+        channels: 3,
+        arbitration: ArbitrationKind::Priority,
+        replacement: ReplacementKind::Lru,
+        far_latency: 4,
+        seed: 0xB0B0,
+        max_ticks: 3_000_000,
+    };
+    let r2 = assert_conformance(c2, &w2);
+    assert!(r2.served == 105_000, "cell 2 must run to completion");
+}
+
+// ---------------------------------------------------------------------------
 // Metamorphic layer: paper invariants checked on BOTH engines.
 // ---------------------------------------------------------------------------
 
