@@ -2,6 +2,8 @@
 
 use crate::arbitration::ArbitrationKind;
 use crate::engine::Engine;
+use crate::error::{ConfigError, SimError};
+use crate::fault::FaultPlan;
 use crate::metrics::Report;
 use crate::observer::{NoopObserver, SimObserver};
 use crate::replacement::ReplacementKind;
@@ -47,20 +49,21 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Validates parameter sanity; returns a message on the first violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates parameter sanity; returns a typed error pinpointing the
+    /// first violated parameter (no string matching needed by callers).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.hbm_slots == 0 {
-            return Err("hbm_slots must be ≥ 1".into());
+            return Err(ConfigError::ZeroHbmSlots);
         }
         if self.channels == 0 {
-            return Err("channels (q) must be ≥ 1".into());
+            return Err(ConfigError::ZeroChannels);
         }
         if self.far_latency == 0 {
-            return Err("far_latency must be ≥ 1 tick".into());
+            return Err(ConfigError::ZeroFarLatency);
         }
         if let Some(period) = self.arbitration.period() {
             if period == 0 {
-                return Err("remap period T must be ≥ 1 tick".into());
+                return Err(ConfigError::ZeroRemapPeriod);
             }
         }
         Ok(())
@@ -85,6 +88,7 @@ impl SimConfig {
 #[derive(Debug, Clone)]
 pub struct SimBuilder {
     config: SimConfig,
+    faults: FaultPlan,
 }
 
 impl Default for SimBuilder {
@@ -94,16 +98,20 @@ impl Default for SimBuilder {
 }
 
 impl SimBuilder {
-    /// Starts from [`SimConfig::default`].
+    /// Starts from [`SimConfig::default`] (and an empty fault plan).
     pub fn new() -> Self {
         SimBuilder {
             config: SimConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 
     /// Starts from an explicit config.
     pub fn from_config(config: SimConfig) -> Self {
-        SimBuilder { config }
+        SimBuilder {
+            config,
+            faults: FaultPlan::default(),
+        }
     }
 
     /// Sets HBM capacity `k` (slots).
@@ -149,6 +157,12 @@ impl SimBuilder {
         self
     }
 
+    /// Injects a deterministic [`FaultPlan`] (default: no faults).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Convenience: re-parameterizes a priority-family arbitration kind with
     /// `T = multiple × k` ticks, the paper's way of quoting remap intervals
     /// ("we talk about T as a multiple of k", §4).
@@ -173,24 +187,65 @@ impl SimBuilder {
         &self.config
     }
 
+    /// The fault plan built so far.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Validates config and fault plan, returning a ready-to-run
+    /// [`Engine`] — the fallible entry point for harnesses that drive the
+    /// tick loop themselves (budgeted sweeps, debuggers).
+    pub fn try_build(&self, workload: &Workload) -> Result<Engine, SimError> {
+        self.config.validate()?;
+        self.faults.validate()?;
+        Ok(Engine::with_faults(
+            self.config,
+            self.faults.clone(),
+            workload,
+        ))
+    }
+
+    /// Runs the simulation to completion (or `max_ticks`), returning a
+    /// typed error instead of panicking on an invalid configuration.
+    pub fn try_run(&self, workload: &Workload) -> Result<Report, SimError> {
+        self.try_run_with_observer(workload, &mut NoopObserver)
+    }
+
+    /// Fallible variant of [`run_with_observer`](Self::run_with_observer).
+    pub fn try_run_with_observer<O: SimObserver>(
+        &self,
+        workload: &Workload,
+        observer: &mut O,
+    ) -> Result<Report, SimError> {
+        Ok(self.try_build(workload)?.run(observer))
+    }
+
     /// Runs the simulation to completion (or `max_ticks`).
     ///
+    /// Thin panicking wrapper over [`try_run`](Self::try_run) for examples
+    /// and tests; library and harness code should prefer the `try_*`
+    /// entry points.
+    ///
     /// # Panics
-    /// Panics on invalid configuration (see [`SimConfig::validate`]).
+    /// Panics on invalid configuration (see [`SimConfig::validate`] and
+    /// [`FaultPlan::validate`]).
     pub fn run(&self, workload: &Workload) -> Report {
         self.run_with_observer(workload, &mut NoopObserver)
     }
 
     /// Runs with a custom [`SimObserver`] receiving every event.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration, like [`run`](Self::run).
     pub fn run_with_observer<O: SimObserver>(
         &self,
         workload: &Workload,
         observer: &mut O,
     ) -> Report {
-        if let Err(e) = self.config.validate() {
-            panic!("invalid simulation config: {e}");
+        match self.try_run_with_observer(workload, observer) {
+            Ok(report) => report,
+            Err(e) => panic!("invalid simulation config: {e}"),
         }
-        Engine::new(self.config, workload).run(observer)
     }
 }
 
@@ -264,5 +319,64 @@ mod tests {
     fn run_panics_on_invalid_config() {
         let w = Workload::from_refs(vec![vec![0]]);
         SimBuilder::new().hbm_slots(0).run(&w);
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let c = |f: fn(&mut SimConfig)| {
+            let mut c = SimConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert_eq!(c(|c| c.hbm_slots = 0), Err(ConfigError::ZeroHbmSlots));
+        assert_eq!(c(|c| c.channels = 0), Err(ConfigError::ZeroChannels));
+        assert_eq!(c(|c| c.far_latency = 0), Err(ConfigError::ZeroFarLatency));
+        assert_eq!(
+            c(|c| c.arbitration = ArbitrationKind::CyclePriority { period: 0 }),
+            Err(ConfigError::ZeroRemapPeriod)
+        );
+    }
+
+    #[test]
+    fn try_run_surfaces_config_error_instead_of_panicking() {
+        let w = Workload::from_refs(vec![vec![0]]);
+        let err = SimBuilder::new().channels(0).try_run(&w).unwrap_err();
+        assert_eq!(err, SimError::Config(ConfigError::ZeroChannels));
+    }
+
+    #[test]
+    fn try_run_validates_the_fault_plan_too() {
+        let w = Workload::from_refs(vec![vec![0]]);
+        let err = SimBuilder::new()
+            .fault_plan(FaultPlan::new().outage(9, 3, 1))
+            .try_run(&w)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Config(ConfigError::EmptyFaultWindow { start: 9, end: 3 })
+        );
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_config() {
+        let w = Workload::from_refs(vec![vec![0, 1, 0, 1], vec![2, 3]]);
+        let b = SimBuilder::new().hbm_slots(4).channels(1);
+        let a = b.try_run(&w).unwrap();
+        let r = b.run(&w);
+        assert_eq!(a.makespan, r.makespan);
+        assert_eq!(a.hits, r.hits);
+    }
+
+    #[test]
+    fn try_build_yields_a_steppable_engine() {
+        let w = Workload::from_refs(vec![vec![0, 0, 0]]);
+        let mut engine = SimBuilder::new().try_build(&w).unwrap();
+        let mut guard = 0;
+        while !engine.is_done() {
+            engine.step(&mut crate::observer::NoopObserver);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(engine.into_report().served, 3);
     }
 }

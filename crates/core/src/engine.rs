@@ -67,10 +67,11 @@
 
 use crate::arbitration::{Arbiter, Request};
 use crate::config::SimConfig;
+use crate::fault::FaultPlan;
 use crate::hbm::Hbm;
 use crate::ids::{CoreId, GlobalPage, Tick};
 use crate::metrics::{MetricsCollector, Report};
-use crate::observer::SimObserver;
+use crate::observer::{FaultEvent, SimObserver};
 use crate::page_index::PageIndexer;
 use crate::workload::Workload;
 use std::sync::Arc;
@@ -173,6 +174,17 @@ pub struct Engine {
     /// The next tick at which the arbiter may remap, per
     /// [`crate::arbitration::ArbitrationPolicy::next_remap_at_or_after`].
     next_remap: Option<Tick>,
+    /// The injected fault schedule (empty by default). Outages gate which
+    /// prefix of `channel_busy` may start transfers; degradations and
+    /// transient failures lengthen individual transfers at start time.
+    plan: FaultPlan,
+    /// `!plan.is_empty()`, hoisted so fault-free runs pay a single branch.
+    plan_active: bool,
+    /// Channels down at the last executed tick — the delta against the
+    /// current tick's outage width drives `FaultEvent::OutageStart`/`End`
+    /// emission. Boundary ticks always execute (fast-forward clamps to
+    /// them), so the delta is never observed late.
+    last_down: usize,
     metrics: MetricsCollector,
     tick: Tick,
     remaining: usize,
@@ -184,6 +196,13 @@ impl Engine {
     /// the workload into its flattened trace arrays, so it does not borrow
     /// `workload` after construction.
     pub fn new(config: SimConfig, workload: &Workload) -> Self {
+        Self::with_faults(config, FaultPlan::default(), workload)
+    }
+
+    /// Like [`new`](Self::new), but with an injected [`FaultPlan`]. An
+    /// empty plan reproduces the fault-free trajectory exactly — bit for
+    /// bit, events and metrics included.
+    pub fn with_faults(config: SimConfig, faults: FaultPlan, workload: &Workload) -> Self {
         let p = workload.cores();
         let indexer = Arc::new(PageIndexer::for_workload(workload));
         let total_pages = indexer.total_pages();
@@ -245,6 +264,9 @@ impl Engine {
             channel_busy: vec![0; config.channels],
             queue_len: 0,
             next_remap,
+            plan_active: !faults.is_empty(),
+            plan: faults,
+            last_down: 0,
             metrics: MetricsCollector::new(p),
             tick: 0,
             remaining,
@@ -273,6 +295,12 @@ impl Engine {
         &self.hbm
     }
 
+    /// The injected fault plan (empty unless built via
+    /// [`with_faults`](Self::with_faults)).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.plan
+    }
+
     /// Current priority of `core` under the arbitration policy, if any.
     pub fn priority_of(&self, core: CoreId) -> Option<u32> {
         self.arbiter.priority_of(core)
@@ -286,6 +314,19 @@ impl Engine {
             return false;
         }
         let t = self.tick;
+        // Effective channel count, constant across the whole candidate span
+        // because `next` is clamped to the plan's next window boundary.
+        let q_eff = if self.plan_active {
+            let q_eff = self.plan.effective_channels(self.config.channels, t);
+            if self.config.channels - q_eff != self.last_down {
+                // `t` is an outage transition: it must execute so the
+                // OutageStart/End event fires on the boundary tick itself.
+                return false;
+            }
+            q_eff
+        } else {
+            self.config.channels
+        };
         // Earliest tick at which anything can happen again.
         let mut next = Tick::MAX;
         if let Some(r) = self.next_remap {
@@ -294,16 +335,26 @@ impl Engine {
         for &(arrival, _) in &self.in_flight {
             next = next.min(arrival);
         }
-        if self.queue_len > 0 {
+        if self.queue_len > 0 && q_eff > 0 {
             if self.queue_len > self.hbm.free_slots().saturating_sub(self.in_flight.len()) {
                 // The eviction predicate already holds: this tick evicts.
                 next = next.min(t);
             } else {
-                // Room exists, so a fetch starts the moment a channel
-                // frees (a channel with busy-until `b` is free at `b`).
-                for &b in &self.channel_busy {
+                // Room exists, so a fetch starts the moment an *enabled*
+                // channel frees (a channel with busy-until `b` is free at
+                // `b`; channels past `q_eff` are outage-gated and cannot
+                // start transfers this span).
+                for &b in &self.channel_busy[..q_eff] {
                     next = next.min(b);
                 }
+            }
+        }
+        if self.plan_active {
+            // Window boundaries change `q_eff` and the outage accounting;
+            // they must execute even when otherwise inert (this also keeps
+            // `OutageStart`/`End` emission on the boundary tick).
+            if let Some(b) = self.plan.next_boundary_after(t) {
+                next = next.min(b);
             }
         }
         // With worklists empty and no pending event, every remaining core
@@ -314,6 +365,11 @@ impl Engine {
             // Each skipped tick ends with the same queue-length sample the
             // executed loop would have taken (integer-exact batching).
             self.metrics.sample_queue_len_n(self.queue_len, target - t);
+            if self.plan_active && self.queue_len > 0 && q_eff == 0 {
+                // Every skipped tick held queued requests against a full
+                // outage — the same count the executed loop would record.
+                self.metrics.record_outage_blocked_n(target - t);
+            }
             self.tick = target;
             if target == self.config.max_ticks {
                 return true; // truncation boundary: run() stops here
@@ -337,6 +393,33 @@ impl Engine {
         let t = self.tick;
         let q = self.config.channels;
         observer.on_tick_start(t);
+
+        // Fault pre-step: resolve this tick's effective channel count and
+        // report outage transitions. `last_down` only changes on window
+        // boundary ticks, which the fast-forward clamp guarantees execute.
+        let q_eff = if self.plan_active {
+            let q_eff = self.plan.effective_channels(q, t);
+            let down = q - q_eff;
+            if down > self.last_down {
+                observer.on_fault(
+                    t,
+                    FaultEvent::OutageStart {
+                        down: down - self.last_down,
+                    },
+                );
+            } else if down < self.last_down {
+                observer.on_fault(
+                    t,
+                    FaultEvent::OutageEnd {
+                        restored: self.last_down - down,
+                    },
+                );
+            }
+            self.last_down = down;
+            q_eff
+        } else {
+            q
+        };
 
         // Step 1: remap priorities on schedule. `next_remap` caches the
         // arbiter's schedule so quiet ticks skip the call entirely.
@@ -403,11 +486,13 @@ impl Engine {
             }
         }
 
-        // Step 3: evict up to q pages when the queue exceeds free capacity.
-        // Slots are reserved for in-flight transfers so their arrival can
-        // never find the HBM full.
+        // Step 3: evict up to q_eff pages when the queue exceeds free
+        // capacity — the machine only makes room for as many fetches as it
+        // can start, so an outage shrinks the eviction budget too. Slots
+        // are reserved for in-flight transfers so their arrival can never
+        // find the HBM full.
         let mut evicted = 0;
-        while evicted < q
+        while evicted < q_eff
             && self.queue_len > self.hbm.free_slots().saturating_sub(self.in_flight.len())
         {
             let pages = &self.pages;
@@ -467,8 +552,14 @@ impl Engine {
         // the transfers that complete this tick. With far_latency = 1 (the
         // paper's model) a transfer started now lands now, so the two
         // phases collapse into the original "fetch up to q pages".
-        if self.queue_len > 0 {
-            let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
+        if self.queue_len > 0 && q_eff > 0 {
+            // An outage disables the *last* q - q_eff channels for new
+            // transfers, so only the `..q_eff` prefix may be claimed;
+            // in-flight transfers on disabled channels complete normally.
+            let free_channels = self.channel_busy[..q_eff]
+                .iter()
+                .filter(|&&b| b <= t)
+                .count();
             let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
             let n = free_channels.min(room);
             if n > 0 {
@@ -476,14 +567,47 @@ impl Engine {
                 self.queue_len -= self.fetch_buf.len();
                 for i in 0..self.fetch_buf.len() {
                     let req = self.fetch_buf[i];
-                    // Claim a free channel.
-                    for b in self.channel_busy.iter_mut() {
+                    let latency = if self.plan_active {
+                        let (latency, extra, failures) = self.plan.transfer_time(
+                            self.config.far_latency,
+                            t,
+                            req.core,
+                            req.page.0,
+                        );
+                        if extra > 0 {
+                            self.metrics.record_degraded_fetch();
+                            observer.on_fault(
+                                t,
+                                FaultEvent::DegradedFetch {
+                                    core: req.core,
+                                    page: req.page,
+                                    extra_latency: extra,
+                                },
+                            );
+                        }
+                        if failures > 0 {
+                            self.metrics.record_transient_faults(failures);
+                            observer.on_fault(
+                                t,
+                                FaultEvent::TransientFailure {
+                                    core: req.core,
+                                    page: req.page,
+                                    failures,
+                                },
+                            );
+                        }
+                        latency
+                    } else {
+                        self.config.far_latency
+                    };
+                    // Claim a free (enabled) channel.
+                    for b in self.channel_busy[..q_eff].iter_mut() {
                         if *b <= t {
-                            *b = t + self.config.far_latency;
+                            *b = t + latency;
                             break;
                         }
                     }
-                    self.in_flight.push((t + self.config.far_latency - 1, req));
+                    self.in_flight.push((t + latency - 1, req));
                 }
             }
         }
@@ -526,6 +650,9 @@ impl Engine {
         }
 
         self.metrics.sample_queue_len(self.queue_len);
+        if self.plan_active && self.queue_len > 0 && q_eff == 0 {
+            self.metrics.record_outage_blocked_n(1);
+        }
         debug_assert_eq!(self.queue_len, self.arbiter.len(), "queue mirror drift");
         #[cfg(debug_assertions)]
         self.hbm.check_invariants();
@@ -545,6 +672,15 @@ impl Engine {
         while !self.is_done() && self.tick < self.config.max_ticks {
             self.step(observer);
         }
+        self.into_report()
+    }
+
+    /// Finalizes a partially- or fully-stepped engine into a [`Report`].
+    /// An engine abandoned mid-run (e.g. by a budgeted sweep harness that
+    /// hit its wall-clock cap) reports `truncated = true` with the metrics
+    /// accumulated so far — the cooperative alternative to killing a
+    /// thread.
+    pub fn into_report(self) -> Report {
         let truncated = !self.is_done();
         let makespan = if truncated { self.tick } else { self.makespan };
         self.metrics.finish(makespan, truncated)

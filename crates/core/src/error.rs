@@ -1,0 +1,143 @@
+//! Typed error hierarchy for simulation setup and execution.
+//!
+//! User-input paths (configuration, fault plans, trace files) must never
+//! panic: they return [`ConfigError`] / [`SimError`] values that callers can
+//! match on, log, or surface per-cell in a sweep instead of poisoning a
+//! whole run. The legacy panicking entry points ([`crate::SimBuilder::run`])
+//! are thin wrappers over the fallible ones.
+
+use crate::ids::Tick;
+use std::fmt;
+
+/// A structurally invalid simulation configuration or fault plan.
+///
+/// Produced by [`crate::SimConfig::validate`], [`crate::FaultPlan::validate`]
+/// and the `try_*` builder entry points. Each variant pinpoints the exact
+/// parameter so harnesses can report it without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `hbm_slots` (k) was 0; the HBM needs at least one block slot.
+    ZeroHbmSlots,
+    /// `channels` (q) was 0; the model requires `1 ≤ q`.
+    ZeroChannels,
+    /// `far_latency` was 0; a transfer takes at least one tick.
+    ZeroFarLatency,
+    /// A priority-family arbitration was configured with remap period 0.
+    ZeroRemapPeriod,
+    /// A fault window with `start >= end` (empty or inverted).
+    EmptyFaultWindow {
+        /// Window start tick (inclusive).
+        start: Tick,
+        /// Window end tick (exclusive).
+        end: Tick,
+    },
+    /// An outage window disabling zero channels (a no-op window is almost
+    /// certainly a harness bug).
+    ZeroOutageChannels {
+        /// Window start tick.
+        start: Tick,
+    },
+    /// A degradation window adding zero extra latency.
+    ZeroDegradationLatency {
+        /// Window start tick.
+        start: Tick,
+    },
+    /// A transient-fault probability outside `[0, 1]` or not finite.
+    InvalidFailProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient-fault spec with `max_retries == 0`: the retry bound is
+    /// what guarantees progress, so it must be at least 1.
+    ZeroRetryBound,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroHbmSlots => write!(f, "hbm_slots must be ≥ 1"),
+            ConfigError::ZeroChannels => write!(f, "channels (q) must be ≥ 1"),
+            ConfigError::ZeroFarLatency => write!(f, "far_latency must be ≥ 1 tick"),
+            ConfigError::ZeroRemapPeriod => write!(f, "remap period T must be ≥ 1 tick"),
+            ConfigError::EmptyFaultWindow { start, end } => {
+                write!(
+                    f,
+                    "fault window [{start}, {end}) is empty (start must be < end)"
+                )
+            }
+            ConfigError::ZeroOutageChannels { start } => {
+                write!(f, "outage window starting at {start} disables 0 channels")
+            }
+            ConfigError::ZeroDegradationLatency { start } => {
+                write!(f, "degradation window starting at {start} adds 0 latency")
+            }
+            ConfigError::InvalidFailProbability { value } => {
+                write!(f, "transient fail probability {value} is not in [0, 1]")
+            }
+            ConfigError::ZeroRetryBound => {
+                write!(
+                    f,
+                    "transient max_retries must be ≥ 1 (the bound guarantees progress)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any error a fallible simulation entry point can return.
+///
+/// Today the only failure mode is an invalid configuration; the enum exists
+/// so trace-replay and checkpoint errors can join it without breaking
+/// signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration or fault plan failed validation.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_parameter() {
+        assert!(ConfigError::ZeroHbmSlots.to_string().contains("hbm_slots"));
+        assert!(ConfigError::ZeroChannels.to_string().contains("channels"));
+        assert!(ConfigError::EmptyFaultWindow { start: 5, end: 5 }
+            .to_string()
+            .contains("[5, 5)"));
+        let sim: SimError = ConfigError::ZeroRetryBound.into();
+        assert!(sim.to_string().contains("max_retries"));
+    }
+
+    #[test]
+    fn sim_error_sources_config_error() {
+        use std::error::Error;
+        let e: SimError = ConfigError::ZeroChannels.into();
+        assert!(e.source().is_some());
+    }
+}

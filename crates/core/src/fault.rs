@@ -1,0 +1,424 @@
+//! Deterministic fault injection for the HBM+DRAM model.
+//!
+//! The paper's machine (§2) is fault-free: `q` far channels that never
+//! degrade. Real hybrid-memory hardware is not — channels go down for
+//! maintenance windows, links degrade thermally, transfers fail transiently
+//! and retry. A [`FaultPlan`] schedules three fault classes against the
+//! simulated timeline:
+//!
+//! * **Outage windows** ([`OutageWindow`]): during `[start, end)` the last
+//!   `channels` of the machine's `q` far channels may not *start* new
+//!   transfers, so the effective channel count drops to
+//!   `q_eff(t) = q - down(t)` (saturating at 0). Transfers already in
+//!   flight on a disabled channel complete normally — an outage gates
+//!   admission, it does not corrupt data in transit. Step 3's eviction
+//!   budget also drops to `q_eff(t)`: the machine can only make room for
+//!   as many fetches as it can start.
+//! * **Degradation windows** ([`DegradationWindow`]): a fetch *started*
+//!   during `[start, end)` takes `far_latency + extra_latency` ticks
+//!   (overlapping windows add up). The latency is fixed at start time;
+//!   a window ending mid-transfer does not shorten it.
+//! * **Transient failures** ([`TransientFaults`]): each transfer attempt
+//!   fails independently with probability `fail_prob`, decided by a
+//!   deterministic hash of `(plan seed, start tick, core, page, attempt)`.
+//!   A failed attempt occupies the channel for the full transfer time and
+//!   retries in place; after `max_retries` consecutive failures the next
+//!   attempt succeeds unconditionally, so the retry bound is what
+//!   guarantees forward progress even at `fail_prob = 1.0`.
+//!
+//! **Determinism.** A plan is pure data plus pure functions of the tick:
+//! the same `(SimConfig, FaultPlan, Workload)` triple produces the same
+//! trajectory on every run, every platform, and — the property the
+//! differential suite enforces — in both [`crate::Engine`] and
+//! [`crate::OracleEngine`], bit for bit. No engine RNG draws are consumed
+//! by fault decisions, so adding an empty plan (or a plan whose windows
+//! fall after the makespan) leaves the fault-free trajectory untouched.
+//!
+//! Fault activity is surfaced three ways: per-event observer callbacks
+//! ([`crate::observer::SimObserver::on_fault`]), aggregate counters in the
+//! report ([`crate::metrics::FaultCounters`]), and — for harnesses — the
+//! typed validation errors of [`FaultPlan::validate`].
+
+use crate::error::ConfigError;
+use crate::ids::{CoreId, Tick};
+use serde::{Deserialize, Serialize};
+
+/// A scheduled far-channel outage: `channels` channels are down (cannot
+/// start new transfers) for every tick in `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First affected tick (inclusive).
+    pub start: Tick,
+    /// First unaffected tick (exclusive).
+    pub end: Tick,
+    /// How many channels are down. Values `>= q` take the machine to
+    /// `q_eff = 0` (a full outage).
+    pub channels: usize,
+}
+
+/// A latency-degradation window: fetches started in `[start, end)` take
+/// `extra_latency` additional ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationWindow {
+    /// First affected tick (inclusive).
+    pub start: Tick,
+    /// First unaffected tick (exclusive).
+    pub end: Tick,
+    /// Additional ticks per transfer started inside the window.
+    pub extra_latency: u64,
+}
+
+/// Transient transfer-failure model: independent per-attempt failures with
+/// a hard retry bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientFaults {
+    /// Per-attempt failure probability in `[0, 1]`.
+    pub fail_prob: f64,
+    /// Maximum consecutive failed attempts per transfer; the attempt after
+    /// the `max_retries`-th failure always succeeds. Must be `>= 1`.
+    pub max_retries: u32,
+    /// Seed for the deterministic failure draws (independent of the
+    /// engine's policy seed on purpose: the same fault pattern can be
+    /// replayed against different policy randomizations).
+    pub seed: u64,
+}
+
+/// A complete, seedable fault schedule for one simulation run.
+///
+/// The default plan is empty — [`FaultPlan::is_empty`] — and an empty plan
+/// is guaranteed to reproduce the fault-free trajectory exactly.
+///
+/// ```
+/// use hbm_core::{FaultPlan, SimBuilder, Workload};
+///
+/// let plan = FaultPlan::new()
+///     .outage(10, 20, 1)          // one channel down for ticks 10..20
+///     .degradation(30, 40, 3)     // +3 ticks per fetch started in 30..40
+///     .transient(0.25, 4, 7);     // 25% attempt failures, ≤4 retries
+/// plan.validate().unwrap();
+///
+/// let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]]);
+/// let report = SimBuilder::new()
+///     .hbm_slots(2)
+///     .fault_plan(plan)
+///     .try_run(&w)
+///     .unwrap();
+/// assert_eq!(report.served, 6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Scheduled channel outages.
+    pub outages: Vec<OutageWindow>,
+    /// Scheduled latency degradations.
+    pub degradations: Vec<DegradationWindow>,
+    /// Transient transfer-failure model, if any.
+    pub transient: Option<TransientFaults>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an outage window (builder style).
+    pub fn outage(mut self, start: Tick, end: Tick, channels: usize) -> Self {
+        self.outages.push(OutageWindow {
+            start,
+            end,
+            channels,
+        });
+        self
+    }
+
+    /// Adds a degradation window (builder style).
+    pub fn degradation(mut self, start: Tick, end: Tick, extra_latency: u64) -> Self {
+        self.degradations.push(DegradationWindow {
+            start,
+            end,
+            extra_latency,
+        });
+        self
+    }
+
+    /// Sets the transient-failure model (builder style).
+    pub fn transient(mut self, fail_prob: f64, max_retries: u32, seed: u64) -> Self {
+        self.transient = Some(TransientFaults {
+            fail_prob,
+            max_retries,
+            seed,
+        });
+        self
+    }
+
+    /// True when the plan schedules no faults at all. Engines skip every
+    /// fault check on the hot path for empty plans.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.degradations.is_empty() && self.transient.is_none()
+    }
+
+    /// Validates the plan, pinpointing the first structurally invalid
+    /// entry. Every fault-plan value accepted here produces a terminating,
+    /// deterministic simulation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for w in &self.outages {
+            if w.start >= w.end {
+                return Err(ConfigError::EmptyFaultWindow {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            if w.channels == 0 {
+                return Err(ConfigError::ZeroOutageChannels { start: w.start });
+            }
+        }
+        for w in &self.degradations {
+            if w.start >= w.end {
+                return Err(ConfigError::EmptyFaultWindow {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            if w.extra_latency == 0 {
+                return Err(ConfigError::ZeroDegradationLatency { start: w.start });
+            }
+        }
+        if let Some(t) = &self.transient {
+            if !t.fail_prob.is_finite() || !(0.0..=1.0).contains(&t.fail_prob) {
+                return Err(ConfigError::InvalidFailProbability { value: t.fail_prob });
+            }
+            if t.max_retries == 0 {
+                return Err(ConfigError::ZeroRetryBound);
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective far-channel count at tick `t`: `q` minus every overlapping
+    /// outage's width, saturating at 0.
+    #[inline]
+    pub fn effective_channels(&self, q: usize, t: Tick) -> usize {
+        let mut down = 0usize;
+        for w in &self.outages {
+            if w.start <= t && t < w.end {
+                down = down.saturating_add(w.channels);
+            }
+        }
+        q.saturating_sub(down)
+    }
+
+    /// Extra transfer latency for a fetch *started* at tick `t`
+    /// (overlapping degradation windows add).
+    #[inline]
+    pub fn extra_latency(&self, t: Tick) -> u64 {
+        let mut extra = 0u64;
+        for w in &self.degradations {
+            if w.start <= t && t < w.end {
+                extra = extra.saturating_add(w.extra_latency);
+            }
+        }
+        extra
+    }
+
+    /// Number of consecutive failed attempts (each a deterministic draw)
+    /// for a transfer of `page` to `core` started at tick `t`; at most
+    /// `max_retries`. 0 when the plan has no transient model.
+    #[inline]
+    pub fn transient_failures(&self, t: Tick, core: CoreId, page: u64) -> u32 {
+        let Some(tf) = &self.transient else {
+            return 0;
+        };
+        if tf.fail_prob <= 0.0 {
+            return 0;
+        }
+        let mut failures = 0u32;
+        while failures < tf.max_retries {
+            let draw = mix4(
+                tf.seed,
+                t,
+                ((core as u64) << 32) | (page >> 32),
+                page,
+                failures as u64,
+            );
+            // Map the draw to [0, 1) with 53-bit precision (IEEE-exact on
+            // every platform, hence identical in both engines).
+            let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if unit < tf.fail_prob {
+                failures += 1;
+            } else {
+                break;
+            }
+        }
+        failures
+    }
+
+    /// The next tick strictly after `t` at which any window starts or
+    /// ends — the engine's fast-forward path must not skip across such a
+    /// boundary, because `q_eff` (and the outage accounting) change there.
+    pub fn next_boundary_after(&self, t: Tick) -> Option<Tick> {
+        let mut next: Option<Tick> = None;
+        let mut consider = |b: Tick| {
+            if b > t {
+                next = Some(next.map_or(b, |n| n.min(b)));
+            }
+        };
+        for w in &self.outages {
+            consider(w.start);
+            consider(w.end);
+        }
+        for w in &self.degradations {
+            consider(w.start);
+            consider(w.end);
+        }
+        next
+    }
+
+    /// Total transfer time of a fetch started at tick `t` for `core` /
+    /// `page` under this plan, given the machine's base `far_latency`:
+    /// degraded base latency times `1 + failures`. Returns the latency and
+    /// the `(extra_latency, failures)` pair for counter/event reporting.
+    #[inline]
+    pub fn transfer_time(
+        &self,
+        far_latency: u64,
+        t: Tick,
+        core: CoreId,
+        page: u64,
+    ) -> (u64, u64, u32) {
+        let extra = self.extra_latency(t);
+        let failures = self.transient_failures(t, core, page);
+        let base = far_latency.saturating_add(extra);
+        (base.saturating_mul(1 + failures as u64), extra, failures)
+    }
+}
+
+/// SplitMix64-style finalizer chain over five words. Statistically strong
+/// enough for Bernoulli draws and, critically, a pure function — the same
+/// arguments give the same draw in both engines.
+#[inline]
+fn mix4(seed: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for w in [a, b, c, d] {
+        h = h.wrapping_add(w).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        p.validate().unwrap();
+        assert_eq!(p.effective_channels(4, 0), 4);
+        assert_eq!(p.extra_latency(123), 0);
+        assert_eq!(p.transient_failures(0, 0, 0), 0);
+        assert_eq!(p.next_boundary_after(0), None);
+        assert_eq!(p.transfer_time(1, 5, 0, 9), (1, 0, 0));
+    }
+
+    #[test]
+    fn outage_reduces_effective_channels_inside_window_only() {
+        let p = FaultPlan::new().outage(10, 20, 1);
+        assert_eq!(p.effective_channels(2, 9), 2);
+        assert_eq!(p.effective_channels(2, 10), 1);
+        assert_eq!(p.effective_channels(2, 19), 1);
+        assert_eq!(p.effective_channels(2, 20), 2);
+    }
+
+    #[test]
+    fn overlapping_outages_stack_and_saturate() {
+        let p = FaultPlan::new().outage(0, 100, 1).outage(50, 60, 3);
+        assert_eq!(p.effective_channels(2, 10), 1);
+        assert_eq!(p.effective_channels(2, 55), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn degradation_adds_latency_at_start_time() {
+        let p = FaultPlan::new().degradation(5, 10, 3).degradation(8, 12, 2);
+        assert_eq!(p.extra_latency(4), 0);
+        assert_eq!(p.extra_latency(5), 3);
+        assert_eq!(p.extra_latency(9), 5, "overlap adds");
+        assert_eq!(p.extra_latency(11), 2);
+        assert_eq!(p.transfer_time(1, 9, 0, 0).0, 6);
+    }
+
+    #[test]
+    fn transient_failures_are_deterministic_and_bounded() {
+        let p = FaultPlan::new().transient(0.5, 3, 42);
+        for t in 0..200u64 {
+            let a = p.transient_failures(t, 1, 17);
+            let b = p.transient_failures(t, 1, 17);
+            assert_eq!(a, b, "same draw twice");
+            assert!(a <= 3, "retry bound");
+        }
+        // Over many draws both outcomes must occur at p = 0.5.
+        let sum: u32 = (0..200u64).map(|t| p.transient_failures(t, 1, 17)).sum();
+        assert!(sum > 0, "some failures at p = 0.5");
+        assert!(sum < 600, "not all-max at p = 0.5");
+    }
+
+    #[test]
+    fn certain_failure_hits_the_retry_bound_exactly() {
+        let p = FaultPlan::new().transient(1.0, 4, 0);
+        assert_eq!(p.transient_failures(3, 2, 5), 4);
+        assert_eq!(p.transfer_time(2, 3, 2, 5), (10, 0, 4));
+    }
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let p = FaultPlan::new().transient(0.0, 4, 0);
+        for t in 0..50 {
+            assert_eq!(p.transient_failures(t, 0, t), 0);
+        }
+    }
+
+    #[test]
+    fn boundaries_enumerate_window_edges() {
+        let p = FaultPlan::new().outage(10, 20, 1).degradation(15, 30, 2);
+        assert_eq!(p.next_boundary_after(0), Some(10));
+        assert_eq!(p.next_boundary_after(10), Some(15));
+        assert_eq!(p.next_boundary_after(15), Some(20));
+        assert_eq!(p.next_boundary_after(20), Some(30));
+        assert_eq!(p.next_boundary_after(30), None);
+    }
+
+    #[test]
+    fn validation_rejects_each_degenerate_form() {
+        assert_eq!(
+            FaultPlan::new().outage(5, 5, 1).validate(),
+            Err(ConfigError::EmptyFaultWindow { start: 5, end: 5 })
+        );
+        assert_eq!(
+            FaultPlan::new().outage(1, 2, 0).validate(),
+            Err(ConfigError::ZeroOutageChannels { start: 1 })
+        );
+        assert_eq!(
+            FaultPlan::new().degradation(3, 2, 1).validate(),
+            Err(ConfigError::EmptyFaultWindow { start: 3, end: 2 })
+        );
+        assert_eq!(
+            FaultPlan::new().degradation(1, 2, 0).validate(),
+            Err(ConfigError::ZeroDegradationLatency { start: 1 })
+        );
+        assert_eq!(
+            FaultPlan::new().transient(1.5, 1, 0).validate(),
+            Err(ConfigError::InvalidFailProbability { value: 1.5 })
+        );
+        assert!(matches!(
+            FaultPlan::new().transient(f64::NAN, 1, 0).validate(),
+            // NaN compares unequal to itself, so match structurally.
+            Err(ConfigError::InvalidFailProbability { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            FaultPlan::new().transient(0.5, 0, 0).validate(),
+            Err(ConfigError::ZeroRetryBound)
+        );
+    }
+}

@@ -59,6 +59,8 @@ pub mod arbitration;
 pub mod bounds;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod hbm;
 pub mod ids;
@@ -76,9 +78,11 @@ pub mod workload;
 pub use arbitration::{ArbitrationKind, ArbitrationPolicy, Request};
 pub use config::{SimBuilder, SimConfig};
 pub use engine::Engine;
+pub use error::{ConfigError, SimError};
+pub use fault::{DegradationWindow, FaultPlan, OutageWindow, TransientFaults};
 pub use ids::{CoreId, GlobalPage, LocalPage, Tick};
-pub use metrics::{CoreReport, Report, ResponseSummary};
-pub use observer::{NoopObserver, RecordingObserver, SimObserver};
+pub use metrics::{CoreReport, FaultCounters, Report, ResponseSummary};
+pub use observer::{FaultEvent, NoopObserver, RecordingObserver, SimObserver};
 pub use oracle::OracleEngine;
 pub use page_index::PageIndexer;
 pub use replacement::{ReplacementKind, ReplacementPolicy};

@@ -44,6 +44,29 @@ pub struct ResponseSummary {
     pub p99_upper_bound: u64,
 }
 
+/// Aggregate fault-injection activity during a run (all zero for runs
+/// without an active [`crate::FaultPlan`]).
+///
+/// Counted identically — tick for tick, event for event — by both engines;
+/// the fault differential suite compares these fields exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Ticks at whose end requests were queued while an outage held the
+    /// effective channel count at zero (the machine was fully blocked).
+    pub outage_blocked_ticks: u64,
+    /// Fetches started inside a degradation window (with extra latency).
+    pub degraded_fetches: u64,
+    /// Failed transfer attempts (each retry that occupied a channel).
+    pub transient_faults: u64,
+}
+
+impl FaultCounters {
+    /// True when no fault ever fired.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -72,6 +95,8 @@ pub struct Report {
     pub max_queue_len: u64,
     /// Per-core summaries.
     pub per_core: Vec<CoreReport>,
+    /// Injected-fault activity (zero when no fault plan was active).
+    pub faults: FaultCounters,
     /// True if the run hit `max_ticks` before all cores finished.
     pub truncated: bool,
 }
@@ -108,6 +133,7 @@ pub struct MetricsCollector {
     queue_len_sum: u128,
     queue_len_samples: u64,
     max_queue_len: u64,
+    faults: FaultCounters,
 }
 
 impl MetricsCollector {
@@ -126,6 +152,7 @@ impl MetricsCollector {
             queue_len_sum: 0,
             queue_len_samples: 0,
             max_queue_len: 0,
+            faults: FaultCounters::default(),
         }
     }
 
@@ -187,6 +214,26 @@ impl MetricsCollector {
         self.max_queue_len = self.max_queue_len.max(len as u64);
     }
 
+    /// Records `n` consecutive end-of-tick observations of a fully blocked
+    /// machine (requests queued, zero effective channels). Batched for the
+    /// same reason as [`sample_queue_len_n`](Self::sample_queue_len_n).
+    #[inline]
+    pub fn record_outage_blocked_n(&mut self, n: u64) {
+        self.faults.outage_blocked_ticks += n;
+    }
+
+    /// Records a fetch started inside a degradation window.
+    #[inline]
+    pub fn record_degraded_fetch(&mut self) {
+        self.faults.degraded_fetches += 1;
+    }
+
+    /// Records `failures` failed transfer attempts of one fetch.
+    #[inline]
+    pub fn record_transient_faults(&mut self, failures: u32) {
+        self.faults.transient_faults += failures as u64;
+    }
+
     /// Records a core finishing at `tick` (1-based completion time).
     #[inline]
     pub fn record_finish(&mut self, core: CoreId, tick: Tick) {
@@ -244,6 +291,7 @@ impl MetricsCollector {
             },
             max_queue_len: self.max_queue_len,
             per_core,
+            faults: self.faults,
             truncated,
         }
     }
@@ -307,6 +355,21 @@ mod tests {
         m.record_finish(1, 300);
         let r = m.finish(300, false);
         assert!((r.finish_spread() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsCollector::new(1);
+        m.record_outage_blocked_n(5);
+        m.record_outage_blocked_n(1);
+        m.record_degraded_fetch();
+        m.record_transient_faults(3);
+        let r = m.finish(0, false);
+        assert_eq!(r.faults.outage_blocked_ticks, 6);
+        assert_eq!(r.faults.degraded_fetches, 1);
+        assert_eq!(r.faults.transient_faults, 3);
+        assert!(!r.faults.is_zero());
+        assert!(MetricsCollector::new(0).finish(0, false).faults.is_zero());
     }
 
     #[test]

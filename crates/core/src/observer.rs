@@ -7,10 +7,48 @@
 
 use crate::ids::{CoreId, GlobalPage, Tick};
 
+/// One injected-fault occurrence, reported through
+/// [`SimObserver::on_fault`]. Window events fire on the boundary tick;
+/// fetch-level events fire on the tick the affected transfer *starts*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// An outage window began: `down` channels are now unavailable for new
+    /// transfers.
+    OutageStart {
+        /// Channels taken down by this window.
+        down: usize,
+    },
+    /// An outage window ended: `restored` channels are available again.
+    OutageEnd {
+        /// Channels restored by this window's end.
+        restored: usize,
+    },
+    /// A fetch started inside a degradation window.
+    DegradedFetch {
+        /// The fetching core.
+        core: CoreId,
+        /// The page being transferred.
+        page: GlobalPage,
+        /// Extra ticks added to the transfer.
+        extra_latency: u64,
+    },
+    /// A transfer suffered transient failures before succeeding.
+    TransientFailure {
+        /// The fetching core.
+        core: CoreId,
+        /// The page being transferred.
+        page: GlobalPage,
+        /// Failed attempts (1 ≤ `failures` ≤ the plan's `max_retries`).
+        failures: u32,
+    },
+}
+
 /// Receives one callback per simulator event.
 ///
 /// Within a tick the engine guarantees the call order: `on_tick_start`,
-/// `on_remap?`, `on_enqueue*`, `on_evict*`, `on_serve*`, `on_fetch*`.
+/// outage-window `on_fault`s, `on_remap?`, `on_enqueue*`, `on_evict*`,
+/// `on_serve*`, then fetch-start `on_fault`s interleaved before their
+/// transfers' `on_fetch*` landings.
 pub trait SimObserver {
     /// A tick begins.
     #[inline]
@@ -48,6 +86,11 @@ pub trait SimObserver {
     /// A core served its final reference.
     #[inline]
     fn on_core_done(&mut self, _tick: Tick, _core: CoreId) {}
+
+    /// An injected fault fired (see [`FaultEvent`] for the taxonomy).
+    /// Never called on runs without an active [`crate::FaultPlan`].
+    #[inline]
+    fn on_fault(&mut self, _tick: Tick, _event: FaultEvent) {}
 }
 
 /// The do-nothing observer; the engine's default.
@@ -72,6 +115,8 @@ pub struct RecordingObserver {
     pub remaps: Vec<Tick>,
     /// `(tick, core)` completion events.
     pub completions: Vec<(Tick, CoreId)>,
+    /// `(tick, event)` for each injected fault.
+    pub faults: Vec<(Tick, FaultEvent)>,
 }
 
 impl SimObserver for RecordingObserver {
@@ -98,6 +143,10 @@ impl SimObserver for RecordingObserver {
     fn on_core_done(&mut self, tick: Tick, core: CoreId) {
         self.completions.push((tick, core));
     }
+
+    fn on_fault(&mut self, tick: Tick, event: FaultEvent) {
+        self.faults.push((tick, event));
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +164,22 @@ mod tests {
         assert_eq!(o.enqueues.len(), 1);
         assert_eq!(o.serves[0].3, 2);
         assert_eq!(o.completions, vec![(4, 1)]);
+    }
+
+    #[test]
+    fn fault_events_recorded() {
+        let mut o = RecordingObserver::default();
+        o.on_fault(7, FaultEvent::OutageStart { down: 2 });
+        o.on_fault(
+            9,
+            FaultEvent::TransientFailure {
+                core: 1,
+                page: GlobalPage::new(1, 3),
+                failures: 2,
+            },
+        );
+        assert_eq!(o.faults.len(), 2);
+        assert_eq!(o.faults[0], (7, FaultEvent::OutageStart { down: 2 }));
     }
 
     #[test]

@@ -41,10 +41,11 @@
 
 use crate::arbitration::{ArbitrationPolicy, Request};
 use crate::config::SimConfig;
+use crate::fault::FaultPlan;
 use crate::hbm::Hbm;
 use crate::ids::{CoreId, Tick};
 use crate::metrics::{MetricsCollector, Report};
-use crate::observer::SimObserver;
+use crate::observer::{FaultEvent, SimObserver};
 use crate::workload::Workload;
 
 /// Per-core state, one struct per core, updated only by full scans.
@@ -79,6 +80,14 @@ pub struct OracleEngine<'w> {
     in_flight: Vec<(Tick, Request)>,
     /// Per-channel busy-until tick.
     channel_busy: Vec<Tick>,
+    /// The injected fault schedule (empty by default), evaluated tick by
+    /// tick with no batching — the literal counterpart of the fast
+    /// engine's boundary-clamped fast-forward.
+    plan: FaultPlan,
+    /// `!plan.is_empty()`, mirroring the fast engine's gate.
+    plan_active: bool,
+    /// Channels down at the previous tick, for outage-transition events.
+    last_down: usize,
     metrics: MetricsCollector,
     tick: Tick,
     remaining: usize,
@@ -88,6 +97,12 @@ pub struct OracleEngine<'w> {
 impl<'w> OracleEngine<'w> {
     /// Prepares a run of `workload` under `config`.
     pub fn new(config: SimConfig, workload: &'w Workload) -> Self {
+        Self::with_faults(config, FaultPlan::default(), workload)
+    }
+
+    /// Like [`new`](Self::new), but with an injected [`FaultPlan`] —
+    /// identical fault semantics to [`crate::Engine::with_faults`].
+    pub fn with_faults(config: SimConfig, faults: FaultPlan, workload: &'w Workload) -> Self {
         let p = workload.cores();
         let mut cores = Vec::with_capacity(p);
         let mut remaining = 0;
@@ -112,6 +127,9 @@ impl<'w> OracleEngine<'w> {
             pinned: Vec::new(),
             in_flight: Vec::new(),
             channel_busy: vec![0; config.channels],
+            plan_active: !faults.is_empty(),
+            plan: faults,
+            last_down: 0,
             metrics: MetricsCollector::new(p),
             tick: 0,
             remaining,
@@ -176,6 +194,32 @@ impl<'w> OracleEngine<'w> {
         let p = self.cores.len();
         observer.on_tick_start(t);
 
+        // Fault pre-step: this tick's effective channel count and outage
+        // transition events, computed afresh every tick (no batching).
+        let q_eff = if self.plan_active {
+            let q_eff = self.plan.effective_channels(q, t);
+            let down = q - q_eff;
+            if down > self.last_down {
+                observer.on_fault(
+                    t,
+                    FaultEvent::OutageStart {
+                        down: down - self.last_down,
+                    },
+                );
+            } else if down < self.last_down {
+                observer.on_fault(
+                    t,
+                    FaultEvent::OutageEnd {
+                        restored: self.last_down - down,
+                    },
+                );
+            }
+            self.last_down = down;
+            q_eff
+        } else {
+            q
+        };
+
         // Step 1: remap priorities on schedule.
         if self.arbiter.maybe_remap(t) {
             self.metrics.record_remap();
@@ -212,10 +256,11 @@ impl<'w> OracleEngine<'w> {
             }
         }
 
-        // Step 3: evict up to q unpinned pages while the queue exceeds the
-        // free capacity left after reserving slots for in-flight transfers.
+        // Step 3: evict up to q_eff unpinned pages while the queue exceeds
+        // the free capacity left after reserving slots for in-flight
+        // transfers (an outage shrinks the eviction budget too).
         let mut evicted = 0;
-        while evicted < q
+        while evicted < q_eff
             && self.arbiter.len() > self.hbm.free_slots().saturating_sub(self.in_flight.len())
         {
             let pinned = &self.pinned;
@@ -262,21 +307,55 @@ impl<'w> OracleEngine<'w> {
             }
         }
 
-        // Step 5: start up to q transfers on free far channels, then land
-        // completed transfers in start order.
-        let free_channels = self.channel_busy.iter().filter(|&&b| b <= t).count();
+        // Step 5: start up to q_eff transfers on free *enabled* channels
+        // (an outage gates the last q - q_eff channels for new starts),
+        // then land completed transfers in start order.
+        let free_channels = self.channel_busy[..q_eff]
+            .iter()
+            .filter(|&&b| b <= t)
+            .count();
         let room = self.hbm.free_slots().saturating_sub(self.in_flight.len());
         let n = free_channels.min(room);
         let mut fetch_buf = Vec::new();
         self.arbiter.select(n, &mut fetch_buf);
         for &req in &fetch_buf {
-            for b in self.channel_busy.iter_mut() {
+            let latency = if self.plan_active {
+                let (latency, extra, failures) =
+                    self.plan
+                        .transfer_time(self.config.far_latency, t, req.core, req.page.0);
+                if extra > 0 {
+                    self.metrics.record_degraded_fetch();
+                    observer.on_fault(
+                        t,
+                        FaultEvent::DegradedFetch {
+                            core: req.core,
+                            page: req.page,
+                            extra_latency: extra,
+                        },
+                    );
+                }
+                if failures > 0 {
+                    self.metrics.record_transient_faults(failures);
+                    observer.on_fault(
+                        t,
+                        FaultEvent::TransientFailure {
+                            core: req.core,
+                            page: req.page,
+                            failures,
+                        },
+                    );
+                }
+                latency
+            } else {
+                self.config.far_latency
+            };
+            for b in self.channel_busy[..q_eff].iter_mut() {
                 if *b <= t {
-                    *b = t + self.config.far_latency;
+                    *b = t + latency;
                     break;
                 }
             }
-            self.in_flight.push((t + self.config.far_latency - 1, req));
+            self.in_flight.push((t + latency - 1, req));
         }
         let mut i = 0;
         while i < self.in_flight.len() {
@@ -304,6 +383,9 @@ impl<'w> OracleEngine<'w> {
         }
 
         self.metrics.sample_queue_len(self.arbiter.len());
+        if self.plan_active && !self.arbiter.is_empty() && q_eff == 0 {
+            self.metrics.record_outage_blocked_n(1);
+        }
         self.tick = t + 1;
     }
 

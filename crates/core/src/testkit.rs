@@ -14,6 +14,7 @@
 use crate::arbitration::ArbitrationKind;
 use crate::config::SimConfig;
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
 use crate::metrics::Report;
 use crate::observer::RecordingObserver;
 use crate::oracle::OracleEngine;
@@ -121,17 +122,66 @@ pub fn random_cell(seed: u64) -> Cell {
     }
 }
 
+/// A deterministic pseudo-random [`FaultPlan`] scheduled inside
+/// `[0, horizon)`: up to 3 outage windows (widths 1–3 channels), up to 3
+/// degradation windows (1–4 extra ticks), and a transient model in three
+/// seeds out of four (probabilities spanning 0.1–1.0, retry bounds 1–4).
+/// Plans are occasionally empty on purpose — the empty-plan identity is
+/// part of the contract under test.
+pub fn random_fault_plan(seed: u64, horizon: u64) -> FaultPlan {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xfa17_fa17_fa17_fa17);
+    let horizon = horizon.max(2);
+    let mut plan = FaultPlan::new();
+    let window = |rng: &mut Xoshiro256| {
+        let start = rng.gen_index(horizon as usize - 1) as u64;
+        let len = 1 + rng.gen_index(((horizon - start) as usize).min(40)) as u64;
+        (start, start + len)
+    };
+    for _ in 0..rng.gen_index(4) {
+        let (start, end) = window(&mut rng);
+        plan = plan.outage(start, end, 1 + rng.gen_index(3));
+    }
+    for _ in 0..rng.gen_index(4) {
+        let (start, end) = window(&mut rng);
+        plan = plan.degradation(start, end, 1 + rng.gen_index(4) as u64);
+    }
+    if rng.gen_index(4) != 0 {
+        let prob = [0.1, 0.5, 0.9, 1.0][rng.gen_index(4)];
+        plan = plan.transient(prob, 1 + rng.gen_index(4) as u32, rng.next_u64());
+    }
+    plan
+}
+
 /// Runs the optimized [`Engine`], recording every event.
 pub fn run_engine(config: SimConfig, workload: &Workload) -> (Report, RecordingObserver) {
-    let mut obs = RecordingObserver::default();
-    let report = Engine::new(config, workload).run(&mut obs);
-    (report, obs)
+    run_engine_with_faults(config, FaultPlan::default(), workload)
 }
 
 /// Runs the naive [`OracleEngine`], recording every event.
 pub fn run_oracle(config: SimConfig, workload: &Workload) -> (Report, RecordingObserver) {
+    run_oracle_with_faults(config, FaultPlan::default(), workload)
+}
+
+/// Runs the optimized [`Engine`] under a fault plan, recording every event.
+pub fn run_engine_with_faults(
+    config: SimConfig,
+    plan: FaultPlan,
+    workload: &Workload,
+) -> (Report, RecordingObserver) {
     let mut obs = RecordingObserver::default();
-    let report = OracleEngine::new(config, workload).run(&mut obs);
+    let report = Engine::with_faults(config, plan, workload).run(&mut obs);
+    (report, obs)
+}
+
+/// Runs the naive [`OracleEngine`] under a fault plan, recording every
+/// event.
+pub fn run_oracle_with_faults(
+    config: SimConfig,
+    plan: FaultPlan,
+    workload: &Workload,
+) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = OracleEngine::with_faults(config, plan, workload).run(&mut obs);
     (report, obs)
 }
 
@@ -201,6 +251,12 @@ pub fn compare_reports(engine: &Report, oracle: &Report) -> Result<(), String> {
     cmp_count!(remaps, engine, oracle);
     cmp_count!(truncated, engine, oracle);
     cmp_count!(max_queue_len, engine, oracle);
+    {
+        let (engine, oracle) = (&engine.faults, &oracle.faults);
+        cmp_count!(outage_blocked_ticks, engine, oracle);
+        cmp_count!(degraded_fetches, engine, oracle);
+        cmp_count!(transient_faults, engine, oracle);
+    }
     cmp_f64_bits!(hit_rate, engine, oracle);
     cmp_f64_bits!(mean_queue_len, engine, oracle);
     {
@@ -247,6 +303,7 @@ pub fn compare_events(
     first_diff("fetch", &engine.fetches, &oracle.fetches)?;
     first_diff("remap", &engine.remaps, &oracle.remaps)?;
     first_diff("completion", &engine.completions, &oracle.completions)?;
+    first_diff("fault", &engine.faults, &oracle.faults)?;
     Ok(())
 }
 
@@ -255,8 +312,19 @@ pub fn compare_events(
 /// per-core response-time histograms. Returns the (shared) report on
 /// success, a human-readable divergence description on failure.
 pub fn check_conformance(config: SimConfig, workload: &Workload) -> Result<Report, String> {
-    let (engine_report, engine_obs) = run_engine(config, workload);
-    let (oracle_report, oracle_obs) = run_oracle(config, workload);
+    check_conformance_with_faults(config, FaultPlan::default(), workload)
+}
+
+/// [`check_conformance`] under an injected [`FaultPlan`]: both engines run
+/// the same plan and must still agree bit for bit — fault events and
+/// counters included.
+pub fn check_conformance_with_faults(
+    config: SimConfig,
+    plan: FaultPlan,
+    workload: &Workload,
+) -> Result<Report, String> {
+    let (engine_report, engine_obs) = run_engine_with_faults(config, plan.clone(), workload);
+    let (oracle_report, oracle_obs) = run_oracle_with_faults(config, plan, workload);
     compare_reports(&engine_report, &oracle_report)?;
     compare_events(&engine_obs, &oracle_obs)?;
     let p = workload.cores();
@@ -275,10 +343,20 @@ pub fn check_conformance(config: SimConfig, workload: &Workload) -> Result<Repor
 /// Like [`check_conformance`] but panics with full cell context on any
 /// divergence. Returns the shared report.
 pub fn assert_conformance(config: SimConfig, workload: &Workload) -> Report {
-    match check_conformance(config, workload) {
+    assert_conformance_with_faults(config, FaultPlan::default(), workload)
+}
+
+/// Like [`check_conformance_with_faults`] but panics with full cell
+/// context (fault plan included) on any divergence.
+pub fn assert_conformance_with_faults(
+    config: SimConfig,
+    plan: FaultPlan,
+    workload: &Workload,
+) -> Report {
+    match check_conformance_with_faults(config, plan.clone(), workload) {
         Ok(report) => report,
         Err(msg) => panic!(
-            "Engine and OracleEngine diverge!\n{msg}\nconfig: {config:?}\nworkload ({} cores, shared: {}): {:?}",
+            "Engine and OracleEngine diverge!\n{msg}\nconfig: {config:?}\nfaults: {plan:?}\nworkload ({} cores, shared: {}): {:?}",
             workload.cores(),
             workload.is_shared(),
             workload
@@ -325,6 +403,31 @@ mod tests {
         for seed in 0..8 {
             let cell = random_cell(seed);
             assert_conformance(cell.config, &cell.workload);
+        }
+    }
+
+    #[test]
+    fn random_fault_plan_is_deterministic_and_valid() {
+        let mut nonempty = 0;
+        for seed in 0..50 {
+            let a = random_fault_plan(seed, 200);
+            let b = random_fault_plan(seed, 200);
+            assert_eq!(a, b, "same seed, same plan");
+            a.validate()
+                .unwrap_or_else(|e| panic!("generated plan invalid: {e} ({a:?})"));
+            if !a.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 40, "most generated plans carry faults");
+    }
+
+    #[test]
+    fn faulty_conformance_on_a_handful_of_cells() {
+        for seed in 0..8 {
+            let cell = random_cell(seed);
+            let plan = random_fault_plan(seed, 200);
+            assert_conformance_with_faults(cell.config, plan, &cell.workload);
         }
     }
 

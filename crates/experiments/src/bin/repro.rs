@@ -19,21 +19,32 @@
 //!   assoc      Lemma 1       direct-mapped transformation overhead
 //!   schemes    §4            permutation schemes × work skew
 //!   ablate     ablations     replacement / granularity / FR-FCFS
+//!   sweep      harness       crash-safe journaled ratio sweep
 //!   all        everything above
 //! ```
+//!
+//! `sweep` runs the Dataset 3 FIFO-vs-Priority ratio grid with a
+//! checkpoint/resume journal: `--journal PATH` appends each completed
+//! cell as it finishes, so a killed run resumes where it stopped, and
+//! `--json PATH` writes a deterministic artifact that is byte-identical
+//! whether the run was interrupted or not. `--throttle-ms N` delays each
+//! cell (makes mid-run kills deterministic in CI) and `--threads N` caps
+//! worker threads.
 //!
 //! Tables print as markdown on stdout; with `--out DIR` each table is also
 //! written as a CSV named after its title. `--plot` additionally renders
 //! fig2/fig3/fig4/fig5 as ASCII charts (the paper's artifacts are plots —
 //! the crossovers and frontiers are easier to see than in the tables).
 
-use hbm_experiments::common::{ResultTable, Scale};
+use hbm_experiments::common::{f3, hbm_sizes_for, CellBudget, ResultTable, Scale, TracePool};
 use hbm_experiments::fig2::Panel;
+use hbm_experiments::journal::{cells_to_json, run_journaled_sweep, SweepJournal, SweepRunOptions};
 use hbm_experiments::{
     ablations, assoc_exp, augment, channels, fig2, fig3, fig4, knl_exp, mrc, schemes, tradeoff,
 };
+use hbm_traces::{TraceOptions, WorkloadSpec};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     command: String,
@@ -41,6 +52,10 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     plot: bool,
+    journal: Option<PathBuf>,
+    json: Option<PathBuf>,
+    throttle_ms: u64,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = None;
     let mut plot = false;
+    let mut journal = None;
+    let mut json = None;
+    let mut throttle_ms = 0u64;
+    let mut threads = 0usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -64,6 +83,20 @@ fn parse_args() -> Result<Args, String> {
                 out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
             "--plot" => plot = true,
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a value")?));
+            }
+            "--json" => {
+                json = Some(PathBuf::from(args.next().ok_or("--json needs a value")?));
+            }
+            "--throttle-ms" => {
+                let v = args.next().ok_or("--throttle-ms needs a value")?;
+                throttle_ms = v.parse().map_err(|_| format!("bad throttle '{v}'"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -73,11 +106,15 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         plot,
+        journal,
+        json,
+        throttle_ms,
+        threads,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <fig2|fig3|fig4|fig5|table1|fig6|table2|validate|channels|augment|mrc|assoc|schemes|ablate|all> [--scale small|default|full] [--seed N] [--out DIR] [--plot]".into()
+    "usage: repro <fig2|fig3|fig4|fig5|table1|fig6|table2|validate|channels|augment|mrc|assoc|schemes|ablate|sweep|all> [--scale small|default|full] [--seed N] [--out DIR] [--plot]\n       repro sweep [--journal PATH] [--json PATH] [--throttle-ms N] [--threads N]".into()
 }
 
 fn slug(title: &str) -> String {
@@ -101,6 +138,96 @@ fn emit(tables: Vec<ResultTable>, out: &Option<PathBuf>) {
             eprintln!("wrote {}", path.display());
         }
     }
+}
+
+/// The crash-safe journaled sweep: Dataset 3 FIFO vs Priority over the
+/// scale's (p, k) grid, checkpointing each cell to `--journal` and
+/// emitting a byte-deterministic artifact at `--json`.
+fn run_sweep(args: &Args) -> Result<(), String> {
+    let (pages, reps) = args.scale.cyclic_params();
+    let spec = WorkloadSpec::Cyclic { pages, reps };
+    let threads_grid = args.scale.thread_counts();
+    let max_p = *threads_grid.last().expect("non-empty thread grid");
+    let pool = TracePool::generate(spec, max_p, args.seed, TraceOptions::default());
+    let hbm_sizes = hbm_sizes_for(spec, args.scale, args.seed);
+
+    // Without --journal, checkpoint to a throwaway file so the same code
+    // path runs either way; it is removed on success.
+    let ephemeral = args.journal.is_none();
+    let journal_path = args.journal.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("repro-sweep-{}.jsonl", std::process::id()))
+    });
+    let journal = SweepJournal::open(&journal_path)
+        .map_err(|e| format!("cannot open journal {}: {e}", journal_path.display()))?;
+    if !journal.is_empty() {
+        eprintln!(
+            "[repro] journal {} holds {} completed cells",
+            journal_path.display(),
+            journal.len()
+        );
+    }
+
+    let opts = SweepRunOptions {
+        budget: CellBudget::UNLIMITED,
+        threads: args.threads,
+        throttle: (args.throttle_ms > 0).then(|| Duration::from_millis(args.throttle_ms)),
+    };
+    let outcome = run_journaled_sweep(
+        &pool,
+        "dataset3-fifo-vs-priority",
+        &threads_grid,
+        &hbm_sizes,
+        |_| hbm_core::ArbitrationKind::Priority,
+        1,
+        args.seed,
+        &journal,
+        &opts,
+    );
+    eprintln!(
+        "[repro] sweep: {} cells ({} resumed from journal, {} failed)",
+        outcome.cells.len() + outcome.failures.len(),
+        outcome.resumed,
+        outcome.failures.len()
+    );
+
+    let mut table = ResultTable::new(
+        "Journaled sweep — Dataset 3: FIFO vs Priority",
+        &[
+            "p",
+            "k",
+            "fifo_makespan",
+            "priority_makespan",
+            "ratio",
+            "truncated",
+        ],
+    );
+    for c in &outcome.cells {
+        table.push_row(vec![
+            c.p.to_string(),
+            c.k.to_string(),
+            c.fifo_makespan.to_string(),
+            c.challenger_makespan.to_string(),
+            c.try_ratio().map_or_else(|| "n/a".into(), f3),
+            c.truncated.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    if let Some(json_path) = &args.json {
+        std::fs::write(json_path, cells_to_json(&outcome.cells))
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        eprintln!("wrote {}", json_path.display());
+    }
+    if ephemeral {
+        let _ = std::fs::remove_file(&journal_path);
+    }
+    if !outcome.failures.is_empty() {
+        for f in &outcome.failures {
+            eprintln!("[repro] FAILED cell p={} k={}: {}", f.p, f.k, f.reason);
+        }
+        return Err(format!("{} sweep cells failed", outcome.failures.len()));
+    }
+    Ok(())
 }
 
 fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, String> {
@@ -228,6 +355,23 @@ fn main() {
         }
     };
     let t0 = Instant::now();
+    if args.command == "sweep" {
+        match run_sweep(&args) {
+            Ok(()) => {
+                eprintln!(
+                    "[repro] sweep finished in {:.1}s (scale {}, seed {})",
+                    t0.elapsed().as_secs_f64(),
+                    args.scale,
+                    args.seed
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if args.plot {
         if let Some((tables, charts)) = run_with_plots(&args.command, args.scale, args.seed) {
             emit(tables, &args.out);

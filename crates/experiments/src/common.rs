@@ -1,9 +1,10 @@
 //! Shared experiment infrastructure: scales, result tables, and the
 //! simulation cell runner.
 
-use hbm_core::{ArbitrationKind, Report, SimBuilder, Trace, Workload};
+use hbm_core::{ArbitrationKind, NoopObserver, Report, SimBuilder, SimError, Trace, Workload};
 use hbm_traces::{TraceOptions, WorkloadSpec};
 use serde::Serialize;
+use std::time::{Duration, Instant};
 
 /// Experiment scale. The paper's full parameters produce multi-hour runs;
 /// `Default` preserves every *shape* (who wins, where crossovers fall) at
@@ -255,6 +256,64 @@ pub fn run_cell(
         .run(workload)
 }
 
+/// Per-cell execution budget for sweeps over untrusted or adversarial
+/// parameter grids. Exceeding either bound stops the cell cooperatively
+/// and reports `Report::truncated = true` — the cell fails *soft* (its
+/// partial metrics are still returned) instead of hanging the sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellBudget {
+    /// Maximum simulated ticks (sets the engine's `max_ticks`).
+    pub max_ticks: Option<u64>,
+    /// Maximum wall-clock time, checked every 1024 engine steps.
+    pub max_wall: Option<Duration>,
+}
+
+impl CellBudget {
+    /// No limits — identical behaviour to [`run_cell`].
+    pub const UNLIMITED: CellBudget = CellBudget {
+        max_ticks: None,
+        max_wall: None,
+    };
+}
+
+/// Runs one simulation cell under a [`CellBudget`], returning a typed
+/// error (never panicking) on invalid configuration. Budget-truncated
+/// cells return `Ok` with `Report::truncated = true`.
+pub fn run_cell_budgeted(
+    workload: &Workload,
+    k: usize,
+    q: usize,
+    arb: ArbitrationKind,
+    seed: u64,
+    budget: CellBudget,
+) -> Result<Report, SimError> {
+    let mut builder = SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .seed(seed);
+    if let Some(max_ticks) = budget.max_ticks {
+        builder = builder.max_ticks(max_ticks);
+    }
+    let tick_cap = builder.config().max_ticks;
+    let mut engine = builder.try_build(workload)?;
+    let Some(wall) = budget.max_wall else {
+        return Ok(engine.run(&mut NoopObserver));
+    };
+    let start = Instant::now();
+    let mut steps = 0u32;
+    while !engine.is_done() && engine.tick() < tick_cap {
+        engine.step(&mut NoopObserver);
+        steps = steps.wrapping_add(1);
+        // Instant::now() costs a vDSO call; amortize it over a batch of
+        // steps (a step is at least one tick, usually far more).
+        if steps & 1023 == 0 && start.elapsed() >= wall {
+            break;
+        }
+    }
+    Ok(engine.into_report())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +356,67 @@ mod tests {
         // Prefix property: w2's traces are w4's first two.
         assert_eq!(w2.trace(0).as_slice(), w4.trace(0).as_slice());
         assert_eq!(w2.trace(1).as_slice(), w4.trace(1).as_slice());
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_when_unlimited() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]; 3]);
+        let plain = run_cell(&w, 4, 1, ArbitrationKind::Priority, 7);
+        let budgeted = run_cell_budgeted(
+            &w,
+            4,
+            1,
+            ArbitrationKind::Priority,
+            7,
+            CellBudget::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(plain.makespan, budgeted.makespan);
+        assert_eq!(plain.hits, budgeted.hits);
+        assert!(!budgeted.truncated);
+    }
+
+    #[test]
+    fn budgeted_run_wall_limit_matches_plain_run_when_generous() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2]; 2]);
+        let budget = CellBudget {
+            max_ticks: None,
+            max_wall: Some(Duration::from_secs(60)),
+        };
+        let r = run_cell_budgeted(&w, 4, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
+        assert!(!r.truncated);
+        assert_eq!(r.served, 6);
+    }
+
+    #[test]
+    fn budgeted_run_tick_limit_truncates() {
+        let w = Workload::from_refs(vec![(0..200u32).collect(); 4]);
+        let budget = CellBudget {
+            max_ticks: Some(10),
+            max_wall: None,
+        };
+        let r = run_cell_budgeted(&w, 16, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
+        assert!(r.truncated, "tick budget must truncate");
+        assert_eq!(r.makespan, 10);
+    }
+
+    #[test]
+    fn budgeted_run_zero_wall_truncates_not_hangs() {
+        // A zero wall budget must stop promptly with partial metrics.
+        let w = Workload::from_refs(vec![(0..2000u32).collect(); 8]);
+        let budget = CellBudget {
+            max_ticks: None,
+            max_wall: Some(Duration::ZERO),
+        };
+        let r = run_cell_budgeted(&w, 16, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
+        assert!(r.truncated, "zero wall budget must truncate");
+    }
+
+    #[test]
+    fn budgeted_run_surfaces_config_errors() {
+        let w = Workload::from_refs(vec![vec![0]]);
+        let err = run_cell_budgeted(&w, 0, 1, ArbitrationKind::Fifo, 0, CellBudget::UNLIMITED);
+        assert!(err.is_err(), "k = 0 must be a typed error, not a panic");
     }
 
     #[test]

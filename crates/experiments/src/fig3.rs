@@ -26,9 +26,27 @@ pub struct Fig3Cell {
 }
 
 impl Fig3Cell {
+    /// FIFO/Priority makespan ratio, `None` when the Priority makespan is
+    /// 0 (empty workload — the ratio is undefined, not `fifo_makespan`).
+    pub fn try_ratio(&self) -> Option<f64> {
+        if self.priority_makespan == 0 {
+            return None;
+        }
+        Some(self.fifo_makespan as f64 / self.priority_makespan as f64)
+    }
+
     /// FIFO/Priority makespan ratio.
+    ///
+    /// # Panics
+    /// Panics when the Priority makespan is 0 (see
+    /// [`try_ratio`](Self::try_ratio)).
     pub fn ratio(&self) -> f64 {
-        self.fifo_makespan as f64 / self.priority_makespan.max(1) as f64
+        self.try_ratio().unwrap_or_else(|| {
+            panic!(
+                "ratio undefined: Priority makespan is 0 at p={} (empty workload cell?)",
+                self.p
+            )
+        })
     }
 }
 

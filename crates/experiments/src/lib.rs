@@ -30,6 +30,7 @@ pub mod common;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod journal;
 pub mod knl_exp;
 pub mod mrc;
 pub mod plot;

@@ -11,7 +11,7 @@ use hbm_core::ArbitrationKind;
 use serde::Serialize;
 
 /// One sweep cell: a (p, k) pair with both policies' outcomes.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RatioCell {
     /// Thread count.
     pub p: usize,
@@ -25,12 +25,36 @@ pub struct RatioCell {
     pub fifo_hit_rate: f64,
     /// Challenger hit rate.
     pub challenger_hit_rate: f64,
+    /// True when either run hit a tick/wall budget before completing —
+    /// the cell's makespans are then lower bounds, not results.
+    pub truncated: bool,
 }
 
 impl RatioCell {
     /// `makespan(FIFO) / makespan(challenger)` — Figure 2/4's y-axis.
+    /// `None` when the challenger makespan is 0 (an empty-workload cell),
+    /// where the ratio is undefined.
+    pub fn try_ratio(&self) -> Option<f64> {
+        if self.challenger_makespan == 0 {
+            return None;
+        }
+        Some(self.fifo_makespan as f64 / self.challenger_makespan as f64)
+    }
+
+    /// Panicking form of [`try_ratio`](Self::try_ratio) for contexts that
+    /// guarantee non-empty workloads.
+    ///
+    /// # Panics
+    /// Panics when the challenger makespan is 0 — previously this was
+    /// silently clamped to 1, which turned an empty-workload cell into a
+    /// bogus ratio of `fifo_makespan`.
     pub fn ratio(&self) -> f64 {
-        self.fifo_makespan as f64 / self.challenger_makespan.max(1) as f64
+        self.try_ratio().unwrap_or_else(|| {
+            panic!(
+                "ratio undefined: challenger makespan is 0 at p={}, k={} (empty workload cell?)",
+                self.p, self.k
+            )
+        })
     }
 }
 
@@ -60,6 +84,7 @@ pub fn ratio_sweep(
             challenger_makespan: chal.makespan,
             fifo_hit_rate: fifo.hit_rate,
             challenger_hit_rate: chal.hit_rate,
+            truncated: fifo.truncated || chal.truncated,
         }
     })
 }
@@ -82,7 +107,7 @@ pub fn plot_cells(cells: &[RatioCell], title: &str, challenger: &str) -> AsciiPl
         let pts: Vec<(f64, f64)> = cells
             .iter()
             .filter(|c| c.k == k)
-            .map(|c| (c.p as f64, c.ratio()))
+            .filter_map(|c| c.try_ratio().map(|r| (c.p as f64, r)))
             .collect();
         plot = plot.series(Series::new(
             format!("k = {k}"),
@@ -187,5 +212,37 @@ mod tests {
     #[should_panic]
     fn summary_of_empty_panics() {
         summarize(&[]);
+    }
+
+    fn zero_cell() -> RatioCell {
+        RatioCell {
+            p: 3,
+            k: 16,
+            fifo_makespan: 500,
+            challenger_makespan: 0,
+            fifo_hit_rate: 0.0,
+            challenger_hit_rate: 0.0,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn zero_challenger_makespan_is_surfaced_not_clamped() {
+        // The old implementation clamped the denominator to 1 and reported
+        // a "ratio" of 500 here; now the undefined case is explicit.
+        assert_eq!(zero_cell().try_ratio(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio undefined")]
+    fn ratio_panics_on_zero_challenger_makespan() {
+        let _ = zero_cell().ratio();
+    }
+
+    #[test]
+    fn plot_skips_undefined_ratios() {
+        // A plot over only-undefined cells renders without panicking.
+        let plot = plot_cells(&[zero_cell()], "t", "c");
+        let _ = plot.render();
     }
 }

@@ -25,8 +25,39 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One sweep cell's closure panicked. Carries the input index and the
+/// panic payload (when it was a string, the common case) so a harness can
+/// report exactly which cell failed without losing the rest of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// The panic message, or `"<non-string panic payload>"`.
+    pub message: String,
+}
+
+impl fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for CellPanic {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 64 (sweeps beyond that are disk/memory bound).
@@ -109,6 +140,49 @@ where
             .into_iter()
             .map(|s| s.expect("every index computed exactly once"))
             .collect()
+    })
+}
+
+/// Panic-isolating parallel map with [`default_threads`] workers: a cell
+/// whose closure panics yields `Err(CellPanic)` in its slot while every
+/// other cell still computes. See [`try_parallel_map_with`].
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, CellPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map_with(items, default_threads(), f)
+}
+
+/// Panic-isolating parallel map preserving input order with an explicit
+/// worker count.
+///
+/// Unlike [`parallel_map_with`] — which drains the sweep and then panics
+/// wholesale — each cell runs under [`std::panic::catch_unwind`], so one
+/// poisoned configuration fails *only itself*: its slot carries the
+/// [`CellPanic`] (index + payload message) and all other cells return
+/// `Ok`. `AssertUnwindSafe` is sound here because a panicked cell's
+/// result is never read — each closure invocation owns its cell's state,
+/// and shared captures are only read (`F: Fn + Sync`).
+///
+/// This function itself never panics on a closure panic.
+pub fn try_parallel_map_with<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, CellPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..items.len()).collect();
+    parallel_map_with(&indices, threads, |&index| {
+        catch_unwind(AssertUnwindSafe(|| f(&items[index]))).map_err(|payload| CellPanic {
+            index,
+            message: payload_message(payload),
+        })
     })
 }
 
@@ -233,5 +307,86 @@ mod tests {
             }
             x
         });
+    }
+
+    /// Silence the default panic hook for tests that panic on purpose in
+    /// many cells. Serialized by a mutex: the hook is process-global and
+    /// tests run concurrently.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_cell() {
+        let input = vec![1u32, 2, 3, 4, 5];
+        let out = with_quiet_panics(|| {
+            try_parallel_map_with(&input, 3, |&x| {
+                if x == 3 {
+                    panic!("cell {x} is poisoned");
+                }
+                x * 10
+            })
+        });
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20));
+        let err = out[2].as_ref().unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.message, "cell 3 is poisoned");
+        assert_eq!(out[3], Ok(40));
+        assert_eq!(out[4], Ok(50));
+    }
+
+    #[test]
+    fn try_map_survives_every_cell_panicking() {
+        let input: Vec<u32> = (0..40).collect();
+        let out = with_quiet_panics(|| {
+            try_parallel_map_with(&input, 8, |&x| -> u32 { panic!("boom {x}") })
+        });
+        assert_eq!(out.len(), 40);
+        for (i, r) in out.iter().enumerate() {
+            let err = r.as_ref().unwrap_err();
+            assert_eq!(err.index, i);
+            assert_eq!(err.message, format!("boom {i}"));
+        }
+    }
+
+    #[test]
+    fn try_map_formats_non_string_payloads() {
+        let out = with_quiet_panics(|| {
+            try_parallel_map_with(&[0u32], 1, |_| -> u32 {
+                std::panic::panic_any(1234i64);
+            })
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap_err().message,
+            "<non-string panic payload>"
+        );
+    }
+
+    #[test]
+    fn try_map_all_ok_matches_plain_map() {
+        let input: Vec<u64> = (0..200).collect();
+        let plain = parallel_map_with(&input, 8, |&x| x * x);
+        let tried = try_parallel_map(&input, |&x| x * x);
+        assert_eq!(
+            tried.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            plain
+        );
+    }
+
+    #[test]
+    fn cell_panic_displays_index_and_message() {
+        let e = CellPanic {
+            index: 7,
+            message: "overflow".into(),
+        };
+        assert_eq!(e.to_string(), "cell 7 panicked: overflow");
     }
 }

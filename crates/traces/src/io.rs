@@ -11,6 +11,11 @@
 //! cores   u32 LE
 //! per core: len u64 LE, then len × u32 LE page ids
 //! ```
+//!
+//! Reads are defensive: every failure mode of a corrupt or truncated file
+//! is a typed [`TraceIoError`], never a panic, and a hostile length field
+//! cannot make the reader allocate more memory than the file actually
+//! delivers (trace bytes stream in bounded chunks).
 
 use hbm_core::{Trace, Workload};
 use std::io::{self, Read, Write};
@@ -18,6 +23,75 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"HBMT";
 const VERSION: u32 = 1;
+
+/// Per-read chunk size while streaming a trace body (in references). A
+/// corrupt header claiming a gigantic trace length therefore costs at
+/// most one chunk of memory before the inevitable EOF error surfaces.
+const CHUNK_REFS: usize = 64 * 1024;
+
+/// Everything that can go wrong reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader failed (includes truncation: a trace body
+    /// shorter than its declared length surfaces as `UnexpectedEof`).
+    Io(io::Error),
+    /// The first four bytes were not `b"HBMT"`.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not one this reader understands.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// A per-core trace length that cannot be represented in memory on
+    /// this platform (`len × 4` bytes overflows `usize`).
+    TraceTooLong {
+        /// Zero-based core index of the offending trace.
+        core: u32,
+        /// The declared reference count.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io failed: {e}"),
+            TraceIoError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            TraceIoError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace format version {found} (expected {VERSION})"
+                )
+            }
+            TraceIoError::TraceTooLong { core, len } => {
+                write!(
+                    f,
+                    "core {core} declares {len} references, too long for this platform"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
 
 /// Serializes a workload to any writer.
 pub fn write_workload<W: Write>(w: &Workload, mut out: W) -> io::Result<()> {
@@ -36,35 +110,49 @@ pub fn write_workload<W: Write>(w: &Workload, mut out: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes a workload from any reader.
-pub fn read_workload<R: Read>(mut input: R) -> io::Result<Workload> {
+/// Deserializes a workload from any reader. Corrupt input — wrong magic,
+/// unknown version, truncated body, absurd length fields — yields a typed
+/// [`TraceIoError`]; this function never panics on input bytes.
+pub fn read_workload<R: Read>(mut input: R) -> Result<Workload, TraceIoError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(TraceIoError::BadMagic { found: magic });
     }
     let mut u32buf = [0u8; 4];
     input.read_exact(&mut u32buf)?;
     let version = u32::from_le_bytes(u32buf);
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported version {version}"),
-        ));
+        return Err(TraceIoError::UnsupportedVersion { found: version });
     }
     input.read_exact(&mut u32buf)?;
     let cores = u32::from_le_bytes(u32buf);
     let mut w = Workload::new();
     let mut u64buf = [0u8; 8];
-    for _ in 0..cores {
+    for core in 0..cores {
         input.read_exact(&mut u64buf)?;
-        let len = u64::from_le_bytes(u64buf) as usize;
-        let mut bytes = vec![0u8; len * 4];
-        input.read_exact(&mut bytes)?;
-        let refs: Vec<u32> = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
-            .collect();
+        let len = u64::from_le_bytes(u64buf);
+        let len: usize = usize::try_from(len)
+            .ok()
+            .filter(|l| l.checked_mul(4).is_some())
+            .ok_or(TraceIoError::TraceTooLong { core, len })?;
+        // Stream the body in bounded chunks: allocation tracks the bytes
+        // the reader actually produces, so a hostile length field on a
+        // short file fails at EOF instead of reserving `len × 4` up front.
+        let mut refs: Vec<u32> = Vec::with_capacity(len.min(CHUNK_REFS));
+        let mut chunk = vec![0u8; len.min(CHUNK_REFS) * 4];
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK_REFS);
+            let bytes = &mut chunk[..take * 4];
+            input.read_exact(bytes)?;
+            refs.extend(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+            remaining -= take;
+        }
         w.push(Trace::new(refs));
     }
     Ok(w)
@@ -77,7 +165,7 @@ pub fn save_workload(w: &Workload, path: &Path) -> io::Result<()> {
 }
 
 /// Loads a workload from `path`.
-pub fn load_workload(path: &Path) -> io::Result<Workload> {
+pub fn load_workload(path: &Path) -> Result<Workload, TraceIoError> {
     let file = std::fs::File::open(path)?;
     read_workload(io::BufReader::new(file))
 }
@@ -111,9 +199,22 @@ mod tests {
     }
 
     #[test]
+    fn chunked_read_survives_a_trace_larger_than_one_chunk() {
+        let big: Vec<u32> = (0..(CHUNK_REFS as u32 * 2 + 37)).collect();
+        let w = Workload::from_refs(vec![big.clone()]);
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let r = read_workload(&buf[..]).unwrap();
+        assert_eq!(r.trace(0).as_slice(), &big[..]);
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00";
-        assert!(read_workload(&buf[..]).is_err());
+        match read_workload(&buf[..]).unwrap_err() {
+            TraceIoError::BadMagic { found } => assert_eq!(&found, b"NOPE"),
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]
@@ -121,8 +222,10 @@ mod tests {
         let mut buf = Vec::new();
         write_workload(&Workload::new(), &mut buf).unwrap();
         buf[4] = 99;
-        let err = read_workload(&buf[..]).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        match read_workload(&buf[..]).unwrap_err() {
+            TraceIoError::UnsupportedVersion { found: 99 } => {}
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]
@@ -130,7 +233,77 @@ mod tests {
         let mut buf = Vec::new();
         write_workload(&sample(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_workload(&buf[..]).is_err());
+        match read_workload(&buf[..]).unwrap_err() {
+            TraceIoError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_file_errors_cleanly() {
+        // No prefix length may panic or loop — each must yield Err.
+        let mut buf = Vec::new();
+        write_workload(&sample(), &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_workload(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_field_does_not_allocate_unbounded() {
+        // Header claiming one core with u64::MAX references on an
+        // otherwise empty body: must fail fast (overflow check), not
+        // attempt an 2^64-scale allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        match read_workload(&buf[..]).unwrap_err() {
+            TraceIoError::TraceTooLong { core: 0, len } => assert_eq!(len, u64::MAX),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn large_claimed_length_with_short_body_fails_at_eof_cheaply() {
+        // A representable but absurd length (1 GiB of refs) over a
+        // 4-byte body: the chunked reader must hit EOF after at most one
+        // chunk, not materialize 4 GiB first.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 28).to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        match read_workload(&buf[..]).unwrap_err() {
+            TraceIoError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_core_count_is_just_a_truncation_error() {
+        // Inflated core count over a valid 3-core body: the reader runs
+        // out of bytes and reports EOF, never panics.
+        let mut buf = Vec::new();
+        write_workload(&sample(), &mut buf).unwrap();
+        buf[8..12].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            read_workload(&buf[..]).unwrap_err(),
+            TraceIoError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceIoError::UnsupportedVersion { found: 7 };
+        assert!(e.to_string().contains("version 7"));
+        let e = TraceIoError::TraceTooLong { core: 3, len: 42 };
+        assert!(e.to_string().contains("core 3"));
     }
 
     #[test]
