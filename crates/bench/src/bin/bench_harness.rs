@@ -3,14 +3,18 @@
 //! Generate the benchmark document:
 //!
 //! ```text
-//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_2.json
+//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_4.json
 //! ```
 //!
 //! Flags:
-//! - `--out <path>`: write the JSON document (default `BENCH_2.json`)
+//! - `--out <path>`: write the JSON document (default `BENCH_4.json`)
 //! - `--scale small|medium|both`: cell grid to run (default `both`)
-//! - `--check <baseline.json>`: after measuring, gate against a baseline
+//! - `--check <baseline.json>`: after measuring, gate against a baseline —
+//!   both the ticks/sec gate and the `setup_seconds` gate (the latter at
+//!   `--setup-tolerance`, skipped for baselines predating schema 3)
 //! - `--tolerance <frac>`: allowed ticks/sec drop for `--check` (default 0.25)
+//! - `--setup-tolerance <frac>`: allowed per-cell setup-time growth for
+//!   `--check` (default 0.30)
 //! - `--pre-pr <path>`: a harness JSON measured on the pre-optimization
 //!   engine (same machine); embeds its fig3 ticks/sec and the speedup
 //!   this build achieves over it into the output's `pre_pr_baseline`.
@@ -28,15 +32,16 @@
 //! can gate directly on this binary.
 
 use hbm_bench::harness::{
-    calibration_score, cells, check_regression, group_ticks_per_sec, measure, parse_calibration,
-    render_json, BenchScale,
+    calibration_score, cells, check_regression, check_setup_regression, group_ticks_per_sec,
+    measure, parse_calibration, render_json, sweep_grid_comparison, BenchScale,
+    SweepGridComparison,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_harness [--out FILE] [--scale small|medium|both] \
-         [--check BASELINE.json] [--tolerance FRAC] [--pre-pr PRE.json] [--min-wall SECS] \
-         [--passes N]"
+         [--check BASELINE.json] [--tolerance FRAC] [--setup-tolerance FRAC] \
+         [--pre-pr PRE.json] [--min-wall SECS] [--passes N]"
     );
     std::process::exit(1);
 }
@@ -44,11 +49,12 @@ fn usage() -> ! {
 fn main() {
     const PRE_PR_DEFAULT: &str = "results/bench_pre_pr.json";
 
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut scale_arg = String::from("both");
     let mut check_path: Option<String> = None;
     let mut pre_pr_path: Option<String> = None;
     let mut tolerance = 0.25f64;
+    let mut setup_tolerance = 0.30f64;
     let mut min_wall = 0.2f64;
     let mut passes = 3usize;
 
@@ -61,6 +67,9 @@ fn main() {
             "--check" => check_path = Some(val(&mut args)),
             "--pre-pr" => pre_pr_path = Some(val(&mut args)),
             "--tolerance" => tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--setup-tolerance" => {
+                setup_tolerance = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "--min-wall" => min_wall = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--passes" => {
                 passes = val(&mut args).parse().unwrap_or_else(|_| usage());
@@ -107,13 +116,20 @@ fn main() {
                 let mut r = measure(&spec, min_wall);
                 r.id = id;
                 eprintln!(
-                    "{:40} {:>12.0} ticks/s  ({} ticks, {:.4}s)",
-                    r.id, r.ticks_per_sec, r.ticks, r.wall_seconds
+                    "{:40} {:>12.0} ticks/s  ({} ticks, {:.4}s run, {:.6}s setup)",
+                    r.id, r.ticks_per_sec, r.ticks, r.wall_seconds, r.setup_seconds
                 );
                 if pass == 1 {
                     results.push(r);
-                } else if r.ticks_per_sec > results[cell_no].ticks_per_sec {
-                    results[cell_no] = r;
+                } else {
+                    // Best-of-passes per metric: the fastest pass keeps the
+                    // throughput fields, while setup keeps its own minimum
+                    // (the two bests need not come from the same pass).
+                    let best_setup = results[cell_no].setup_seconds.min(r.setup_seconds);
+                    if r.ticks_per_sec > results[cell_no].ticks_per_sec {
+                        results[cell_no] = r;
+                    }
+                    results[cell_no].setup_seconds = best_setup;
                 }
                 cell_no += 1;
             }
@@ -140,12 +156,34 @@ fn main() {
         (fig3, calib)
     });
 
+    // The headline tentpole measurement: owned-vs-shared sweep grid, once
+    // per scale (single-threaded inside, so one run is representative).
+    let sweep_grids: Vec<SweepGridComparison> = scales
+        .iter()
+        .map(|&s| {
+            eprintln!("sweep-grid comparison ({})...", s.name());
+            let g = sweep_grid_comparison(s);
+            eprintln!(
+                "sweep-grid {}: owned {:.3}s, shared {:.3}s, speedup {:.2}x, \
+                 peak-RSS delta {} -> {} bytes, checksums {}",
+                g.scale,
+                g.owned_wall_seconds,
+                g.shared_wall_seconds,
+                g.speedup,
+                g.owned_peak_rss_delta_bytes,
+                g.shared_peak_rss_delta_bytes,
+                if g.checksum_match { "match" } else { "DIVERGE" },
+            );
+            g
+        })
+        .collect();
+
     let scale_names = scales
         .iter()
         .map(|s| s.name())
         .collect::<Vec<_>>()
         .join("+");
-    let json = render_json(&scale_names, calibration, &results, pre_pr);
+    let json = render_json(&scale_names, calibration, &results, pre_pr, &sweep_grids);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!(
         "wrote {out_path}  (fig3 aggregate: {:.0} ticks/s)",
@@ -155,9 +193,14 @@ fn main() {
     if let Some(base_path) = check_path {
         let baseline = std::fs::read_to_string(&base_path)
             .unwrap_or_else(|e| panic!("cannot read --check baseline {base_path}: {e}"));
-        let failures = check_regression(&json, &baseline, tolerance);
+        let mut failures = check_regression(&json, &baseline, tolerance);
+        failures.extend(check_setup_regression(&json, &baseline, setup_tolerance));
         if failures.is_empty() {
-            eprintln!("regression gate PASS (tolerance {:.0}%)", tolerance * 100.0);
+            eprintln!(
+                "regression gate PASS (throughput tolerance {:.0}%, setup tolerance {:.0}%)",
+                tolerance * 100.0,
+                setup_tolerance * 100.0
+            );
         } else {
             for f in &failures {
                 eprintln!("{f}");

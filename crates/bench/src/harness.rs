@@ -1,4 +1,4 @@
-//! The machine-readable benchmark harness behind `BENCH_2.json`.
+//! The machine-readable benchmark harness behind `BENCH_4.json`.
 //!
 //! Criterion benches (the `benches/` targets) answer "how long does one
 //! artifact regeneration take, statistically?"; this module answers the CI
@@ -10,7 +10,7 @@
 //! JSON document per run:
 //!
 //! ```text
-//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_2.json
+//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_4.json
 //! ```
 //!
 //! The JSON is hand-rolled (the workspace's `serde` is an offline no-op
@@ -26,7 +26,8 @@
 //! calibration scores, so a faster or slower CI runner does not read as an
 //! engine change.
 
-use hbm_core::{ArbitrationKind, Report, SimBuilder, Workload};
+use hbm_core::{ArbitrationKind, Engine, NoopObserver, SimBuilder, Workload};
+use hbm_experiments::common::{run_cell, run_cell_flat, ScratchPool, TracePool};
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
 use std::time::Instant;
@@ -98,14 +99,32 @@ pub struct CellResult {
     pub total_refs: u64,
     /// Simulated ticks per run (the report makespan).
     pub ticks: u64,
-    /// Best (minimum) wall-clock seconds over the measurement iterations.
+    /// Best (minimum) wall-clock seconds over the measurement iterations
+    /// (engine construction **plus** the run — the full per-cell cost).
     pub wall_seconds: f64,
+    /// Best (minimum) engine-construction seconds over the iterations:
+    /// everything between "workload in hand" and "ready to step" —
+    /// flattening, page-index build, and buffer allocation.
+    pub setup_seconds: f64,
     /// `ticks / wall_seconds` for the best iteration.
     pub ticks_per_sec: f64,
     /// `total_refs / wall_seconds` for the best iteration.
     pub refs_per_sec: f64,
+    /// Current RSS (VmRSS) in bytes sampled just before the cell, after
+    /// resetting the kernel's peak counter. 0 when unavailable.
+    pub rss_before_bytes: u64,
+    /// Peak RSS growth attributable to this cell:
+    /// `VmHWM_after − rss_before_bytes`, with the peak counter reset via
+    /// `/proc/self/clear_refs` before the cell ran. Unlike the raw VmHWM
+    /// (which is monotone across the whole process and once made every
+    /// cell after the hungriest one report the same number), this is a
+    /// genuine per-cell figure. 0 when the reset is unsupported.
+    pub peak_rss_delta_bytes: u64,
     /// Process peak RSS (VmHWM) in bytes observed after the cell, 0 when
-    /// unavailable. A high-water mark: monotone across cells by nature.
+    /// unavailable. Kept for continuity: a process-lifetime high-water
+    /// mark, monotone across cells by nature — use
+    /// [`peak_rss_delta_bytes`](Self::peak_rss_delta_bytes) for per-cell
+    /// attribution.
     pub peak_rss_bytes: u64,
     /// Hit count, pinned by the seed (a cheap trajectory checksum).
     pub hits: u64,
@@ -237,34 +256,47 @@ fn short_label(arb: ArbitrationKind) -> &'static str {
     }
 }
 
-fn run_once(spec: &CellSpec) -> Report {
+fn build_engine(spec: &CellSpec) -> Engine {
     SimBuilder::new()
         .hbm_slots(spec.k)
         .channels(spec.q)
         .arbitration(spec.arbitration)
         .far_latency(spec.far_latency)
         .seed(spec.seed)
-        .run(&spec.workload)
+        .try_build(&spec.workload)
+        .expect("pinned bench cell config is valid")
 }
 
 /// Times one cell: repeats the run until at least `min_wall` seconds and
 /// two iterations have elapsed (capped at 12 iterations), keeping the best
-/// iteration — the standard defence against scheduler noise on short cells.
+/// iteration — the standard defence against scheduler noise on short
+/// cells. Construction and run are timed separately so `setup_seconds`
+/// isolates the per-cell flatten/index/allocate cost; `wall_seconds` is
+/// their sum (the historical definition, keeping ticks/sec baselines
+/// comparable). The kernel's peak-RSS counter is reset before the cell, so
+/// `peak_rss_delta_bytes` attributes growth to this cell alone.
 pub fn measure(spec: &CellSpec, min_wall: f64) -> CellResult {
+    reset_peak_rss();
+    let rss_before = current_rss_bytes();
     let mut best = f64::INFINITY;
-    let mut report = run_once(spec); // warm-up counts as iteration 0
+    let mut best_setup = f64::INFINITY;
+    let mut report = build_engine(spec).run(&mut NoopObserver); // warm-up
     let mut spent = 0.0;
     let mut iters = 0u32;
     while (spent < min_wall || iters < 2) && iters < 12 {
         let t0 = Instant::now();
-        report = run_once(spec);
+        let engine = build_engine(spec);
+        let setup = t0.elapsed().as_secs_f64().max(1e-9);
+        report = engine.run(&mut NoopObserver);
         let dt = t0.elapsed().as_secs_f64().max(1e-9);
         spent += dt;
         best = best.min(dt);
+        best_setup = best_setup.min(setup);
         iters += 1;
     }
     let ticks = report.makespan;
     let total_refs = spec.workload.total_refs() as u64;
+    let peak = peak_rss_bytes();
     CellResult {
         id: spec.id.clone(),
         group: spec.group,
@@ -275,22 +307,26 @@ pub fn measure(spec: &CellSpec, min_wall: f64) -> CellResult {
         total_refs,
         ticks,
         wall_seconds: best,
+        setup_seconds: best_setup,
         ticks_per_sec: ticks as f64 / best,
         refs_per_sec: total_refs as f64 / best,
-        peak_rss_bytes: peak_rss_bytes(),
+        rss_before_bytes: rss_before,
+        peak_rss_delta_bytes: peak.saturating_sub(rss_before),
+        peak_rss_bytes: peak,
         hits: report.hits,
     }
 }
 
-/// Process peak RSS in bytes from `/proc/self/status` (`VmHWM`); 0 when
-/// the file or field is unavailable (non-Linux).
-pub fn peak_rss_bytes() -> u64 {
+/// Reads one `kB` field from `/proc/self/status`, in bytes; 0 when the
+/// file or field is unavailable (non-Linux).
+fn status_bytes(field: &str) -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(field) {
             let kb: u64 = rest
+                .trim_start_matches(':')
                 .trim()
                 .trim_end_matches("kB")
                 .trim()
@@ -300,6 +336,136 @@ pub fn peak_rss_bytes() -> u64 {
         }
     }
     0
+}
+
+/// Process peak RSS in bytes from `/proc/self/status` (`VmHWM`); 0 when
+/// unavailable (non-Linux).
+pub fn peak_rss_bytes() -> u64 {
+    status_bytes("VmHWM")
+}
+
+/// Current RSS in bytes from `/proc/self/status` (`VmRSS`); 0 when
+/// unavailable.
+pub fn current_rss_bytes() -> u64 {
+    status_bytes("VmRSS")
+}
+
+/// Resets the kernel's peak-RSS counter (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so the next `VmHWM` read is a
+/// per-interval peak rather than a process-lifetime one. Returns false
+/// when unsupported (non-Linux, restricted procfs) — peak deltas then
+/// degrade to the old monotone semantics rather than erroring.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Outcome of one owned-vs-shared sweep-grid comparison (the tentpole's
+/// headline measurement): the same fig2-shaped (p, k, policy) grid run
+/// twice through the same `hbm_par` fan-out the real sweeps use — once
+/// per-cell-owned (every worker re-flattens its cell's workload and
+/// allocates fresh engine state, the pre-optimization per-cell cost
+/// model, with the redundant flattens racing each other for memory
+/// bandwidth and stacking concurrently in RSS) and once shared (one
+/// memoized [`FlatWorkload`] per p via the [`TracePool`], scratches
+/// recycled through a pool). The wall-clock ratio is therefore an
+/// end-to-end sweep-throughput figure, not a microbenchmark of flatten
+/// alone, and both passes must produce bit-identical trajectories
+/// (`checksum_match`).
+pub struct SweepGridComparison {
+    /// Scale name the grid was built for.
+    pub scale: &'static str,
+    /// Number of (p, k, policy) cells in the grid.
+    pub cells: usize,
+    /// Wall seconds for the per-cell-owned pass.
+    pub owned_wall_seconds: f64,
+    /// Wall seconds for the shared-flat + recycled-scratch pass.
+    pub shared_wall_seconds: f64,
+    /// `owned_wall_seconds / shared_wall_seconds`.
+    pub speedup: f64,
+    /// Peak-RSS growth (bytes) during the owned pass, peak counter reset
+    /// before the pass. 0 when the reset is unsupported.
+    pub owned_peak_rss_delta_bytes: u64,
+    /// Peak-RSS growth (bytes) during the shared pass.
+    pub shared_peak_rss_delta_bytes: u64,
+    /// Whether both passes produced identical (makespan, hits) checksums —
+    /// false would mean sharing changed simulation results, a correctness
+    /// bug that invalidates the timing comparison.
+    pub checksum_match: bool,
+}
+
+/// Runs the owned-vs-shared sweep-grid comparison for one scale. The grid
+/// shape is frozen (like [`cells`]): SpGEMM under contention across a
+/// thread sweep × HBM-size multipliers × both policies, seed 42.
+pub fn sweep_grid_comparison(scale: BenchScale) -> SweepGridComparison {
+    let (n, ps, mults) = match scale {
+        BenchScale::Small => (80usize, vec![1usize, 2, 4, 8, 16], vec![1usize, 2, 5]),
+        BenchScale::Medium => (150, vec![4usize, 8, 16, 32, 64], vec![1usize, 2, 3, 5]),
+    };
+    let seed = 42u64;
+    let spec = WorkloadSpec::SpGemm { n, density: 0.10 };
+    let max_p = *ps.iter().max().expect("non-empty thread sweep");
+    let pool = TracePool::generate(spec, max_p, seed, TraceOptions::default());
+    let ws = pool.working_set().max(1);
+    let grid: Vec<(usize, usize, ArbitrationKind)> = ps
+        .iter()
+        .flat_map(|&p| {
+            mults.iter().flat_map(move |&m| {
+                [ArbitrationKind::Fifo, ArbitrationKind::Priority]
+                    .into_iter()
+                    .map(move |arb| (p, (m * ws).max(16), arb))
+            })
+        })
+        .collect();
+    // `parallel_map` preserves input order, so folding the per-cell
+    // signatures in grid order is deterministic despite the fan-out.
+    let checksum = |sigs: &[u64]| {
+        sigs.iter()
+            .fold(0u64, |sum, &sig| sum.wrapping_mul(31).wrapping_add(sig))
+    };
+
+    // Warm caches, worker threads and the allocator before timing.
+    let (wp, wk, warb) = grid[0];
+    std::hint::black_box(run_cell(&pool.workload(wp), wk, 1, warb, seed));
+
+    // Owned pass: every cell pays flatten + index + allocation on its
+    // worker, exactly what each sweep cell cost before the sharing work.
+    reset_peak_rss();
+    let owned_before = current_rss_bytes();
+    let t0 = Instant::now();
+    let owned_sigs = hbm_par::parallel_map(&grid, |&(p, k, arb)| {
+        let r = run_cell(&pool.workload(p), k, 1, arb, seed);
+        r.makespan ^ r.hits
+    });
+    let owned_wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let owned_delta = peak_rss_bytes().saturating_sub(owned_before);
+    let owned_sum = checksum(&owned_sigs);
+
+    // Shared pass: one memoized flatten per p, scratches recycled across
+    // workers through the pool — the sweep code path after the sharing
+    // work.
+    reset_peak_rss();
+    let shared_before = current_rss_bytes();
+    let scratches = ScratchPool::new();
+    let t1 = Instant::now();
+    let shared_sigs = hbm_par::parallel_map(&grid, |&(p, k, arb)| {
+        let flat = pool.flat(p);
+        let r = scratches.with(|scratch| run_cell_flat(&flat, k, 1, arb, seed, scratch));
+        r.makespan ^ r.hits
+    });
+    let shared_wall = t1.elapsed().as_secs_f64().max(1e-9);
+    let shared_delta = peak_rss_bytes().saturating_sub(shared_before);
+    let shared_sum = checksum(&shared_sigs);
+
+    SweepGridComparison {
+        scale: scale.name(),
+        cells: grid.len(),
+        owned_wall_seconds: owned_wall,
+        shared_wall_seconds: shared_wall,
+        speedup: owned_wall / shared_wall,
+        owned_peak_rss_delta_bytes: owned_delta,
+        shared_peak_rss_delta_bytes: shared_delta,
+        checksum_match: owned_sum == shared_sum,
+    }
 }
 
 /// A fixed synthetic CPU score (iterations/second of a pure integer loop),
@@ -353,21 +519,36 @@ pub fn group_ticks_per_sec(results: &[CellResult], group: &str) -> f64 {
     }
 }
 
-/// Renders the full benchmark document. `pre_pr` optionally carries the
-/// pre-optimization `(fig3_ticks_per_sec, calibration_score)` pair measured
-/// on the same machine, so the emitted JSON records the speedup the PR
-/// delivered on the adversarial sweep.
+fn json_f6(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// Renders the full benchmark document (schema 3). `pre_pr` optionally
+/// carries the pre-optimization `(fig3_ticks_per_sec, calibration_score)`
+/// pair measured on the same machine, so the emitted JSON records the
+/// speedup the PR delivered on the adversarial sweep; `sweep_grids`
+/// carries the owned-vs-shared comparisons (one per scale).
+///
+/// Schema 3 adds per-cell `setup_seconds`, `rss_before_bytes` and
+/// `peak_rss_delta_bytes` plus the top-level `sweep_grid` section; schema
+/// 2 documents (which lack them) still parse — the setup gate simply
+/// skips cells without baseline setup data.
 pub fn render_json(
     scale_names: &str,
     calibration: f64,
     results: &[CellResult],
     pre_pr: Option<(f64, f64)>,
+    sweep_grids: &[SweepGridComparison],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(
-        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_2.json\",\n",
+        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_4.json\",\n",
     );
     out.push_str(&format!("  \"scales\": \"{scale_names}\",\n"));
     out.push_str(&format!(
@@ -378,7 +559,7 @@ pub fn render_json(
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"group\": \"{}\", \"p\": {}, \"k\": {}, \"q\": {}, \"far_latency\": {}, \"total_refs\": {}, \"ticks\": {}, \"wall_seconds\": {}, \"ticks_per_sec\": {}, \"refs_per_sec\": {}, \"peak_rss_bytes\": {}, \"hits\": {}}}{comma}\n",
+            "    {{\"id\": \"{}\", \"group\": \"{}\", \"p\": {}, \"k\": {}, \"q\": {}, \"far_latency\": {}, \"total_refs\": {}, \"ticks\": {}, \"wall_seconds\": {}, \"setup_seconds\": {}, \"ticks_per_sec\": {}, \"refs_per_sec\": {}, \"rss_before_bytes\": {}, \"peak_rss_delta_bytes\": {}, \"peak_rss_bytes\": {}, \"hits\": {}}}{comma}\n",
             r.id,
             r.group,
             r.p,
@@ -388,10 +569,29 @@ pub fn render_json(
             r.total_refs,
             r.ticks,
             json_f(r.wall_seconds),
+            json_f6(r.setup_seconds),
             json_f(r.ticks_per_sec),
             json_f(r.refs_per_sec),
+            r.rss_before_bytes,
+            r.peak_rss_delta_bytes,
             r.peak_rss_bytes,
             r.hits,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sweep_grid\": [\n");
+    for (i, g) in sweep_grids.iter().enumerate() {
+        let comma = if i + 1 == sweep_grids.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scale\": \"{}\", \"cells\": {}, \"owned_wall_seconds\": {}, \"shared_wall_seconds\": {}, \"shared_vs_owned_speedup\": {}, \"owned_peak_rss_delta_bytes\": {}, \"shared_peak_rss_delta_bytes\": {}, \"checksum_match\": {}}}{comma}\n",
+            g.scale,
+            g.cells,
+            json_f6(g.owned_wall_seconds),
+            json_f6(g.shared_wall_seconds),
+            json_f(g.speedup),
+            g.owned_peak_rss_delta_bytes,
+            g.shared_peak_rss_delta_bytes,
+            g.checksum_match,
         ));
     }
     out.push_str("  ],\n");
@@ -444,6 +644,9 @@ pub struct ParsedCell {
     pub id: String,
     /// Its measured ticks/sec.
     pub ticks_per_sec: f64,
+    /// Its best engine-setup seconds; `None` for schema-2 documents, which
+    /// predate the field.
+    pub setup_seconds: Option<f64>,
 }
 
 fn extract_str(line: &str, key: &str) -> Option<String> {
@@ -473,6 +676,7 @@ pub fn parse_cells(json: &str) -> Vec<ParsedCell> {
             Some(ParsedCell {
                 id,
                 ticks_per_sec: tps,
+                setup_seconds: extract_num(line, "setup_seconds"),
             })
         })
         .collect()
@@ -519,11 +723,80 @@ pub fn check_regression(current_json: &str, baseline_json: &str, tolerance: f64)
     failures
 }
 
+/// Setup-time floor below which the gate does not fire: cells whose
+/// baseline setup is under 50 µs are timer-noise-dominated and gating them
+/// would flake.
+const SETUP_NOISE_FLOOR_SECONDS: f64 = 50e-6;
+
+/// Compares per-cell `setup_seconds` against a baseline document. A cell
+/// fails when its calibration-normalized setup time grew more than
+/// `tolerance` (e.g. 0.30) over the baseline's — the gate behind the
+/// tentpole's O(1)-allocation claim: re-introducing per-cell flatten or
+/// allocation cost shows up here even when run time hides it. Cells
+/// missing from either side, cells whose baseline predates `setup_seconds`
+/// (schema 2), and cells below the 50 µs noise floor are skipped.
+/// Returns human-readable failure lines; empty means the gate passes.
+pub fn check_setup_regression(
+    current_json: &str,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let current = parse_cells(current_json);
+    let baseline = parse_cells(baseline_json);
+    let cur_calib = parse_calibration(current_json).unwrap_or(0.0);
+    let base_calib = parse_calibration(baseline_json).unwrap_or(0.0);
+    // Setup *time* scales inversely with machine speed: a machine twice as
+    // fast (calibration 2x) should finish setup in half the time.
+    let scale = if cur_calib > 0.0 && base_calib > 0.0 {
+        base_calib / cur_calib
+    } else {
+        1.0
+    };
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let Some(base_setup) = b.setup_seconds else {
+            continue;
+        };
+        if base_setup < SETUP_NOISE_FLOOR_SECONDS {
+            continue;
+        }
+        let Some(cur_setup) = current
+            .iter()
+            .find(|c| c.id == b.id)
+            .and_then(|c| c.setup_seconds)
+        else {
+            continue;
+        };
+        let expected = base_setup * scale;
+        if cur_setup > expected * (1.0 + tolerance) {
+            failures.push(format!(
+                "SETUP REGRESSION {}: {:.1} us vs baseline {:.1} us (machine-normalized {:.1} us, tolerance {:.0}%)",
+                b.id,
+                cur_setup * 1e6,
+                base_setup * 1e6,
+                expected * 1e6,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn fake_result(id: &str, group: &'static str, ticks: u64, wall: f64) -> CellResult {
+        fake_result_setup(id, group, ticks, wall, 0.001)
+    }
+
+    fn fake_result_setup(
+        id: &str,
+        group: &'static str,
+        ticks: u64,
+        wall: f64,
+        setup: f64,
+    ) -> CellResult {
         CellResult {
             id: id.into(),
             group,
@@ -534,10 +807,26 @@ mod tests {
             total_refs: 100,
             ticks,
             wall_seconds: wall,
+            setup_seconds: setup,
             ticks_per_sec: ticks as f64 / wall,
             refs_per_sec: 100.0 / wall,
+            rss_before_bytes: 1 << 19,
+            peak_rss_delta_bytes: 1 << 18,
             peak_rss_bytes: 1 << 20,
             hits: 7,
+        }
+    }
+
+    fn fake_grid() -> SweepGridComparison {
+        SweepGridComparison {
+            scale: "small",
+            cells: 30,
+            owned_wall_seconds: 2.0,
+            shared_wall_seconds: 1.0,
+            speedup: 2.0,
+            owned_peak_rss_delta_bytes: 4 << 20,
+            shared_peak_rss_delta_bytes: 1 << 20,
+            checksum_match: true,
         }
     }
 
@@ -547,20 +836,44 @@ mod tests {
             fake_result("fig3/FIFO/p8", "fig3", 10_000, 0.5),
             fake_result("fig2/sort/Priority/p16", "fig2", 4_000, 0.25),
         ];
-        let json = render_json("small", 1e8, &results, Some((123.0, 1e8)));
+        let json = render_json("small", 1e8, &results, Some((123.0, 1e8)), &[fake_grid()]);
         let cells = parse_cells(&json);
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].id, "fig3/FIFO/p8");
         assert!((cells[0].ticks_per_sec - 20_000.0).abs() < 1.0);
+        assert_eq!(cells[0].setup_seconds, Some(0.001));
         assert_eq!(parse_calibration(&json), Some(1e8));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"fig3_speedup_vs_pre_pr\""));
+        assert!(json.contains("\"rss_before_bytes\": 524288"));
+        assert!(json.contains("\"peak_rss_delta_bytes\": 262144"));
+        assert!(json.contains("\"shared_vs_owned_speedup\": 2.000"));
+        assert!(json.contains("\"checksum_match\": true"));
     }
 
     #[test]
     fn regression_gate_fires_only_past_tolerance() {
-        let base = render_json("small", 1e8, &[fake_result("a", "fig3", 1000, 1.0)], None);
-        let ok = render_json("small", 1e8, &[fake_result("a", "fig3", 800, 1.0)], None);
-        let bad = render_json("small", 1e8, &[fake_result("a", "fig3", 700, 1.0)], None);
+        let base = render_json(
+            "small",
+            1e8,
+            &[fake_result("a", "fig3", 1000, 1.0)],
+            None,
+            &[],
+        );
+        let ok = render_json(
+            "small",
+            1e8,
+            &[fake_result("a", "fig3", 800, 1.0)],
+            None,
+            &[],
+        );
+        let bad = render_json(
+            "small",
+            1e8,
+            &[fake_result("a", "fig3", 700, 1.0)],
+            None,
+            &[],
+        );
         assert!(check_regression(&ok, &base, 0.25).is_empty());
         assert_eq!(check_regression(&bad, &base, 0.25).len(), 1);
     }
@@ -569,10 +882,28 @@ mod tests {
     fn regression_gate_normalizes_by_calibration() {
         // Baseline measured on a machine 2x faster (calibration 2e8): raw
         // ticks/sec halves on the current machine, but the gate must pass.
-        let base = render_json("small", 2e8, &[fake_result("a", "fig3", 1000, 1.0)], None);
-        let cur = render_json("small", 1e8, &[fake_result("a", "fig3", 550, 1.0)], None);
+        let base = render_json(
+            "small",
+            2e8,
+            &[fake_result("a", "fig3", 1000, 1.0)],
+            None,
+            &[],
+        );
+        let cur = render_json(
+            "small",
+            1e8,
+            &[fake_result("a", "fig3", 550, 1.0)],
+            None,
+            &[],
+        );
         assert!(check_regression(&cur, &base, 0.25).is_empty());
-        let cur_bad = render_json("small", 1e8, &[fake_result("a", "fig3", 300, 1.0)], None);
+        let cur_bad = render_json(
+            "small",
+            1e8,
+            &[fake_result("a", "fig3", 300, 1.0)],
+            None,
+            &[],
+        );
         assert_eq!(check_regression(&cur_bad, &base, 0.25).len(), 1);
     }
 
@@ -583,9 +914,121 @@ mod tests {
             1e8,
             &[fake_result("gone", "fig3", 1000, 1.0)],
             None,
+            &[],
         );
-        let cur = render_json("small", 1e8, &[fake_result("new", "fig3", 10, 1.0)], None);
+        let cur = render_json(
+            "small",
+            1e8,
+            &[fake_result("new", "fig3", 10, 1.0)],
+            None,
+            &[],
+        );
         assert!(check_regression(&cur, &base, 0.25).is_empty());
+    }
+
+    #[test]
+    fn setup_gate_fires_only_past_tolerance() {
+        let base = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.001)],
+            None,
+            &[],
+        );
+        let ok = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.00125)],
+            None,
+            &[],
+        );
+        let bad = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.0015)],
+            None,
+            &[],
+        );
+        assert!(check_setup_regression(&ok, &base, 0.30).is_empty());
+        let failures = check_setup_regression(&bad, &base, 0.30);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("SETUP REGRESSION a"));
+    }
+
+    #[test]
+    fn setup_gate_normalizes_by_calibration_inversely() {
+        // Baseline from a machine 2x faster: our setup times are allowed
+        // to be ~2x the baseline's before the gate fires.
+        let base = render_json(
+            "small",
+            2e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.001)],
+            None,
+            &[],
+        );
+        let cur = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.0024)],
+            None,
+            &[],
+        );
+        assert!(check_setup_regression(&cur, &base, 0.30).is_empty());
+        let cur_bad = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 0.003)],
+            None,
+            &[],
+        );
+        assert_eq!(check_setup_regression(&cur_bad, &base, 0.30).len(), 1);
+    }
+
+    #[test]
+    fn setup_gate_skips_pre_schema3_baselines_and_noise_floor() {
+        // A schema-2 baseline line has no setup_seconds field: skipped.
+        let base_v2 = "    {\"id\": \"a\", \"group\": \"fig3\", \"ticks_per_sec\": 1000.0}\n  \"calibration_score\": 100000000.0\n";
+        let cur = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 10.0)],
+            None,
+            &[],
+        );
+        assert!(check_setup_regression(&cur, base_v2, 0.30).is_empty());
+        // A baseline below the 50 us noise floor is skipped too.
+        let base_tiny = render_json(
+            "small",
+            1e8,
+            &[fake_result_setup("a", "fig3", 1000, 1.0, 10e-6)],
+            None,
+            &[],
+        );
+        assert!(check_setup_regression(&cur, &base_tiny, 0.30).is_empty());
+    }
+
+    #[test]
+    fn sweep_grid_comparison_is_bit_identical_and_positive() {
+        let g = sweep_grid_comparison(BenchScale::Small);
+        assert_eq!(g.scale, "small");
+        assert_eq!(g.cells, 5 * 3 * 2);
+        assert!(g.checksum_match, "shared path must be bit-identical");
+        assert!(g.owned_wall_seconds > 0.0);
+        assert!(g.shared_wall_seconds > 0.0);
+        assert!(g.speedup > 0.0);
+    }
+
+    #[test]
+    fn rss_helpers_are_consistent_on_linux() {
+        // On Linux both reads succeed and peak >= current; elsewhere both
+        // return 0 and the reset reports unsupported.
+        let cur = current_rss_bytes();
+        let peak = peak_rss_bytes();
+        if cur > 0 {
+            assert!(peak >= cur, "VmHWM {peak} below VmRSS {cur}");
+        } else {
+            assert_eq!(peak, 0);
+        }
     }
 
     #[test]
@@ -614,6 +1057,10 @@ mod tests {
         assert!(r.wall_seconds > 0.0);
         assert!((r.ticks_per_sec - r.ticks as f64 / r.wall_seconds).abs() < 1e-6);
         assert_eq!(r.total_refs, spec.workload.total_refs() as u64);
+        // Setup is a strict part of the best full iteration, so the best
+        // setup can never exceed the best wall time.
+        assert!(r.setup_seconds > 0.0);
+        assert!(r.setup_seconds <= r.wall_seconds);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Simulation configuration and the [`SimBuilder`] entry point.
 
 use crate::arbitration::ArbitrationKind;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineScratch};
 use crate::error::{ConfigError, SimError};
 use crate::fault::FaultPlan;
+use crate::flat::FlatWorkload;
 use crate::metrics::Report;
 use crate::observer::{NoopObserver, SimObserver};
 use crate::replacement::ReplacementKind;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,6 +204,38 @@ impl SimBuilder {
             self.config,
             self.faults.clone(),
             workload,
+        ))
+    }
+
+    /// Like [`try_build`](Self::try_build), but over a shared pre-indexed
+    /// workload — the cheap per-cell entry point for sweeps (see
+    /// [`FlatWorkload`]). Bit-identical to building from
+    /// `flat.workload()`.
+    pub fn try_build_flat(&self, flat: &Arc<FlatWorkload>) -> Result<Engine, SimError> {
+        self.config.validate()?;
+        self.faults.validate()?;
+        Ok(Engine::from_flat(
+            self.config,
+            self.faults.clone(),
+            Arc::clone(flat),
+        ))
+    }
+
+    /// Like [`try_build_flat`](Self::try_build_flat), additionally
+    /// recycling the per-cell buffers held in `scratch` (refill it with
+    /// [`Engine::run_reusing`] / [`Engine::into_report_reusing`]).
+    pub fn try_build_flat_reusing(
+        &self,
+        flat: &Arc<FlatWorkload>,
+        scratch: &mut EngineScratch,
+    ) -> Result<Engine, SimError> {
+        self.config.validate()?;
+        self.faults.validate()?;
+        Ok(Engine::from_flat_with_scratch(
+            self.config,
+            self.faults.clone(),
+            Arc::clone(flat),
+            scratch,
         ))
     }
 

@@ -68,11 +68,11 @@
 use crate::arbitration::{Arbiter, Request};
 use crate::config::SimConfig;
 use crate::fault::FaultPlan;
-use crate::hbm::Hbm;
+use crate::flat::FlatWorkload;
+use crate::hbm::{Hbm, HbmBufs};
 use crate::ids::{CoreId, GlobalPage, Tick};
 use crate::metrics::{MetricsCollector, Report};
 use crate::observer::{FaultEvent, SimObserver};
-use crate::page_index::PageIndexer;
 use crate::workload::Workload;
 use std::sync::Arc;
 
@@ -121,6 +121,36 @@ struct CoreRt {
     cur_idx: u32,
 }
 
+/// Recycled per-cell mutable state, letting sequential simulation cells on
+/// a worker thread reuse their buffers (page tables, bitset worklists,
+/// waiter chains, queues, HBM slot tables) instead of reallocating them.
+///
+/// Obtain one with `EngineScratch::default()`, thread it through
+/// [`Engine::from_flat_with_scratch`] (or
+/// `SimBuilder::try_build_flat_reusing`) and harvest it back with
+/// [`Engine::into_report_reusing`] / [`Engine::run_reusing`].
+///
+/// **Soundness invariant:** construction re-initializes every buffer with
+/// `clear()` + `resize(n, v)` (or an equivalent full overwrite), so the
+/// engine built from a scratch is bit-identical to one built fresh no
+/// matter what the scratch previously held — including a scratch abandoned
+/// hollow because the engine owning its buffers panicked mid-run. The
+/// sharing differential suite asserts this.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    cores: Vec<CoreRt>,
+    issue_bits: Vec<u64>,
+    issue_next_bits: Vec<u64>,
+    ready_bits: Vec<u64>,
+    ready_next_bits: Vec<u64>,
+    pages: Vec<PageRt>,
+    waiter_next: Vec<u32>,
+    fetch_buf: Vec<Request>,
+    in_flight: Vec<(Tick, Request)>,
+    channel_busy: Vec<Tick>,
+    hbm: HbmBufs,
+}
+
 /// A single in-progress simulation. Most callers use
 /// [`crate::SimBuilder::run`]; the engine is public so tests and tools can
 /// drive it tick by tick via [`Engine::step`].
@@ -129,13 +159,13 @@ pub struct Engine {
     hbm: Hbm,
     arbiter: Arbiter,
     cores: Vec<CoreRt>,
-    /// Flattened reference stream, precomputed at construction: reference
-    /// `i` of the stream has raw page id `trace_page[i]` and dense index
-    /// `trace_idx[i]`; core `c` owns the half-open range
-    /// `[cores[c].pos, cores[c].end)`. The per-tick issue path is thereby
+    /// Immutable pre-indexed workload data — the flattened reference stream
+    /// (`flat.page[i]` / `flat.idx[i]`; core `c` owns
+    /// `[cores[c].pos, cores[c].end)`) and the dense page index. Shared:
+    /// every cell of a sweep reads the same `Arc`, so constructing an
+    /// engine no longer re-flattens the traces. The per-tick issue path is
     /// two array loads — no workload call, no index computation.
-    trace_page: Vec<u64>,
-    trace_idx: Vec<u32>,
+    flat: Arc<FlatWorkload>,
     /// Worklist bitsets, one bit per core (`word * 64 + bit` = core id).
     /// Word-ascending, bit-ascending iteration visits cores in increasing
     /// id — the canonical order — without any per-tick sort.
@@ -203,65 +233,119 @@ impl Engine {
     /// empty plan reproduces the fault-free trajectory exactly — bit for
     /// bit, events and metrics included.
     pub fn with_faults(config: SimConfig, faults: FaultPlan, workload: &Workload) -> Self {
-        let p = workload.cores();
-        let indexer = Arc::new(PageIndexer::for_workload(workload));
-        let total_pages = indexer.total_pages();
+        Self::from_flat(config, faults, Arc::new(FlatWorkload::new(workload)))
+    }
+
+    /// Prepares a run over a pre-indexed shared workload. The flattening
+    /// and page-index construction already happened inside
+    /// [`FlatWorkload::new`], so this is the cheap per-cell entry point for
+    /// sweeps: the same `Arc` serves every cell. Bit-identical to
+    /// [`with_faults`](Self::with_faults) over `flat.workload()`.
+    pub fn from_flat(config: SimConfig, faults: FaultPlan, flat: Arc<FlatWorkload>) -> Self {
+        Self::build(config, faults, flat, EngineScratch::default())
+    }
+
+    /// Like [`from_flat`](Self::from_flat), but recycling the buffers held
+    /// in `scratch` (left hollow; refill it via
+    /// [`into_report_reusing`](Self::into_report_reusing) or
+    /// [`run_reusing`](Self::run_reusing)). Bit-identical to a fresh
+    /// construction regardless of the scratch's prior contents.
+    pub fn from_flat_with_scratch(
+        config: SimConfig,
+        faults: FaultPlan,
+        flat: Arc<FlatWorkload>,
+        scratch: &mut EngineScratch,
+    ) -> Self {
+        Self::build(config, faults, flat, std::mem::take(scratch))
+    }
+
+    fn build(
+        config: SimConfig,
+        faults: FaultPlan,
+        flat: Arc<FlatWorkload>,
+        scratch: EngineScratch,
+    ) -> Self {
+        let EngineScratch {
+            mut cores,
+            mut issue_bits,
+            mut issue_next_bits,
+            mut ready_bits,
+            mut ready_next_bits,
+            mut pages,
+            mut waiter_next,
+            mut fetch_buf,
+            mut in_flight,
+            mut channel_busy,
+            hbm: hbm_bufs,
+        } = scratch;
+        let p = flat.cores();
         let words = p.div_ceil(64);
-        let mut issue_bits = vec![0u64; words];
+        // Every buffer is fully re-initialized (clear + resize overwrites
+        // all elements) — the EngineScratch soundness invariant.
+        issue_bits.clear();
+        issue_bits.resize(words, 0);
+        issue_next_bits.clear();
+        issue_next_bits.resize(words, 0);
+        ready_bits.clear();
+        ready_bits.resize(words, 0);
+        ready_next_bits.clear();
+        ready_next_bits.resize(words, 0);
+        cores.clear();
+        cores.reserve(p);
         let mut issue_count = 0;
-        let mut cores = Vec::with_capacity(p);
         let mut remaining = 0;
-        let total_refs = workload.total_refs();
-        let mut trace_page = Vec::with_capacity(total_refs);
-        let mut trace_idx = Vec::with_capacity(total_refs);
         for c in 0..p {
-            let len = workload.trace(c as CoreId).len();
-            let base = trace_page.len();
-            for i in 0..len {
-                let g = workload.global_page(c as CoreId, i);
-                trace_page.push(g.0);
-                trace_idx.push(indexer.index(g));
-            }
+            let range = flat.core_range(c as CoreId);
             cores.push(CoreRt {
-                pos: base,
-                end: base + len,
+                pos: range.start,
+                end: range.end,
                 issue_tick: 0,
                 was_miss: false,
                 cur_page: GlobalPage(0),
                 cur_idx: 0,
             });
-            if len > 0 {
+            if range.start < range.end {
                 issue_bits[c / 64] |= 1u64 << (c % 64);
                 issue_count += 1;
                 remaining += 1;
             }
         }
+        pages.clear();
+        pages.resize(flat.total_pages(), PageRt::EMPTY);
+        waiter_next.clear();
+        waiter_next.resize(p, NIL);
+        fetch_buf.clear();
+        fetch_buf.reserve(config.channels);
+        in_flight.clear();
+        in_flight.reserve(config.channels);
+        channel_busy.clear();
+        channel_busy.resize(config.channels, 0);
         let arbiter = config.arbitration.build_dispatch(p, config.seed);
         let next_remap = arbiter.next_remap_at_or_after(0);
         Engine {
-            hbm: Hbm::with_indexer(
+            hbm: Hbm::with_indexer_reusing(
                 config.hbm_slots,
                 config.replacement,
                 config.seed,
-                Arc::clone(&indexer),
+                Arc::clone(flat.indexer()),
+                hbm_bufs,
             ),
             arbiter,
             cores,
-            trace_page,
-            trace_idx,
+            flat,
             issue_bits,
-            issue_next_bits: vec![0; words],
-            ready_bits: vec![0; words],
-            ready_next_bits: vec![0; words],
+            issue_next_bits,
+            ready_bits,
+            ready_next_bits,
             issue_count,
             issue_next_count: 0,
             ready_count: 0,
             ready_next_count: 0,
-            pages: vec![PageRt::EMPTY; total_pages],
-            waiter_next: vec![NIL; p],
-            fetch_buf: Vec::with_capacity(config.channels),
-            in_flight: Vec::with_capacity(config.channels),
-            channel_busy: vec![0; config.channels],
+            pages,
+            waiter_next,
+            fetch_buf,
+            in_flight,
+            channel_busy,
             queue_len: 0,
             next_remap,
             plan_active: !faults.is_empty(),
@@ -448,8 +532,8 @@ impl Engine {
                     word ^= bit;
                     let core = (w as u32) * 64 + bit.trailing_zeros();
                     let rt = &mut self.cores[core as usize];
-                    let page = GlobalPage(self.trace_page[rt.pos]);
-                    let idx = self.trace_idx[rt.pos];
+                    let page = GlobalPage(self.flat.page[rt.pos]);
+                    let idx = self.flat.idx[rt.pos];
                     rt.cur_page = page;
                     rt.cur_idx = idx;
                     if self.hbm.contains_idx(idx) {
@@ -684,6 +768,57 @@ impl Engine {
         let truncated = !self.is_done();
         let makespan = if truncated { self.tick } else { self.makespan };
         self.metrics.finish(makespan, truncated)
+    }
+
+    /// Like [`run`](Self::run), but returning the engine's buffers to
+    /// `scratch` for the next cell on this thread.
+    pub fn run_reusing<O: SimObserver>(
+        mut self,
+        observer: &mut O,
+        scratch: &mut EngineScratch,
+    ) -> Report {
+        while !self.is_done() && self.tick < self.config.max_ticks {
+            self.step(observer);
+        }
+        self.into_report_reusing(scratch)
+    }
+
+    /// Like [`into_report`](Self::into_report), but harvesting the
+    /// engine's mutable buffers into `scratch` so the next cell built via
+    /// [`from_flat_with_scratch`](Self::from_flat_with_scratch) reuses
+    /// them instead of allocating.
+    pub fn into_report_reusing(self, scratch: &mut EngineScratch) -> Report {
+        let truncated = !self.is_done();
+        let makespan = if truncated { self.tick } else { self.makespan };
+        let Engine {
+            hbm,
+            cores,
+            issue_bits,
+            issue_next_bits,
+            ready_bits,
+            ready_next_bits,
+            pages,
+            waiter_next,
+            fetch_buf,
+            in_flight,
+            channel_busy,
+            metrics,
+            ..
+        } = self;
+        *scratch = EngineScratch {
+            cores,
+            issue_bits,
+            issue_next_bits,
+            ready_bits,
+            ready_next_bits,
+            pages,
+            waiter_next,
+            fetch_buf,
+            in_flight,
+            channel_busy,
+            hbm: hbm.reclaim(),
+        };
+        metrics.finish(makespan, truncated)
     }
 }
 

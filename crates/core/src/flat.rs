@@ -1,0 +1,170 @@
+//! Shared, immutable per-workload derived data: the engine's flattened
+//! reference stream and dense page index, computed once and shared across
+//! every simulation cell of a sweep.
+//!
+//! The paper's figures are grids of hundreds of cells over the *same*
+//! workload, varying only policy, `k` and `q` (§5). The trace is the
+//! invariant — the same insight that lets Mattson's stack algorithm serve
+//! all cache sizes from one pass — so everything the engine derives purely
+//! from the workload belongs in one immutable structure built once:
+//!
+//! * the flattened reference stream (`page[i]`, `idx[i]`, with core `c`
+//!   owning `[bounds[c], bounds[c+1])`), previously rebuilt inside every
+//!   [`crate::Engine`] construction;
+//! * the [`PageIndexer`] mapping every referenced page to a dense `u32`.
+//!
+//! A [`FlatWorkload`] is immutable after construction and shared via
+//! `Arc`, so cells running in parallel on many threads read the same
+//! memory. Engines built from a shared `FlatWorkload` are **bit-identical**
+//! to engines built from the owned [`Workload`]: construction reads the
+//! same references in the same canonical order (cores in increasing id,
+//! references in trace order), and the per-cell mutable state lives
+//! elsewhere (in the engine itself, optionally recycled through
+//! [`crate::EngineScratch`]). The sharing differential suite
+//! (`crates/core/tests/sharing_differential.rs`) asserts this.
+
+use crate::ids::CoreId;
+use crate::page_index::PageIndexer;
+use crate::workload::Workload;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Immutable pre-indexed form of a [`Workload`]: the flattened reference
+/// stream plus the dense page index, ready for any number of engines.
+///
+/// Build once per workload with [`FlatWorkload::new`], wrap in an `Arc`,
+/// and hand clones to every cell of a sweep (see
+/// [`crate::Engine::from_flat`] and `SimBuilder::try_build_flat`).
+#[derive(Debug)]
+pub struct FlatWorkload {
+    /// The source workload — a cheap handle (traces are `Arc`-backed), kept
+    /// so reference-implementation consumers ([`crate::OracleEngine`],
+    /// inspection) can run from the same shared object.
+    workload: Workload,
+    indexer: Arc<PageIndexer>,
+    /// Raw global page id of flattened reference `i`.
+    pub(crate) page: Vec<u64>,
+    /// Dense index of flattened reference `i` (under `indexer`).
+    pub(crate) idx: Vec<u32>,
+    /// `p + 1` cumulative offsets: core `c` owns `page[bounds[c]..bounds[c+1]]`.
+    bounds: Vec<usize>,
+}
+
+impl FlatWorkload {
+    /// Flattens `workload` (one scan of every trace, in canonical order:
+    /// cores in increasing id, references in trace order) and builds its
+    /// [`PageIndexer`].
+    pub fn new(workload: &Workload) -> Self {
+        let indexer = Arc::new(PageIndexer::for_workload(workload));
+        let p = workload.cores();
+        let total_refs = workload.total_refs();
+        let mut page = Vec::with_capacity(total_refs);
+        let mut idx = Vec::with_capacity(total_refs);
+        let mut bounds = Vec::with_capacity(p + 1);
+        bounds.push(0);
+        for c in 0..p {
+            let len = workload.trace(c as CoreId).len();
+            for i in 0..len {
+                let g = workload.global_page(c as CoreId, i);
+                page.push(g.0);
+                idx.push(indexer.index(g));
+            }
+            bounds.push(page.len());
+        }
+        FlatWorkload {
+            workload: workload.clone(),
+            indexer,
+            page,
+            idx,
+            bounds,
+        }
+    }
+
+    /// The source workload (a shared handle, not a copy).
+    #[inline]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The dense page index over this workload's page universe.
+    #[inline]
+    pub fn indexer(&self) -> &Arc<PageIndexer> {
+        &self.indexer
+    }
+
+    /// Number of cores `p`.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total references across cores (the flattened stream's length).
+    #[inline]
+    pub fn total_refs(&self) -> usize {
+        self.page.len()
+    }
+
+    /// Size of the dense page-index space.
+    #[inline]
+    pub fn total_pages(&self) -> usize {
+        self.indexer.total_pages()
+    }
+
+    /// The half-open range of flattened positions owned by `core`.
+    #[inline]
+    pub fn core_range(&self, core: CoreId) -> Range<usize> {
+        self.bounds[core as usize]..self.bounds[core as usize + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalPage;
+
+    #[test]
+    fn flatten_matches_workload_enumeration() {
+        let w = Workload::from_refs(vec![vec![0, 2, 1], vec![], vec![5, 0]]);
+        let f = FlatWorkload::new(&w);
+        assert_eq!(f.cores(), 3);
+        assert_eq!(f.total_refs(), 5);
+        assert_eq!(f.core_range(0), 0..3);
+        assert_eq!(f.core_range(1), 3..3);
+        assert_eq!(f.core_range(2), 3..5);
+        for c in 0..3 {
+            for (off, i) in f.core_range(c as CoreId).zip(0..) {
+                let g = w.global_page(c as CoreId, i);
+                assert_eq!(f.page[off], g.0);
+                assert_eq!(f.idx[off], f.indexer().index(g));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_workload_uses_global_ids() {
+        let w = Workload::shared_from_refs(vec![vec![7], vec![7]]);
+        let f = FlatWorkload::new(&w);
+        assert_eq!(f.page, vec![7, 7]);
+        assert_eq!(f.idx[0], f.idx[1], "same global page, same dense index");
+        assert_eq!(f.page[0], GlobalPage(7).0);
+    }
+
+    #[test]
+    fn keeps_a_cheap_workload_handle() {
+        let w = Workload::from_refs(vec![(0..1000).collect()]);
+        let f = FlatWorkload::new(&w);
+        // The handle shares trace storage with the source workload.
+        assert!(std::ptr::eq(
+            f.workload().trace(0).as_slice().as_ptr(),
+            w.trace(0).as_slice().as_ptr()
+        ));
+    }
+
+    #[test]
+    fn empty_workload() {
+        let f = FlatWorkload::new(&Workload::new());
+        assert_eq!(f.cores(), 0);
+        assert_eq!(f.total_refs(), 0);
+        assert_eq!(f.total_pages(), 0);
+    }
+}

@@ -25,6 +25,24 @@ use std::sync::Arc;
 /// Sentinel in the dense slot table for "not resident".
 const NO_SLOT: u32 = u32::MAX;
 
+/// Recycled backing buffers for a dense-mode [`Hbm`], harvested from a
+/// finished instance by [`Hbm::reclaim`] and re-armed by
+/// [`Hbm::with_indexer_reusing`]. The dominant member is `slot_of`
+/// (one `u32` per indexed page); reusing it turns the per-cell cost of a
+/// sweep from allocate-and-fault into a plain overwrite.
+///
+/// Soundness: re-arming always runs `clear()` followed by `resize(n, v)`,
+/// which overwrites every element regardless of the buffers' prior
+/// contents — a buffer abandoned mid-run (e.g. after a panicking cell)
+/// re-arms to exactly the same state as a fresh allocation.
+#[derive(Debug, Default)]
+pub(crate) struct HbmBufs {
+    slot_of: Vec<u32>,
+    slots: Vec<Option<GlobalPage>>,
+    free: Vec<u32>,
+    slot_idx: Vec<u32>,
+}
+
 enum PageMap {
     /// Reference representation: raw page id → slot.
     Hash(FxHashMap<u64, u32>),
@@ -80,6 +98,56 @@ impl Hbm {
             free: (0..capacity as u32).rev().collect(),
             policy: kind.build_dispatch(capacity, seed),
             slot_idx: vec![0; capacity],
+        }
+    }
+
+    /// Like [`Hbm::with_indexer`], but re-arming recycled buffers instead
+    /// of allocating. Produces a state indistinguishable from a fresh
+    /// construction (see [`HbmBufs`] for the soundness argument).
+    pub(crate) fn with_indexer_reusing(
+        capacity: usize,
+        kind: ReplacementKind,
+        seed: u64,
+        indexer: Arc<PageIndexer>,
+        bufs: HbmBufs,
+    ) -> Self {
+        assert!(capacity > 0, "HBM must have at least one slot");
+        let HbmBufs {
+            mut slot_of,
+            mut slots,
+            mut free,
+            mut slot_idx,
+        } = bufs;
+        slot_of.clear();
+        slot_of.resize(indexer.total_pages(), NO_SLOT);
+        slots.clear();
+        slots.resize(capacity, None);
+        free.clear();
+        free.extend((0..capacity as u32).rev());
+        slot_idx.clear();
+        slot_idx.resize(capacity, 0);
+        Hbm {
+            slots,
+            map: PageMap::Dense { slot_of, indexer },
+            free,
+            policy: kind.build_dispatch(capacity, seed),
+            slot_idx,
+        }
+    }
+
+    /// Harvests this HBM's backing buffers for reuse by a later
+    /// [`Hbm::with_indexer_reusing`]. Hash-mode instances yield empty
+    /// dense buffers (nothing worth recycling).
+    pub(crate) fn reclaim(self) -> HbmBufs {
+        let slot_of = match self.map {
+            PageMap::Dense { slot_of, .. } => slot_of,
+            PageMap::Hash(_) => Vec::new(),
+        };
+        HbmBufs {
+            slot_of,
+            slots: self.slots,
+            free: self.free,
+            slot_idx: self.slot_idx,
         }
     }
 

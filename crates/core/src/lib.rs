@@ -61,6 +61,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod flat;
 pub mod fxhash;
 pub mod hbm;
 pub mod ids;
@@ -77,9 +78,10 @@ pub mod workload;
 
 pub use arbitration::{ArbitrationKind, ArbitrationPolicy, Request};
 pub use config::{SimBuilder, SimConfig};
-pub use engine::Engine;
+pub use engine::{Engine, EngineScratch};
 pub use error::{ConfigError, SimError};
 pub use fault::{DegradationWindow, FaultPlan, OutageWindow, TransientFaults};
+pub use flat::FlatWorkload;
 pub use ids::{CoreId, GlobalPage, LocalPage, Tick};
 pub use metrics::{CoreReport, FaultCounters, Report, ResponseSummary};
 pub use observer::{FaultEvent, NoopObserver, RecordingObserver, SimObserver};

@@ -100,6 +100,20 @@ impl<'w> OracleEngine<'w> {
         Self::with_faults(config, FaultPlan::default(), workload)
     }
 
+    /// Prepares a run over a shared pre-indexed workload (the counterpart
+    /// of [`crate::Engine::from_flat`]). The oracle deliberately ignores
+    /// the flattened arrays — it replays references straight from the
+    /// workload handle inside the `FlatWorkload`, staying the naive
+    /// reference implementation — so its trajectory is identical whether
+    /// built from an owned workload or a shared one.
+    pub fn from_flat(
+        config: SimConfig,
+        faults: FaultPlan,
+        flat: &'w crate::flat::FlatWorkload,
+    ) -> Self {
+        Self::with_faults(config, faults, flat.workload())
+    }
+
     /// Like [`new`](Self::new), but with an injected [`FaultPlan`] —
     /// identical fault semantics to [`crate::Engine::with_faults`].
     pub fn with_faults(config: SimConfig, faults: FaultPlan, workload: &'w Workload) -> Self {

@@ -1,0 +1,259 @@
+//! Sharing differential suite: engines built from a shared
+//! `Arc<FlatWorkload>` — and from recycled [`EngineScratch`] buffers —
+//! must be **bit-identical** to engines built from an owned [`Workload`].
+//!
+//! The zero-copy sweep machinery (DESIGN.md §13) rests on two claims:
+//!
+//! 1. [`Engine::from_flat`] over a shared, immutable `FlatWorkload`
+//!    replays the same trajectory as `Engine::with_faults` over the owned
+//!    workload (same reports — floats compared by bit pattern — same
+//!    event streams);
+//! 2. [`Engine::from_flat_with_scratch`] is insensitive to the scratch's
+//!    history: buffers recycled from an arbitrary previous cell (different
+//!    workload, policies, sizes — even deliberately dirtied) produce the
+//!    same trajectory as freshly allocated ones.
+//!
+//! Layers: a seeded grid over the full policy cross-product with random
+//! fault plans (the scratch is threaded through *all* cells in sequence,
+//! so each cell reuses buffers sized and dirtied by a different one), an
+//! arbitration × replacement grid sharing one `Arc` across every cell,
+//! and proptest-randomized cells that shrink failures to minimal traces.
+
+use hbm_core::testkit::{
+    all_arbitrations, all_replacements, compare_events, compare_reports, random_cell,
+    random_fault_plan, random_workload,
+};
+use hbm_core::{
+    Engine, EngineScratch, FaultPlan, FlatWorkload, OracleEngine, RecordingObserver, Report,
+    SimBuilder, SimConfig, Workload,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_owned(config: SimConfig, plan: &FaultPlan, w: &Workload) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = Engine::with_faults(config, plan.clone(), w).run(&mut obs);
+    (report, obs)
+}
+
+fn run_shared(
+    config: SimConfig,
+    plan: &FaultPlan,
+    flat: &Arc<FlatWorkload>,
+) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let report = Engine::from_flat(config, plan.clone(), Arc::clone(flat)).run(&mut obs);
+    (report, obs)
+}
+
+fn run_with_scratch(
+    config: SimConfig,
+    plan: &FaultPlan,
+    flat: &Arc<FlatWorkload>,
+    scratch: &mut EngineScratch,
+) -> (Report, RecordingObserver) {
+    let mut obs = RecordingObserver::default();
+    let engine = Engine::from_flat_with_scratch(config, plan.clone(), Arc::clone(flat), scratch);
+    let report = engine.run_reusing(&mut obs, scratch);
+    (report, obs)
+}
+
+/// Asserts all three construction paths agree bit for bit on one cell.
+fn assert_cell_identical(
+    config: SimConfig,
+    plan: &FaultPlan,
+    w: &Workload,
+    scratch: &mut EngineScratch,
+) {
+    let flat = Arc::new(FlatWorkload::new(w));
+    let (owned_r, owned_obs) = run_owned(config, plan, w);
+    let (shared_r, shared_obs) = run_shared(config, plan, &flat);
+    let (scratch_r, scratch_obs) = run_with_scratch(config, plan, &flat, scratch);
+    for (name, r, obs) in [
+        ("shared Arc<FlatWorkload>", &shared_r, &shared_obs),
+        ("reused EngineScratch", &scratch_r, &scratch_obs),
+    ] {
+        if let Err(msg) =
+            compare_reports(&owned_r, r).and_then(|()| compare_events(&owned_obs, obs))
+        {
+            panic!(
+                "{name} engine diverges from owned-workload engine!\n{msg}\nconfig: {config:?}\nfaults: {plan:?}\nworkload ({} cores, shared: {}): {:?}",
+                w.cores(),
+                w.is_shared(),
+                w.traces()
+                    .iter()
+                    .map(|t| t.as_slice().to_vec())
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+/// Seeded random cells across the full generator space, with fault plans.
+/// One scratch threads through every cell in sequence, so each cell
+/// inherits buffers sized and dirtied by a *different* workload and
+/// configuration — exactly the sweep-worker reuse pattern.
+#[test]
+fn seeded_grid_owned_vs_shared_vs_scratch() {
+    let mut scratch = EngineScratch::default();
+    for seed in 0..64 {
+        let cell = random_cell(seed);
+        let plan = if seed % 2 == 0 {
+            random_fault_plan(seed, 200)
+        } else {
+            FaultPlan::default()
+        };
+        assert_cell_identical(cell.config, &plan, &cell.workload, &mut scratch);
+    }
+}
+
+/// One `Arc<FlatWorkload>` shared across the whole arbitration ×
+/// replacement cross-product (the sweep-grid pattern: same workload,
+/// varying policy and k) — every cell must match its owned twin.
+#[test]
+fn one_flat_serves_the_policy_cross_product() {
+    let w = random_workload(0xf1a7, 4, 8, 24, false);
+    let flat = Arc::new(FlatWorkload::new(&w));
+    let mut scratch = EngineScratch::default();
+    for arbitration in all_arbitrations(5) {
+        for replacement in all_replacements() {
+            for k in [2usize, 8] {
+                let config = SimConfig {
+                    hbm_slots: k,
+                    channels: 2,
+                    arbitration,
+                    replacement,
+                    far_latency: 1,
+                    seed: 0x5eed,
+                    max_ticks: 100_000,
+                };
+                let plan = FaultPlan::default();
+                let (owned_r, owned_obs) = run_owned(config, &plan, &w);
+                let (shared_r, shared_obs) = run_shared(config, &plan, &flat);
+                let (scratch_r, scratch_obs) = run_with_scratch(config, &plan, &flat, &mut scratch);
+                compare_reports(&owned_r, &shared_r).unwrap();
+                compare_events(&owned_obs, &shared_obs).unwrap();
+                compare_reports(&owned_r, &scratch_r).unwrap();
+                compare_events(&owned_obs, &scratch_obs).unwrap();
+            }
+        }
+    }
+}
+
+/// The oracle built from the shared form replays the same trajectory as
+/// the oracle over the owned workload (it reads through the same trace
+/// handles), and still agrees with the shared-form fast engine.
+#[test]
+fn oracle_accepts_the_shared_form() {
+    for seed in 0..16 {
+        let cell = random_cell(seed);
+        let plan = random_fault_plan(seed, 150);
+        let flat = Arc::new(FlatWorkload::new(&cell.workload));
+        let mut obs_flat = RecordingObserver::default();
+        let r_flat = OracleEngine::from_flat(cell.config, plan.clone(), &flat).run(&mut obs_flat);
+        let mut obs_owned = RecordingObserver::default();
+        let r_owned = OracleEngine::with_faults(cell.config, plan.clone(), &cell.workload)
+            .run(&mut obs_owned);
+        compare_reports(&r_owned, &r_flat).unwrap();
+        compare_events(&obs_owned, &obs_flat).unwrap();
+        let (engine_r, engine_obs) = run_shared(cell.config, &plan, &flat);
+        compare_reports(&engine_r, &r_flat).unwrap();
+        compare_events(&engine_obs, &obs_flat).unwrap();
+    }
+}
+
+/// The builder's flat entry points match `try_build` exactly, and an
+/// invalid config is still rejected before any engine is constructed.
+#[test]
+fn builder_flat_entry_points_match_owned() {
+    let w = random_workload(0xb1d, 3, 6, 20, false);
+    let flat = Arc::new(FlatWorkload::new(&w));
+    let builder = SimBuilder::new().hbm_slots(4).channels(2).seed(9);
+    let owned = builder
+        .try_build(&w)
+        .unwrap()
+        .run(&mut hbm_core::NoopObserver);
+    let shared = builder
+        .try_build_flat(&flat)
+        .unwrap()
+        .run(&mut hbm_core::NoopObserver);
+    let mut scratch = EngineScratch::default();
+    let reused = builder
+        .try_build_flat_reusing(&flat, &mut scratch)
+        .unwrap()
+        .run_reusing(&mut hbm_core::NoopObserver, &mut scratch);
+    compare_reports(&owned, &shared).unwrap();
+    compare_reports(&owned, &reused).unwrap();
+    assert!(SimBuilder::new()
+        .hbm_slots(0)
+        .try_build_flat(&flat)
+        .is_err());
+    assert!(SimBuilder::new()
+        .channels(0)
+        .try_build_flat_reusing(&flat, &mut scratch)
+        .is_err());
+}
+
+/// A scratch recycled from a *larger* cell (more cores, more pages, wider
+/// bitsets, bigger HBM) re-arms correctly for a smaller one, and vice
+/// versa — the resize-down/resize-up paths both fully overwrite.
+#[test]
+fn scratch_survives_extreme_size_changes() {
+    let big = random_workload(1, 6, 16, 33, false);
+    let small = Workload::from_refs(vec![vec![0, 1, 0]]);
+    let mut scratch = EngineScratch::default();
+    for _ in 0..3 {
+        for (w, k, q) in [(&big, 16usize, 4usize), (&small, 1, 1), (&big, 2, 1)] {
+            let config = SimConfig {
+                hbm_slots: k,
+                channels: q,
+                seed: 7,
+                ..SimConfig::default()
+            };
+            assert_cell_identical(config, &FaultPlan::default(), w, &mut scratch);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Proptest-randomized cells: proptest owns the traces, so a
+    /// divergence between the owned, shared, and scratch-reuse paths
+    /// shrinks to a minimal workload. The scratch is pre-dirtied by an
+    /// unrelated cell inside each case.
+    #[test]
+    fn sharing_is_bit_identical(
+        traces in prop::collection::vec(prop::collection::vec(0u32..10, 0..24), 1..5),
+        policy in (0usize..9, 0usize..4),
+        k in 1usize..12,
+        q in 1usize..4,
+        timing in (1u64..4, 1u64..12),
+        shared in 0usize..2,
+        seed in 0u64..1024,
+    ) {
+        let (arb_i, rep_i) = policy;
+        let (far_latency, period) = timing;
+        let workload = if shared == 1 {
+            Workload::shared_from_refs(traces)
+        } else {
+            Workload::from_refs(traces)
+        };
+        let config = SimConfig {
+            hbm_slots: k,
+            channels: q,
+            arbitration: all_arbitrations(period)[arb_i],
+            replacement: all_replacements()[rep_i],
+            far_latency,
+            seed,
+            max_ticks: 100_000,
+        };
+        // Dirty the scratch with an unrelated cell first.
+        let mut scratch = EngineScratch::default();
+        let dirty = random_cell(seed ^ 0xd1f7);
+        let dirty_flat = Arc::new(FlatWorkload::new(&dirty.workload));
+        let _ = run_with_scratch(dirty.config, &FaultPlan::default(), &dirty_flat, &mut scratch);
+        let plan = random_fault_plan(seed, 100);
+        assert_cell_identical(config, &plan, &workload, &mut scratch);
+    }
+}

@@ -1,7 +1,10 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 
-use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
-use hbm_core::{ArbitrationKind, ReplacementKind};
+use crate::common::{
+    contended_config, contended_threads, f3, run_cell_flat, ResultTable, Scale, ScratchPool,
+    TracePool,
+};
+use hbm_core::{ArbitrationKind, EngineScratch, ReplacementKind};
 use hbm_traces::TraceOptions;
 
 /// Replacement-policy ablation: the paper claims "HBM replacement is not
@@ -9,9 +12,14 @@ use hbm_traces::TraceOptions;
 /// modest band of each other, while the arbitration policy moves makespan
 /// by integer factors.
 pub fn replacement(scale: Scale, seed: u64) -> ResultTable {
-    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
-    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
-    let w = pool.workload(p);
+    let pool = TracePool::generate(
+        scale.spgemm_spec(),
+        contended_threads(scale),
+        seed,
+        TraceOptions::default(),
+    );
+    let (p, k) = contended_config(&pool, scale);
+    let flat = pool.flat(p);
     let jobs: Vec<(ReplacementKind, ArbitrationKind)> = ReplacementKind::ALL
         .into_iter()
         .flat_map(|r| {
@@ -20,14 +28,19 @@ pub fn replacement(scale: Scale, seed: u64) -> ResultTable {
                 .map(move |a| (r, a))
         })
         .collect();
+    let scratches = ScratchPool::new();
     let results = hbm_par::parallel_map(&jobs, |&(rep, arb)| {
-        let r = hbm_core::SimBuilder::new()
-            .hbm_slots(k)
-            .channels(1)
-            .arbitration(arb)
-            .replacement(rep)
-            .seed(seed)
-            .run(&w);
+        let r = scratches.with(|scratch| {
+            hbm_core::SimBuilder::new()
+                .hbm_slots(k)
+                .channels(1)
+                .arbitration(arb)
+                .replacement(rep)
+                .seed(seed)
+                .try_build_flat_reusing(&flat, scratch)
+                .expect("invalid simulation config")
+                .run_reusing(&mut hbm_core::NoopObserver, scratch)
+        });
         (rep, arb, r.makespan, r.hit_rate)
     });
     let mut t = ResultTable::new(
@@ -48,7 +61,7 @@ pub fn replacement(scale: Scale, seed: u64) -> ResultTable {
 /// Trace-granularity ablation: collapsing consecutive same-page references
 /// shortens traces but must not change which policy wins.
 pub fn collapse(scale: Scale, seed: u64) -> ResultTable {
-    let (p, k) = contended_config(scale.sort_spec(), scale, seed);
+    let p = contended_threads(scale);
     let mut t = ResultTable::new(
         "Ablation collapse — trace granularity (collapse consecutive same-page refs)",
         &[
@@ -59,18 +72,25 @@ pub fn collapse(scale: Scale, seed: u64) -> ResultTable {
             "ratio",
         ],
     );
+    let mut scratch = EngineScratch::default();
+    let mut k = 0;
     for collapse in [false, true] {
         let opts = TraceOptions {
             collapse,
             ..TraceOptions::default()
         };
         let pool = TracePool::generate(scale.sort_spec(), p, seed, opts);
-        let w = pool.workload(p);
-        let fifo = run_cell(&w, k, 1, ArbitrationKind::Fifo, seed);
-        let prio = run_cell(&w, k, 1, ArbitrationKind::Priority, seed);
+        if !collapse {
+            // The probe trace always uses default options (collapse=true),
+            // so either pool derives the same k; compute it once.
+            k = contended_config(&pool, scale).1;
+        }
+        let flat = pool.flat(p);
+        let fifo = run_cell_flat(&flat, k, 1, ArbitrationKind::Fifo, seed, &mut scratch);
+        let prio = run_cell_flat(&flat, k, 1, ArbitrationKind::Priority, seed, &mut scratch);
         t.push_row(vec![
             collapse.to_string(),
-            w.total_refs().to_string(),
+            flat.workload().total_refs().to_string(),
             fifo.makespan.to_string(),
             prio.makespan.to_string(),
             f3(fifo.makespan as f64 / prio.makespan.max(1) as f64),
@@ -82,17 +102,23 @@ pub fn collapse(scale: Scale, seed: u64) -> ResultTable {
 /// FR-FCFS extension: the real controllers' FIFO variant against plain
 /// FIFO and Priority.
 pub fn frfcfs(scale: Scale, seed: u64) -> ResultTable {
-    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
-    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
-    let w = pool.workload(p);
+    let pool = TracePool::generate(
+        scale.spgemm_spec(),
+        contended_threads(scale),
+        seed,
+        TraceOptions::default(),
+    );
+    let (p, k) = contended_config(&pool, scale);
+    let flat = pool.flat(p);
     let kinds = [
         ArbitrationKind::Fifo,
         ArbitrationKind::FrFcfs { row_shift: 2 },
         ArbitrationKind::FrFcfs { row_shift: 4 },
         ArbitrationKind::Priority,
     ];
+    let scratches = ScratchPool::new();
     let results = hbm_par::parallel_map(&kinds, |&arb| {
-        let r = run_cell(&w, k, 1, arb, seed);
+        let r = scratches.with(|scratch| run_cell_flat(&flat, k, 1, arb, seed, scratch));
         (arb, r.makespan, r.response.mean)
     });
     let mut t = ResultTable::new(

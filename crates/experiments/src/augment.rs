@@ -12,10 +12,11 @@
 //! memory augmentation" clause), while bandwidth augmentation divides the
 //! gap by exactly `s` — together, the `Θ(p/ds)` shape.
 
-use crate::common::{f3, run_cell, ResultTable, Scale};
-use hbm_core::ArbitrationKind;
+use crate::common::{f3, run_cell_flat, ResultTable, Scale, ScratchPool};
+use hbm_core::{ArbitrationKind, EngineScratch, FlatWorkload};
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One augmentation cell.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -49,18 +50,29 @@ fn params(scale: Scale) -> (usize, u32, usize) {
 /// Runs the d × s augmentation grid.
 pub fn run_cells(scale: Scale, seed: u64) -> Vec<AugmentCell> {
     let (p, pages, reps) = params(scale);
-    let w = cyclic_workload(p, pages, reps);
+    let flat = Arc::new(FlatWorkload::new(&cyclic_workload(p, pages, reps)));
     // Defeat up to d = 4: the base HBM holds 1/16 of the union.
     let k = figure3_hbm_slots(p, pages, 16);
-    let prio = run_cell(&w, k, 1, ArbitrationKind::Priority, seed).makespan;
+    let prio = run_cell_flat(
+        &flat,
+        k,
+        1,
+        ArbitrationKind::Priority,
+        seed,
+        &mut EngineScratch::default(),
+    )
+    .makespan;
     let grid: Vec<(usize, usize)> = [1usize, 2, 4]
         .iter()
         .flat_map(|&d| [1usize, 2, 4].iter().map(move |&s| (d, s)))
         .collect();
+    let scratches = ScratchPool::new();
     hbm_par::parallel_map(&grid, |&(d, s)| AugmentCell {
         d,
         s,
-        fifo_makespan: run_cell(&w, d * k, s, ArbitrationKind::Fifo, seed).makespan,
+        fifo_makespan: scratches
+            .with(|scratch| run_cell_flat(&flat, d * k, s, ArbitrationKind::Fifo, seed, scratch))
+            .makespan,
         priority_makespan: prio,
     })
 }

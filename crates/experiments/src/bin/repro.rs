@@ -149,7 +149,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     let threads_grid = args.scale.thread_counts();
     let max_p = *threads_grid.last().expect("non-empty thread grid");
     let pool = TracePool::generate(spec, max_p, args.seed, TraceOptions::default());
-    let hbm_sizes = hbm_sizes_for(spec, args.scale, args.seed);
+    let hbm_sizes = hbm_sizes_for(&pool, args.scale);
 
     // Without --journal, checkpoint to a throwaway file so the same code
     // path runs either way; it is removed on success.

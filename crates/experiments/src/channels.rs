@@ -5,7 +5,10 @@
 //! with `q` for FIFO and Priority on a contended workload — channels keep
 //! helping until the workload stops being channel-bound.
 
-use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
+use crate::common::{
+    contended_config, contended_threads, f3, run_cell_flat, ResultTable, Scale, ScratchPool,
+    TracePool,
+};
 use hbm_core::ArbitrationKind;
 use hbm_traces::TraceOptions;
 use serde::Serialize;
@@ -23,14 +26,24 @@ pub struct ChannelCell {
 
 /// Runs the sweep for `q ∈ 1..=10` on the SpGEMM workload.
 pub fn run_cells(scale: Scale, seed: u64) -> Vec<ChannelCell> {
-    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
-    let pool = TracePool::generate(scale.spgemm_spec(), p, seed, TraceOptions::default());
-    let w = pool.workload(p);
+    let pool = TracePool::generate(
+        scale.spgemm_spec(),
+        contended_threads(scale),
+        seed,
+        TraceOptions::default(),
+    );
+    let (p, k) = contended_config(&pool, scale);
+    let flat = pool.flat(p);
     let qs: Vec<usize> = (1..=10).collect();
-    hbm_par::parallel_map(&qs, |&q| ChannelCell {
-        q,
-        fifo_makespan: run_cell(&w, k, q, ArbitrationKind::Fifo, seed).makespan,
-        priority_makespan: run_cell(&w, k, q, ArbitrationKind::Priority, seed).makespan,
+    let scratches = ScratchPool::new();
+    hbm_par::parallel_map(&qs, |&q| {
+        scratches.with(|scratch| ChannelCell {
+            q,
+            fifo_makespan: run_cell_flat(&flat, k, q, ArbitrationKind::Fifo, seed, scratch)
+                .makespan,
+            priority_makespan: run_cell_flat(&flat, k, q, ArbitrationKind::Priority, seed, scratch)
+                .makespan,
+        })
     })
 }
 

@@ -1,9 +1,14 @@
 //! Shared experiment infrastructure: scales, result tables, and the
 //! simulation cell runner.
 
-use hbm_core::{ArbitrationKind, NoopObserver, Report, SimBuilder, SimError, Trace, Workload};
+use hbm_core::{
+    ArbitrationKind, EngineScratch, FlatWorkload, NoopObserver, Report, SimBuilder, SimError,
+    Trace, Workload,
+};
 use hbm_traces::{TraceOptions, WorkloadSpec};
 use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Experiment scale. The paper's full parameters produce multi-hour runs;
@@ -184,8 +189,24 @@ pub fn f3(x: f64) -> String {
 /// Builds per-core traces for the largest thread count once; sweep cells
 /// take prefixes. "Each trace is generated from the same program with
 /// different randomness" (§3.2).
+///
+/// Beyond the traces themselves the pool memoizes two derived artifacts so
+/// no sweep cell ever regenerates or re-indexes workload data
+/// (DESIGN.md §13):
+///
+/// * a lazily generated **probe trace** — `spec.generate_trace(seed,
+///   TraceOptions::default())`, exactly the trace [`hbm_sizes_for`] and
+///   [`contended_config`] historically regenerated from scratch on every
+///   call (it is *not* pool trace 0: `WorkloadSpec::workload` derives
+///   per-core seeds, so trace 0 uses a different stream);
+/// * one immutable [`FlatWorkload`] per requested prefix length `p`,
+///   shared via `Arc` across every cell of a sweep grid.
 pub struct TracePool {
+    spec: WorkloadSpec,
+    seed: u64,
     traces: Vec<Trace>,
+    probe: OnceLock<Trace>,
+    flats: Mutex<HashMap<usize, Arc<FlatWorkload>>>,
 }
 
 impl TracePool {
@@ -193,11 +214,16 @@ impl TracePool {
     pub fn generate(spec: WorkloadSpec, max_p: usize, seed: u64, opts: TraceOptions) -> Self {
         let w = spec.workload(max_p, seed, opts);
         TracePool {
+            spec,
+            seed,
             traces: w.traces().to_vec(),
+            probe: OnceLock::new(),
+            flats: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The workload made of the first `p` traces.
+    /// The workload made of the first `p` traces (cheap: traces are
+    /// `Arc`-backed, so this clones handles, not page data).
     pub fn workload(&self, p: usize) -> Workload {
         assert!(p <= self.traces.len());
         let mut w = Workload::new();
@@ -207,18 +233,43 @@ impl TracePool {
         w
     }
 
+    /// The shared pre-indexed form of [`workload(p)`](Self::workload),
+    /// built once per distinct `p` and memoized. Every sweep cell at the
+    /// same thread count gets the same `Arc` — flattening and page-index
+    /// construction happen once, not once per cell.
+    pub fn flat(&self, p: usize) -> Arc<FlatWorkload> {
+        let mut flats = self.flats.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            flats
+                .entry(p)
+                .or_insert_with(|| Arc::new(FlatWorkload::new(&self.workload(p)))),
+        )
+    }
+
     /// Largest available thread count.
     pub fn max_p(&self) -> usize {
         self.traces.len()
     }
+
+    /// One core's working set (unique pages) measured on the memoized
+    /// probe trace — generated at most once per pool, with
+    /// `TraceOptions::default()` regardless of the pool's own options so
+    /// derived HBM sizes stay identical across e.g. collapse ablations.
+    pub fn working_set(&self) -> usize {
+        self.probe
+            .get_or_init(|| {
+                Trace::new(self.spec.generate_trace(self.seed, TraceOptions::default()))
+            })
+            .unique_pages()
+    }
 }
 
-/// Measures one core's working set (unique pages) for `spec` and returns
-/// the swept HBM sizes: `scale.hbm_multipliers() × working_set`, floored at
-/// 16 slots.
-pub fn hbm_sizes_for(spec: WorkloadSpec, scale: Scale, seed: u64) -> Vec<usize> {
-    let trace = Trace::new(spec.generate_trace(seed, TraceOptions::default()));
-    let ws = trace.unique_pages().max(1);
+/// The swept HBM sizes for `pool`'s workload:
+/// `scale.hbm_multipliers() × working_set`, floored at 16 slots. The
+/// working set comes from the pool's memoized probe trace, so repeated
+/// calls (and [`contended_config`]) share one generation.
+pub fn hbm_sizes_for(pool: &TracePool, scale: Scale) -> Vec<usize> {
+    let ws = pool.working_set().max(1);
     let mut sizes: Vec<usize> = scale
         .hbm_multipliers()
         .into_iter()
@@ -228,16 +279,30 @@ pub fn hbm_sizes_for(spec: WorkloadSpec, scale: Scale, seed: u64) -> Vec<usize> 
     sizes
 }
 
-/// The contended (p, k) configuration for non-sweep experiments: HBM holds
-/// about two per-core working sets while `p` threads compete — the regime
-/// where policies diverge (Figure 5 / Table 1 / ablations).
-pub fn contended_config(spec: WorkloadSpec, scale: Scale, seed: u64) -> (usize, usize) {
-    let p = match scale {
+/// Thread count of the contended regime at `scale` — available before a
+/// [`TracePool`] exists, since the pool must be generated for exactly this
+/// many cores.
+pub fn contended_threads(scale: Scale) -> usize {
+    match scale {
         Scale::Small => 16,
         _ => 100,
-    };
+    }
+}
+
+/// The contended (p, k) configuration for non-sweep experiments: HBM holds
+/// about two per-core working sets while `p` threads compete — the regime
+/// where policies diverge (Figure 5 / Table 1 / ablations). Reads the
+/// pool's memoized working set instead of regenerating a probe trace.
+pub fn contended_config(pool: &TracePool, scale: Scale) -> (usize, usize) {
+    (contended_threads(scale), (2 * pool.working_set()).max(16))
+}
+
+/// [`contended_config`] for call sites that build their workloads directly
+/// (e.g. skewed variants) and have no [`TracePool`] to memoize the probe:
+/// generates one default-options probe trace on the spot.
+pub fn contended_config_for(spec: WorkloadSpec, scale: Scale, seed: u64) -> (usize, usize) {
     let ws = Trace::new(spec.generate_trace(seed, TraceOptions::default())).unique_pages();
-    (p, (2 * ws).max(16))
+    (contended_threads(scale), (2 * ws).max(16))
 }
 
 /// Runs one simulation cell.
@@ -254,6 +319,29 @@ pub fn run_cell(
         .arbitration(arb)
         .seed(seed)
         .run(workload)
+}
+
+/// Runs one simulation cell against a shared [`FlatWorkload`], recycling
+/// `scratch`'s buffers for the engine's mutable state. Bit-identical to
+/// [`run_cell`] on the equivalent owned workload (enforced by the sharing
+/// differential suite), but performs no per-cell trace copies and O(1)
+/// heap allocations once the scratch is warm.
+pub fn run_cell_flat(
+    flat: &Arc<FlatWorkload>,
+    k: usize,
+    q: usize,
+    arb: ArbitrationKind,
+    seed: u64,
+    scratch: &mut EngineScratch,
+) -> Report {
+    let engine = SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .seed(seed)
+        .try_build_flat_reusing(flat, scratch)
+        .expect("invalid simulation config");
+    engine.run_reusing(&mut NoopObserver, scratch)
 }
 
 /// Per-cell execution budget for sweeps over untrusted or adversarial
@@ -312,6 +400,104 @@ pub fn run_cell_budgeted(
         }
     }
     Ok(engine.into_report())
+}
+
+/// [`run_cell_budgeted`] over a shared [`FlatWorkload`] with recycled
+/// scratch buffers — the journaled-sweep worker path. Same soft-failure
+/// semantics; same results bit for bit.
+pub fn run_cell_budgeted_flat(
+    flat: &Arc<FlatWorkload>,
+    k: usize,
+    q: usize,
+    arb: ArbitrationKind,
+    seed: u64,
+    budget: CellBudget,
+    scratch: &mut EngineScratch,
+) -> Result<Report, SimError> {
+    let mut builder = SimBuilder::new()
+        .hbm_slots(k)
+        .channels(q)
+        .arbitration(arb)
+        .seed(seed);
+    if let Some(max_ticks) = budget.max_ticks {
+        builder = builder.max_ticks(max_ticks);
+    }
+    let tick_cap = builder.config().max_ticks;
+    let mut engine = builder.try_build_flat_reusing(flat, scratch)?;
+    let Some(wall) = budget.max_wall else {
+        return Ok(engine.run_reusing(&mut NoopObserver, scratch));
+    };
+    let start = Instant::now();
+    let mut steps = 0u32;
+    while !engine.is_done() && engine.tick() < tick_cap {
+        engine.step(&mut NoopObserver);
+        steps = steps.wrapping_add(1);
+        if steps & 1023 == 0 && start.elapsed() >= wall {
+            break;
+        }
+    }
+    Ok(engine.into_report_reusing(scratch))
+}
+
+/// A pool of [`EngineScratch`] buffers shared by sweep workers.
+///
+/// `hbm_par`'s closures are `Fn(&T)` — they cannot hold `&mut` worker
+/// state — so per-cell scratch reuse goes through this pool: each cell
+/// pops a scratch (or starts a fresh one), runs, and returns it. With `n`
+/// workers the pool converges to `n` scratches regardless of grid size.
+///
+/// **Panic safety:** the scratch is returned by a drop guard, so a cell
+/// that panics mid-run still recycles its buffers. That is sound because
+/// engine construction fully overwrites every scratch buffer
+/// (`clear()` + `resize`) — a panic-abandoned scratch is indistinguishable
+/// from a fresh one to the next cell (see the `EngineScratch` docs and the
+/// sharing differential suite).
+#[derive(Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<EngineScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; scratches are created on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a pooled scratch, returning it afterwards — including
+    /// on unwind.
+    pub fn with<R>(&self, f: impl FnOnce(&mut EngineScratch) -> R) -> R {
+        struct Guard<'a> {
+            pool: &'a ScratchPool,
+            scratch: Option<EngineScratch>,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                if let Some(s) = self.scratch.take() {
+                    self.pool
+                        .free
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(s);
+                }
+            }
+        }
+        let scratch = self
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let mut guard = Guard {
+            pool: self,
+            scratch: Some(scratch),
+        };
+        f(guard.scratch.as_mut().expect("scratch present until drop"))
+    }
+
+    /// Number of idle scratches currently pooled (for tests/diagnostics).
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
 }
 
 #[cfg(test)]

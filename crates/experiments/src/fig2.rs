@@ -26,8 +26,8 @@ pub fn run_cells(panel: Panel, scale: Scale, seed: u64) -> Vec<RatioCell> {
     };
     let threads = scale.thread_counts();
     let max_p = *threads.iter().max().expect("nonempty");
-    let hbm_sizes = hbm_sizes_for(spec, scale, seed);
     let pool = TracePool::generate(spec, max_p, seed, TraceOptions::default());
+    let hbm_sizes = hbm_sizes_for(&pool, scale);
     ratio_sweep(
         &pool,
         &threads,

@@ -5,10 +5,11 @@
 //! Priority starves threads. FIFO yields a higher makespan by as much as
 //! 40×" — and the gap scales linearly with thread count.
 
-use crate::common::{f3, ResultTable, Scale};
-use hbm_core::ArbitrationKind;
+use crate::common::{f3, run_cell_flat, ResultTable, Scale};
+use hbm_core::{ArbitrationKind, EngineScratch, FlatWorkload};
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One Figure 3 point.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -64,10 +65,13 @@ pub fn run_cells(scale: Scale, seed: u64) -> Vec<Fig3Cell> {
     let (pages, reps) = scale.cyclic_params();
     let ps = thread_counts(scale);
     hbm_par::parallel_map(&ps, |&p| {
-        let w = cyclic_workload(p, pages, reps);
+        // Flatten once per p; both policy cells replay the same shared
+        // workload and recycle one scratch between them.
+        let flat = Arc::new(FlatWorkload::new(&cyclic_workload(p, pages, reps)));
         let k = figure3_hbm_slots(p, pages, 4);
-        let fifo = crate::common::run_cell(&w, k, 1, ArbitrationKind::Fifo, seed);
-        let prio = crate::common::run_cell(&w, k, 1, ArbitrationKind::Priority, seed);
+        let mut scratch = EngineScratch::default();
+        let fifo = run_cell_flat(&flat, k, 1, ArbitrationKind::Fifo, seed, &mut scratch);
+        let prio = run_cell_flat(&flat, k, 1, ArbitrationKind::Priority, seed, &mut scratch);
         Fig3Cell {
             p,
             k,

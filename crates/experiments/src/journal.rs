@@ -19,7 +19,7 @@
 //!   process killed mid-append leaves at most one partial trailing line,
 //!   which is ignored; that cell simply re-runs.
 
-use crate::common::{run_cell_budgeted, CellBudget, TracePool};
+use crate::common::{run_cell_budgeted_flat, CellBudget, ScratchPool, TracePool};
 use crate::sweep::RatioCell;
 use hbm_core::fxhash::FxHasher;
 use hbm_core::ArbitrationKind;
@@ -266,13 +266,26 @@ pub fn run_journaled_sweep(
     } else {
         opts.threads
     };
+    let scratches = ScratchPool::new();
     let fresh = hbm_par::try_parallel_map_with(&todo, workers, |&&(key, p, k)| {
         if let Some(throttle) = opts.throttle {
             std::thread::sleep(throttle);
         }
-        let w = pool.workload(p);
-        let fifo = run_cell_budgeted(&w, k, q, ArbitrationKind::Fifo, seed, opts.budget)?;
-        let chal = run_cell_budgeted(&w, k, q, challenger(k), seed, opts.budget)?;
+        let flat = pool.flat(p);
+        let (fifo, chal) = scratches.with(|scratch| {
+            let fifo = run_cell_budgeted_flat(
+                &flat,
+                k,
+                q,
+                ArbitrationKind::Fifo,
+                seed,
+                opts.budget,
+                scratch,
+            )?;
+            let chal =
+                run_cell_budgeted_flat(&flat, k, q, challenger(k), seed, opts.budget, scratch)?;
+            Ok::<_, hbm_core::SimError>((fifo, chal))
+        })?;
         let cell = RatioCell {
             p,
             k,

@@ -7,10 +7,11 @@
 //! permutation scheme (Dynamic, Cycle, Cycle-Reverse, Interleave) under
 //! balanced and skewed work and reports makespan and starvation metrics.
 
-use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
-use hbm_core::ArbitrationKind;
+use crate::common::{contended_config_for, f3, run_cell_flat, ResultTable, Scale, ScratchPool};
+use hbm_core::{ArbitrationKind, FlatWorkload};
 use hbm_traces::{TraceOptions, WorkSkew};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One (scheme, skew) outcome.
 #[derive(Debug, Clone, Serialize)]
@@ -29,7 +30,7 @@ pub struct SchemeCell {
 
 /// Runs the comparison.
 pub fn run_cells(scale: Scale, seed: u64) -> Vec<SchemeCell> {
-    let (p, k) = contended_config(scale.spgemm_spec(), scale, seed);
+    let (p, k) = contended_config_for(scale.spgemm_spec(), scale, seed);
     let period = 10 * k as u64;
     let schemes: Vec<(&str, ArbitrationKind)> = vec![
         ("Dynamic", ArbitrationKind::DynamicPriority { period }),
@@ -51,18 +52,25 @@ pub fn run_cells(scale: Scale, seed: u64) -> Vec<SchemeCell> {
     let mut jobs = Vec::new();
     for (skew_name, skew) in skews {
         let spec = scale.spgemm_spec();
-        let w = spec.workload_skewed(p, seed, TraceOptions::default(), skew);
+        // One flatten per skew variant, shared across every scheme cell.
+        let flat = Arc::new(FlatWorkload::new(&spec.workload_skewed(
+            p,
+            seed,
+            TraceOptions::default(),
+            skew,
+        )));
         for (scheme_name, arb) in &schemes {
             jobs.push((
                 scheme_name.to_string(),
                 skew_name.to_string(),
-                w.clone(),
+                Arc::clone(&flat),
                 *arb,
             ));
         }
     }
-    hbm_par::parallel_map(&jobs, |(scheme, skew, w, arb)| {
-        let r = run_cell(w, k, 1, *arb, seed);
+    let scratches = ScratchPool::new();
+    hbm_par::parallel_map(&jobs, |(scheme, skew, flat, arb)| {
+        let r = scratches.with(|scratch| run_cell_flat(flat, k, 1, *arb, seed, scratch));
         SchemeCell {
             scheme: scheme.clone(),
             skew: skew.clone(),
@@ -97,11 +105,6 @@ pub fn run(scale: Scale, seed: u64) -> ResultTable {
     }
     t
 }
-
-/// Convenience: a TracePool is unused here but the import keeps the module
-/// signature consistent with the other experiments.
-#[allow(dead_code)]
-fn _unused(_: &TracePool) {}
 
 #[cfg(test)]
 mod tests {

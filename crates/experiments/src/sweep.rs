@@ -5,7 +5,7 @@
 //! in Figure 2 and Dynamic Priority (T = 10k) in Figure 4. Values above 1.0
 //! favour the challenger.
 
-use crate::common::{run_cell, TracePool};
+use crate::common::{run_cell_flat, ScratchPool, TracePool};
 use crate::plot::{AsciiPlot, Series};
 use hbm_core::ArbitrationKind;
 use serde::Serialize;
@@ -73,19 +73,25 @@ pub fn ratio_sweep(
         .iter()
         .flat_map(|&p| hbm_sizes.iter().map(move |&k| (p, k)))
         .collect();
+    // Flatten each distinct p up front (memoized in the pool) so the
+    // workers share immutable Arcs; mutable engine state comes from the
+    // scratch pool, so a warm sweep allocates O(workers), not O(cells).
+    let scratches = ScratchPool::new();
     hbm_par::parallel_map(&cells, |&(p, k)| {
-        let w = pool.workload(p);
-        let fifo = run_cell(&w, k, q, ArbitrationKind::Fifo, seed);
-        let chal = run_cell(&w, k, q, challenger(k), seed);
-        RatioCell {
-            p,
-            k,
-            fifo_makespan: fifo.makespan,
-            challenger_makespan: chal.makespan,
-            fifo_hit_rate: fifo.hit_rate,
-            challenger_hit_rate: chal.hit_rate,
-            truncated: fifo.truncated || chal.truncated,
-        }
+        let flat = pool.flat(p);
+        scratches.with(|scratch| {
+            let fifo = run_cell_flat(&flat, k, q, ArbitrationKind::Fifo, seed, scratch);
+            let chal = run_cell_flat(&flat, k, q, challenger(k), seed, scratch);
+            RatioCell {
+                p,
+                k,
+                fifo_makespan: fifo.makespan,
+                challenger_makespan: chal.makespan,
+                fifo_hit_rate: fifo.hit_rate,
+                challenger_hit_rate: chal.hit_rate,
+                truncated: fifo.truncated || chal.truncated,
+            }
+        })
     })
 }
 

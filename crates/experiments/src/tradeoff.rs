@@ -7,7 +7,10 @@
 //! `T ∈ {k, 5k, 10k, 100k}`. One sweep produces both: "Most of the
 //! inconsistency can be removed with minimal loss in performance."
 
-use crate::common::{contended_config, f3, run_cell, ResultTable, Scale, TracePool};
+use crate::common::{
+    contended_config, contended_threads, f3, run_cell_flat, ResultTable, Scale, ScratchPool,
+    TracePool,
+};
 use crate::fig2::Panel;
 use hbm_core::ArbitrationKind;
 use hbm_traces::{TraceOptions, WorkloadSpec};
@@ -30,26 +33,41 @@ pub struct PolicyPoint {
     pub max_response: u64,
 }
 
+/// The spec behind one trade-off panel.
+fn panel_spec(panel: Panel, scale: Scale) -> WorkloadSpec {
+    match panel {
+        Panel::SpGemm => scale.spgemm_spec(),
+        Panel::Sort => scale.sort_spec(),
+    }
+}
+
 /// The (p, k) configuration for the trade-off experiment.
 ///
 /// Figure 5 / Table 1 live in the *contended* regime: HBM holds about two
 /// per-core working sets while many more threads compete, so static
 /// Priority starves the tail and the trade-off is visible. `k` is derived
-/// from the measured working set of one generated trace.
-pub fn config(spec: WorkloadSpec, scale: Scale, seed: u64) -> (usize, usize) {
-    contended_config(spec, scale, seed)
+/// from the pool's memoized probe trace.
+pub fn config(pool: &TracePool, scale: Scale) -> (usize, usize) {
+    contended_config(pool, scale)
 }
 
-/// Runs the trade-off sweep for one panel; returns points in a fixed
-/// order: FIFO, Dynamic×multipliers, Cycle×multipliers, Priority.
-pub fn run_points(panel: Panel, scale: Scale, seed: u64) -> Vec<PolicyPoint> {
-    let spec = match panel {
-        Panel::SpGemm => scale.spgemm_spec(),
-        Panel::Sort => scale.sort_spec(),
-    };
-    let (p, k) = config(spec, scale, seed);
-    let pool = TracePool::generate(spec, p, seed, TraceOptions::default());
-    let w = pool.workload(p);
+/// Runs the trade-off sweep for one panel and returns the configuration
+/// alongside the points, so callers that need both (the Figure 5 title
+/// quotes p and k) never regenerate traces to rediscover them.
+pub fn run_points_with_config(
+    panel: Panel,
+    scale: Scale,
+    seed: u64,
+) -> (usize, usize, Vec<PolicyPoint>) {
+    let spec = panel_spec(panel, scale);
+    let pool = TracePool::generate(
+        spec,
+        contended_threads(scale),
+        seed,
+        TraceOptions::default(),
+    );
+    let (p, k) = config(&pool, scale);
+    let flat = pool.flat(p);
 
     let mut jobs: Vec<(String, Option<u64>, ArbitrationKind)> =
         vec![("FIFO".into(), None, ArbitrationKind::Fifo)];
@@ -73,8 +91,9 @@ pub fn run_points(panel: Panel, scale: Scale, seed: u64) -> Vec<PolicyPoint> {
     }
     jobs.push(("Priority".into(), None, ArbitrationKind::Priority));
 
-    hbm_par::parallel_map(&jobs, |(label, mult, arb)| {
-        let r = run_cell(&w, k, 1, *arb, seed);
+    let scratches = ScratchPool::new();
+    let points = hbm_par::parallel_map(&jobs, |(label, mult, arb)| {
+        let r = scratches.with(|scratch| run_cell_flat(&flat, k, 1, *arb, seed, scratch));
         PolicyPoint {
             label: label.clone(),
             multiplier: *mult,
@@ -83,7 +102,14 @@ pub fn run_points(panel: Panel, scale: Scale, seed: u64) -> Vec<PolicyPoint> {
             mean_response: r.response.mean,
             max_response: r.worst_response(),
         }
-    })
+    });
+    (p, k, points)
+}
+
+/// Runs the trade-off sweep for one panel; returns points in a fixed
+/// order: FIFO, Dynamic×multipliers, Cycle×multipliers, Priority.
+pub fn run_points(panel: Panel, scale: Scale, seed: u64) -> Vec<PolicyPoint> {
+    run_points_with_config(panel, scale, seed).2
 }
 
 /// Renders the Figure 5 chart: inconsistency (x, log) vs makespan (y).
@@ -114,12 +140,7 @@ pub fn plot_points(points: &[PolicyPoint], title: &str) -> crate::plot::AsciiPlo
 
 /// Figure 5 rendering: makespan vs inconsistency per policy point.
 pub fn run_fig5(panel: Panel, scale: Scale, seed: u64) -> ResultTable {
-    let points = run_points(panel, scale, seed);
-    let spec = match panel {
-        Panel::SpGemm => scale.spgemm_spec(),
-        Panel::Sort => scale.sort_spec(),
-    };
-    let (p, k) = config(spec, scale, seed);
+    let (p, k, points) = run_points_with_config(panel, scale, seed);
     let name = match panel {
         Panel::SpGemm => format!(
             "Figure 5a — SpGEMM (p={p}, k={k}): inconsistency vs makespan across schemes and T"

@@ -1,0 +1,148 @@
+//! EngineScratch soundness under the panic path (DESIGN.md §13).
+//!
+//! Sweep workers recycle [`EngineScratch`] buffers through a
+//! [`ScratchPool`]; a cell that panics mid-run abandons its scratch in an
+//! arbitrary state — possibly *hollow* (the engine took the buffers and
+//! never gave them back) or half-mutated. The pool's drop guard still
+//! returns that scratch, and the next cell must be bit-identical to one
+//! run on a fresh scratch. These tests drive the real crash machinery:
+//! `hbm_par::try_parallel_map`'s per-cell `catch_unwind` plus the pool's
+//! unwind guard, then differential-check every surviving scratch.
+
+use hbm_core::testkit::{compare_reports, random_cell};
+use hbm_core::{Engine, EngineScratch, FaultPlan, FlatWorkload, NoopObserver};
+use hbm_experiments::common::{run_cell, run_cell_flat, ScratchPool};
+use std::sync::Arc;
+
+/// The pool's `with` returns the scratch even when the closure unwinds.
+#[test]
+fn with_recycles_scratch_on_unwind() {
+    let pool = ScratchPool::new();
+    assert_eq!(pool.idle(), 0);
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.with(|_scratch| panic!("injected"));
+    }));
+    assert!(unwound.is_err());
+    assert_eq!(
+        pool.idle(),
+        1,
+        "panicked cell must still return its scratch"
+    );
+}
+
+/// A sweep where every third cell panics *after* engine construction has
+/// taken the scratch's buffers (leaving it hollow). Panicking cells fail
+/// alone under `try_parallel_map`; every scratch the pool recycled —
+/// including the abandoned ones — then produces bit-identical reports.
+#[test]
+fn panicked_cells_leave_recyclable_scratches() {
+    let scratches = ScratchPool::new();
+    let seeds: Vec<u64> = (0..12).collect();
+    let results = hbm_par::try_parallel_map(&seeds, |&seed| {
+        scratches.with(|scratch| {
+            let cell = random_cell(seed);
+            let flat = Arc::new(FlatWorkload::new(&cell.workload));
+            let engine = Engine::from_flat_with_scratch(
+                cell.config,
+                FaultPlan::default(),
+                Arc::clone(&flat),
+                scratch,
+            );
+            // The engine now owns the buffers; the scratch is hollow — the
+            // worst state the drop guard can hand back to the pool.
+            if seed % 3 == 0 {
+                panic!("injected mid-cell panic (seed {seed})");
+            }
+            engine.run_reusing(&mut NoopObserver, scratch)
+        })
+    });
+    for (seed, res) in seeds.iter().zip(&results) {
+        match res {
+            Ok(_) => assert_ne!(seed % 3, 0, "seed {seed} should have panicked"),
+            Err(p) => {
+                assert_eq!(seed % 3, 0, "seed {seed} should have completed");
+                assert!(p.message.contains("injected"), "unexpected panic: {p}");
+            }
+        }
+    }
+    assert!(
+        scratches.idle() > 0,
+        "workers must have returned scratches to the pool"
+    );
+
+    // Differential pass: drain the pool — every recycled scratch (hollow
+    // or dirty) must replay a fresh cell identically to an owned run.
+    let idle = scratches.idle();
+    for verify_seed in 100..100 + idle as u64 {
+        let cell = random_cell(verify_seed);
+        let flat = Arc::new(FlatWorkload::new(&cell.workload));
+        let pooled = scratches.with(|scratch| {
+            run_cell_flat(
+                &flat,
+                cell.config.hbm_slots,
+                cell.config.channels,
+                cell.config.arbitration,
+                cell.config.seed,
+                scratch,
+            )
+        });
+        let owned = run_cell(
+            &cell.workload,
+            cell.config.hbm_slots,
+            cell.config.channels,
+            cell.config.arbitration,
+            cell.config.seed,
+        );
+        compare_reports(&owned, &pooled).unwrap_or_else(|msg| {
+            panic!("recycled scratch diverged on verify seed {verify_seed}:\n{msg}")
+        });
+    }
+}
+
+/// The same guarantee without the pool: a scratch abandoned hollow by a
+/// direct `catch_unwind` (no drop guard involved) re-arms correctly.
+#[test]
+fn hollow_scratch_from_catch_unwind_is_reusable() {
+    let mut scratch = EngineScratch::default();
+    // Warm the scratch on one cell so it holds real buffers.
+    let warm = random_cell(7);
+    let warm_flat = Arc::new(FlatWorkload::new(&warm.workload));
+    let _ = run_cell_flat(
+        &warm_flat,
+        warm.config.hbm_slots,
+        warm.config.channels,
+        warm.config.arbitration,
+        warm.config.seed,
+        &mut scratch,
+    );
+    // Abandon it hollow: construction takes the buffers, then we unwind.
+    let taken = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _engine = Engine::from_flat_with_scratch(
+            warm.config,
+            FaultPlan::default(),
+            Arc::clone(&warm_flat),
+            &mut scratch,
+        );
+        panic!("abandon the engine");
+    }));
+    assert!(taken.is_err());
+    // The hollow scratch must serve the next cell bit-identically.
+    let cell = random_cell(8);
+    let flat = Arc::new(FlatWorkload::new(&cell.workload));
+    let reused = run_cell_flat(
+        &flat,
+        cell.config.hbm_slots,
+        cell.config.channels,
+        cell.config.arbitration,
+        cell.config.seed,
+        &mut scratch,
+    );
+    let owned = run_cell(
+        &cell.workload,
+        cell.config.hbm_slots,
+        cell.config.channels,
+        cell.config.arbitration,
+        cell.config.seed,
+    );
+    compare_reports(&owned, &reused).unwrap();
+}
