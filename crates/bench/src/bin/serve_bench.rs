@@ -1,0 +1,359 @@
+//! `serve_bench` — the load generator behind `BENCH_5.json`.
+//!
+//! Drives an `hbm-serve` instance over real TCP with concurrent clients
+//! and records sustained requests/sec plus the latency distribution (see
+//! `hbm_bench::serve_doc` for the document schema):
+//!
+//! ```text
+//! cargo run --release -p hbm-bench --bin serve_bench -- --out BENCH_5.json
+//! ```
+//!
+//! Flags:
+//! - `--addr HOST:PORT`: target an already-running server (the CI smoke
+//!   job starts the real `hbm-serve` binary and points this flag at it).
+//!   Without it, an in-process [`Server`] is spun up on an ephemeral port
+//!   and torn down afterwards — same code path as the binary, no process
+//!   management needed.
+//! - `--clients LIST`: comma-separated concurrent-client counts, one load
+//!   point each (default `1,4` — the ISSUE's acceptance floor is ≥4).
+//! - `--duration SECS`: measurement window per load point (default 2.0)
+//! - `--workers N`: worker threads for the in-process server (default:
+//!   available parallelism)
+//! - `--out FILE`: write the JSON document (default `BENCH_5.json`)
+//! - `--check BASELINE.json`: gate against a baseline via
+//!   `serve_doc::check_throughput_floor` (calibration-normalized)
+//! - `--tolerance FRAC`: allowed req/s drop for `--check` (default 0.25)
+//!
+//! Every run also: (a) byte-compares one served report against a direct
+//! `SimBuilder` run (`golden_match` in the document — a correctness gate,
+//! not a speed one); (b) measures the warm-vs-cold setup delta by timing
+//! a first request on a never-seen workload seed against the median of
+//! warm repeats.
+//!
+//! Exit status: 0 on success, 1 on a golden mismatch or a `--check`
+//! failure, so CI can gate directly on this binary.
+
+use hbm_bench::harness::calibration_score;
+use hbm_bench::serve_doc::{
+    check_throughput_floor, percentile, render_json, summarize, LoadPoint, WarmVsCold,
+};
+use hbm_core::{ArbitrationKind, SimBuilder};
+use hbm_serve::http::{read_response, write_request};
+use hbm_serve::proto::report_to_json;
+use hbm_serve::server::{Server, ServerConfig};
+use hbm_serve::shutdown::ShutdownFlag;
+use hbm_traces::{TraceOptions, WorkloadSpec};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant, SystemTime};
+
+/// The steady-state request every client loops on: a real (if small)
+/// simulation, so a "request" costs an actual engine run, not a parse.
+const LOAD_BODY: &str = r#"{"workload": {"kind": "cyclic", "pages": 64, "reps": 8, "seed": 3}, "p": 8, "k": 48, "q": 2, "arbitration": "priority", "seed": 11}"#;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_bench [--addr HOST:PORT] [--clients LIST] [--duration SECS]\n\
+         \x20                 [--workers N] [--out FILE] [--check BASELINE.json]\n\
+         \x20                 [--tolerance FRAC]"
+    );
+    std::process::exit(1);
+}
+
+/// One client connection that knows how to re-dial: the server closes
+/// keep-alive sockets on drain and idle timeouts, and a load generator
+/// must ride through that rather than die.
+struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None }
+    }
+
+    /// One request/response exchange; reconnects on any transport error
+    /// and reports it as `Err` so the caller can count it.
+    fn roundtrip(&mut self, path: &str, body: &[u8]) -> Result<(u16, Vec<u8>), String> {
+        if self.stream.is_none() {
+            let stream =
+                TcpStream::connect(self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let result = write_request(stream, "POST", path, body)
+            .map_err(|e| format!("write: {e}"))
+            .and_then(|()| read_response(stream, deadline).map_err(|e| format!("read: {e}")));
+        if result.is_err() {
+            // Drop the broken socket; the next roundtrip re-dials.
+            self.stream = None;
+        }
+        result
+    }
+}
+
+/// The exact bytes the server must serve for the golden request, computed
+/// through the plain `SimBuilder` path — same oracle as the integration
+/// tests, re-checked here under load conditions.
+fn golden_expected() -> (String, String) {
+    let body = r#"{"workload": {"kind": "cyclic", "pages": 32, "reps": 4, "seed": 9}, "p": 4, "k": 24, "q": 2, "arbitration": "priority", "seed": 7}"#;
+    let spec = WorkloadSpec::Cyclic { pages: 32, reps: 4 };
+    let workload = spec.workload(4, 9, TraceOptions::default());
+    let report = SimBuilder::new()
+        .hbm_slots(24)
+        .channels(2)
+        .arbitration(ArbitrationKind::Priority)
+        .seed(7)
+        .run(&workload);
+    (body.to_string(), report_to_json(&report))
+}
+
+/// Times the first request on a never-before-seen workload seed (cold
+/// pool: trace generation + flatten on the request path) against the
+/// median of warm repeats of the same request.
+fn measure_warm_vs_cold(addr: SocketAddr) -> Result<WarmVsCold, String> {
+    // A seed no other run has used, so the pool is cold even against a
+    // long-running external server.
+    let unique = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (u64::from(std::process::id()) << 32);
+    let body = format!(
+        r#"{{"workload": {{"kind": "cyclic", "pages": 64, "reps": 8, "seed": {unique}}}, "p": 8, "k": 48, "q": 2, "arbitration": "priority", "seed": 11}}"#
+    );
+    let mut client = Client::new(addr);
+    let t0 = Instant::now();
+    let (status, _) = client.roundtrip("/simulate", body.as_bytes())?;
+    let cold = t0.elapsed().as_secs_f64();
+    if status != 200 {
+        return Err(format!("cold probe got {status}"));
+    }
+    let mut warm = Vec::with_capacity(20);
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        let (status, _) = client.roundtrip("/simulate", body.as_bytes())?;
+        if status != 200 {
+            return Err(format!("warm probe got {status}"));
+        }
+        warm.push(t0.elapsed().as_secs_f64());
+    }
+    let warm_median = percentile(&warm, 0.50).max(1e-9);
+    Ok(WarmVsCold {
+        cold_first_seconds: cold,
+        warm_median_seconds: warm_median,
+        cold_over_warm: cold / warm_median,
+    })
+}
+
+/// Runs one load point: `clients` connections hammering `/simulate` for
+/// `duration`, all released together by a barrier so the window measures
+/// steady-state concurrency, not ramp-up.
+fn run_load_point(addr: SocketAddr, clients: usize, duration: Duration) -> LoadPoint {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                let mut latencies = Vec::new();
+                let mut errors = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    match client.roundtrip("/simulate", LOAD_BODY.as_bytes()) {
+                        Ok((200, _)) => latencies.push(t0.elapsed().as_secs_f64()),
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (lat, err) = h.join().expect("client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    // Wall time includes the stragglers' final in-flight requests — the
+    // honest denominator for the completed-request count.
+    summarize(clients, &latencies, errors, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut addr_arg: Option<String> = None;
+    let mut clients_arg = String::from("1,4");
+    let mut duration = 2.0f64;
+    let mut workers: Option<usize> = None;
+    let mut out_path = String::from("BENCH_5.json");
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => addr_arg = Some(val(&mut args)),
+            "--clients" => clients_arg = val(&mut args),
+            "--duration" => duration = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--out" => out_path = val(&mut args),
+            "--check" => check_path = Some(val(&mut args)),
+            "--tolerance" => tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let client_counts: Vec<usize> = clients_arg
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect();
+    if client_counts.is_empty() || duration <= 0.0 {
+        usage();
+    }
+
+    eprintln!("calibrating machine speed...");
+    let calibration = calibration_score();
+    eprintln!("calibration_score: {calibration:.0} iters/sec");
+
+    // Target server: external (--addr) or in-process on an ephemeral port.
+    let (addr, local) = match addr_arg {
+        Some(a) => {
+            let addr: SocketAddr = a.parse().unwrap_or_else(|e| {
+                eprintln!("error: bad --addr {a}: {e}");
+                std::process::exit(1)
+            });
+            (addr, None)
+        }
+        None => {
+            let config = ServerConfig {
+                workers: workers
+                    .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+                    .unwrap_or(4),
+                ..ServerConfig::default()
+            };
+            let flag = ShutdownFlag::new();
+            let server = Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
+                eprintln!("error: bind: {e}");
+                std::process::exit(1)
+            });
+            let addr = server.local_addr().expect("ephemeral local addr");
+            let run_flag = flag.clone();
+            let handle = std::thread::spawn(move || server.run(&run_flag));
+            eprintln!("in-process server on {addr}");
+            (addr, Some((flag, handle)))
+        }
+    };
+
+    // Golden gate first: throughput numbers from a server computing wrong
+    // answers are worthless.
+    let (golden_body, expected) = golden_expected();
+    let golden_match = match Client::new(addr).roundtrip("/simulate", golden_body.as_bytes()) {
+        Ok((200, body)) => String::from_utf8_lossy(&body) == expected,
+        Ok((status, body)) => {
+            eprintln!(
+                "golden request got {status}: {}",
+                String::from_utf8_lossy(&body)
+            );
+            false
+        }
+        Err(e) => {
+            eprintln!("golden request failed: {e}");
+            false
+        }
+    };
+    eprintln!(
+        "golden byte-compare vs direct SimBuilder: {}",
+        if golden_match { "MATCH" } else { "MISMATCH" }
+    );
+
+    let warm_vs_cold = measure_warm_vs_cold(addr).unwrap_or_else(|e| {
+        eprintln!("warm/cold probe failed: {e}");
+        WarmVsCold {
+            cold_first_seconds: 0.0,
+            warm_median_seconds: 0.0,
+            cold_over_warm: 0.0,
+        }
+    });
+    eprintln!(
+        "warm-vs-cold: first request {:.3} ms, warm median {:.3} ms ({:.1}x)",
+        warm_vs_cold.cold_first_seconds * 1e3,
+        warm_vs_cold.warm_median_seconds * 1e3,
+        warm_vs_cold.cold_over_warm
+    );
+
+    let mut points = Vec::with_capacity(client_counts.len());
+    for &clients in &client_counts {
+        let pt = run_load_point(addr, clients, Duration::from_secs_f64(duration));
+        eprintln!(
+            "clients={:3}  {:8.0} req/s  ({} ok, {} errors; p50 {:.3} ms, p99 {:.3} ms)",
+            pt.clients,
+            pt.requests_per_sec,
+            pt.requests,
+            pt.errors,
+            pt.p50_seconds * 1e3,
+            pt.p99_seconds * 1e3,
+        );
+        points.push(pt);
+    }
+
+    // Tear down the in-process server before gating, so a gate failure
+    // still exits with the listener closed and stats drained.
+    if let Some((flag, handle)) = local {
+        flag.trip();
+        match handle.join() {
+            Ok(Ok(stats)) => eprintln!(
+                "in-process server drained: {} requests ({} ok)",
+                stats.requests, stats.ok
+            ),
+            Ok(Err(e)) => eprintln!("in-process server error: {e}"),
+            Err(_) => eprintln!("in-process server panicked"),
+        }
+    }
+
+    let json = render_json(calibration, &points, warm_vs_cold, golden_match);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1)
+    });
+    let best = points
+        .iter()
+        .map(|p| p.requests_per_sec)
+        .fold(0.0, f64::max);
+    eprintln!("wrote {out_path}  (best {best:.0} req/s)");
+
+    let mut failed = !golden_match;
+    if let Some(base_path) = check_path {
+        let baseline = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read --check baseline {base_path}: {e}");
+            std::process::exit(1)
+        });
+        let failures = check_throughput_floor(&json, &baseline, tolerance);
+        if failures.is_empty() {
+            eprintln!(
+                "throughput floor PASS (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            eprintln!("throughput floor FAIL: {} failure(s)", failures.len());
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@ use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use hbm_traces::{TraceOptions, WorkloadSpec};
 
 pub mod harness;
+pub mod serve_doc;
 
 /// Bench-scale SpGEMM spec (working set ≈ 23 pages/core).
 pub fn spgemm_spec() -> WorkloadSpec {

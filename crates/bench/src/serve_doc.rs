@@ -1,0 +1,368 @@
+//! The machine-readable serving-throughput document behind `BENCH_5.json`.
+//!
+//! [`harness`](crate::harness) answers "how many simulated ticks per
+//! second does the *engine* sustain?"; this module answers the layer-up
+//! question "how many *requests* per second does the `hbm-serve` service
+//! sustain over real TCP, and at what tail latency?". The measurements are
+//! produced by the `serve_bench` load-generator binary:
+//!
+//! ```text
+//! cargo run --release -p hbm-bench --bin serve_bench -- --out BENCH_5.json
+//! ```
+//!
+//! Schema 4 (the bench-document family's next revision after the
+//! harness's schema 3) adds the `serve` section: one object per load
+//! point (client count × duration) carrying sustained requests/sec and
+//! the latency distribution, plus a `warm_vs_cold` object recording the
+//! first-request (cold trace pool) versus steady-state (memoized pool +
+//! recycled scratch) setup delta, and a `golden_match` flag asserting the
+//! served bytes equalled a direct `SimBuilder` run during the load.
+//!
+//! Unlike the harness document this one is rendered *and* re-read through
+//! the real JSON codec ([`hbm_serve::json`]) — the regression gate
+//! dogfoods the parser the server itself uses. Cross-machine
+//! comparability reuses the harness's [`calibration_score`]: the floor
+//! gate scales the baseline's requests/sec by the calibration ratio, so
+//! a slower CI runner does not read as a serving regression.
+//!
+//! [`calibration_score`]: crate::harness::calibration_score
+
+use hbm_serve::json::{fmt_f64, Json, Number};
+
+/// One measured load point: `clients` concurrent connections driving the
+/// server flat-out for a fixed duration.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Completed (200) requests over the window.
+    pub requests: u64,
+    /// Failed requests (non-200, transport errors). Honest runs keep this
+    /// at 0; the gate refuses documents where errors outnumber successes.
+    pub errors: u64,
+    /// Wall-clock seconds of the measurement window.
+    pub wall_seconds: f64,
+    /// `requests / wall_seconds` — the sustained throughput figure.
+    pub requests_per_sec: f64,
+    /// Median request latency in seconds.
+    pub p50_seconds: f64,
+    /// 90th-percentile request latency in seconds.
+    pub p90_seconds: f64,
+    /// 99th-percentile request latency in seconds — the tail the ISSUE's
+    /// acceptance criteria quote.
+    pub p99_seconds: f64,
+    /// Worst observed request latency in seconds.
+    pub max_seconds: f64,
+}
+
+/// The cold-versus-warm setup delta: the first request against a fresh
+/// server pays trace generation + flatten (cold [`TracePool`]); repeats
+/// ride the memoized pool and recycled scratch.
+///
+/// [`TracePool`]: hbm_serve::pool::TracePool
+#[derive(Debug, Clone, Copy)]
+pub struct WarmVsCold {
+    /// Latency of the very first request (cold pool), seconds.
+    pub cold_first_seconds: f64,
+    /// Median latency of the following warm repeats, seconds.
+    pub warm_median_seconds: f64,
+    /// `cold_first_seconds / warm_median_seconds`.
+    pub cold_over_warm: f64,
+}
+
+/// Latency percentile over an *unsorted* sample (sorts a copy). `p` in
+/// [0, 1]; nearest-rank on the sorted sample. Returns 0 for an empty one.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summarizes a latency sample (seconds) into a [`LoadPoint`].
+pub fn summarize(clients: usize, latencies: &[f64], errors: u64, wall_seconds: f64) -> LoadPoint {
+    let wall = wall_seconds.max(1e-9);
+    LoadPoint {
+        clients,
+        requests: latencies.len() as u64,
+        errors,
+        wall_seconds: wall,
+        requests_per_sec: latencies.len() as f64 / wall,
+        p50_seconds: percentile(latencies, 0.50),
+        p90_seconds: percentile(latencies, 0.90),
+        p99_seconds: percentile(latencies, 0.99),
+        max_seconds: latencies.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+fn num(x: f64) -> Json {
+    Json::Num(Number::F(if x.is_finite() { x } else { 0.0 }))
+}
+
+/// Renders the full `BENCH_5.json` document (schema 4). Layout mirrors the
+/// harness document — line-oriented, one load point per line — but every
+/// value goes through [`fmt_f64`], so the file is an exact fixed point of
+/// the server's own codec.
+pub fn render_json(
+    calibration: f64,
+    points: &[LoadPoint],
+    warm_vs_cold: WarmVsCold,
+    golden_match: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str(
+        "  \"command\": \"cargo run --release -p hbm-bench --bin serve_bench -- --out BENCH_5.json\",\n",
+    );
+    out.push_str(&format!(
+        "  \"calibration_score\": {},\n",
+        fmt_f64(calibration)
+    ));
+    out.push_str("  \"serve\": [\n");
+    for (i, pt) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let line = Json::obj(vec![
+            ("clients", Json::from(pt.clients as u64)),
+            ("requests", Json::from(pt.requests)),
+            ("errors", Json::from(pt.errors)),
+            ("wall_seconds", num(pt.wall_seconds)),
+            ("requests_per_sec", num(pt.requests_per_sec)),
+            ("p50_seconds", num(pt.p50_seconds)),
+            ("p90_seconds", num(pt.p90_seconds)),
+            ("p99_seconds", num(pt.p99_seconds)),
+            ("max_seconds", num(pt.max_seconds)),
+        ]);
+        out.push_str(&format!("    {line}{comma}\n"));
+    }
+    out.push_str("  ],\n");
+    let wc = Json::obj(vec![
+        ("cold_first_seconds", num(warm_vs_cold.cold_first_seconds)),
+        ("warm_median_seconds", num(warm_vs_cold.warm_median_seconds)),
+        ("cold_over_warm", num(warm_vs_cold.cold_over_warm)),
+    ]);
+    out.push_str(&format!("  \"warm_vs_cold\": {wc},\n"));
+    out.push_str(&format!("  \"golden_match\": {golden_match},\n"));
+    let best = points
+        .iter()
+        .map(|p| p.requests_per_sec)
+        .fold(0.0, f64::max);
+    let worst_p99 = points.iter().map(|p| p.p99_seconds).fold(0.0, f64::max);
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"best_requests_per_sec\": {},\n",
+        fmt_f64(best)
+    ));
+    out.push_str(&format!(
+        "    \"worst_p99_seconds\": {}\n",
+        fmt_f64(worst_p99)
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// A parsed `BENCH_5.json` document — the fields the floor gate needs.
+#[derive(Debug, Clone)]
+pub struct ParsedDoc {
+    /// Machine calibration score recorded at measurement time.
+    pub calibration: f64,
+    /// The load points, in document order.
+    pub points: Vec<LoadPoint>,
+    /// Whether the served bytes matched a direct `SimBuilder` run.
+    pub golden_match: bool,
+}
+
+/// Re-reads a document produced by [`render_json`], through the real JSON
+/// parser. `None` on anything malformed or missing the schema-4 fields.
+pub fn parse_doc(text: &str) -> Option<ParsedDoc> {
+    let v = Json::parse(text).ok()?;
+    let calibration = v.get("calibration_score")?.as_f64()?;
+    let golden_match = v.get("golden_match")?.as_bool()?;
+    let Json::Arr(serve) = v.get("serve")? else {
+        return None;
+    };
+    let mut points = Vec::with_capacity(serve.len());
+    for pt in serve {
+        points.push(LoadPoint {
+            clients: pt.get("clients")?.as_usize()?,
+            requests: pt.get("requests")?.as_u64()?,
+            errors: pt.get("errors")?.as_u64()?,
+            wall_seconds: pt.get("wall_seconds")?.as_f64()?,
+            requests_per_sec: pt.get("requests_per_sec")?.as_f64()?,
+            p50_seconds: pt.get("p50_seconds")?.as_f64()?,
+            p90_seconds: pt.get("p90_seconds")?.as_f64()?,
+            p99_seconds: pt.get("p99_seconds")?.as_f64()?,
+            max_seconds: pt.get("max_seconds")?.as_f64()?,
+        });
+    }
+    Some(ParsedDoc {
+        calibration,
+        points,
+        golden_match,
+    })
+}
+
+/// Compares a current document against a baseline. A load point fails the
+/// floor when its requests/sec drops more than `tolerance` below the
+/// baseline's calibration-normalized figure (matching on client count);
+/// the whole document fails when golden_match is false or errors outnumber
+/// successes at any point. Client counts present on only one side are
+/// informational, not failures. Returns human-readable failure lines;
+/// empty means the gate passes.
+pub fn check_throughput_floor(
+    current_json: &str,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(current) = parse_doc(current_json) else {
+        return vec!["current BENCH_5 document is malformed".into()];
+    };
+    let Some(baseline) = parse_doc(baseline_json) else {
+        return vec!["baseline BENCH_5 document is malformed".into()];
+    };
+    if !current.golden_match {
+        failures.push("GOLDEN MISMATCH: served bytes diverged from direct SimBuilder run".into());
+    }
+    for pt in &current.points {
+        if pt.errors > pt.requests {
+            failures.push(format!(
+                "UNHEALTHY LOAD POINT clients={}: {} errors vs {} successes",
+                pt.clients, pt.errors, pt.requests
+            ));
+        }
+    }
+    let scale = if current.calibration > 0.0 && baseline.calibration > 0.0 {
+        current.calibration / baseline.calibration
+    } else {
+        1.0
+    };
+    for b in &baseline.points {
+        let Some(c) = current.points.iter().find(|c| c.clients == b.clients) else {
+            continue;
+        };
+        let floor = b.requests_per_sec * scale * (1.0 - tolerance);
+        if floor > 0.0 && c.requests_per_sec < floor {
+            failures.push(format!(
+                "THROUGHPUT REGRESSION clients={}: {:.0} req/s vs baseline {:.0} \
+                 (machine-normalized floor {:.0}, tolerance {:.0}%)",
+                b.clients,
+                c.requests_per_sec,
+                b.requests_per_sec,
+                floor,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(clients: usize, rps: f64) -> LoadPoint {
+        LoadPoint {
+            clients,
+            requests: (rps * 2.0) as u64,
+            errors: 0,
+            wall_seconds: 2.0,
+            requests_per_sec: rps,
+            p50_seconds: 0.001,
+            p90_seconds: 0.002,
+            p99_seconds: 0.004,
+            max_seconds: 0.010,
+        }
+    }
+
+    fn wc() -> WarmVsCold {
+        WarmVsCold {
+            cold_first_seconds: 0.020,
+            warm_median_seconds: 0.002,
+            cold_over_warm: 10.0,
+        }
+    }
+
+    fn doc(calib: f64, points: &[LoadPoint], golden: bool) -> String {
+        render_json(calib, points, wc(), golden)
+    }
+
+    #[test]
+    fn document_round_trips_through_the_real_parser() {
+        let json = doc(1e8, &[point(1, 400.0), point(4, 1200.0)], true);
+        assert!(json.contains("\"schema_version\": 4"));
+        let parsed = parse_doc(&json).expect("own output must parse");
+        assert_eq!(parsed.calibration, 1e8);
+        assert!(parsed.golden_match);
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[1].clients, 4);
+        assert_eq!(parsed.points[1].requests_per_sec, 1200.0);
+        assert_eq!(parsed.points[1].p99_seconds, 0.004);
+        // The whole document is valid JSON for any consumer, not just ours.
+        assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sample = [0.004, 0.001, 0.002, 0.003];
+        assert_eq!(percentile(&sample, 0.50), 0.002);
+        assert_eq!(percentile(&sample, 0.99), 0.004);
+        assert_eq!(percentile(&sample, 0.0), 0.001);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn summarize_computes_consistent_rates() {
+        let lat = vec![0.001; 100];
+        let pt = summarize(4, &lat, 0, 2.0);
+        assert_eq!(pt.requests, 100);
+        assert!((pt.requests_per_sec - 50.0).abs() < 1e-9);
+        assert_eq!(pt.p99_seconds, 0.001);
+        assert_eq!(pt.max_seconds, 0.001);
+    }
+
+    #[test]
+    fn floor_gate_fires_only_past_tolerance() {
+        let base = doc(1e8, &[point(4, 1000.0)], true);
+        let ok = doc(1e8, &[point(4, 800.0)], true);
+        let bad = doc(1e8, &[point(4, 700.0)], true);
+        assert!(check_throughput_floor(&ok, &base, 0.25).is_empty());
+        let failures = check_throughput_floor(&bad, &base, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("THROUGHPUT REGRESSION clients=4"));
+    }
+
+    #[test]
+    fn floor_gate_normalizes_by_calibration() {
+        // Baseline from a machine 2x faster: our floor halves.
+        let base = doc(2e8, &[point(4, 1000.0)], true);
+        let cur = doc(1e8, &[point(4, 450.0)], true);
+        assert!(check_throughput_floor(&cur, &base, 0.25).is_empty());
+        let cur_bad = doc(1e8, &[point(4, 300.0)], true);
+        assert_eq!(check_throughput_floor(&cur_bad, &base, 0.25).len(), 1);
+    }
+
+    #[test]
+    fn golden_mismatch_and_unknown_clients_behave() {
+        let base = doc(1e8, &[point(8, 1000.0)], true);
+        // Unknown client counts are not failures...
+        let cur = doc(1e8, &[point(4, 10.0)], true);
+        assert!(check_throughput_floor(&cur, &base, 0.25).is_empty());
+        // ...but a golden mismatch always is.
+        let cur_bad = doc(1e8, &[point(4, 10.0)], false);
+        let failures = check_throughput_floor(&cur_bad, &base, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("GOLDEN MISMATCH"));
+    }
+
+    #[test]
+    fn malformed_documents_fail_closed() {
+        let good = doc(1e8, &[point(4, 100.0)], true);
+        assert!(!check_throughput_floor("{}", &good, 0.25).is_empty());
+        assert!(!check_throughput_floor(&good, "not json", 0.25).is_empty());
+    }
+}

@@ -167,10 +167,16 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         );
     }
 
+    // SIGTERM/SIGINT drain instead of kill: in-flight cells finish and
+    // flush to the journal, unstarted cells are skipped, and the process
+    // exits cleanly — rerunning the same command resumes exactly where
+    // the drain stopped.
+    let cancel = hbm_serve::ShutdownFlag::with_signal_handlers();
     let opts = SweepRunOptions {
         budget: CellBudget::UNLIMITED,
         threads: args.threads,
         throttle: (args.throttle_ms > 0).then(|| Duration::from_millis(args.throttle_ms)),
+        cancel: Some(cancel.clone()),
     };
     let outcome = run_journaled_sweep(
         &pool,
@@ -184,10 +190,11 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         &opts,
     );
     eprintln!(
-        "[repro] sweep: {} cells ({} resumed from journal, {} failed)",
+        "[repro] sweep: {} cells ({} resumed from journal, {} failed, {} cancelled)",
         outcome.cells.len() + outcome.failures.len(),
         outcome.resumed,
-        outcome.failures.len()
+        outcome.failures.len(),
+        outcome.cancelled,
     );
 
     let mut table = ResultTable::new(
@@ -213,6 +220,21 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     }
     println!("{}", table.to_markdown());
 
+    if outcome.cancelled > 0 {
+        // Drained, not killed: everything that ran is flushed to the
+        // journal. Keep the journal (even an ephemeral one) so the run
+        // can resume, and skip the JSON artifact — a partial artifact
+        // would be indistinguishable from a complete one.
+        eprintln!(
+            "[repro] sweep cancelled: {} cells skipped; journal {} holds every completed cell",
+            outcome.cancelled,
+            journal_path.display()
+        );
+        return Err(format!(
+            "sweep cancelled by signal; resume with --journal {}",
+            journal_path.display()
+        ));
+    }
     if let Some(json_path) = &args.json {
         std::fs::write(json_path, cells_to_json(&outcome.cells))
             .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;

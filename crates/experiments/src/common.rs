@@ -1,15 +1,20 @@
 //! Shared experiment infrastructure: scales, result tables, and the
 //! simulation cell runner.
+//!
+//! The warm-path substrate (trace pools, scratch pools, budgeted cell
+//! runners) moved to [`hbm_serve::pool`] so the serving layer can reuse it
+//! without depending on the experiment harness; this module re-exports it
+//! under the historical paths, so every sweep and benchmark call site
+//! compiles unchanged.
 
-use hbm_core::{
-    ArbitrationKind, EngineScratch, FlatWorkload, NoopObserver, Report, SimBuilder, SimError,
-    Trace, Workload,
-};
+use hbm_core::Trace;
 use hbm_traces::{TraceOptions, WorkloadSpec};
 use serde::Serialize;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+
+pub use hbm_serve::pool::{
+    run_cell, run_cell_budgeted, run_cell_budgeted_flat, run_cell_flat, CellBudget, ScratchPool,
+    TracePool,
+};
 
 /// Experiment scale. The paper's full parameters produce multi-hour runs;
 /// `Default` preserves every *shape* (who wins, where crossovers fall) at
@@ -186,84 +191,6 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
-/// Builds per-core traces for the largest thread count once; sweep cells
-/// take prefixes. "Each trace is generated from the same program with
-/// different randomness" (§3.2).
-///
-/// Beyond the traces themselves the pool memoizes two derived artifacts so
-/// no sweep cell ever regenerates or re-indexes workload data
-/// (DESIGN.md §13):
-///
-/// * a lazily generated **probe trace** — `spec.generate_trace(seed,
-///   TraceOptions::default())`, exactly the trace [`hbm_sizes_for`] and
-///   [`contended_config`] historically regenerated from scratch on every
-///   call (it is *not* pool trace 0: `WorkloadSpec::workload` derives
-///   per-core seeds, so trace 0 uses a different stream);
-/// * one immutable [`FlatWorkload`] per requested prefix length `p`,
-///   shared via `Arc` across every cell of a sweep grid.
-pub struct TracePool {
-    spec: WorkloadSpec,
-    seed: u64,
-    traces: Vec<Trace>,
-    probe: OnceLock<Trace>,
-    flats: Mutex<HashMap<usize, Arc<FlatWorkload>>>,
-}
-
-impl TracePool {
-    /// Generates `max_p` traces for `spec` (parallelized inside).
-    pub fn generate(spec: WorkloadSpec, max_p: usize, seed: u64, opts: TraceOptions) -> Self {
-        let w = spec.workload(max_p, seed, opts);
-        TracePool {
-            spec,
-            seed,
-            traces: w.traces().to_vec(),
-            probe: OnceLock::new(),
-            flats: Mutex::new(HashMap::new()),
-        }
-    }
-
-    /// The workload made of the first `p` traces (cheap: traces are
-    /// `Arc`-backed, so this clones handles, not page data).
-    pub fn workload(&self, p: usize) -> Workload {
-        assert!(p <= self.traces.len());
-        let mut w = Workload::new();
-        for t in &self.traces[..p] {
-            w.push(t.clone());
-        }
-        w
-    }
-
-    /// The shared pre-indexed form of [`workload(p)`](Self::workload),
-    /// built once per distinct `p` and memoized. Every sweep cell at the
-    /// same thread count gets the same `Arc` — flattening and page-index
-    /// construction happen once, not once per cell.
-    pub fn flat(&self, p: usize) -> Arc<FlatWorkload> {
-        let mut flats = self.flats.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(
-            flats
-                .entry(p)
-                .or_insert_with(|| Arc::new(FlatWorkload::new(&self.workload(p)))),
-        )
-    }
-
-    /// Largest available thread count.
-    pub fn max_p(&self) -> usize {
-        self.traces.len()
-    }
-
-    /// One core's working set (unique pages) measured on the memoized
-    /// probe trace — generated at most once per pool, with
-    /// `TraceOptions::default()` regardless of the pool's own options so
-    /// derived HBM sizes stay identical across e.g. collapse ablations.
-    pub fn working_set(&self) -> usize {
-        self.probe
-            .get_or_init(|| {
-                Trace::new(self.spec.generate_trace(self.seed, TraceOptions::default()))
-            })
-            .unique_pages()
-    }
-}
-
 /// The swept HBM sizes for `pool`'s workload:
 /// `scale.hbm_multipliers() × working_set`, floored at 16 slots. The
 /// working set comes from the pool's memoized probe trace, so repeated
@@ -305,201 +232,6 @@ pub fn contended_config_for(spec: WorkloadSpec, scale: Scale, seed: u64) -> (usi
     (contended_threads(scale), (2 * ws).max(16))
 }
 
-/// Runs one simulation cell.
-pub fn run_cell(
-    workload: &Workload,
-    k: usize,
-    q: usize,
-    arb: ArbitrationKind,
-    seed: u64,
-) -> Report {
-    SimBuilder::new()
-        .hbm_slots(k)
-        .channels(q)
-        .arbitration(arb)
-        .seed(seed)
-        .run(workload)
-}
-
-/// Runs one simulation cell against a shared [`FlatWorkload`], recycling
-/// `scratch`'s buffers for the engine's mutable state. Bit-identical to
-/// [`run_cell`] on the equivalent owned workload (enforced by the sharing
-/// differential suite), but performs no per-cell trace copies and O(1)
-/// heap allocations once the scratch is warm.
-pub fn run_cell_flat(
-    flat: &Arc<FlatWorkload>,
-    k: usize,
-    q: usize,
-    arb: ArbitrationKind,
-    seed: u64,
-    scratch: &mut EngineScratch,
-) -> Report {
-    let engine = SimBuilder::new()
-        .hbm_slots(k)
-        .channels(q)
-        .arbitration(arb)
-        .seed(seed)
-        .try_build_flat_reusing(flat, scratch)
-        .expect("invalid simulation config");
-    engine.run_reusing(&mut NoopObserver, scratch)
-}
-
-/// Per-cell execution budget for sweeps over untrusted or adversarial
-/// parameter grids. Exceeding either bound stops the cell cooperatively
-/// and reports `Report::truncated = true` — the cell fails *soft* (its
-/// partial metrics are still returned) instead of hanging the sweep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CellBudget {
-    /// Maximum simulated ticks (sets the engine's `max_ticks`).
-    pub max_ticks: Option<u64>,
-    /// Maximum wall-clock time, checked every 1024 engine steps.
-    pub max_wall: Option<Duration>,
-}
-
-impl CellBudget {
-    /// No limits — identical behaviour to [`run_cell`].
-    pub const UNLIMITED: CellBudget = CellBudget {
-        max_ticks: None,
-        max_wall: None,
-    };
-}
-
-/// Runs one simulation cell under a [`CellBudget`], returning a typed
-/// error (never panicking) on invalid configuration. Budget-truncated
-/// cells return `Ok` with `Report::truncated = true`.
-pub fn run_cell_budgeted(
-    workload: &Workload,
-    k: usize,
-    q: usize,
-    arb: ArbitrationKind,
-    seed: u64,
-    budget: CellBudget,
-) -> Result<Report, SimError> {
-    let mut builder = SimBuilder::new()
-        .hbm_slots(k)
-        .channels(q)
-        .arbitration(arb)
-        .seed(seed);
-    if let Some(max_ticks) = budget.max_ticks {
-        builder = builder.max_ticks(max_ticks);
-    }
-    let tick_cap = builder.config().max_ticks;
-    let mut engine = builder.try_build(workload)?;
-    let Some(wall) = budget.max_wall else {
-        return Ok(engine.run(&mut NoopObserver));
-    };
-    let start = Instant::now();
-    let mut steps = 0u32;
-    while !engine.is_done() && engine.tick() < tick_cap {
-        engine.step(&mut NoopObserver);
-        steps = steps.wrapping_add(1);
-        // Instant::now() costs a vDSO call; amortize it over a batch of
-        // steps (a step is at least one tick, usually far more).
-        if steps & 1023 == 0 && start.elapsed() >= wall {
-            break;
-        }
-    }
-    Ok(engine.into_report())
-}
-
-/// [`run_cell_budgeted`] over a shared [`FlatWorkload`] with recycled
-/// scratch buffers — the journaled-sweep worker path. Same soft-failure
-/// semantics; same results bit for bit.
-pub fn run_cell_budgeted_flat(
-    flat: &Arc<FlatWorkload>,
-    k: usize,
-    q: usize,
-    arb: ArbitrationKind,
-    seed: u64,
-    budget: CellBudget,
-    scratch: &mut EngineScratch,
-) -> Result<Report, SimError> {
-    let mut builder = SimBuilder::new()
-        .hbm_slots(k)
-        .channels(q)
-        .arbitration(arb)
-        .seed(seed);
-    if let Some(max_ticks) = budget.max_ticks {
-        builder = builder.max_ticks(max_ticks);
-    }
-    let tick_cap = builder.config().max_ticks;
-    let mut engine = builder.try_build_flat_reusing(flat, scratch)?;
-    let Some(wall) = budget.max_wall else {
-        return Ok(engine.run_reusing(&mut NoopObserver, scratch));
-    };
-    let start = Instant::now();
-    let mut steps = 0u32;
-    while !engine.is_done() && engine.tick() < tick_cap {
-        engine.step(&mut NoopObserver);
-        steps = steps.wrapping_add(1);
-        if steps & 1023 == 0 && start.elapsed() >= wall {
-            break;
-        }
-    }
-    Ok(engine.into_report_reusing(scratch))
-}
-
-/// A pool of [`EngineScratch`] buffers shared by sweep workers.
-///
-/// `hbm_par`'s closures are `Fn(&T)` — they cannot hold `&mut` worker
-/// state — so per-cell scratch reuse goes through this pool: each cell
-/// pops a scratch (or starts a fresh one), runs, and returns it. With `n`
-/// workers the pool converges to `n` scratches regardless of grid size.
-///
-/// **Panic safety:** the scratch is returned by a drop guard, so a cell
-/// that panics mid-run still recycles its buffers. That is sound because
-/// engine construction fully overwrites every scratch buffer
-/// (`clear()` + `resize`) — a panic-abandoned scratch is indistinguishable
-/// from a fresh one to the next cell (see the `EngineScratch` docs and the
-/// sharing differential suite).
-#[derive(Default)]
-pub struct ScratchPool {
-    free: Mutex<Vec<EngineScratch>>,
-}
-
-impl ScratchPool {
-    /// An empty pool; scratches are created on demand.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Runs `f` with a pooled scratch, returning it afterwards — including
-    /// on unwind.
-    pub fn with<R>(&self, f: impl FnOnce(&mut EngineScratch) -> R) -> R {
-        struct Guard<'a> {
-            pool: &'a ScratchPool,
-            scratch: Option<EngineScratch>,
-        }
-        impl Drop for Guard<'_> {
-            fn drop(&mut self) {
-                if let Some(s) = self.scratch.take() {
-                    self.pool
-                        .free
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(s);
-                }
-            }
-        }
-        let scratch = self
-            .free
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
-        let mut guard = Guard {
-            pool: self,
-            scratch: Some(scratch),
-        };
-        f(guard.scratch.as_mut().expect("scratch present until drop"))
-    }
-
-    /// Number of idle scratches currently pooled (for tests/diagnostics).
-    pub fn idle(&self) -> usize {
-        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,78 +263,25 @@ mod tests {
         t.push_row(vec!["1".into()]);
     }
 
+    // The pool/runner substrate's own tests live with the code in
+    // `hbm_serve::pool`; this one checks the re-exported paths still
+    // resolve and behave (the harness's compilation contract).
     #[test]
-    fn trace_pool_prefixes() {
+    fn reexported_substrate_is_usable() {
         let spec = WorkloadSpec::Uniform { pages: 10, len: 50 };
-        let pool = TracePool::generate(spec, 4, 1, TraceOptions::default());
-        assert_eq!(pool.max_p(), 4);
-        let w2 = pool.workload(2);
-        let w4 = pool.workload(4);
-        assert_eq!(w2.cores(), 2);
-        // Prefix property: w2's traces are w4's first two.
-        assert_eq!(w2.trace(0).as_slice(), w4.trace(0).as_slice());
-        assert_eq!(w2.trace(1).as_slice(), w4.trace(1).as_slice());
-    }
-
-    #[test]
-    fn budgeted_run_matches_unbudgeted_when_unlimited() {
-        let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]; 3]);
-        let plain = run_cell(&w, 4, 1, ArbitrationKind::Priority, 7);
+        let pool = TracePool::generate(spec, 2, 1, TraceOptions::default());
+        let r = run_cell(&pool.workload(2), 16, 1, hbm_core::ArbitrationKind::Fifo, 0);
+        assert!(r.served > 0);
         let budgeted = run_cell_budgeted(
-            &w,
-            4,
+            &pool.workload(2),
+            16,
             1,
-            ArbitrationKind::Priority,
-            7,
+            hbm_core::ArbitrationKind::Fifo,
+            0,
             CellBudget::UNLIMITED,
         )
         .unwrap();
-        assert_eq!(plain.makespan, budgeted.makespan);
-        assert_eq!(plain.hits, budgeted.hits);
-        assert!(!budgeted.truncated);
-    }
-
-    #[test]
-    fn budgeted_run_wall_limit_matches_plain_run_when_generous() {
-        let w = Workload::from_refs(vec![vec![0, 1, 2]; 2]);
-        let budget = CellBudget {
-            max_ticks: None,
-            max_wall: Some(Duration::from_secs(60)),
-        };
-        let r = run_cell_budgeted(&w, 4, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
-        assert!(!r.truncated);
-        assert_eq!(r.served, 6);
-    }
-
-    #[test]
-    fn budgeted_run_tick_limit_truncates() {
-        let w = Workload::from_refs(vec![(0..200u32).collect(); 4]);
-        let budget = CellBudget {
-            max_ticks: Some(10),
-            max_wall: None,
-        };
-        let r = run_cell_budgeted(&w, 16, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
-        assert!(r.truncated, "tick budget must truncate");
-        assert_eq!(r.makespan, 10);
-    }
-
-    #[test]
-    fn budgeted_run_zero_wall_truncates_not_hangs() {
-        // A zero wall budget must stop promptly with partial metrics.
-        let w = Workload::from_refs(vec![(0..2000u32).collect(); 8]);
-        let budget = CellBudget {
-            max_ticks: None,
-            max_wall: Some(Duration::ZERO),
-        };
-        let r = run_cell_budgeted(&w, 16, 1, ArbitrationKind::Fifo, 0, budget).unwrap();
-        assert!(r.truncated, "zero wall budget must truncate");
-    }
-
-    #[test]
-    fn budgeted_run_surfaces_config_errors() {
-        let w = Workload::from_refs(vec![vec![0]]);
-        let err = run_cell_budgeted(&w, 0, 1, ArbitrationKind::Fifo, 0, CellBudget::UNLIMITED);
-        assert!(err.is_err(), "k = 0 must be a typed error, not a panic");
+        assert_eq!(budgeted.makespan, r.makespan);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use crate::common::{run_cell_budgeted_flat, CellBudget, ScratchPool, TracePool};
 use crate::sweep::RatioCell;
 use hbm_core::fxhash::FxHasher;
 use hbm_core::ArbitrationKind;
+use hbm_serve::json::{fmt_f64, Json};
+use hbm_serve::shutdown::ShutdownFlag;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::hash::Hasher;
@@ -138,64 +140,43 @@ fn format_line(key: u64, c: &RatioCell) -> String {
     )
 }
 
-/// Extracts `"field":<digits>` from a journal line.
-fn json_u64(line: &str, field: &str) -> Option<u64> {
-    let pat = format!("\"{field}\":");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    if end == 0 {
+/// Extracts `"field":"<16 hex digits>"` from a parsed journal object.
+fn json_hex(v: &Json, field: &str) -> Option<u64> {
+    let s = v.get(field)?.as_str()?;
+    if s.len() != 16 {
         return None;
     }
-    rest[..end].parse().ok()
+    u64::from_str_radix(s, 16).ok()
 }
 
-/// Extracts `"field":"<16 hex digits>"` from a journal line.
-fn json_hex(line: &str, field: &str) -> Option<u64> {
-    let pat = format!("\"{field}\":\"");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    let end = rest.find('"')?;
-    u64::from_str_radix(&rest[..end], 16).ok()
-}
-
-/// Extracts `"field":true|false` from a journal line.
-fn json_bool(line: &str, field: &str) -> Option<bool> {
-    let pat = format!("\"{field}\":");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    if rest.starts_with("true") {
-        Some(true)
-    } else if rest.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
-}
-
-/// Parses one journal line; `None` for partial or corrupt lines (the cell
-/// re-runs — the journal is a cache, never an authority).
+/// Parses one journal line via the shared [`hbm_serve::json`] codec;
+/// `None` for partial or corrupt lines (the cell re-runs — the journal is
+/// a cache, never an authority). The historical hand-rolled field
+/// scanners accepted exactly the lines [`Json::parse`] accepts here, so
+/// journals written by older versions load unchanged.
 fn parse_line(line: &str) -> Option<(u64, RatioCell)> {
     let line = line.trim_end();
     if !line.starts_with('{') || !line.ends_with('}') {
         return None;
     }
-    let key = json_hex(line, "key")?;
+    let v = Json::parse(line).ok()?;
+    let key = json_hex(&v, "key")?;
     Some((
         key,
         RatioCell {
-            p: json_u64(line, "p")? as usize,
-            k: json_u64(line, "k")? as usize,
-            fifo_makespan: json_u64(line, "fifo_makespan")?,
-            challenger_makespan: json_u64(line, "challenger_makespan")?,
-            fifo_hit_rate: f64::from_bits(json_hex(line, "fifo_hit_rate_bits")?),
-            challenger_hit_rate: f64::from_bits(json_hex(line, "challenger_hit_rate_bits")?),
-            truncated: json_bool(line, "truncated")?,
+            p: v.get("p")?.as_usize()?,
+            k: v.get("k")?.as_usize()?,
+            fifo_makespan: v.get("fifo_makespan")?.as_u64()?,
+            challenger_makespan: v.get("challenger_makespan")?.as_u64()?,
+            fifo_hit_rate: f64::from_bits(json_hex(&v, "fifo_hit_rate_bits")?),
+            challenger_hit_rate: f64::from_bits(json_hex(&v, "challenger_hit_rate_bits")?),
+            truncated: v.get("truncated")?.as_bool()?,
         },
     ))
 }
 
 /// Execution options for a journaled sweep.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Default)]
 pub struct SweepRunOptions {
     /// Per-cell tick/wall budget.
     pub budget: CellBudget,
@@ -204,6 +185,11 @@ pub struct SweepRunOptions {
     /// Artificial per-cell delay. Used by the CI resume-smoke test to
     /// make "killed mid-run" a deterministic state rather than a race.
     pub throttle: Option<Duration>,
+    /// Cooperative cancellation (the CLI wires SIGTERM/SIGINT here). A
+    /// tripped flag stops *scheduling* cells; cells already running finish
+    /// and are journaled, so a cancelled sweep resumes from exactly where
+    /// it drained.
+    pub cancel: Option<ShutdownFlag>,
 }
 
 /// One cell that did not produce a result: either its simulation config
@@ -221,12 +207,17 @@ pub struct CellFailure {
 /// Result of a journaled sweep run.
 pub struct SweepOutcome {
     /// Completed cells in deterministic (p-major, then k) grid order.
+    /// When the run was cancelled, cells that never ran are absent (the
+    /// order of the survivors is still deterministic).
     pub cells: Vec<RatioCell>,
     /// Cells that failed (typed config error or panic); the rest of the
     /// sweep is unaffected.
     pub failures: Vec<CellFailure>,
     /// How many cells were restored from the journal instead of re-run.
     pub resumed: usize,
+    /// How many cells were skipped because the cancel flag tripped. Zero
+    /// means the sweep ran to completion.
+    pub cancelled: usize,
 }
 
 /// Runs the (threads × hbm_sizes) ratio sweep with crash-safe journaling.
@@ -268,6 +259,13 @@ pub fn run_journaled_sweep(
     };
     let scratches = ScratchPool::new();
     let fresh = hbm_par::try_parallel_map_with(&todo, workers, |&&(key, p, k)| {
+        // Checked once per cell, before any work: a tripped flag means
+        // this cell never starts. Cells already past this point run to
+        // completion and are journaled (drain-and-flush), so resuming
+        // after a cancel re-runs only genuinely unstarted cells.
+        if opts.cancel.as_ref().is_some_and(|c| c.is_set()) {
+            return Ok(None);
+        }
         if let Some(throttle) = opts.throttle {
             std::thread::sleep(throttle);
         }
@@ -296,10 +294,10 @@ pub fn run_journaled_sweep(
             truncated: fifo.truncated || chal.truncated,
         };
         journal.record(key, &cell).map_err(CellError::Io)?;
-        Ok::<RatioCell, CellError>(cell)
+        Ok::<Option<RatioCell>, CellError>(Some(cell))
     });
 
-    let mut done: HashMap<u64, Result<RatioCell, String>> = HashMap::new();
+    let mut done: HashMap<u64, Result<Option<RatioCell>, String>> = HashMap::new();
     for (&&(key, p, k), res) in todo.iter().zip(fresh) {
         let entry = match res {
             Ok(Ok(cell)) => Ok(cell),
@@ -311,12 +309,14 @@ pub fn run_journaled_sweep(
 
     let mut cells = Vec::with_capacity(grid.len());
     let mut failures = Vec::new();
+    let mut cancelled = 0;
     for &(key, p, k) in &grid {
         if let Some(cell) = journal.get(key) {
             cells.push(*cell);
         } else {
             match done.remove(&key) {
-                Some(Ok(cell)) => cells.push(cell),
+                Some(Ok(Some(cell))) => cells.push(cell),
+                Some(Ok(None)) => cancelled += 1,
                 Some(Err(reason)) => failures.push(CellFailure { p, k, reason }),
                 None => unreachable!("every non-journaled cell was scheduled"),
             }
@@ -326,6 +326,7 @@ pub fn run_journaled_sweep(
         cells,
         failures,
         resumed,
+        cancelled,
     }
 }
 
@@ -376,22 +377,11 @@ pub fn cells_to_json(cells: &[RatioCell]) -> String {
     out
 }
 
-/// JSON-safe f64: finite values via the shortest-roundtrip formatter
-/// (always containing enough digits to reparse exactly), non-finite as
-/// `null` (JSON has no NaN/Infinity).
+/// JSON-safe f64 — the shared codec's formatter ([`fmt_f64`]), kept under
+/// its historical local name. Byte-identical to the formatter this module
+/// used before the codec was extracted, so existing artifacts reproduce.
 fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        let s = format!("{x}");
-        // `format!("{}", 1.0)` yields "1" — valid JSON, but make the type
-        // unambiguous for downstream tooling.
-        if s.contains('.') || s.contains('e') || s.contains('-') {
-            s
-        } else {
-            format!("{s}.0")
-        }
-    } else {
-        "null".into()
-    }
+    fmt_f64(x)
 }
 
 #[cfg(test)]
@@ -650,5 +640,85 @@ mod tests {
         assert_eq!(json_f64(0.5), "0.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn tripped_cancel_flag_skips_every_unstarted_cell() {
+        let tmp = TempPath::new("cancel");
+        let pool = tiny_pool();
+        let journal = SweepJournal::open(&tmp.0).unwrap();
+        let flag = ShutdownFlag::new();
+        flag.trip();
+        let outcome = run_journaled_sweep(
+            &pool,
+            "test",
+            &[2, 4],
+            &[16, 32],
+            |_| ArbitrationKind::Priority,
+            1,
+            0,
+            &journal,
+            &SweepRunOptions {
+                cancel: Some(flag),
+                ..SweepRunOptions::default()
+            },
+        );
+        assert_eq!(
+            outcome.cancelled, 4,
+            "no cell may start under a tripped flag"
+        );
+        assert!(outcome.cells.is_empty());
+        assert!(outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn cancelled_sweep_resumes_to_identical_output() {
+        let tmp = TempPath::new("cancel-resume");
+        let pool = tiny_pool();
+        let run = |journal: &SweepJournal, opts: &SweepRunOptions| {
+            run_journaled_sweep(
+                &pool,
+                "test",
+                &[1, 2, 4],
+                &[16, 32],
+                |_| ArbitrationKind::Priority,
+                1,
+                0,
+                journal,
+                opts,
+            )
+        };
+        // Reference: an uninterrupted run in a separate journal.
+        let full = {
+            let tmp2 = TempPath::new("cancel-reference");
+            let journal = SweepJournal::open(&tmp2.0).unwrap();
+            run(&journal, &SweepRunOptions::default())
+        };
+        // Cancelled run: the flag trips immediately, so everything is
+        // skipped and the journal stays empty — the degenerate drain.
+        {
+            let journal = SweepJournal::open(&tmp.0).unwrap();
+            let flag = ShutdownFlag::new();
+            flag.trip();
+            let cancelled = run(
+                &journal,
+                &SweepRunOptions {
+                    cancel: Some(flag),
+                    ..SweepRunOptions::default()
+                },
+            );
+            assert_eq!(cancelled.cancelled, 6);
+        }
+        // Resume with an untripped flag: completes, byte-identical.
+        let journal = SweepJournal::open(&tmp.0).unwrap();
+        let resumed = run(
+            &journal,
+            &SweepRunOptions {
+                cancel: Some(ShutdownFlag::new()),
+                ..SweepRunOptions::default()
+            },
+        );
+        assert_eq!(resumed.cancelled, 0);
+        assert_eq!(cells_to_json(&resumed.cells), cells_to_json(&full.cells));
     }
 }

@@ -25,6 +25,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
+
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};

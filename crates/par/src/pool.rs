@@ -1,0 +1,336 @@
+//! A long-lived, bounded-queue worker pool with per-job panic isolation.
+//!
+//! [`parallel_map_with`](crate::parallel_map_with) is batch-shaped: it owns
+//! its input slice, spawns scoped workers, and joins them before returning.
+//! A *service* needs the dual shape — workers that outlive any one job,
+//! pulling work from a queue as requests arrive. [`WorkerPool`] is that
+//! extraction, with the same two properties the sweep maps guarantee:
+//!
+//! * **Panic isolation**: every job runs under
+//!   [`std::panic::catch_unwind`], so one poisoned job cannot kill its
+//!   worker thread or wedge the pool ([`WorkerPool::panicked`] counts
+//!   them). Callers that need the panic *payload* should catch inside the
+//!   job themselves; the pool-level guard is the backstop that keeps the
+//!   worker alive.
+//! * **Bounded admission**: the pending queue has a hard capacity, and
+//!   [`WorkerPool::try_submit`] refuses — immediately, without blocking —
+//!   when it is full. That refusal is the mechanism behind the HTTP
+//!   server's 429 responses: load the machine cannot absorb is rejected at
+//!   the door instead of growing an unbounded backlog.
+//!
+//! Shutdown is *draining*: [`WorkerPool::shutdown`] stops admission, lets
+//! the workers finish every job already queued, and joins them. Dropping
+//! the pool does the same.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`WorkerPool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at capacity; the job was not enqueued.
+    Full {
+        /// The pool's queue capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The pool is shutting down and admits no new work.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full { capacity } => {
+                write!(f, "worker pool queue full (capacity {capacity})")
+            }
+            SubmitError::ShutDown => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    running: AtomicUsize,
+    executed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A fixed set of worker threads draining a bounded job queue.
+///
+/// ```
+/// use hbm_par::pool::WorkerPool;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(2, 8);
+/// let done = Arc::new(AtomicU32::new(0));
+/// for _ in 0..4 {
+///     let done = Arc::clone(&done);
+///     pool.try_submit(move || {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     })
+///     .unwrap();
+/// }
+/// pool.shutdown();
+/// assert_eq!(done.load(Ordering::Relaxed), 4);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (floored at 1) sharing a pending queue of
+    /// at most `queue_capacity` jobs. A capacity of 0 is legal and makes
+    /// every [`try_submit`](Self::try_submit) fail with
+    /// [`SubmitError::Full`] — useful for testing rejection paths.
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: queue_capacity,
+            running: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hbm-pool-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `job` if there is room, never blocking. Returns
+    /// [`SubmitError::Full`] when the pending queue is at capacity (the
+    /// caller decides whether to retry, shed load, or report 429) and
+    /// [`SubmitError::ShutDown`] once shutdown has begun.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown {
+            return Err(SubmitError::ShutDown);
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::Full {
+                capacity: self.shared.capacity,
+            });
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently queued (admitted but not yet started).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed (including panicked ones) since the pool started.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose closure panicked. The workers survived every one.
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// The pending-queue capacity this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Stops admission, drains every queued job, and joins the workers.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_submitted_jobs() {
+        let pool = WorkerPool::new(4, 64);
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+        assert_eq!(pool.executed(), 50);
+        assert_eq!(pool.panicked(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let pool = WorkerPool::new(1, 0);
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert_eq!(err, SubmitError::Full { capacity: 0 });
+        assert_eq!(err.to_string(), "worker pool queue full (capacity 0)");
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        // Gate the single worker so the queue cannot drain.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("gate job started");
+        // Worker busy; the 1-slot queue takes exactly one more job.
+        pool.try_submit(|| {}).unwrap();
+        assert_eq!(
+            pool.try_submit(|| {}),
+            Err(SubmitError::Full { capacity: 1 })
+        );
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(pool.executed(), 2);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = WorkerPool::new(1, 8);
+        let done = Arc::new(AtomicU32::new(0));
+        pool.try_submit(|| panic!("poisoned job")).unwrap();
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        std::panic::set_hook(prev);
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(pool.executed(), 4);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(2, 64);
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 32, "drain ran every job");
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let pool = WorkerPool::new(1, 8);
+        pool.shutdown();
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::ShutDown));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let pool = WorkerPool::new(2, 4);
+        pool.try_submit(|| {}).unwrap();
+        pool.shutdown();
+        pool.shutdown();
+        assert_eq!(pool.executed(), 1);
+    }
+}

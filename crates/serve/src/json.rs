@@ -1,0 +1,860 @@
+//! A minimal, dependency-free JSON codec.
+//!
+//! The workspace's `serde` is an offline no-op stand-in, so every crate
+//! that needs real JSON has hand-rolled it — `hbm-experiments::journal`
+//! writes JSONL with `format!` and re-reads it with ad-hoc field scanners.
+//! This module factors that encoding into one shared codec used by the
+//! journal, the HTTP server's request/response wire format, and the
+//! benchmark documents.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Byte determinism.** Serialization is a pure function of the value:
+//!    objects keep insertion order ([`Json::Obj`] is a `Vec`, not a map),
+//!    floats use Rust's shortest-roundtrip formatter (via [`fmt_f64`]),
+//!    and there is no configurable whitespace. Two equal values always
+//!    serialize to identical bytes — the property the journal's
+//!    resume-byte-identity and the server's report byte-compare tests sit
+//!    on.
+//! 2. **Integer exactness.** Tick counts are `u64` and must survive a
+//!    round trip bit for bit, so numbers are *not* uniformly `f64`:
+//!    [`Number`] keeps unsigned/signed integers exact and only falls back
+//!    to `f64` for genuine fractions and out-of-range magnitudes.
+//! 3. **Hostile-input hygiene** (mirroring `hbm_traces::io::TraceIoError`):
+//!    parsing is bounded — input size and nesting depth are capped by
+//!    [`JsonLimits`], allocation is proportional to input actually read
+//!    (JSON has no length prefixes to lie with, and we never `reserve`
+//!    from parsed data), trailing garbage is an error, and every failure
+//!    is a typed [`JsonError`] with a byte offset, never a panic.
+
+use std::fmt;
+
+/// Parser resource limits. Defaults are generous for trusted inputs; the
+/// HTTP server tightens them per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth (arrays + objects).
+    pub max_depth: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> Self {
+        JsonLimits {
+            max_bytes: 16 << 20,
+            max_depth: 64,
+        }
+    }
+}
+
+/// A typed JSON parse failure. Offsets are byte positions into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input exceeds [`JsonLimits::max_bytes`].
+    InputTooLarge {
+        /// The configured limit.
+        limit: usize,
+        /// The offered input length.
+        actual: usize,
+    },
+    /// Nesting exceeds [`JsonLimits::max_depth`].
+    TooDeep {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Input ended mid-value.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected token.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+    /// A malformed number token.
+    BadNumber {
+        /// Byte offset where the number started.
+        at: usize,
+    },
+    /// A malformed string escape (`\x`, truncated `\u`, bad surrogate).
+    BadEscape {
+        /// Byte offset of the backslash.
+        at: usize,
+    },
+    /// Bytes left over after the top-level value.
+    TrailingGarbage {
+        /// Byte offset of the first trailing byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::InputTooLarge { limit, actual } => {
+                write!(f, "json input of {actual} bytes exceeds limit {limit}")
+            }
+            JsonError::TooDeep { limit } => {
+                write!(f, "json nesting exceeds depth limit {limit}")
+            }
+            JsonError::UnexpectedEof => write!(f, "json input ended mid-value"),
+            JsonError::UnexpectedChar { at } => {
+                write!(f, "unexpected character at byte {at}")
+            }
+            JsonError::BadNumber { at } => write!(f, "malformed number at byte {at}"),
+            JsonError::BadEscape { at } => write!(f, "malformed string escape at byte {at}"),
+            JsonError::TrailingGarbage { at } => {
+                write!(f, "trailing garbage after json value at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON number, kept exact where the wire text was exact.
+///
+/// Integer-looking tokens (no `.`, no exponent) parse to [`Number::U`] /
+/// [`Number::I`] and serialize back as bare digits; everything else is an
+/// [`Number::F`] formatted by [`fmt_f64`] (shortest roundtrip, so a parsed
+/// float re-serializes to the same bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer that fits `u64`.
+    U(u64),
+    /// A negative integer that fits `i64`.
+    I(i64),
+    /// Everything else.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy above 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as `u64`, if it is exactly a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) => {
+                if v.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&v) {
+                    Some(v as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `i64`, if it is exactly an in-range integer.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) => {
+                if v.fract() == 0.0
+                    && (-9.007_199_254_740_992e15..=9.007_199_254_740_992e15).contains(&v)
+                {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A parsed JSON value. Objects preserve insertion order so serialization
+/// is deterministic; duplicate keys are kept as-is and [`Json::get`]
+/// returns the first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `input` with [`JsonLimits::default`].
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        Json::parse_with_limits(input, &JsonLimits::default())
+    }
+
+    /// Parses `input` under explicit resource limits.
+    pub fn parse_with_limits(input: &str, limits: &JsonLimits) -> Result<Json, JsonError> {
+        if input.len() > limits.max_bytes {
+            return Err(JsonError::InputTooLarge {
+                limit: limits.max_bytes,
+                actual: input.len(),
+            });
+        }
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            max_depth: limits.max_depth,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::TrailingGarbage { at: p.pos });
+        }
+        Ok(v)
+    }
+
+    /// Appends the compact serialization to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(Number::U(v)) => out.push_str(&v.to_string()),
+            Json::Num(Number::I(v)) => out.push_str(&v.to_string()),
+            Json::Num(Number::F(v)) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The first value under `key`, when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when this is an exactly-integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, when this is an exactly-integral number.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The number as `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The pairs, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Builder shorthand for an object from owned pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Compact, deterministic serialization — `to_string()` yields exactly
+/// the bytes [`Json::parse`] round-trips.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(Number::U(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(Number::U(v as u64))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        if v >= 0 {
+            Json::Num(Number::U(v as u64))
+        } else {
+            Json::Num(Number::I(v))
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(Number::F(v))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// JSON-safe `f64` formatting: finite values via Rust's shortest-roundtrip
+/// formatter, forced to contain a `.`/`e`/`-` so the token is unambiguously
+/// a float; non-finite values as `null` (JSON has no NaN/Infinity). This is
+/// the formatter behind the sweep journal's byte-identical artifacts —
+/// moved here from `hbm-experiments::journal` so the server and the
+/// journal share one float encoding.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains('-') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    max_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(JsonError::UnexpectedChar { at: self.pos }),
+            None => Err(JsonError::UnexpectedEof),
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(())
+        } else if self.pos >= self.bytes.len() {
+            Err(JsonError::UnexpectedEof)
+        } else {
+            Err(JsonError::UnexpectedChar { at: self.pos })
+        }
+    }
+
+    /// Parses one value. `depth` is the nesting level already entered;
+    /// opening a container at `depth == max_depth` is the rejection point,
+    /// so `max_depth` counts *containers*, not values ( `max_depth: 2`
+    /// admits `[[1]]` and rejects `[[[1]]]` ).
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        match self.peek() {
+            None => Err(JsonError::UnexpectedEof),
+            Some(b'n') => self.literal("null").map(|_| Json::Null),
+            Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                if depth >= self.max_depth {
+                    return Err(JsonError::TooDeep {
+                        limit: self.max_depth,
+                    });
+                }
+                self.array(depth + 1)
+            }
+            Some(b'{') => {
+                if depth >= self.max_depth {
+                    return Err(JsonError::TooDeep {
+                        limit: self.max_depth,
+                    });
+                }
+                self.object(depth + 1)
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(JsonError::UnexpectedChar { at: self.pos }),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                Some(_) => return Err(JsonError::UnexpectedChar { at: self.pos }),
+                None => return Err(JsonError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                Some(_) => return Err(JsonError::UnexpectedChar { at: self.pos }),
+                None => return Err(JsonError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::UnexpectedEof),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError::UnexpectedEof)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4(start)?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a \uXXXX low half.
+                                if self.literal("\\u").is_err() {
+                                    return Err(JsonError::BadEscape { at: start });
+                                }
+                                let lo = self.hex4(start)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::BadEscape { at: start });
+                                }
+                                let code =
+                                    0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32;
+                                char::from_u32(code).ok_or(JsonError::BadEscape { at: start })?
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or(JsonError::BadEscape { at: start })?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(JsonError::BadEscape { at: start }),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::UnexpectedChar { at: self.pos });
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes (input is valid UTF-8, so
+                    // byte boundaries of multibyte chars are safe to carry
+                    // through unchanged).
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[self.pos..end])
+                            .expect("input str slices on char boundaries"),
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self, escape_start: usize) -> Result<u16, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::UnexpectedEof);
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::BadEscape { at: escape_start })?;
+        let v =
+            u16::from_str_radix(s, 16).map_err(|_| JsonError::BadEscape { at: escape_start })?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Consumes `[0-9]+`, returning how many digits were taken.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Strict JSON number grammar:
+    /// `-? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?` — leading
+    /// zeros, bare trailing dots, and empty exponents are all rejected,
+    /// so every accepted token reparses identically after re-serialization.
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(JsonError::BadNumber { at: start });
+                }
+            }
+            Some(b'1'..=b'9') => {
+                self.digits();
+            }
+            _ => return Err(JsonError::BadNumber { at: start }),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(JsonError::BadNumber { at: start });
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(JsonError::BadNumber { at: start });
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Num(Number::U(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Num(Number::I(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(Number::F(v))),
+            _ => Err(JsonError::BadNumber { at: start }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(Number::U(42)));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Num(Number::I(-7)));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(Number::F(1.5)));
+        assert_eq!(
+            Json::parse("\"hi\\n\\u0041\"").unwrap(),
+            Json::Str("hi\nA".into())
+        );
+    }
+
+    #[test]
+    fn u64_values_round_trip_exactly() {
+        let max = u64::MAX.to_string();
+        let v = Json::parse(&max).unwrap();
+        assert_eq!(v, Json::Num(Number::U(u64::MAX)));
+        assert_eq!(v.to_string(), max);
+        let min = i64::MIN.to_string();
+        let v = Json::parse(&min).unwrap();
+        assert_eq!(v, Json::Num(Number::I(i64::MIN)));
+        assert_eq!(v.to_string(), min);
+    }
+
+    #[test]
+    fn floats_serialize_shortest_roundtrip() {
+        let v = Json::from(0.1 + 0.2);
+        let s = v.to_string();
+        assert_eq!(s, "0.30000000000000004");
+        assert_eq!(Json::parse(&s).unwrap().to_string(), s);
+        assert_eq!(Json::from(1.0).to_string(), "1.0");
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn fmt_f64_edge_cases() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(-3.0), "-3");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_preserve_order_and_get_returns_first() {
+        let v = Json::parse("{\"b\":1,\"a\":2,\"b\":3}").unwrap();
+        assert_eq!(v.to_string(), "{\"b\":1,\"a\":2,\"b\":3}");
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert_eq!(
+            Json::parse("{} x"),
+            Err(JsonError::TrailingGarbage { at: 3 })
+        );
+        assert_eq!(
+            Json::parse("1 2"),
+            Err(JsonError::TrailingGarbage { at: 2 })
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let limits = JsonLimits {
+            max_bytes: 1 << 20,
+            max_depth: 4,
+        };
+        let ok = "[[[[1]]]]";
+        assert!(Json::parse_with_limits(ok, &limits).is_ok());
+        let too_deep = "[[[[[1]]]]]";
+        assert_eq!(
+            Json::parse_with_limits(too_deep, &limits),
+            Err(JsonError::TooDeep { limit: 4 })
+        );
+    }
+
+    #[test]
+    fn size_limit_is_enforced() {
+        let limits = JsonLimits {
+            max_bytes: 8,
+            max_depth: 64,
+        };
+        assert_eq!(
+            Json::parse_with_limits("\"0123456789\"", &limits),
+            Err(JsonError::InputTooLarge {
+                limit: 8,
+                actual: 12
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_fail_cleanly() {
+        for s in ["{", "[1,", "\"abc", "{\"a\":", "tru", "-", "1e", "\"\\u00"] {
+            let err = Json::parse(s).unwrap_err();
+            // Any typed error is fine; the point is no panic and no Ok.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        assert!(matches!(
+            Json::parse("\"\\x\""),
+            Err(JsonError::BadEscape { .. })
+        ));
+        assert!(matches!(
+            Json::parse("\"\\ud800\""),
+            Err(JsonError::BadEscape { .. })
+        ));
+        // A valid surrogate pair parses.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+    }
+
+    #[test]
+    fn control_chars_must_be_escaped() {
+        assert!(Json::parse("\"a\nb\"").is_err());
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let v = Json::Str("a\u{01}b".into());
+        assert_eq!(v.to_string(), "\"a\\u0001b\"");
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected_on_parse() {
+        for s in ["NaN", "Infinity", "-Infinity", "1e999"] {
+            assert!(Json::parse(s).is_err(), "{s} must not parse");
+        }
+    }
+
+    #[test]
+    fn nested_value_round_trips() {
+        let v = Json::obj(vec![
+            ("name", Json::from("dataset3")),
+            ("p", Json::from(16u64)),
+            ("ratio", Json::from(1.375)),
+            ("flags", Json::from(vec![Json::from(true), Json::Null])),
+            (
+                "inner",
+                Json::obj(vec![
+                    ("empty", Json::Arr(vec![])),
+                    ("neg", Json::from(-3i64)),
+                ]),
+            ),
+        ]);
+        let s = v.to_string();
+        assert_eq!(Json::parse(&s).unwrap(), v);
+        assert_eq!(Json::parse(&s).unwrap().to_string(), s);
+    }
+}

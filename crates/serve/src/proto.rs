@@ -1,0 +1,842 @@
+//! The service wire protocol: JSON → [`SimRequest`] and
+//! [`Report`] → JSON.
+//!
+//! A `/simulate` request body looks like:
+//!
+//! ```json
+//! {
+//!   "workload": {"kind": "cyclic", "pages": 64, "reps": 10},
+//!   "p": 8,
+//!   "k": 128,
+//!   "q": 2,
+//!   "arbitration": {"kind": "dynamic_priority", "period": 256},
+//!   "replacement": "lru",
+//!   "seed": 42,
+//!   "max_ticks": 1000000,
+//!   "max_wall_ms": 2000,
+//!   "faults": {
+//!     "outages": [{"start": 10, "end": 20, "channels": 1}],
+//!     "degradations": [{"start": 30, "end": 40, "extra_latency": 3}],
+//!     "transient": {"fail_prob": 0.25, "max_retries": 4, "seed": 7}
+//!   }
+//! }
+//! ```
+//!
+//! `workload` is either an inline spec (`kind` + parameters) or a named
+//! built-in (`{"name": "dataset3-small"}`) resolved by
+//! [`builtin_workload`]; named workloads flow through the server's shared
+//! [`TracePool`](crate::pool::TracePool)s and are the warm path.
+//! Everything except `workload`, `p`, and `k` is optional.
+//!
+//! Parsing is strict where it matters for safety (size bounds, unknown
+//! policy names) and lenient where it doesn't (unknown top-level keys are
+//! ignored so clients can annotate requests). Every rejection is a typed
+//! [`ProtoError`] that the server maps to a 400 with the message in the
+//! body.
+//!
+//! [`report_to_json`] is the single serialization of [`Report`] in the
+//! workspace; the integration suite byte-compares server responses against
+//! direct `SimBuilder` runs through this same function, so any drift
+//! between the service path and the library path is a test failure.
+
+use crate::json::{Json, JsonError, JsonLimits};
+use crate::pool::{CellBudget, SimSettings};
+use hbm_core::{ArbitrationKind, FaultPlan, ReplacementKind, Report};
+use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
+use std::fmt;
+use std::time::Duration;
+
+/// Ceiling on `p` (cores) a request may ask for.
+pub const MAX_P: usize = 512;
+/// Ceiling on the total reference count a generated workload may have,
+/// approximated per-spec before generation (`p × per-core length bound`).
+pub const MAX_TOTAL_REFS: u64 = 50_000_000;
+
+/// A validated simulation request.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The workload to simulate.
+    pub workload: WorkloadKey,
+    /// Thread count `p`.
+    pub p: usize,
+    /// Simulation parameters (k, q, policies, seed, faults).
+    pub settings: SimSettings,
+    /// Client-requested budget (the server clamps it against its ceiling).
+    pub budget: CellBudget,
+}
+
+/// A workload identity the server can pool on: the spec plus the trace
+/// seed and options. Two requests with equal keys share one `TracePool`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadKey {
+    /// The generator spec.
+    pub spec: WorkloadSpec,
+    /// Trace-generation seed (independent of the policy seed).
+    pub trace_seed: u64,
+    /// Generation options.
+    pub opts: TraceOptions,
+}
+
+/// Why a request body was rejected.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The body was not valid JSON.
+    Json(JsonError),
+    /// A required field is missing.
+    MissingField(&'static str),
+    /// A field exists but has the wrong type or an unknown value.
+    BadField {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The request is structurally valid but too large to admit.
+    TooLarge {
+        /// Human-readable description of the violated bound.
+        why: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "invalid json: {e}"),
+            ProtoError::MissingField(field) => write!(f, "missing required field '{field}'"),
+            ProtoError::BadField { field, why } => write!(f, "bad field '{field}': {why}"),
+            ProtoError::TooLarge { why } => write!(f, "request too large: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> ProtoError {
+        ProtoError::Json(e)
+    }
+}
+
+fn bad(field: &'static str, why: impl Into<String>) -> ProtoError {
+    ProtoError::BadField {
+        field,
+        why: why.into(),
+    }
+}
+
+fn req_usize(v: &Json, field: &'static str) -> Result<usize, ProtoError> {
+    v.as_usize()
+        .ok_or_else(|| bad(field, "expected a non-negative integer"))
+}
+
+fn req_u64(v: &Json, field: &'static str) -> Result<u64, ProtoError> {
+    v.as_u64()
+        .ok_or_else(|| bad(field, "expected a non-negative integer"))
+}
+
+fn req_f64(v: &Json, field: &'static str) -> Result<f64, ProtoError> {
+    v.as_f64().ok_or_else(|| bad(field, "expected a number"))
+}
+
+fn opt_u64(obj: &Json, field: &'static str) -> Result<Option<u64>, ProtoError> {
+    match obj.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => req_u64(v, field).map(Some),
+    }
+}
+
+/// Resolves a named built-in workload. Names cover the repro datasets at
+/// CI-friendly and default scales so clients (and the CI smoke job) don't
+/// re-specify generator parameters.
+pub fn builtin_workload(name: &str) -> Option<WorkloadSpec> {
+    Some(match name {
+        // Dataset 3 (the FIFO-killer cycle) at Scale::Small / Default.
+        "dataset3-small" => WorkloadSpec::Cyclic {
+            pages: 64,
+            reps: 10,
+        },
+        "dataset3" => WorkloadSpec::Cyclic {
+            pages: 256,
+            reps: 30,
+        },
+        // Dataset 1 (mergesort) at Scale::Small / Default.
+        "sort-small" => WorkloadSpec::Sort {
+            algo: SortAlgo::Mergesort,
+            n: 4_000,
+        },
+        "sort" => WorkloadSpec::Sort {
+            algo: SortAlgo::Mergesort,
+            n: 10_000,
+        },
+        // Dataset 2 (SpGEMM) at Scale::Small / Default.
+        "spgemm-small" => WorkloadSpec::SpGemm {
+            n: 80,
+            density: 0.10,
+        },
+        "spgemm" => WorkloadSpec::SpGemm {
+            n: 150,
+            density: 0.10,
+        },
+        // Cheap synthetic shapes for load generation.
+        "uniform-small" => WorkloadSpec::Uniform {
+            pages: 256,
+            len: 2_000,
+        },
+        "zipf-small" => WorkloadSpec::Zipf {
+            pages: 256,
+            len: 2_000,
+            alpha: 1.1,
+        },
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`builtin_workload`], for error messages and docs.
+pub const BUILTIN_NAMES: [&str; 8] = [
+    "dataset3-small",
+    "dataset3",
+    "sort-small",
+    "sort",
+    "spgemm-small",
+    "spgemm",
+    "uniform-small",
+    "zipf-small",
+];
+
+fn parse_workload(v: &Json) -> Result<WorkloadSpec, ProtoError> {
+    if let Some(name) = v.get("name") {
+        let name = name
+            .as_str()
+            .ok_or_else(|| bad("workload.name", "expected a string"))?;
+        return builtin_workload(name).ok_or_else(|| {
+            bad(
+                "workload.name",
+                format!(
+                    "unknown builtin '{name}' (known: {})",
+                    BUILTIN_NAMES.join(", ")
+                ),
+            )
+        });
+    }
+    let kind = v
+        .get("kind")
+        .ok_or(ProtoError::MissingField("workload.kind"))?
+        .as_str()
+        .ok_or_else(|| bad("workload.kind", "expected a string"))?;
+    let field_usize = |f: &'static str| -> Result<usize, ProtoError> {
+        req_usize(v.get(f).ok_or(ProtoError::MissingField(f))?, f)
+    };
+    let field_u32 = |f: &'static str| -> Result<u32, ProtoError> {
+        let raw = req_u64(v.get(f).ok_or(ProtoError::MissingField(f))?, f)?;
+        u32::try_from(raw).map_err(|_| bad(f, "out of u32 range"))
+    };
+    let field_f64 = |f: &'static str| -> Result<f64, ProtoError> {
+        req_f64(v.get(f).ok_or(ProtoError::MissingField(f))?, f)
+    };
+    Ok(match kind {
+        "sort" => {
+            let algo = match v.get("algo").and_then(Json::as_str).unwrap_or("mergesort") {
+                "mergesort" => SortAlgo::Mergesort,
+                "introsort" => SortAlgo::Introsort,
+                "quicksort" => SortAlgo::Quicksort,
+                "heapsort" => SortAlgo::Heapsort,
+                other => return Err(bad("workload.algo", format!("unknown sort algo '{other}'"))),
+            };
+            WorkloadSpec::Sort {
+                algo,
+                n: field_usize("n")?,
+            }
+        }
+        "spgemm" => WorkloadSpec::SpGemm {
+            n: field_usize("n")?,
+            density: field_f64("density")?,
+        },
+        "spmv" => WorkloadSpec::SpMv {
+            n: field_usize("n")?,
+            density: field_f64("density")?,
+            reps: field_usize("reps")?,
+        },
+        "cyclic" => WorkloadSpec::Cyclic {
+            pages: field_u32("pages")?,
+            reps: field_usize("reps")?,
+        },
+        "sawtooth" => WorkloadSpec::Sawtooth {
+            pages: field_u32("pages")?,
+            reps: field_usize("reps")?,
+        },
+        "uniform" => WorkloadSpec::Uniform {
+            pages: field_u32("pages")?,
+            len: field_usize("len")?,
+        },
+        "zipf" => WorkloadSpec::Zipf {
+            pages: field_u32("pages")?,
+            len: field_usize("len")?,
+            alpha: field_f64("alpha")?,
+        },
+        "permutation_walk" => WorkloadSpec::PermutationWalk {
+            pages: field_u32("pages")?,
+            laps: field_usize("laps")?,
+        },
+        "bfs" => WorkloadSpec::Bfs {
+            n: field_usize("n")?,
+            degree: field_usize("degree")?,
+        },
+        "pagerank" => WorkloadSpec::PageRank {
+            n: field_usize("n")?,
+            degree: field_usize("degree")?,
+            iters: field_usize("iters")?,
+        },
+        other => {
+            return Err(bad(
+                "workload.kind",
+                format!("unknown workload kind '{other}'"),
+            ))
+        }
+    })
+}
+
+fn parse_arbitration(v: &Json) -> Result<ArbitrationKind, ProtoError> {
+    // Accept both a bare string ("fifo") and an object with parameters
+    // ({"kind": "dynamic_priority", "period": 100}).
+    let (kind, obj) = match v {
+        Json::Str(s) => (s.as_str(), None),
+        Json::Obj(_) => (
+            v.get("kind")
+                .ok_or(ProtoError::MissingField("arbitration.kind"))?
+                .as_str()
+                .ok_or_else(|| bad("arbitration.kind", "expected a string"))?,
+            Some(v),
+        ),
+        _ => return Err(bad("arbitration", "expected a string or object")),
+    };
+    let period = || -> Result<u64, ProtoError> {
+        let obj = obj.ok_or(ProtoError::MissingField("arbitration.period"))?;
+        req_u64(
+            obj.get("period")
+                .ok_or(ProtoError::MissingField("arbitration.period"))?,
+            "arbitration.period",
+        )
+    };
+    Ok(match kind {
+        "fifo" => ArbitrationKind::Fifo,
+        "priority" => ArbitrationKind::Priority,
+        "dynamic_priority" => ArbitrationKind::DynamicPriority { period: period()? },
+        "cycle_priority" => ArbitrationKind::CyclePriority { period: period()? },
+        "cycle_reverse_priority" => ArbitrationKind::CycleReversePriority { period: period()? },
+        "interleave_priority" => ArbitrationKind::InterleavePriority { period: period()? },
+        "sweep_priority" => ArbitrationKind::SweepPriority { period: period()? },
+        "random_pick" => ArbitrationKind::RandomPick,
+        "fr_fcfs" => {
+            let obj = obj.ok_or(ProtoError::MissingField("arbitration.row_shift"))?;
+            let raw = req_u64(
+                obj.get("row_shift")
+                    .ok_or(ProtoError::MissingField("arbitration.row_shift"))?,
+                "arbitration.row_shift",
+            )?;
+            ArbitrationKind::FrFcfs {
+                row_shift: u8::try_from(raw)
+                    .map_err(|_| bad("arbitration.row_shift", "out of u8 range"))?,
+            }
+        }
+        other => {
+            return Err(bad(
+                "arbitration.kind",
+                format!("unknown arbitration kind '{other}'"),
+            ))
+        }
+    })
+}
+
+fn parse_replacement(v: &Json) -> Result<ReplacementKind, ProtoError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| bad("replacement", "expected a string"))?;
+    Ok(match s {
+        "lru" => ReplacementKind::Lru,
+        "fifo" => ReplacementKind::Fifo,
+        "clock" => ReplacementKind::Clock,
+        "random" => ReplacementKind::Random,
+        other => {
+            return Err(bad(
+                "replacement",
+                format!("unknown replacement policy '{other}'"),
+            ))
+        }
+    })
+}
+
+fn parse_faults(v: &Json) -> Result<FaultPlan, ProtoError> {
+    let mut plan = FaultPlan::new();
+    if let Some(outages) = v.get("outages") {
+        let arr = outages
+            .as_array()
+            .ok_or_else(|| bad("faults.outages", "expected an array"))?;
+        for w in arr {
+            plan = plan.outage(
+                req_u64(
+                    w.get("start")
+                        .ok_or(ProtoError::MissingField("faults.outages.start"))?,
+                    "faults.outages.start",
+                )?,
+                req_u64(
+                    w.get("end")
+                        .ok_or(ProtoError::MissingField("faults.outages.end"))?,
+                    "faults.outages.end",
+                )?,
+                req_usize(
+                    w.get("channels")
+                        .ok_or(ProtoError::MissingField("faults.outages.channels"))?,
+                    "faults.outages.channels",
+                )?,
+            );
+        }
+    }
+    if let Some(degs) = v.get("degradations") {
+        let arr = degs
+            .as_array()
+            .ok_or_else(|| bad("faults.degradations", "expected an array"))?;
+        for w in arr {
+            plan = plan.degradation(
+                req_u64(
+                    w.get("start")
+                        .ok_or(ProtoError::MissingField("faults.degradations.start"))?,
+                    "faults.degradations.start",
+                )?,
+                req_u64(
+                    w.get("end")
+                        .ok_or(ProtoError::MissingField("faults.degradations.end"))?,
+                    "faults.degradations.end",
+                )?,
+                req_u64(
+                    w.get("extra_latency").ok_or(ProtoError::MissingField(
+                        "faults.degradations.extra_latency",
+                    ))?,
+                    "faults.degradations.extra_latency",
+                )?,
+            );
+        }
+    }
+    if let Some(t) = v.get("transient") {
+        if !matches!(t, Json::Null) {
+            plan = plan.transient(
+                req_f64(
+                    t.get("fail_prob")
+                        .ok_or(ProtoError::MissingField("faults.transient.fail_prob"))?,
+                    "faults.transient.fail_prob",
+                )?,
+                u32::try_from(req_u64(
+                    t.get("max_retries")
+                        .ok_or(ProtoError::MissingField("faults.transient.max_retries"))?,
+                    "faults.transient.max_retries",
+                )?)
+                .map_err(|_| bad("faults.transient.max_retries", "out of u32 range"))?,
+                req_u64(
+                    t.get("seed")
+                        .ok_or(ProtoError::MissingField("faults.transient.seed"))?,
+                    "faults.transient.seed",
+                )?,
+            );
+        }
+    }
+    Ok(plan)
+}
+
+/// A conservative upper bound on one core's reference count for `spec`,
+/// used to reject absurd requests *before* generating anything. Bounds are
+/// deliberately loose (generation may produce fewer); the point is that
+/// `p × bound` caps the memory a request can make the server allocate.
+fn per_core_ref_bound(spec: &WorkloadSpec) -> u64 {
+    match *spec {
+        // Mergesort: ~n log2(n) element touches; introsort similar order.
+        WorkloadSpec::Sort { n, .. } => {
+            let n = n as u64;
+            n.saturating_mul(64)
+        }
+        // SpGEMM flops ≈ n · (n·density)²; give a generous constant.
+        WorkloadSpec::SpGemm { n, density } => {
+            let nnz_per_row = ((n as f64) * density).ceil().max(1.0) as u64;
+            (n as u64)
+                .saturating_mul(nnz_per_row)
+                .saturating_mul(nnz_per_row)
+                .saturating_mul(4)
+        }
+        WorkloadSpec::SpMv { n, density, reps } => {
+            let nnz = ((n as f64) * (n as f64) * density).ceil().max(1.0) as u64;
+            nnz.saturating_mul(4).saturating_mul(reps as u64)
+        }
+        WorkloadSpec::Dense { n, .. } => (n as u64).saturating_pow(3).saturating_mul(4),
+        WorkloadSpec::Cyclic { pages, reps } | WorkloadSpec::Sawtooth { pages, reps } => {
+            (pages as u64).saturating_mul(reps as u64)
+        }
+        WorkloadSpec::Uniform { len, .. } | WorkloadSpec::Zipf { len, .. } => len as u64,
+        WorkloadSpec::PermutationWalk { pages, laps } => (pages as u64).saturating_mul(laps as u64),
+        WorkloadSpec::Bfs { n, degree } => (n as u64).saturating_mul(degree as u64 + 2),
+        WorkloadSpec::PageRank { n, degree, iters } => (n as u64)
+            .saturating_mul(degree as u64 + 2)
+            .saturating_mul(iters as u64),
+    }
+}
+
+/// Parses and validates a `/simulate` request body.
+pub fn parse_sim_request(body: &[u8], limits: &JsonLimits) -> Result<SimRequest, ProtoError> {
+    let text = std::str::from_utf8(body).map_err(|_| ProtoError::BadField {
+        field: "body",
+        why: "not valid utf-8".into(),
+    })?;
+    let v = Json::parse_with_limits(text, limits)?;
+
+    let workload_v = v
+        .get("workload")
+        .ok_or(ProtoError::MissingField("workload"))?;
+    let spec = parse_workload(workload_v)?;
+    let trace_seed = opt_u64(workload_v, "seed")?.unwrap_or(1);
+    let mut opts = TraceOptions::default();
+    if let Some(pb) = opt_u64(workload_v, "page_bytes")? {
+        if pb == 0 {
+            return Err(bad("workload.page_bytes", "must be positive"));
+        }
+        opts.page_bytes = pb;
+    }
+    if let Some(c) = workload_v.get("collapse") {
+        opts.collapse = c
+            .as_bool()
+            .ok_or_else(|| bad("workload.collapse", "expected a boolean"))?;
+    }
+
+    let p = req_usize(v.get("p").ok_or(ProtoError::MissingField("p"))?, "p")?;
+    if p == 0 {
+        return Err(bad("p", "must be at least 1"));
+    }
+    if p > MAX_P {
+        return Err(ProtoError::TooLarge {
+            why: format!("p = {p} exceeds the server limit of {MAX_P}"),
+        });
+    }
+    let total = per_core_ref_bound(&spec).saturating_mul(p as u64);
+    if total > MAX_TOTAL_REFS {
+        return Err(ProtoError::TooLarge {
+            why: format!(
+                "workload may generate ~{total} references, over the {MAX_TOTAL_REFS} cap"
+            ),
+        });
+    }
+
+    let k = req_usize(v.get("k").ok_or(ProtoError::MissingField("k"))?, "k")?;
+    let q = match v.get("q") {
+        None | Some(Json::Null) => 1,
+        Some(qv) => req_usize(qv, "q")?,
+    };
+    let mut settings = SimSettings::new(
+        k,
+        q,
+        match v.get("arbitration") {
+            None | Some(Json::Null) => ArbitrationKind::Fifo,
+            Some(a) => parse_arbitration(a)?,
+        },
+        opt_u64(&v, "seed")?.unwrap_or(0),
+    );
+    if let Some(r) = v.get("replacement") {
+        if !matches!(r, Json::Null) {
+            settings.replacement = parse_replacement(r)?;
+        }
+    }
+    settings.far_latency = opt_u64(&v, "far_latency")?;
+    if let Some(f) = v.get("faults") {
+        if !matches!(f, Json::Null) {
+            settings.faults = parse_faults(f)?;
+            settings
+                .faults
+                .validate()
+                .map_err(|e| ProtoError::BadField {
+                    field: "faults",
+                    why: e.to_string(),
+                })?;
+        }
+    }
+
+    let budget = CellBudget {
+        max_ticks: opt_u64(&v, "max_ticks")?,
+        max_wall: opt_u64(&v, "max_wall_ms")?.map(Duration::from_millis),
+    };
+
+    Ok(SimRequest {
+        workload: WorkloadKey {
+            spec,
+            trace_seed,
+            opts,
+        },
+        p,
+        settings,
+        budget,
+    })
+}
+
+/// Serializes a [`Report`] to the canonical compact JSON — field order
+/// fixed to the struct declaration, floats via
+/// [`fmt_f64`](crate::json::fmt_f64). This is the byte-compare anchor for
+/// the integration suite.
+pub fn report_to_json(r: &Report) -> String {
+    let per_core: Vec<Json> = r
+        .per_core
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("served", Json::from(c.served)),
+                ("hits", Json::from(c.hits)),
+                ("finish_tick", Json::from(c.finish_tick)),
+                ("mean_response", Json::from(c.mean_response)),
+                ("max_response", Json::from(c.max_response)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("makespan", Json::from(r.makespan)),
+        ("served", Json::from(r.served)),
+        ("hits", Json::from(r.hits)),
+        ("misses", Json::from(r.misses)),
+        ("fetches", Json::from(r.fetches)),
+        ("evictions", Json::from(r.evictions)),
+        ("remaps", Json::from(r.remaps)),
+        ("hit_rate", Json::from(r.hit_rate)),
+        (
+            "response",
+            Json::obj(vec![
+                ("count", Json::from(r.response.count)),
+                ("mean", Json::from(r.response.mean)),
+                ("inconsistency", Json::from(r.response.inconsistency)),
+                ("min", Json::from(r.response.min)),
+                ("max", Json::from(r.response.max)),
+                ("p99_upper_bound", Json::from(r.response.p99_upper_bound)),
+            ]),
+        ),
+        ("mean_queue_len", Json::from(r.mean_queue_len)),
+        ("max_queue_len", Json::from(r.max_queue_len)),
+        ("per_core", Json::Arr(per_core)),
+        (
+            "faults",
+            Json::obj(vec![
+                (
+                    "outage_blocked_ticks",
+                    Json::from(r.faults.outage_blocked_ticks),
+                ),
+                ("degraded_fetches", Json::from(r.faults.degraded_fetches)),
+                ("transient_faults", Json::from(r.faults.transient_faults)),
+            ]),
+        ),
+        ("truncated", Json::from(r.truncated)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<SimRequest, ProtoError> {
+        parse_sim_request(body.as_bytes(), &JsonLimits::default())
+    }
+
+    #[test]
+    fn minimal_request_defaults() {
+        let req =
+            parse(r#"{"workload": {"kind": "uniform", "pages": 16, "len": 100}, "p": 4, "k": 32}"#)
+                .unwrap();
+        assert_eq!(req.p, 4);
+        assert_eq!(req.settings.k, 32);
+        assert_eq!(req.settings.q, 1);
+        assert_eq!(req.settings.arbitration, ArbitrationKind::Fifo);
+        assert_eq!(req.settings.replacement, ReplacementKind::Lru);
+        assert_eq!(req.settings.seed, 0);
+        assert!(req.settings.faults.is_empty());
+        assert_eq!(req.budget, CellBudget::UNLIMITED);
+        assert_eq!(req.workload.trace_seed, 1);
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let req = parse(
+            r#"{
+                "workload": {"kind": "cyclic", "pages": 64, "reps": 10, "seed": 9, "collapse": false},
+                "p": 8, "k": 128, "q": 2,
+                "arbitration": {"kind": "dynamic_priority", "period": 256},
+                "replacement": "clock",
+                "seed": 42,
+                "max_ticks": 1000000,
+                "max_wall_ms": 2000,
+                "faults": {
+                    "outages": [{"start": 10, "end": 20, "channels": 1}],
+                    "degradations": [{"start": 30, "end": 40, "extra_latency": 3}],
+                    "transient": {"fail_prob": 0.25, "max_retries": 4, "seed": 7}
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.workload.spec,
+            WorkloadSpec::Cyclic {
+                pages: 64,
+                reps: 10
+            }
+        );
+        assert_eq!(req.workload.trace_seed, 9);
+        assert!(!req.workload.opts.collapse);
+        assert_eq!(
+            req.settings.arbitration,
+            ArbitrationKind::DynamicPriority { period: 256 }
+        );
+        assert_eq!(req.settings.replacement, ReplacementKind::Clock);
+        assert_eq!(req.settings.seed, 42);
+        assert_eq!(req.settings.faults.outages.len(), 1);
+        assert_eq!(req.settings.faults.degradations.len(), 1);
+        assert!(req.settings.faults.transient.is_some());
+        assert_eq!(req.budget.max_ticks, Some(1_000_000));
+        assert_eq!(req.budget.max_wall, Some(Duration::from_millis(2000)));
+    }
+
+    #[test]
+    fn named_builtin_resolves() {
+        let req = parse(r#"{"workload": {"name": "dataset3-small"}, "p": 4, "k": 64}"#).unwrap();
+        assert_eq!(
+            req.workload.spec,
+            WorkloadSpec::Cyclic {
+                pages: 64,
+                reps: 10
+            }
+        );
+        for name in BUILTIN_NAMES {
+            assert!(builtin_workload(name).is_some(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn unknown_builtin_is_a_bad_field() {
+        let err = parse(r#"{"workload": {"name": "nope"}, "p": 1, "k": 4}"#).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtoError::BadField {
+                    field: "workload.name",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bare_string_arbitration_works() {
+        let req = parse(
+            r#"{"workload": {"name": "uniform-small"}, "p": 2, "k": 16, "arbitration": "priority"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.settings.arbitration, ArbitrationKind::Priority);
+    }
+
+    #[test]
+    fn parameterized_arbitration_requires_its_parameter() {
+        let err = parse(
+            r#"{"workload": {"name": "uniform-small"}, "p": 2, "k": 16,
+                "arbitration": {"kind": "cycle_priority"}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ProtoError::MissingField("arbitration.period")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_p_is_rejected() {
+        let err =
+            parse(r#"{"workload": {"name": "uniform-small"}, "p": 100000, "k": 16}"#).unwrap_err();
+        assert!(matches!(err, ProtoError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_workload_is_rejected_before_generation() {
+        let err = parse(
+            r#"{"workload": {"kind": "cyclic", "pages": 4000000, "reps": 100000}, "p": 500, "k": 16}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtoError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_are_named() {
+        assert!(matches!(
+            parse(r#"{"p": 1, "k": 4}"#).unwrap_err(),
+            ProtoError::MissingField("workload")
+        ));
+        assert!(matches!(
+            parse(r#"{"workload": {"name": "uniform-small"}, "k": 4}"#).unwrap_err(),
+            ProtoError::MissingField("p")
+        ));
+        assert!(matches!(
+            parse(r#"{"workload": {"name": "uniform-small"}, "p": 1}"#).unwrap_err(),
+            ProtoError::MissingField("k")
+        ));
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        // start >= end is structurally invalid per FaultPlan::validate.
+        let err = parse(
+            r#"{"workload": {"name": "uniform-small"}, "p": 1, "k": 4,
+                "faults": {"outages": [{"start": 20, "end": 10, "channels": 1}]}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtoError::BadField {
+                    field: "faults",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn report_json_matches_field_order_and_float_format() {
+        let w = hbm_core::Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]; 2]);
+        let r = crate::pool::run_cell(&w, 4, 1, ArbitrationKind::Priority, 7);
+        let s = report_to_json(&r);
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v.get("makespan").unwrap().as_u64(), Some(r.makespan));
+        assert_eq!(v.get("served").unwrap().as_u64(), Some(r.served));
+        assert_eq!(v.get("truncated").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("per_core").unwrap().as_array().unwrap().len(),
+            r.per_core.len()
+        );
+        // Deterministic: serializing twice is byte-identical.
+        assert_eq!(s, report_to_json(&r));
+        // Field order is the struct declaration order.
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "makespan",
+                "served",
+                "hits",
+                "misses",
+                "fetches",
+                "evictions",
+                "remaps",
+                "hit_rate",
+                "response",
+                "mean_queue_len",
+                "max_queue_len",
+                "per_core",
+                "faults",
+                "truncated"
+            ]
+        );
+    }
+}

@@ -1,0 +1,560 @@
+//! The simulation server: accept loop, routing, admission control, warm
+//! pools, and graceful drain.
+//!
+//! Request lifecycle (DESIGN.md §14):
+//!
+//! 1. The accept loop (nonblocking listener, 5 ms poll) takes a
+//!    connection, or sheds it with **503** when `max_connections` threads
+//!    are already serving.
+//! 2. The connection thread parses HTTP/1.1 requests (keep-alive) under
+//!    per-message deadlines and routes them. Framing or JSON errors are
+//!    **400**; oversized requests are **413**.
+//! 3. `/simulate` bodies become [`SimRequest`]s and are submitted to the
+//!    shared [`WorkerPool`] — *non-blocking*: a full queue is an immediate
+//!    **429**, the explicit admission-control signal.
+//! 4. The worker executes through the warm path — a per-workload
+//!    [`TracePool`] (memoized traces + flats) and the shared
+//!    [`ScratchPool`] — under the request's [`CellBudget`] clamped to the
+//!    server ceiling; budget exhaustion yields **200** with
+//!    `"truncated": true` rather than a hung connection. A panicking
+//!    request is caught in the worker and surfaces as that request's
+//!    **500**; the worker thread and every other connection survive.
+//! 5. Shutdown (SIGTERM/ctrl-c or [`ShutdownFlag::trip`]) stops the accept
+//!    loop, lets idle connections close, finishes in-flight requests,
+//!    drains the worker queue, and joins everything — then returns the
+//!    final [`ServerStats`].
+
+use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResponse};
+use crate::json::{Json, JsonLimits};
+use crate::pool::{run_sim_budgeted_flat, CellBudget, ScratchPool, TracePool};
+use crate::proto::{parse_sim_request, report_to_json, ProtoError, SimRequest, WorkloadKey};
+use crate::shutdown::ShutdownFlag;
+use hbm_par::{SubmitError, WorkerPool};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults suit tests and small deployments;
+/// the binary exposes the load-bearing ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Pending-request queue capacity; a full queue rejects with 429.
+    pub queue_capacity: usize,
+    /// Maximum concurrent connections; excess connections get 503.
+    pub max_connections: usize,
+    /// Per-message read deadline (head + body).
+    pub request_timeout: Duration,
+    /// Ceiling clamped onto every request's budget. The default caps wall
+    /// time so no request can hold a worker indefinitely.
+    pub budget_ceiling: CellBudget,
+    /// Maximum distinct workload pools kept warm (LRU beyond this).
+    pub max_pools: usize,
+    /// Per-pool cap on memoized flats (`None` = unbounded).
+    pub flat_capacity: Option<usize>,
+    /// Idle period after which warm memory (memoized flats, scratch
+    /// buffers) is released. `None` disables idle shrinking.
+    pub idle_shrink_after: Option<Duration>,
+    /// JSON parser limits applied to request bodies.
+    pub json_limits: JsonLimits,
+    /// Enables `POST /test/panic` (a deliberately panicking request) so
+    /// tests can prove panic isolation end-to-end. Off in production.
+    pub enable_test_endpoints: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: hbm_par::default_threads(),
+            queue_capacity: 64,
+            max_connections: 64,
+            request_timeout: Duration::from_secs(10),
+            budget_ceiling: CellBudget {
+                max_ticks: None,
+                max_wall: Some(Duration::from_secs(10)),
+            },
+            max_pools: 8,
+            flat_capacity: Some(8),
+            idle_shrink_after: Some(Duration::from_secs(30)),
+            json_limits: JsonLimits::default(),
+            enable_test_endpoints: false,
+        }
+    }
+}
+
+/// Counters the server maintains while running; a snapshot is returned by
+/// [`Server::run`] and served live at `GET /healthz`.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Requests that reached routing (any method/path).
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 429 rejections (queue full).
+    pub rejected: u64,
+    /// 503 rejections (connection cap, or submit-after-shutdown races).
+    pub shed: u64,
+    /// 4xx protocol/validation errors.
+    pub client_errors: u64,
+    /// 500s (request panics).
+    pub panics: u64,
+    /// Cold `/simulate` executions (trace pool generated on this request).
+    pub cold_runs: u64,
+    /// Warm `/simulate` executions (served from a pooled workload).
+    pub warm_runs: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    client_errors: AtomicU64,
+    panics: AtomicU64,
+    cold_runs: AtomicU64,
+    warm_runs: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            cold_runs: self.cold_runs.load(Ordering::Relaxed),
+            warm_runs: self.warm_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Warm workload pools keyed by the canonical description of a
+/// [`WorkloadKey`], LRU-bounded at `max_pools`.
+struct PoolRegistry {
+    pools: Mutex<HashMap<String, (Arc<TracePool>, u64)>>,
+    clock: AtomicU64,
+    max_pools: usize,
+    flat_capacity: Option<usize>,
+}
+
+impl PoolRegistry {
+    fn new(max_pools: usize, flat_capacity: Option<usize>) -> Self {
+        PoolRegistry {
+            pools: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            max_pools: max_pools.max(1),
+            flat_capacity,
+        }
+    }
+
+    fn key_of(key: &WorkloadKey) -> String {
+        // Debug formatting of the spec is stable and injective enough to
+        // key on (distinct f64 parameters print distinctly).
+        format!(
+            "{:?}|seed={}|page_bytes={}|collapse={}",
+            key.spec, key.trace_seed, key.opts.page_bytes, key.opts.collapse
+        )
+    }
+
+    /// Fetches (or generates) the pool for `key` with at least `p` traces.
+    /// Returns `(pool, was_warm)`; `was_warm` is false when this request
+    /// paid trace generation (a cold start).
+    fn get(&self, key: &WorkloadKey, p: usize) -> (Arc<TracePool>, bool) {
+        let map_key = Self::key_of(key);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((pool, at)) = pools.get_mut(&map_key) {
+                if pool.max_p() >= p {
+                    *at = stamp;
+                    return (Arc::clone(pool), true);
+                }
+                // Too small: fall through and regenerate larger. The trace
+                // prefix property keeps results identical for smaller p.
+            }
+        }
+        // Generate outside the lock: trace generation can take tens of
+        // milliseconds and must not serialize warm requests behind it.
+        let pool = Arc::new(TracePool::generate(key.spec, p, key.trace_seed, key.opts));
+        pool.set_flat_capacity(self.flat_capacity);
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        // Another thread may have raced us here with an even bigger pool;
+        // keep whichever covers more threads.
+        let entry = pools
+            .entry(map_key)
+            .and_modify(|(existing, at)| {
+                if existing.max_p() < pool.max_p() {
+                    *existing = Arc::clone(&pool);
+                }
+                *at = stamp;
+            })
+            .or_insert_with(|| (Arc::clone(&pool), stamp));
+        let result = Arc::clone(&entry.0);
+        while pools.len() > self.max_pools {
+            let oldest = pools
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty registry has an oldest entry");
+            pools.remove(&oldest);
+        }
+        (result, false)
+    }
+
+    /// Releases every pool's memoized flats (the idle path). Pools
+    /// themselves stay registered; their traces are cheap relative to the
+    /// flats and keep the next request warm-ish.
+    fn shrink(&self) {
+        let pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        for (pool, _) in pools.values() {
+            pool.shrink();
+        }
+    }
+}
+
+struct ServerState {
+    config: ServerConfig,
+    worker_pool: WorkerPool,
+    registry: PoolRegistry,
+    scratch: ScratchPool,
+    stats: StatCells,
+    active_connections: AtomicUsize,
+}
+
+/// The simulation-as-a-service server. Bind, then [`run`](Self::run).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port in tests).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            worker_pool: WorkerPool::new(config.workers, config.queue_capacity),
+            registry: PoolRegistry::new(config.max_pools, config.flat_capacity),
+            scratch: ScratchPool::new(),
+            stats: StatCells::default(),
+            active_connections: AtomicUsize::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `flag` trips, then drains: no new connections, idle
+    /// connections close, in-flight requests finish, the worker queue
+    /// empties, every thread is joined. Returns the final statistics.
+    pub fn run(self, flag: &ShutdownFlag) -> io::Result<ServerStats> {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        let mut last_activity = Instant::now();
+        let mut last_executed = 0u64;
+        let mut shrunk_while_idle = false;
+        while !flag.is_set() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    last_activity = Instant::now();
+                    shrunk_while_idle = false;
+                    // Keep-alive request/response exchanges are small;
+                    // leaving Nagle on would serialize them against the
+                    // peer's delayed ACKs.
+                    let _ = stream.set_nodelay(true);
+                    let active = &self.state.active_connections;
+                    if active.load(Ordering::Relaxed) >= self.state.config.max_connections {
+                        self.state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = shed_connection(stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let state = Arc::clone(&self.state);
+                    let conn_flag = flag.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("hbm-serve-conn".into())
+                        .spawn(move || {
+                            serve_connection(stream, &state, &conn_flag);
+                            state.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        })
+                        .expect("spawn connection thread");
+                    connections.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            connections.retain(|h| !h.is_finished());
+            // Idle-path memory release: when no request has executed for
+            // the configured window, drop memoized flats and idle scratch.
+            let executed = self.state.worker_pool.executed();
+            if executed != last_executed {
+                last_executed = executed;
+                last_activity = Instant::now();
+                shrunk_while_idle = false;
+            }
+            if let Some(window) = self.state.config.idle_shrink_after {
+                if !shrunk_while_idle && last_activity.elapsed() >= window {
+                    self.state.registry.shrink();
+                    self.state.scratch.clear();
+                    shrunk_while_idle = true;
+                }
+            }
+        }
+        // Drain: connection threads see the flag (idle reads cancel,
+        // in-flight requests complete), then the worker queue empties.
+        drop(self.listener);
+        for handle in connections {
+            let _ = handle.join();
+        }
+        self.state.worker_pool.shutdown();
+        Ok(self.state.stats.snapshot())
+    }
+}
+
+/// Best-effort 503 for connections over the concurrency cap.
+fn shed_connection(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
+    let resp = HttpResponse {
+        close: true,
+        ..HttpResponse::json(503, "{\"error\":\"connection limit reached\"}")
+    };
+    write_response(&mut stream, &resp)
+}
+
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, flag: &ShutdownFlag) {
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        return;
+    }
+    let idle_cancel = || flag.is_set();
+    loop {
+        // A fresh deadline per message: the connection may idle between
+        // requests (keep-alive) for as long as the client likes — idleness
+        // is interrupted by shutdown via `idle_cancel`, while an in-flight
+        // message gets `request_timeout` to complete.
+        let deadline = Instant::now() + state.config.request_timeout;
+        let req = match read_request(&mut stream, deadline, &idle_cancel) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,                  // client closed cleanly
+            Err(HttpError::Cancelled) => return, // shutdown while idle
+            Err(HttpError::TimedOut) => {
+                // Idle keep-alive wait: just re-arm the deadline. (A
+                // *mid-message* stall also lands here after request_timeout
+                // of silence; the subsequent read then fails fast as
+                // malformed, which is an acceptable fate for a stalled
+                // sender.)
+                if flag.is_set() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                let (status, msg) = match &e {
+                    HttpError::HeadTooLarge => (413, e.to_string()),
+                    HttpError::BodyTooLarge { .. } => (413, e.to_string()),
+                    _ => (400, e.to_string()),
+                };
+                state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_error(&mut stream, status, &msg, true);
+                return;
+            }
+        };
+        let close_after = req
+            .headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let mut resp = route(&req, state, flag);
+        resp.close = close_after;
+        if write_response(&mut stream, &resp).is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+        if flag.is_set() {
+            // In-flight request finished (drain guarantee); now stop
+            // taking new ones on this connection.
+            return;
+        }
+    }
+}
+
+fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    close: bool,
+) -> io::Result<()> {
+    let body = Json::obj(vec![("error", Json::from(message))]).to_string();
+    let resp = HttpResponse {
+        close,
+        ..HttpResponse::json(status, body)
+    };
+    write_response(stream, &resp)
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::from(message))]).to_string()
+}
+
+fn route(req: &HttpRequest, state: &Arc<ServerState>, flag: &ShutdownFlag) -> HttpResponse {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state, flag),
+        ("POST", "/simulate") => simulate(req, state),
+        ("POST", "/test/panic") if state.config.enable_test_endpoints => {
+            submit_job(state, || panic!("deliberate test panic"))
+        }
+        ("POST", _) | ("GET", _) => {
+            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(404, error_body("no such endpoint"))
+        }
+        _ => {
+            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(405, error_body("method not allowed"))
+        }
+    }
+}
+
+fn healthz(state: &ServerState, flag: &ShutdownFlag) -> HttpResponse {
+    let s = state.stats.snapshot();
+    let body = Json::obj(vec![
+        (
+            "status",
+            Json::from(if flag.is_set() { "draining" } else { "ok" }),
+        ),
+        ("requests", Json::from(s.requests)),
+        ("ok", Json::from(s.ok)),
+        ("rejected", Json::from(s.rejected)),
+        ("shed", Json::from(s.shed)),
+        ("client_errors", Json::from(s.client_errors)),
+        ("panics", Json::from(s.panics)),
+        ("cold_runs", Json::from(s.cold_runs)),
+        ("warm_runs", Json::from(s.warm_runs)),
+        ("queued", Json::from(state.worker_pool.queued())),
+        ("running", Json::from(state.worker_pool.running())),
+        (
+            "active_connections",
+            Json::from(state.active_connections.load(Ordering::Relaxed)),
+        ),
+    ])
+    .to_string();
+    state.stats.ok.fetch_add(1, Ordering::Relaxed);
+    HttpResponse::json(200, body)
+}
+
+fn simulate(req: &HttpRequest, state: &Arc<ServerState>) -> HttpResponse {
+    let sim = match parse_sim_request(&req.body, &state.config.json_limits) {
+        Ok(sim) => sim,
+        Err(e) => {
+            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let status = match e {
+                ProtoError::TooLarge { .. } => 413,
+                _ => 400,
+            };
+            return HttpResponse::json(status, error_body(&e.to_string()));
+        }
+    };
+    let budget = sim.budget.min(state.config.budget_ceiling);
+    let job_state = Arc::clone(state);
+    submit_job(state, move || execute_sim(&job_state, &sim, budget))
+}
+
+/// Worker-side execution of one validated request through the warm path.
+fn execute_sim(state: &ServerState, sim: &SimRequest, budget: CellBudget) -> HttpResponse {
+    let (pool, was_warm) = state.registry.get(&sim.workload, sim.p);
+    if was_warm {
+        state.stats.warm_runs.fetch_add(1, Ordering::Relaxed);
+    } else {
+        state.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
+    }
+    let flat = pool.flat(sim.p);
+    let result = state
+        .scratch
+        .with(|scratch| run_sim_budgeted_flat(&flat, &sim.settings, budget, scratch));
+    match result {
+        Ok(report) => HttpResponse::json(200, report_to_json(&report)),
+        Err(e) => HttpResponse::json(400, error_body(&format!("invalid configuration: {e}"))),
+    }
+}
+
+/// Submits a closure to the worker pool and synchronously awaits its
+/// response, mapping admission failures to 429/503 and panics to 500.
+fn submit_job(
+    state: &ServerState,
+    job: impl FnOnce() -> HttpResponse + Send + 'static,
+) -> HttpResponse {
+    let (tx, rx) = mpsc::channel::<HttpResponse>();
+    let submitted = state.worker_pool.try_submit(move || {
+        // Catch here (under the pool's own backstop) so the panic message
+        // reaches the client as a 500 body.
+        let resp = match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                HttpResponse::json(500, error_body(&format!("request panicked: {msg}")))
+            }
+        };
+        let _ = tx.send(resp);
+    });
+    match submitted {
+        Ok(()) => match rx.recv() {
+            Ok(resp) => {
+                match resp.status {
+                    200 => state.stats.ok.fetch_add(1, Ordering::Relaxed),
+                    500 => state.stats.panics.fetch_add(1, Ordering::Relaxed),
+                    _ => state.stats.client_errors.fetch_add(1, Ordering::Relaxed),
+                };
+                resp
+            }
+            // The sender can only drop without sending if the job was lost
+            // to something the in-job catch_unwind could not see.
+            Err(_) => {
+                state.stats.panics.fetch_add(1, Ordering::Relaxed);
+                HttpResponse::json(500, error_body("request execution lost"))
+            }
+        },
+        Err(SubmitError::Full { capacity }) => {
+            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(
+                429,
+                error_body(&format!(
+                    "request queue full (capacity {capacity}); retry later"
+                )),
+            )
+        }
+        Err(SubmitError::ShutDown) => {
+            state.stats.shed.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(503, error_body("server is draining"))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}

@@ -1,0 +1,134 @@
+//! Cooperative shutdown signalling, with optional SIGINT/SIGTERM hookup.
+//!
+//! The workspace has no `libc` (offline, std-only), and std exposes no
+//! signal API — so this module carries the crate's only `unsafe`: a raw
+//! FFI declaration of POSIX `signal(2)` used to install a handler that
+//! does exactly one async-signal-safe thing, a relaxed store to a
+//! process-global `AtomicBool`. Everything else polls.
+//!
+//! A [`ShutdownFlag`] is two bits OR-ed together: a *local* flag (an
+//! `Arc<AtomicBool>` tests and callers can trip directly) and, when
+//! constructed via [`ShutdownFlag::with_signal_handlers`], the *global*
+//! signal bit. The server's accept loop, its connection threads, and
+//! `repro sweep`'s journal workers all poll the same flag type, so one
+//! drain-and-flush discipline covers both binaries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Once};
+
+/// Set by the signal handler; never cleared (signal-triggered shutdown is
+/// one-way for the life of the process).
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// A pollable, cloneable shutdown request.
+///
+/// Clones share state: tripping any clone (or receiving SIGINT/SIGTERM,
+/// for flags created by [`with_signal_handlers`](Self::with_signal_handlers))
+/// makes every clone's [`is_set`](Self::is_set) return `true`.
+#[derive(Clone)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+    with_signals: bool,
+}
+
+impl Default for ShutdownFlag {
+    fn default() -> Self {
+        ShutdownFlag::new()
+    }
+}
+
+impl ShutdownFlag {
+    /// A flag with no signal hookup — tripped only by [`trip`](Self::trip).
+    /// This is what tests use to exercise shutdown paths deterministically.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag {
+            local: Arc::new(AtomicBool::new(false)),
+            with_signals: false,
+        }
+    }
+
+    /// A flag that also observes SIGINT (ctrl-c) and SIGTERM. Handler
+    /// installation happens once per process; later calls share it.
+    /// On non-Unix platforms this is identical to [`new`](Self::new).
+    pub fn with_signal_handlers() -> ShutdownFlag {
+        install_handlers();
+        ShutdownFlag {
+            local: Arc::new(AtomicBool::new(false)),
+            with_signals: true,
+        }
+    }
+
+    /// Requests shutdown.
+    pub fn trip(&self) {
+        self.local.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested — locally or, for
+    /// signal-observing flags, by SIGINT/SIGTERM.
+    pub fn is_set(&self) -> bool {
+        self.local.load(Ordering::Acquire)
+            || (self.with_signals && SIGNALLED.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(unix)]
+fn install_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // The handler performs only an atomic store — async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // POSIX signal(2). We use it instead of sigaction to avoid
+        // declaring the platform-specific sigaction struct layout by hand;
+        // the semantics difference (SA_RESTART) is irrelevant because every
+        // read in this crate runs under a timeout and re-polls the flag.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    });
+}
+
+#[cfg(not(unix))]
+fn install_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_flag_trips_and_shares_across_clones() {
+        let flag = ShutdownFlag::new();
+        let clone = flag.clone();
+        assert!(!flag.is_set());
+        assert!(!clone.is_set());
+        clone.trip();
+        assert!(flag.is_set(), "clones share the local bit");
+    }
+
+    #[test]
+    fn independent_flags_do_not_interfere() {
+        let a = ShutdownFlag::new();
+        let b = ShutdownFlag::new();
+        a.trip();
+        assert!(a.is_set());
+        assert!(!b.is_set());
+    }
+
+    #[test]
+    fn signal_flag_installs_without_breaking_local_semantics() {
+        // We can't safely raise a real signal inside the test harness, but
+        // installation must succeed and local tripping must still work.
+        let flag = ShutdownFlag::with_signal_handlers();
+        assert!(!flag.is_set());
+        flag.trip();
+        assert!(flag.is_set());
+    }
+}

@@ -1,0 +1,250 @@
+//! Property tests for the hand-rolled JSON codec, plus hostile-input
+//! cases: depth bombs, oversized inputs, trailing garbage, bad escapes.
+//!
+//! The central property is serialization fixed-pointedness: for any value
+//! `v`, `parse(v.to_string())` succeeds and re-serializes to exactly the
+//! same bytes. (Value-level equality is implied: the serializer is a
+//! function of the value, so equal bytes ⇒ the reparse lost nothing the
+//! serializer can see — including f64 bit patterns, which `fmt_f64`
+//! prints with shortest-roundtrip precision.)
+
+use hbm_serve::json::{fmt_f64, Json, JsonError, JsonLimits, Number};
+use proptest::prelude::*;
+
+/// Deterministic value generator: a splitmix64 stream drives a bounded
+/// recursive builder. (The compat proptest has no recursive strategies;
+/// driving recursion from a generated seed keeps shrinking meaningful —
+/// the seed shrinks toward 0, which builds `null`.)
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn string(&mut self) -> String {
+        let len = (self.next() % 12) as usize;
+        (0..len)
+            .map(|_| match self.next() % 6 {
+                0 => '\\',
+                1 => '"',
+                2 => '\u{7}',     // control char: must escape as \u0007
+                3 => 'é',         // multi-byte UTF-8
+                4 => '\u{1F600}', // astral plane (surrogate pair in \u form)
+                _ => (b'a' + (self.next() % 26) as u8) as char,
+            })
+            .collect()
+    }
+
+    fn value(&mut self, depth: usize) -> Json {
+        let pick = if depth == 0 {
+            self.next() % 6
+        } else {
+            self.next() % 8
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(self.next().is_multiple_of(2)),
+            2 => Json::Num(Number::U(self.next())),
+            3 => Json::Num(Number::I(-((self.next() % (1 << 62)) as i64 + 1))),
+            4 => {
+                // Finite f64 from random bits (non-finite becomes `null`
+                // on the wire, which breaks the fixed point on purpose —
+                // so only finite values are generated here).
+                let f = f64::from_bits(self.next());
+                Json::Num(Number::F(if f.is_finite() { f } else { 0.25 }))
+            }
+            5 => Json::Str(self.string()),
+            6 => {
+                let n = (self.next() % 4) as usize;
+                Json::Arr((0..n).map(|_| self.value(depth - 1)).collect())
+            }
+            _ => {
+                let n = (self.next() % 4) as usize;
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (self.string(), self.value(depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_serialize_is_a_fixed_point(seed in any::<u64>(), depth in 0usize..5) {
+        let v = Gen(seed).value(depth);
+        let wire = v.to_string();
+        let reparsed = Json::parse(&wire)
+            .unwrap_or_else(|e| panic!("own output must reparse: {e} in {wire}"));
+        prop_assert_eq!(reparsed.to_string(), wire);
+    }
+
+    #[test]
+    fn integers_round_trip_exactly(u in any::<u64>(), i in any::<i64>()) {
+        let v = Json::obj(vec![("u", Json::from(u)), ("i", Json::from(i))]);
+        let back = Json::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(back.get("u").unwrap().as_u64(), Some(u));
+        let got_i = match back.get("i").unwrap() {
+            Json::Num(Number::I(x)) => Some(*x),
+            Json::Num(Number::U(x)) => i64::try_from(*x).ok(),
+            _ => None,
+        };
+        prop_assert_eq!(got_i, Some(i));
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly(bits in any::<u64>()) {
+        let f = f64::from_bits(bits);
+        if !f.is_finite() {
+            return Ok(());
+        }
+        let wire = fmt_f64(f);
+        let back = Json::parse(&wire).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap().to_bits(), f.to_bits(),
+            "{} reparsed to a different f64", wire);
+    }
+
+    #[test]
+    fn arbitrary_strings_round_trip(seed in any::<u64>()) {
+        let s = Gen(seed).string();
+        let v = Json::Str(s.clone());
+        let back = Json::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        // Totality: any input yields Ok or a typed error, never a panic.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = Json::parse(text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn depth_bomb_is_rejected_not_overflowed() {
+    // 100k nested arrays would overflow the stack of a naive recursive
+    // parser; the depth limit must reject it first.
+    let bomb = "[".repeat(100_000) + &"]".repeat(100_000);
+    match Json::parse(&bomb) {
+        Err(JsonError::TooDeep { limit }) => assert_eq!(limit, JsonLimits::default().max_depth),
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+    // Same for objects.
+    let bomb = "{\"a\":".repeat(100_000) + "1" + &"}".repeat(100_000);
+    assert!(matches!(Json::parse(&bomb), Err(JsonError::TooDeep { .. })));
+    // Exactly at the limit is fine.
+    let limits = JsonLimits {
+        max_depth: 8,
+        ..JsonLimits::default()
+    };
+    let ok = "[".repeat(8) + &"]".repeat(8);
+    assert!(Json::parse_with_limits(&ok, &limits).is_ok());
+    let over = "[".repeat(9) + &"]".repeat(9);
+    assert!(matches!(
+        Json::parse_with_limits(&over, &limits),
+        Err(JsonError::TooDeep { limit: 8 })
+    ));
+}
+
+#[test]
+fn oversized_input_is_rejected_before_any_parsing() {
+    let limits = JsonLimits {
+        max_bytes: 16,
+        ..JsonLimits::default()
+    };
+    let input = "\"aaaaaaaaaaaaaaaaaaaaaaaaaaaa\"";
+    match Json::parse_with_limits(input, &limits) {
+        Err(JsonError::InputTooLarge { limit, actual }) => {
+            assert_eq!(limit, 16);
+            assert_eq!(actual, input.len());
+        }
+        other => panic!("expected InputTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_is_an_error() {
+    for input in ["{} x", "1 2", "null,", "[1] [2]", "\"a\"b"] {
+        assert!(
+            matches!(Json::parse(input), Err(JsonError::TrailingGarbage { .. })),
+            "{input:?} must be TrailingGarbage"
+        );
+    }
+    // Trailing whitespace is NOT garbage.
+    assert!(Json::parse("  {}  \n").is_ok());
+}
+
+#[test]
+fn malformed_escapes_are_typed_errors() {
+    for input in [
+        r#""\x""#,           // unknown escape
+        r#""\u12""#,         // truncated \u
+        r#""\uD800""#,       // lone high surrogate
+        r#""\uDC00\uDC00""#, // low surrogate first
+        r#""\"#,             // backslash at EOF
+    ] {
+        assert!(
+            matches!(
+                Json::parse(input),
+                Err(JsonError::BadEscape { .. } | JsonError::UnexpectedEof)
+            ),
+            "{input:?} must be a typed escape error, got {:?}",
+            Json::parse(input)
+        );
+    }
+}
+
+#[test]
+fn malformed_numbers_and_tokens_are_rejected() {
+    for input in [
+        "01", "1.", ".5", "+1", "1e", "1e+", "--1", "0x10", "NaN", "Infinity",
+        "1e999", // overflows to infinity: JSON has no representation for it
+        "tru", "nul", "falsey",
+    ] {
+        assert!(
+            Json::parse(input).is_err(),
+            "{input:?} must be rejected, got {:?}",
+            Json::parse(input)
+        );
+    }
+    // Large magnitudes that stay finite are fine (parsed as f64).
+    assert!(Json::parse("1e308").is_ok());
+    assert!(Json::parse("123456789012345678901234567890").is_ok());
+}
+
+#[test]
+fn truncated_documents_are_unexpected_eof() {
+    for input in ["{", "[1,", "\"abc", "{\"a\":", "tr", "-"] {
+        assert!(Json::parse(input).is_err(), "{input:?} must fail cleanly");
+    }
+    assert_eq!(Json::parse(""), Err(JsonError::UnexpectedEof));
+}
+
+#[test]
+fn control_characters_in_strings_must_be_escaped() {
+    // Raw control characters are invalid JSON string content.
+    assert!(Json::parse("\"a\u{7}b\"").is_err());
+    // Their escaped forms parse and re-serialize stably.
+    let v = Json::parse(r#""a\u0007b""#).unwrap();
+    assert_eq!(v.as_str(), Some("a\u{7}b"));
+    assert_eq!(v.to_string(), r#""a\u0007b""#);
+}
+
+#[test]
+fn duplicate_keys_keep_first_match_semantics() {
+    // The parser preserves order; `get` returns the first match — the
+    // deterministic choice the server relies on.
+    let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+    assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+}

@@ -1,0 +1,254 @@
+//! In-process integration tests: a real [`Server`] on an ephemeral port,
+//! real TCP clients, and byte-level comparison of served reports against
+//! direct `SimBuilder` runs.
+
+use hbm_core::{ArbitrationKind, SimBuilder};
+use hbm_serve::http::{read_response, write_request};
+use hbm_serve::json::Json;
+use hbm_serve::proto::report_to_json;
+use hbm_serve::server::{Server, ServerConfig, ServerStats};
+use hbm_serve::shutdown::ShutdownFlag;
+use hbm_traces::{TraceOptions, WorkloadSpec};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running server plus the handle to join it.
+struct TestServer {
+    addr: SocketAddr,
+    flag: ShutdownFlag,
+    handle: JoinHandle<ServerStats>,
+}
+
+fn start_server(config: ServerConfig) -> TestServer {
+    let flag = ShutdownFlag::new();
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let run_flag = flag.clone();
+    let handle = std::thread::spawn(move || server.run(&run_flag).expect("server run"));
+    TestServer { addr, flag, handle }
+}
+
+impl TestServer {
+    fn stop(self) -> ServerStats {
+        self.flag.trip();
+        self.handle.join().expect("server thread")
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, method, path, body).expect("write request");
+    read_response(&mut stream, Instant::now() + Duration::from_secs(30)).expect("read response")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        enable_test_endpoints: true,
+        ..ServerConfig::default()
+    }
+}
+
+const SIM_BODY: &str = r#"{
+    "workload": {"kind": "cyclic", "pages": 32, "reps": 4, "seed": 9},
+    "p": 4, "k": 24, "q": 2,
+    "arbitration": "priority",
+    "seed": 7
+}"#;
+
+/// The exact report the server must serve for [`SIM_BODY`], computed
+/// through the plain (unshared, unbudgeted) `SimBuilder` path.
+fn direct_report_json() -> String {
+    let spec = WorkloadSpec::Cyclic { pages: 32, reps: 4 };
+    let workload = spec.workload(4, 9, TraceOptions::default());
+    let report = SimBuilder::new()
+        .hbm_slots(24)
+        .channels(2)
+        .arbitration(ArbitrationKind::Priority)
+        .seed(7)
+        .run(&workload);
+    report_to_json(&report)
+}
+
+#[test]
+fn served_report_is_byte_identical_to_direct_simbuilder_run() {
+    let server = start_server(test_config());
+    let expected = direct_report_json();
+    // Twice: once cold (pool generated for this request), once warm
+    // (memoized pool + flat) — the bytes must not depend on which path ran.
+    for round in ["cold", "warm"] {
+        let (status, body) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+        assert_eq!(status, 200, "{round}: {}", String::from_utf8_lossy(&body));
+        assert_eq!(
+            String::from_utf8(body).unwrap(),
+            expected,
+            "{round} response must match the direct SimBuilder run byte for byte"
+        );
+    }
+    let stats = server.stop();
+    assert_eq!(stats.cold_runs, 1);
+    assert_eq!(stats.warm_runs, 1);
+}
+
+#[test]
+fn concurrent_clients_all_get_identical_correct_reports() {
+    let server = start_server(test_config());
+    let expected = direct_report_json();
+    let addr = server.addr;
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let (status, body) = request(addr, "POST", "/simulate", SIM_BODY.as_bytes());
+                assert_eq!(status, 200);
+                assert_eq!(String::from_utf8(body).unwrap(), expected);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.stop();
+    assert_eq!(stats.ok, 8);
+    assert_eq!(stats.cold_runs + stats.warm_runs, 8);
+}
+
+#[test]
+fn panicking_request_gets_500_and_the_server_survives() {
+    let server = start_server(test_config());
+    let (status, body) = request(server.addr, "POST", "/test/panic", b"");
+    assert_eq!(status, 500);
+    let err = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(err
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("panicked"));
+    // The worker pool and every other path must still function.
+    let (status, body) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let stats = server.stop();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.ok, 1);
+}
+
+#[test]
+fn over_budget_request_returns_truncated_report_not_a_hang() {
+    let server = start_server(test_config());
+    // A tick budget far below the workload's makespan: the run must stop
+    // at the budget and say so.
+    let body = r#"{
+        "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+        "p": 8, "k": 16,
+        "arbitration": "fifo",
+        "max_ticks": 50
+    }"#;
+    let (status, resp) = request(server.addr, "POST", "/simulate", body.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let report = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(report.get("truncated").unwrap().as_bool(), Some(true));
+    assert_eq!(report.get("makespan").unwrap().as_u64(), Some(50));
+    server.stop();
+}
+
+#[test]
+fn server_ceiling_clamps_unbudgeted_requests() {
+    // The server's own ceiling applies even when the client asks for no
+    // budget at all.
+    let config = ServerConfig {
+        budget_ceiling: hbm_serve::CellBudget {
+            max_ticks: Some(25),
+            max_wall: None,
+        },
+        ..test_config()
+    };
+    let server = start_server(config);
+    let body = r#"{
+        "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+        "p": 8, "k": 16,
+        "arbitration": "fifo"
+    }"#;
+    let (status, resp) = request(server.addr, "POST", "/simulate", body.as_bytes());
+    assert_eq!(status, 200);
+    let report = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(report.get("truncated").unwrap().as_bool(), Some(true));
+    assert_eq!(report.get("makespan").unwrap().as_u64(), Some(25));
+    server.stop();
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    // Zero queue capacity: every submission is rejected before execution —
+    // deterministic admission-control behaviour.
+    let config = ServerConfig {
+        queue_capacity: 0,
+        ..test_config()
+    };
+    let server = start_server(config);
+    let (status, body) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    let err = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(err
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("queue full"));
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.ok, 0);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_4xx() {
+    let server = start_server(test_config());
+    let (status, _) = request(server.addr, "POST", "/simulate", b"{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(server.addr, "POST", "/simulate", b"{\"p\": 1}");
+    assert_eq!(status, 400, "missing required fields");
+    let (status, _) = request(server.addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _) = request(
+        server.addr,
+        "POST",
+        "/simulate",
+        br#"{"workload": "no-such-builtin", "p": 1, "k": 16}"#,
+    );
+    assert_eq!(status, 400);
+    // /test/panic must 404 when test endpoints are disabled.
+    let prod = start_server(ServerConfig::default());
+    let (status, _) = request(prod.addr, "POST", "/test/panic", b"");
+    assert_eq!(status, 404);
+    prod.stop();
+    server.stop();
+}
+
+#[test]
+fn healthz_reports_counters_and_drain_state() {
+    let server = start_server(test_config());
+    let (status, body) = request(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("active_connections").unwrap().as_u64(), Some(1));
+    server.stop();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_then_exits() {
+    let server = start_server(test_config());
+    // Keep-alive connection: first request served, then the flag trips;
+    // the connection must close after the in-flight exchange rather than
+    // mid-response, and run() must return.
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    write_request(&mut stream, "POST", "/simulate", SIM_BODY.as_bytes()).unwrap();
+    let (status, _) = read_response(&mut stream, Instant::now() + Duration::from_secs(30)).unwrap();
+    assert_eq!(status, 200);
+    let addr = server.addr;
+    let stats = server.stop();
+    assert_eq!(stats.ok, 1);
+    // New connections after drain must be refused (the listener is gone).
+    assert!(TcpStream::connect(addr).is_err());
+}

@@ -12,7 +12,11 @@
 //! * [`knl`] — the synthetic Knights Landing machine model and the
 //!   pointer-chasing / GLUPS microbenchmarks of §5.
 //! * [`experiments`] — ready-made reproductions of every figure and table.
-//! * [`par`] — small std::thread::scope-based parallel sweep utilities.
+//! * [`par`] — small std::thread::scope-based parallel sweep utilities and
+//!   the bounded worker pool behind the server.
+//! * [`serve`] — simulation-as-a-service: an std-only HTTP/1.1 + JSON
+//!   server with admission control, budget ceilings, and graceful
+//!   shutdown (see README.md §"Running the server").
 //!
 //! ## Quickstart
 //!
@@ -36,4 +40,5 @@ pub use hbm_core as core;
 pub use hbm_experiments as experiments;
 pub use hbm_knl_model as knl;
 pub use hbm_par as par;
+pub use hbm_serve as serve;
 pub use hbm_traces as traces;
