@@ -3,11 +3,11 @@
 //! Generate the benchmark document:
 //!
 //! ```text
-//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_4.json
+//! cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_6.json
 //! ```
 //!
 //! Flags:
-//! - `--out <path>`: write the JSON document (default `BENCH_4.json`)
+//! - `--out <path>`: write the JSON document (default `BENCH_6.json`)
 //! - `--scale small|medium|both`: cell grid to run (default `both`)
 //! - `--check <baseline.json>`: after measuring, gate against a baseline —
 //!   both the ticks/sec gate and the `setup_seconds` gate (the latter at
@@ -33,8 +33,8 @@
 
 use hbm_bench::harness::{
     calibration_score, cells, check_regression, check_setup_regression, group_ticks_per_sec,
-    measure, parse_calibration, render_json, sweep_grid_comparison, BenchScale,
-    SweepGridComparison,
+    lockstep_grid_comparison, measure, parse_calibration, render_json, sweep_grid_comparison,
+    BenchScale, LockstepGridComparison, SweepGridComparison,
 };
 
 fn usage() -> ! {
@@ -49,7 +49,7 @@ fn usage() -> ! {
 fn main() {
     const PRE_PR_DEFAULT: &str = "results/bench_pre_pr.json";
 
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut scale_arg = String::from("both");
     let mut check_path: Option<String> = None;
     let mut pre_pr_path: Option<String> = None;
@@ -178,17 +178,52 @@ fn main() {
         })
         .collect();
 
+    // The lockstep tentpole measurement: the same grid run scalar (the PR
+    // 4 shared path) vs columnized into per-p lockstep batches. A
+    // checksum divergence here is a correctness bug, not noise, and fails
+    // the run outright.
+    let lockstep_grids: Vec<LockstepGridComparison> = scales
+        .iter()
+        .map(|&s| {
+            eprintln!("lockstep-grid comparison ({})...", s.name());
+            let g = lockstep_grid_comparison(s);
+            eprintln!(
+                "lockstep-grid {}: scalar {:.3}s, batched {:.3}s over {} batches, \
+                 speedup {:.2}x, checksums {}",
+                g.scale,
+                g.scalar_wall_seconds,
+                g.batched_wall_seconds,
+                g.batches,
+                g.speedup,
+                if g.checksum_match { "match" } else { "DIVERGE" },
+            );
+            g
+        })
+        .collect();
+
     let scale_names = scales
         .iter()
         .map(|s| s.name())
         .collect::<Vec<_>>()
         .join("+");
-    let json = render_json(&scale_names, calibration, &results, pre_pr, &sweep_grids);
+    let json = render_json(
+        &scale_names,
+        calibration,
+        &results,
+        pre_pr,
+        &sweep_grids,
+        &lockstep_grids,
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!(
         "wrote {out_path}  (fig3 aggregate: {:.0} ticks/s)",
         group_ticks_per_sec(&results, "fig3")
     );
+
+    if lockstep_grids.iter().any(|g| !g.checksum_match) {
+        eprintln!("lockstep gate FAIL: batched trajectories diverged from scalar");
+        std::process::exit(1);
+    }
 
     if let Some(base_path) = check_path {
         let baseline = std::fs::read_to_string(&base_path)

@@ -26,8 +26,10 @@
 //! calibration scores, so a faster or slower CI runner does not read as an
 //! engine change.
 
-use hbm_core::{ArbitrationKind, Engine, NoopObserver, SimBuilder, Workload};
-use hbm_experiments::common::{run_cell, run_cell_flat, ScratchPool, TracePool};
+use hbm_core::{ArbitrationKind, BatchScratch, Engine, NoopObserver, SimBuilder, Workload};
+use hbm_experiments::common::{
+    run_batch_flat, run_cell, run_cell_flat, ScratchPool, SimSettings, TracePool,
+};
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
 use std::time::Instant;
@@ -468,6 +470,131 @@ pub fn sweep_grid_comparison(scale: BenchScale) -> SweepGridComparison {
     }
 }
 
+/// Outcome of one scalar-vs-batched sweep-grid comparison (the lockstep
+/// tentpole's headline measurement): the same frozen grid as
+/// [`sweep_grid_comparison`] run twice through the `hbm_par` fan-out —
+/// once as per-cell scalar engines over shared flats with recycled
+/// scratches (the PR 4 sweep path, i.e. the *shared* side of the
+/// owned-vs-shared comparison), and once with each thread count's cells
+/// columnized into one lockstep [`BatchEngine`] batch (FIFO and Priority
+/// per HBM size, `2 × |mults|` cells wide). Both passes must produce
+/// bit-identical trajectories (`checksum_match`) — the differential suite
+/// proves it per cell; this records it on the pinned perf grid.
+pub struct LockstepGridComparison {
+    /// Scale name the grid was built for.
+    pub scale: &'static str,
+    /// Number of (p, k, policy) simulation cells in the grid.
+    pub cells: usize,
+    /// Number of lockstep batches the batched pass ran (one per p).
+    pub batches: usize,
+    /// Wall seconds for the scalar shared-flat pass.
+    pub scalar_wall_seconds: f64,
+    /// Wall seconds for the batched lockstep pass.
+    pub batched_wall_seconds: f64,
+    /// `scalar_wall_seconds / batched_wall_seconds` — the aggregate
+    /// sweep-grid throughput gain from columnization alone (both passes
+    /// share flats and recycle scratches, so the ratio isolates lockstep
+    /// execution; calibration cancels in the same-machine ratio).
+    pub speedup: f64,
+    /// Whether both passes produced identical (makespan ^ hits) checksums
+    /// in grid order — false would mean the lockstep path changed
+    /// simulation results, a correctness bug that invalidates the timing.
+    pub checksum_match: bool,
+}
+
+/// Runs the scalar-vs-batched lockstep comparison for one scale. The grid
+/// shape is frozen and identical to [`sweep_grid_comparison`]'s: SpGEMM
+/// under contention across a thread sweep × HBM-size multipliers × both
+/// policies, seed 42. Flats are pre-memoized before either pass so the
+/// ratio measures engine execution, not flattening.
+pub fn lockstep_grid_comparison(scale: BenchScale) -> LockstepGridComparison {
+    let (n, ps, mults) = match scale {
+        BenchScale::Small => (80usize, vec![1usize, 2, 4, 8, 16], vec![1usize, 2, 5]),
+        BenchScale::Medium => (150, vec![4usize, 8, 16, 32, 64], vec![1usize, 2, 3, 5]),
+    };
+    let seed = 42u64;
+    let spec = WorkloadSpec::SpGemm { n, density: 0.10 };
+    let max_p = *ps.iter().max().expect("non-empty thread sweep");
+    let pool = TracePool::generate(spec, max_p, seed, TraceOptions::default());
+    let ws = pool.working_set().max(1);
+    let grid: Vec<(usize, usize, ArbitrationKind)> = ps
+        .iter()
+        .flat_map(|&p| {
+            mults.iter().flat_map(move |&m| {
+                [ArbitrationKind::Fifo, ArbitrationKind::Priority]
+                    .into_iter()
+                    .map(move |arb| (p, (m * ws).max(16), arb))
+            })
+        })
+        .collect();
+    let checksum = |sigs: &[u64]| {
+        sigs.iter()
+            .fold(0u64, |sum, &sig| sum.wrapping_mul(31).wrapping_add(sig))
+    };
+
+    // Pre-memoize every flat and warm the workers/allocator: both passes
+    // then read the same Arcs and the timing isolates engine execution.
+    for &p in &ps {
+        let _ = pool.flat(p);
+    }
+    let (wp, wk, warb) = grid[0];
+    std::hint::black_box(run_cell_flat(
+        &pool.flat(wp),
+        wk,
+        1,
+        warb,
+        seed,
+        &mut Default::default(),
+    ));
+
+    // Scalar pass: one engine per cell over the shared flats — the sweep
+    // path this PR's batching replaces.
+    let scratches: ScratchPool = ScratchPool::new();
+    let t0 = Instant::now();
+    let scalar_sigs = hbm_par::parallel_map(&grid, |&(p, k, arb)| {
+        let flat = pool.flat(p);
+        let r = scratches.with(|scratch| run_cell_flat(&flat, k, 1, arb, seed, scratch));
+        r.makespan ^ r.hits
+    });
+    let scalar_wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let scalar_sum = checksum(&scalar_sigs);
+
+    // Batched pass: each p's cells columnized into one lockstep batch.
+    let batch_scratches: ScratchPool<BatchScratch> = ScratchPool::new();
+    let t1 = Instant::now();
+    let batched_rows = hbm_par::parallel_map(&ps, |&p| {
+        let flat = pool.flat(p);
+        let settings: Vec<SimSettings> = mults
+            .iter()
+            .flat_map(|&m| {
+                let k = (m * ws).max(16);
+                [
+                    SimSettings::new(k, 1, ArbitrationKind::Fifo, seed),
+                    SimSettings::new(k, 1, ArbitrationKind::Priority, seed),
+                ]
+            })
+            .collect();
+        let reports = batch_scratches.with(|scratch| run_batch_flat(&flat, &settings, scratch));
+        reports
+            .iter()
+            .map(|r| r.makespan ^ r.hits)
+            .collect::<Vec<u64>>()
+    });
+    let batched_wall = t1.elapsed().as_secs_f64().max(1e-9);
+    let batched_sigs: Vec<u64> = batched_rows.into_iter().flatten().collect();
+    let batched_sum = checksum(&batched_sigs);
+
+    LockstepGridComparison {
+        scale: scale.name(),
+        cells: grid.len(),
+        batches: ps.len(),
+        scalar_wall_seconds: scalar_wall,
+        batched_wall_seconds: batched_wall,
+        speedup: scalar_wall / batched_wall,
+        checksum_match: scalar_sum == batched_sum,
+    }
+}
+
 /// A fixed synthetic CPU score (iterations/second of a pure integer loop),
 /// engine-independent, used to normalize ticks/sec across machines. The
 /// loop body is frozen: changing it invalidates checked-in baselines.
@@ -527,28 +654,31 @@ fn json_f6(x: f64) -> String {
     }
 }
 
-/// Renders the full benchmark document (schema 3). `pre_pr` optionally
+/// Renders the full benchmark document (schema 4). `pre_pr` optionally
 /// carries the pre-optimization `(fig3_ticks_per_sec, calibration_score)`
 /// pair measured on the same machine, so the emitted JSON records the
 /// speedup the PR delivered on the adversarial sweep; `sweep_grids`
-/// carries the owned-vs-shared comparisons (one per scale).
+/// carries the owned-vs-shared comparisons and `lockstep_grids` the
+/// scalar-vs-batched lockstep comparisons (one per scale each).
 ///
-/// Schema 3 adds per-cell `setup_seconds`, `rss_before_bytes` and
-/// `peak_rss_delta_bytes` plus the top-level `sweep_grid` section; schema
-/// 2 documents (which lack them) still parse — the setup gate simply
-/// skips cells without baseline setup data.
+/// Schema 4 adds the top-level `lockstep_grid` section. Schema 3 added
+/// per-cell `setup_seconds`, `rss_before_bytes` and `peak_rss_delta_bytes`
+/// plus the top-level `sweep_grid` section; older documents (which lack
+/// them) still parse — the setup gate simply skips cells without baseline
+/// setup data.
 pub fn render_json(
     scale_names: &str,
     calibration: f64,
     results: &[CellResult],
     pre_pr: Option<(f64, f64)>,
     sweep_grids: &[SweepGridComparison],
+    lockstep_grids: &[LockstepGridComparison],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(
-        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_4.json\",\n",
+        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_6.json\",\n",
     );
     out.push_str(&format!("  \"scales\": \"{scale_names}\",\n"));
     out.push_str(&format!(
@@ -591,6 +721,25 @@ pub fn render_json(
             json_f(g.speedup),
             g.owned_peak_rss_delta_bytes,
             g.shared_peak_rss_delta_bytes,
+            g.checksum_match,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"lockstep_grid\": [\n");
+    for (i, g) in lockstep_grids.iter().enumerate() {
+        let comma = if i + 1 == lockstep_grids.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"scale\": \"{}\", \"cells\": {}, \"batches\": {}, \"scalar_wall_seconds\": {}, \"batched_wall_seconds\": {}, \"batched_vs_scalar_speedup\": {}, \"checksum_match\": {}}}{comma}\n",
+            g.scale,
+            g.cells,
+            g.batches,
+            json_f6(g.scalar_wall_seconds),
+            json_f6(g.batched_wall_seconds),
+            json_f(g.speedup),
             g.checksum_match,
         ));
     }
@@ -830,24 +979,45 @@ mod tests {
         }
     }
 
+    fn fake_lockstep_grid() -> LockstepGridComparison {
+        LockstepGridComparison {
+            scale: "small",
+            cells: 30,
+            batches: 5,
+            scalar_wall_seconds: 3.0,
+            batched_wall_seconds: 1.0,
+            speedup: 3.0,
+            checksum_match: true,
+        }
+    }
+
     #[test]
     fn json_roundtrips_through_parser() {
         let results = vec![
             fake_result("fig3/FIFO/p8", "fig3", 10_000, 0.5),
             fake_result("fig2/sort/Priority/p16", "fig2", 4_000, 0.25),
         ];
-        let json = render_json("small", 1e8, &results, Some((123.0, 1e8)), &[fake_grid()]);
+        let json = render_json(
+            "small",
+            1e8,
+            &results,
+            Some((123.0, 1e8)),
+            &[fake_grid()],
+            &[fake_lockstep_grid()],
+        );
         let cells = parse_cells(&json);
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].id, "fig3/FIFO/p8");
         assert!((cells[0].ticks_per_sec - 20_000.0).abs() < 1.0);
         assert_eq!(cells[0].setup_seconds, Some(0.001));
         assert_eq!(parse_calibration(&json), Some(1e8));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"fig3_speedup_vs_pre_pr\""));
         assert!(json.contains("\"rss_before_bytes\": 524288"));
         assert!(json.contains("\"peak_rss_delta_bytes\": 262144"));
         assert!(json.contains("\"shared_vs_owned_speedup\": 2.000"));
+        assert!(json.contains("\"batched_vs_scalar_speedup\": 3.000"));
+        assert!(json.contains("\"batches\": 5"));
         assert!(json.contains("\"checksum_match\": true"));
     }
 
@@ -859,6 +1029,7 @@ mod tests {
             &[fake_result("a", "fig3", 1000, 1.0)],
             None,
             &[],
+            &[],
         );
         let ok = render_json(
             "small",
@@ -866,12 +1037,14 @@ mod tests {
             &[fake_result("a", "fig3", 800, 1.0)],
             None,
             &[],
+            &[],
         );
         let bad = render_json(
             "small",
             1e8,
             &[fake_result("a", "fig3", 700, 1.0)],
             None,
+            &[],
             &[],
         );
         assert!(check_regression(&ok, &base, 0.25).is_empty());
@@ -888,12 +1061,14 @@ mod tests {
             &[fake_result("a", "fig3", 1000, 1.0)],
             None,
             &[],
+            &[],
         );
         let cur = render_json(
             "small",
             1e8,
             &[fake_result("a", "fig3", 550, 1.0)],
             None,
+            &[],
             &[],
         );
         assert!(check_regression(&cur, &base, 0.25).is_empty());
@@ -902,6 +1077,7 @@ mod tests {
             1e8,
             &[fake_result("a", "fig3", 300, 1.0)],
             None,
+            &[],
             &[],
         );
         assert_eq!(check_regression(&cur_bad, &base, 0.25).len(), 1);
@@ -915,12 +1091,14 @@ mod tests {
             &[fake_result("gone", "fig3", 1000, 1.0)],
             None,
             &[],
+            &[],
         );
         let cur = render_json(
             "small",
             1e8,
             &[fake_result("new", "fig3", 10, 1.0)],
             None,
+            &[],
             &[],
         );
         assert!(check_regression(&cur, &base, 0.25).is_empty());
@@ -934,6 +1112,7 @@ mod tests {
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.001)],
             None,
             &[],
+            &[],
         );
         let ok = render_json(
             "small",
@@ -941,12 +1120,14 @@ mod tests {
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.00125)],
             None,
             &[],
+            &[],
         );
         let bad = render_json(
             "small",
             1e8,
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.0015)],
             None,
+            &[],
             &[],
         );
         assert!(check_setup_regression(&ok, &base, 0.30).is_empty());
@@ -965,12 +1146,14 @@ mod tests {
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.001)],
             None,
             &[],
+            &[],
         );
         let cur = render_json(
             "small",
             1e8,
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.0024)],
             None,
+            &[],
             &[],
         );
         assert!(check_setup_regression(&cur, &base, 0.30).is_empty());
@@ -979,6 +1162,7 @@ mod tests {
             1e8,
             &[fake_result_setup("a", "fig3", 1000, 1.0, 0.003)],
             None,
+            &[],
             &[],
         );
         assert_eq!(check_setup_regression(&cur_bad, &base, 0.30).len(), 1);
@@ -994,6 +1178,7 @@ mod tests {
             &[fake_result_setup("a", "fig3", 1000, 1.0, 10.0)],
             None,
             &[],
+            &[],
         );
         assert!(check_setup_regression(&cur, base_v2, 0.30).is_empty());
         // A baseline below the 50 us noise floor is skipped too.
@@ -1002,6 +1187,7 @@ mod tests {
             1e8,
             &[fake_result_setup("a", "fig3", 1000, 1.0, 10e-6)],
             None,
+            &[],
             &[],
         );
         assert!(check_setup_regression(&cur, &base_tiny, 0.30).is_empty());
@@ -1015,6 +1201,18 @@ mod tests {
         assert!(g.checksum_match, "shared path must be bit-identical");
         assert!(g.owned_wall_seconds > 0.0);
         assert!(g.shared_wall_seconds > 0.0);
+        assert!(g.speedup > 0.0);
+    }
+
+    #[test]
+    fn lockstep_grid_comparison_is_bit_identical_and_positive() {
+        let g = lockstep_grid_comparison(BenchScale::Small);
+        assert_eq!(g.scale, "small");
+        assert_eq!(g.cells, 5 * 3 * 2);
+        assert_eq!(g.batches, 5);
+        assert!(g.checksum_match, "batched path must be bit-identical");
+        assert!(g.scalar_wall_seconds > 0.0);
+        assert!(g.batched_wall_seconds > 0.0);
         assert!(g.speedup > 0.0);
     }
 

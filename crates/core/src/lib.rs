@@ -65,6 +65,7 @@ pub mod flat;
 pub mod fxhash;
 pub mod hbm;
 pub mod ids;
+pub mod lockstep;
 pub mod metrics;
 pub mod observer;
 pub mod oracle;
@@ -83,6 +84,7 @@ pub use error::{ConfigError, SimError};
 pub use fault::{DegradationWindow, FaultPlan, OutageWindow, TransientFaults};
 pub use flat::FlatWorkload;
 pub use ids::{CoreId, GlobalPage, LocalPage, Tick};
+pub use lockstep::{BatchCell, BatchEngine, BatchScratch};
 pub use metrics::{CoreReport, FaultCounters, Report, ResponseSummary};
 pub use observer::{FaultEvent, NoopObserver, RecordingObserver, SimObserver};
 pub use oracle::OracleEngine;

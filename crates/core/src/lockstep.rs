@@ -1,0 +1,651 @@
+//! Batched lockstep execution: many simulation cells over one shared
+//! workload, stepped round-robin over structure-of-arrays state.
+//!
+//! Every grid in the experiment harness (Figure 2/3 panels, ratio sweeps,
+//! journaled sweeps) evaluates many configurations — varying `k`, `q`,
+//! arbitration, replacement, fault plan — of the *same* workload. The
+//! scalar [`Engine`] runs them one at a time, each walking its own
+//! freshly-built state. [`BatchEngine`] instead lays the per-cell mutable
+//! state out as contiguous per-cell columns of shared backing vectors
+//! (page tables, worklist bitsets, waiter chains, channel timelines,
+//! core runtimes) and advances all live cells round-robin. The cells of a
+//! batch share the flattened trace and its dense page index via one
+//! `Arc<FlatWorkload>` (PR 4), and the column arena is allocated once per
+//! batch instead of once per cell.
+//!
+//! # Scheduling granularity
+//!
+//! Because cells share no mutable state, *any* interleaving of per-cell
+//! steps produces bit-identical trajectories — scheduling is purely a
+//! performance knob. Measurement on the frozen bench grid showed that
+//! one-step rounds ([`BatchEngine::step_round`]) pay for re-slicing the
+//! twelve column windows on every step (~20% over the scalar path), so
+//! the quiet run loops instead grant each live cell
+//! [`QUIET_CHUNK`](BatchEngine::QUIET_CHUNK) steps per column borrow —
+//! coarse enough to amortize the re-borrow, fine enough that the cells
+//! of a batch stay loosely aligned in the shared trace. `BENCH_6.json`'s
+//! `lockstep_grid` section records the resulting scalar-vs-batched wall
+//! time honestly; the win of batching is the column arena + single
+//! construction pass, not the interleaving itself.
+//!
+//! # Bit-identity by construction
+//!
+//! A batch is **not** a new simulator: each round delegates every live
+//! cell to the same [`CellCtx`] tick implementation the scalar engine
+//! runs, over that cell's column windows. The canonical intra-tick
+//! ordering (PR 1) and fault-plan semantics (PR 3) therefore hold per
+//! cell automatically — even when cells diverge in tick count, outage
+//! windows, or truncation — and cells never interact: the round-robin
+//! interleaving is immaterial because cells share no mutable state. The
+//! lockstep differential suite (`crates/core/tests/lockstep_differential.rs`)
+//! re-proves the per-cell trajectories bit-identical to both [`Engine`]
+//! and the oracle, event streams and metrics included.
+//!
+//! # Ragged termination and budgets
+//!
+//! Cells finish (or hit their own `max_ticks`) independently; a finished
+//! cell simply stops being stepped while survivors continue unperturbed.
+//! Harness-level wall-clock budgets truncate at batch granularity: abandon
+//! the whole engine mid-run and [`BatchEngine::into_reports`] marks every
+//! unfinished cell `truncated`, exactly like the scalar engine's
+//! cooperative truncation.
+
+use crate::arbitration::{Arbiter, Request};
+use crate::config::SimConfig;
+use crate::engine::{fill_cores, CellCtx, CellScalars, CoreRt, EngineScratch, PageRt, NIL};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::flat::FlatWorkload;
+use crate::hbm::{Hbm, HbmBufs};
+use crate::ids::Tick;
+use crate::metrics::{MetricsCollector, Report};
+use crate::observer::{NoopObserver, SimObserver};
+use std::sync::Arc;
+
+/// One cell of a batch: a full simulation configuration plus its fault
+/// plan, to be run against the batch's shared workload.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCell {
+    /// The cell's simulation parameters (k, q, policies, seed, budget).
+    pub config: SimConfig,
+    /// The cell's injected fault schedule (empty for fault-free runs).
+    pub faults: FaultPlan,
+}
+
+/// Per-cell buffers that cannot be columnized: growable queues and the
+/// HBM slot tables, whose sizes depend on per-cell `k`/`q`.
+#[derive(Debug, Default)]
+struct CellBufs {
+    fetch_buf: Vec<Request>,
+    in_flight: Vec<(Tick, Request)>,
+    hbm: HbmBufs,
+}
+
+/// Recycled backing storage for a [`BatchEngine`] — the batched analogue
+/// of [`EngineScratch`], threaded through
+/// [`BatchEngine::try_with_scratch`] and harvested back by
+/// [`BatchEngine::into_reports_reusing`].
+///
+/// **Soundness invariant** (same as [`EngineScratch`]): construction
+/// re-initializes every column with `clear()` + `resize(n, v)` and every
+/// per-cell buffer with an equivalent full overwrite, so a batch built
+/// from a scratch is bit-identical to one built fresh no matter what the
+/// scratch previously held — including a scratch abandoned hollow because
+/// the engine owning its buffers panicked mid-run. The batch scratch-panic
+/// suite (`crates/experiments/tests/batch_scratch_panic.rs`) asserts this.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    cores: Vec<CoreRt>,
+    issue_bits: Vec<u64>,
+    issue_next_bits: Vec<u64>,
+    ready_bits: Vec<u64>,
+    ready_next_bits: Vec<u64>,
+    pages: Vec<PageRt>,
+    waiter_next: Vec<u32>,
+    channel_busy: Vec<Tick>,
+    cells: Vec<CellBufs>,
+    /// Scratch for the scalar fallback path: harnesses that route
+    /// singleton batches through the plain [`Engine`] (no columnization
+    /// overhead for a batch of one) park its buffers here so both paths
+    /// recycle through one object.
+    scalar: EngineScratch,
+}
+
+impl BatchScratch {
+    /// The embedded scalar-engine scratch, for harnesses falling back to
+    /// the plain [`Engine`] on singleton batches.
+    pub fn scalar_mut(&mut self) -> &mut EngineScratch {
+        &mut self.scalar
+    }
+}
+
+/// Runs a batch of configuration cells over one shared workload in
+/// lockstep (see module docs). Construct with [`try_new`](Self::try_new),
+/// drive with [`run`](Self::run) or [`step_round`](Self::step_round).
+pub struct BatchEngine {
+    flat: Arc<FlatWorkload>,
+    /// Cores per cell (`flat.cores()`), the column stride for core-indexed
+    /// columns.
+    p: usize,
+    /// Bitset words per cell (`p.div_ceil(64)`).
+    words: usize,
+    /// Pages per cell (`flat.total_pages()`).
+    total_pages: usize,
+    configs: Vec<SimConfig>,
+    plans: Vec<FaultPlan>,
+    scalars: Vec<CellScalars>,
+    hbms: Vec<Hbm>,
+    arbiters: Vec<Arbiter>,
+    metrics: Vec<MetricsCollector>,
+    cell_bufs: Vec<CellBufs>,
+    /// Prefix offsets into `channel_busy`: cell `i` owns
+    /// `channel_busy[chan_off[i]..chan_off[i + 1]]` (cells may differ in
+    /// `q`, so this column is ragged).
+    chan_off: Vec<usize>,
+    // Structure-of-arrays columns; cell `i` owns the window
+    // `[i * stride, (i + 1) * stride)` of each.
+    cores: Vec<CoreRt>,
+    issue_bits: Vec<u64>,
+    issue_next_bits: Vec<u64>,
+    ready_bits: Vec<u64>,
+    ready_next_bits: Vec<u64>,
+    pages: Vec<PageRt>,
+    waiter_next: Vec<u32>,
+    channel_busy: Vec<Tick>,
+}
+
+impl BatchEngine {
+    /// Prepares a lockstep run of `cells` over the shared `flat` workload.
+    ///
+    /// Validates every cell's config and fault plan up front (first error
+    /// wins), so a batch either runs whole or not at all — per-cell
+    /// validation errors should be filtered out by the harness before
+    /// batching, exactly as with the scalar `try_build` path.
+    pub fn try_new(flat: Arc<FlatWorkload>, cells: &[BatchCell]) -> Result<Self, SimError> {
+        let mut scratch = BatchScratch::default();
+        Self::try_with_scratch(flat, cells, &mut scratch)
+    }
+
+    /// Like [`try_new`](Self::try_new), but recycling the backing storage
+    /// held in `scratch` (left hollow; refill it via
+    /// [`into_reports_reusing`](Self::into_reports_reusing)).
+    /// Bit-identical to a fresh construction regardless of the scratch's
+    /// prior contents.
+    pub fn try_with_scratch(
+        flat: Arc<FlatWorkload>,
+        cells: &[BatchCell],
+        scratch: &mut BatchScratch,
+    ) -> Result<Self, SimError> {
+        for cell in cells {
+            cell.config.validate()?;
+            cell.faults.validate()?;
+        }
+        let n = cells.len();
+        let p = flat.cores();
+        let words = p.div_ceil(64);
+        let total_pages = flat.total_pages();
+        let BatchScratch {
+            mut cores,
+            mut issue_bits,
+            mut issue_next_bits,
+            mut ready_bits,
+            mut ready_next_bits,
+            mut pages,
+            mut waiter_next,
+            mut channel_busy,
+            cells: mut cell_bufs,
+            scalar,
+        } = std::mem::take(scratch);
+        // Every column is fully re-initialized (clear + resize overwrites
+        // all elements) — the BatchScratch soundness invariant.
+        cores.clear();
+        cores.resize(n * p, CoreRt::IDLE);
+        issue_bits.clear();
+        issue_bits.resize(n * words, 0);
+        issue_next_bits.clear();
+        issue_next_bits.resize(n * words, 0);
+        ready_bits.clear();
+        ready_bits.resize(n * words, 0);
+        ready_next_bits.clear();
+        ready_next_bits.resize(n * words, 0);
+        pages.clear();
+        pages.resize(n * total_pages, PageRt::EMPTY);
+        waiter_next.clear();
+        waiter_next.resize(n * p, NIL);
+        let mut chan_off = Vec::with_capacity(n + 1);
+        chan_off.push(0usize);
+        for cell in cells {
+            chan_off.push(chan_off.last().unwrap() + cell.config.channels);
+        }
+        channel_busy.clear();
+        channel_busy.resize(*chan_off.last().unwrap(), 0);
+        // Surplus per-cell buffers are dropped; missing ones default in.
+        cell_bufs.truncate(n);
+        cell_bufs.resize_with(n, CellBufs::default);
+        // Park the scalar-fallback scratch back so it survives the batch.
+        scratch.scalar = scalar;
+
+        let mut configs = Vec::with_capacity(n);
+        let mut plans = Vec::with_capacity(n);
+        let mut scalars = Vec::with_capacity(n);
+        let mut hbms = Vec::with_capacity(n);
+        let mut arbiters = Vec::with_capacity(n);
+        let mut metrics = Vec::with_capacity(n);
+        for (i, cell) in cells.iter().enumerate() {
+            let config = cell.config;
+            let bufs = &mut cell_bufs[i];
+            bufs.fetch_buf.clear();
+            bufs.fetch_buf.reserve(config.channels);
+            bufs.in_flight.clear();
+            bufs.in_flight.reserve(config.channels);
+            let (issue_count, remaining) = fill_cores(
+                &flat,
+                &mut cores[i * p..(i + 1) * p],
+                &mut issue_bits[i * words..(i + 1) * words],
+            );
+            let arbiter = config.arbitration.build_dispatch(p, config.seed);
+            let next_remap = arbiter.next_remap_at_or_after(0);
+            hbms.push(Hbm::with_indexer_reusing(
+                config.hbm_slots,
+                config.replacement,
+                config.seed,
+                Arc::clone(flat.indexer()),
+                std::mem::take(&mut bufs.hbm),
+            ));
+            arbiters.push(arbiter);
+            metrics.push(MetricsCollector::new(p));
+            scalars.push(CellScalars {
+                issue_count,
+                issue_next_count: 0,
+                ready_count: 0,
+                ready_next_count: 0,
+                queue_len: 0,
+                next_remap,
+                plan_active: !cell.faults.is_empty(),
+                last_down: 0,
+                tick: 0,
+                remaining,
+                makespan: 0,
+            });
+            configs.push(config);
+            plans.push(cell.faults.clone());
+        }
+        Ok(BatchEngine {
+            flat,
+            p,
+            words,
+            total_pages,
+            configs,
+            plans,
+            scalars,
+            hbms,
+            arbiters,
+            metrics,
+            cell_bufs,
+            chan_off,
+            cores,
+            issue_bits,
+            issue_next_bits,
+            ready_bits,
+            ready_next_bits,
+            pages,
+            waiter_next,
+            channel_busy,
+        })
+    }
+
+    /// Number of cells in the batch.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True for an empty batch (zero cells).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// True once every cell has finished or hit its own `max_ticks`.
+    pub fn is_done(&self) -> bool {
+        (0..self.len()).all(|i| !self.cell_active(i))
+    }
+
+    /// Whether cell `i` still has ticks to execute.
+    fn cell_active(&self, i: usize) -> bool {
+        self.scalars[i].remaining != 0 && self.scalars[i].tick < self.configs[i].max_ticks
+    }
+
+    /// Lends cell `i`'s column windows and per-cell state to the shared
+    /// tick implementation.
+    fn cell_mut(&mut self, i: usize) -> CellCtx<'_> {
+        let p = self.p;
+        let words = self.words;
+        let total_pages = self.total_pages;
+        let bufs = &mut self.cell_bufs[i];
+        CellCtx {
+            config: &self.configs[i],
+            flat: &self.flat,
+            plan: &self.plans[i],
+            hbm: &mut self.hbms[i],
+            arbiter: &mut self.arbiters[i],
+            metrics: &mut self.metrics[i],
+            cores: &mut self.cores[i * p..(i + 1) * p],
+            issue_bits: &mut self.issue_bits[i * words..(i + 1) * words],
+            issue_next_bits: &mut self.issue_next_bits[i * words..(i + 1) * words],
+            ready_bits: &mut self.ready_bits[i * words..(i + 1) * words],
+            ready_next_bits: &mut self.ready_next_bits[i * words..(i + 1) * words],
+            pages: &mut self.pages[i * total_pages..(i + 1) * total_pages],
+            waiter_next: &mut self.waiter_next[i * p..(i + 1) * p],
+            channel_busy: &mut self.channel_busy[self.chan_off[i]..self.chan_off[i + 1]],
+            fetch_buf: &mut bufs.fetch_buf,
+            in_flight: &mut bufs.in_flight,
+            s: &mut self.scalars[i],
+        }
+    }
+
+    /// Executes one tick of cell `i` with its observer (no-op when the
+    /// cell is finished or out of budget). Exposed for harnesses that
+    /// need per-cell stepping; [`step_round`](Self::step_round) is the
+    /// normal driver.
+    pub fn step_cell<O: SimObserver>(&mut self, i: usize, observer: &mut O) {
+        if !self.cell_active(i) {
+            return;
+        }
+        self.cell_mut(i).step(observer);
+    }
+
+    /// Advances cell `i` by up to `chunk` steps under **one** borrow of
+    /// its column windows, returning the number of steps executed (0 when
+    /// the cell is already inactive). Bit-identical to `chunk` calls of
+    /// [`step_cell`](Self::step_cell): cells share no mutable state, so
+    /// stepping granularity is unobservable per cell — but re-slicing the
+    /// twelve column windows per step is not free, and the chunked form
+    /// amortizes it away (see the module docs on scheduling).
+    pub fn step_cell_chunk<O: SimObserver>(
+        &mut self,
+        i: usize,
+        observer: &mut O,
+        chunk: usize,
+    ) -> usize {
+        if chunk == 0 || !self.cell_active(i) {
+            return 0;
+        }
+        let max_ticks = self.configs[i].max_ticks;
+        let mut ctx = self.cell_mut(i);
+        let mut steps = 0;
+        while steps < chunk {
+            ctx.step(observer);
+            steps += 1;
+            if ctx.s.remaining == 0 || ctx.s.tick >= max_ticks {
+                break;
+            }
+        }
+        steps
+    }
+
+    /// Advances every live cell by one `step` (which may fast-forward
+    /// several ticks), in increasing cell index. Returns the number of
+    /// cells stepped — 0 means the batch is done.
+    pub fn step_round<O: SimObserver>(&mut self, observers: &mut [O]) -> usize {
+        debug_assert_eq!(observers.len(), self.len());
+        let mut stepped = 0;
+        for (i, observer) in observers.iter_mut().enumerate() {
+            if self.cell_active(i) {
+                self.cell_mut(i).step(observer);
+                stepped += 1;
+            }
+        }
+        stepped
+    }
+
+    /// Runs every cell to completion (or its `max_ticks`) and reports, in
+    /// cell order.
+    pub fn run<O: SimObserver>(mut self, observers: &mut [O]) -> Vec<Report> {
+        while self.step_round(observers) > 0 {}
+        self.into_reports()
+    }
+
+    /// Steps per [`step_cell_chunk`](Self::step_cell_chunk) borrow in the
+    /// quiet run loops: large enough that re-slicing the column windows
+    /// vanishes from the profile, small enough that the cells of a batch
+    /// stay loosely aligned in the shared trace.
+    const QUIET_CHUNK: usize = 4096;
+
+    /// Like [`run`](Self::run) with no observers.
+    pub fn run_quiet(mut self) -> Vec<Report> {
+        self.run_quiet_rounds();
+        self.into_reports()
+    }
+
+    /// Like [`run_quiet`](Self::run_quiet), returning the backing storage
+    /// to `scratch` for the next batch on this thread.
+    pub fn run_quiet_reusing(mut self, scratch: &mut BatchScratch) -> Vec<Report> {
+        self.run_quiet_rounds();
+        self.into_reports_reusing(scratch)
+    }
+
+    /// Chunked round-robin driver for the quiet runs: each pass grants
+    /// every live cell up to [`QUIET_CHUNK`](Self::QUIET_CHUNK) steps
+    /// under one column borrow. Bit-identical to single-step rounds —
+    /// cells never interact — but without paying the per-step re-borrow.
+    fn run_quiet_rounds(&mut self) {
+        let mut observer = NoopObserver;
+        loop {
+            let mut stepped = 0;
+            for i in 0..self.len() {
+                stepped += self.step_cell_chunk(i, &mut observer, Self::QUIET_CHUNK);
+            }
+            if stepped == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Finalizes every cell into its [`Report`], in cell order. A cell
+    /// abandoned mid-run (harness wall budget, see module docs) reports
+    /// `truncated = true` with the metrics accumulated so far — identical
+    /// to the scalar engine's cooperative truncation.
+    pub fn into_reports(self) -> Vec<Report> {
+        let mut scratch = BatchScratch::default();
+        self.into_reports_reusing(&mut scratch)
+    }
+
+    /// Like [`into_reports`](Self::into_reports), but harvesting the
+    /// batch's backing storage into `scratch` so the next batch built via
+    /// [`try_with_scratch`](Self::try_with_scratch) reuses it.
+    pub fn into_reports_reusing(self, scratch: &mut BatchScratch) -> Vec<Report> {
+        let BatchEngine {
+            scalars,
+            hbms,
+            metrics,
+            mut cell_bufs,
+            cores,
+            issue_bits,
+            issue_next_bits,
+            ready_bits,
+            ready_next_bits,
+            pages,
+            waiter_next,
+            channel_busy,
+            ..
+        } = self;
+        let mut reports = Vec::with_capacity(scalars.len());
+        for (i, (s, (hbm, m))) in scalars
+            .iter()
+            .zip(hbms.into_iter().zip(metrics))
+            .enumerate()
+        {
+            let truncated = s.remaining != 0;
+            let makespan = if truncated { s.tick } else { s.makespan };
+            cell_bufs[i].hbm = hbm.reclaim();
+            reports.push(m.finish(makespan, truncated));
+        }
+        scratch.cores = cores;
+        scratch.issue_bits = issue_bits;
+        scratch.issue_next_bits = issue_next_bits;
+        scratch.ready_bits = ready_bits;
+        scratch.ready_next_bits = ready_next_bits;
+        scratch.pages = pages;
+        scratch.waiter_next = waiter_next;
+        scratch.channel_busy = channel_busy;
+        scratch.cells = cell_bufs;
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitration::ArbitrationKind;
+    use crate::config::SimBuilder;
+    use crate::engine::Engine;
+    use crate::error::{ConfigError, SimError};
+    use crate::observer::RecordingObserver;
+    use crate::replacement::ReplacementKind;
+    use crate::workload::Workload;
+
+    fn shared_flat() -> Arc<FlatWorkload> {
+        let refs: Vec<u32> = (0..120).map(|i| (i * 13) % 17).collect();
+        Arc::new(FlatWorkload::new(&Workload::from_refs(vec![
+            refs.clone(),
+            refs.iter().map(|r| r + 20).collect(),
+            refs,
+        ])))
+    }
+
+    fn cell(k: usize, q: usize, arb: ArbitrationKind) -> BatchCell {
+        BatchCell {
+            config: SimConfig {
+                hbm_slots: k,
+                channels: q,
+                arbitration: arb,
+                replacement: ReplacementKind::Lru,
+                far_latency: 1,
+                seed: 11,
+                max_ticks: u64::MAX,
+            },
+            faults: FaultPlan::default(),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_done_immediately() {
+        let engine = BatchEngine::try_new(shared_flat(), &[]).unwrap();
+        assert!(engine.is_done());
+        assert!(engine.is_empty());
+        assert!(engine.run_quiet().is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_matches_scalar_engine() {
+        let flat = shared_flat();
+        let c = cell(8, 1, ArbitrationKind::Priority);
+        let batch = BatchEngine::try_new(Arc::clone(&flat), std::slice::from_ref(&c)).unwrap();
+        let batched = batch.run_quiet().remove(0);
+        let scalar = Engine::from_flat(c.config, c.faults, flat).run(&mut NoopObserver);
+        assert_eq!(batched.makespan, scalar.makespan);
+        assert_eq!(batched.hits, scalar.hits);
+        assert_eq!(
+            batched.mean_queue_len.to_bits(),
+            scalar.mean_queue_len.to_bits()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_batch_matches_scalars_with_events() {
+        let flat = shared_flat();
+        let cells = vec![
+            cell(4, 1, ArbitrationKind::Fifo),
+            cell(16, 2, ArbitrationKind::Priority),
+            cell(8, 1, ArbitrationKind::DynamicPriority { period: 32 }),
+        ];
+        let batch = BatchEngine::try_new(Arc::clone(&flat), &cells).unwrap();
+        let mut batch_obs: Vec<RecordingObserver> = vec![RecordingObserver::default(); 3];
+        let reports = batch.run(&mut batch_obs);
+        for (i, c) in cells.iter().enumerate() {
+            let mut obs = RecordingObserver::default();
+            let scalar =
+                Engine::from_flat(c.config, c.faults.clone(), Arc::clone(&flat)).run(&mut obs);
+            assert_eq!(reports[i].makespan, scalar.makespan, "cell {i}");
+            assert_eq!(reports[i].hits, scalar.hits, "cell {i}");
+            assert_eq!(batch_obs[i].serves, obs.serves, "cell {i}");
+            assert_eq!(batch_obs[i].fetches, obs.fetches, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn ragged_max_ticks_truncates_only_that_cell() {
+        let flat = shared_flat();
+        let mut short = cell(4, 1, ArbitrationKind::Fifo);
+        short.config.max_ticks = 10;
+        let long = cell(4, 1, ArbitrationKind::Fifo);
+        let reports = BatchEngine::try_new(flat, &[short, long])
+            .unwrap()
+            .run_quiet();
+        assert!(reports[0].truncated);
+        assert_eq!(reports[0].makespan, 10);
+        assert!(!reports[1].truncated);
+    }
+
+    #[test]
+    fn invalid_cell_rejects_whole_batch() {
+        let mut bad = cell(4, 1, ArbitrationKind::Fifo);
+        bad.config.channels = 0;
+        match BatchEngine::try_new(shared_flat(), &[cell(4, 1, ArbitrationKind::Fifo), bad]) {
+            Err(err) => assert_eq!(err, SimError::Config(ConfigError::ZeroChannels)),
+            Ok(_) => panic!("invalid cell must reject the batch"),
+        }
+    }
+
+    #[test]
+    fn scratch_recycling_is_bit_identical() {
+        let flat = shared_flat();
+        let cells_a = vec![
+            cell(4, 1, ArbitrationKind::Fifo),
+            cell(32, 3, ArbitrationKind::Priority),
+        ];
+        let cells_b = vec![
+            cell(6, 2, ArbitrationKind::CyclePriority { period: 16 }),
+            cell(12, 1, ArbitrationKind::Fifo),
+            cell(3, 1, ArbitrationKind::Priority),
+        ];
+        let mut scratch = BatchScratch::default();
+        // Dirty the scratch with a first differently-shaped batch.
+        let first = BatchEngine::try_with_scratch(Arc::clone(&flat), &cells_a, &mut scratch)
+            .unwrap()
+            .run_quiet_reusing(&mut scratch);
+        let fresh_first = BatchEngine::try_new(Arc::clone(&flat), &cells_a)
+            .unwrap()
+            .run_quiet();
+        // Then rebuild from the dirty scratch and compare against fresh.
+        let recycled = BatchEngine::try_with_scratch(Arc::clone(&flat), &cells_b, &mut scratch)
+            .unwrap()
+            .run_quiet_reusing(&mut scratch);
+        let fresh = BatchEngine::try_new(flat, &cells_b).unwrap().run_quiet();
+        for (a, b) in first
+            .iter()
+            .zip(&fresh_first)
+            .chain(recycled.iter().zip(&fresh))
+        {
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.mean_queue_len.to_bits(), b.mean_queue_len.to_bits());
+        }
+    }
+
+    #[test]
+    fn singleton_fallback_scratch_is_reusable() {
+        let flat = shared_flat();
+        let c = cell(8, 1, ArbitrationKind::Fifo);
+        let mut scratch = BatchScratch::default();
+        let a = SimBuilder::from_config(c.config)
+            .try_build_flat_reusing(&flat, scratch.scalar_mut())
+            .unwrap()
+            .run_reusing(&mut NoopObserver, scratch.scalar_mut());
+        let b = SimBuilder::from_config(c.config)
+            .try_build_flat_reusing(&flat, scratch.scalar_mut())
+            .unwrap()
+            .run_reusing(&mut NoopObserver, scratch.scalar_mut());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.hits, b.hits);
+    }
+}

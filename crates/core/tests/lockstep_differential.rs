@@ -1,0 +1,239 @@
+//! Lockstep differential conformance suite: `BatchEngine` vs `Engine` vs
+//! `OracleEngine`.
+//!
+//! The batched lockstep engine ([`hbm_core::BatchEngine`]) runs many
+//! configuration cells over one shared workload as structure-of-arrays
+//! columns. This suite requires every cell's trajectory to be
+//! **bit-identical** to both the optimized scalar engine and the naive
+//! oracle: same `Report` (floats compared by bit pattern), same observer
+//! event streams, same per-core response-time histograms.
+//!
+//! Layers:
+//! 1. the exhaustive policy grid of `differential.rs` — 9 arbitration ×
+//!    4 replacement kinds × 4 workload shapes × 2 parameter sets
+//!    (288 cells), batched per workload shape;
+//! 2. seeded random batches of heterogeneous cells (k, q, policies,
+//!    far_latency, seeds all varying within a batch);
+//! 3. proptest batch-invariance properties: a batch of N equals the same
+//!    cells as N singletons, arbitrary sub-batch splits are identical,
+//!    and ragged termination (cells truncating at different ticks) never
+//!    perturbs surviving cells.
+//!
+//! Policy (see README.md §Conformance testing): every PR that touches the
+//! lockstep path must keep this suite green; CI runs it with
+//! debug-assertions enabled in release mode.
+
+use hbm_core::testkit::{
+    all_arbitrations, all_replacements, assert_batch_conformance, check_batch_conformance,
+    compare_events, compare_reports, random_workload, response_histograms, run_batch_with_faults,
+    run_engine_with_faults,
+};
+use hbm_core::{FaultPlan, SimConfig, Workload};
+use proptest::prelude::*;
+
+/// The workload shapes of `differential.rs`'s exhaustive grid: disjoint
+/// cyclic sweeps, disjoint pseudo-random, shared hot-page traces
+/// (coalescing), and a ragged mix with an empty trace.
+fn grid_workloads() -> Vec<Workload> {
+    vec![
+        Workload::from_refs(vec![(0..6).cycle().take(18).collect(); 4]),
+        random_workload(11, 3, 8, 24, false),
+        random_workload(23, 4, 5, 20, true),
+        Workload::from_refs(vec![vec![], vec![2], vec![0, 1, 2, 3, 0, 1, 2, 3]]),
+    ]
+}
+
+fn fault_free(config: SimConfig) -> (SimConfig, FaultPlan) {
+    (config, FaultPlan::default())
+}
+
+/// The exhaustive policy grid, batched: for each workload shape and
+/// parameter set, all 36 arbitration × replacement cells run as one
+/// lockstep batch and every cell is checked for full
+/// BatchEngine/Engine/OracleEngine agreement — 288 cells total, the same
+/// grid `differential.rs` runs scalar-vs-oracle.
+#[test]
+fn exhaustive_policy_grid_batched() {
+    // (hbm_slots, channels, far_latency, remap period)
+    let params = [(4usize, 1usize, 1u64, 5u64), (8, 2, 3, 3)];
+    let workloads = grid_workloads();
+    let mut cells_run = 0usize;
+    for &(k, q, far, period) in &params {
+        for (wi, w) in workloads.iter().enumerate() {
+            let cells: Vec<(SimConfig, FaultPlan)> = all_arbitrations(period)
+                .into_iter()
+                .flat_map(|arbitration| {
+                    all_replacements().into_iter().map(move |replacement| {
+                        fault_free(SimConfig {
+                            hbm_slots: k,
+                            channels: q,
+                            arbitration,
+                            replacement,
+                            far_latency: far,
+                            seed: 0x5eed ^ (wi as u64),
+                            max_ticks: 100_000,
+                        })
+                    })
+                })
+                .collect();
+            assert_eq!(cells.len(), 36);
+            assert_batch_conformance(&cells, w);
+            cells_run += cells.len();
+        }
+    }
+    assert!(
+        cells_run >= 256,
+        "grid ran {cells_run} cells, expected >= 256"
+    );
+}
+
+/// Seeded heterogeneous batches: each batch mixes arbitrary k, q,
+/// arbitration, replacement, far_latency, and per-cell seeds over one
+/// shared workload — the exact shape the sweep harness submits.
+#[test]
+fn random_heterogeneous_batches_conform() {
+    use hbm_core::rng::Xoshiro256;
+    for batch_seed in 0..24u64 {
+        let mut rng = Xoshiro256::seed_from_u64(0xba7c_4000 + batch_seed);
+        let p = 1 + rng.gen_index(5);
+        let shared = rng.gen_index(3) == 0;
+        let w = random_workload(rng.next_u64(), p, 1 + rng.gen_index(10) as u32, 28, shared);
+        let n = 2 + rng.gen_index(6);
+        let cells: Vec<(SimConfig, FaultPlan)> = (0..n)
+            .map(|_| {
+                let period = 1 + rng.gen_index(20) as u64;
+                let arbs = all_arbitrations(period);
+                fault_free(SimConfig {
+                    hbm_slots: 1 + rng.gen_index(16),
+                    channels: 1 + rng.gen_index(4),
+                    arbitration: arbs[rng.gen_index(arbs.len())],
+                    replacement: all_replacements()[rng.gen_index(4)],
+                    far_latency: 1 + rng.gen_index(3) as u64,
+                    seed: rng.next_u64(),
+                    max_ticks: 100_000,
+                })
+            })
+            .collect();
+        assert_batch_conformance(&cells, &w);
+    }
+}
+
+/// Builds the cell list for the proptest layers from shrinkable integers.
+fn cells_from_specs(specs: &[(usize, usize, usize, usize, u64)]) -> Vec<(SimConfig, FaultPlan)> {
+    specs
+        .iter()
+        .map(|&(k, q, arb_i, rep_i, seed)| {
+            fault_free(SimConfig {
+                hbm_slots: 1 + k,
+                channels: 1 + q,
+                arbitration: all_arbitrations(1 + (seed % 13))[arb_i],
+                replacement: all_replacements()[rep_i],
+                far_latency: 1 + (seed % 3),
+                seed,
+                max_ticks: 100_000,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch invariance, part 1: running N cells as one batch is
+    /// bit-identical (reports, events, histograms) to running the same
+    /// cells as N singletons through the scalar engine.
+    #[test]
+    fn batch_of_n_equals_n_singletons(
+        traces in prop::collection::vec(prop::collection::vec(0u32..8, 0..20), 1..4),
+        specs in prop::collection::vec(
+            (0usize..12, 0usize..3, 0usize..9, 0usize..4, 0u64..1024), 1..6),
+        shared in 0usize..2,
+    ) {
+        let w = if shared == 1 {
+            Workload::shared_from_refs(traces)
+        } else {
+            Workload::from_refs(traces)
+        };
+        let cells = cells_from_specs(&specs);
+        let (batch_reports, batch_obs) = run_batch_with_faults(&cells, &w);
+        for (i, (config, plan)) in cells.iter().enumerate() {
+            let (r, o) = run_engine_with_faults(*config, plan.clone(), &w);
+            if let Err(m) = compare_reports(&batch_reports[i], &r)
+                .and_then(|_| compare_events(&batch_obs[i], &o))
+            {
+                return Err(TestCaseError::fail(format!("cell {i}: {m}\nconfig {config:?}")));
+            }
+            prop_assert_eq!(
+                response_histograms(&batch_obs[i], w.cores()),
+                response_histograms(&o, w.cores()),
+                "cell {} histograms", i
+            );
+        }
+    }
+
+    /// Batch invariance, part 2: splitting one batch at an arbitrary point
+    /// into two sub-batches yields identical reports — batching is
+    /// associative because cells share no mutable state.
+    #[test]
+    fn arbitrary_batch_splits_are_identical(
+        traces in prop::collection::vec(prop::collection::vec(0u32..6, 1..16), 1..4),
+        specs in prop::collection::vec(
+            (0usize..10, 0usize..3, 0usize..9, 0usize..4, 0u64..512), 2..7),
+        split_at in 0usize..7,
+    ) {
+        let w = Workload::from_refs(traces);
+        let cells = cells_from_specs(&specs);
+        let split = split_at.min(cells.len());
+        let (whole, whole_obs) = run_batch_with_faults(&cells, &w);
+        let (left, left_obs) = run_batch_with_faults(&cells[..split], &w);
+        let (right, right_obs) = run_batch_with_faults(&cells[split..], &w);
+        let parts = left.iter().chain(&right);
+        let parts_obs = left_obs.iter().chain(&right_obs);
+        for (i, ((a, b), (ao, bo))) in whole
+            .iter()
+            .zip(parts)
+            .zip(whole_obs.iter().zip(parts_obs))
+            .enumerate()
+        {
+            if let Err(m) = compare_reports(a, b).and_then(|_| compare_events(ao, bo)) {
+                return Err(TestCaseError::fail(format!(
+                    "split at {split}: cell {i} differs: {m}"
+                )));
+            }
+        }
+    }
+
+    /// Batch invariance, part 3: cells with different total tick counts —
+    /// including cells truncated by their own `max_ticks` long before
+    /// their neighbours finish — never perturb surviving cells. Every
+    /// cell's report must equal its singleton scalar run, truncation
+    /// flags included.
+    #[test]
+    fn ragged_termination_does_not_perturb_survivors(
+        traces in prop::collection::vec(prop::collection::vec(0u32..6, 4..24), 1..4),
+        budgets in prop::collection::vec(1u64..40, 2..6),
+        k in 1usize..8,
+    ) {
+        let w = Workload::from_refs(traces);
+        let cells: Vec<(SimConfig, FaultPlan)> = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                fault_free(SimConfig {
+                    hbm_slots: k,
+                    channels: 1,
+                    arbitration: all_arbitrations(5)[i % 9],
+                    replacement: all_replacements()[i % 4],
+                    far_latency: 1 + (i as u64 % 3),
+                    seed: 42 + i as u64,
+                    // Odd cells get a tiny budget (likely truncated);
+                    // even cells run to completion.
+                    max_ticks: if i % 2 == 1 { b } else { 100_000 },
+                })
+            })
+            .collect();
+        if let Err(m) = check_batch_conformance(&cells, &w) {
+            return Err(TestCaseError::fail(m));
+        }
+    }
+}

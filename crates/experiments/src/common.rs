@@ -12,8 +12,8 @@ use hbm_traces::{TraceOptions, WorkloadSpec};
 use serde::Serialize;
 
 pub use hbm_serve::pool::{
-    run_cell, run_cell_budgeted, run_cell_budgeted_flat, run_cell_flat, CellBudget, ScratchPool,
-    TracePool,
+    run_batch_budgeted_flat, run_batch_flat, run_cell, run_cell_budgeted, run_cell_budgeted_flat,
+    run_cell_flat, CellBudget, ScratchPool, SimSettings, TracePool,
 };
 
 /// Experiment scale. The paper's full parameters produce multi-hour runs;

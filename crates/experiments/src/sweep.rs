@@ -5,9 +5,9 @@
 //! in Figure 2 and Dynamic Priority (T = 10k) in Figure 4. Values above 1.0
 //! favour the challenger.
 
-use crate::common::{run_cell_flat, ScratchPool, TracePool};
+use crate::common::{run_batch_flat, ScratchPool, SimSettings, TracePool};
 use crate::plot::{AsciiPlot, Series};
-use hbm_core::ArbitrationKind;
+use hbm_core::{ArbitrationKind, BatchScratch};
 use serde::Serialize;
 
 /// One sweep cell: a (p, k) pair with both policies' outcomes.
@@ -69,30 +69,40 @@ pub fn ratio_sweep(
     q: usize,
     seed: u64,
 ) -> Vec<RatioCell> {
-    let cells: Vec<(usize, usize)> = threads
-        .iter()
-        .flat_map(|&p| hbm_sizes.iter().map(move |&k| (p, k)))
-        .collect();
-    // Flatten each distinct p up front (memoized in the pool) so the
-    // workers share immutable Arcs; mutable engine state comes from the
-    // scratch pool, so a warm sweep allocates O(workers), not O(cells).
-    let scratches = ScratchPool::new();
-    hbm_par::parallel_map(&cells, |&(p, k)| {
+    // All cells at one thread count replay the same memoized flat
+    // workload, so each p runs as one lockstep batch (FIFO and challenger
+    // interleaved, k-major within the batch) through the SoA engine —
+    // bit-identical to the scalar per-cell path by the lockstep
+    // differential suite. Mutable column state comes from the scratch
+    // pool, so a warm sweep allocates O(workers), not O(cells).
+    let scratches: ScratchPool<BatchScratch> = ScratchPool::new();
+    let rows = hbm_par::parallel_map(threads, |&p| {
         let flat = pool.flat(p);
-        scratches.with(|scratch| {
-            let fifo = run_cell_flat(&flat, k, q, ArbitrationKind::Fifo, seed, scratch);
-            let chal = run_cell_flat(&flat, k, q, challenger(k), seed, scratch);
-            RatioCell {
+        let settings: Vec<SimSettings> = hbm_sizes
+            .iter()
+            .flat_map(|&k| {
+                [
+                    SimSettings::new(k, q, ArbitrationKind::Fifo, seed),
+                    SimSettings::new(k, q, challenger(k), seed),
+                ]
+            })
+            .collect();
+        let reports = scratches.with(|scratch| run_batch_flat(&flat, &settings, scratch));
+        reports
+            .chunks_exact(2)
+            .zip(hbm_sizes)
+            .map(|(pair, &k)| RatioCell {
                 p,
                 k,
-                fifo_makespan: fifo.makespan,
-                challenger_makespan: chal.makespan,
-                fifo_hit_rate: fifo.hit_rate,
-                challenger_hit_rate: chal.hit_rate,
-                truncated: fifo.truncated || chal.truncated,
-            }
-        })
-    })
+                fifo_makespan: pair[0].makespan,
+                challenger_makespan: pair[1].makespan,
+                fifo_hit_rate: pair[0].hit_rate,
+                challenger_hit_rate: pair[1].hit_rate,
+                truncated: pair[0].truncated || pair[1].truncated,
+            })
+            .collect::<Vec<_>>()
+    });
+    rows.into_iter().flatten().collect()
 }
 
 /// Renders a Figure 2/4-style chart from sweep cells: one series per HBM

@@ -1,0 +1,198 @@
+//! BatchScratch soundness under the panic path (DESIGN.md §15).
+//!
+//! Batched sweep workers recycle [`BatchScratch`] column arenas through a
+//! [`ScratchPool`]; a batch that panics mid-run abandons its scratch in
+//! an arbitrary state — possibly *hollow* (the [`BatchEngine`] took the
+//! columns and never gave them back) or half-mutated. The pool's drop
+//! guard still returns that scratch, and the next batch must be
+//! bit-identical to one run on a fresh scratch. These tests drive the
+//! real crash machinery: `hbm_par::try_parallel_map`'s per-batch
+//! `catch_unwind` plus the pool's unwind guard, then differential-check
+//! every surviving scratch. They also pin the batch-granularity budget
+//! contract: a per-cell tick budget flags exactly the over-budget cells.
+
+use hbm_core::testkit::{compare_reports, random_cell};
+use hbm_core::{
+    ArbitrationKind, BatchCell, BatchEngine, BatchScratch, FaultPlan, FlatWorkload, SimConfig,
+    Workload,
+};
+use hbm_experiments::common::{
+    run_batch_budgeted_flat, run_batch_flat, CellBudget, ScratchPool, SimSettings,
+};
+use std::sync::Arc;
+
+/// A small heterogeneous batch derived from the testkit's seeded cell
+/// generator: every cell replays `flat` under a different configuration.
+fn seeded_batch(seed: u64, n: usize) -> Vec<BatchCell> {
+    (0..n as u64)
+        .map(|i| {
+            let config = SimConfig {
+                max_ticks: 100_000,
+                ..random_cell(seed + i).config
+            };
+            BatchCell {
+                config,
+                faults: FaultPlan::default(),
+            }
+        })
+        .collect()
+}
+
+/// A sweep of batches where every third batch panics *after*
+/// `BatchEngine` construction has taken the scratch's columns (leaving it
+/// hollow). Panicking batches fail alone under `try_parallel_map`; every
+/// scratch the pool recycled — including the abandoned ones — then
+/// produces bit-identical reports.
+#[test]
+fn panicked_batches_leave_recyclable_scratches() {
+    let scratches: ScratchPool<BatchScratch> = ScratchPool::new();
+    let seeds: Vec<u64> = (0..12).collect();
+    let results = hbm_par::try_parallel_map(&seeds, |&seed| {
+        scratches.with(|scratch| {
+            let cell = random_cell(seed);
+            let flat = Arc::new(FlatWorkload::new(&cell.workload));
+            let batch = seeded_batch(seed * 31, 3);
+            let engine = BatchEngine::try_with_scratch(Arc::clone(&flat), &batch, scratch)
+                .expect("testkit configs are valid");
+            // The engine now owns the columns; the scratch is hollow —
+            // the worst state the drop guard can hand back to the pool.
+            if seed % 3 == 0 {
+                panic!("injected mid-batch panic (seed {seed})");
+            }
+            engine.into_reports_reusing(scratch)
+        })
+    });
+    for (seed, res) in seeds.iter().zip(&results) {
+        match res {
+            Ok(reports) => {
+                assert_ne!(seed % 3, 0, "seed {seed} should have panicked");
+                assert_eq!(reports.len(), 3);
+            }
+            Err(p) => {
+                assert_eq!(seed % 3, 0, "seed {seed} should have completed");
+                assert!(p.message.contains("injected"), "unexpected panic: {p}");
+            }
+        }
+    }
+    assert!(
+        scratches.idle() > 0,
+        "workers must have returned scratches to the pool"
+    );
+
+    // Differential pass: drain the pool — every recycled scratch (hollow
+    // or dirty) must replay a fresh batch identically to owned runs.
+    let idle = scratches.idle();
+    for verify_seed in 100..100 + idle as u64 {
+        let cell = random_cell(verify_seed);
+        let flat = Arc::new(FlatWorkload::new(&cell.workload));
+        let settings: Vec<SimSettings> = (0..3)
+            .map(|i| {
+                let c = random_cell(verify_seed * 7 + i).config;
+                SimSettings {
+                    k: c.hbm_slots,
+                    q: c.channels,
+                    arbitration: c.arbitration,
+                    replacement: c.replacement,
+                    far_latency: Some(c.far_latency),
+                    seed: c.seed,
+                    faults: FaultPlan::default(),
+                }
+            })
+            .collect();
+        let pooled = scratches.with(|scratch| run_batch_flat(&flat, &settings, scratch));
+        for (i, s) in settings.iter().enumerate() {
+            // Reference: the same cell as a singleton on a fresh scratch,
+            // which takes the scalar fallback path — an independent
+            // implementation of the same trajectory.
+            let owned =
+                run_batch_flat(&flat, std::slice::from_ref(s), &mut BatchScratch::default());
+            compare_reports(&owned[0], &pooled[i]).unwrap_or_else(|msg| {
+                panic!("recycled scratch diverged on verify seed {verify_seed}, cell {i}:\n{msg}")
+            });
+        }
+    }
+}
+
+/// The same guarantee without the pool: a scratch abandoned hollow by a
+/// direct `catch_unwind` (no drop guard involved) re-arms correctly, and
+/// its embedded scalar scratch survives alongside.
+#[test]
+fn hollow_batch_scratch_from_catch_unwind_is_reusable() {
+    let mut scratch = BatchScratch::default();
+    let warm = random_cell(7);
+    let warm_flat = Arc::new(FlatWorkload::new(&warm.workload));
+    let warm_batch = seeded_batch(70, 2);
+    // Warm the scratch on one batch so it holds real columns.
+    let engine = BatchEngine::try_with_scratch(Arc::clone(&warm_flat), &warm_batch, &mut scratch)
+        .expect("valid batch");
+    let _ = engine.into_reports_reusing(&mut scratch);
+    // Abandon it hollow: construction takes the columns, then we unwind.
+    let taken = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _engine =
+            BatchEngine::try_with_scratch(Arc::clone(&warm_flat), &warm_batch, &mut scratch)
+                .expect("valid batch");
+        panic!("abandon the engine");
+    }));
+    assert!(taken.is_err());
+    // The hollow scratch must serve the next batch bit-identically.
+    let cell = random_cell(8);
+    let flat = Arc::new(FlatWorkload::new(&cell.workload));
+    let batch = seeded_batch(80, 4);
+    let reused = BatchEngine::try_with_scratch(Arc::clone(&flat), &batch, &mut scratch)
+        .expect("valid batch")
+        .into_reports_reusing(&mut scratch);
+    let fresh =
+        BatchEngine::try_with_scratch(Arc::clone(&flat), &batch, &mut BatchScratch::default())
+            .expect("valid batch")
+            .into_reports_reusing(&mut BatchScratch::default());
+    for (i, (a, b)) in fresh.iter().zip(&reused).enumerate() {
+        compare_reports(a, b)
+            .unwrap_or_else(|msg| panic!("hollow scratch diverged on cell {i}:\n{msg}"));
+    }
+}
+
+/// Per-cell tick budgets inside one batch: exactly the cells that exceed
+/// the budget report `truncated`; cells finishing within it never do, and
+/// their metrics are untouched by their truncated neighbours.
+#[test]
+fn cell_budget_truncates_exactly_the_over_budget_cells() {
+    let w = Workload::from_refs(vec![(0..400u32).map(|r| r % 300).collect(); 4]);
+    let flat = Arc::new(FlatWorkload::new(&w));
+    // Two fast cells (everything fits), two thrashing cells (tiny HBM,
+    // serial channel) interleaved so truncation lands mid-batch.
+    let settings = vec![
+        SimSettings::new(512, 4, ArbitrationKind::Fifo, 1),
+        SimSettings::new(2, 1, ArbitrationKind::Fifo, 1),
+        SimSettings::new(512, 4, ArbitrationKind::Priority, 1),
+        SimSettings::new(2, 1, ArbitrationKind::Priority, 1),
+    ];
+    let unlimited = run_batch_budgeted_flat(
+        &flat,
+        &settings,
+        CellBudget::UNLIMITED,
+        &mut BatchScratch::default(),
+    )
+    .unwrap();
+    assert!(unlimited.iter().all(|r| !r.truncated));
+    let fast_worst = unlimited[0].makespan.max(unlimited[2].makespan);
+    assert!(
+        unlimited[1].makespan > fast_worst + 10 && unlimited[3].makespan > fast_worst + 10,
+        "thrashing cells must outlast the budget for this test to bite"
+    );
+    let budget = CellBudget {
+        max_ticks: Some(fast_worst + 10),
+        max_wall: None,
+    };
+    let reports =
+        run_batch_budgeted_flat(&flat, &settings, budget, &mut BatchScratch::default()).unwrap();
+    assert!(!reports[0].truncated && !reports[2].truncated);
+    assert!(reports[1].truncated && reports[3].truncated);
+    assert_eq!(reports[1].makespan, fast_worst + 10);
+    assert_eq!(reports[3].makespan, fast_worst + 10);
+    // Survivors are bit-identical to their unbudgeted runs: ragged
+    // truncation next door never perturbs a finishing cell.
+    for i in [0usize, 2] {
+        compare_reports(&unlimited[i], &reports[i])
+            .unwrap_or_else(|msg| panic!("budget perturbed surviving cell {i}:\n{msg}"));
+    }
+}

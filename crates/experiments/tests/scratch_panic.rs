@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// The pool's `with` returns the scratch even when the closure unwinds.
 #[test]
 fn with_recycles_scratch_on_unwind() {
-    let pool = ScratchPool::new();
+    let pool: ScratchPool = ScratchPool::new();
     assert_eq!(pool.idle(), 0);
     let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pool.with(|_scratch| panic!("injected"));

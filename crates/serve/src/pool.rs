@@ -15,8 +15,8 @@
 //! explicit release on a server's idle path.
 
 use hbm_core::{
-    ArbitrationKind, EngineScratch, FaultPlan, FlatWorkload, NoopObserver, Report, SimBuilder,
-    SimError, Trace, Workload,
+    ArbitrationKind, BatchCell, BatchEngine, BatchScratch, EngineScratch, FaultPlan, FlatWorkload,
+    NoopObserver, Report, SimBuilder, SimError, Trace, Workload,
 };
 use hbm_traces::{TraceOptions, WorkloadSpec};
 use std::collections::HashMap;
@@ -413,8 +413,71 @@ pub fn run_sim_budgeted_flat(
     Ok(engine.into_report_reusing(scratch))
 }
 
-/// A pool of [`EngineScratch`] buffers shared by sweep workers and server
-/// request handlers.
+/// Runs a batch of cells over one shared [`FlatWorkload`] through the
+/// lockstep [`BatchEngine`], recycling `scratch`'s column arena. Each
+/// cell's report is bit-identical to [`run_cell_flat`] with the same
+/// settings (enforced by the lockstep differential suite). Panics on
+/// invalid settings — the batched analogue of [`run_cell_flat`].
+pub fn run_batch_flat(
+    flat: &Arc<FlatWorkload>,
+    settings: &[SimSettings],
+    scratch: &mut BatchScratch,
+) -> Vec<Report> {
+    run_batch_budgeted_flat(flat, settings, CellBudget::UNLIMITED, scratch)
+        .expect("invalid simulation config")
+}
+
+/// [`run_batch_flat`] under a [`CellBudget`] applied to every cell: the
+/// tick budget becomes each cell's `max_ticks` (cells exceeding it report
+/// `truncated`, cells finishing within it don't), while the wall budget
+/// truncates at batch granularity — when it expires, every still-running
+/// cell stops cooperatively with partial metrics.
+///
+/// Batches of one skip columnization and run through the scalar
+/// [`run_sim_budgeted_flat`] path on the scratch's embedded
+/// [`EngineScratch`] — bit-identical either way, so callers can batch
+/// unconditionally.
+pub fn run_batch_budgeted_flat(
+    flat: &Arc<FlatWorkload>,
+    settings: &[SimSettings],
+    budget: CellBudget,
+    scratch: &mut BatchScratch,
+) -> Result<Vec<Report>, SimError> {
+    if settings.len() == 1 {
+        let report = run_sim_budgeted_flat(flat, &settings[0], budget, scratch.scalar_mut())?;
+        return Ok(vec![report]);
+    }
+    let cells: Vec<BatchCell> = settings
+        .iter()
+        .map(|s| {
+            let builder = s.builder(budget);
+            BatchCell {
+                config: *builder.config(),
+                faults: builder.faults().clone(),
+            }
+        })
+        .collect();
+    let mut engine = BatchEngine::try_with_scratch(Arc::clone(flat), &cells, scratch)?;
+    let Some(wall) = budget.max_wall else {
+        return Ok(engine.run_quiet_reusing(scratch));
+    };
+    let mut observers: Vec<NoopObserver> = (0..cells.len()).map(|_| NoopObserver).collect();
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    while engine.step_round(&mut observers) > 0 {
+        rounds = rounds.wrapping_add(1);
+        // Same vDSO-call amortization as the scalar path; a round steps
+        // every live cell once, so the mask is tighter.
+        if rounds & 63 == 0 && start.elapsed() >= wall {
+            break;
+        }
+    }
+    Ok(engine.into_reports_reusing(scratch))
+}
+
+/// A pool of engine scratches shared by sweep workers and server request
+/// handlers — [`EngineScratch`] for scalar cells (the default parameter),
+/// [`BatchScratch`] for lockstep batches.
 ///
 /// `hbm_par`'s closures are `Fn(&T)` — they cannot hold `&mut` worker
 /// state — so per-cell scratch reuse goes through this pool: each cell
@@ -425,14 +488,14 @@ pub fn run_sim_budgeted_flat(
 /// that panics mid-run still recycles its buffers. That is sound because
 /// engine construction fully overwrites every scratch buffer
 /// (`clear()` + `resize`) — a panic-abandoned scratch is indistinguishable
-/// from a fresh one to the next cell (see the `EngineScratch` docs and the
-/// sharing differential suite).
+/// from a fresh one to the next cell (see the `EngineScratch` /
+/// `BatchScratch` docs and the sharing / batch scratch-panic suites).
 #[derive(Default)]
-pub struct ScratchPool {
-    free: Mutex<Vec<EngineScratch>>,
+pub struct ScratchPool<S = EngineScratch> {
+    free: Mutex<Vec<S>>,
 }
 
-impl ScratchPool {
+impl<S: Default> ScratchPool<S> {
     /// An empty pool; scratches are created on demand.
     pub fn new() -> Self {
         Self::default()
@@ -440,12 +503,12 @@ impl ScratchPool {
 
     /// Runs `f` with a pooled scratch, returning it afterwards — including
     /// on unwind.
-    pub fn with<R>(&self, f: impl FnOnce(&mut EngineScratch) -> R) -> R {
-        struct Guard<'a> {
-            pool: &'a ScratchPool,
-            scratch: Option<EngineScratch>,
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        struct Guard<'a, S> {
+            pool: &'a ScratchPool<S>,
+            scratch: Option<S>,
         }
-        impl Drop for Guard<'_> {
+        impl<S> Drop for Guard<'_, S> {
             fn drop(&mut self) {
                 if let Some(s) = self.scratch.take() {
                     self.pool
@@ -682,8 +745,130 @@ mod tests {
     }
 
     #[test]
+    fn batch_runner_matches_scalar_cells() {
+        let pool = small_pool();
+        let flat = pool.flat(3);
+        let settings = vec![
+            SimSettings::new(4, 1, ArbitrationKind::Fifo, 7),
+            SimSettings::new(16, 2, ArbitrationKind::Priority, 7),
+            SimSettings::new(8, 1, ArbitrationKind::DynamicPriority { period: 16 }, 9),
+        ];
+        let mut batch_scratch = BatchScratch::default();
+        let batched = run_batch_flat(&flat, &settings, &mut batch_scratch);
+        let mut scratch = EngineScratch::default();
+        for (i, s) in settings.iter().enumerate() {
+            let scalar = run_cell_flat(&flat, s.k, s.q, s.arbitration, s.seed, &mut scratch);
+            assert_eq!(batched[i].makespan, scalar.makespan, "cell {i}");
+            assert_eq!(batched[i].hits, scalar.hits, "cell {i}");
+            assert_eq!(
+                batched[i].mean_queue_len.to_bits(),
+                scalar.mean_queue_len.to_bits(),
+                "cell {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_singleton_fallback_matches_batched_pair() {
+        // A batch of one takes the scalar fallback; the same settings in a
+        // batch of two take the lockstep path. Results must agree.
+        let pool = small_pool();
+        let flat = pool.flat(2);
+        let s = SimSettings::new(6, 1, ArbitrationKind::Priority, 3);
+        let mut scratch = BatchScratch::default();
+        let singleton = run_batch_flat(&flat, std::slice::from_ref(&s), &mut scratch);
+        assert_eq!(singleton.len(), 1);
+        let pair = run_batch_flat(&flat, &[s.clone(), s.clone()], &mut scratch);
+        assert_eq!(singleton[0].makespan, pair[0].makespan);
+        assert_eq!(pair[0].makespan, pair[1].makespan);
+        assert_eq!(singleton[0].hits, pair[0].hits);
+    }
+
+    #[test]
+    fn batch_tick_budget_truncates_exactly_the_over_budget_cells() {
+        let w = Workload::from_refs(vec![(0..300u32).collect(); 3]);
+        let flat = Arc::new(FlatWorkload::new(&w));
+        // Tiny HBM thrashes (slow); huge HBM streams (fast).
+        let settings = vec![
+            SimSettings::new(512, 4, ArbitrationKind::Fifo, 0),
+            SimSettings::new(2, 1, ArbitrationKind::Fifo, 0),
+        ];
+        let fast_alone = run_batch_budgeted_flat(
+            &flat,
+            &settings[..1],
+            CellBudget::UNLIMITED,
+            &mut BatchScratch::default(),
+        )
+        .unwrap()[0]
+            .makespan;
+        let budget = CellBudget {
+            max_ticks: Some(fast_alone + 10),
+            max_wall: None,
+        };
+        let reports =
+            run_batch_budgeted_flat(&flat, &settings, budget, &mut BatchScratch::default())
+                .unwrap();
+        assert!(!reports[0].truncated, "fast cell finishes within budget");
+        assert!(reports[1].truncated, "thrashing cell exceeds the budget");
+        assert_eq!(reports[1].makespan, fast_alone + 10);
+    }
+
+    #[test]
+    fn batch_zero_wall_budget_truncates_not_hangs() {
+        let w = Workload::from_refs(vec![(0..3000u32).collect(); 8]);
+        let flat = Arc::new(FlatWorkload::new(&w));
+        let settings = vec![
+            SimSettings::new(16, 1, ArbitrationKind::Fifo, 0),
+            SimSettings::new(16, 1, ArbitrationKind::Priority, 0),
+        ];
+        let budget = CellBudget {
+            max_ticks: None,
+            max_wall: Some(Duration::ZERO),
+        };
+        let reports =
+            run_batch_budgeted_flat(&flat, &settings, budget, &mut BatchScratch::default())
+                .unwrap();
+        assert!(reports.iter().all(|r| r.truncated));
+    }
+
+    #[test]
+    fn batch_runner_surfaces_config_errors() {
+        let pool = small_pool();
+        let flat = pool.flat(2);
+        let settings = vec![
+            SimSettings::new(4, 1, ArbitrationKind::Fifo, 0),
+            SimSettings::new(4, 0, ArbitrationKind::Fifo, 0), // q = 0
+        ];
+        let err = run_batch_budgeted_flat(
+            &flat,
+            &settings,
+            CellBudget::UNLIMITED,
+            &mut BatchScratch::default(),
+        );
+        assert!(err.is_err(), "q = 0 must be a typed error, not a panic");
+    }
+
+    #[test]
+    fn batch_scratch_pool_recycles() {
+        let pool: ScratchPool<BatchScratch> = ScratchPool::new();
+        let traces = small_pool();
+        let flat = traces.flat(2);
+        let settings = vec![
+            SimSettings::new(4, 1, ArbitrationKind::Fifo, 1),
+            SimSettings::new(8, 1, ArbitrationKind::Priority, 1),
+        ];
+        let a = pool.with(|s| run_batch_flat(&flat, &settings, s));
+        assert_eq!(pool.idle(), 1, "scratch returned to the pool");
+        let b = pool.with(|s| run_batch_flat(&flat, &settings, s));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.makespan, y.makespan);
+            assert_eq!(x.hits, y.hits);
+        }
+    }
+
+    #[test]
     fn scratch_pool_clear_frees_idle_buffers() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool = ScratchPool::new();
         pool.with(|_| {});
         pool.with(|_| {});
         assert_eq!(pool.idle(), 1);
