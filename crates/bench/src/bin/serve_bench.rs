@@ -1,44 +1,69 @@
-//! `serve_bench` — the load generator behind `BENCH_5.json`.
+//! `serve_bench` — the load generator behind `BENCH_7.json`.
 //!
 //! Drives an `hbm-serve` instance over real TCP with concurrent clients
-//! and records sustained requests/sec plus the latency distribution (see
+//! across a (shards × clients) grid and records sustained requests/sec,
+//! the latency distribution, and the per-shard request distribution (see
 //! `hbm_bench::serve_doc` for the document schema):
 //!
 //! ```text
-//! cargo run --release -p hbm-bench --bin serve_bench -- --out BENCH_5.json
+//! cargo run --release -p hbm-bench --bin serve_bench -- --out BENCH_7.json
 //! ```
 //!
 //! Flags:
 //! - `--addr HOST:PORT`: target an already-running server (the CI smoke
-//!   job starts the real `hbm-serve` binary and points this flag at it).
+//!   jobs start the real `hbm-serve` binary and point this flag at it).
 //!   Without it, an in-process [`Server`] is spun up on an ephemeral port
-//!   and torn down afterwards — same code path as the binary, no process
-//!   management needed.
+//!   *per shard count* and torn down afterwards — same code path as the
+//!   binary, no process management needed. `--addr` pins the shard axis
+//!   to a single value (the external server's topology is fixed).
+//! - `--shards LIST`: comma-separated shard counts, one server topology
+//!   each (default `1,4` — the ISSUE's pinned scaling grid). Each shard
+//!   runs `--workers` worker threads, so the shard count is the only
+//!   scaled variable.
 //! - `--clients LIST`: comma-separated concurrent-client counts, one load
-//!   point each (default `1,4` — the ISSUE's acceptance floor is ≥4).
+//!   point per (shards, clients) cell (default `1,8`).
 //! - `--duration SECS`: measurement window per load point (default 2.0)
-//! - `--workers N`: worker threads for the in-process server (default:
-//!   available parallelism)
-//! - `--out FILE`: write the JSON document (default `BENCH_5.json`)
+//! - `--workers N`: worker threads **per shard** (default 1, so the grid
+//!   holds per-shard capacity fixed while scaling shard count)
+//! - `--coalesce-us US`: enable request coalescing with this window on
+//!   the in-process servers
+//! - `--out FILE`: write the JSON document (default `BENCH_7.json`)
 //! - `--check BASELINE.json`: gate against a baseline via
 //!   `serve_doc::check_throughput_floor` (calibration-normalized)
 //! - `--tolerance FRAC`: allowed req/s drop for `--check` (default 0.25)
+//! - `--check-scaling RATIO`: self-relative gate via
+//!   `serve_doc::check_scaling` — multi-shard throughput must exceed
+//!   RATIO × single-shard at the highest common client count. Skipped
+//!   (informationally) when the host has fewer cores than shards.
 //!
-//! Every run also: (a) byte-compares one served report against a direct
-//! `SimBuilder` run (`golden_match` in the document — a correctness gate,
-//! not a speed one); (b) measures the warm-vs-cold setup delta by timing
-//! a first request on a never-seen workload seed against the median of
-//! warm repeats.
+//! Session mode (`--sessions N`) switches the binary from load generation
+//! to streaming-session verification: N concurrent `POST /session`
+//! streams are opened and read to completion as chunked JSONL, with
+//! optional assertions for the CI session-smoke job:
+//! - `--assert-snapshots M`: every session must stream ≥ M snapshots
+//! - `--assert-fault`: every session must stream ≥ 1 fault event
+//! - `--session-pace-ms MS`: ask the server to pace snapshots (long-lived
+//!   sessions for drain testing)
+//! - `--expect-drain`: expect the terminal reason `draining` (for the
+//!   SIGTERM-mid-session CI step) instead of `completed`
 //!
-//! Exit status: 0 on success, 1 on a golden mismatch or a `--check`
-//! failure, so CI can gate directly on this binary.
+//! Every load-generation run also: (a) byte-compares one served report
+//! against a direct `SimBuilder` run (`golden_match` in the document — a
+//! correctness gate, not a speed one); (b) measures the warm-vs-cold
+//! setup delta by timing a first request on a never-seen workload seed
+//! against the median of warm repeats.
+//!
+//! Exit status: 0 on success, 1 on a golden mismatch, a failed gate, or a
+//! failed session assertion, so CI can gate directly on this binary.
 
 use hbm_bench::harness::calibration_score;
 use hbm_bench::serve_doc::{
-    check_throughput_floor, percentile, render_json, summarize, LoadPoint, WarmVsCold,
+    check_scaling, check_throughput_floor, percentile, render_json, summarize, LoadPoint,
+    ScalingVerdict, WarmVsCold,
 };
 use hbm_core::{ArbitrationKind, SimBuilder};
-use hbm_serve::http::{read_response, write_request};
+use hbm_serve::http::{read_response, read_response_head, write_request, ChunkedLines};
+use hbm_serve::json::Json;
 use hbm_serve::proto::report_to_json;
 use hbm_serve::server::{Server, ServerConfig};
 use hbm_serve::shutdown::ShutdownFlag;
@@ -54,9 +79,12 @@ const LOAD_BODY: &str = r#"{"workload": {"kind": "cyclic", "pages": 64, "reps": 
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_bench [--addr HOST:PORT] [--clients LIST] [--duration SECS]\n\
-         \x20                 [--workers N] [--out FILE] [--check BASELINE.json]\n\
-         \x20                 [--tolerance FRAC]"
+        "usage: serve_bench [--addr HOST:PORT] [--shards LIST] [--clients LIST]\n\
+         \x20                 [--duration SECS] [--workers N] [--coalesce-us US]\n\
+         \x20                 [--out FILE] [--check BASELINE.json] [--tolerance FRAC]\n\
+         \x20                 [--check-scaling RATIO]\n\
+         \x20      serve_bench --sessions N [--addr HOST:PORT] [--assert-snapshots M]\n\
+         \x20                 [--assert-fault] [--session-pace-ms MS] [--expect-drain]"
     );
     std::process::exit(1);
 }
@@ -76,7 +104,12 @@ impl Client {
 
     /// One request/response exchange; reconnects on any transport error
     /// and reports it as `Err` so the caller can count it.
-    fn roundtrip(&mut self, path: &str, body: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), String> {
         if self.stream.is_none() {
             let stream =
                 TcpStream::connect(self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
@@ -85,7 +118,7 @@ impl Client {
         }
         let stream = self.stream.as_mut().expect("just connected");
         let deadline = Instant::now() + Duration::from_secs(30);
-        let result = write_request(stream, "POST", path, body)
+        let result = write_request(stream, method, path, body)
             .map_err(|e| format!("write: {e}"))
             .and_then(|()| read_response(stream, deadline).map_err(|e| format!("read: {e}")));
         if result.is_err() {
@@ -128,7 +161,7 @@ fn measure_warm_vs_cold(addr: SocketAddr) -> Result<WarmVsCold, String> {
     );
     let mut client = Client::new(addr);
     let t0 = Instant::now();
-    let (status, _) = client.roundtrip("/simulate", body.as_bytes())?;
+    let (status, _) = client.roundtrip("POST", "/simulate", body.as_bytes())?;
     let cold = t0.elapsed().as_secs_f64();
     if status != 200 {
         return Err(format!("cold probe got {status}"));
@@ -136,7 +169,7 @@ fn measure_warm_vs_cold(addr: SocketAddr) -> Result<WarmVsCold, String> {
     let mut warm = Vec::with_capacity(20);
     for _ in 0..20 {
         let t0 = Instant::now();
-        let (status, _) = client.roundtrip("/simulate", body.as_bytes())?;
+        let (status, _) = client.roundtrip("POST", "/simulate", body.as_bytes())?;
         if status != 200 {
             return Err(format!("warm probe got {status}"));
         }
@@ -150,10 +183,33 @@ fn measure_warm_vs_cold(addr: SocketAddr) -> Result<WarmVsCold, String> {
     })
 }
 
+/// Pulls the per-shard cumulative `requests` counters from `/healthz`.
+/// `None` when the endpoint or the `shards` array is unavailable (old
+/// servers), in which case the distribution is simply not recorded.
+fn per_shard_requests(addr: SocketAddr) -> Option<Vec<u64>> {
+    let (status, body) = Client::new(addr).roundtrip("GET", "/healthz", b"").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let health = Json::parse(std::str::from_utf8(&body).ok()?).ok()?;
+    let shards = health.get("shards")?.as_array()?;
+    shards
+        .iter()
+        .map(|s| s.get("requests").and_then(Json::as_u64))
+        .collect()
+}
+
 /// Runs one load point: `clients` connections hammering `/simulate` for
 /// `duration`, all released together by a barrier so the window measures
-/// steady-state concurrency, not ramp-up.
-fn run_load_point(addr: SocketAddr, clients: usize, duration: Duration) -> LoadPoint {
+/// steady-state concurrency, not ramp-up. The per-shard distribution is
+/// the `/healthz` counter delta across the window.
+fn run_load_point(
+    addr: SocketAddr,
+    shards: usize,
+    clients: usize,
+    duration: Duration,
+) -> LoadPoint {
+    let before = per_shard_requests(addr);
     let barrier = Arc::new(Barrier::new(clients + 1));
     let stop = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = (0..clients)
@@ -167,7 +223,7 @@ fn run_load_point(addr: SocketAddr, clients: usize, duration: Duration) -> LoadP
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
-                    match client.roundtrip("/simulate", LOAD_BODY.as_bytes()) {
+                    match client.roundtrip("POST", "/simulate", LOAD_BODY.as_bytes()) {
                         Ok((200, _)) => latencies.push(t0.elapsed().as_secs_f64()),
                         Ok(_) | Err(_) => errors += 1,
                     }
@@ -189,140 +245,385 @@ fn run_load_point(addr: SocketAddr, clients: usize, duration: Duration) -> LoadP
     }
     // Wall time includes the stragglers' final in-flight requests — the
     // honest denominator for the completed-request count.
-    summarize(clients, &latencies, errors, t0.elapsed().as_secs_f64())
+    let mut point = summarize(
+        shards,
+        clients,
+        &latencies,
+        errors,
+        t0.elapsed().as_secs_f64(),
+    );
+    if let (Some(before), Some(after)) = (before, per_shard_requests(addr)) {
+        if before.len() == after.len() {
+            point.per_shard_requests = after
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect();
+        }
+    }
+    point
+}
+
+/// A running in-process server and the handles to drain it.
+struct LocalServer {
+    addr: SocketAddr,
+    flag: ShutdownFlag,
+    handle: std::thread::JoinHandle<std::io::Result<hbm_serve::server::ServerStats>>,
+}
+
+fn start_local(shards: usize, workers: usize, coalesce: Option<Duration>) -> LocalServer {
+    let config = ServerConfig {
+        shards,
+        workers,
+        coalesce_window: coalesce,
+        ..ServerConfig::default()
+    };
+    let flag = ShutdownFlag::new();
+    let server = Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
+        eprintln!("error: bind: {e}");
+        std::process::exit(1)
+    });
+    let addr = server.local_addr().expect("ephemeral local addr");
+    let run_flag = flag.clone();
+    let handle = std::thread::spawn(move || server.run(&run_flag));
+    LocalServer { addr, flag, handle }
+}
+
+impl LocalServer {
+    fn stop(self) {
+        self.flag.trip();
+        match self.handle.join() {
+            Ok(Ok(stats)) => eprintln!(
+                "in-process server drained: {} requests ({} ok, {} batches)",
+                stats.requests, stats.ok, stats.batches
+            ),
+            Ok(Err(e)) => eprintln!("in-process server error: {e}"),
+            Err(_) => eprintln!("in-process server panicked"),
+        }
+    }
+}
+
+/// The streaming session the verification mode opens: a fault-injected
+/// workload long enough for several snapshot periods.
+fn session_body(pace_ms: Option<u64>) -> String {
+    let pace = pace_ms.map_or(String::new(), |ms| format!(", \"pace_ms\": {ms}"));
+    format!(
+        r#"{{"workload": {{"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1}},
+            "p": 8, "k": 16, "arbitration": "fifo",
+            "faults": {{"outages": [{{"start": 10, "end": 20, "channels": 1}}]}},
+            "snapshot_period_ticks": 64{pace}}}"#
+    )
+}
+
+/// Tallies from one streamed session.
+struct SessionOutcome {
+    lines: usize,
+    snapshots: usize,
+    faults: usize,
+    reason: String,
+}
+
+/// Opens one session and reads the JSONL stream to its terminal line.
+fn run_one_session(addr: SocketAddr, body: &str) -> Result<SessionOutcome, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    write_request(&mut stream, "POST", "/session", body.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (head, leftover) =
+        read_response_head(&mut stream, deadline).map_err(|e| format!("head: {e}"))?;
+    if head.status != 200 {
+        return Err(format!("session open got {}", head.status));
+    }
+    if !head.chunked {
+        return Err("session response was not chunked".into());
+    }
+    let mut lines = ChunkedLines::new(leftover);
+    let mut outcome = SessionOutcome {
+        lines: 0,
+        snapshots: 0,
+        faults: 0,
+        reason: String::new(),
+    };
+    while let Some(line) = lines
+        .next_line(&mut stream, deadline)
+        .map_err(|e| format!("stream: {e}"))?
+    {
+        if line.is_empty() {
+            continue;
+        }
+        let text = std::str::from_utf8(&line).map_err(|_| "non-utf8 stream line".to_string())?;
+        let v = Json::parse(text).map_err(|e| format!("invalid JSONL line: {e} in {text}"))?;
+        outcome.lines += 1;
+        match v.get("event").and_then(Json::as_str) {
+            Some("open") => {}
+            Some("snapshot") => outcome.snapshots += 1,
+            Some("fault") => outcome.faults += 1,
+            Some("done") => {
+                outcome.reason = v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+            }
+            other => return Err(format!("unknown event {other:?} in {text}")),
+        }
+    }
+    if outcome.reason.is_empty() {
+        return Err("stream ended without a terminal done line".into());
+    }
+    Ok(outcome)
+}
+
+/// Session-verification mode: N concurrent streams, assertions, exit code.
+fn run_sessions(
+    addr: SocketAddr,
+    sessions: usize,
+    assert_snapshots: Option<usize>,
+    assert_fault: bool,
+    pace_ms: Option<u64>,
+    expect_drain: bool,
+) -> bool {
+    let body = session_body(pace_ms);
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let body = body.clone();
+            std::thread::spawn(move || (i, run_one_session(addr, &body)))
+        })
+        .collect();
+    let expected_reason = if expect_drain {
+        "draining"
+    } else {
+        "completed"
+    };
+    let mut ok = true;
+    for h in handles {
+        let (i, outcome) = h.join().expect("session thread");
+        match outcome {
+            Ok(o) => {
+                eprintln!(
+                    "session {i}: {} lines ({} snapshots, {} faults), reason={}",
+                    o.lines, o.snapshots, o.faults, o.reason
+                );
+                if let Some(min) = assert_snapshots {
+                    if o.snapshots < min {
+                        eprintln!("session {i}: FAIL expected >= {min} snapshots");
+                        ok = false;
+                    }
+                }
+                if assert_fault && o.faults == 0 {
+                    eprintln!("session {i}: FAIL expected at least one fault event");
+                    ok = false;
+                }
+                if o.reason != expected_reason {
+                    eprintln!("session {i}: FAIL expected reason {expected_reason}");
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("session {i}: FAIL {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 fn main() {
     let mut addr_arg: Option<String> = None;
-    let mut clients_arg = String::from("1,4");
+    let mut shards_arg = String::from("1,4");
+    let mut clients_arg = String::from("1,8");
     let mut duration = 2.0f64;
-    let mut workers: Option<usize> = None;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut workers = 1usize;
+    let mut coalesce: Option<Duration> = None;
+    let mut out_path = String::from("BENCH_7.json");
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.25f64;
+    let mut scaling_ratio: Option<f64> = None;
+    let mut sessions: Option<usize> = None;
+    let mut assert_snapshots: Option<usize> = None;
+    let mut assert_fault = false;
+    let mut session_pace_ms: Option<u64> = None;
+    let mut expect_drain = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
         match a.as_str() {
             "--addr" => addr_arg = Some(val(&mut args)),
+            "--shards" => shards_arg = val(&mut args),
             "--clients" => clients_arg = val(&mut args),
             "--duration" => duration = val(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--workers" => workers = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--workers" => workers = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--coalesce-us" => {
+                coalesce = Some(Duration::from_micros(
+                    val(&mut args).parse().unwrap_or_else(|_| usage()),
+                ))
+            }
             "--out" => out_path = val(&mut args),
             "--check" => check_path = Some(val(&mut args)),
             "--tolerance" => tolerance = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--check-scaling" => {
+                scaling_ratio = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--sessions" => sessions = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--assert-snapshots" => {
+                assert_snapshots = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--assert-fault" => assert_fault = true,
+            "--session-pace-ms" => {
+                session_pace_ms = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--expect-drain" => expect_drain = true,
             _ => usage(),
         }
     }
+
+    let parse_addr = |a: &str| -> SocketAddr {
+        a.parse().unwrap_or_else(|e| {
+            eprintln!("error: bad --addr {a}: {e}");
+            std::process::exit(1)
+        })
+    };
+
+    // Session-verification mode short-circuits load generation entirely.
+    if let Some(n) = sessions {
+        let (addr, local) = match &addr_arg {
+            Some(a) => (parse_addr(a), None),
+            None => {
+                let local = start_local(1, workers, None);
+                eprintln!("in-process server on {}", local.addr);
+                (local.addr, Some(local))
+            }
+        };
+        let ok = run_sessions(
+            addr,
+            n,
+            assert_snapshots,
+            assert_fault,
+            session_pace_ms,
+            expect_drain,
+        );
+        if let Some(local) = local {
+            local.stop();
+        }
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    let shard_counts: Vec<usize> = shards_arg
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect();
     let client_counts: Vec<usize> = clients_arg
         .split(',')
         .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
         .collect();
-    if client_counts.is_empty() || duration <= 0.0 {
+    if shard_counts.is_empty()
+        || shard_counts.contains(&0)
+        || client_counts.is_empty()
+        || duration <= 0.0
+    {
         usage();
+    }
+    if addr_arg.is_some() && shard_counts.len() > 1 {
+        eprintln!("error: --addr targets a fixed topology; pass a single --shards value");
+        std::process::exit(1);
     }
 
     eprintln!("calibrating machine speed...");
     let calibration = calibration_score();
-    eprintln!("calibration_score: {calibration:.0} iters/sec");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("calibration_score: {calibration:.0} iters/sec ({host_cores} cores)");
 
-    // Target server: external (--addr) or in-process on an ephemeral port.
-    let (addr, local) = match addr_arg {
-        Some(a) => {
-            let addr: SocketAddr = a.parse().unwrap_or_else(|e| {
-                eprintln!("error: bad --addr {a}: {e}");
-                std::process::exit(1)
-            });
-            (addr, None)
-        }
-        None => {
-            let config = ServerConfig {
-                workers: workers
-                    .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
-                    .unwrap_or(4),
-                ..ServerConfig::default()
+    let mut golden_match = true;
+    let mut warm_vs_cold: Option<WarmVsCold> = None;
+    let mut points = Vec::with_capacity(shard_counts.len() * client_counts.len());
+    for &shards in &shard_counts {
+        // Target server for this shard count: external (--addr) or
+        // in-process on an ephemeral port.
+        let (addr, local) = match &addr_arg {
+            Some(a) => (parse_addr(a), None),
+            None => {
+                let local = start_local(shards, workers, coalesce);
+                eprintln!(
+                    "in-process server on {} ({shards} shard(s) x {workers} worker(s))",
+                    local.addr
+                );
+                (local.addr, Some(local))
+            }
+        };
+
+        // Golden gate first: throughput numbers from a server computing
+        // wrong answers are worthless. Re-checked per topology.
+        let (golden_body, expected) = golden_expected();
+        let this_match =
+            match Client::new(addr).roundtrip("POST", "/simulate", golden_body.as_bytes()) {
+                Ok((200, body)) => String::from_utf8_lossy(&body) == expected,
+                Ok((status, body)) => {
+                    eprintln!(
+                        "golden request got {status}: {}",
+                        String::from_utf8_lossy(&body)
+                    );
+                    false
+                }
+                Err(e) => {
+                    eprintln!("golden request failed: {e}");
+                    false
+                }
             };
-            let flag = ShutdownFlag::new();
-            let server = Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
-                eprintln!("error: bind: {e}");
-                std::process::exit(1)
-            });
-            let addr = server.local_addr().expect("ephemeral local addr");
-            let run_flag = flag.clone();
-            let handle = std::thread::spawn(move || server.run(&run_flag));
-            eprintln!("in-process server on {addr}");
-            (addr, Some((flag, handle)))
-        }
-    };
-
-    // Golden gate first: throughput numbers from a server computing wrong
-    // answers are worthless.
-    let (golden_body, expected) = golden_expected();
-    let golden_match = match Client::new(addr).roundtrip("/simulate", golden_body.as_bytes()) {
-        Ok((200, body)) => String::from_utf8_lossy(&body) == expected,
-        Ok((status, body)) => {
-            eprintln!(
-                "golden request got {status}: {}",
-                String::from_utf8_lossy(&body)
-            );
-            false
-        }
-        Err(e) => {
-            eprintln!("golden request failed: {e}");
-            false
-        }
-    };
-    eprintln!(
-        "golden byte-compare vs direct SimBuilder: {}",
-        if golden_match { "MATCH" } else { "MISMATCH" }
-    );
-
-    let warm_vs_cold = measure_warm_vs_cold(addr).unwrap_or_else(|e| {
-        eprintln!("warm/cold probe failed: {e}");
-        WarmVsCold {
-            cold_first_seconds: 0.0,
-            warm_median_seconds: 0.0,
-            cold_over_warm: 0.0,
-        }
-    });
-    eprintln!(
-        "warm-vs-cold: first request {:.3} ms, warm median {:.3} ms ({:.1}x)",
-        warm_vs_cold.cold_first_seconds * 1e3,
-        warm_vs_cold.warm_median_seconds * 1e3,
-        warm_vs_cold.cold_over_warm
-    );
-
-    let mut points = Vec::with_capacity(client_counts.len());
-    for &clients in &client_counts {
-        let pt = run_load_point(addr, clients, Duration::from_secs_f64(duration));
         eprintln!(
-            "clients={:3}  {:8.0} req/s  ({} ok, {} errors; p50 {:.3} ms, p99 {:.3} ms)",
-            pt.clients,
-            pt.requests_per_sec,
-            pt.requests,
-            pt.errors,
-            pt.p50_seconds * 1e3,
-            pt.p99_seconds * 1e3,
+            "golden byte-compare vs direct SimBuilder ({shards} shard(s)): {}",
+            if this_match { "MATCH" } else { "MISMATCH" }
         );
-        points.push(pt);
-    }
+        golden_match &= this_match;
 
-    // Tear down the in-process server before gating, so a gate failure
-    // still exits with the listener closed and stats drained.
-    if let Some((flag, handle)) = local {
-        flag.trip();
-        match handle.join() {
-            Ok(Ok(stats)) => eprintln!(
-                "in-process server drained: {} requests ({} ok)",
-                stats.requests, stats.ok
-            ),
-            Ok(Err(e)) => eprintln!("in-process server error: {e}"),
-            Err(_) => eprintln!("in-process server panicked"),
+        if warm_vs_cold.is_none() {
+            let wc = measure_warm_vs_cold(addr).unwrap_or_else(|e| {
+                eprintln!("warm/cold probe failed: {e}");
+                WarmVsCold {
+                    cold_first_seconds: 0.0,
+                    warm_median_seconds: 0.0,
+                    cold_over_warm: 0.0,
+                }
+            });
+            eprintln!(
+                "warm-vs-cold: first request {:.3} ms, warm median {:.3} ms ({:.1}x)",
+                wc.cold_first_seconds * 1e3,
+                wc.warm_median_seconds * 1e3,
+                wc.cold_over_warm
+            );
+            warm_vs_cold = Some(wc);
+        }
+
+        for &clients in &client_counts {
+            let pt = run_load_point(addr, shards, clients, Duration::from_secs_f64(duration));
+            let dist = if pt.per_shard_requests.is_empty() {
+                String::from("n/a")
+            } else {
+                format!("{:?}", pt.per_shard_requests)
+            };
+            eprintln!(
+                "shards={shards} clients={:3}  {:8.0} req/s  ({} ok, {} errors; \
+                 p50 {:.3} ms, p99 {:.3} ms; per-shard {dist})",
+                pt.clients,
+                pt.requests_per_sec,
+                pt.requests,
+                pt.errors,
+                pt.p50_seconds * 1e3,
+                pt.p99_seconds * 1e3,
+            );
+            points.push(pt);
+        }
+
+        // Tear down this topology's server before the next (or before
+        // gating), so a gate failure still exits with listeners closed.
+        if let Some(local) = local {
+            local.stop();
         }
     }
 
-    let json = render_json(calibration, &points, warm_vs_cold, golden_match);
+    let warm_vs_cold = warm_vs_cold.expect("at least one shard count ran");
+    let json = render_json(calibration, host_cores, &points, warm_vs_cold, golden_match);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1)
@@ -351,6 +652,26 @@ fn main() {
             }
             eprintln!("throughput floor FAIL: {} failure(s)", failures.len());
             failed = true;
+        }
+    }
+    if let Some(ratio) = scaling_ratio {
+        match check_scaling(&json, ratio) {
+            ScalingVerdict::Pass {
+                shards,
+                clients,
+                ratio: measured,
+            } => eprintln!(
+                "scaling gate PASS: {shards} shards sustained {measured:.2}x single-shard \
+                 at {clients} clients (required > {ratio:.2}x)"
+            ),
+            ScalingVerdict::Skipped(reason) => {
+                eprintln!("scaling gate SKIPPED: {reason}")
+            }
+            ScalingVerdict::Fail(line) => {
+                eprintln!("{line}");
+                eprintln!("scaling gate FAIL");
+                failed = true;
+            }
         }
     }
     if failed {

@@ -888,6 +888,27 @@ impl Engine {
         self.metrics.finish(makespan, truncated)
     }
 
+    /// A point-in-time [`Report`] of the metrics accumulated so far,
+    /// without consuming the engine. Snapshots taken mid-run report
+    /// `truncated = true` with `makespan` equal to the current tick —
+    /// the same convention as [`into_report`](Self::into_report) — so a
+    /// snapshot taken after the final step is byte-identical to the
+    /// final report.
+    pub fn report_snapshot(&self) -> Report {
+        let truncated = !self.is_done();
+        let makespan = if truncated {
+            self.s.tick
+        } else {
+            self.s.makespan
+        };
+        self.metrics.clone().finish(makespan, truncated)
+    }
+
+    /// The configured tick budget (`u64::MAX` when unbudgeted).
+    pub fn max_ticks(&self) -> Tick {
+        self.config.max_ticks
+    }
+
     /// Like [`run`](Self::run), but returning the engine's buffers to
     /// `scratch` for the next cell on this thread.
     pub fn run_reusing<O: SimObserver>(

@@ -1,8 +1,9 @@
 //! `hbm-serve` — the simulation server binary.
 //!
 //! ```text
-//! hbm-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! hbm-serve [--addr HOST:PORT] [--shards N] [--workers N] [--queue N]
 //!           [--max-wall-ms MS] [--max-ticks N] [--idle-shrink-secs S]
+//!           [--coalesce-us US] [--max-batch N] [--max-sessions N]
 //! ```
 //!
 //! Binds, prints the listening address on stdout (`listening on ...`, the
@@ -18,11 +19,15 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hbm-serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+        "usage: hbm-serve [--addr HOST:PORT] [--shards N] [--workers N] [--queue N]\n\
          \x20                [--max-wall-ms MS] [--max-ticks N] [--idle-shrink-secs S]\n\
+         \x20                [--coalesce-us US] [--max-batch N] [--max-sessions N]\n\
          \x20                [--enable-test-endpoints]\n\
          \n\
-         POST /simulate with a JSON body; GET /healthz for stats.\n\
+         POST /simulate with a JSON body; POST /session for a streaming\n\
+         JSONL session; GET /healthz for stats (totals + per-shard).\n\
+         --shards N runs N independent listener shards (round-robin\n\
+         dispatch); --coalesce-us enables same-workload request batching.\n\
          See README.md 'Running the server' for the request format."
     );
     std::process::exit(2)
@@ -46,7 +51,22 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = parse_flag(&mut args, "--addr"),
+            "--shards" => {
+                config.shards = parse_flag(&mut args, "--shards");
+                if config.shards == 0 {
+                    eprintln!("error: --shards must be at least 1");
+                    usage()
+                }
+            }
             "--workers" => config.workers = parse_flag(&mut args, "--workers"),
+            "--coalesce-us" => {
+                config.coalesce_window = Some(Duration::from_micros(parse_flag(
+                    &mut args,
+                    "--coalesce-us",
+                )))
+            }
+            "--max-batch" => config.max_batch = parse_flag(&mut args, "--max-batch"),
+            "--max-sessions" => config.max_sessions = parse_flag(&mut args, "--max-sessions"),
             "--queue" => config.queue_capacity = parse_flag(&mut args, "--queue"),
             "--max-wall-ms" => {
                 config.budget_ceiling = CellBudget {
@@ -97,7 +117,8 @@ fn main() {
         Ok(stats) => {
             eprintln!(
                 "drained cleanly: {} requests ({} ok, {} rejected, {} shed, {} client errors, \
-                 {} panics; {} cold / {} warm runs)",
+                 {} panics; {} cold / {} warm runs; {} batches / {} batched; \
+                 {} sessions opened / {} closed / {} reaped)",
                 stats.requests,
                 stats.ok,
                 stats.rejected,
@@ -105,7 +126,12 @@ fn main() {
                 stats.client_errors,
                 stats.panics,
                 stats.cold_runs,
-                stats.warm_runs
+                stats.warm_runs,
+                stats.batches,
+                stats.batched_requests,
+                stats.sessions_opened,
+                stats.sessions_closed,
+                stats.sessions_reaped
             );
         }
         Err(e) => {

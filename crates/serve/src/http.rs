@@ -382,6 +382,246 @@ pub fn set_poll_timeout(stream: &TcpStream, timeout: Duration) -> io::Result<()>
     stream.set_read_timeout(Some(timeout))
 }
 
+/// Maximum bytes of a single chunk-size line (hex digits + CRLF). Chunk
+/// extensions are not produced by this server and not accepted by this
+/// client.
+const MAX_CHUNK_SIZE_LINE: usize = 32;
+
+/// Server side: writes the head of a `Transfer-Encoding: chunked`
+/// streaming response. Streams always close the connection when done —
+/// a session owns its connection for its whole lifetime.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        status,
+        HttpResponse::reason(status),
+        content_type,
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Server side: writes one chunk (size line + payload + CRLF) as a single
+/// `write_all`, for the same Nagle reason as [`write_response`]. Empty
+/// payloads are skipped — a zero-size chunk is the terminator and must
+/// only come from [`write_last_chunk`].
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    let mut message = format!("{:x}\r\n", data.len()).into_bytes();
+    message.extend_from_slice(data);
+    message.extend_from_slice(b"\r\n");
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Server side: writes the zero-size terminator chunk ending the stream.
+pub fn write_last_chunk(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// A parsed response status line + framing headers, for clients that need
+/// to distinguish chunked streams from content-length bodies.
+#[derive(Debug)]
+pub struct ResponseHead {
+    /// Status code from the status line.
+    pub status: u16,
+    /// True when the response advertised `Transfer-Encoding: chunked`.
+    pub chunked: bool,
+    /// Declared `Content-Length` (0 when absent or chunked).
+    pub content_length: usize,
+}
+
+/// Client side: reads a response head only, returning the parsed head and
+/// any body bytes that arrived with it (hand these to [`ChunkReader::new`]
+/// for chunked streams).
+pub fn read_response_head(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> Result<(ResponseHead, Vec<u8>), HttpError> {
+    let mut buf = Vec::new();
+    let head_end = read_head(stream, &mut buf, deadline, &|| false)?;
+    let head = std::str::from_utf8(&buf[..head_end - 4])
+        .map_err(|_| HttpError::Malformed("non-utf8 header section"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or(HttpError::Malformed("bad status line"))?;
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line without colon"))?;
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            chunked = value.trim().eq_ignore_ascii_case("chunked");
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::BodyTooLarge {
+                    declared: content_length,
+                });
+            }
+        }
+    }
+    Ok((
+        ResponseHead {
+            status,
+            chunked,
+            content_length,
+        },
+        buf[head_end..].to_vec(),
+    ))
+}
+
+/// Client side: incremental chunked-body reader. Feed it the leftover
+/// bytes from [`read_response_head`], then call
+/// [`next_chunk`](Self::next_chunk) until it returns `Ok(None)` (the
+/// zero-size terminator).
+#[derive(Debug)]
+pub struct ChunkReader {
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl ChunkReader {
+    /// Starts a reader over `leftover` bytes already pulled off the wire.
+    pub fn new(leftover: Vec<u8>) -> ChunkReader {
+        ChunkReader {
+            buf: leftover,
+            done: false,
+        }
+    }
+
+    fn fill(&mut self, stream: &mut TcpStream, deadline: Instant) -> Result<(), HttpError> {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(HttpError::TimedOut);
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(HttpError::ConnectionClosed),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads the next chunk payload, or `Ok(None)` once the terminator
+    /// chunk has been consumed (subsequent calls keep returning `None`).
+    pub fn next_chunk(
+        &mut self,
+        stream: &mut TcpStream,
+        deadline: Instant,
+    ) -> Result<Option<Vec<u8>>, HttpError> {
+        if self.done {
+            return Ok(None);
+        }
+        // Parse the size line, pulling more bytes as needed.
+        let size = loop {
+            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                let line = std::str::from_utf8(&self.buf[..pos])
+                    .map_err(|_| HttpError::Malformed("non-utf8 chunk size"))?;
+                let size = usize::from_str_radix(line.trim(), 16)
+                    .map_err(|_| HttpError::Malformed("bad chunk size"))?;
+                if size > MAX_BODY_BYTES {
+                    return Err(HttpError::BodyTooLarge { declared: size });
+                }
+                self.buf.drain(..pos + 2);
+                break size;
+            }
+            if self.buf.len() > MAX_CHUNK_SIZE_LINE {
+                return Err(HttpError::Malformed("oversized chunk size line"));
+            }
+            self.fill(stream, deadline)?;
+        };
+        // Payload + trailing CRLF.
+        while self.buf.len() < size + 2 {
+            self.fill(stream, deadline)?;
+        }
+        if &self.buf[size..size + 2] != b"\r\n" {
+            return Err(HttpError::Malformed("chunk missing trailing crlf"));
+        }
+        let data: Vec<u8> = self.buf.drain(..size + 2).take(size).collect();
+        if size == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(data))
+    }
+}
+
+/// Client side: JSONL line splitter over a chunked stream. Lines may span
+/// chunk boundaries; this yields complete `\n`-terminated lines (without
+/// the terminator) until the stream ends.
+#[derive(Debug)]
+pub struct ChunkedLines {
+    reader: ChunkReader,
+    pending: Vec<u8>,
+    eof: bool,
+}
+
+impl ChunkedLines {
+    /// Starts a line splitter over the leftover bytes from
+    /// [`read_response_head`].
+    pub fn new(leftover: Vec<u8>) -> ChunkedLines {
+        ChunkedLines {
+            reader: ChunkReader::new(leftover),
+            pending: Vec::new(),
+            eof: false,
+        }
+    }
+
+    /// Reads the next complete line, or `Ok(None)` at end of stream. A
+    /// final unterminated line (no trailing `\n` before the terminator
+    /// chunk) is yielded as-is.
+    pub fn next_line(
+        &mut self,
+        stream: &mut TcpStream,
+        deadline: Instant,
+    ) -> Result<Option<Vec<u8>>, HttpError> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..pos + 1).take(pos).collect();
+                return Ok(Some(line));
+            }
+            if self.eof {
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(std::mem::take(&mut self.pending)));
+            }
+            match self.reader.next_chunk(stream, deadline)? {
+                Some(data) => self.pending.extend_from_slice(&data),
+                None => self.eof = true,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +720,49 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, HttpError::TimedOut), "{err}");
+    }
+
+    #[test]
+    fn chunked_stream_round_trips_lines_across_chunk_boundaries() {
+        let (mut client, mut server) = pair();
+        let writer = std::thread::spawn(move || {
+            write_chunked_head(&mut server, 200, "application/jsonl").unwrap();
+            // One line split across two chunks, then two lines in one chunk.
+            write_chunk(&mut server, b"{\"event\":").unwrap();
+            write_chunk(&mut server, b"\"open\"}\n").unwrap();
+            write_chunk(&mut server, b"{\"a\":1}\n{\"b\":2}\n").unwrap();
+            write_last_chunk(&mut server).unwrap();
+        });
+        let (head, leftover) = read_response_head(&mut client, soon()).unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.chunked);
+        let mut lines = ChunkedLines::new(leftover);
+        let mut got = Vec::new();
+        while let Some(line) = lines.next_line(&mut client, soon()).unwrap() {
+            got.push(String::from_utf8(line).unwrap());
+        }
+        assert_eq!(got, ["{\"event\":\"open\"}", "{\"a\":1}", "{\"b\":2}"]);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_chunk_is_rejected_before_allocation() {
+        let (mut client, mut server) = pair();
+        server
+            .write_all(format!("{:x}\r\n", MAX_BODY_BYTES + 1).as_bytes())
+            .unwrap();
+        let mut reader = ChunkReader::new(Vec::new());
+        let err = reader.next_chunk(&mut client, soon()).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_chunk_size_is_a_typed_error() {
+        let (mut client, mut server) = pair();
+        server.write_all(b"zzz\r\n").unwrap();
+        let mut reader = ChunkReader::new(Vec::new());
+        let err = reader.next_chunk(&mut client, soon()).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   [`CellBudget`](pool::CellBudget)s clamped to a server ceiling so no
 //!   request hangs a worker (over-budget runs return `"truncated": true`),
 //!   and per-request panic isolation.
+//! * **Sharded serving & batching** ([`server`]): the accept loop
+//!   dispatches connections round-robin across N shards, each with its
+//!   own worker pool, warm-pool registry, and counters; with a coalescing
+//!   window enabled, same-(workload, p, budget) requests batch through
+//!   the lockstep `BatchEngine` with byte-identical responses.
+//! * **Streaming sessions**: `POST /session` upgrades the connection to
+//!   a chunked-HTTP JSONL stream of periodic metric snapshots and fault
+//!   events while the engine runs incrementally.
 //! * **Graceful shutdown** ([`shutdown`]): SIGTERM/ctrl-c trips a
 //!   [`ShutdownFlag`](shutdown::ShutdownFlag) observed by the accept loop,
 //!   every connection, and `repro sweep` alike — in-flight work finishes,
@@ -36,6 +44,8 @@ pub mod json;
 pub mod pool;
 pub mod proto;
 pub mod server;
+mod session;
+mod shard;
 #[allow(unsafe_code)]
 pub mod shutdown;
 

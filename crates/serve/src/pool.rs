@@ -192,7 +192,7 @@ impl TracePool {
 /// reports `Report::truncated = true`. The cell fails *soft* (its partial
 /// metrics are still returned) instead of hanging the sweep or the
 /// connection.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct CellBudget {
     /// Maximum simulated ticks (sets the engine's `max_ticks`).
     pub max_ticks: Option<u64>,
@@ -411,6 +411,24 @@ pub fn run_sim_budgeted_flat(
         }
     }
     Ok(engine.into_report_reusing(scratch))
+}
+
+/// Builds an owned incremental [`Engine`](hbm_core::Engine) over a shared
+/// [`FlatWorkload`] under a [`CellBudget`]'s tick bound — the streaming
+/// session's substrate. The caller owns the stepping loop (pacing,
+/// snapshots, wall-budget checks, shutdown polling); the returned tick cap
+/// is the engine's configured `max_ticks`, so a session loop stepping
+/// `while !done && tick < cap` finalizes with exactly the same truncation
+/// semantics as [`run_sim_budgeted_flat`].
+pub fn build_session_engine(
+    flat: &Arc<FlatWorkload>,
+    settings: &SimSettings,
+    budget: CellBudget,
+) -> Result<(hbm_core::Engine, u64), SimError> {
+    let builder = settings.builder(budget);
+    let tick_cap = builder.config().max_ticks;
+    let engine = builder.try_build_flat(flat)?;
+    Ok((engine, tick_cap))
 }
 
 /// Runs a batch of cells over one shared [`FlatWorkload`] through the

@@ -41,7 +41,7 @@
 
 use crate::json::{Json, JsonError, JsonLimits};
 use crate::pool::{CellBudget, SimSettings};
-use hbm_core::{ArbitrationKind, FaultPlan, ReplacementKind, Report};
+use hbm_core::{ArbitrationKind, FaultEvent, FaultPlan, ReplacementKind, Report};
 use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
 use std::fmt;
 use std::time::Duration;
@@ -51,6 +51,11 @@ pub const MAX_P: usize = 512;
 /// Ceiling on the total reference count a generated workload may have,
 /// approximated per-spec before generation (`p × per-core length bound`).
 pub const MAX_TOTAL_REFS: u64 = 50_000_000;
+/// Default session snapshot cadence in simulated ticks.
+pub const DEFAULT_SNAPSHOT_PERIOD: u64 = 1024;
+/// Ceiling on a session's `pace_ms` — pacing is a streaming convenience,
+/// not a way to park a connection thread for minutes per snapshot.
+pub const MAX_PACE_MS: u64 = 1_000;
 
 /// A validated simulation request.
 #[derive(Debug, Clone)]
@@ -75,6 +80,32 @@ pub struct WorkloadKey {
     pub trace_seed: u64,
     /// Generation options.
     pub opts: TraceOptions,
+}
+
+impl WorkloadKey {
+    /// The canonical string form of this key — what the pool registry maps
+    /// on and the coalescer batches on. Debug formatting of the spec is
+    /// stable and injective enough to key on (distinct f64 parameters
+    /// print distinctly).
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{:?}|seed={}|page_bytes={}|collapse={}",
+            self.spec, self.trace_seed, self.opts.page_bytes, self.opts.collapse
+        )
+    }
+}
+
+/// A validated streaming-session request: a full [`SimRequest`] plus the
+/// streaming knobs (`snapshot_period_ticks`, `pace_ms`).
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// The simulation to run incrementally.
+    pub sim: SimRequest,
+    /// Emit a metrics snapshot at least every this many simulated ticks.
+    pub snapshot_period: u64,
+    /// Optional wall-clock pause between snapshot rounds (paced
+    /// streaming). `None` streams as fast as the engine steps.
+    pub pace: Option<Duration>,
 }
 
 /// Why a request body was rejected.
@@ -479,12 +510,47 @@ fn per_core_ref_bound(spec: &WorkloadSpec) -> u64 {
 
 /// Parses and validates a `/simulate` request body.
 pub fn parse_sim_request(body: &[u8], limits: &JsonLimits) -> Result<SimRequest, ProtoError> {
+    sim_from_json(&parse_body(body, limits)?)
+}
+
+/// Parses and validates a `/session` request body — the `/simulate`
+/// schema plus `snapshot_period_ticks` and `pace_ms`.
+pub fn parse_session_request(
+    body: &[u8],
+    limits: &JsonLimits,
+) -> Result<SessionRequest, ProtoError> {
+    let v = parse_body(body, limits)?;
+    let sim = sim_from_json(&v)?;
+    let snapshot_period = opt_u64(&v, "snapshot_period_ticks")?.unwrap_or(DEFAULT_SNAPSHOT_PERIOD);
+    if snapshot_period == 0 {
+        return Err(bad("snapshot_period_ticks", "must be at least 1"));
+    }
+    let pace = match opt_u64(&v, "pace_ms")? {
+        Some(ms) if ms > MAX_PACE_MS => {
+            return Err(bad(
+                "pace_ms",
+                format!("exceeds the server limit of {MAX_PACE_MS}"),
+            ));
+        }
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => None,
+    };
+    Ok(SessionRequest {
+        sim,
+        snapshot_period,
+        pace,
+    })
+}
+
+fn parse_body(body: &[u8], limits: &JsonLimits) -> Result<Json, ProtoError> {
     let text = std::str::from_utf8(body).map_err(|_| ProtoError::BadField {
         field: "body",
         why: "not valid utf-8".into(),
     })?;
-    let v = Json::parse_with_limits(text, limits)?;
+    Ok(Json::parse_with_limits(text, limits)?)
+}
 
+fn sim_from_json(v: &Json) -> Result<SimRequest, ProtoError> {
     let workload_v = v
         .get("workload")
         .ok_or(ProtoError::MissingField("workload"))?;
@@ -533,14 +599,14 @@ pub fn parse_sim_request(body: &[u8], limits: &JsonLimits) -> Result<SimRequest,
             None | Some(Json::Null) => ArbitrationKind::Fifo,
             Some(a) => parse_arbitration(a)?,
         },
-        opt_u64(&v, "seed")?.unwrap_or(0),
+        opt_u64(v, "seed")?.unwrap_or(0),
     );
     if let Some(r) = v.get("replacement") {
         if !matches!(r, Json::Null) {
             settings.replacement = parse_replacement(r)?;
         }
     }
-    settings.far_latency = opt_u64(&v, "far_latency")?;
+    settings.far_latency = opt_u64(v, "far_latency")?;
     if let Some(f) = v.get("faults") {
         if !matches!(f, Json::Null) {
             settings.faults = parse_faults(f)?;
@@ -555,8 +621,8 @@ pub fn parse_sim_request(body: &[u8], limits: &JsonLimits) -> Result<SimRequest,
     }
 
     let budget = CellBudget {
-        max_ticks: opt_u64(&v, "max_ticks")?,
-        max_wall: opt_u64(&v, "max_wall_ms")?.map(Duration::from_millis),
+        max_ticks: opt_u64(v, "max_ticks")?,
+        max_wall: opt_u64(v, "max_wall_ms")?.map(Duration::from_millis),
     };
 
     Ok(SimRequest {
@@ -576,6 +642,13 @@ pub fn parse_sim_request(body: &[u8], limits: &JsonLimits) -> Result<SimRequest,
 /// [`fmt_f64`](crate::json::fmt_f64). This is the byte-compare anchor for
 /// the integration suite.
 pub fn report_to_json(r: &Report) -> String {
+    report_json(r).to_string()
+}
+
+/// The [`Json`] value form of [`report_to_json`], for embedding a report
+/// inside a larger message (session snapshots) without re-serializing —
+/// the embedded object is byte-identical to the stateless response body.
+pub fn report_json(r: &Report) -> Json {
     let per_core: Vec<Json> = r
         .per_core
         .iter()
@@ -624,6 +697,77 @@ pub fn report_to_json(r: &Report) -> String {
             ]),
         ),
         ("truncated", Json::from(r.truncated)),
+    ])
+}
+
+/// The first line of a session stream: the accepted streaming parameters.
+pub fn session_open_json(p: usize, snapshot_period: u64) -> String {
+    Json::obj(vec![
+        ("event", Json::from("open")),
+        ("p", Json::from(p)),
+        ("snapshot_period_ticks", Json::from(snapshot_period)),
+    ])
+    .to_string()
+}
+
+/// One periodic metrics line of a session stream. The embedded `report`
+/// object is the canonical [`report_json`] serialization.
+pub fn session_snapshot_json(tick: u64, report: &Report) -> String {
+    Json::obj(vec![
+        ("event", Json::from("snapshot")),
+        ("tick", Json::from(tick)),
+        ("report", report_json(report)),
+    ])
+    .to_string()
+}
+
+/// One fault-event line of a session stream.
+pub fn session_fault_json(tick: u64, event: &FaultEvent) -> String {
+    let mut fields = vec![("event", Json::from("fault")), ("tick", Json::from(tick))];
+    match *event {
+        FaultEvent::OutageStart { down } => {
+            fields.push(("kind", Json::from("outage_start")));
+            fields.push(("down", Json::from(down)));
+        }
+        FaultEvent::OutageEnd { restored } => {
+            fields.push(("kind", Json::from("outage_end")));
+            fields.push(("restored", Json::from(restored)));
+        }
+        FaultEvent::DegradedFetch {
+            core,
+            page,
+            extra_latency,
+        } => {
+            fields.push(("kind", Json::from("degraded_fetch")));
+            fields.push(("core", Json::from(u64::from(core))));
+            fields.push(("page", Json::from(page.0)));
+            fields.push(("extra_latency", Json::from(extra_latency)));
+        }
+        FaultEvent::TransientFailure {
+            core,
+            page,
+            failures,
+        } => {
+            fields.push(("kind", Json::from("transient_failure")));
+            fields.push(("core", Json::from(u64::from(core))));
+            fields.push(("page", Json::from(page.0)));
+            fields.push(("failures", Json::from(u64::from(failures))));
+        }
+    }
+    Json::obj(fields).to_string()
+}
+
+/// The final line of a session stream. `reason` is `"completed"`,
+/// `"truncated"` (budget), or `"draining"` (server shutdown); the embedded
+/// final report uses the canonical [`report_json`] serialization, so a
+/// completed session's final report is byte-identical to the stateless
+/// `/simulate` response for the same request.
+pub fn session_done_json(tick: u64, reason: &str, report: &Report) -> String {
+    Json::obj(vec![
+        ("event", Json::from("done")),
+        ("reason", Json::from(reason)),
+        ("tick", Json::from(tick)),
+        ("report", report_json(report)),
     ])
     .to_string()
 }

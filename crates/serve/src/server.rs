@@ -1,41 +1,54 @@
-//! The simulation server: accept loop, routing, admission control, warm
-//! pools, and graceful drain.
+//! The simulation server: sharded accept path, routing, admission
+//! control, warm pools, request coalescing, streaming sessions, and
+//! graceful drain.
 //!
-//! Request lifecycle (DESIGN.md §14):
+//! Request lifecycle (DESIGN.md §14, §16):
 //!
 //! 1. The accept loop (nonblocking listener, 5 ms poll) takes a
 //!    connection, or sheds it with **503** when `max_connections` threads
-//!    are already serving.
+//!    are already serving. Accepted connections are handed to one of
+//!    `shards` [`ShardState`]s round-robin — each shard owns its own
+//!    [`WorkerPool`](hbm_par::WorkerPool), pool registry, scratch, and
+//!    counters, so the request path shares no locks across shards.
 //! 2. The connection thread parses HTTP/1.1 requests (keep-alive) under
 //!    per-message deadlines and routes them. Framing or JSON errors are
 //!    **400**; oversized requests are **413**.
 //! 3. `/simulate` bodies become [`SimRequest`]s and are submitted to the
-//!    shared [`WorkerPool`] — *non-blocking*: a full queue is an immediate
-//!    **429**, the explicit admission-control signal.
+//!    shard's worker pool — *non-blocking*: a full queue is an immediate
+//!    **429**, the explicit admission-control signal. With a coalescing
+//!    window configured, same-(workload, p, budget) requests arriving
+//!    within the window run as one batched engine call (see
+//!    [`shard`](crate::shard)); responses are byte-identical either way.
 //! 4. The worker executes through the warm path — a per-workload
-//!    [`TracePool`] (memoized traces + flats) and the shared
-//!    [`ScratchPool`] — under the request's [`CellBudget`] clamped to the
-//!    server ceiling; budget exhaustion yields **200** with
-//!    `"truncated": true` rather than a hung connection. A panicking
-//!    request is caught in the worker and surfaces as that request's
-//!    **500**; the worker thread and every other connection survive.
-//! 5. Shutdown (SIGTERM/ctrl-c or [`ShutdownFlag::trip`]) stops the accept
-//!    loop, lets idle connections close, finishes in-flight requests,
-//!    drains the worker queue, and joins everything — then returns the
-//!    final [`ServerStats`].
+//!    [`TracePool`](crate::pool::TracePool) (memoized traces + flats) and
+//!    the shard's [`ScratchPool`](crate::pool::ScratchPool) — under the
+//!    request's [`CellBudget`] clamped to the server ceiling; budget
+//!    exhaustion yields **200** with `"truncated": true` rather than a
+//!    hung connection. A panicking request is caught in the worker and
+//!    surfaces as that request's **500**; the worker thread and every
+//!    other connection survive.
+//! 5. `POST /session` upgrades the connection to a chunked-JSONL
+//!    streaming session run on the connection thread (see
+//!    [`session`](crate::session)).
+//! 6. Shutdown (SIGTERM/ctrl-c or [`ShutdownFlag::trip`]) stops the accept
+//!    loop, lets idle connections close, finishes in-flight requests and
+//!    sessions (sessions end with a `"draining"` line), drains every
+//!    shard's worker queue, and joins everything — then returns the final
+//!    aggregated [`ServerStats`].
 
 use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResponse};
 use crate::json::{Json, JsonLimits};
-use crate::pool::{run_sim_budgeted_flat, CellBudget, ScratchPool, TracePool};
-use crate::proto::{parse_sim_request, report_to_json, ProtoError, SimRequest, WorkloadKey};
+use crate::pool::{run_sim_budgeted_flat, CellBudget};
+use crate::proto::{parse_sim_request, report_to_json, ProtoError, SimRequest};
+use crate::session::serve_session;
+use crate::shard::{coalesced_submit, ShardState};
 use crate::shutdown::ShutdownFlag;
-use hbm_par::{SubmitError, WorkerPool};
-use std::collections::HashMap;
+use hbm_par::SubmitError;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,24 +56,43 @@ use std::time::{Duration, Instant};
 /// the binary exposes the load-bearing ones as flags.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Simulation worker threads.
+    /// Listener shards. Each shard gets its own worker pool, pool
+    /// registry, scratch pool, and counters; connections are dispatched
+    /// round-robin.
+    pub shards: usize,
+    /// Simulation worker threads **per shard**.
     pub workers: usize,
-    /// Pending-request queue capacity; a full queue rejects with 429.
+    /// Pending-request queue capacity **per shard**; a full queue rejects
+    /// with 429.
     pub queue_capacity: usize,
-    /// Maximum concurrent connections; excess connections get 503.
+    /// Maximum concurrent connections (global); excess connections get 503.
     pub max_connections: usize,
     /// Per-message read deadline (head + body).
     pub request_timeout: Duration,
     /// Ceiling clamped onto every request's budget. The default caps wall
     /// time so no request can hold a worker indefinitely.
     pub budget_ceiling: CellBudget,
-    /// Maximum distinct workload pools kept warm (LRU beyond this).
+    /// Maximum distinct workload pools kept warm per shard (LRU beyond
+    /// this).
     pub max_pools: usize,
     /// Per-pool cap on memoized flats (`None` = unbounded).
     pub flat_capacity: Option<usize>,
     /// Idle period after which warm memory (memoized flats, scratch
     /// buffers) is released. `None` disables idle shrinking.
     pub idle_shrink_after: Option<Duration>,
+    /// Same-(workload, p, budget) requests arriving within this window
+    /// coalesce into one batched engine call. `None` disables coalescing
+    /// (every request runs scalar).
+    pub coalesce_window: Option<Duration>,
+    /// Maximum requests per coalesced batch; a batch reaching this size
+    /// flushes before the window closes.
+    pub max_batch: usize,
+    /// Maximum concurrently open streaming sessions (global); excess
+    /// session opens get 429.
+    pub max_sessions: usize,
+    /// A session chunk write stalling longer than this (client gone or not
+    /// reading) reaps the session.
+    pub session_write_stall: Duration,
     /// JSON parser limits applied to request bodies.
     pub json_limits: JsonLimits,
     /// Enables `POST /test/panic` (a deliberately panicking request) so
@@ -71,6 +103,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            shards: 1,
             workers: hbm_par::default_threads(),
             queue_capacity: 64,
             max_connections: 64,
@@ -82,21 +115,26 @@ impl Default for ServerConfig {
             max_pools: 8,
             flat_capacity: Some(8),
             idle_shrink_after: Some(Duration::from_secs(30)),
+            coalesce_window: None,
+            max_batch: 16,
+            max_sessions: 32,
+            session_write_stall: Duration::from_secs(5),
             json_limits: JsonLimits::default(),
             enable_test_endpoints: false,
         }
     }
 }
 
-/// Counters the server maintains while running; a snapshot is returned by
-/// [`Server::run`] and served live at `GET /healthz`.
+/// Counters the server maintains while running; per-shard snapshots are
+/// aggregated into the totals returned by [`Server::run`] and served live
+/// at `GET /healthz` (which also reports each shard separately).
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     /// Requests that reached routing (any method/path).
     pub requests: u64,
     /// 200 responses.
     pub ok: u64,
-    /// 429 rejections (queue full).
+    /// 429 rejections (queue full, or session limit).
     pub rejected: u64,
     /// 503 rejections (connection cap, or submit-after-shutdown races).
     pub shed: u64,
@@ -108,126 +146,41 @@ pub struct ServerStats {
     pub cold_runs: u64,
     /// Warm `/simulate` executions (served from a pooled workload).
     pub warm_runs: u64,
+    /// Coalesced batches flushed to worker pools.
+    pub batches: u64,
+    /// Requests that ran inside a coalesced batch.
+    pub batched_requests: u64,
+    /// Streaming sessions opened (stream head written).
+    pub sessions_opened: u64,
+    /// Sessions that ended with a terminal `done` line.
+    pub sessions_closed: u64,
+    /// Sessions reaped mid-stream (client disconnected or stalled).
+    pub sessions_reaped: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    rejected: AtomicU64,
-    shed: AtomicU64,
-    client_errors: AtomicU64,
-    panics: AtomicU64,
-    cold_runs: AtomicU64,
-    warm_runs: AtomicU64,
-}
-
-impl StatCells {
-    fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            client_errors: self.client_errors.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            cold_runs: self.cold_runs.load(Ordering::Relaxed),
-            warm_runs: self.warm_runs.load(Ordering::Relaxed),
-        }
+impl ServerStats {
+    fn accumulate(&mut self, other: &ServerStats) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.client_errors += other.client_errors;
+        self.panics += other.panics;
+        self.cold_runs += other.cold_runs;
+        self.warm_runs += other.warm_runs;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_closed += other.sessions_closed;
+        self.sessions_reaped += other.sessions_reaped;
     }
 }
 
-/// Warm workload pools keyed by the canonical description of a
-/// [`WorkloadKey`], LRU-bounded at `max_pools`.
-struct PoolRegistry {
-    pools: Mutex<HashMap<String, (Arc<TracePool>, u64)>>,
-    clock: AtomicU64,
-    max_pools: usize,
-    flat_capacity: Option<usize>,
-}
-
-impl PoolRegistry {
-    fn new(max_pools: usize, flat_capacity: Option<usize>) -> Self {
-        PoolRegistry {
-            pools: Mutex::new(HashMap::new()),
-            clock: AtomicU64::new(0),
-            max_pools: max_pools.max(1),
-            flat_capacity,
-        }
-    }
-
-    fn key_of(key: &WorkloadKey) -> String {
-        // Debug formatting of the spec is stable and injective enough to
-        // key on (distinct f64 parameters print distinctly).
-        format!(
-            "{:?}|seed={}|page_bytes={}|collapse={}",
-            key.spec, key.trace_seed, key.opts.page_bytes, key.opts.collapse
-        )
-    }
-
-    /// Fetches (or generates) the pool for `key` with at least `p` traces.
-    /// Returns `(pool, was_warm)`; `was_warm` is false when this request
-    /// paid trace generation (a cold start).
-    fn get(&self, key: &WorkloadKey, p: usize) -> (Arc<TracePool>, bool) {
-        let map_key = Self::key_of(key);
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        {
-            let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some((pool, at)) = pools.get_mut(&map_key) {
-                if pool.max_p() >= p {
-                    *at = stamp;
-                    return (Arc::clone(pool), true);
-                }
-                // Too small: fall through and regenerate larger. The trace
-                // prefix property keeps results identical for smaller p.
-            }
-        }
-        // Generate outside the lock: trace generation can take tens of
-        // milliseconds and must not serialize warm requests behind it.
-        let pool = Arc::new(TracePool::generate(key.spec, p, key.trace_seed, key.opts));
-        pool.set_flat_capacity(self.flat_capacity);
-        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
-        // Another thread may have raced us here with an even bigger pool;
-        // keep whichever covers more threads.
-        let entry = pools
-            .entry(map_key)
-            .and_modify(|(existing, at)| {
-                if existing.max_p() < pool.max_p() {
-                    *existing = Arc::clone(&pool);
-                }
-                *at = stamp;
-            })
-            .or_insert_with(|| (Arc::clone(&pool), stamp));
-        let result = Arc::clone(&entry.0);
-        while pools.len() > self.max_pools {
-            let oldest = pools
-                .iter()
-                .min_by_key(|(_, (_, at))| *at)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty registry has an oldest entry");
-            pools.remove(&oldest);
-        }
-        (result, false)
-    }
-
-    /// Releases every pool's memoized flats (the idle path). Pools
-    /// themselves stay registered; their traces are cheap relative to the
-    /// flats and keep the next request warm-ish.
-    fn shrink(&self) {
-        let pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
-        for (pool, _) in pools.values() {
-            pool.shrink();
-        }
-    }
-}
-
-struct ServerState {
-    config: ServerConfig,
-    worker_pool: WorkerPool,
-    registry: PoolRegistry,
-    scratch: ScratchPool,
-    stats: StatCells,
-    active_connections: AtomicUsize,
+pub(crate) struct ServerState {
+    pub(crate) config: ServerConfig,
+    pub(crate) shards: Vec<Arc<ShardState>>,
+    pub(crate) active_connections: AtomicUsize,
+    pub(crate) active_sessions: AtomicUsize,
 }
 
 /// The simulation-as-a-service server. Bind, then [`run`](Self::run).
@@ -241,12 +194,22 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let shards = (0..config.shards.max(1))
+            .map(|id| {
+                Arc::new(ShardState::new(
+                    id,
+                    config.workers,
+                    config.queue_capacity,
+                    config.max_pools,
+                    config.flat_capacity,
+                    config.max_batch,
+                ))
+            })
+            .collect();
         let state = Arc::new(ServerState {
-            worker_pool: WorkerPool::new(config.workers, config.queue_capacity),
-            registry: PoolRegistry::new(config.max_pools, config.flat_capacity),
-            scratch: ScratchPool::new(),
-            stats: StatCells::default(),
+            shards,
             active_connections: AtomicUsize::new(0),
+            active_sessions: AtomicUsize::new(0),
             config,
         });
         Ok(Server { listener, state })
@@ -258,10 +221,12 @@ impl Server {
     }
 
     /// Serves until `flag` trips, then drains: no new connections, idle
-    /// connections close, in-flight requests finish, the worker queue
-    /// empties, every thread is joined. Returns the final statistics.
+    /// connections close, in-flight requests and sessions finish, every
+    /// shard's worker queue empties, every thread is joined. Returns the
+    /// final statistics aggregated across shards.
     pub fn run(self, flag: &ShutdownFlag) -> io::Result<ServerStats> {
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_shard = 0usize;
         let mut last_activity = Instant::now();
         let mut last_executed = 0u64;
         let mut shrunk_while_idle = false;
@@ -276,17 +241,25 @@ impl Server {
                     let _ = stream.set_nodelay(true);
                     let active = &self.state.active_connections;
                     if active.load(Ordering::Relaxed) >= self.state.config.max_connections {
-                        self.state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        let shard = &self.state.shards[next_shard % self.state.shards.len()];
+                        shard.stats.shed.fetch_add(1, Ordering::Relaxed);
                         let _ = shed_connection(stream);
                         continue;
                     }
                     active.fetch_add(1, Ordering::Relaxed);
+                    // Round-robin dispatch: with the workspace's
+                    // no-unsafe-outside-shutdown rule, SO_REUSEPORT (a
+                    // setsockopt FFI) is off-limits, so one accept loop
+                    // plays dispatcher for all shards.
+                    let shard =
+                        Arc::clone(&self.state.shards[next_shard % self.state.shards.len()]);
+                    next_shard = next_shard.wrapping_add(1);
                     let state = Arc::clone(&self.state);
                     let conn_flag = flag.clone();
                     let handle = std::thread::Builder::new()
-                        .name("hbm-serve-conn".into())
+                        .name(format!("hbm-serve-conn-s{}", shard.id))
                         .spawn(move || {
-                            serve_connection(stream, &state, &conn_flag);
+                            serve_connection(stream, &state, &shard, &conn_flag);
                             state.active_connections.fetch_sub(1, Ordering::Relaxed);
                         })
                         .expect("spawn connection thread");
@@ -301,7 +274,12 @@ impl Server {
             connections.retain(|h| !h.is_finished());
             // Idle-path memory release: when no request has executed for
             // the configured window, drop memoized flats and idle scratch.
-            let executed = self.state.worker_pool.executed();
+            let executed: u64 = self
+                .state
+                .shards
+                .iter()
+                .map(|s| s.worker_pool.executed())
+                .sum();
             if executed != last_executed {
                 last_executed = executed;
                 last_activity = Instant::now();
@@ -309,20 +287,27 @@ impl Server {
             }
             if let Some(window) = self.state.config.idle_shrink_after {
                 if !shrunk_while_idle && last_activity.elapsed() >= window {
-                    self.state.registry.shrink();
-                    self.state.scratch.clear();
+                    for shard in &self.state.shards {
+                        shard.registry.shrink();
+                        shard.scratch.clear();
+                    }
                     shrunk_while_idle = true;
                 }
             }
         }
         // Drain: connection threads see the flag (idle reads cancel,
-        // in-flight requests complete), then the worker queue empties.
+        // in-flight requests complete, sessions emit their draining
+        // line), then every shard's worker queue empties.
         drop(self.listener);
         for handle in connections {
             let _ = handle.join();
         }
-        self.state.worker_pool.shutdown();
-        Ok(self.state.stats.snapshot())
+        let mut totals = ServerStats::default();
+        for shard in &self.state.shards {
+            shard.worker_pool.shutdown();
+            totals.accumulate(&shard.stats.snapshot());
+        }
+        Ok(totals)
     }
 }
 
@@ -337,7 +322,12 @@ fn shed_connection(mut stream: TcpStream) -> io::Result<()> {
     write_response(&mut stream, &resp)
 }
 
-fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, flag: &ShutdownFlag) {
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &Arc<ServerState>,
+    shard: &Arc<ShardState>,
+    flag: &ShutdownFlag,
+) {
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_read_timeout(Some(Duration::from_millis(50)))
@@ -373,16 +363,22 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>, flag: &Shut
                     HttpError::BodyTooLarge { .. } => (413, e.to_string()),
                     _ => (400, e.to_string()),
                 };
-                state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = respond_error(&mut stream, status, &msg, true);
                 return;
             }
         };
+        if req.method == "POST" && req.path == "/session" {
+            // The session consumes the rest of the connection (the stream
+            // head advertises `connection: close`).
+            serve_session(&mut stream, &req, state, shard, flag);
+            return;
+        }
         let close_after = req
             .headers
             .get("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let mut resp = route(&req, state, flag);
+        let mut resp = route(&req, state, shard, flag);
         resp.close = close_after;
         if write_response(&mut stream, &resp).is_err() {
             return;
@@ -412,61 +408,105 @@ fn respond_error(
     write_response(stream, &resp)
 }
 
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     Json::obj(vec![("error", Json::from(message))]).to_string()
 }
 
-fn route(req: &HttpRequest, state: &Arc<ServerState>, flag: &ShutdownFlag) -> HttpResponse {
-    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+fn route(
+    req: &HttpRequest,
+    state: &Arc<ServerState>,
+    shard: &Arc<ShardState>,
+    flag: &ShutdownFlag,
+) -> HttpResponse {
+    shard.stats.requests.fetch_add(1, Ordering::Relaxed);
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(state, flag),
-        ("POST", "/simulate") => simulate(req, state),
+        ("GET", "/healthz") => healthz(state, shard, flag),
+        ("POST", "/simulate") => simulate(req, state, shard),
         ("POST", "/test/panic") if state.config.enable_test_endpoints => {
-            submit_job(state, || panic!("deliberate test panic"))
+            submit_job(shard, || panic!("deliberate test panic"))
         }
         ("POST", _) | ("GET", _) => {
-            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
             HttpResponse::json(404, error_body("no such endpoint"))
         }
         _ => {
-            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
             HttpResponse::json(405, error_body("method not allowed"))
         }
     }
 }
 
-fn healthz(state: &ServerState, flag: &ShutdownFlag) -> HttpResponse {
-    let s = state.stats.snapshot();
+fn healthz(state: &ServerState, shard: &ShardState, flag: &ShutdownFlag) -> HttpResponse {
+    let mut totals = ServerStats::default();
+    let mut queued = 0usize;
+    let mut running = 0usize;
+    let mut per_shard = Vec::with_capacity(state.shards.len());
+    for s in &state.shards {
+        let snap = s.stats.snapshot();
+        let s_queued = s.worker_pool.queued();
+        let s_running = s.worker_pool.running();
+        per_shard.push(Json::obj(vec![
+            ("shard", Json::from(s.id)),
+            ("requests", Json::from(snap.requests)),
+            ("ok", Json::from(snap.ok)),
+            ("rejected", Json::from(snap.rejected)),
+            ("shed", Json::from(snap.shed)),
+            ("client_errors", Json::from(snap.client_errors)),
+            ("panics", Json::from(snap.panics)),
+            ("cold_runs", Json::from(snap.cold_runs)),
+            ("warm_runs", Json::from(snap.warm_runs)),
+            ("batches", Json::from(snap.batches)),
+            ("batched_requests", Json::from(snap.batched_requests)),
+            ("sessions_opened", Json::from(snap.sessions_opened)),
+            ("sessions_closed", Json::from(snap.sessions_closed)),
+            ("sessions_reaped", Json::from(snap.sessions_reaped)),
+            ("queued", Json::from(s_queued)),
+            ("running", Json::from(s_running)),
+        ]));
+        totals.accumulate(&snap);
+        queued += s_queued;
+        running += s_running;
+    }
     let body = Json::obj(vec![
         (
             "status",
             Json::from(if flag.is_set() { "draining" } else { "ok" }),
         ),
-        ("requests", Json::from(s.requests)),
-        ("ok", Json::from(s.ok)),
-        ("rejected", Json::from(s.rejected)),
-        ("shed", Json::from(s.shed)),
-        ("client_errors", Json::from(s.client_errors)),
-        ("panics", Json::from(s.panics)),
-        ("cold_runs", Json::from(s.cold_runs)),
-        ("warm_runs", Json::from(s.warm_runs)),
-        ("queued", Json::from(state.worker_pool.queued())),
-        ("running", Json::from(state.worker_pool.running())),
+        ("requests", Json::from(totals.requests)),
+        ("ok", Json::from(totals.ok)),
+        ("rejected", Json::from(totals.rejected)),
+        ("shed", Json::from(totals.shed)),
+        ("client_errors", Json::from(totals.client_errors)),
+        ("panics", Json::from(totals.panics)),
+        ("cold_runs", Json::from(totals.cold_runs)),
+        ("warm_runs", Json::from(totals.warm_runs)),
+        ("batches", Json::from(totals.batches)),
+        ("batched_requests", Json::from(totals.batched_requests)),
+        ("sessions_opened", Json::from(totals.sessions_opened)),
+        ("sessions_closed", Json::from(totals.sessions_closed)),
+        ("sessions_reaped", Json::from(totals.sessions_reaped)),
+        ("queued", Json::from(queued)),
+        ("running", Json::from(running)),
         (
             "active_connections",
             Json::from(state.active_connections.load(Ordering::Relaxed)),
         ),
+        (
+            "active_sessions",
+            Json::from(state.active_sessions.load(Ordering::Relaxed)),
+        ),
+        ("shards", Json::Arr(per_shard)),
     ])
     .to_string();
-    state.stats.ok.fetch_add(1, Ordering::Relaxed);
+    shard.stats.ok.fetch_add(1, Ordering::Relaxed);
     HttpResponse::json(200, body)
 }
 
-fn simulate(req: &HttpRequest, state: &Arc<ServerState>) -> HttpResponse {
+fn simulate(req: &HttpRequest, state: &Arc<ServerState>, shard: &Arc<ShardState>) -> HttpResponse {
     let sim = match parse_sim_request(&req.body, &state.config.json_limits) {
         Ok(sim) => sim,
         Err(e) => {
-            state.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
             let status = match e {
                 ProtoError::TooLarge { .. } => 413,
                 _ => 400,
@@ -475,36 +515,41 @@ fn simulate(req: &HttpRequest, state: &Arc<ServerState>) -> HttpResponse {
         }
     };
     let budget = sim.budget.min(state.config.budget_ceiling);
-    let job_state = Arc::clone(state);
-    submit_job(state, move || execute_sim(&job_state, &sim, budget))
+    if let Some(window) = state.config.coalesce_window {
+        let resp = coalesced_submit(shard, &sim.workload, sim.p, sim.settings, budget, window);
+        shard.stats.count_response(&resp);
+        return resp;
+    }
+    let job_shard = Arc::clone(shard);
+    submit_job(shard, move || execute_sim(&job_shard, &sim, budget))
 }
 
 /// Worker-side execution of one validated request through the warm path.
-fn execute_sim(state: &ServerState, sim: &SimRequest, budget: CellBudget) -> HttpResponse {
-    let (pool, was_warm) = state.registry.get(&sim.workload, sim.p);
+fn execute_sim(shard: &ShardState, sim: &SimRequest, budget: CellBudget) -> HttpResponse {
+    let (pool, was_warm) = shard.registry.get(&sim.workload, sim.p);
     if was_warm {
-        state.stats.warm_runs.fetch_add(1, Ordering::Relaxed);
+        shard.stats.warm_runs.fetch_add(1, Ordering::Relaxed);
     } else {
-        state.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
+        shard.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
     }
     let flat = pool.flat(sim.p);
-    let result = state
+    let result = shard
         .scratch
-        .with(|scratch| run_sim_budgeted_flat(&flat, &sim.settings, budget, scratch));
+        .with(|scratch| run_sim_budgeted_flat(&flat, &sim.settings, budget, scratch.scalar_mut()));
     match result {
         Ok(report) => HttpResponse::json(200, report_to_json(&report)),
         Err(e) => HttpResponse::json(400, error_body(&format!("invalid configuration: {e}"))),
     }
 }
 
-/// Submits a closure to the worker pool and synchronously awaits its
-/// response, mapping admission failures to 429/503 and panics to 500.
+/// Submits a closure to the shard's worker pool and synchronously awaits
+/// its response, mapping admission failures to 429/503 and panics to 500.
 fn submit_job(
-    state: &ServerState,
+    shard: &ShardState,
     job: impl FnOnce() -> HttpResponse + Send + 'static,
 ) -> HttpResponse {
     let (tx, rx) = mpsc::channel::<HttpResponse>();
-    let submitted = state.worker_pool.try_submit(move || {
+    let submitted = shard.worker_pool.try_submit(move || {
         // Catch here (under the pool's own backstop) so the panic message
         // reaches the client as a 500 body.
         let resp = match catch_unwind(AssertUnwindSafe(job)) {
@@ -516,40 +561,26 @@ fn submit_job(
         };
         let _ = tx.send(resp);
     });
-    match submitted {
+    let resp = match submitted {
         Ok(()) => match rx.recv() {
-            Ok(resp) => {
-                match resp.status {
-                    200 => state.stats.ok.fetch_add(1, Ordering::Relaxed),
-                    500 => state.stats.panics.fetch_add(1, Ordering::Relaxed),
-                    _ => state.stats.client_errors.fetch_add(1, Ordering::Relaxed),
-                };
-                resp
-            }
+            Ok(resp) => resp,
             // The sender can only drop without sending if the job was lost
             // to something the in-job catch_unwind could not see.
-            Err(_) => {
-                state.stats.panics.fetch_add(1, Ordering::Relaxed);
-                HttpResponse::json(500, error_body("request execution lost"))
-            }
+            Err(_) => HttpResponse::json(500, error_body("request execution lost")),
         },
-        Err(SubmitError::Full { capacity }) => {
-            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            HttpResponse::json(
-                429,
-                error_body(&format!(
-                    "request queue full (capacity {capacity}); retry later"
-                )),
-            )
-        }
-        Err(SubmitError::ShutDown) => {
-            state.stats.shed.fetch_add(1, Ordering::Relaxed);
-            HttpResponse::json(503, error_body("server is draining"))
-        }
-    }
+        Err(SubmitError::Full { capacity }) => HttpResponse::json(
+            429,
+            error_body(&format!(
+                "request queue full (capacity {capacity}); retry later"
+            )),
+        ),
+        Err(SubmitError::ShutDown) => HttpResponse::json(503, error_body("server is draining")),
+    };
+    shard.stats.count_response(&resp);
+    resp
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

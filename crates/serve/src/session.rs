@@ -1,0 +1,228 @@
+//! Streaming simulation sessions (DESIGN.md §16).
+//!
+//! A client POSTs `/session` with the `/simulate` schema plus streaming
+//! knobs; the server answers with a chunked-HTTP JSONL stream and runs the
+//! engine *incrementally on the connection thread* — sessions are
+//! long-lived and must not occupy a worker-pool slot that stateless
+//! requests need. Lifecycle:
+//!
+//! 1. `{"event":"open", ...}` — the accepted streaming parameters.
+//! 2. `{"event":"fault", ...}` — each injected-fault occurrence, as the
+//!    stepping loop crosses it.
+//! 3. `{"event":"snapshot","tick":T,"report":{...}}` — at least every
+//!    `snapshot_period_ticks` simulated ticks; the embedded report is the
+//!    canonical serialization with `truncated: true` (the run is mid-way
+//!    by definition).
+//! 4. `{"event":"done","reason":...,"report":{...}}` — terminal line:
+//!    `completed` (workload finished), `truncated` (tick/wall budget), or
+//!    `draining` (server shutdown). A completed session's final report is
+//!    byte-identical to the stateless `/simulate` response body.
+//!
+//! Backpressure doubles as idle reaping: every chunk is written under the
+//! configured write-stall timeout, so a client that disconnects *or*
+//! simply stops reading gets its session reaped (`sessions_reaped`) —
+//! there is no server-side buffering of an unread stream. Shutdown is
+//! polled between stepping slices and between paced waits, so SIGTERM
+//! with an open session drains in at most one slice + one pace slice.
+
+use crate::http::{
+    write_chunk, write_chunked_head, write_last_chunk, write_response, HttpRequest, HttpResponse,
+};
+use crate::pool::build_session_engine;
+use crate::proto::{
+    parse_session_request, session_done_json, session_fault_json, session_open_json,
+    session_snapshot_json, ProtoError,
+};
+use crate::server::{error_body, ServerState};
+use crate::shard::ShardState;
+use crate::shutdown::ShutdownFlag;
+use hbm_core::{FaultEvent, SimObserver, Tick};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Steps between flag / wall-budget polls inside one snapshot round, so a
+/// huge `snapshot_period_ticks` cannot delay drain or overrun the wall
+/// budget by more than a slice.
+const POLL_SLICE_STEPS: u32 = 512;
+
+/// Collects fault callbacks from the stepping loop for flushing as stream
+/// lines between slices.
+#[derive(Default)]
+struct FaultTap {
+    events: Vec<(Tick, FaultEvent)>,
+}
+
+impl SimObserver for FaultTap {
+    fn on_fault(&mut self, tick: Tick, event: FaultEvent) {
+        self.events.push((tick, event));
+    }
+}
+
+/// Decrements the live-session gauge however the session ends.
+struct SessionGuard<'a> {
+    state: &'a ServerState,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.state.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one streaming session on the connection thread, consuming the
+/// connection (the stream is `connection: close` by construction).
+pub(crate) fn serve_session(
+    stream: &mut TcpStream,
+    req: &HttpRequest,
+    state: &Arc<ServerState>,
+    shard: &ShardState,
+    flag: &ShutdownFlag,
+) {
+    shard.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let session = match parse_session_request(&req.body, &state.config.json_limits) {
+        Ok(session) => session,
+        Err(e) => {
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let status = match e {
+                ProtoError::TooLarge { .. } => 413,
+                _ => 400,
+            };
+            let resp = HttpResponse {
+                close: true,
+                ..HttpResponse::json(status, error_body(&e.to_string()))
+            };
+            let _ = write_response(stream, &resp);
+            return;
+        }
+    };
+    if flag.is_set() {
+        shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+        let resp = HttpResponse {
+            close: true,
+            ..HttpResponse::json(503, error_body("server is draining"))
+        };
+        let _ = write_response(stream, &resp);
+        return;
+    }
+    // Session admission is a global gauge: sessions hold connection
+    // threads, so the cap protects the same resource on every shard.
+    let prior = state.active_sessions.fetch_add(1, Ordering::Relaxed);
+    let _guard = SessionGuard { state };
+    if prior >= state.config.max_sessions {
+        shard.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let resp = HttpResponse {
+            close: true,
+            ..HttpResponse::json(429, error_body("session limit reached; retry later"))
+        };
+        let _ = write_response(stream, &resp);
+        return;
+    }
+
+    let budget = session.sim.budget.min(state.config.budget_ceiling);
+    let (pool, was_warm) = shard.registry.get(&session.sim.workload, session.sim.p);
+    if was_warm {
+        shard.stats.warm_runs.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shard.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
+    }
+    let flat = pool.flat(session.sim.p);
+    let (mut engine, tick_cap) = match build_session_engine(&flat, &session.sim.settings, budget) {
+        Ok(built) => built,
+        Err(e) => {
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let resp = HttpResponse {
+                close: true,
+                ..HttpResponse::json(400, error_body(&format!("invalid configuration: {e}")))
+            };
+            let _ = write_response(stream, &resp);
+            return;
+        }
+    };
+
+    // From here on the response is a stream; any write failure means the
+    // client disconnected or stalled past the write-stall timeout → reap.
+    let _ = stream.set_write_timeout(Some(state.config.session_write_stall));
+    let reap = |shard: &ShardState| {
+        shard.stats.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+    };
+    if write_chunked_head(stream, 200, "application/jsonl").is_err() {
+        reap(shard);
+        return;
+    }
+    shard.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    let open = session_open_json(session.sim.p, session.snapshot_period);
+    if write_line(stream, &open).is_err() {
+        reap(shard);
+        return;
+    }
+
+    let start = Instant::now();
+    let mut tap = FaultTap::default();
+    let reason = loop {
+        // One snapshot round: step until the next snapshot tick, the tick
+        // cap, completion, drain, or wall-budget exhaustion.
+        let target = engine.tick().saturating_add(session.snapshot_period);
+        let mut steps = 0u32;
+        let mut over_wall = false;
+        let mut draining = false;
+        while !engine.is_done() && engine.tick() < target && engine.tick() < tick_cap {
+            engine.step(&mut tap);
+            steps = steps.wrapping_add(1);
+            if steps.is_multiple_of(POLL_SLICE_STEPS) {
+                if flag.is_set() {
+                    draining = true;
+                    break;
+                }
+                if budget.max_wall.is_some_and(|wall| start.elapsed() >= wall) {
+                    over_wall = true;
+                    break;
+                }
+            }
+        }
+        // Flush fault events crossed during this round.
+        for (tick, event) in tap.events.drain(..) {
+            if write_line(stream, &session_fault_json(tick, &event)).is_err() {
+                reap(shard);
+                return;
+            }
+        }
+        if engine.is_done() {
+            break "completed";
+        }
+        if engine.tick() >= tick_cap || over_wall {
+            break "truncated";
+        }
+        if draining || flag.is_set() {
+            break "draining";
+        }
+        if budget.max_wall.is_some_and(|wall| start.elapsed() >= wall) {
+            break "truncated";
+        }
+        let snapshot = session_snapshot_json(engine.tick(), &engine.report_snapshot());
+        if write_line(stream, &snapshot).is_err() {
+            reap(shard);
+            return;
+        }
+        if let Some(pace) = session.pace {
+            if flag.sleep_interruptibly(pace) {
+                break "draining";
+            }
+        }
+    };
+
+    let done = session_done_json(engine.tick(), reason, &engine.report_snapshot());
+    if write_line(stream, &done).is_err() || write_last_chunk(stream).is_err() {
+        reap(shard);
+        return;
+    }
+    shard.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    write_chunk(stream, &bytes)
+}

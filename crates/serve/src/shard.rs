@@ -1,0 +1,420 @@
+//! Per-shard serving state and the same-workload request coalescer.
+//!
+//! The server's accept loop (DESIGN.md §16) is a dispatcher: it hands
+//! accepted connections to `N` shards round-robin. Each shard owns a full
+//! serving stack — its own [`WorkerPool`], [`PoolRegistry`], scratch pool,
+//! counters, and coalescer — so shards share no locks on the request path;
+//! the only cross-shard state is the listener, the shutdown flag, and the
+//! global connection/session gauges.
+//!
+//! The **coalescer** batches concurrent same-configuration requests
+//! through one [`run_batch_budgeted_flat`] call. The batch key is
+//! `(workload cache key, p, clamped budget)` — budget included, so every
+//! request in a batch provably runs under its own (identical) budget. The
+//! first request to open a key becomes the *leader*: it sleeps the
+//! coalescing window, then flushes whatever accumulated. A request that
+//! fills the batch to `max_batch` flushes immediately (the leader finds
+//! its batch gone and does nothing). Followers just wait on their response
+//! channel. Batch-split invariance (the PR 6 lockstep proptests) makes the
+//! whole scheme byte-transparent: a coalesced response is identical to the
+//! scalar response for the same request.
+
+use crate::http::HttpResponse;
+use crate::pool::{
+    run_batch_budgeted_flat, run_sim_budgeted_flat, CellBudget, ScratchPool, SimSettings, TracePool,
+};
+use crate::proto::{report_to_json, WorkloadKey};
+use crate::server::{error_body, panic_message, ServerStats};
+use hbm_core::BatchScratch;
+use hbm_par::{SubmitError, WorkerPool};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Per-shard counters (the shard-local half of [`ServerStats`]).
+#[derive(Default)]
+pub(crate) struct StatCells {
+    pub(crate) requests: AtomicU64,
+    pub(crate) ok: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) client_errors: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) cold_runs: AtomicU64,
+    pub(crate) warm_runs: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_closed: AtomicU64,
+    pub(crate) sessions_reaped: AtomicU64,
+}
+
+impl StatCells {
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            cold_runs: self.cold_runs.load(Ordering::Relaxed),
+            warm_runs: self.warm_runs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Maps a finished response's status onto the admission-taxonomy
+    /// counters — the single place the status→counter mapping lives.
+    pub(crate) fn count_response(&self, resp: &HttpResponse) {
+        match resp.status {
+            200 => self.ok.fetch_add(1, Ordering::Relaxed),
+            429 => self.rejected.fetch_add(1, Ordering::Relaxed),
+            500 => self.panics.fetch_add(1, Ordering::Relaxed),
+            503 => self.shed.fetch_add(1, Ordering::Relaxed),
+            _ => self.client_errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Warm workload pools keyed by [`WorkloadKey::cache_key`], LRU-bounded at
+/// `max_pools`. One registry per shard: registry contention never crosses
+/// shard boundaries.
+pub(crate) struct PoolRegistry {
+    pools: Mutex<HashMap<String, (Arc<TracePool>, u64)>>,
+    clock: AtomicU64,
+    max_pools: usize,
+    flat_capacity: Option<usize>,
+}
+
+impl PoolRegistry {
+    pub(crate) fn new(max_pools: usize, flat_capacity: Option<usize>) -> Self {
+        PoolRegistry {
+            pools: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            max_pools: max_pools.max(1),
+            flat_capacity,
+        }
+    }
+
+    /// Fetches (or generates) the pool for `key` with at least `p` traces.
+    /// Returns `(pool, was_warm)`; `was_warm` is false when this request
+    /// paid trace generation (a cold start).
+    pub(crate) fn get(&self, key: &WorkloadKey, p: usize) -> (Arc<TracePool>, bool) {
+        let map_key = key.cache_key();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((pool, at)) = pools.get_mut(&map_key) {
+                if pool.max_p() >= p {
+                    *at = stamp;
+                    return (Arc::clone(pool), true);
+                }
+                // Too small: fall through and regenerate larger. The trace
+                // prefix property keeps results identical for smaller p.
+            }
+        }
+        // Generate outside the lock: trace generation can take tens of
+        // milliseconds and must not serialize warm requests behind it.
+        let pool = Arc::new(TracePool::generate(key.spec, p, key.trace_seed, key.opts));
+        pool.set_flat_capacity(self.flat_capacity);
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        // Another thread may have raced us here with an even bigger pool;
+        // keep whichever covers more threads.
+        let entry = pools
+            .entry(map_key)
+            .and_modify(|(existing, at)| {
+                if existing.max_p() < pool.max_p() {
+                    *existing = Arc::clone(&pool);
+                }
+                *at = stamp;
+            })
+            .or_insert_with(|| (Arc::clone(&pool), stamp));
+        let result = Arc::clone(&entry.0);
+        while pools.len() > self.max_pools {
+            let oldest = pools
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty registry has an oldest entry");
+            pools.remove(&oldest);
+        }
+        (result, false)
+    }
+
+    /// Releases every pool's memoized flats (the idle path). Pools
+    /// themselves stay registered; their traces are cheap relative to the
+    /// flats and keep the next request warm-ish.
+    pub(crate) fn shrink(&self) {
+        let pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        for (pool, _) in pools.values() {
+            pool.shrink();
+        }
+    }
+}
+
+/// Everything one shard owns. Connection threads hold an `Arc` to their
+/// assigned shard and never touch another's.
+pub(crate) struct ShardState {
+    pub(crate) id: usize,
+    pub(crate) worker_pool: WorkerPool,
+    pub(crate) registry: PoolRegistry,
+    pub(crate) scratch: ScratchPool<BatchScratch>,
+    pub(crate) stats: StatCells,
+    pub(crate) coalescer: Coalescer,
+}
+
+impl ShardState {
+    pub(crate) fn new(
+        id: usize,
+        workers: usize,
+        queue_capacity: usize,
+        max_pools: usize,
+        flat_capacity: Option<usize>,
+        max_batch: usize,
+    ) -> ShardState {
+        ShardState {
+            id,
+            worker_pool: WorkerPool::new(workers, queue_capacity),
+            registry: PoolRegistry::new(max_pools, flat_capacity),
+            scratch: ScratchPool::new(),
+            stats: StatCells::default(),
+            coalescer: Coalescer::new(max_batch),
+        }
+    }
+}
+
+/// Requests batch together only when *everything* execution-relevant
+/// besides per-cell [`SimSettings`] matches: the workload (pool identity),
+/// the thread count, and the clamped budget.
+type BatchKey = (String, usize, CellBudget);
+
+/// One coalesced request: its settings and the channel its connection
+/// thread is blocked on.
+struct BatchEntry {
+    settings: SimSettings,
+    tx: mpsc::Sender<HttpResponse>,
+}
+
+struct PendingBatch {
+    /// Generation id guarding the leader's flush: if a max-batch flush
+    /// already took this batch, a *new* batch under the same key gets a
+    /// new id and the woken leader leaves it for its own leader.
+    id: u64,
+    entries: Vec<BatchEntry>,
+}
+
+/// The per-shard coalescing table.
+pub(crate) struct Coalescer {
+    pending: Mutex<HashMap<BatchKey, PendingBatch>>,
+    next_id: AtomicU64,
+    max_batch: usize,
+}
+
+impl Coalescer {
+    pub(crate) fn new(max_batch: usize) -> Coalescer {
+        Coalescer {
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            max_batch: max_batch.max(1),
+        }
+    }
+}
+
+enum Role {
+    /// First request on this key: sleep the window, then flush.
+    Leader(u64),
+    /// Joined an open batch: just wait for the response.
+    Follower,
+    /// Filled the batch to `max_batch`: flush immediately.
+    Flush(Vec<BatchEntry>),
+}
+
+/// Submits `sim` through the shard's coalescer and synchronously awaits
+/// the response. `budget` must already be clamped to the server ceiling
+/// (it is part of the batch key). The caller counts the response.
+pub(crate) fn coalesced_submit(
+    shard: &Arc<ShardState>,
+    workload: &WorkloadKey,
+    p: usize,
+    settings: SimSettings,
+    budget: CellBudget,
+    window: Duration,
+) -> HttpResponse {
+    let (tx, rx) = mpsc::channel::<HttpResponse>();
+    let key: BatchKey = (workload.cache_key(), p, budget);
+    let entry = BatchEntry { settings, tx };
+    let role = {
+        let mut pending = shard
+            .coalescer
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match pending.entry(key.clone()) {
+            Entry::Vacant(vacant) => {
+                let id = shard.coalescer.next_id.fetch_add(1, Ordering::Relaxed);
+                vacant.insert(PendingBatch {
+                    id,
+                    entries: vec![entry],
+                });
+                Role::Leader(id)
+            }
+            Entry::Occupied(mut occupied) => {
+                occupied.get_mut().entries.push(entry);
+                if occupied.get().entries.len() >= shard.coalescer.max_batch {
+                    Role::Flush(occupied.remove().entries)
+                } else {
+                    Role::Follower
+                }
+            }
+        }
+    };
+    match role {
+        Role::Flush(entries) => submit_batch(shard, workload, p, budget, entries),
+        Role::Leader(id) => {
+            std::thread::sleep(window);
+            let batch = {
+                let mut pending = shard
+                    .coalescer
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                match pending.entry(key) {
+                    Entry::Occupied(occupied) if occupied.get().id == id => {
+                        Some(occupied.remove().entries)
+                    }
+                    _ => None, // a max-batch flush already took this batch
+                }
+            };
+            if let Some(entries) = batch {
+                submit_batch(shard, workload, p, budget, entries);
+            }
+        }
+        Role::Follower => {}
+    }
+    match rx.recv() {
+        Ok(resp) => resp,
+        // The worker dropped the sender without sending — lost to
+        // something the in-job catch_unwind could not see.
+        Err(_) => HttpResponse::json(500, error_body("request execution lost")),
+    }
+}
+
+/// Hands a flushed batch to the shard's worker pool as ONE job. Admission
+/// failures fan the 429/503 out to every waiting request.
+fn submit_batch(
+    shard: &Arc<ShardState>,
+    workload: &WorkloadKey,
+    p: usize,
+    budget: CellBudget,
+    entries: Vec<BatchEntry>,
+) {
+    let n = entries.len() as u64;
+    // `try_submit` consumes its closure even on failure; park the entries
+    // in a shared slot so a rejected submit can take them back and answer
+    // every waiter.
+    let slot = Arc::new(Mutex::new(Some(entries)));
+    let job_slot = Arc::clone(&slot);
+    let job_shard = Arc::clone(shard);
+    let job_workload = workload.clone();
+    let submitted = shard.worker_pool.try_submit(move || {
+        let entries = job_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("batch entries taken exactly once");
+        run_coalesced_batch(&job_shard, &job_workload, p, budget, &entries);
+    });
+    match submitted {
+        Ok(()) => {
+            shard.stats.batches.fetch_add(1, Ordering::Relaxed);
+            shard.stats.batched_requests.fetch_add(n, Ordering::Relaxed);
+        }
+        Err(err) => {
+            let entries = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("rejected batch entries still parked");
+            let (status, msg) = match err {
+                SubmitError::Full { capacity } => (
+                    429,
+                    format!("request queue full (capacity {capacity}); retry later"),
+                ),
+                SubmitError::ShutDown => (503, "server is draining".to_string()),
+            };
+            for entry in entries {
+                let _ = entry.tx.send(HttpResponse::json(status, error_body(&msg)));
+            }
+        }
+    }
+}
+
+/// Worker-side execution of one flushed batch through
+/// [`run_batch_budgeted_flat`]. A config error or panic anywhere in the
+/// batch falls back to per-request scalar runs (each under its own
+/// `catch_unwind`) so only the offending request fails — batching never
+/// widens a failure's blast radius.
+fn run_coalesced_batch(
+    shard: &ShardState,
+    workload: &WorkloadKey,
+    p: usize,
+    budget: CellBudget,
+    entries: &[BatchEntry],
+) {
+    let (pool, was_warm) = shard.registry.get(workload, p);
+    let n = entries.len() as u64;
+    if was_warm {
+        shard.stats.warm_runs.fetch_add(n, Ordering::Relaxed);
+    } else {
+        // One request paid generation; the rest of the batch rides warm.
+        shard.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
+        shard
+            .stats
+            .warm_runs
+            .fetch_add(n.saturating_sub(1), Ordering::Relaxed);
+    }
+    let flat = pool.flat(p);
+    let settings: Vec<SimSettings> = entries.iter().map(|e| e.settings.clone()).collect();
+    let batched = catch_unwind(AssertUnwindSafe(|| {
+        shard
+            .scratch
+            .with(|scratch| run_batch_budgeted_flat(&flat, &settings, budget, scratch))
+    }));
+    if let Ok(Ok(reports)) = batched {
+        for (entry, report) in entries.iter().zip(&reports) {
+            let _ = entry
+                .tx
+                .send(HttpResponse::json(200, report_to_json(report)));
+        }
+        return;
+    }
+    // Isolation fallback: re-run each cell alone on the scalar path. The
+    // lockstep suites prove scalar == batched bytes, so healthy requests
+    // get exactly the response they would have gotten either way.
+    for entry in entries {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shard.scratch.with(|scratch| {
+                run_sim_budgeted_flat(&flat, &entry.settings, budget, scratch.scalar_mut())
+            })
+        }));
+        let resp = match result {
+            Ok(Ok(report)) => HttpResponse::json(200, report_to_json(&report)),
+            Ok(Err(e)) => {
+                HttpResponse::json(400, error_body(&format!("invalid configuration: {e}")))
+            }
+            Err(payload) => HttpResponse::json(
+                500,
+                error_body(&format!("request panicked: {}", panic_message(&payload))),
+            ),
+        };
+        let _ = entry.tx.send(resp);
+    }
+}

@@ -69,6 +69,25 @@ impl ShutdownFlag {
         self.local.load(Ordering::Acquire)
             || (self.with_signals && SIGNALLED.load(Ordering::Acquire))
     }
+
+    /// Sleeps for up to `dur`, polling the flag in short slices so a
+    /// drain request interrupts the wait. Returns `true` when the sleep
+    /// was cut short by shutdown. This is how paced session loops wait
+    /// between snapshots without delaying drain by a full pace interval.
+    pub fn sleep_interruptibly(&self, dur: std::time::Duration) -> bool {
+        const SLICE: std::time::Duration = std::time::Duration::from_millis(25);
+        let deadline = std::time::Instant::now() + dur;
+        loop {
+            if self.is_set() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            std::thread::sleep((deadline - now).min(SLICE));
+        }
+    }
 }
 
 #[cfg(unix)]

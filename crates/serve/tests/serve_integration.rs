@@ -3,7 +3,7 @@
 //! direct `SimBuilder` runs.
 
 use hbm_core::{ArbitrationKind, SimBuilder};
-use hbm_serve::http::{read_response, write_request};
+use hbm_serve::http::{read_response, read_response_head, write_request, ChunkedLines};
 use hbm_serve::json::Json;
 use hbm_serve::proto::report_to_json;
 use hbm_serve::server::{Server, ServerConfig, ServerStats};
@@ -233,6 +233,345 @@ fn healthz_reports_counters_and_drain_state() {
     let health = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
     assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
     assert_eq!(health.get("active_connections").unwrap().as_u64(), Some(1));
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Batching axis: requests coalesced through the lockstep BatchEngine must be
+// observationally identical to scalar execution.
+// ---------------------------------------------------------------------------
+
+fn coalescing_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        coalesce_window: Some(Duration::from_millis(200)),
+        max_batch: 4,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn coalesced_concurrent_requests_are_byte_identical_to_scalar_runs() {
+    // K concurrent same-(workload, p, budget) requests arrive inside one
+    // coalescing window; each response must match the sequential scalar
+    // baseline byte for byte, and the stats must prove batching happened.
+    let server = start_server(coalescing_config());
+    let expected = direct_report_json();
+    let addr = server.addr;
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let (status, body) = request(addr, "POST", "/simulate", SIM_BODY.as_bytes());
+                assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+                assert_eq!(
+                    String::from_utf8(body).unwrap(),
+                    expected,
+                    "batched response must match the scalar baseline byte for byte"
+                );
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.stop();
+    assert_eq!(stats.ok, 4);
+    assert_eq!(
+        stats.batched_requests, 4,
+        "every request must have gone through the coalescer"
+    );
+    assert!(stats.batches >= 1 && stats.batches <= 4);
+}
+
+#[test]
+fn mixed_workloads_never_cross_batch() {
+    // Two different workloads submitted concurrently under coalescing:
+    // each must get its own correct report (a cross-batch would run the
+    // wrong settings against the wrong flat workload).
+    let server = start_server(coalescing_config());
+    let addr = server.addr;
+    let other_body = r#"{
+        "workload": {"kind": "sawtooth", "pages": 16, "reps": 3, "seed": 5},
+        "p": 4, "k": 24, "q": 2,
+        "arbitration": "priority",
+        "seed": 7
+    }"#;
+    let other_expected = {
+        let spec = WorkloadSpec::Sawtooth { pages: 16, reps: 3 };
+        let workload = spec.workload(4, 5, TraceOptions::default());
+        let report = SimBuilder::new()
+            .hbm_slots(24)
+            .channels(2)
+            .arbitration(ArbitrationKind::Priority)
+            .seed(7)
+            .run(&workload);
+        report_to_json(&report)
+    };
+    let expected = direct_report_json();
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let (body, expected) = if i % 2 == 0 {
+                (SIM_BODY.to_string(), expected.clone())
+            } else {
+                (other_body.to_string(), other_expected.clone())
+            };
+            std::thread::spawn(move || {
+                let (status, resp) = request(addr, "POST", "/simulate", body.as_bytes());
+                assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+                assert_eq!(String::from_utf8(resp).unwrap(), expected);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.stop();
+    assert_eq!(stats.ok, 6);
+    assert_eq!(stats.batched_requests, 6);
+}
+
+#[test]
+fn over_budget_request_coalesces_separately_and_truncates_alone() {
+    // A tick-budgeted request shares a workload with unbudgeted ones but
+    // has a different batch key (the budget is part of it), so it must
+    // truncate at its own budget while the others complete fully.
+    let server = start_server(coalescing_config());
+    let addr = server.addr;
+    let expected = direct_report_json();
+    let budgeted_body = r#"{
+        "workload": {"kind": "cyclic", "pages": 32, "reps": 4, "seed": 9},
+        "p": 4, "k": 24, "q": 2,
+        "arbitration": "priority",
+        "seed": 7,
+        "max_ticks": 10
+    }"#;
+    let mut clients: Vec<_> = (0..3)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let (status, body) = request(addr, "POST", "/simulate", SIM_BODY.as_bytes());
+                assert_eq!(status, 200);
+                assert_eq!(String::from_utf8(body).unwrap(), expected);
+            })
+        })
+        .collect();
+    clients.push(std::thread::spawn(move || {
+        let (status, body) = request(addr, "POST", "/simulate", budgeted_body.as_bytes());
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let report = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(report.get("truncated").unwrap().as_bool(), Some(true));
+        assert_eq!(report.get("makespan").unwrap().as_u64(), Some(10));
+    }));
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.stop();
+    assert_eq!(stats.ok, 4);
+    assert_eq!(stats.batched_requests, 4);
+    assert!(
+        stats.batches >= 2,
+        "a budgeted request must not share a batch with unbudgeted ones"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_server_serves_correctly_and_reports_per_shard_counters() {
+    let config = ServerConfig {
+        shards: 2,
+        ..test_config()
+    };
+    let server = start_server(config);
+    let expected = direct_report_json();
+    // Separate connections round-robin across shards.
+    for _ in 0..4 {
+        let (status, body) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+        assert_eq!(status, 200);
+        assert_eq!(
+            String::from_utf8(body).unwrap(),
+            expected,
+            "every shard must serve identical bytes"
+        );
+    }
+    let (status, body) = request(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let shards = health.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), 2, "healthz must report each shard");
+    let per_shard_ok: u64 = shards
+        .iter()
+        .map(|s| s.get("ok").unwrap().as_u64().unwrap())
+        .sum();
+    // The top-level counters are the per-shard sums (snapshotted before
+    // this healthz response itself is counted).
+    assert_eq!(health.get("ok").unwrap().as_u64(), Some(per_shard_ok));
+    assert_eq!(per_shard_ok, 4);
+    for s in shards {
+        assert!(
+            s.get("ok").unwrap().as_u64().unwrap() >= 1,
+            "round-robin dispatch must spread requests across shards: {body:?}",
+            body = String::from_utf8_lossy(&body)
+        );
+    }
+    let stats = server.stop();
+    assert_eq!(stats.ok, 5, "aggregated stats must sum across shards");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions.
+// ---------------------------------------------------------------------------
+
+/// Opens a session and returns the parsed JSONL event lines.
+fn run_session(addr: SocketAddr, body: &str) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "POST", "/session", body.as_bytes()).expect("write request");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (head, leftover) = read_response_head(&mut stream, deadline).expect("response head");
+    assert_eq!(head.status, 200, "session open must succeed");
+    assert!(head.chunked, "session stream must be chunked");
+    let mut lines = ChunkedLines::new(leftover);
+    let mut events = Vec::new();
+    while let Some(line) = lines.next_line(&mut stream, deadline).expect("read line") {
+        if line.is_empty() {
+            continue;
+        }
+        events.push(Json::parse(std::str::from_utf8(&line).unwrap()).expect("valid JSONL line"));
+    }
+    events
+}
+
+const SESSION_BODY: &str = r#"{
+    "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+    "p": 8, "k": 16,
+    "arbitration": "fifo",
+    "faults": {"outages": [{"start": 10, "end": 20, "channels": 1}]},
+    "snapshot_period_ticks": 64
+}"#;
+
+#[test]
+fn session_streams_snapshots_and_faults_then_completes() {
+    let server = start_server(test_config());
+    // The stateless response for the same simulation is the byte baseline
+    // for the session's terminal report (the simulate path ignores the
+    // session-only streaming knobs).
+    let (status, scalar) = request(server.addr, "POST", "/simulate", SESSION_BODY.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&scalar));
+    let scalar_report = String::from_utf8(scalar).unwrap();
+
+    let events = run_session(server.addr, SESSION_BODY);
+    assert!(events.len() >= 3, "expected a multi-line stream");
+    assert_eq!(events[0].get("event").unwrap().as_str(), Some("open"));
+    assert_eq!(events[0].get("p").unwrap().as_u64(), Some(8));
+    assert_eq!(
+        events[0].get("snapshot_period_ticks").unwrap().as_u64(),
+        Some(64)
+    );
+    let snapshots: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("event").unwrap().as_str() == Some("snapshot"))
+        .collect();
+    assert!(
+        snapshots.len() >= 3,
+        "expected at least 3 snapshots, got {}",
+        snapshots.len()
+    );
+    let mut last_tick = 0;
+    for snap in &snapshots {
+        let tick = snap.get("tick").unwrap().as_u64().unwrap();
+        assert!(tick > last_tick, "snapshot ticks must advance");
+        last_tick = tick;
+        let report = snap.get("report").unwrap();
+        assert_eq!(
+            report.get("truncated").unwrap().as_bool(),
+            Some(true),
+            "mid-run snapshots are truncated by definition"
+        );
+    }
+    let faults: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("event").unwrap().as_str() == Some("fault"))
+        .collect();
+    assert!(
+        !faults.is_empty(),
+        "the injected outage must stream a fault"
+    );
+    assert!(faults
+        .iter()
+        .any(|f| f.get("kind").unwrap().as_str() == Some("outage_start")));
+    let done = events.last().unwrap();
+    assert_eq!(done.get("event").unwrap().as_str(), Some("done"));
+    assert_eq!(done.get("reason").unwrap().as_str(), Some("completed"));
+    assert_eq!(
+        done.get("report").unwrap().to_string(),
+        scalar_report,
+        "a completed session's final report must match /simulate byte for byte"
+    );
+    let stats = server.stop();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.sessions_reaped, 0);
+}
+
+#[test]
+fn session_drains_with_a_terminal_line_on_shutdown() {
+    let server = start_server(test_config());
+    // Paced stream: the session would take many seconds; tripping the flag
+    // mid-stream must end it promptly with a "draining" terminal line.
+    let body = r#"{
+        "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+        "p": 8, "k": 16,
+        "arbitration": "fifo",
+        "snapshot_period_ticks": 16,
+        "pace_ms": 300
+    }"#;
+    let addr = server.addr;
+    let flag = server.flag.clone();
+    let tripper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        flag.trip();
+    });
+    let events = run_session(addr, body);
+    tripper.join().unwrap();
+    let done = events.last().expect("terminal line");
+    assert_eq!(done.get("event").unwrap().as_str(), Some("done"));
+    assert_eq!(done.get("reason").unwrap().as_str(), Some("draining"));
+    let stats = server
+        .handle
+        .join()
+        .expect("server drains with open session");
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_closed, 1);
+}
+
+#[test]
+fn session_limit_rejects_with_429_and_draining_server_rejects_with_503() {
+    let config = ServerConfig {
+        max_sessions: 0,
+        ..test_config()
+    };
+    let server = start_server(config);
+    let (status, body) = request(server.addr, "POST", "/session", SESSION_BODY.as_bytes());
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.sessions_opened, 0);
+}
+
+#[test]
+fn malformed_session_request_gets_400() {
+    let server = start_server(test_config());
+    let (status, _) = request(server.addr, "POST", "/session", b"{not json");
+    assert_eq!(status, 400);
+    let body = SESSION_BODY.replace(
+        "\"snapshot_period_ticks\": 64",
+        "\"snapshot_period_ticks\": 0",
+    );
+    let (status, _) = request(server.addr, "POST", "/session", body.as_bytes());
+    assert_eq!(status, 400, "a zero snapshot period is invalid");
     server.stop();
 }
 
