@@ -47,6 +47,19 @@
 //! - `--expect-drain`: expect the terminal reason `draining` (for the
 //!   SIGTERM-mid-session CI step) instead of `completed`
 //!
+//! Hostile mode (`--hostile`) turns the binary into a chaos harness: for
+//! `--hostile-secs` seconds it runs slow-writers (request heads trickled a
+//! few bytes at a time, then abandoned), mid-body disconnectors (complete
+//! head, half a body, hard close), and never-read clients (a paced
+//! streaming session opened and never read, so the server's chunk writes
+//! back up until the write-stall reap) — alongside well-behaved probes.
+//! Afterwards it asserts the server still answers `GET /healthz` and a
+//! real `/simulate`, that the healthy probes got answers *during* the
+//! abuse, and — given `--server-pid PID` (or implicitly, against an
+//! in-process server) — that the server's OS thread and FD counts settle
+//! back to their pre-abuse baseline: hostile clients must cost bounded,
+//! reclaimed resources, never leaked threads or sockets.
+//!
 //! Every load-generation run also: (a) byte-compares one served report
 //! against a direct `SimBuilder` run (`golden_match` in the document — a
 //! correctness gate, not a speed one); (b) measures the warm-vs-cold
@@ -84,7 +97,9 @@ fn usage() -> ! {
          \x20                 [--out FILE] [--check BASELINE.json] [--tolerance FRAC]\n\
          \x20                 [--check-scaling RATIO]\n\
          \x20      serve_bench --sessions N [--addr HOST:PORT] [--assert-snapshots M]\n\
-         \x20                 [--assert-fault] [--session-pace-ms MS] [--expect-drain]"
+         \x20                 [--assert-fault] [--session-pace-ms MS] [--expect-drain]\n\
+         \x20      serve_bench --hostile [--addr HOST:PORT] [--hostile-secs S]\n\
+         \x20                 [--server-pid PID]"
     );
     std::process::exit(1);
 }
@@ -356,7 +371,9 @@ fn run_one_session(addr: SocketAddr, body: &str) -> Result<SessionOutcome, Strin
         let v = Json::parse(text).map_err(|e| format!("invalid JSONL line: {e} in {text}"))?;
         outcome.lines += 1;
         match v.get("event").and_then(Json::as_str) {
-            Some("open") => {}
+            // Alert-rule firings ride along with snapshots when the body
+            // configures rules; the verifier tolerates them either way.
+            Some("open") | Some("alert") => {}
             Some("snapshot") => outcome.snapshots += 1,
             Some("fault") => outcome.faults += 1,
             Some("done") => {
@@ -429,6 +446,251 @@ fn run_sessions(
     ok
 }
 
+// ---------------------------------------------------------------------------
+// Hostile-client chaos mode (`--hostile`)
+// ---------------------------------------------------------------------------
+
+/// OS thread count of `pid` from `/proc` (`None` off Linux, or when the
+/// process is gone — leak checks are then skipped, not failed).
+fn proc_threads(pid: u32) -> Option<usize> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Open file-descriptor count of `pid` from `/proc`.
+fn proc_fds(pid: u32) -> Option<usize> {
+    std::fs::read_dir(format!("/proc/{pid}/fd"))
+        .ok()
+        .map(|d| d.count())
+}
+
+/// Slowloris: trickles a request head a few bytes at a time, then abandons
+/// the connection mid-head and dials again. The server must either time
+/// the read out (408) or notice the close — and reclaim the connection
+/// either way. Returns the number of abandoned connections.
+fn slow_writer(addr: SocketAddr, deadline: Instant) -> u64 {
+    use std::io::Write;
+    let head: &[u8] =
+        b"POST /simulate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: 512\r\n";
+    let mut cycles = 0u64;
+    while Instant::now() < deadline {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            break;
+        };
+        for chunk in head.chunks(7) {
+            if Instant::now() >= deadline || s.write_all(chunk).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        cycles += 1; // socket dropped mid-head
+    }
+    cycles
+}
+
+/// Sends a complete head promising a JSON body, half of the body, then
+/// hard-closes — over and over. The server's reader must see the EOF
+/// inside the body immediately (no request-timeout wait) and free the
+/// connection slot. Returns the number of torn requests.
+fn mid_body_disconnector(addr: SocketAddr, deadline: Instant) -> u64 {
+    use std::io::Write;
+    let body = LOAD_BODY.as_bytes();
+    let head = format!(
+        "POST /simulate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut cycles = 0u64;
+    while Instant::now() < deadline {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            break;
+        };
+        let _ = s
+            .write_all(head.as_bytes())
+            .and_then(|()| s.write_all(&body[..body.len() / 2]));
+        drop(s); // EOF mid-body
+        cycles += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cycles
+}
+
+/// Opens a long-lived paced streaming session and never reads a byte of
+/// it: the server's chunk writes back up in the socket buffers (or hit
+/// the write-stall bound), and the drop at the end of the window forces a
+/// reap. The mux workers must keep serving everyone else throughout.
+fn never_reader(addr: SocketAddr, deadline: Instant) -> bool {
+    let Ok(mut s) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let body = r#"{"workload": {"kind": "cyclic", "pages": 64, "reps": 2000, "seed": 5},
+        "p": 8, "k": 16, "arbitration": "fifo",
+        "snapshot_period_ticks": 64, "pace_ms": 100}"#;
+    if write_request(&mut s, "POST", "/session", body.as_bytes()).is_err() {
+        return false;
+    }
+    std::thread::sleep(deadline.saturating_duration_since(Instant::now()));
+    true // dropping the unread socket now forces the reap
+}
+
+/// A well-behaved client running alongside the abuse — the service level
+/// the hostile mix must not destroy. Returns `(ok, other)` counts.
+fn healthy_prober(addr: SocketAddr, deadline: Instant) -> (u64, u64) {
+    let mut client = Client::new(addr);
+    let (mut ok, mut other) = (0u64, 0u64);
+    while Instant::now() < deadline {
+        match client.roundtrip("POST", "/simulate", LOAD_BODY.as_bytes()) {
+            Ok((200, _)) => ok += 1,
+            Ok(_) | Err(_) => other += 1,
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    (ok, other)
+}
+
+/// Polls `read` until the count settles back to `baseline + slack`, or
+/// fails after 15s. The settle window covers write-stall reaps (5s
+/// default) and connection-thread teardown.
+fn settles_back(
+    what: &str,
+    baseline: usize,
+    slack: usize,
+    read: impl Fn() -> Option<usize>,
+) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut last;
+    loop {
+        last = read();
+        match last {
+            Some(now) if now <= baseline + slack => {
+                eprintln!("hostile: {what} settled at {now} (baseline {baseline})");
+                return true;
+            }
+            None => {
+                eprintln!("hostile: {what} unreadable (no /proc?), leak check skipped");
+                return true;
+            }
+            _ if Instant::now() >= deadline => break,
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+    eprintln!(
+        "hostile: FAIL {what} leak: baseline {baseline} (+{slack} slack), still {last:?} after 15s"
+    );
+    false
+}
+
+/// Hostile mode: run the chaos mix for `secs`, then require the server to
+/// still be fully serviceable with no thread/FD leak.
+fn run_hostile(addr: SocketAddr, secs: f64, server_pid: Option<u32>) -> bool {
+    const SLOW: usize = 6;
+    const DISCONNECT: usize = 6;
+    const NEVER_READ: usize = 4;
+    const HEALTHY: usize = 2;
+
+    let baseline_threads = server_pid.and_then(proc_threads);
+    let baseline_fds = server_pid.and_then(proc_fds);
+    eprintln!(
+        "hostile: {SLOW} slow-writers + {DISCONNECT} disconnectors + {NEVER_READ} never-readers \
+         + {HEALTHY} healthy probes for {secs:.1}s against {addr} \
+         (baseline threads {baseline_threads:?}, fds {baseline_fds:?})"
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let slow: Vec<_> = (0..SLOW)
+        .map(|_| std::thread::spawn(move || slow_writer(addr, deadline)))
+        .collect();
+    let disc: Vec<_> = (0..DISCONNECT)
+        .map(|_| std::thread::spawn(move || mid_body_disconnector(addr, deadline)))
+        .collect();
+    let never: Vec<_> = (0..NEVER_READ)
+        .map(|_| std::thread::spawn(move || never_reader(addr, deadline)))
+        .collect();
+    let healthy: Vec<_> = (0..HEALTHY)
+        .map(|_| std::thread::spawn(move || healthy_prober(addr, deadline)))
+        .collect();
+
+    let slow_cycles: u64 = slow.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let torn: u64 = disc.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let opened: usize = never
+        .into_iter()
+        .map(|h| matches!(h.join(), Ok(true)))
+        .filter(|&opened| opened)
+        .count();
+    let (mut probe_ok, mut probe_other) = (0u64, 0u64);
+    for h in healthy {
+        let (ok, other) = h.join().unwrap_or((0, 0));
+        probe_ok += ok;
+        probe_other += other;
+    }
+    eprintln!(
+        "hostile: mix done ({slow_cycles} slowloris heads, {torn} torn bodies, \
+         {opened}/{NEVER_READ} never-read sessions, probes {probe_ok} ok / {probe_other} other)"
+    );
+
+    let mut ok = true;
+    if probe_ok == 0 {
+        eprintln!("hostile: FAIL healthy probes got zero 200s during the abuse");
+        ok = false;
+    }
+
+    // The server must still answer health checks and do real work.
+    match Client::new(addr).roundtrip("GET", "/healthz", b"") {
+        Ok((200, body)) => {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            match Json::parse(&text) {
+                Ok(health) => {
+                    let field = |k: &str| health.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    eprintln!(
+                        "hostile: healthz ok (sessions {} opened / {} closed / {} reaped; \
+                         {} client errors, active_sessions {})",
+                        field("sessions_opened"),
+                        field("sessions_closed"),
+                        field("sessions_reaped"),
+                        field("client_errors"),
+                        field("active_sessions"),
+                    );
+                }
+                Err(e) => {
+                    eprintln!("hostile: FAIL healthz body unparseable: {e}");
+                    ok = false;
+                }
+            }
+        }
+        Ok((status, _)) => {
+            eprintln!("hostile: FAIL healthz got {status} after the mix");
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("hostile: FAIL healthz unreachable after the mix: {e}");
+            ok = false;
+        }
+    }
+    match Client::new(addr).roundtrip("POST", "/simulate", LOAD_BODY.as_bytes()) {
+        Ok((200, _)) => eprintln!("hostile: post-abuse /simulate ok"),
+        Ok((status, _)) => {
+            eprintln!("hostile: FAIL post-abuse /simulate got {status}");
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("hostile: FAIL post-abuse /simulate: {e}");
+            ok = false;
+        }
+    }
+
+    // No leaked threads or sockets: counts must settle back to baseline.
+    // Thread slack 2 covers a transient keep-alive of our own probes;
+    // FD slack 8 covers /proc readdir raciness and late socket teardown.
+    if let (Some(pid), Some(threads)) = (server_pid, baseline_threads) {
+        ok &= settles_back("server threads", threads, 2, || proc_threads(pid));
+    }
+    if let (Some(pid), Some(fds)) = (server_pid, baseline_fds) {
+        ok &= settles_back("server fds", fds, 8, || proc_fds(pid));
+    }
+    ok
+}
+
 fn main() {
     let mut addr_arg: Option<String> = None;
     let mut shards_arg = String::from("1,4");
@@ -445,6 +707,9 @@ fn main() {
     let mut assert_fault = false;
     let mut session_pace_ms: Option<u64> = None;
     let mut expect_drain = false;
+    let mut hostile = false;
+    let mut hostile_secs = 8.0f64;
+    let mut server_pid: Option<u32> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -475,6 +740,9 @@ fn main() {
                 session_pace_ms = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--expect-drain" => expect_drain = true,
+            "--hostile" => hostile = true,
+            "--hostile-secs" => hostile_secs = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--server-pid" => server_pid = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -485,6 +753,29 @@ fn main() {
             std::process::exit(1)
         })
     };
+
+    // Hostile (chaos) mode short-circuits everything else. Against an
+    // in-process server the leak check reads our own /proc entry; against
+    // --addr it needs --server-pid (and is skipped without one).
+    if hostile {
+        if hostile_secs <= 0.0 {
+            usage();
+        }
+        let (addr, local) = match &addr_arg {
+            Some(a) => (parse_addr(a), None),
+            None => {
+                let local = start_local(1, workers, None);
+                eprintln!("in-process server on {}", local.addr);
+                (local.addr, Some(local))
+            }
+        };
+        let pid = server_pid.or_else(|| local.as_ref().map(|_| std::process::id()));
+        let ok = run_hostile(addr, hostile_secs, pid);
+        if let Some(local) = local {
+            local.stop();
+        }
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     // Session-verification mode short-circuits load generation entirely.
     if let Some(n) = sessions {

@@ -1,0 +1,359 @@
+//! Server-side alert rules for streaming sessions (DESIGN.md §17).
+//!
+//! A `SessionRequest` may declare rules the server evaluates at every
+//! snapshot boundary against a bounded in-memory history of the session's
+//! own metrics; each firing becomes an `{"event":"alert",...}` JSONL line
+//! immediately after the snapshot that triggered it, and bumps the shard's
+//! `alerts` counter surfaced at `/healthz`. Evaluation is a pure function
+//! of (rules, snapshot history, fault events) — no wall clock — so a
+//! resumed session replays byte-identical alert lines (see
+//! [`mux`](crate::mux)).
+//!
+//! The grammar (parsed in [`proto`](crate::proto)):
+//!
+//! * `inconsistency_above {x, for_n}` — fires when the report's
+//!   `response.inconsistency` (max/mean response ratio, the paper's
+//!   fairness metric) exceeds `x` at `for_n` consecutive snapshots.
+//! * `channel_outage_longer_than {ticks}` — fires once per injected
+//!   outage whose observed duration exceeds `ticks` (either when it ends,
+//!   or at the first snapshot where it is still open past the bound).
+//! * `blocked_frac_above {x, for_n}` — fires when the fraction of
+//!   core-ticks spent blocked on outaged channels within the snapshot
+//!   window (`Δ outage_blocked_ticks / (p · Δ tick)`) exceeds `x` at
+//!   `for_n` consecutive snapshots.
+//!
+//! `for_n`-style rules reset their streak after firing, so a persistently
+//! bad metric re-fires every `for_n` snapshots rather than every snapshot.
+
+use hbm_core::{FaultEvent, Report, Tick};
+use std::collections::VecDeque;
+
+/// Maximum alert rules one session may declare.
+pub const MAX_ALERT_RULES: usize = 16;
+
+/// Snapshot points of history kept per session for rule evaluation.
+/// Rules today need at most the previous point (deltas) plus streak
+/// counters, but the bound is what matters: a session's alert state is
+/// O(rules + history), never O(run length).
+pub const HISTORY_CAP: usize = 64;
+
+/// One client-declared alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertRule {
+    /// `response.inconsistency > x` at `for_n` consecutive snapshots.
+    InconsistencyAbove {
+        /// Threshold on the inconsistency ratio.
+        x: f64,
+        /// Consecutive snapshots required before firing.
+        for_n: u32,
+    },
+    /// An injected channel outage lasted more than `ticks` ticks.
+    ChannelOutageLongerThan {
+        /// Duration bound in simulated ticks.
+        ticks: u64,
+    },
+    /// Blocked core-tick fraction over the snapshot window exceeds `x` at
+    /// `for_n` consecutive snapshots.
+    BlockedFracAbove {
+        /// Threshold on the blocked fraction (0.0 ..).
+        x: f64,
+        /// Consecutive snapshots required before firing.
+        for_n: u32,
+    },
+}
+
+impl AlertRule {
+    /// The rule's `kind` string on the wire (request and alert lines).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AlertRule::InconsistencyAbove { .. } => "inconsistency_above",
+            AlertRule::ChannelOutageLongerThan { .. } => "channel_outage_longer_than",
+            AlertRule::BlockedFracAbove { .. } => "blocked_frac_above",
+        }
+    }
+}
+
+/// One rule firing, ready to serialize as an `alert` stream line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertFire {
+    /// Index of the firing rule in the request's `alerts` array.
+    pub rule: usize,
+    /// The rule's `kind` string.
+    pub kind: &'static str,
+    /// Snapshot tick at which the rule fired.
+    pub tick: Tick,
+    /// The observed value that crossed the threshold (inconsistency,
+    /// outage duration in ticks, or blocked fraction).
+    pub value: f64,
+    /// The rule's threshold, echoed for self-contained alert lines.
+    pub threshold: f64,
+}
+
+/// One point of bounded history: what the rules need from a snapshot.
+#[derive(Debug, Clone, Copy)]
+struct SnapshotPoint {
+    tick: Tick,
+    outage_blocked_ticks: u64,
+}
+
+/// An outage currently open (or ended but not yet evaluated).
+#[derive(Debug, Clone, Copy)]
+struct OutageSpan {
+    start: Tick,
+    /// `None` while the outage is still open.
+    end: Option<Tick>,
+    /// Rules that already fired for this span (bitmask by rule index),
+    /// so a long outage alerts once per rule, not once per snapshot.
+    fired: u32,
+}
+
+/// Per-session alert evaluator: rules plus bounded state.
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    /// Per-rule consecutive-snapshot streaks (for `for_n` rules).
+    streaks: Vec<u32>,
+    history: VecDeque<SnapshotPoint>,
+    /// Open/recently-ended outage spans awaiting evaluation. Bounded:
+    /// evaluated-and-closed spans are dropped each snapshot.
+    outages: Vec<OutageSpan>,
+    /// Cores, for the blocked-fraction denominator.
+    p: usize,
+    /// Total fires so far (reported in the session's done accounting and
+    /// aggregated into shard counters by the caller).
+    fired: u64,
+}
+
+impl AlertEngine {
+    /// Builds an evaluator for `rules` on a `p`-core session.
+    pub fn new(rules: Vec<AlertRule>, p: usize) -> AlertEngine {
+        let streaks = vec![0; rules.len()];
+        AlertEngine {
+            rules,
+            streaks,
+            history: VecDeque::new(),
+            outages: Vec::new(),
+            p: p.max(1),
+            fired: 0,
+        }
+    }
+
+    /// True when the session declared no rules (evaluation can be
+    /// skipped entirely).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total rule firings so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Feeds one fault event from the stepping loop. Only outage edges
+    /// are tracked; other fault kinds stream as their own `fault` lines.
+    pub fn observe_fault(&mut self, tick: Tick, event: &FaultEvent) {
+        if self.rules.is_empty() {
+            return;
+        }
+        match event {
+            FaultEvent::OutageStart { .. } => self.outages.push(OutageSpan {
+                start: tick,
+                end: None,
+                fired: 0,
+            }),
+            FaultEvent::OutageEnd { .. } => {
+                if let Some(span) = self.outages.iter_mut().rev().find(|s| s.end.is_none()) {
+                    span.end = Some(tick);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluates every rule against the snapshot at `tick`, returning the
+    /// firings in rule order. Deterministic: depends only on prior
+    /// `observe_fault`/`evaluate` calls, never the wall clock.
+    pub fn evaluate(&mut self, tick: Tick, report: &Report) -> Vec<AlertFire> {
+        if self.rules.is_empty() {
+            return Vec::new();
+        }
+        let prev = self.history.back().copied();
+        let point = SnapshotPoint {
+            tick,
+            outage_blocked_ticks: report.faults.outage_blocked_ticks,
+        };
+        let mut fires = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            match *rule {
+                AlertRule::InconsistencyAbove { x, for_n } => {
+                    let value = report.response.inconsistency;
+                    if streak_fires(&mut self.streaks[i], value > x, for_n) {
+                        fires.push(AlertFire {
+                            rule: i,
+                            kind: rule.kind(),
+                            tick,
+                            value,
+                            threshold: x,
+                        });
+                    }
+                }
+                AlertRule::BlockedFracAbove { x, for_n } => {
+                    let (prev_tick, prev_blocked) =
+                        prev.map_or((0, 0), |p| (p.tick, p.outage_blocked_ticks));
+                    let d_tick = tick.saturating_sub(prev_tick);
+                    let d_blocked = point.outage_blocked_ticks.saturating_sub(prev_blocked);
+                    let denom = (d_tick as f64) * (self.p as f64);
+                    let value = if denom > 0.0 {
+                        (d_blocked as f64) / denom
+                    } else {
+                        0.0
+                    };
+                    if streak_fires(&mut self.streaks[i], value > x, for_n) {
+                        fires.push(AlertFire {
+                            rule: i,
+                            kind: rule.kind(),
+                            tick,
+                            value,
+                            threshold: x,
+                        });
+                    }
+                }
+                AlertRule::ChannelOutageLongerThan { ticks } => {
+                    let bit = 1u32 << (i % 32);
+                    for span in &mut self.outages {
+                        if span.fired & bit != 0 {
+                            continue;
+                        }
+                        let duration = span.end.unwrap_or(tick).saturating_sub(span.start);
+                        if duration > ticks {
+                            span.fired |= bit;
+                            fires.push(AlertFire {
+                                rule: i,
+                                kind: rule.kind(),
+                                tick,
+                                value: duration as f64,
+                                threshold: ticks as f64,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Ended spans have a fixed duration and every rule just evaluated
+        // them, so they can never fire again — drop them. The list stays
+        // bounded by the number of concurrently *open* outages.
+        self.outages.retain(|s| s.end.is_none());
+        self.history.push_back(point);
+        while self.history.len() > HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.fired += fires.len() as u64;
+        fires
+    }
+}
+
+/// Streak bookkeeping for `for_n` rules: bump on hold, reset on miss or
+/// fire; returns true exactly when the streak reaches `for_n`.
+fn streak_fires(streak: &mut u32, holds: bool, for_n: u32) -> bool {
+    if !holds {
+        *streak = 0;
+        return false;
+    }
+    *streak += 1;
+    if *streak >= for_n.max(1) {
+        *streak = 0;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_core::Workload;
+
+    fn report_with(inconsistency: f64, blocked: u64) -> Report {
+        // Cheapest way to a structurally-complete Report: run a tiny cell,
+        // then overwrite the fields under test.
+        let w = Workload::from_refs(vec![vec![0, 1, 0, 1]]);
+        let mut r = crate::pool::run_cell(&w, 2, 1, hbm_core::ArbitrationKind::Fifo, 0);
+        r.response.inconsistency = inconsistency;
+        r.faults.outage_blocked_ticks = blocked;
+        r
+    }
+
+    #[test]
+    fn inconsistency_rule_needs_consecutive_snapshots() {
+        let mut eng = AlertEngine::new(vec![AlertRule::InconsistencyAbove { x: 2.0, for_n: 2 }], 4);
+        assert!(eng.evaluate(100, &report_with(3.0, 0)).is_empty());
+        let fires = eng.evaluate(200, &report_with(3.0, 0));
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].kind, "inconsistency_above");
+        assert_eq!(fires[0].tick, 200);
+        // Streak reset after firing: the next breach starts over.
+        assert!(eng.evaluate(300, &report_with(3.0, 0)).is_empty());
+        assert_eq!(eng.evaluate(400, &report_with(3.0, 0)).len(), 1);
+        // A dip resets the streak without firing.
+        assert!(eng.evaluate(500, &report_with(1.0, 0)).is_empty());
+        assert!(eng.evaluate(600, &report_with(3.0, 0)).is_empty());
+        assert_eq!(eng.fired(), 2);
+    }
+
+    #[test]
+    fn outage_rule_fires_once_per_span_even_while_open() {
+        let mut eng = AlertEngine::new(vec![AlertRule::ChannelOutageLongerThan { ticks: 50 }], 4);
+        eng.observe_fault(10, &FaultEvent::OutageStart { down: 1 });
+        // Open 40 ticks at the first snapshot: under the bound, no fire.
+        assert!(eng.evaluate(50, &report_with(0.0, 0)).is_empty());
+        // Still open past the bound: fires once with the open duration.
+        let fires = eng.evaluate(100, &report_with(0.0, 0));
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].value, 90.0);
+        // Still open at later snapshots: no re-fire for the same span.
+        assert!(eng.evaluate(150, &report_with(0.0, 0)).is_empty());
+        eng.observe_fault(160, &FaultEvent::OutageEnd { restored: 1 });
+        assert!(eng.evaluate(200, &report_with(0.0, 0)).is_empty());
+        // A fresh short outage never fires.
+        eng.observe_fault(210, &FaultEvent::OutageStart { down: 1 });
+        eng.observe_fault(220, &FaultEvent::OutageEnd { restored: 1 });
+        assert!(eng.evaluate(250, &report_with(0.0, 0)).is_empty());
+    }
+
+    #[test]
+    fn outage_ending_between_snapshots_still_fires() {
+        let mut eng = AlertEngine::new(vec![AlertRule::ChannelOutageLongerThan { ticks: 20 }], 4);
+        eng.observe_fault(10, &FaultEvent::OutageStart { down: 2 });
+        eng.observe_fault(60, &FaultEvent::OutageEnd { restored: 2 });
+        let fires = eng.evaluate(100, &report_with(0.0, 0));
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].value, 50.0);
+    }
+
+    #[test]
+    fn blocked_frac_uses_window_deltas() {
+        let mut eng = AlertEngine::new(vec![AlertRule::BlockedFracAbove { x: 0.5, for_n: 1 }], 2);
+        // Window [0, 100] on 2 cores = 200 core-ticks; 150 blocked = 0.75.
+        let fires = eng.evaluate(100, &report_with(0.0, 150));
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].value, 0.75);
+        // Next window [100, 200]: no *new* blocked ticks → 0.0, no fire.
+        assert!(eng.evaluate(200, &report_with(0.0, 150)).is_empty());
+    }
+
+    #[test]
+    fn history_stays_bounded() {
+        let mut eng = AlertEngine::new(vec![AlertRule::BlockedFracAbove { x: 0.5, for_n: 1 }], 1);
+        for i in 1..(HISTORY_CAP as u64 * 3) {
+            let _ = eng.evaluate(i * 10, &report_with(0.0, 0));
+        }
+        assert!(eng.history.len() <= HISTORY_CAP);
+    }
+
+    #[test]
+    fn no_rules_is_free() {
+        let mut eng = AlertEngine::new(Vec::new(), 8);
+        assert!(eng.is_empty());
+        eng.observe_fault(1, &FaultEvent::OutageStart { down: 1 });
+        assert!(eng.evaluate(10, &report_with(9.0, 9)).is_empty());
+        assert_eq!(eng.fired(), 0);
+    }
+}

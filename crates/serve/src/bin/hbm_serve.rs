@@ -4,6 +4,7 @@
 //! hbm-serve [--addr HOST:PORT] [--shards N] [--workers N] [--queue N]
 //!           [--max-wall-ms MS] [--max-ticks N] [--idle-shrink-secs S]
 //!           [--coalesce-us US] [--max-batch N] [--max-sessions N]
+//!           [--session-workers N] [--resume-ttl-secs S]
 //! ```
 //!
 //! Binds, prints the listening address on stdout (`listening on ...`, the
@@ -22,12 +23,16 @@ fn usage() -> ! {
         "usage: hbm-serve [--addr HOST:PORT] [--shards N] [--workers N] [--queue N]\n\
          \x20                [--max-wall-ms MS] [--max-ticks N] [--idle-shrink-secs S]\n\
          \x20                [--coalesce-us US] [--max-batch N] [--max-sessions N]\n\
+         \x20                [--session-workers N] [--resume-ttl-secs S]\n\
          \x20                [--enable-test-endpoints]\n\
          \n\
          POST /simulate with a JSON body; POST /session for a streaming\n\
-         JSONL session; GET /healthz for stats (totals + per-shard).\n\
-         --shards N runs N independent listener shards (round-robin\n\
-         dispatch); --coalesce-us enables same-workload request batching.\n\
+         JSONL session; POST /session/resume {{token, last_tick}} to\n\
+         reattach a dropped session; GET /healthz for stats (totals +\n\
+         per-shard). --shards N runs N independent listener shards\n\
+         (round-robin dispatch); --coalesce-us enables same-workload\n\
+         request batching; --session-workers N sizes the fixed session\n\
+         multiplexer pool (all open sessions share its threads).\n\
          See README.md 'Running the server' for the request format."
     );
     std::process::exit(2)
@@ -67,6 +72,16 @@ fn main() {
             }
             "--max-batch" => config.max_batch = parse_flag(&mut args, "--max-batch"),
             "--max-sessions" => config.max_sessions = parse_flag(&mut args, "--max-sessions"),
+            "--session-workers" => {
+                config.session_workers = parse_flag(&mut args, "--session-workers");
+                if config.session_workers == 0 {
+                    eprintln!("error: --session-workers must be at least 1");
+                    usage()
+                }
+            }
+            "--resume-ttl-secs" => {
+                config.resume_ttl = Duration::from_secs(parse_flag(&mut args, "--resume-ttl-secs"))
+            }
             "--queue" => config.queue_capacity = parse_flag(&mut args, "--queue"),
             "--max-wall-ms" => {
                 config.budget_ceiling = CellBudget {
@@ -118,7 +133,8 @@ fn main() {
             eprintln!(
                 "drained cleanly: {} requests ({} ok, {} rejected, {} shed, {} client errors, \
                  {} panics; {} cold / {} warm runs; {} batches / {} batched; \
-                 {} sessions opened / {} closed / {} reaped)",
+                 {} sessions opened / {} closed / {} reaped / {} resumed / {} shed; \
+                 {} alerts)",
                 stats.requests,
                 stats.ok,
                 stats.rejected,
@@ -131,7 +147,10 @@ fn main() {
                 stats.batched_requests,
                 stats.sessions_opened,
                 stats.sessions_closed,
-                stats.sessions_reaped
+                stats.sessions_reaped,
+                stats.sessions_resumed,
+                stats.sessions_shed,
+                stats.alerts
             );
         }
         Err(e) => {

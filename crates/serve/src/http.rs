@@ -37,8 +37,14 @@ pub enum HttpError {
     },
     /// Request/status line or a header line failed to parse.
     Malformed(&'static str),
-    /// The wall deadline passed before a complete message arrived.
+    /// The wall deadline passed *mid-message*: some bytes of the message
+    /// had arrived, then the sender stalled. The server answers this with
+    /// a 408 — a half-sent head must not hold a connection slot.
     TimedOut,
+    /// The wall deadline passed while the connection was idle (no byte of
+    /// a next message received). Keep-alive connections may idle freely;
+    /// callers re-arm the deadline and keep waiting.
+    IdleTimedOut,
     /// The caller's cancel predicate fired while the connection was idle
     /// (no bytes of a next message received). In-flight messages are never
     /// cancelled — that is the drain guarantee.
@@ -60,7 +66,8 @@ impl fmt::Display for HttpError {
                 )
             }
             HttpError::Malformed(what) => write!(f, "malformed http message: {what}"),
-            HttpError::TimedOut => write!(f, "timed out waiting for a complete message"),
+            HttpError::TimedOut => write!(f, "timed out mid-message waiting for the rest"),
+            HttpError::IdleTimedOut => write!(f, "timed out while idle"),
             HttpError::Cancelled => write!(f, "cancelled while idle"),
         }
     }
@@ -98,6 +105,9 @@ pub struct HttpResponse {
     pub content_type: &'static str,
     /// Whether to advertise and honour `Connection: close`.
     pub close: bool,
+    /// Optional `Retry-After` header value in seconds. Every 429/503 the
+    /// server emits carries one, derived from queue depth or drain state.
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -108,7 +118,14 @@ impl HttpResponse {
             body: body.into(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` hint (seconds).
+    pub fn with_retry_after(mut self, secs: u64) -> HttpResponse {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// The standard reason phrase for the statuses this server emits.
@@ -119,6 +136,7 @@ impl HttpResponse {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            410 => "Gone",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
@@ -148,7 +166,14 @@ fn read_head(
             return Err(HttpError::Cancelled);
         }
         if Instant::now() >= deadline {
-            return Err(HttpError::TimedOut);
+            // Distinguish a stalled sender (bytes arrived, then silence —
+            // the slowloris shape, answered with 408) from a connection
+            // that is simply idle between keep-alive requests.
+            return Err(if buf.is_empty() {
+                HttpError::IdleTimedOut
+            } else {
+                HttpError::TimedOut
+            });
         }
         let mut chunk = [0u8; 1024];
         match stream.read(&mut chunk) {
@@ -292,6 +317,9 @@ pub fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> io::Result
         resp.content_type,
         resp.body.len()
     );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
     if resp.close {
         head.push_str("connection: close\r\n");
     }
@@ -325,6 +353,19 @@ pub fn read_response(
     stream: &mut TcpStream,
     deadline: Instant,
 ) -> Result<(u16, Vec<u8>), HttpError> {
+    read_response_full(stream, deadline).map(|(status, _headers, body)| (status, body))
+}
+
+/// A fully-read client response: `(status, headers, body)`, headers with
+/// lowercased names.
+pub type FullResponse = (u16, HashMap<String, String>, Vec<u8>);
+
+/// Client side: reads one response, returning `(status, headers, body)` —
+/// headers with lowercased names, for tests asserting on `Retry-After`.
+pub fn read_response_full(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> Result<FullResponse, HttpError> {
     let mut buf = Vec::new();
     let head_end = read_head(stream, &mut buf, deadline, &|| false)?;
     let head = std::str::from_utf8(&buf[..head_end - 4])
@@ -337,10 +378,12 @@ pub fn read_response(
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or(HttpError::Malformed("bad status line"))?;
     let mut content_length = 0usize;
+    let mut headers = HashMap::new();
     for line in lines {
         let (name, value) = line
             .split_once(':')
             .ok_or(HttpError::Malformed("header line without colon"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
         if name.trim().eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
@@ -373,7 +416,7 @@ pub fn read_response(
         }
     }
     body.truncate(content_length);
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 /// Applies the short per-read timeout every server/client socket uses so
@@ -405,24 +448,38 @@ pub fn write_chunked_head(
     stream.flush()
 }
 
-/// Server side: writes one chunk (size line + payload + CRLF) as a single
-/// `write_all`, for the same Nagle reason as [`write_response`]. Empty
-/// payloads are skipped — a zero-size chunk is the terminator and must
-/// only come from [`write_last_chunk`].
-pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+/// Encodes one chunk (size line + payload + CRLF) without writing it —
+/// the session multiplexer appends encoded chunks to a per-session buffer
+/// and flushes them with non-blocking writes. Empty payloads encode to
+/// nothing (a zero-size chunk is the terminator).
+pub fn chunk_bytes(data: &[u8]) -> Vec<u8> {
     if data.is_empty() {
-        return Ok(());
+        return Vec::new();
     }
     let mut message = format!("{:x}\r\n", data.len()).into_bytes();
     message.extend_from_slice(data);
     message.extend_from_slice(b"\r\n");
-    stream.write_all(&message)?;
+    message
+}
+
+/// The zero-size terminator chunk ending a chunked stream.
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// Server side: writes one chunk as a single `write_all`, for the same
+/// Nagle reason as [`write_response`]. Empty payloads are skipped — a
+/// zero-size chunk is the terminator and must only come from
+/// [`write_last_chunk`].
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(&chunk_bytes(data))?;
     stream.flush()
 }
 
 /// Server side: writes the zero-size terminator chunk ending the stream.
 pub fn write_last_chunk(stream: &mut TcpStream) -> io::Result<()> {
-    stream.write_all(b"0\r\n\r\n")?;
+    stream.write_all(LAST_CHUNK)?;
     stream.flush()
 }
 

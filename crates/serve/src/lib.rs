@@ -25,9 +25,14 @@
 //!   own worker pool, warm-pool registry, and counters; with a coalescing
 //!   window enabled, same-(workload, p, budget) requests batch through
 //!   the lockstep `BatchEngine` with byte-identical responses.
-//! * **Streaming sessions**: `POST /session` upgrades the connection to
-//!   a chunked-HTTP JSONL stream of periodic metric snapshots and fault
-//!   events while the engine runs incrementally.
+//! * **Multiplexed streaming sessions** ([`mux`](crate), [`alerts`]):
+//!   `POST /session` upgrades the connection to a chunked-HTTP JSONL
+//!   stream of periodic metric snapshots, fault events, and alert-rule
+//!   firings. Sessions are state machines scheduled off a deadline
+//!   min-heap onto a fixed `session_workers` pool — thousands of paced
+//!   sessions cost memory, not OS threads — and every `open` line
+//!   carries a resume token: a dropped client POSTs `/session/resume`
+//!   and the deterministic engine replays its suffix byte-identically.
 //! * **Graceful shutdown** ([`shutdown`]): SIGTERM/ctrl-c trips a
 //!   [`ShutdownFlag`](shutdown::ShutdownFlag) observed by the accept loop,
 //!   every connection, and `repro sweep` alike — in-flight work finishes,
@@ -39,8 +44,10 @@
 #![deny(unsafe_code)] // `shutdown` holds the one allowed exception
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod http;
 pub mod json;
+mod mux;
 pub mod pool;
 pub mod proto;
 pub mod server;

@@ -1,0 +1,225 @@
+//! The session multiplexer: thousands of paced sessions on a fixed-size
+//! worker pool (DESIGN.md §17).
+//!
+//! PR 7 ran every streaming session on its own connection thread, so a
+//! thousand slow-paced sessions meant a thousand OS threads, most of them
+//! asleep in a pace wait. This module replaces that with a timer wheel in
+//! miniature: each session is a [`SessionState`] state machine owning its
+//! engine, socket, and write buffer; a min-heap orders sessions by wakeup
+//! deadline (`wake_at`); and `session_workers` threads pop due sessions,
+//! run one bounded slice each (see [`SessionState::run_slice`]), and
+//! re-queue them with their next deadline. A session's socket is
+//! non-blocking — a slice never sleeps in a write — so the pool's wall
+//! clock is spent stepping engines, and OS thread count stays
+//! `session_workers + shards·workers + O(1)` regardless of how many
+//! sessions are open.
+//!
+//! Scheduling invariants:
+//!
+//! * A session is either in the map (idle, heap-addressable) or checked
+//!   out by exactly one worker (`running`), never both — no session runs
+//!   two slices concurrently.
+//! * Heap entries are lazily invalidated: `(deadline, id)` is live only
+//!   while the session's current `wake_at` equals the entry's deadline;
+//!   stale entries (rescheduled or finished sessions) pop and drop.
+//! * Drain ([`begin_drain`](SessionMux::begin_drain)) makes every session
+//!   immediately due; workers run each one final slice (which writes the
+//!   `done`/`draining` line) and exit once the map and running set are
+//!   empty. The server only calls it after the last submitter is joined.
+//! * Shedding ([`shed_newest_paced`](SessionMux::shed_newest_paced))
+//!   marks the newest idle *paced* session and makes it due; its next
+//!   slice emits a complete `done`/`shed` line — never a torn snapshot.
+
+use crate::session::{SessionState, SliceOutcome};
+use crate::shutdown::ShutdownFlag;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on a worker's condvar wait, so a worker that missed a
+/// notification (or is waiting out a long pace) still re-checks drain
+/// state promptly.
+const MAX_PARK: Duration = Duration::from_millis(100);
+
+/// The shared scheduler. One per server, sized by `session_workers`.
+pub(crate) struct SessionMux {
+    inner: Mutex<MuxInner>,
+    cv: Condvar,
+}
+
+struct MuxInner {
+    /// Idle sessions by id. A session checked out for a slice is absent.
+    sessions: HashMap<u64, SessionState>,
+    /// Min-heap of `(wake_at, id)` wakeups (lazily invalidated).
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Monotonic session ids; larger = newer (the shed policy's order).
+    next_id: u64,
+    /// Sessions currently checked out by workers.
+    running: usize,
+    /// Set once at drain; workers finish every session and exit.
+    draining: bool,
+}
+
+impl SessionMux {
+    pub(crate) fn new() -> SessionMux {
+        SessionMux {
+            inner: Mutex::new(MuxInner {
+                sessions: HashMap::new(),
+                heap: BinaryHeap::new(),
+                next_id: 0,
+                running: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MuxInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Takes ownership of a freshly-opened session (head and `open` line
+    /// already written) and schedules its first slice immediately.
+    pub(crate) fn submit(&self, mut state: SessionState) {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        state.id = id;
+        state.wake_at = now;
+        inner.heap.push(Reverse((now, id)));
+        inner.sessions.insert(id, state);
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Shed policy: mark the newest idle paced session for eviction and
+    /// make it due, returning true when a victim was found. Paced
+    /// sessions are the long-lived luxury tier; newest-first keeps the
+    /// least sunk work. Returns false when no idle paced session exists
+    /// (the caller then rejects the incoming request instead).
+    pub(crate) fn shed_newest_paced(&self) -> bool {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let victim = inner
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.paced() && !s.shed)
+            .map(|(&id, _)| id)
+            .max();
+        let Some(id) = victim else {
+            return false;
+        };
+        let state = inner.sessions.get_mut(&id).expect("victim just found");
+        state.shed = true;
+        state.wake_at = now;
+        inner.heap.push(Reverse((now, id)));
+        drop(inner);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Flips the mux into drain mode: every session becomes due, runs one
+    /// final slice (emitting its `draining` line), and the workers exit
+    /// once nothing is left. Callers must ensure no further
+    /// [`submit`](Self::submit) can race this (the server joins every
+    /// connection thread first).
+    pub(crate) fn begin_drain(&self) {
+        let mut inner = self.lock();
+        inner.draining = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Spawns the fixed worker pool. Handles are joined by the server
+    /// after [`begin_drain`](Self::begin_drain).
+    pub(crate) fn spawn_workers(
+        self: &Arc<Self>,
+        workers: usize,
+        flag: &ShutdownFlag,
+    ) -> Vec<JoinHandle<()>> {
+        (0..workers.max(1))
+            .map(|i| {
+                let mux = Arc::clone(self);
+                let flag = flag.clone();
+                std::thread::Builder::new()
+                    .name(format!("hbm-serve-mux-{i}"))
+                    .spawn(move || worker_loop(&mux, &flag))
+                    .expect("spawn mux worker thread")
+            })
+            .collect()
+    }
+}
+
+/// What a worker found at the top of the heap.
+enum Next {
+    /// A session is due (or drain makes everything due).
+    Run(u64),
+    /// The earliest live deadline is in the future.
+    Park(Option<Instant>),
+}
+
+fn worker_loop(mux: &SessionMux, flag: &ShutdownFlag) {
+    let mut inner = mux.lock();
+    loop {
+        if inner.draining && inner.sessions.is_empty() && inner.running == 0 {
+            // Wake siblings parked without a deadline so they observe the
+            // same exit condition.
+            drop(inner);
+            mux.cv.notify_all();
+            return;
+        }
+        let now = Instant::now();
+        let next = loop {
+            match inner.heap.peek() {
+                None => break Next::Park(None),
+                Some(&Reverse((t, id))) => {
+                    let live = inner.sessions.get(&id).is_some_and(|s| s.wake_at == t);
+                    if !live {
+                        inner.heap.pop();
+                        continue;
+                    }
+                    if inner.draining || t <= now {
+                        inner.heap.pop();
+                        break Next::Run(id);
+                    }
+                    break Next::Park(Some(t));
+                }
+            }
+        };
+        match next {
+            Next::Run(id) => {
+                let mut state = inner.sessions.remove(&id).expect("live heap entry");
+                inner.running += 1;
+                let draining = inner.draining || flag.is_set();
+                drop(inner);
+                let outcome = state.run_slice(draining);
+                inner = mux.lock();
+                inner.running -= 1;
+                match outcome {
+                    SliceOutcome::Continue { wake_at } => {
+                        state.wake_at = wake_at;
+                        inner.heap.push(Reverse((wake_at, id)));
+                        inner.sessions.insert(id, state);
+                        // A sibling may be parked on a later deadline.
+                        mux.cv.notify_one();
+                    }
+                    SliceOutcome::Finished => drop(state),
+                }
+            }
+            Next::Park(until) => {
+                let wait = until
+                    .map(|t| t.saturating_duration_since(now))
+                    .unwrap_or(MAX_PARK)
+                    .min(MAX_PARK);
+                let (guard, _) = mux
+                    .cv
+                    .wait_timeout(inner, wait)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! direct `SimBuilder` runs through this same function, so any drift
 //! between the service path and the library path is a test failure.
 
+use crate::alerts::{AlertRule, MAX_ALERT_RULES};
 use crate::json::{Json, JsonError, JsonLimits};
 use crate::pool::{CellBudget, SimSettings};
 use hbm_core::{ArbitrationKind, FaultEvent, FaultPlan, ReplacementKind, Report};
@@ -96,7 +97,7 @@ impl WorkloadKey {
 }
 
 /// A validated streaming-session request: a full [`SimRequest`] plus the
-/// streaming knobs (`snapshot_period_ticks`, `pace_ms`).
+/// streaming knobs (`snapshot_period_ticks`, `pace_ms`, `alerts`).
 #[derive(Debug, Clone)]
 pub struct SessionRequest {
     /// The simulation to run incrementally.
@@ -106,6 +107,21 @@ pub struct SessionRequest {
     /// Optional wall-clock pause between snapshot rounds (paced
     /// streaming). `None` streams as fast as the engine steps.
     pub pace: Option<Duration>,
+    /// Server-side alert rules evaluated at every snapshot (bounded by
+    /// [`MAX_ALERT_RULES`]).
+    pub alerts: Vec<AlertRule>,
+}
+
+/// A validated `/session/resume` request: the token from a prior
+/// session's `open` line plus the tick of the last snapshot the client
+/// acknowledges having received (`None` replays from the beginning).
+#[derive(Debug, Clone)]
+pub struct ResumeRequest {
+    /// The opaque resume token.
+    pub token: String,
+    /// Tick of the last received snapshot; the replay is muted up to and
+    /// including the snapshot line at this tick.
+    pub last_tick: Option<u64>,
 }
 
 /// Why a request body was rejected.
@@ -535,11 +551,100 @@ pub fn parse_session_request(
         Some(ms) => Some(Duration::from_millis(ms)),
         None => None,
     };
+    let alerts = match v.get("alerts") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(a) => parse_alert_rules(a)?,
+    };
     Ok(SessionRequest {
         sim,
         snapshot_period,
         pace,
+        alerts,
     })
+}
+
+fn parse_alert_rules(v: &Json) -> Result<Vec<AlertRule>, ProtoError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| bad("alerts", "expected an array of rule objects"))?;
+    if arr.len() > MAX_ALERT_RULES {
+        return Err(ProtoError::TooLarge {
+            why: format!(
+                "{} alert rules exceed the server limit of {MAX_ALERT_RULES}",
+                arr.len()
+            ),
+        });
+    }
+    let mut rules = Vec::with_capacity(arr.len());
+    for rule in arr {
+        let kind = rule
+            .get("kind")
+            .ok_or(ProtoError::MissingField("alerts.kind"))?
+            .as_str()
+            .ok_or_else(|| bad("alerts.kind", "expected a string"))?;
+        let x = || -> Result<f64, ProtoError> {
+            let raw = req_f64(
+                rule.get("x").ok_or(ProtoError::MissingField("alerts.x"))?,
+                "alerts.x",
+            )?;
+            if !raw.is_finite() || raw < 0.0 {
+                return Err(bad("alerts.x", "must be a finite non-negative number"));
+            }
+            Ok(raw)
+        };
+        let for_n = || -> Result<u32, ProtoError> {
+            match opt_u64(rule, "for_n")? {
+                None => Ok(1),
+                Some(0) => Err(bad("alerts.for_n", "must be at least 1")),
+                Some(raw) => {
+                    u32::try_from(raw).map_err(|_| bad("alerts.for_n", "out of u32 range"))
+                }
+            }
+        };
+        rules.push(match kind {
+            "inconsistency_above" => AlertRule::InconsistencyAbove {
+                x: x()?,
+                for_n: for_n()?,
+            },
+            "channel_outage_longer_than" => AlertRule::ChannelOutageLongerThan {
+                ticks: req_u64(
+                    rule.get("ticks")
+                        .ok_or(ProtoError::MissingField("alerts.ticks"))?,
+                    "alerts.ticks",
+                )?,
+            },
+            "blocked_frac_above" => AlertRule::BlockedFracAbove {
+                x: x()?,
+                for_n: for_n()?,
+            },
+            other => {
+                return Err(bad(
+                    "alerts.kind",
+                    format!(
+                        "unknown alert rule '{other}' (known: inconsistency_above, \
+                         channel_outage_longer_than, blocked_frac_above)"
+                    ),
+                ))
+            }
+        });
+    }
+    Ok(rules)
+}
+
+/// Parses and validates a `/session/resume` request body.
+pub fn parse_resume_request(body: &[u8], limits: &JsonLimits) -> Result<ResumeRequest, ProtoError> {
+    let v = parse_body(body, limits)?;
+    let token = v
+        .get("token")
+        .ok_or(ProtoError::MissingField("token"))?
+        .as_str()
+        .ok_or_else(|| bad("token", "expected a string"))?
+        .to_string();
+    if token.is_empty() || token.len() > 128 {
+        return Err(bad("token", "must be 1..=128 characters"));
+    }
+    let last_tick = opt_u64(&v, "last_tick")?;
+    Ok(ResumeRequest { token, last_tick })
 }
 
 fn parse_body(body: &[u8], limits: &JsonLimits) -> Result<Json, ProtoError> {
@@ -700,12 +805,38 @@ pub fn report_json(r: &Report) -> Json {
     ])
 }
 
-/// The first line of a session stream: the accepted streaming parameters.
-pub fn session_open_json(p: usize, snapshot_period: u64) -> String {
-    Json::obj(vec![
+/// The first line of a session stream: the accepted streaming parameters
+/// plus the opaque resume token. A resumed stream's `open` line carries
+/// the extra `resumed_from_tick` field (the acknowledged snapshot tick);
+/// every line *after* it is byte-identical to the uninterrupted stream.
+pub fn session_open_json(
+    p: usize,
+    snapshot_period: u64,
+    token: &str,
+    resumed_from: Option<u64>,
+) -> String {
+    let mut fields = vec![
         ("event", Json::from("open")),
         ("p", Json::from(p)),
         ("snapshot_period_ticks", Json::from(snapshot_period)),
+        ("token", Json::from(token)),
+    ];
+    if let Some(tick) = resumed_from {
+        fields.push(("resumed_from_tick", Json::from(tick)));
+    }
+    Json::obj(fields).to_string()
+}
+
+/// One alert line of a session stream: a rule firing at a snapshot
+/// boundary (always emitted after the triggering snapshot line).
+pub fn session_alert_json(fire: &crate::alerts::AlertFire) -> String {
+    Json::obj(vec![
+        ("event", Json::from("alert")),
+        ("rule", Json::from(fire.rule)),
+        ("kind", Json::from(fire.kind)),
+        ("tick", Json::from(fire.tick)),
+        ("value", Json::from(fire.value)),
+        ("threshold", Json::from(fire.threshold)),
     ])
     .to_string()
 }
@@ -758,7 +889,8 @@ pub fn session_fault_json(tick: u64, event: &FaultEvent) -> String {
 }
 
 /// The final line of a session stream. `reason` is `"completed"`,
-/// `"truncated"` (budget), or `"draining"` (server shutdown); the embedded
+/// `"truncated"` (budget), `"draining"` (server shutdown), or `"shed"`
+/// (evicted under session pressure to admit a newer request); the embedded
 /// final report uses the canonical [`report_json`] serialization, so a
 /// completed session's final report is byte-identical to the stateless
 /// `/simulate` response for the same request.

@@ -38,9 +38,10 @@
 
 use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResponse};
 use crate::json::{Json, JsonLimits};
+use crate::mux::SessionMux;
 use crate::pool::{run_sim_budgeted_flat, CellBudget};
 use crate::proto::{parse_sim_request, report_to_json, ProtoError, SimRequest};
-use crate::session::serve_session;
+use crate::session::{serve_resume, serve_session, ResumeTable};
 use crate::shard::{coalesced_submit, ShardState};
 use crate::shutdown::ShutdownFlag;
 use hbm_par::SubmitError;
@@ -93,6 +94,14 @@ pub struct ServerConfig {
     /// A session chunk write stalling longer than this (client gone or not
     /// reading) reaps the session.
     pub session_write_stall: Duration,
+    /// Threads in the session multiplexer pool — the *total* OS-thread
+    /// cost of all open streaming sessions (see [`crate::mux`]).
+    pub session_workers: usize,
+    /// How long a resume token stays valid after the session opens.
+    pub resume_ttl: Duration,
+    /// Maximum registered resume tokens; beyond this the oldest is
+    /// evicted at the next mint.
+    pub max_resume_tokens: usize,
     /// JSON parser limits applied to request bodies.
     pub json_limits: JsonLimits,
     /// Enables `POST /test/panic` (a deliberately panicking request) so
@@ -119,6 +128,9 @@ impl Default for ServerConfig {
             max_batch: 16,
             max_sessions: 32,
             session_write_stall: Duration::from_secs(5),
+            session_workers: 2,
+            resume_ttl: Duration::from_secs(300),
+            max_resume_tokens: 1024,
             json_limits: JsonLimits::default(),
             enable_test_endpoints: false,
         }
@@ -156,6 +168,12 @@ pub struct ServerStats {
     pub sessions_closed: u64,
     /// Sessions reaped mid-stream (client disconnected or stalled).
     pub sessions_reaped: u64,
+    /// Sessions reattached through `/session/resume`.
+    pub sessions_resumed: u64,
+    /// Sessions evicted by the shed policy to admit newer requests.
+    pub sessions_shed: u64,
+    /// Alert lines emitted across all sessions.
+    pub alerts: u64,
 }
 
 impl ServerStats {
@@ -173,6 +191,9 @@ impl ServerStats {
         self.sessions_opened += other.sessions_opened;
         self.sessions_closed += other.sessions_closed;
         self.sessions_reaped += other.sessions_reaped;
+        self.sessions_resumed += other.sessions_resumed;
+        self.sessions_shed += other.sessions_shed;
+        self.alerts += other.alerts;
     }
 }
 
@@ -181,7 +202,18 @@ pub(crate) struct ServerState {
     pub(crate) shards: Vec<Arc<ShardState>>,
     pub(crate) active_connections: AtomicUsize,
     pub(crate) active_sessions: AtomicUsize,
+    pub(crate) mux: Arc<SessionMux>,
+    pub(crate) resume: ResumeTable,
 }
+
+/// `Retry-After` hint (seconds) on 503s caused by drain: long enough for
+/// a typical drain to finish, short enough that clients re-find a
+/// restarted server quickly.
+pub(crate) const RETRY_AFTER_DRAIN_SECS: u64 = 5;
+
+/// `Retry-After` hint on the connection-cap 503: connections turn over
+/// quickly, so retry almost immediately.
+const RETRY_AFTER_CONNECTIONS_SECS: u64 = 1;
 
 /// The simulation-as-a-service server. Bind, then [`run`](Self::run).
 pub struct Server {
@@ -210,6 +242,8 @@ impl Server {
             shards,
             active_connections: AtomicUsize::new(0),
             active_sessions: AtomicUsize::new(0),
+            mux: Arc::new(SessionMux::new()),
+            resume: ResumeTable::new(config.resume_ttl, config.max_resume_tokens),
             config,
         });
         Ok(Server { listener, state })
@@ -225,6 +259,10 @@ impl Server {
     /// shard's worker queue empties, every thread is joined. Returns the
     /// final statistics aggregated across shards.
     pub fn run(self, flag: &ShutdownFlag) -> io::Result<ServerStats> {
+        let mux_workers = self
+            .state
+            .mux
+            .spawn_workers(self.state.config.session_workers, flag);
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         let mut next_shard = 0usize;
         let mut last_activity = Instant::now();
@@ -296,10 +334,17 @@ impl Server {
             }
         }
         // Drain: connection threads see the flag (idle reads cancel,
-        // in-flight requests complete, sessions emit their draining
-        // line), then every shard's worker queue empties.
+        // in-flight requests complete), then the mux finishes every open
+        // session with a `draining` line, then every shard's worker queue
+        // empties. Connection threads are the only session submitters, so
+        // joining them before `begin_drain` closes the
+        // submit-after-drain race.
         drop(self.listener);
         for handle in connections {
+            let _ = handle.join();
+        }
+        self.state.mux.begin_drain();
+        for handle in mux_workers {
             let _ = handle.join();
         }
         let mut totals = ServerStats::default();
@@ -318,6 +363,7 @@ fn shed_connection(mut stream: TcpStream) -> io::Result<()> {
     let resp = HttpResponse {
         close: true,
         ..HttpResponse::json(503, "{\"error\":\"connection limit reached\"}")
+            .with_retry_after(RETRY_AFTER_CONNECTIONS_SECS)
     };
     write_response(&mut stream, &resp)
 }
@@ -346,16 +392,27 @@ fn serve_connection(
             Ok(Some(req)) => req,
             Ok(None) => return,                  // client closed cleanly
             Err(HttpError::Cancelled) => return, // shutdown while idle
-            Err(HttpError::TimedOut) => {
-                // Idle keep-alive wait: just re-arm the deadline. (A
-                // *mid-message* stall also lands here after request_timeout
-                // of silence; the subsequent read then fails fast as
-                // malformed, which is an acceptable fate for a stalled
-                // sender.)
+            Err(HttpError::IdleTimedOut) => {
+                // Idle keep-alive wait: just re-arm the deadline. The
+                // client may idle between requests as long as it likes.
                 if flag.is_set() {
                     return;
                 }
                 continue;
+            }
+            Err(HttpError::TimedOut) => {
+                // Mid-message stall: the client sent part of a head or
+                // body and then went quiet past `request_timeout` —
+                // slowloris shape. 408 and drop the connection so the
+                // slot frees.
+                shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_error(
+                    &mut stream,
+                    408,
+                    "request head/body incomplete after request timeout",
+                    true,
+                );
+                return;
             }
             Err(e) => {
                 let (status, msg) = match &e {
@@ -368,10 +425,15 @@ fn serve_connection(
                 return;
             }
         };
-        if req.method == "POST" && req.path == "/session" {
+        if req.method == "POST" && (req.path == "/session" || req.path == "/session/resume") {
             // The session consumes the rest of the connection (the stream
-            // head advertises `connection: close`).
-            serve_session(&mut stream, &req, state, shard, flag);
+            // head advertises `connection: close`); ownership of the
+            // socket moves to the mux on successful admission.
+            if req.path == "/session" {
+                serve_session(stream, &req, state, shard, flag);
+            } else {
+                serve_resume(stream, &req, state, shard, flag);
+            }
             return;
         }
         let close_after = req
@@ -460,6 +522,9 @@ fn healthz(state: &ServerState, shard: &ShardState, flag: &ShutdownFlag) -> Http
             ("sessions_opened", Json::from(snap.sessions_opened)),
             ("sessions_closed", Json::from(snap.sessions_closed)),
             ("sessions_reaped", Json::from(snap.sessions_reaped)),
+            ("sessions_resumed", Json::from(snap.sessions_resumed)),
+            ("sessions_shed", Json::from(snap.sessions_shed)),
+            ("alerts", Json::from(snap.alerts)),
             ("queued", Json::from(s_queued)),
             ("running", Json::from(s_running)),
         ]));
@@ -485,6 +550,9 @@ fn healthz(state: &ServerState, shard: &ShardState, flag: &ShutdownFlag) -> Http
         ("sessions_opened", Json::from(totals.sessions_opened)),
         ("sessions_closed", Json::from(totals.sessions_closed)),
         ("sessions_reaped", Json::from(totals.sessions_reaped)),
+        ("sessions_resumed", Json::from(totals.sessions_resumed)),
+        ("sessions_shed", Json::from(totals.sessions_shed)),
+        ("alerts", Json::from(totals.alerts)),
         ("queued", Json::from(queued)),
         ("running", Json::from(running)),
         (
@@ -573,8 +641,10 @@ fn submit_job(
             error_body(&format!(
                 "request queue full (capacity {capacity}); retry later"
             )),
-        ),
-        Err(SubmitError::ShutDown) => HttpResponse::json(503, error_body("server is draining")),
+        )
+        .with_retry_after(crate::shard::queue_retry_after(shard)),
+        Err(SubmitError::ShutDown) => HttpResponse::json(503, error_body("server is draining"))
+            .with_retry_after(RETRY_AFTER_DRAIN_SECS),
     };
     shard.stats.count_response(&resp);
     resp

@@ -50,6 +50,9 @@ pub(crate) struct StatCells {
     pub(crate) sessions_opened: AtomicU64,
     pub(crate) sessions_closed: AtomicU64,
     pub(crate) sessions_reaped: AtomicU64,
+    pub(crate) sessions_resumed: AtomicU64,
+    pub(crate) sessions_shed: AtomicU64,
+    pub(crate) alerts: AtomicU64,
 }
 
 impl StatCells {
@@ -68,6 +71,9 @@ impl StatCells {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
+            sessions_resumed: self.sessions_resumed.load(Ordering::Relaxed),
+            sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
+            alerts: self.alerts.load(Ordering::Relaxed),
         }
     }
 
@@ -164,11 +170,24 @@ impl PoolRegistry {
 /// assigned shard and never touch another's.
 pub(crate) struct ShardState {
     pub(crate) id: usize,
+    /// Worker-thread count, kept alongside the pool so `Retry-After`
+    /// hints can be derived from queue depth per worker.
+    pub(crate) workers: usize,
     pub(crate) worker_pool: WorkerPool,
     pub(crate) registry: PoolRegistry,
     pub(crate) scratch: ScratchPool<BatchScratch>,
     pub(crate) stats: StatCells,
     pub(crate) coalescer: Coalescer,
+}
+
+/// `Retry-After` hint (seconds) for a full-queue 429 on this shard:
+/// roughly how many queue "generations" are ahead of the client, assuming
+/// each worker clears about one queued request per second of simulation
+/// budget. Clamped so a pathological backlog never tells a client to go
+/// away for minutes.
+pub(crate) fn queue_retry_after(shard: &ShardState) -> u64 {
+    let depth = shard.worker_pool.queued() as u64;
+    (1 + depth / shard.workers as u64).min(30)
 }
 
 impl ShardState {
@@ -182,6 +201,7 @@ impl ShardState {
     ) -> ShardState {
         ShardState {
             id,
+            workers: workers.max(1),
             worker_pool: WorkerPool::new(workers, queue_capacity),
             registry: PoolRegistry::new(max_pools, flat_capacity),
             scratch: ScratchPool::new(),
@@ -343,15 +363,22 @@ fn submit_batch(
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("rejected batch entries still parked");
-            let (status, msg) = match err {
+            let (status, msg, retry_after) = match err {
                 SubmitError::Full { capacity } => (
                     429,
                     format!("request queue full (capacity {capacity}); retry later"),
+                    queue_retry_after(shard),
                 ),
-                SubmitError::ShutDown => (503, "server is draining".to_string()),
+                SubmitError::ShutDown => (
+                    503,
+                    "server is draining".to_string(),
+                    crate::server::RETRY_AFTER_DRAIN_SECS,
+                ),
             };
             for entry in entries {
-                let _ = entry.tx.send(HttpResponse::json(status, error_body(&msg)));
+                let _ = entry.tx.send(
+                    HttpResponse::json(status, error_body(&msg)).with_retry_after(retry_after),
+                );
             }
         }
     }

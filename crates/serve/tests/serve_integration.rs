@@ -3,12 +3,16 @@
 //! direct `SimBuilder` runs.
 
 use hbm_core::{ArbitrationKind, SimBuilder};
-use hbm_serve::http::{read_response, read_response_head, write_request, ChunkedLines};
+use hbm_serve::http::{
+    read_response, read_response_full, read_response_head, write_request, ChunkedLines,
+};
 use hbm_serve::json::Json;
 use hbm_serve::proto::report_to_json;
 use hbm_serve::server::{Server, ServerConfig, ServerStats};
 use hbm_serve::shutdown::ShutdownFlag;
 use hbm_traces::{TraceOptions, WorkloadSpec};
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +44,65 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec
     let mut stream = TcpStream::connect(addr).expect("connect");
     write_request(&mut stream, method, path, body).expect("write request");
     read_response(&mut stream, Instant::now() + Duration::from_secs(30)).expect("read response")
+}
+
+/// Like [`request`], but also returns the (lowercased) response headers —
+/// for tests asserting on `Retry-After`.
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, method, path, body).expect("write request");
+    read_response_full(&mut stream, Instant::now() + Duration::from_secs(30))
+        .expect("read response")
+}
+
+/// Seconds from a `Retry-After` header, failing the test when absent or
+/// non-numeric: every 429/503 the server emits must carry the hint.
+fn retry_after_secs(headers: &HashMap<String, String>) -> u64 {
+    headers
+        .get("retry-after")
+        .unwrap_or_else(|| panic!("429/503 must carry Retry-After, got {headers:?}"))
+        .parse()
+        .expect("Retry-After must be integral seconds")
+}
+
+/// A request whose last body bytes are held back, pinning the server's
+/// reader mid-message (immune to idle cancellation) until
+/// [`finish`](Self::finish) releases them — the deterministic way to land
+/// a request on a server whose drain flag trips while it is in flight.
+struct HeldRequest {
+    stream: TcpStream,
+    tail: Vec<u8>,
+}
+
+fn begin_request(addr: SocketAddr, path: &str, body: &[u8]) -> HeldRequest {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let split = body.len().saturating_sub(4);
+    let mut first = head.into_bytes();
+    first.extend_from_slice(&body[..split]);
+    stream.write_all(&first).expect("write partial request");
+    stream.flush().expect("flush partial request");
+    HeldRequest {
+        stream,
+        tail: body[split..].to_vec(),
+    }
+}
+
+impl HeldRequest {
+    fn finish(mut self) -> (u16, HashMap<String, String>, Vec<u8>) {
+        self.stream.write_all(&self.tail).expect("write body tail");
+        self.stream.flush().expect("flush body tail");
+        read_response_full(&mut self.stream, Instant::now() + Duration::from_secs(30))
+            .expect("read response")
+    }
 }
 
 fn test_config() -> ServerConfig {
@@ -187,7 +250,8 @@ fn full_queue_rejects_with_429() {
         ..test_config()
     };
     let server = start_server(config);
-    let (status, body) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+    let (status, headers, body) =
+        request_full(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
     assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
     let err = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
     assert!(err
@@ -196,6 +260,9 @@ fn full_queue_rejects_with_429() {
         .as_str()
         .unwrap()
         .contains("queue full"));
+    // Retry-After is derived from queue depth; with an empty zero-capacity
+    // queue the hint is the one-second floor.
+    assert_eq!(retry_after_secs(&headers), 1);
     let stats = server.stop();
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.ok, 0);
@@ -554,10 +621,27 @@ fn session_limit_rejects_with_429_and_draining_server_rejects_with_503() {
         ..test_config()
     };
     let server = start_server(config);
-    let (status, body) = request(server.addr, "POST", "/session", SESSION_BODY.as_bytes());
+    // Gauge full and no paced victim to shed: explicit 429 + Retry-After.
+    let (status, headers, body) =
+        request_full(server.addr, "POST", "/session", SESSION_BODY.as_bytes());
     assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
-    let stats = server.stop();
+    assert_eq!(retry_after_secs(&headers), 2);
+
+    // Requests whose body completes after the drain flag trips land on the
+    // draining rejection: 503 + Retry-After, for both open and resume.
+    let open_conn = begin_request(server.addr, "/session", SESSION_BODY.as_bytes());
+    let resume_conn = begin_request(server.addr, "/session/resume", br#"{"token": "whatever"}"#);
+    std::thread::sleep(Duration::from_millis(150));
+    server.flag.trip();
+    for conn in [open_conn, resume_conn] {
+        let (status, headers, body) = conn.finish();
+        assert_eq!(status, 503, "{}", String::from_utf8_lossy(&body));
+        assert!(String::from_utf8_lossy(&body).contains("draining"));
+        assert_eq!(retry_after_secs(&headers), 5);
+    }
+    let stats = server.handle.join().expect("server thread");
     assert_eq!(stats.rejected, 1);
+    assert!(stats.shed >= 2, "both draining rejections count as shed");
     assert_eq!(stats.sessions_opened, 0);
 }
 
@@ -573,6 +657,397 @@ fn malformed_session_request_gets_400() {
     let (status, _) = request(server.addr, "POST", "/session", body.as_bytes());
     assert_eq!(status, 400, "a zero snapshot period is invalid");
     server.stop();
+}
+
+#[test]
+fn stalled_request_head_gets_408_and_frees_the_slot() {
+    // Slowloris shape: a client sends part of a request head and goes
+    // quiet. The read must be bounded by `request_timeout` and answered
+    // with a typed 408, not hold a connection slot forever.
+    let config = ServerConfig {
+        request_timeout: Duration::from_millis(250),
+        ..test_config()
+    };
+    let server = start_server(config);
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .write_all(b"POST /simulate HTTP/1.1\r\ncontent-")
+        .expect("write partial head");
+    stream.flush().unwrap();
+    let (status, _headers, body) =
+        read_response_full(&mut stream, Instant::now() + Duration::from_secs(10))
+            .expect("408 response");
+    assert_eq!(status, 408, "{}", String::from_utf8_lossy(&body));
+    let err = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(err
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("incomplete"));
+    // The server keeps serving; idle keep-alive clients are *not* 408'd
+    // (a fresh connection may take longer than request_timeout to send
+    // its first byte only once it has sent any).
+    let (status, _) = request(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let stats = server.stop();
+    assert!(stats.client_errors >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Resume tokens, alert rules, shedding, and the fixed-pool thread bound.
+// ---------------------------------------------------------------------------
+
+/// [`SESSION_BODY`] plus alert rules: the outage rule fires once (the
+/// injected 10-tick outage exceeds the 5-tick bound); the blocked-frac
+/// rule never can (the fraction is ≤ 1).
+const ALERT_SESSION_BODY: &str = r#"{
+    "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+    "p": 8, "k": 16,
+    "arbitration": "fifo",
+    "faults": {"outages": [{"start": 10, "end": 20, "channels": 1}]},
+    "snapshot_period_ticks": 64,
+    "alerts": [
+        {"kind": "channel_outage_longer_than", "ticks": 5},
+        {"kind": "blocked_frac_above", "x": 1.5}
+    ]
+}"#;
+
+/// Opens a chunked stream and returns the socket plus its line reader.
+fn open_stream(addr: SocketAddr, path: &str, body: &[u8]) -> (TcpStream, ChunkedLines) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "POST", path, body).expect("write request");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (head, leftover) = read_response_head(&mut stream, deadline).expect("response head");
+    assert_eq!(head.status, 200, "stream open must succeed");
+    assert!(head.chunked, "stream must be chunked");
+    (stream, ChunkedLines::new(leftover))
+}
+
+/// Reads a stream to its end, returning the raw JSONL lines (the unit of
+/// byte-identity for resume).
+fn read_all_lines(stream: &mut TcpStream, lines: &mut ChunkedLines) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut out = Vec::new();
+    while let Some(line) = lines.next_line(stream, deadline).expect("read line") {
+        if !line.is_empty() {
+            out.push(String::from_utf8(line).expect("utf-8 line"));
+        }
+    }
+    out
+}
+
+#[test]
+fn resumed_session_replays_a_byte_identical_suffix() {
+    let server = start_server(test_config());
+    // Golden uninterrupted stream for the byte baseline.
+    let (mut gold_stream, mut gold_lines) =
+        open_stream(server.addr, "/session", ALERT_SESSION_BODY.as_bytes());
+    let golden = read_all_lines(&mut gold_stream, &mut gold_lines);
+    assert!(golden.last().unwrap().contains("\"event\":\"done\""));
+
+    // Interrupted client: read through the first snapshot, then vanish.
+    let (mut stream, mut lines) =
+        open_stream(server.addr, "/session", ALERT_SESSION_BODY.as_bytes());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut token = String::new();
+    let acked = loop {
+        let line = lines
+            .next_line(&mut stream, deadline)
+            .expect("read line")
+            .expect("line before eof");
+        if line.is_empty() {
+            continue;
+        }
+        let event = Json::parse(std::str::from_utf8(&line).unwrap()).unwrap();
+        match event.get("event").unwrap().as_str().unwrap() {
+            "open" => token = event.get("token").unwrap().as_str().unwrap().to_string(),
+            "snapshot" => break event.get("tick").unwrap().as_u64().unwrap(),
+            _ => {}
+        }
+    };
+    assert!(!token.is_empty(), "open line must carry a resume token");
+    drop(stream); // mid-stream disconnect
+
+    // Reattach at the acknowledged snapshot. The replayed stream after the
+    // resumed open line must equal the golden stream after that snapshot
+    // line, byte for byte.
+    let resume_body = format!(r#"{{"token": "{token}", "last_tick": {acked}}}"#);
+    let (mut stream, mut lines) =
+        open_stream(server.addr, "/session/resume", resume_body.as_bytes());
+    let resumed = read_all_lines(&mut stream, &mut lines);
+    let reopen = Json::parse(&resumed[0]).unwrap();
+    assert_eq!(reopen.get("event").unwrap().as_str(), Some("open"));
+    assert_eq!(
+        reopen.get("resumed_from_tick").unwrap().as_u64(),
+        Some(acked)
+    );
+
+    let acked_idx = golden
+        .iter()
+        .position(|l| {
+            let v = Json::parse(l).unwrap();
+            v.get("event").unwrap().as_str() == Some("snapshot")
+                && v.get("tick").unwrap().as_u64() == Some(acked)
+        })
+        .expect("golden stream contains the acknowledged snapshot");
+    assert_eq!(
+        &resumed[1..],
+        &golden[acked_idx + 1..],
+        "replayed suffix must be byte-identical to the uninterrupted stream"
+    );
+    // The suffix starts with the alert fired *at* the acknowledged
+    // snapshot — alert lines follow their snapshot, so they replay.
+    assert!(
+        resumed[1].contains("\"event\":\"alert\""),
+        "first replayed line should be the tick-{acked} alert: {}",
+        resumed[1]
+    );
+    let stats = server.stop();
+    assert_eq!(stats.sessions_resumed, 1);
+    assert!(
+        stats.alerts >= 3,
+        "golden, interrupted, and resumed all fire"
+    );
+}
+
+#[test]
+fn resume_with_unknown_or_expired_token_gets_410() {
+    let server = start_server(test_config());
+    let (status, body) = request(
+        server.addr,
+        "POST",
+        "/session/resume",
+        br#"{"token": "no-such-token"}"#,
+    );
+    assert_eq!(status, 410, "{}", String::from_utf8_lossy(&body));
+    let err = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(err
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("token"));
+    let stats = server.stop();
+    assert!(stats.client_errors >= 1);
+
+    // With a zero TTL every minted token has expired by lookup time.
+    let config = ServerConfig {
+        resume_ttl: Duration::ZERO,
+        ..test_config()
+    };
+    let server = start_server(config);
+    let events = run_session(server.addr, SESSION_BODY);
+    let token = events[0]
+        .get("token")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let resume_body = format!(r#"{{"token": "{token}"}}"#);
+    let (status, _) = request(
+        server.addr,
+        "POST",
+        "/session/resume",
+        resume_body.as_bytes(),
+    );
+    assert_eq!(status, 410, "an expired token is Gone, not a server error");
+    server.stop();
+}
+
+#[test]
+fn newest_paced_session_is_shed_to_admit_new_demand() {
+    let config = ServerConfig {
+        max_sessions: 1,
+        session_workers: 1,
+        ..test_config()
+    };
+    let server = start_server(config);
+    // A paced session parks between rounds for 500 ms at a time — the shed
+    // policy's victim pool.
+    let paced_body = r#"{
+        "workload": {"kind": "cyclic", "pages": 64, "reps": 50, "seed": 1},
+        "p": 8, "k": 16,
+        "arbitration": "fifo",
+        "snapshot_period_ticks": 16,
+        "pace_ms": 500
+    }"#;
+    let addr = server.addr;
+    let paced = std::thread::spawn(move || run_session(addr, paced_body));
+    std::thread::sleep(Duration::from_millis(250));
+    // The gauge is full: the new session evicts the paced one (graceful
+    // degradation) instead of being turned away, and completes normally.
+    let events = run_session(server.addr, SESSION_BODY);
+    let done = events.last().expect("terminal line");
+    assert_eq!(done.get("reason").unwrap().as_str(), Some("completed"));
+    let shed_events = paced.join().expect("paced client");
+    let shed_done = shed_events.last().expect("terminal line");
+    assert_eq!(shed_done.get("event").unwrap().as_str(), Some("done"));
+    assert_eq!(
+        shed_done.get("reason").unwrap().as_str(),
+        Some("shed"),
+        "the evicted session must end with a complete shed line"
+    );
+    let stats = server.stop();
+    assert_eq!(stats.sessions_shed, 1);
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.rejected, 0, "shedding admitted the request instead");
+}
+
+#[test]
+fn alert_rules_fire_at_snapshots_and_are_counted() {
+    let server = start_server(test_config());
+    let events = run_session(server.addr, ALERT_SESSION_BODY);
+    let alerts: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("event").unwrap().as_str() == Some("alert"))
+        .collect();
+    assert_eq!(alerts.len(), 1, "exactly the outage rule fires, once");
+    let alert = alerts[0];
+    assert_eq!(
+        alert.get("kind").unwrap().as_str(),
+        Some("channel_outage_longer_than")
+    );
+    assert_eq!(alert.get("rule").unwrap().as_u64(), Some(0));
+    assert_eq!(alert.get("value").unwrap().as_f64(), Some(10.0));
+    assert_eq!(alert.get("threshold").unwrap().as_f64(), Some(5.0));
+    let tick = alert.get("tick").unwrap().as_u64().unwrap();
+    assert!(tick >= 20, "the rule can only fire after the outage ends");
+    // The alert line directly follows the snapshot that triggered it.
+    let i = events
+        .iter()
+        .position(|e| e.get("event").unwrap().as_str() == Some("alert"))
+        .unwrap();
+    assert_eq!(
+        events[i - 1].get("event").unwrap().as_str(),
+        Some("snapshot")
+    );
+    assert_eq!(events[i - 1].get("tick").unwrap().as_u64(), Some(tick));
+    // The firing is visible in /healthz and the final stats.
+    let (status, body) = request(server.addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(health.get("alerts").unwrap().as_u64(), Some(1));
+    let stats = server.stop();
+    assert_eq!(stats.alerts, 1);
+}
+
+/// Current thread count of this process (test + in-process server).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn a_thousand_paced_sessions_run_on_a_fixed_thread_pool() {
+    // The tentpole's acceptance bar: 1000 concurrent paced sessions on a
+    // fixed mux pool, with OS thread count bounded by
+    // session_workers + shards·workers + O(1) — not by the session count.
+    const SESSIONS: usize = 1000;
+    const OPENERS: usize = 8;
+    let config = ServerConfig {
+        shards: 1,
+        workers: 1,
+        session_workers: 4,
+        max_sessions: SESSIONS + 8,
+        max_connections: SESSIONS + 64,
+        ..ServerConfig::default()
+    };
+    let server = start_server(config);
+    let baseline = thread_count();
+    // Small engine, long pace: each session lives ~seconds on wall pacing
+    // alone, so opens overlap into genuine concurrency; per-session output
+    // (~10 KB) fits in socket buffers, so unread streams never stall.
+    let body = r#"{
+        "workload": {"kind": "cyclic", "pages": 16, "reps": 8, "seed": 3},
+        "p": 2, "k": 8,
+        "arbitration": "fifo",
+        "snapshot_period_ticks": 32,
+        "pace_ms": 300
+    }"#;
+    let addr = server.addr;
+    let streams: std::sync::Arc<std::sync::Mutex<Vec<TcpStream>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(Vec::with_capacity(SESSIONS)));
+    let openers: Vec<_> = (0..OPENERS)
+        .map(|_| {
+            let streams = std::sync::Arc::clone(&streams);
+            std::thread::spawn(move || {
+                for _ in 0..SESSIONS / OPENERS {
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    write_request(&mut s, "POST", "/session", body.as_bytes())
+                        .expect("write session request");
+                    streams.lock().unwrap().push(s);
+                }
+            })
+        })
+        .collect();
+    for o in openers {
+        o.join().expect("opener thread");
+    }
+    // Poll /healthz until every session closed, sampling the process
+    // thread count and open-session gauge at each step.
+    let mut max_threads = thread_count().max(baseline);
+    let mut max_active = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "sessions did not complete in time"
+        );
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        let health = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        max_active = max_active.max(health.get("active_sessions").unwrap().as_u64().unwrap());
+        max_threads = max_threads.max(thread_count());
+        let closed = health.get("sessions_closed").unwrap().as_u64().unwrap();
+        let reaped = health.get("sessions_reaped").unwrap().as_u64().unwrap();
+        let shed = health.get("sessions_shed").unwrap().as_u64().unwrap();
+        if closed + reaped + shed >= SESSIONS as u64 {
+            assert_eq!(
+                closed, SESSIONS as u64,
+                "every session must close cleanly (reaped {reaped}, shed {shed})"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The bound: mux pool + shard workers + slack for opener/connection/
+    // healthz threads. The point is the order of magnitude — 1000 open
+    // sessions must not mean anywhere near 1000 threads.
+    let budget = 4 + 1 + OPENERS + 16;
+    assert!(
+        max_threads <= baseline + budget,
+        "thread count must stay fixed: baseline {baseline}, peak {max_threads}"
+    );
+    assert!(
+        max_active >= 100,
+        "sessions must genuinely overlap (peak open: {max_active})"
+    );
+    // Every buffered stream ends with a completed done line.
+    let mut streams = streams.lock().unwrap();
+    let mut completed = 0usize;
+    for s in streams.iter_mut() {
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(s, &mut buf).expect("drain stream");
+        if String::from_utf8_lossy(&buf).contains("\"reason\":\"completed\"") {
+            completed += 1;
+        }
+    }
+    assert_eq!(completed, SESSIONS);
+    drop(streams);
+    let stats = server.stop();
+    assert_eq!(stats.sessions_opened as usize, SESSIONS);
+    assert_eq!(stats.sessions_closed as usize, SESSIONS);
+    assert_eq!(stats.sessions_reaped, 0);
 }
 
 #[test]
