@@ -26,9 +26,12 @@
 //! calibration scores, so a faster or slower CI runner does not read as an
 //! engine change.
 
-use hbm_core::{ArbitrationKind, BatchScratch, Engine, NoopObserver, SimBuilder, Workload};
+use hbm_core::{
+    first_divergence, ArbitrationKind, BatchCell, BatchEngine, BatchScratch, Engine, EngineScratch,
+    NoopObserver, SimBuilder, Workload,
+};
 use hbm_experiments::common::{
-    run_batch_flat, run_cell, run_cell_flat, ScratchPool, SimSettings, TracePool,
+    run_batch_flat, run_cell, run_cell_flat, CellBudget, ScratchPool, SimSettings, TracePool,
 };
 use hbm_traces::adversarial::{cyclic_workload, figure3_hbm_slots};
 use hbm_traces::{SortAlgo, TraceOptions, WorkloadSpec};
@@ -470,43 +473,69 @@ pub fn sweep_grid_comparison(scale: BenchScale) -> SweepGridComparison {
     }
 }
 
-/// Outcome of one scalar-vs-batched sweep-grid comparison (the lockstep
+/// Outcome of one scalar-vs-batched lockstep comparison (the phase-major
 /// tentpole's headline measurement): the same frozen grid as
-/// [`sweep_grid_comparison`] run twice through the `hbm_par` fan-out —
-/// once as per-cell scalar engines over shared flats with recycled
-/// scratches (the PR 4 sweep path, i.e. the *shared* side of the
-/// owned-vs-shared comparison), and once with each thread count's cells
-/// columnized into one lockstep [`BatchEngine`] batch (FIFO and Priority
-/// per HBM size, `2 × |mults|` cells wide). Both passes must produce
-/// bit-identical trajectories (`checksum_match`) — the differential suite
-/// proves it per cell; this records it on the pinned perf grid.
+/// [`sweep_grid_comparison`] run three ways. Every pass is sequential and
+/// single-threaded so the ratios isolate per-cell executor throughput:
+/// through the `hbm_par` fan-out the scalar side would split into `cells`
+/// tasks but the batched side only `batches`, and on a multi-core host
+/// that packing asymmetry biases the ratio against batching.
+///
+/// 1. **scalar** — one [`Engine`] per cell over shared flats with one
+///    recycled scratch (the PR 4 sweep path batching replaces);
+/// 2. **cell-major** — each thread count's cells columnized into one
+///    lockstep [`BatchEngine`] batch (FIFO and Priority per HBM size,
+///    `2 × |mults|` cells wide), driven by the chunked cell-major
+///    reference executor (the PR 6 executor);
+/// 3. **phase-major** — the same batches through the production
+///    phase-major executor (`BatchEngine::run`, what `run_batch_flat`
+///    and the serve path dispatch to).
+///
+/// All three must produce bit-identical trajectories (`checksum_match`) —
+/// the differential suite proves it per cell; this records it on the
+/// pinned perf grid. On a mismatch, [`first_divergence`] localizes the
+/// first divergent (cell, tick, phase) into `divergence` so the failure
+/// is actionable rather than a bare exit code.
 pub struct LockstepGridComparison {
     /// Scale name the grid was built for.
     pub scale: &'static str,
     /// Number of (p, k, policy) simulation cells in the grid.
     pub cells: usize,
-    /// Number of lockstep batches the batched pass ran (one per p).
+    /// Number of lockstep batches each batched pass ran (one per p).
     pub batches: usize,
-    /// Wall seconds for the scalar shared-flat pass.
+    /// `std::thread::available_parallelism()` at measurement time.
+    /// Recorded for transparency; the passes themselves are sequential,
+    /// so core count cancels in the same-machine ratios.
+    pub host_cores: usize,
+    /// Wall seconds for the sequential scalar pass.
     pub scalar_wall_seconds: f64,
-    /// Wall seconds for the batched lockstep pass.
-    pub batched_wall_seconds: f64,
-    /// `scalar_wall_seconds / batched_wall_seconds` — the aggregate
-    /// sweep-grid throughput gain from columnization alone (both passes
-    /// share flats and recycle scratches, so the ratio isolates lockstep
-    /// execution; calibration cancels in the same-machine ratio).
-    pub speedup: f64,
-    /// Whether both passes produced identical (makespan ^ hits) checksums
-    /// in grid order — false would mean the lockstep path changed
+    /// Wall seconds for the cell-major reference-executor pass.
+    pub cell_major_wall_seconds: f64,
+    /// Wall seconds for the phase-major production-executor pass.
+    pub phase_major_wall_seconds: f64,
+    /// `scalar_wall_seconds / cell_major_wall_seconds`.
+    pub cell_major_speedup: f64,
+    /// `scalar_wall_seconds / phase_major_wall_seconds` — the headline
+    /// batched-vs-scalar ratio [`check_lockstep_speedup`] judges.
+    pub phase_major_speedup: f64,
+    /// Whether all three passes produced identical (makespan ^ hits)
+    /// checksums in grid order — false means a batched executor changed
     /// simulation results, a correctness bug that invalidates the timing.
     pub checksum_match: bool,
+    /// On checksum mismatch: the [`first_divergence`] triage report for
+    /// the first divergent batch (first divergent cell, tick, phase, and
+    /// both engines' state dumps), or a note that the observer event
+    /// streams matched and only derived metrics differ.
+    pub divergence: Option<String>,
 }
 
-/// Runs the scalar-vs-batched lockstep comparison for one scale. The grid
-/// shape is frozen and identical to [`sweep_grid_comparison`]'s: SpGEMM
-/// under contention across a thread sweep × HBM-size multipliers × both
-/// policies, seed 42. Flats are pre-memoized before either pass so the
-/// ratio measures engine execution, not flattening.
+/// Runs the three-way scalar / cell-major / phase-major lockstep
+/// comparison for one scale. The grid shape is frozen and identical to
+/// [`sweep_grid_comparison`]'s: SpGEMM under contention across a thread
+/// sweep × HBM-size multipliers × both policies, seed 42. Flats are
+/// pre-memoized and both code paths warmed before any pass, so the
+/// ratios measure engine execution, not flattening or first-touch
+/// allocation.
 pub fn lockstep_grid_comparison(scale: BenchScale) -> LockstepGridComparison {
     let (n, ps, mults) = match scale {
         BenchScale::Small => (80usize, vec![1usize, 2, 4, 8, 16], vec![1usize, 2, 5]),
@@ -527,13 +556,27 @@ pub fn lockstep_grid_comparison(scale: BenchScale) -> LockstepGridComparison {
             })
         })
         .collect();
+    // Per-batch settings: independent of p (every batch sweeps the same
+    // HBM sizes and policies), in the same order the grid enumerates its
+    // cells within one p — so pass signatures compare positionally.
+    let settings: Vec<SimSettings> = mults
+        .iter()
+        .flat_map(|&m| {
+            let k = (m * ws).max(16);
+            [
+                SimSettings::new(k, 1, ArbitrationKind::Fifo, seed),
+                SimSettings::new(k, 1, ArbitrationKind::Priority, seed),
+            ]
+        })
+        .collect();
+    let width = settings.len();
     let checksum = |sigs: &[u64]| {
         sigs.iter()
             .fold(0u64, |sum, &sig| sum.wrapping_mul(31).wrapping_add(sig))
     };
 
-    // Pre-memoize every flat and warm the workers/allocator: both passes
-    // then read the same Arcs and the timing isolates engine execution.
+    // Pre-memoize every flat and warm both code paths (scalar and batch
+    // construction), so no pass pays flattening or cold-allocator cost.
     for &p in &ps {
         let _ = pool.flat(p);
     }
@@ -546,52 +589,196 @@ pub fn lockstep_grid_comparison(scale: BenchScale) -> LockstepGridComparison {
         seed,
         &mut Default::default(),
     ));
+    std::hint::black_box(run_batch_flat(
+        &pool.flat(wp),
+        &settings[..2.min(width)],
+        &mut BatchScratch::default(),
+    ));
 
-    // Scalar pass: one engine per cell over the shared flats — the sweep
-    // path this PR's batching replaces.
-    let scratches: ScratchPool = ScratchPool::new();
+    // Scalar pass: one engine per cell over the shared flats.
+    let mut scratch = EngineScratch::default();
     let t0 = Instant::now();
-    let scalar_sigs = hbm_par::parallel_map(&grid, |&(p, k, arb)| {
-        let flat = pool.flat(p);
-        let r = scratches.with(|scratch| run_cell_flat(&flat, k, 1, arb, seed, scratch));
-        r.makespan ^ r.hits
-    });
+    let scalar_sigs: Vec<u64> = grid
+        .iter()
+        .map(|&(p, k, arb)| {
+            let r = run_cell_flat(&pool.flat(p), k, 1, arb, seed, &mut scratch);
+            r.makespan ^ r.hits
+        })
+        .collect();
     let scalar_wall = t0.elapsed().as_secs_f64().max(1e-9);
-    let scalar_sum = checksum(&scalar_sigs);
 
-    // Batched pass: each p's cells columnized into one lockstep batch.
-    let batch_scratches: ScratchPool<BatchScratch> = ScratchPool::new();
+    // Cell-major pass: each p's cells columnized into one lockstep batch,
+    // run by the chunked reference executor.
+    let cells_for_batch: Vec<BatchCell> = settings
+        .iter()
+        .map(|s| s.to_batch_cell(CellBudget::UNLIMITED))
+        .collect();
+    let mut batch_scratch = BatchScratch::default();
     let t1 = Instant::now();
-    let batched_rows = hbm_par::parallel_map(&ps, |&p| {
-        let flat = pool.flat(p);
-        let settings: Vec<SimSettings> = mults
-            .iter()
-            .flat_map(|&m| {
-                let k = (m * ws).max(16);
-                [
-                    SimSettings::new(k, 1, ArbitrationKind::Fifo, seed),
-                    SimSettings::new(k, 1, ArbitrationKind::Priority, seed),
-                ]
-            })
-            .collect();
-        let reports = batch_scratches.with(|scratch| run_batch_flat(&flat, &settings, scratch));
-        reports
-            .iter()
-            .map(|r| r.makespan ^ r.hits)
-            .collect::<Vec<u64>>()
-    });
-    let batched_wall = t1.elapsed().as_secs_f64().max(1e-9);
-    let batched_sigs: Vec<u64> = batched_rows.into_iter().flatten().collect();
-    let batched_sum = checksum(&batched_sigs);
+    let cell_major_sigs: Vec<u64> = ps
+        .iter()
+        .flat_map(|&p| {
+            let reports =
+                BatchEngine::try_with_scratch(pool.flat(p), &cells_for_batch, &mut batch_scratch)
+                    .expect("bench grid configs are valid")
+                    .run_quiet_cell_major_reusing(&mut batch_scratch);
+            reports
+                .iter()
+                .map(|r| r.makespan ^ r.hits)
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let cell_major_wall = t1.elapsed().as_secs_f64().max(1e-9);
+
+    // Phase-major pass: the same batches through the production executor.
+    let t2 = Instant::now();
+    let phase_major_sigs: Vec<u64> = ps
+        .iter()
+        .flat_map(|&p| {
+            run_batch_flat(&pool.flat(p), &settings, &mut batch_scratch)
+                .iter()
+                .map(|r| r.makespan ^ r.hits)
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let phase_major_wall = t2.elapsed().as_secs_f64().max(1e-9);
+
+    let scalar_sum = checksum(&scalar_sigs);
+    let checksum_match =
+        scalar_sum == checksum(&cell_major_sigs) && scalar_sum == checksum(&phase_major_sigs);
+    let mut divergence = None;
+    if !checksum_match {
+        // Triage: find the first batch whose per-cell signatures differ
+        // from the scalar pass and localize the first divergent
+        // (cell, tick, phase) with full state dumps.
+        for (pi, &p) in ps.iter().enumerate() {
+            let s = &scalar_sigs[pi * width..(pi + 1) * width];
+            if s != &cell_major_sigs[pi * width..(pi + 1) * width]
+                || s != &phase_major_sigs[pi * width..(pi + 1) * width]
+            {
+                divergence = Some(
+                    first_divergence(&pool.flat(p), &cells_for_batch)
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| {
+                            format!(
+                                "batch p={p}: signatures diverge but observer event streams \
+                                 match — derived metrics only"
+                            )
+                        }),
+                );
+                break;
+            }
+        }
+    }
 
     LockstepGridComparison {
         scale: scale.name(),
         cells: grid.len(),
         batches: ps.len(),
+        host_cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
         scalar_wall_seconds: scalar_wall,
-        batched_wall_seconds: batched_wall,
-        speedup: scalar_wall / batched_wall,
-        checksum_match: scalar_sum == batched_sum,
+        cell_major_wall_seconds: cell_major_wall,
+        phase_major_wall_seconds: phase_major_wall,
+        cell_major_speedup: scalar_wall / cell_major_wall,
+        phase_major_speedup: scalar_wall / phase_major_wall,
+        checksum_match,
+        divergence,
+    }
+}
+
+/// Speedup floor for [`check_lockstep_speedup`]: the production batched
+/// executor must beat the scalar sweep path by more than this ratio on
+/// the judged grid.
+pub const LOCKSTEP_MIN_SPEEDUP: f64 = 1.5;
+
+/// Noise floor for the lockstep gate: a scalar pass under 50 ms is
+/// timer/turbo-noise-dominated and judging a ratio on it would flake.
+const LOCKSTEP_NOISE_FLOOR_SECONDS: f64 = 0.05;
+
+/// Outcome of the self-relative lockstep-speedup gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockstepVerdict {
+    /// The phase-major executor cleared the required ratio on the judged
+    /// grid.
+    Pass {
+        /// Scale name of the judged grid.
+        scale: String,
+        /// Measured `scalar_wall / phase_major_wall`.
+        speedup: f64,
+        /// The judged grid's scalar wall seconds (the timing signal the
+        /// ratio rests on).
+        scalar_wall_seconds: f64,
+    },
+    /// The ratio (or trajectory identity) failed; carries the
+    /// human-readable failure line.
+    Fail(String),
+    /// The measurement cannot support an honest judgement; carries the
+    /// reason. Two conditions trigger this: batches averaging fewer than
+    /// two cells (single-cell batches take the scalar fallback, so there
+    /// is no lockstep execution to measure) and a scalar pass below the
+    /// noise floor. `host_cores` is recorded in the document and echoed
+    /// in verdict lines but does **not** trigger a skip: unlike
+    /// `check_scaling`'s parallel shard measurement, both lockstep
+    /// passes are sequential and single-threaded, so core count cancels
+    /// in the ratio.
+    Skipped(String),
+}
+
+/// The self-relative lockstep-speedup gate over one run's grids: on the
+/// longest-running grid measured (the one with the most timing signal),
+/// the phase-major batched pass must beat the scalar pass by more than
+/// `min_ratio`. Both passes come from the same sequential run on the
+/// same machine, so no baseline or calibration is involved. Divergent
+/// checksums on *any* grid fail outright — a wrong-answer executor has
+/// no valid timing to judge.
+pub fn check_lockstep_speedup(grids: &[LockstepGridComparison], min_ratio: f64) -> LockstepVerdict {
+    if grids.is_empty() {
+        return LockstepVerdict::Skipped("no lockstep grids were measured".into());
+    }
+    if let Some(bad) = grids.iter().find(|g| !g.checksum_match) {
+        return LockstepVerdict::Fail(format!(
+            "LOCKSTEP DIVERGENCE {}: batched trajectories differ from scalar; timing is invalid",
+            bad.scale
+        ));
+    }
+    let judged = grids
+        .iter()
+        .max_by(|a, b| a.scalar_wall_seconds.total_cmp(&b.scalar_wall_seconds))
+        .expect("grids is non-empty");
+    let width = judged.cells as f64 / judged.batches.max(1) as f64;
+    if width < 2.0 {
+        return LockstepVerdict::Skipped(format!(
+            "'{}' batches average {width:.1} cells; single-cell batches take the scalar \
+             fallback, so there is no lockstep execution to judge",
+            judged.scale
+        ));
+    }
+    if judged.scalar_wall_seconds < LOCKSTEP_NOISE_FLOOR_SECONDS {
+        return LockstepVerdict::Skipped(format!(
+            "'{}' scalar pass finished in {:.1} ms, under the {:.0} ms noise floor; the ratio \
+             would be timer noise",
+            judged.scale,
+            judged.scalar_wall_seconds * 1e3,
+            LOCKSTEP_NOISE_FLOOR_SECONDS * 1e3
+        ));
+    }
+    if judged.phase_major_speedup > min_ratio {
+        LockstepVerdict::Pass {
+            scale: judged.scale.to_string(),
+            speedup: judged.phase_major_speedup,
+            scalar_wall_seconds: judged.scalar_wall_seconds,
+        }
+    } else {
+        LockstepVerdict::Fail(format!(
+            "LOCKSTEP SPEEDUP {}: phase-major sustained {:.2}x vs scalar (required > \
+             {:.2}x; {} cells over {} batches, {} host core(s))",
+            judged.scale,
+            judged.phase_major_speedup,
+            min_ratio,
+            judged.cells,
+            judged.batches,
+            judged.host_cores
+        ))
     }
 }
 
@@ -654,18 +841,43 @@ fn json_f6(x: f64) -> String {
     }
 }
 
-/// Renders the full benchmark document (schema 4). `pre_pr` optionally
+/// Escapes a string for embedding in a JSON string literal. Triage dumps
+/// carry newlines and quotes; the line-oriented cell parser stays safe
+/// because escaped quotes (`\"`) never match its `"key": ` patterns.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full benchmark document (schema 5). `pre_pr` optionally
 /// carries the pre-optimization `(fig3_ticks_per_sec, calibration_score)`
 /// pair measured on the same machine, so the emitted JSON records the
 /// speedup the PR delivered on the adversarial sweep; `sweep_grids`
 /// carries the owned-vs-shared comparisons and `lockstep_grids` the
-/// scalar-vs-batched lockstep comparisons (one per scale each).
+/// three-way scalar / cell-major / phase-major lockstep comparisons (one
+/// per scale each).
 ///
-/// Schema 4 adds the top-level `lockstep_grid` section. Schema 3 added
-/// per-cell `setup_seconds`, `rss_before_bytes` and `peak_rss_delta_bytes`
-/// plus the top-level `sweep_grid` section; older documents (which lack
-/// them) still parse — the setup gate simply skips cells without baseline
-/// setup data.
+/// Schema 5 re-shapes `lockstep_grid` into the three-way comparison
+/// (`cell_major_*` and `phase_major_*` columns, `host_cores`, an optional
+/// `divergence` triage report), switches per-cell `wall_seconds` to
+/// microsecond precision (sub-millisecond cells used to flatten to
+/// `0.000`), and adds the `lockstep_gate` verdict object computed by
+/// [`check_lockstep_speedup`] at [`LOCKSTEP_MIN_SPEEDUP`]. Schema 4 added
+/// the top-level `lockstep_grid` section; schema 3 added per-cell
+/// `setup_seconds`, `rss_before_bytes` and `peak_rss_delta_bytes` plus
+/// the top-level `sweep_grid` section. Older documents still parse — the
+/// gates simply skip data their baselines lack.
 pub fn render_json(
     scale_names: &str,
     calibration: f64,
@@ -676,9 +888,9 @@ pub fn render_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(
-        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_6.json\",\n",
+        "  \"command\": \"cargo run --release -p hbm-bench --bin bench_harness -- --out BENCH_9.json\",\n",
     );
     out.push_str(&format!("  \"scales\": \"{scale_names}\",\n"));
     out.push_str(&format!(
@@ -698,7 +910,7 @@ pub fn render_json(
             r.far_latency,
             r.total_refs,
             r.ticks,
-            json_f(r.wall_seconds),
+            json_f6(r.wall_seconds),
             json_f6(r.setup_seconds),
             json_f(r.ticks_per_sec),
             json_f(r.refs_per_sec),
@@ -732,18 +944,42 @@ pub fn render_json(
         } else {
             ","
         };
+        let divergence = g.divergence.as_ref().map_or(String::new(), |d| {
+            format!(", \"divergence\": \"{}\"", json_escape(d))
+        });
         out.push_str(&format!(
-            "    {{\"scale\": \"{}\", \"cells\": {}, \"batches\": {}, \"scalar_wall_seconds\": {}, \"batched_wall_seconds\": {}, \"batched_vs_scalar_speedup\": {}, \"checksum_match\": {}}}{comma}\n",
+            "    {{\"scale\": \"{}\", \"cells\": {}, \"batches\": {}, \"host_cores\": {}, \"scalar_wall_seconds\": {}, \"cell_major_wall_seconds\": {}, \"phase_major_wall_seconds\": {}, \"cell_major_vs_scalar_speedup\": {}, \"phase_major_vs_scalar_speedup\": {}, \"checksum_match\": {}{divergence}}}{comma}\n",
             g.scale,
             g.cells,
             g.batches,
+            g.host_cores,
             json_f6(g.scalar_wall_seconds),
-            json_f6(g.batched_wall_seconds),
-            json_f(g.speedup),
+            json_f6(g.cell_major_wall_seconds),
+            json_f6(g.phase_major_wall_seconds),
+            json_f(g.cell_major_speedup),
+            json_f(g.phase_major_speedup),
             g.checksum_match,
         ));
     }
     out.push_str("  ],\n");
+    let verdict = check_lockstep_speedup(lockstep_grids, LOCKSTEP_MIN_SPEEDUP);
+    let (verdict_name, detail) = match &verdict {
+        LockstepVerdict::Pass {
+            scale,
+            speedup,
+            scalar_wall_seconds,
+        } => (
+            "pass",
+            format!("{scale}: phase-major {speedup:.2}x vs scalar over {scalar_wall_seconds:.3}s"),
+        ),
+        LockstepVerdict::Fail(m) => ("fail", m.clone()),
+        LockstepVerdict::Skipped(m) => ("skipped", m.clone()),
+    };
+    out.push_str(&format!(
+        "  \"lockstep_gate\": {{\"min_speedup\": {}, \"verdict\": \"{verdict_name}\", \"detail\": \"{}\"}},\n",
+        json_f(LOCKSTEP_MIN_SPEEDUP),
+        json_escape(&detail),
+    ));
     let fig3 = group_ticks_per_sec(results, "fig3");
     out.push_str("  \"summary\": {\n");
     out.push_str(&format!("    \"fig3_ticks_per_sec\": {},\n", json_f(fig3)));
@@ -984,10 +1220,14 @@ mod tests {
             scale: "small",
             cells: 30,
             batches: 5,
+            host_cores: 4,
             scalar_wall_seconds: 3.0,
-            batched_wall_seconds: 1.0,
-            speedup: 3.0,
+            cell_major_wall_seconds: 1.5,
+            phase_major_wall_seconds: 1.0,
+            cell_major_speedup: 2.0,
+            phase_major_speedup: 3.0,
             checksum_match: true,
+            divergence: None,
         }
     }
 
@@ -1011,14 +1251,106 @@ mod tests {
         assert!((cells[0].ticks_per_sec - 20_000.0).abs() < 1.0);
         assert_eq!(cells[0].setup_seconds, Some(0.001));
         assert_eq!(parse_calibration(&json), Some(1e8));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"fig3_speedup_vs_pre_pr\""));
         assert!(json.contains("\"rss_before_bytes\": 524288"));
         assert!(json.contains("\"peak_rss_delta_bytes\": 262144"));
         assert!(json.contains("\"shared_vs_owned_speedup\": 2.000"));
-        assert!(json.contains("\"batched_vs_scalar_speedup\": 3.000"));
+        assert!(json.contains("\"cell_major_vs_scalar_speedup\": 2.000"));
+        assert!(json.contains("\"phase_major_vs_scalar_speedup\": 3.000"));
         assert!(json.contains("\"batches\": 5"));
+        assert!(json.contains("\"host_cores\": 4"));
         assert!(json.contains("\"checksum_match\": true"));
+        assert!(!json.contains("\"divergence\""));
+        assert!(json.contains("\"lockstep_gate\": {\"min_speedup\": 1.500, \"verdict\": \"pass\""));
+    }
+
+    /// Satellite regression: sub-millisecond cells used to flatten to
+    /// `"wall_seconds": 0.000` under the 3-digit formatter; the document
+    /// must keep microsecond precision.
+    #[test]
+    fn fast_cell_wall_seconds_keep_microsecond_precision() {
+        let json = render_json(
+            "small",
+            1e8,
+            &[fake_result("fast", "fig3", 500, 0.000417)],
+            None,
+            &[],
+            &[],
+        );
+        assert!(
+            json.contains("\"wall_seconds\": 0.000417"),
+            "microseconds lost: {json}"
+        );
+    }
+
+    #[test]
+    fn divergence_is_embedded_escaped() {
+        let mut g = fake_lockstep_grid();
+        g.checksum_match = false;
+        g.divergence = Some("cell 3 tick 7\nphase \"serve\"".into());
+        let json = render_json("small", 1e8, &[], None, &[], &[g]);
+        assert!(json.contains("\"divergence\": \"cell 3 tick 7\\nphase \\\"serve\\\"\""));
+        assert!(json.contains("\"verdict\": \"fail\""));
+        // The escaped dump must not confuse the line-oriented cell parser.
+        assert!(parse_cells(&json).is_empty());
+    }
+
+    #[test]
+    fn lockstep_gate_passes_fails_and_skips() {
+        // Pass: 3.0x on a 3 s scalar pass, width 6.
+        match check_lockstep_speedup(&[fake_lockstep_grid()], 1.5) {
+            LockstepVerdict::Pass { scale, speedup, .. } => {
+                assert_eq!(scale, "small");
+                assert!((speedup - 3.0).abs() < 1e-9);
+            }
+            v => panic!("expected Pass, got {v:?}"),
+        }
+        // Fail: ratio under the floor.
+        let mut slow = fake_lockstep_grid();
+        slow.phase_major_speedup = 1.2;
+        match check_lockstep_speedup(&[slow], 1.5) {
+            LockstepVerdict::Fail(line) => assert!(line.contains("LOCKSTEP SPEEDUP")),
+            v => panic!("expected Fail, got {v:?}"),
+        }
+        // Fail: divergent checksums trump everything.
+        let mut diverged = fake_lockstep_grid();
+        diverged.checksum_match = false;
+        match check_lockstep_speedup(&[diverged], 1.5) {
+            LockstepVerdict::Fail(line) => assert!(line.contains("LOCKSTEP DIVERGENCE")),
+            v => panic!("expected Fail, got {v:?}"),
+        }
+        // Skip: single-cell batches take the scalar fallback.
+        let mut narrow = fake_lockstep_grid();
+        narrow.cells = 5;
+        narrow.batches = 5;
+        assert!(matches!(
+            check_lockstep_speedup(&[narrow], 1.5),
+            LockstepVerdict::Skipped(_)
+        ));
+        // Skip: scalar pass under the noise floor.
+        let mut noisy = fake_lockstep_grid();
+        noisy.scalar_wall_seconds = 0.004;
+        assert!(matches!(
+            check_lockstep_speedup(&[noisy], 1.5),
+            LockstepVerdict::Skipped(_)
+        ));
+        // Skip: nothing measured.
+        assert!(matches!(
+            check_lockstep_speedup(&[], 1.5),
+            LockstepVerdict::Skipped(_)
+        ));
+        // The longest-running grid is the one judged.
+        let mut small = fake_lockstep_grid();
+        small.phase_major_speedup = 0.9;
+        small.scalar_wall_seconds = 0.2;
+        let mut medium = fake_lockstep_grid();
+        medium.scale = "medium";
+        medium.scalar_wall_seconds = 10.0;
+        match check_lockstep_speedup(&[small, medium], 1.5) {
+            LockstepVerdict::Pass { scale, .. } => assert_eq!(scale, "medium"),
+            v => panic!("expected Pass on medium, got {v:?}"),
+        }
     }
 
     #[test]
@@ -1210,10 +1542,18 @@ mod tests {
         assert_eq!(g.scale, "small");
         assert_eq!(g.cells, 5 * 3 * 2);
         assert_eq!(g.batches, 5);
-        assert!(g.checksum_match, "batched path must be bit-identical");
+        assert!(
+            g.checksum_match,
+            "batched paths must be bit-identical: {:?}",
+            g.divergence
+        );
+        assert!(g.divergence.is_none());
+        assert!(g.host_cores >= 1);
         assert!(g.scalar_wall_seconds > 0.0);
-        assert!(g.batched_wall_seconds > 0.0);
-        assert!(g.speedup > 0.0);
+        assert!(g.cell_major_wall_seconds > 0.0);
+        assert!(g.phase_major_wall_seconds > 0.0);
+        assert!(g.cell_major_speedup > 0.0);
+        assert!(g.phase_major_speedup > 0.0);
     }
 
     #[test]

@@ -305,16 +305,18 @@ impl CellCtx<'_> {
         false
     }
 
-    /// Executes one tick (steps 1–5). No-op when the cell is done. When
-    /// the upcoming span of ticks is provably inert the cell first
-    /// fast-forwards across it, so one call may advance `s.tick` by more
-    /// than one.
-    pub(crate) fn step<O: SimObserver>(&mut self, observer: &mut O) {
+    /// Opens one tick: fast-forward over inert spans, `on_tick_start`, the
+    /// fault pre-step, and step 1 (remap). Returns `Some(q_eff)` — this
+    /// tick's effective channel count, threaded through the remaining
+    /// phases — when a tick executes at `s.tick`, or `None` when the cell
+    /// is finished or clamped at `max_ticks` (no tick runs; the cell is
+    /// permanently inactive).
+    pub(crate) fn tick_begin<O: SimObserver>(&mut self, observer: &mut O) -> Option<usize> {
         if self.s.remaining == 0 {
-            return;
+            return None;
         }
         if self.fast_forward() {
-            return;
+            return None;
         }
         let t = self.s.tick;
         let q = self.config.channels;
@@ -356,7 +358,13 @@ impl CellCtx<'_> {
             }
             self.s.next_remap = self.arbiter.next_remap_at_or_after(t + 1);
         }
+        Some(q_eff)
+    }
 
+    /// Step 2 of the current tick (only valid between [`Self::tick_begin`]
+    /// returning `Some` and [`Self::tick_end`]).
+    pub(crate) fn tick_issue<O: SimObserver>(&mut self, observer: &mut O) {
+        let t = self.s.tick;
         // Step 2: issue requests; misses enter the DRAM queue. Bit-ascending
         // iteration means "for each core" is increasing core id (canonical
         // order, see module docs).
@@ -411,7 +419,11 @@ impl CellCtx<'_> {
                 }
             }
         }
+    }
 
+    /// Step 3 of the current tick.
+    pub(crate) fn tick_evict<O: SimObserver>(&mut self, q_eff: usize, observer: &mut O) {
+        let t = self.s.tick;
         // Step 3: evict up to q_eff pages when the queue exceeds free
         // capacity — the machine only makes room for as many fetches as it
         // can start, so an outage shrinks the eviction budget too. Slots
@@ -434,7 +446,11 @@ impl CellCtx<'_> {
                 None => break, // every resident page is pinned
             }
         }
+    }
 
+    /// Step 4 of the current tick.
+    pub(crate) fn tick_serve<O: SimObserver>(&mut self, observer: &mut O) {
+        let t = self.s.tick;
         // Step 4: serve resident requests in increasing core id (canonical
         // order for free: bit-ascending iteration, regardless of the order
         // in which fetches landed).
@@ -473,7 +489,11 @@ impl CellCtx<'_> {
                 }
             }
         }
+    }
 
+    /// Step 5 of the current tick (transfer start + land).
+    pub(crate) fn tick_transfer<O: SimObserver>(&mut self, q_eff: usize, observer: &mut O) {
+        let t = self.s.tick;
         // Step 5: start up to q transfers on free far channels, then land
         // the transfers that complete this tick. With far_latency = 1 (the
         // paper's model) a transfer started now lands now, so the two
@@ -574,7 +594,12 @@ impl CellCtx<'_> {
                 observer.on_fetch(t, req.core, req.page);
             }
         }
+    }
 
+    /// Closes the current tick: end-of-tick sampling, invariant checks,
+    /// worklist swaps, and the tick advance.
+    pub(crate) fn tick_end(&mut self, q_eff: usize) {
+        let t = self.s.tick;
         self.metrics.sample_queue_len(self.s.queue_len);
         if self.s.plan_active && self.s.queue_len > 0 && q_eff == 0 {
             self.metrics.record_outage_blocked_n(1);
@@ -595,6 +620,99 @@ impl CellCtx<'_> {
         debug_assert!(self.issue_next_bits.iter().all(|&w| w == 0));
         debug_assert!(self.ready_next_bits.iter().all(|&w| w == 0));
         self.s.tick = t + 1;
+    }
+
+    /// Human-readable snapshot of the cell's full mutable state, for the
+    /// divergence triage tool ([`crate::triage`]). Large tables are
+    /// elided after a prefix — triage wants the neighborhood of the first
+    /// divergence, not a core dump.
+    pub(crate) fn dump_state(&self) -> String {
+        use std::fmt::Write;
+        const LIMIT: usize = 16;
+        let s = &self.s;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "tick={} remaining={} makespan={} queue_len={} issue={} ready={} \
+             issue_next={} ready_next={} last_down={} next_remap={:?}",
+            s.tick,
+            s.remaining,
+            s.makespan,
+            s.queue_len,
+            s.issue_count,
+            s.ready_count,
+            s.issue_next_count,
+            s.ready_next_count,
+            s.last_down,
+            s.next_remap,
+        );
+        let _ = writeln!(
+            out,
+            "hbm: resident={}/{} free_slots={}",
+            self.hbm.len(),
+            self.hbm.capacity(),
+            self.hbm.free_slots()
+        );
+        let _ = writeln!(out, "channel_busy={:?}", self.channel_busy);
+        let _ = writeln!(out, "in_flight={:?}", self.in_flight);
+        for (c, rt) in self.cores.iter().enumerate().take(LIMIT) {
+            let _ = writeln!(
+                out,
+                "core {c}: pos={}/{} issue_tick={} was_miss={} cur_page={} cur_idx={}",
+                rt.pos, rt.end, rt.issue_tick, rt.was_miss, rt.cur_page, rt.cur_idx
+            );
+        }
+        if self.cores.len() > LIMIT {
+            let _ = writeln!(out, "(+{} more cores)", self.cores.len() - LIMIT);
+        }
+        let busy_pages = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, pg)| pg.pinned != 0 || pg.waiter_head != NIL);
+        let mut shown = 0usize;
+        let mut elided = 0usize;
+        for (idx, pg) in busy_pages {
+            if shown == LIMIT {
+                elided += 1;
+                continue;
+            }
+            shown += 1;
+            let mut chain = Vec::new();
+            let mut c = pg.waiter_head;
+            while c != NIL && chain.len() <= self.waiter_next.len() {
+                chain.push(c);
+                c = self.waiter_next[c as usize];
+            }
+            let _ = writeln!(
+                out,
+                "page idx={idx}: pinned={} waiters={chain:?}",
+                pg.pinned
+            );
+        }
+        if elided > 0 {
+            let _ = writeln!(out, "(+{elided} more busy pages)");
+        }
+        out
+    }
+
+    /// Executes one tick (steps 1–5). No-op when the cell is done. When
+    /// the upcoming span of ticks is provably inert the cell first
+    /// fast-forwards across it, so one call may advance `s.tick` by more
+    /// than one.
+    ///
+    /// The body is nothing but the five phase methods in canonical order —
+    /// the phase-major batch executor in [`crate::lockstep`] calls the
+    /// same methods per phase across all cells, so the two executors are
+    /// bit-identical by construction.
+    pub(crate) fn step<O: SimObserver>(&mut self, observer: &mut O) {
+        if let Some(q_eff) = self.tick_begin(observer) {
+            self.tick_issue(observer);
+            self.tick_evict(q_eff, observer);
+            self.tick_serve(observer);
+            self.tick_transfer(q_eff, observer);
+            self.tick_end(q_eff);
+        }
     }
 }
 
@@ -831,6 +949,12 @@ impl Engine {
     /// Current priority of `core` under the arbitration policy, if any.
     pub fn priority_of(&self, core: CoreId) -> Option<u32> {
         self.arbiter.priority_of(core)
+    }
+
+    /// Human-readable snapshot of the engine's mutable state, for the
+    /// divergence triage tool ([`crate::triage`]).
+    pub(crate) fn dump_state(&mut self) -> String {
+        self.cell_mut().dump_state()
     }
 
     /// Lends every mutable field to the shared tick implementation.

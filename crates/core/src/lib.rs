@@ -75,6 +75,7 @@ pub mod rng;
 pub mod slab_list;
 pub mod stats;
 pub mod testkit;
+pub mod triage;
 pub mod workload;
 
 pub use arbitration::{ArbitrationKind, ArbitrationPolicy, Request};
@@ -90,4 +91,5 @@ pub use observer::{FaultEvent, NoopObserver, RecordingObserver, SimObserver};
 pub use oracle::OracleEngine;
 pub use page_index::PageIndexer;
 pub use replacement::{ReplacementKind, ReplacementPolicy};
+pub use triage::{first_divergence, DivergenceReport, EventDivergence};
 pub use workload::{Trace, Workload};

@@ -13,20 +13,44 @@
 //! `Arc<FlatWorkload>` (PR 4), and the column arena is allocated once per
 //! batch instead of once per cell.
 //!
-//! # Scheduling granularity
+//! # Phase-major execution
 //!
 //! Because cells share no mutable state, *any* interleaving of per-cell
 //! steps produces bit-identical trajectories — scheduling is purely a
-//! performance knob. Measurement on the frozen bench grid showed that
-//! one-step rounds ([`BatchEngine::step_round`]) pay for re-slicing the
-//! twelve column windows on every step (~20% over the scalar path), so
-//! the quiet run loops instead grant each live cell
-//! [`QUIET_CHUNK`](BatchEngine::QUIET_CHUNK) steps per column borrow —
-//! coarse enough to amortize the re-borrow, fine enough that the cells
-//! of a batch stay loosely aligned in the shared trace. `BENCH_6.json`'s
-//! `lockstep_grid` section records the resulting scalar-vs-batched wall
-//! time honestly; the win of batching is the column arena + single
-//! construction pass, not the interleaving itself.
+//! performance knob. The default executor is **phase-major**: each round
+//! runs one tick phase of the five-step loop across *all* live cells
+//! before moving to the next phase (all issue scans, then all evictions,
+//! then all serves, …). The tick is factored into phase methods on
+//! [`CellCtx`] (`tick_begin` / `tick_issue` / `tick_evict` / `tick_serve`
+//! / `tick_transfer` / `tick_end`) and the scalar `step` is nothing but
+//! those phases in canonical order, so both executors share the phase
+//! bodies and bit-identity holds by construction.
+//!
+//! PR 6 measured that re-slicing the twelve column windows per step costs
+//! ~20% over the scalar path; naive phase-major would re-slice *per
+//! phase* and sink further. The phase-major driver therefore partitions
+//! every column into its disjoint per-cell windows **once per run**
+//! (iterated `split_at_mut`, one `CellCtx` per cell held for the whole
+//! run) so a phase pass is a plain indexed loop over prebuilt contexts —
+//! the per-phase marginal cost is one bounds check and one call. Each
+//! phase pass walks the n×p core-column matrix / n×words bitset matrix /
+//! ragged `chan_off` channel timelines row by row with the same
+//! word-parallel scans as the scalar engine, back to back across cells,
+//! so the phase body's code and branch patterns stay hot in the core
+//! while trajectories diverge freely.
+//!
+//! Fast-forward composes per cell, not globally: in the round's begin
+//! phase each cell skips to *its own* next event tick (which subsumes a
+//! cross-cell `min` — a global minimum would wake every cell at the
+//! earliest event of any cell and re-prove inertness repeatedly), so
+//! quiescent spans cost zero phase passes and cells clamped at
+//! `max_ticks` leave the live worklist permanently.
+//!
+//! The cell-major reference executor (one cell at a time through
+//! [`QUIET_CHUNK`](BatchEngine::QUIET_CHUNK)-step column borrows) is kept
+//! as [`BatchEngine::run_cell_major`] / `run_quiet_cell_major`; the bench
+//! harness runs both and `BENCH_9.json`'s `lockstep_grid` section records
+//! scalar vs cell-major vs phase-major wall time honestly.
 //!
 //! # Bit-identity by construction
 //!
@@ -310,8 +334,19 @@ impl BatchEngine {
     }
 
     /// Whether cell `i` still has ticks to execute.
-    fn cell_active(&self, i: usize) -> bool {
+    pub(crate) fn cell_active(&self, i: usize) -> bool {
         self.scalars[i].remaining != 0 && self.scalars[i].tick < self.configs[i].max_ticks
+    }
+
+    /// Cell `i`'s tick about to execute (triage inspection).
+    pub(crate) fn cell_tick(&self, i: usize) -> Tick {
+        self.scalars[i].tick
+    }
+
+    /// Human-readable snapshot of cell `i`'s state, for the divergence
+    /// triage tool ([`crate::triage`]).
+    pub(crate) fn cell_state_dump(&mut self, i: usize) -> String {
+        self.cell_mut(i).dump_state()
     }
 
     /// Lends cell `i`'s column windows and per-cell state to the shared
@@ -384,7 +419,9 @@ impl BatchEngine {
 
     /// Advances every live cell by one `step` (which may fast-forward
     /// several ticks), in increasing cell index. Returns the number of
-    /// cells stepped — 0 means the batch is done.
+    /// cells stepped — 0 means the batch is done. This is the cell-major
+    /// reference round; [`step_phase_round`](Self::step_phase_round) is
+    /// its phase-major counterpart.
     pub fn step_round<O: SimObserver>(&mut self, observers: &mut [O]) -> usize {
         debug_assert_eq!(observers.len(), self.len());
         let mut stepped = 0;
@@ -397,37 +434,250 @@ impl BatchEngine {
         stepped
     }
 
+    /// Partitions every column into its disjoint per-cell windows and
+    /// builds one [`CellCtx`] per cell — the phase-major executor's
+    /// working set. Built once per run (iterated `split_at_mut`, so the
+    /// borrows are provably disjoint); phase passes then index straight
+    /// into the returned vector with no per-phase re-slicing.
+    fn cell_ctxs(&mut self) -> Vec<CellCtx<'_>> {
+        let n = self.configs.len();
+        let p = self.p;
+        let words = self.words;
+        let total_pages = self.total_pages;
+        let flat = &*self.flat;
+        let chan_off = &self.chan_off;
+        let mut cores = self.cores.as_mut_slice();
+        let mut issue_bits = self.issue_bits.as_mut_slice();
+        let mut issue_next_bits = self.issue_next_bits.as_mut_slice();
+        let mut ready_bits = self.ready_bits.as_mut_slice();
+        let mut ready_next_bits = self.ready_next_bits.as_mut_slice();
+        let mut pages = self.pages.as_mut_slice();
+        let mut waiter_next = self.waiter_next.as_mut_slice();
+        let mut channel_busy = self.channel_busy.as_mut_slice();
+        let mut ctxs = Vec::with_capacity(n);
+        let cells = self
+            .configs
+            .iter()
+            .zip(self.plans.iter())
+            .zip(self.scalars.iter_mut())
+            .zip(self.hbms.iter_mut())
+            .zip(self.arbiters.iter_mut())
+            .zip(self.metrics.iter_mut())
+            .zip(self.cell_bufs.iter_mut());
+        for (i, ((((((config, plan), s), hbm), arbiter), metrics), bufs)) in cells.enumerate() {
+            let (c, rest) = std::mem::take(&mut cores).split_at_mut(p);
+            cores = rest;
+            let (ib, rest) = std::mem::take(&mut issue_bits).split_at_mut(words);
+            issue_bits = rest;
+            let (inb, rest) = std::mem::take(&mut issue_next_bits).split_at_mut(words);
+            issue_next_bits = rest;
+            let (rb, rest) = std::mem::take(&mut ready_bits).split_at_mut(words);
+            ready_bits = rest;
+            let (rnb, rest) = std::mem::take(&mut ready_next_bits).split_at_mut(words);
+            ready_next_bits = rest;
+            let (pg, rest) = std::mem::take(&mut pages).split_at_mut(total_pages);
+            pages = rest;
+            let (wn, rest) = std::mem::take(&mut waiter_next).split_at_mut(p);
+            waiter_next = rest;
+            let (cb, rest) =
+                std::mem::take(&mut channel_busy).split_at_mut(chan_off[i + 1] - chan_off[i]);
+            channel_busy = rest;
+            ctxs.push(CellCtx {
+                config,
+                flat,
+                plan,
+                hbm,
+                arbiter,
+                metrics,
+                cores: c,
+                issue_bits: ib,
+                issue_next_bits: inb,
+                ready_bits: rb,
+                ready_next_bits: rnb,
+                pages: pg,
+                waiter_next: wn,
+                channel_busy: cb,
+                fetch_buf: &mut bufs.fetch_buf,
+                in_flight: &mut bufs.in_flight,
+                s,
+            });
+        }
+        ctxs
+    }
+
+    /// The phase-major driver (see module docs): each round opens one
+    /// tick on every live cell (fast-forward + fault pre-step + remap),
+    /// then runs each of the remaining phases across all cells that
+    /// opened a tick before moving to the next phase. `keep_going` is
+    /// polled every 64 rounds (vDSO-call amortization for wall budgets);
+    /// returning `false` abandons the run cooperatively — unfinished
+    /// cells report `truncated`, exactly like the scalar engine.
+    fn run_phase_major<O: SimObserver>(
+        &mut self,
+        observers: &mut [O],
+        mut keep_going: impl FnMut() -> bool,
+    ) {
+        let n = self.configs.len();
+        debug_assert_eq!(observers.len(), n);
+        if n == 0 {
+            return;
+        }
+        let mut ctxs = self.cell_ctxs();
+        // Live worklist: cells that may still execute ticks. Finished or
+        // max_ticks-clamped cells drop out permanently and cost nothing.
+        let mut live: Vec<u32> = (0..n as u32).collect();
+        // (cell, q_eff) for cells that opened a tick this round.
+        let mut exec: Vec<(u32, u32)> = Vec::with_capacity(n);
+        let mut rounds: u64 = 0;
+        loop {
+            exec.clear();
+            live.retain(|&iu| {
+                let i = iu as usize;
+                let ctx = &mut ctxs[i];
+                if ctx.s.remaining == 0 || ctx.s.tick >= ctx.config.max_ticks {
+                    return false;
+                }
+                match ctx.tick_begin(&mut observers[i]) {
+                    Some(q_eff) => {
+                        exec.push((iu, q_eff as u32));
+                        true
+                    }
+                    // `None` means finished or clamped at `max_ticks` —
+                    // permanently inactive either way.
+                    None => false,
+                }
+            });
+            // Every live cell either opened a tick or left the worklist,
+            // so an empty exec list means the batch is done.
+            if exec.is_empty() {
+                return;
+            }
+            for &(i, _) in &exec {
+                ctxs[i as usize].tick_issue(&mut observers[i as usize]);
+            }
+            for &(i, q_eff) in &exec {
+                ctxs[i as usize].tick_evict(q_eff as usize, &mut observers[i as usize]);
+            }
+            for &(i, _) in &exec {
+                ctxs[i as usize].tick_serve(&mut observers[i as usize]);
+            }
+            // Transfer start/land is the last of the paper's five steps;
+            // `tick_end` is per-cell close-out bookkeeping (sampling,
+            // worklist swaps), not a cross-cell phase, so it rides the
+            // same pass instead of paying a sixth sweep over the batch.
+            for &(i, q_eff) in &exec {
+                let ctx = &mut ctxs[i as usize];
+                ctx.tick_transfer(q_eff as usize, &mut observers[i as usize]);
+                ctx.tick_end(q_eff as usize);
+            }
+            rounds += 1;
+            if rounds & 63 == 0 && !keep_going() {
+                return;
+            }
+        }
+    }
+
+    /// One phase-major round: every live cell that can open a tick does,
+    /// then each phase runs across all of them. Returns the number of
+    /// cells that executed a tick — 0 means the batch is done.
+    /// Bit-identical to [`step_round`](Self::step_round) per cell (cells
+    /// share no mutable state). Test-grade API: it rebuilds the per-cell
+    /// column windows on every call; the run loops amortize that across
+    /// the whole run.
+    pub fn step_phase_round<O: SimObserver>(&mut self, observers: &mut [O]) -> usize {
+        debug_assert_eq!(observers.len(), self.len());
+        let mut ctxs = self.cell_ctxs();
+        let mut exec: Vec<(usize, usize)> = Vec::with_capacity(ctxs.len());
+        for (i, ctx) in ctxs.iter_mut().enumerate() {
+            if ctx.s.remaining == 0 || ctx.s.tick >= ctx.config.max_ticks {
+                continue;
+            }
+            if let Some(q_eff) = ctx.tick_begin(&mut observers[i]) {
+                exec.push((i, q_eff));
+            }
+        }
+        for &(i, _) in &exec {
+            ctxs[i].tick_issue(&mut observers[i]);
+        }
+        for &(i, q_eff) in &exec {
+            ctxs[i].tick_evict(q_eff, &mut observers[i]);
+        }
+        for &(i, _) in &exec {
+            ctxs[i].tick_serve(&mut observers[i]);
+        }
+        for &(i, q_eff) in &exec {
+            ctxs[i].tick_transfer(q_eff, &mut observers[i]);
+            ctxs[i].tick_end(q_eff);
+        }
+        exec.len()
+    }
+
     /// Runs every cell to completion (or its `max_ticks`) and reports, in
-    /// cell order.
+    /// cell order, through the phase-major executor.
     pub fn run<O: SimObserver>(mut self, observers: &mut [O]) -> Vec<Report> {
+        self.run_phase_major(observers, || true);
+        self.into_reports()
+    }
+
+    /// Like [`run`](Self::run), but through the cell-major reference
+    /// executor (single-step rounds). Kept for differential testing —
+    /// bit-identical to [`run`](Self::run) by construction.
+    pub fn run_cell_major<O: SimObserver>(mut self, observers: &mut [O]) -> Vec<Report> {
         while self.step_round(observers) > 0 {}
         self.into_reports()
     }
 
     /// Steps per [`step_cell_chunk`](Self::step_cell_chunk) borrow in the
-    /// quiet run loops: large enough that re-slicing the column windows
-    /// vanishes from the profile, small enough that the cells of a batch
-    /// stay loosely aligned in the shared trace.
+    /// cell-major quiet run loops: large enough that re-slicing the
+    /// column windows vanishes from the profile, small enough that the
+    /// cells of a batch stay loosely aligned in the shared trace.
     const QUIET_CHUNK: usize = 4096;
 
     /// Like [`run`](Self::run) with no observers.
     pub fn run_quiet(mut self) -> Vec<Report> {
-        self.run_quiet_rounds();
+        self.run_quiet_while(|| true);
         self.into_reports()
     }
 
     /// Like [`run_quiet`](Self::run_quiet), returning the backing storage
     /// to `scratch` for the next batch on this thread.
     pub fn run_quiet_reusing(mut self, scratch: &mut BatchScratch) -> Vec<Report> {
-        self.run_quiet_rounds();
+        self.run_quiet_while(|| true);
         self.into_reports_reusing(scratch)
     }
 
-    /// Chunked round-robin driver for the quiet runs: each pass grants
-    /// every live cell up to [`QUIET_CHUNK`](Self::QUIET_CHUNK) steps
-    /// under one column borrow. Bit-identical to single-step rounds —
-    /// cells never interact — but without paying the per-step re-borrow.
-    fn run_quiet_rounds(&mut self) {
+    /// Observer-free phase-major run that polls `keep_going` every 64
+    /// rounds and stops cooperatively when it returns `false` — the hook
+    /// wall-clock budgets drive (the budget *policy* stays with the
+    /// caller; the engine only honors the poll). Harvest reports
+    /// afterwards via [`into_reports`](Self::into_reports) /
+    /// [`into_reports_reusing`](Self::into_reports_reusing); cells still
+    /// unfinished report `truncated`.
+    pub fn run_quiet_while(&mut self, keep_going: impl FnMut() -> bool) {
+        let mut observers = vec![NoopObserver; self.len()];
+        self.run_phase_major(&mut observers, keep_going);
+    }
+
+    /// Cell-major reference analogue of [`run_quiet`](Self::run_quiet):
+    /// each pass grants every live cell up to
+    /// [`QUIET_CHUNK`](Self::QUIET_CHUNK) steps under one column borrow.
+    /// Bit-identical to the phase-major path — cells never interact —
+    /// kept as the reference implementation and for honest A/B
+    /// measurement in the bench harness.
+    pub fn run_quiet_cell_major(mut self) -> Vec<Report> {
+        self.run_quiet_cell_major_rounds();
+        self.into_reports()
+    }
+
+    /// [`run_quiet_cell_major`](Self::run_quiet_cell_major), returning
+    /// the backing storage to `scratch`.
+    pub fn run_quiet_cell_major_reusing(mut self, scratch: &mut BatchScratch) -> Vec<Report> {
+        self.run_quiet_cell_major_rounds();
+        self.into_reports_reusing(scratch)
+    }
+
+    /// Chunked cell-major round-robin driver (the PR 6 executor).
+    fn run_quiet_cell_major_rounds(&mut self) {
         let mut observer = NoopObserver;
         loop {
             let mut stepped = 0;

@@ -1,0 +1,411 @@
+//! Lockstep divergence triage: when a batched run's trajectory differs
+//! from the scalar engine's, locate the **first divergent (cell, tick,
+//! phase)** and dump both engines' state there.
+//!
+//! The bench harness's lockstep checksum gate compares scalar and batched
+//! sweeps by aggregate signature; a bare mismatch ("exit 1") leaves a
+//! phase-major bug needing hours of manual bisection. This module turns
+//! the mismatch into a minutes-scale repro: it re-runs both engines with
+//! [`RecordingObserver`]s, diffs the per-cell event streams in canonical
+//! intra-tick order, and re-steps both engines to the divergent tick to
+//! snapshot core/page/channel state on each side.
+//!
+//! Event categories map back to tick phases: outage faults fire in the
+//! tick-begin fault pre-step, remaps in step 1, enqueues in step 2,
+//! evictions in step 3, serves (and core completions) in step 4, and
+//! fetches plus fetch-level faults in step 5 — so the first differing
+//! event names the phase where the executors parted ways.
+
+use crate::engine::Engine;
+use crate::flat::FlatWorkload;
+use crate::ids::Tick;
+use crate::lockstep::{BatchCell, BatchEngine};
+use crate::observer::{FaultEvent, NoopObserver, RecordingObserver};
+use std::fmt;
+use std::sync::Arc;
+
+/// The first point where two event streams of the same cell disagree.
+#[derive(Debug, Clone)]
+pub struct EventDivergence {
+    /// Tick of the first differing event (the smaller of the two sides
+    /// when both have an event at the diff index).
+    pub tick: Tick,
+    /// The five-step-loop phase the differing event belongs to.
+    pub phase: &'static str,
+    /// Both sides' event at the diff index, or the extra event when one
+    /// stream is a strict prefix of the other.
+    pub detail: String,
+}
+
+/// A located scalar-vs-batched divergence, ready to print.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Index of the divergent cell within the batch.
+    pub cell: usize,
+    /// Tick of the first divergent event.
+    pub tick: Tick,
+    /// Phase of the first divergent event.
+    pub phase: &'static str,
+    /// The differing events themselves.
+    pub detail: String,
+    /// Scalar engine state entering the divergent tick.
+    pub scalar_state: String,
+    /// Batched engine state (same cell) entering the divergent tick.
+    pub batched_state: String,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "first divergence: cell {} tick {} phase {}",
+            self.cell, self.tick, self.phase
+        )?;
+        writeln!(f, "  {}", self.detail)?;
+        writeln!(f, "--- scalar state entering tick {} ---", self.tick)?;
+        for line in self.scalar_state.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "--- batched state entering tick {} ---", self.tick)?;
+        for line in self.batched_state.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Phase rank for tie-breaking divergences within one tick, following the
+/// canonical intra-tick order.
+fn fault_phase(event: &FaultEvent) -> (&'static str, u8) {
+    match event {
+        FaultEvent::OutageStart { .. } | FaultEvent::OutageEnd { .. } => {
+            ("tick-begin (fault pre-step)", 0)
+        }
+        FaultEvent::DegradedFetch { .. } | FaultEvent::TransientFailure { .. } => {
+            ("transfer (step 5)", 5)
+        }
+    }
+}
+
+/// First index where two same-category streams differ, as a ranked
+/// divergence candidate.
+fn first_diff<T: PartialEq + fmt::Debug>(
+    name: &str,
+    phase: &'static str,
+    rank: u8,
+    scalar: &[T],
+    batched: &[T],
+    tick_of: impl Fn(&T) -> Tick,
+) -> Option<(Tick, u8, EventDivergence)> {
+    let common = scalar.len().min(batched.len());
+    for i in 0..common {
+        if scalar[i] != batched[i] {
+            let tick = tick_of(&scalar[i]).min(tick_of(&batched[i]));
+            return Some((
+                tick,
+                rank,
+                EventDivergence {
+                    tick,
+                    phase,
+                    detail: format!(
+                        "{name}[{i}]: scalar {:?} vs batched {:?}",
+                        scalar[i], batched[i]
+                    ),
+                },
+            ));
+        }
+    }
+    // One stream is a strict prefix of the other: the first extra event
+    // is the divergence.
+    let (side, stream) = match scalar.len().cmp(&batched.len()) {
+        std::cmp::Ordering::Less => ("batched", batched),
+        std::cmp::Ordering::Greater => ("scalar", scalar),
+        std::cmp::Ordering::Equal => return None,
+    };
+    let tick = tick_of(&stream[common]);
+    Some((
+        tick,
+        rank,
+        EventDivergence {
+            tick,
+            phase,
+            detail: format!(
+                "{name}[{common}]: only {side} has {:?} (lengths {} vs {})",
+                stream[common],
+                scalar.len(),
+                batched.len()
+            ),
+        },
+    ))
+}
+
+/// Diffs one cell's scalar and batched event streams, returning the
+/// earliest divergence in (tick, canonical phase order). `None` means the
+/// streams are identical.
+pub fn diff_event_streams(
+    scalar: &RecordingObserver,
+    batched: &RecordingObserver,
+) -> Option<EventDivergence> {
+    let mut best: Option<(Tick, u8, EventDivergence)> = None;
+    let mut consider = |cand: Option<(Tick, u8, EventDivergence)>| {
+        if let Some(c) = cand {
+            if best.as_ref().is_none_or(|b| (c.0, c.1) < (b.0, b.1)) {
+                best = Some(c);
+            }
+        }
+    };
+    consider(first_diff(
+        "remaps",
+        "remap (step 1)",
+        1,
+        &scalar.remaps,
+        &batched.remaps,
+        |&t| t,
+    ));
+    consider(first_diff(
+        "enqueues",
+        "issue (step 2)",
+        2,
+        &scalar.enqueues,
+        &batched.enqueues,
+        |e| e.0,
+    ));
+    consider(first_diff(
+        "evictions",
+        "evict (step 3)",
+        3,
+        &scalar.evictions,
+        &batched.evictions,
+        |e| e.0,
+    ));
+    consider(first_diff(
+        "serves",
+        "serve (step 4)",
+        4,
+        &scalar.serves,
+        &batched.serves,
+        |e| e.0,
+    ));
+    consider(first_diff(
+        "completions",
+        "serve (step 4)",
+        4,
+        &scalar.completions,
+        &batched.completions,
+        |e| e.0,
+    ));
+    consider(first_diff(
+        "fetches",
+        "transfer (step 5)",
+        5,
+        &scalar.fetches,
+        &batched.fetches,
+        |e| e.0,
+    ));
+    // Faults carry their phase in the event kind; diff them pairwise and
+    // attribute the phase of whichever side's event is reported.
+    let fault_cand = {
+        let common = scalar.faults.len().min(batched.faults.len());
+        let mut cand = None;
+        for i in 0..common {
+            if scalar.faults[i] != batched.faults[i] {
+                let (phase, rank) = fault_phase(&scalar.faults[i].1);
+                let tick = scalar.faults[i].0.min(batched.faults[i].0);
+                cand = Some((
+                    tick,
+                    rank,
+                    EventDivergence {
+                        tick,
+                        phase,
+                        detail: format!(
+                            "faults[{i}]: scalar {:?} vs batched {:?}",
+                            scalar.faults[i], batched.faults[i]
+                        ),
+                    },
+                ));
+                break;
+            }
+        }
+        if cand.is_none() && scalar.faults.len() != batched.faults.len() {
+            let (side, stream) = if scalar.faults.len() > batched.faults.len() {
+                ("scalar", &scalar.faults)
+            } else {
+                ("batched", &batched.faults)
+            };
+            let (phase, rank) = fault_phase(&stream[common].1);
+            cand = Some((
+                stream[common].0,
+                rank,
+                EventDivergence {
+                    tick: stream[common].0,
+                    phase,
+                    detail: format!(
+                        "faults[{common}]: only {side} has {:?} (lengths {} vs {})",
+                        stream[common],
+                        scalar.faults.len(),
+                        batched.faults.len()
+                    ),
+                },
+            ));
+        }
+        cand
+    };
+    consider(fault_cand);
+    best.map(|(_, _, d)| d)
+}
+
+/// Steps a fresh scalar engine for `cell` to the start of `tick` (or as
+/// close as fast-forward granularity allows) and snapshots its state.
+fn scalar_state_at(flat: &Arc<FlatWorkload>, cell: &BatchCell, tick: Tick) -> String {
+    let mut engine = Engine::from_flat(cell.config, cell.faults.clone(), Arc::clone(flat));
+    let mut noop = NoopObserver;
+    while !engine.is_done() && engine.tick() < tick.min(engine.max_ticks()) {
+        engine.step(&mut noop);
+    }
+    engine.dump_state()
+}
+
+/// Steps a fresh batch (phase-major) until `cell` reaches the start of
+/// `tick` and snapshots that cell's state.
+fn batched_state_at(
+    flat: &Arc<FlatWorkload>,
+    cells: &[BatchCell],
+    cell: usize,
+    tick: Tick,
+) -> String {
+    let mut engine = match BatchEngine::try_new(Arc::clone(flat), cells) {
+        Ok(engine) => engine,
+        Err(err) => return format!("(batch rebuild failed: {err})"),
+    };
+    let mut observers = vec![NoopObserver; cells.len()];
+    while engine.cell_active(cell) && engine.cell_tick(cell) < tick {
+        if engine.step_phase_round(&mut observers) == 0 {
+            break;
+        }
+    }
+    engine.cell_state_dump(cell)
+}
+
+/// Runs `cells` through both executors with recording observers and
+/// locates the first divergent (cell, tick, phase), with both engines'
+/// state entering that tick. `None` means the trajectories are
+/// bit-identical at event granularity — if an aggregate checksum still
+/// disagrees, the drift is in derived metrics, not the tick loop.
+///
+/// Cost: two full re-runs of the batch plus two partial re-runs for the
+/// state snapshots — this only ever executes on a failed gate, where
+/// debuggability beats wall time.
+pub fn first_divergence(flat: &Arc<FlatWorkload>, cells: &[BatchCell]) -> Option<DivergenceReport> {
+    let scalar_streams: Vec<RecordingObserver> = cells
+        .iter()
+        .map(|c| {
+            let mut obs = RecordingObserver::default();
+            Engine::from_flat(c.config, c.faults.clone(), Arc::clone(flat)).run(&mut obs);
+            obs
+        })
+        .collect();
+    let mut batched_streams = vec![RecordingObserver::default(); cells.len()];
+    BatchEngine::try_new(Arc::clone(flat), cells)
+        .ok()?
+        .run(&mut batched_streams);
+    let mut best: Option<(Tick, usize, EventDivergence)> = None;
+    for (i, (s, b)) in scalar_streams.iter().zip(&batched_streams).enumerate() {
+        if let Some(d) = diff_event_streams(s, b) {
+            if best.as_ref().is_none_or(|(t, _, _)| d.tick < *t) {
+                best = Some((d.tick, i, d));
+            }
+        }
+    }
+    let (_, cell, d) = best?;
+    Some(DivergenceReport {
+        cell,
+        tick: d.tick,
+        phase: d.phase,
+        detail: d.detail,
+        scalar_state: scalar_state_at(flat, &cells[cell], d.tick),
+        batched_state: batched_state_at(flat, cells, cell, d.tick),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitration::ArbitrationKind;
+    use crate::config::SimConfig;
+    use crate::fault::FaultPlan;
+    use crate::replacement::ReplacementKind;
+    use crate::workload::Workload;
+
+    fn flat() -> Arc<FlatWorkload> {
+        let refs: Vec<u32> = (0..200).map(|i| (i * 7) % 23).collect();
+        Arc::new(FlatWorkload::new(&Workload::from_refs(vec![
+            refs.clone(),
+            refs.iter().map(|r| r + 11).collect(),
+        ])))
+    }
+
+    fn cell(k: usize, q: usize) -> BatchCell {
+        BatchCell {
+            config: SimConfig {
+                hbm_slots: k,
+                channels: q,
+                arbitration: ArbitrationKind::Priority,
+                replacement: ReplacementKind::Lru,
+                far_latency: 1,
+                seed: 3,
+                max_ticks: u64::MAX,
+            },
+            faults: FaultPlan::default(),
+        }
+    }
+
+    #[test]
+    fn healthy_batch_has_no_divergence() {
+        let flat = flat();
+        let cells = vec![cell(4, 1), cell(8, 2), cell(16, 1)];
+        assert!(first_divergence(&flat, &cells).is_none());
+    }
+
+    #[test]
+    fn perturbed_serve_event_is_located_with_phase() {
+        let flat = flat();
+        let cells = [cell(4, 1)];
+        let mut obs = RecordingObserver::default();
+        Engine::from_flat(cells[0].config, FaultPlan::default(), Arc::clone(&flat)).run(&mut obs);
+        let mut perturbed = obs.clone();
+        let mid = perturbed.serves.len() / 2;
+        perturbed.serves[mid].3 += 1; // response time off by one
+        let d = diff_event_streams(&obs, &perturbed).expect("must diverge");
+        assert_eq!(d.phase, "serve (step 4)");
+        assert_eq!(d.tick, obs.serves[mid].0);
+        assert!(d.detail.contains(&format!("serves[{mid}]")), "{}", d.detail);
+    }
+
+    #[test]
+    fn prefix_stream_reports_first_extra_event() {
+        let flat = flat();
+        let cells = [cell(4, 1)];
+        let mut obs = RecordingObserver::default();
+        Engine::from_flat(cells[0].config, FaultPlan::default(), Arc::clone(&flat)).run(&mut obs);
+        let mut truncated = obs.clone();
+        let cut = truncated.fetches.len() - 3;
+        truncated.fetches.truncate(cut);
+        let d = diff_event_streams(&truncated, &obs).expect("must diverge");
+        assert_eq!(d.phase, "transfer (step 5)");
+        assert!(d.detail.contains("only batched has"), "{}", d.detail);
+        assert_eq!(d.tick, obs.fetches[cut].0);
+    }
+
+    #[test]
+    fn earliest_divergence_wins_across_categories() {
+        let mut a = RecordingObserver::default();
+        a.serves.push((5, 0, crate::ids::GlobalPage(1), 1, true));
+        a.evictions.push((3, crate::ids::GlobalPage(2)));
+        let mut b = a.clone();
+        b.serves[0].3 = 2; // tick 5, step 4
+        b.evictions[0].1 = crate::ids::GlobalPage(9); // tick 3, step 3
+        let d = diff_event_streams(&a, &b).expect("must diverge");
+        assert_eq!(d.tick, 3);
+        assert_eq!(d.phase, "evict (step 3)");
+    }
+}

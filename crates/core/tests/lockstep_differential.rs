@@ -28,8 +28,14 @@ use hbm_core::testkit::{
     compare_events, compare_reports, random_workload, response_histograms, run_batch_with_faults,
     run_engine_with_faults,
 };
-use hbm_core::{FaultPlan, SimConfig, Workload};
+use hbm_core::{
+    BatchCell, BatchEngine, CoreId, Engine, FaultEvent, FaultPlan, FlatWorkload, GlobalPage,
+    RecordingObserver, SimConfig, SimObserver, Tick, Workload,
+};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// The workload shapes of `differential.rs`'s exhaustive grid: disjoint
 /// cyclic sweeps, disjoint pseudo-random, shared hot-page traces
@@ -116,6 +122,162 @@ fn random_heterogeneous_batches_conform() {
             .collect();
         assert_batch_conformance(&cells, &w);
     }
+}
+
+/// One simulator event, tagged for the shared merged log of
+/// [`phase_major_event_stream_is_a_stable_per_cell_merge`].
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    TickStart(Tick),
+    Remap(Tick),
+    Enqueue(Tick, CoreId, GlobalPage),
+    Evict(Tick, GlobalPage),
+    Serve(Tick, CoreId, GlobalPage, u64, bool),
+    Fetch(Tick, CoreId, GlobalPage),
+    Done(Tick, CoreId),
+    Fault(Tick, FaultEvent),
+}
+
+/// Observer that appends every event of one cell, tagged with the cell
+/// index, to a log shared by the whole batch — exposing the *merged*
+/// cross-cell event order the batch executor produces.
+struct TaggedObserver {
+    cell: usize,
+    log: Rc<RefCell<Vec<(usize, Ev)>>>,
+}
+
+impl SimObserver for TaggedObserver {
+    fn on_tick_start(&mut self, tick: Tick) {
+        self.log.borrow_mut().push((self.cell, Ev::TickStart(tick)));
+    }
+    fn on_remap(&mut self, tick: Tick) {
+        self.log.borrow_mut().push((self.cell, Ev::Remap(tick)));
+    }
+    fn on_enqueue(&mut self, tick: Tick, core: CoreId, page: GlobalPage) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Enqueue(tick, core, page)));
+    }
+    fn on_evict(&mut self, tick: Tick, page: GlobalPage) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Evict(tick, page)));
+    }
+    fn on_serve(&mut self, tick: Tick, core: CoreId, page: GlobalPage, response: u64, hit: bool) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Serve(tick, core, page, response, hit)));
+    }
+    fn on_fetch(&mut self, tick: Tick, core: CoreId, page: GlobalPage) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Fetch(tick, core, page)));
+    }
+    fn on_core_done(&mut self, tick: Tick, core: CoreId) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Done(tick, core)));
+    }
+    fn on_fault(&mut self, tick: Tick, event: FaultEvent) {
+        self.log
+            .borrow_mut()
+            .push((self.cell, Ev::Fault(tick, event)));
+    }
+}
+
+/// Phase-boundary observer-event interleaving: the batched (phase-major)
+/// event stream is a **stable per-cell merge** of the scalar streams —
+/// projecting the merged log onto any one cell reproduces that cell's
+/// scalar event sequence exactly — and within the first round the
+/// phase-major order is visible: every live cell's `on_tick_start` fires
+/// before any cell's issue-phase events.
+#[test]
+fn phase_major_event_stream_is_a_stable_per_cell_merge() {
+    let w = random_workload(97, 4, 6, 32, true);
+    let flat = Arc::new(FlatWorkload::new(&w));
+    let cells: Vec<BatchCell> = [(4usize, 1usize), (16, 2), (8, 1), (6, 3)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, q))| BatchCell {
+            config: SimConfig {
+                hbm_slots: k,
+                channels: q,
+                arbitration: all_arbitrations(4)[i * 2],
+                replacement: all_replacements()[i],
+                far_latency: 1 + i as u64 % 2,
+                seed: 0xfeed + i as u64,
+                max_ticks: 100_000,
+            },
+            faults: FaultPlan::default(),
+        })
+        .collect();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut observers: Vec<TaggedObserver> = (0..cells.len())
+        .map(|cell| TaggedObserver {
+            cell,
+            log: Rc::clone(&log),
+        })
+        .collect();
+    BatchEngine::try_new(Arc::clone(&flat), &cells)
+        .unwrap()
+        .run(&mut observers);
+    let merged = log.borrow();
+
+    // Stability: the per-cell projection equals the scalar stream.
+    for (i, cell) in cells.iter().enumerate() {
+        let scalar_log = Rc::new(RefCell::new(Vec::new()));
+        let mut obs = TaggedObserver {
+            cell: i,
+            log: Rc::clone(&scalar_log),
+        };
+        Engine::from_flat(cell.config, cell.faults.clone(), Arc::clone(&flat)).run(&mut obs);
+        let projected: Vec<&Ev> = merged
+            .iter()
+            .filter(|(c, _)| *c == i)
+            .map(|(_, e)| e)
+            .collect();
+        let scalar = scalar_log.borrow();
+        let scalar_events: Vec<&Ev> = scalar.iter().map(|(_, e)| e).collect();
+        assert_eq!(
+            projected, scalar_events,
+            "cell {i}: batched projection must equal scalar stream"
+        );
+    }
+
+    // Phase-boundary interleaving: at tick 0 every cell is live and none
+    // fast-forwards (all have pending issues), so round 0's begin phase —
+    // the tick-starts (plus any tick-0 remap/outage events) of *all*
+    // cells, in increasing cell order — completes before any cell's issue
+    // phase emits its first event.
+    let n = cells.len();
+    let begin_cells: Vec<usize> = merged
+        .iter()
+        .filter_map(|(c, e)| matches!(e, Ev::TickStart(0)).then_some(*c))
+        .take(n)
+        .collect();
+    assert_eq!(
+        begin_cells,
+        (0..n).collect::<Vec<_>>(),
+        "round 0 must open every cell's tick in cell order"
+    );
+    let nth_tick_start = merged
+        .iter()
+        .position(|(c, e)| *c == n - 1 && matches!(e, Ev::TickStart(0)))
+        .expect("last cell's tick 0 must start");
+    let first_issue = merged
+        .iter()
+        .position(|(_, e)| {
+            matches!(
+                e,
+                Ev::Enqueue(..) | Ev::Evict(..) | Ev::Serve(..) | Ev::Fetch(..) | Ev::Done(..)
+            )
+        })
+        .expect("some cell must issue at tick 0");
+    assert!(
+        nth_tick_start < first_issue,
+        "all begin-phase events ({nth_tick_start}) must precede the first \
+         issue-phase event ({first_issue})"
+    );
 }
 
 /// Builds the cell list for the proptest layers from shrinkable integers.
@@ -234,6 +396,65 @@ proptest! {
             .collect();
         if let Err(m) = check_batch_conformance(&cells, &w) {
             return Err(TestCaseError::fail(m));
+        }
+    }
+
+    /// The two batch executors agree bit for bit: phase-major
+    /// (`BatchEngine::run`) vs the cell-major reference
+    /// (`run_cell_major`) on arbitrary heterogeneous batches — reports,
+    /// event streams, and histograms — including batches where a tick
+    /// budget truncates some cells mid-batch (the serve-path
+    /// `CellBudget::max_ticks` maps to per-cell `max_ticks`; its batch
+    /// test lives in `crates/experiments/tests/batch_scratch_panic.rs`).
+    #[test]
+    fn phase_major_equals_cell_major(
+        traces in prop::collection::vec(prop::collection::vec(0u32..8, 0..20), 1..4),
+        specs in prop::collection::vec(
+            (0usize..12, 0usize..3, 0usize..9, 0usize..4, 0u64..1024), 1..6),
+        budget in 1u64..60,
+        shared in 0usize..2,
+    ) {
+        let w = if shared == 1 {
+            Workload::shared_from_refs(traces)
+        } else {
+            Workload::from_refs(traces)
+        };
+        let flat = Arc::new(FlatWorkload::new(&w));
+        let cells: Vec<BatchCell> = cells_from_specs(&specs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut config, faults))| {
+                // Odd cells get a tiny tick budget so truncation lands
+                // mid-batch while neighbours keep running.
+                if i % 2 == 1 {
+                    config.max_ticks = budget;
+                }
+                BatchCell { config, faults }
+            })
+            .collect();
+        let mut phase_obs: Vec<RecordingObserver> =
+            vec![RecordingObserver::default(); cells.len()];
+        let phase_reports = BatchEngine::try_new(Arc::clone(&flat), &cells)
+            .unwrap()
+            .run(&mut phase_obs);
+        let mut cell_obs: Vec<RecordingObserver> =
+            vec![RecordingObserver::default(); cells.len()];
+        let cell_reports = BatchEngine::try_new(Arc::clone(&flat), &cells)
+            .unwrap()
+            .run_cell_major(&mut cell_obs);
+        for i in 0..cells.len() {
+            if let Err(m) = compare_reports(&phase_reports[i], &cell_reports[i])
+                .and_then(|_| compare_events(&phase_obs[i], &cell_obs[i]))
+            {
+                return Err(TestCaseError::fail(format!(
+                    "phase-major vs cell-major: cell {i} differs: {m}"
+                )));
+            }
+            prop_assert_eq!(
+                response_histograms(&phase_obs[i], w.cores()),
+                response_histograms(&cell_obs[i], w.cores()),
+                "cell {} histograms", i
+            );
         }
     }
 }

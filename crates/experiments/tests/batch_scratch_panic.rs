@@ -19,6 +19,7 @@ use hbm_core::{
 use hbm_experiments::common::{
     run_batch_budgeted_flat, run_batch_flat, CellBudget, ScratchPool, SimSettings,
 };
+use proptest::prelude::*;
 use std::sync::Arc;
 
 /// A small heterogeneous batch derived from the testkit's seeded cell
@@ -194,5 +195,62 @@ fn cell_budget_truncates_exactly_the_over_budget_cells() {
     for i in [0usize, 2] {
         compare_reports(&unlimited[i], &reports[i])
             .unwrap_or_else(|msg| panic!("budget perturbed surviving cell {i}:\n{msg}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The serve-path budgeted batch runner (phase-major since the
+    /// executor rewrite) is bit-identical to the cell-major reference
+    /// executor on arbitrary heterogeneous batches, **including batches a
+    /// `CellBudget` tick cap truncates mid-run** — the budget maps to
+    /// per-cell `max_ticks` via `SimSettings::to_batch_cell`, so both
+    /// executors must truncate the same cells at the same tick with the
+    /// same partial metrics.
+    #[test]
+    fn budgeted_phase_major_equals_cell_major(
+        seeds in prop::collection::vec(0u64..4096, 2..7),
+        budget_ticks in 1u64..120,
+        cap in 0usize..2,
+    ) {
+        let base = random_cell(seeds[0] ^ 0xb1d);
+        let flat = Arc::new(FlatWorkload::new(&base.workload));
+        let settings: Vec<SimSettings> = seeds
+            .iter()
+            .map(|&s| {
+                let c = random_cell(s).config;
+                SimSettings {
+                    k: c.hbm_slots,
+                    q: c.channels,
+                    arbitration: c.arbitration,
+                    replacement: c.replacement,
+                    far_latency: Some(c.far_latency),
+                    seed: c.seed,
+                    faults: FaultPlan::default(),
+                }
+            })
+            .collect();
+        let budget = CellBudget {
+            // Half the cases run a tick cap tight enough to truncate
+            // thrashing cells mid-batch; the other half run unlimited.
+            max_ticks: (cap == 1).then_some(budget_ticks),
+            max_wall: None,
+        };
+        let budgeted =
+            run_batch_budgeted_flat(&flat, &settings, budget, &mut BatchScratch::default())
+                .unwrap();
+        let cells: Vec<BatchCell> =
+            settings.iter().map(|s| s.to_batch_cell(budget)).collect();
+        let reference = BatchEngine::try_new(Arc::clone(&flat), &cells)
+            .unwrap()
+            .run_quiet_cell_major();
+        for (i, (a, b)) in budgeted.iter().zip(&reference).enumerate() {
+            if let Err(m) = compare_reports(a, b) {
+                return Err(TestCaseError::fail(format!(
+                    "budgeted phase-major vs cell-major: cell {i} differs: {m}"
+                )));
+            }
+        }
     }
 }

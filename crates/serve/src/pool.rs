@@ -273,6 +273,18 @@ impl SimSettings {
         }
     }
 
+    /// The [`BatchCell`] these settings submit under `budget` — exactly
+    /// what [`run_batch_budgeted_flat`] builds internally. Public so
+    /// differential tests and the bench harness's divergence triage can
+    /// reconstruct a batch from its settings.
+    pub fn to_batch_cell(&self, budget: CellBudget) -> BatchCell {
+        let builder = self.builder(budget);
+        BatchCell {
+            config: *builder.config(),
+            faults: builder.faults().clone(),
+        }
+    }
+
     fn builder(&self, budget: CellBudget) -> SimBuilder {
         let mut b = SimBuilder::new()
             .hbm_slots(self.k)
@@ -465,31 +477,16 @@ pub fn run_batch_budgeted_flat(
         let report = run_sim_budgeted_flat(flat, &settings[0], budget, scratch.scalar_mut())?;
         return Ok(vec![report]);
     }
-    let cells: Vec<BatchCell> = settings
-        .iter()
-        .map(|s| {
-            let builder = s.builder(budget);
-            BatchCell {
-                config: *builder.config(),
-                faults: builder.faults().clone(),
-            }
-        })
-        .collect();
+    let cells: Vec<BatchCell> = settings.iter().map(|s| s.to_batch_cell(budget)).collect();
     let mut engine = BatchEngine::try_with_scratch(Arc::clone(flat), &cells, scratch)?;
     let Some(wall) = budget.max_wall else {
         return Ok(engine.run_quiet_reusing(scratch));
     };
-    let mut observers: Vec<NoopObserver> = (0..cells.len()).map(|_| NoopObserver).collect();
+    // Phase-major run with a cooperative wall-budget poll: the engine
+    // polls every 64 rounds (vDSO-call amortization — a round steps every
+    // live cell once), the budget policy stays here.
     let start = Instant::now();
-    let mut rounds = 0u32;
-    while engine.step_round(&mut observers) > 0 {
-        rounds = rounds.wrapping_add(1);
-        // Same vDSO-call amortization as the scalar path; a round steps
-        // every live cell once, so the mask is tighter.
-        if rounds & 63 == 0 && start.elapsed() >= wall {
-            break;
-        }
-    }
+    engine.run_quiet_while(|| start.elapsed() < wall);
     Ok(engine.into_reports_reusing(scratch))
 }
 
