@@ -36,6 +36,34 @@ pub fn makespan_lower_bound(workload: &Workload, _k: usize, q: usize) -> u64 {
         .max(if workload.total_refs() > 0 { 2 } else { 0 })
 }
 
+/// Serial-channel pessimistic ceiling: no fault-free run can exceed it.
+///
+/// Assume the worst on every axis at once — every reference misses, every
+/// transfer serializes through a single channel (as if `q = 1` and no
+/// fetch ever overlaps another), and no serve overlaps any transfer. Each
+/// reference then costs at most `far_latency` ticks of channel time plus
+/// one serve tick, and one startup tick covers the initial issue:
+/// `total_refs · (far_latency + 1) + 1`. The engine is work-conserving —
+/// every tick with outstanding requests either serves a core or advances
+/// a transfer (both engines' five-step loop issues whenever a channel and
+/// an HBM slot are free, and a resident page is served the tick its core
+/// reaches it) — so real runs only ever come in under this by
+/// overlapping work. The interval test over the conformance grid
+/// (`tests/bounds_interval.rs`) pins the claim against both engines.
+///
+/// `k` and `q` are accepted for signature symmetry with
+/// [`makespan_lower_bound`] (and future tightenings that model channel
+/// parallelism); the pessimistic bound deliberately ignores both. Fault
+/// plans (outages freeze whole ticks) are *not* covered.
+pub fn makespan_upper_bound(workload: &Workload, _k: usize, _q: usize, far_latency: u64) -> u64 {
+    let refs = workload.total_refs() as u64;
+    if refs == 0 {
+        return 0;
+    }
+    refs.saturating_mul(far_latency.saturating_add(1))
+        .saturating_add(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +105,34 @@ mod tests {
     #[test]
     fn empty_workload_bound_is_zero() {
         assert_eq!(makespan_lower_bound(&Workload::new(), 10, 1), 0);
+        assert_eq!(makespan_upper_bound(&Workload::new(), 10, 1, 3), 0);
+    }
+
+    #[test]
+    fn upper_bound_on_simple_workload() {
+        let w = Workload::from_refs(vec![vec![0, 1, 2, 0, 1, 2]; 4]);
+        // 24 refs, far = 1: 24 · 2 + 1.
+        assert_eq!(makespan_upper_bound(&w, 8, 1, 1), 49);
+        // far = 3: 24 · 4 + 1; the bound ignores k and q by design.
+        assert_eq!(makespan_upper_bound(&w, 8, 1, 3), 97);
+        assert_eq!(makespan_upper_bound(&w, 64, 4, 3), 97);
+    }
+
+    #[test]
+    fn upper_bound_never_below_lower_bound() {
+        for seed in 0..32u64 {
+            let cell = crate::testkit::random_cell(seed);
+            let (w, c) = (&cell.workload, cell.config);
+            let lb = makespan_lower_bound(w, c.hbm_slots, c.channels);
+            let ub = makespan_upper_bound(w, c.hbm_slots, c.channels, c.far_latency);
+            assert!(lb <= ub, "lb {lb} > ub {ub} at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_saturates_instead_of_overflowing() {
+        let w = Workload::from_refs(vec![vec![0; 8]]);
+        assert_eq!(makespan_upper_bound(&w, 1, 1, u64::MAX), u64::MAX);
     }
 
     #[test]

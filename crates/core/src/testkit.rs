@@ -122,6 +122,57 @@ pub fn random_cell(seed: u64) -> Cell {
     }
 }
 
+/// Workload shapes for the exhaustive conformance grid. Deliberately
+/// varied: disjoint cyclic sweeps (replacement adversaries), disjoint
+/// uniform-random, shared hot-page traces (exercises fetch coalescing),
+/// and a ragged mix with an empty trace (engine edge case).
+pub fn grid_workloads() -> Vec<Workload> {
+    vec![
+        // Four cores cycling over six pages each — thrashes small HBM.
+        Workload::from_refs(vec![(0..6).cycle().take(18).collect(); 4]),
+        // Pseudo-random disjoint traces.
+        random_workload(11, 3, 8, 24, false),
+        // Shared universe: cross-core coalescing actually occurs.
+        random_workload(23, 4, 5, 20, true),
+        // Ragged: one empty trace, one singleton, one longer.
+        Workload::from_refs(vec![vec![], vec![2], vec![0, 1, 2, 3, 0, 1, 2, 3]]),
+    ]
+}
+
+/// The exhaustive 288-cell conformance grid: 9 arbitration kinds × 4
+/// replacement kinds × 4 workload shapes × 2 parameter sets of
+/// `(hbm_slots, channels, far_latency, remap period)`. This single
+/// definition backs the Engine/Oracle differential suite
+/// (`tests/differential.rs`), the bounds-interval test, and the
+/// `hbm-model` calibration/validation grid, so all three always agree on
+/// what "the conformance grid" means.
+pub fn conformance_grid() -> Vec<Cell> {
+    let params = [(4usize, 1usize, 1u64, 5u64), (8, 2, 3, 3)];
+    let workloads = grid_workloads();
+    let mut cells = Vec::new();
+    for &(k, q, far, period) in &params {
+        for arbitration in all_arbitrations(period) {
+            for replacement in all_replacements() {
+                for (wi, w) in workloads.iter().enumerate() {
+                    cells.push(Cell {
+                        config: SimConfig {
+                            hbm_slots: k,
+                            channels: q,
+                            arbitration,
+                            replacement,
+                            far_latency: far,
+                            seed: 0x5eed ^ (wi as u64),
+                            max_ticks: 100_000,
+                        },
+                        workload: w.clone(),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
 /// A deterministic pseudo-random [`FaultPlan`] scheduled inside
 /// `[0, horizon)`: up to 3 outage windows (widths 1–3 channels), up to 3
 /// degradation windows (1–4 extra ticks), and a transient model in three

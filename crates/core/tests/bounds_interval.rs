@@ -1,0 +1,65 @@
+//! The bounds interval contract: on every cell of the conformance grid,
+//! both engines' makespans land inside
+//! `[makespan_lower_bound, makespan_upper_bound]`.
+//!
+//! This is what licenses `hbm-model` to clamp its analytical predictions
+//! into the same interval — the clamp can only ever move a prediction
+//! *toward* the simulator, never away from it. Random cells extend the
+//! claim beyond the grid's two parameter sets.
+
+use hbm_core::bounds::{makespan_lower_bound, makespan_upper_bound};
+use hbm_core::testkit::{conformance_grid, random_cell, run_engine, run_oracle};
+
+#[test]
+fn conformance_grid_makespans_land_in_the_interval() {
+    let grid = conformance_grid();
+    assert!(grid.len() >= 256, "grid shrank to {} cells", grid.len());
+    for cell in &grid {
+        let c = cell.config;
+        let lb = makespan_lower_bound(&cell.workload, c.hbm_slots, c.channels);
+        let ub = makespan_upper_bound(&cell.workload, c.hbm_slots, c.channels, c.far_latency);
+        let (engine, _) = run_engine(c, &cell.workload);
+        let (oracle, _) = run_oracle(c, &cell.workload);
+        for (name, r) in [("engine", &engine), ("oracle", &oracle)] {
+            assert!(
+                !r.truncated,
+                "{name} truncated on {:?}/{:?} — interval claim needs full runs",
+                c.arbitration, c.replacement
+            );
+            assert!(
+                lb <= r.makespan && r.makespan <= ub,
+                "{name} makespan {} outside [{lb}, {ub}] on {:?}/{:?} (k={}, q={}, far={})",
+                r.makespan,
+                c.arbitration,
+                c.replacement,
+                c.hbm_slots,
+                c.channels,
+                c.far_latency
+            );
+        }
+    }
+}
+
+#[test]
+fn random_cells_land_in_the_interval() {
+    for seed in 0..128u64 {
+        let cell = random_cell(seed);
+        let c = cell.config;
+        let lb = makespan_lower_bound(&cell.workload, c.hbm_slots, c.channels);
+        let ub = makespan_upper_bound(&cell.workload, c.hbm_slots, c.channels, c.far_latency);
+        let (report, _) = run_engine(c, &cell.workload);
+        if report.truncated {
+            continue; // budget cut the run short; the interval claim is void
+        }
+        assert!(
+            lb <= report.makespan && report.makespan <= ub,
+            "seed {seed}: makespan {} outside [{lb}, {ub}] ({:?}/{:?}, k={}, q={}, far={})",
+            report.makespan,
+            c.arbitration,
+            c.replacement,
+            c.hbm_slots,
+            c.channels,
+            c.far_latency
+        );
+    }
+}

@@ -19,59 +19,29 @@
 //! the engine must keep this suite green.
 
 use hbm_core::testkit::{
-    all_arbitrations, all_replacements, assert_conformance, check_conformance, random_cell,
-    random_workload, run_engine, run_oracle,
+    all_arbitrations, all_replacements, assert_conformance, check_conformance, conformance_grid,
+    random_cell, run_engine, run_oracle,
 };
 use hbm_core::{ArbitrationKind, ReplacementKind, SimConfig, Workload};
 use proptest::prelude::*;
 
-/// Workload shapes for the exhaustive grid. Deliberately varied: disjoint
-/// cyclic sweeps (replacement adversaries), disjoint uniform-random,
-/// shared hot-page traces (exercises fetch coalescing), and a ragged mix
-/// with an empty trace (engine edge case).
-fn grid_workloads() -> Vec<Workload> {
-    vec![
-        // Four cores cycling over six pages each — thrashes small HBM.
-        Workload::from_refs(vec![(0..6).cycle().take(18).collect(); 4]),
-        // Pseudo-random disjoint traces.
-        random_workload(11, 3, 8, 24, false),
-        // Shared universe: cross-core coalescing actually occurs.
-        random_workload(23, 4, 5, 20, true),
-        // Ragged: one empty trace, one singleton, one longer.
-        Workload::from_refs(vec![vec![], vec![2], vec![0, 1, 2, 3, 0, 1, 2, 3]]),
-    ]
-}
-
 /// The exhaustive policy grid: 9 arbitration kinds × 4 replacement kinds
 /// × 4 workload shapes × 2 parameter sets = 288 cells, every one checked
 /// for full Engine/OracleEngine agreement. This alone exceeds the
-/// 256-cell floor the conformance harness promises.
+/// 256-cell floor the conformance harness promises. The grid itself lives
+/// in [`hbm_core::testkit::conformance_grid`], shared with the bounds
+/// interval test and the `hbm-model` calibration/validation suite.
 #[test]
 fn exhaustive_policy_grid() {
-    // (hbm_slots, channels, far_latency, remap period)
-    let params = [(4usize, 1usize, 1u64, 5u64), (8, 2, 3, 3)];
-    let workloads = grid_workloads();
-    let mut cells = 0u32;
-    for &(k, q, far, period) in &params {
-        for arbitration in all_arbitrations(period) {
-            for replacement in all_replacements() {
-                for (wi, w) in workloads.iter().enumerate() {
-                    let config = SimConfig {
-                        hbm_slots: k,
-                        channels: q,
-                        arbitration,
-                        replacement,
-                        far_latency: far,
-                        seed: 0x5eed ^ (wi as u64),
-                        max_ticks: 100_000,
-                    };
-                    assert_conformance(config, w);
-                    cells += 1;
-                }
-            }
-        }
+    let grid = conformance_grid();
+    for cell in &grid {
+        assert_conformance(cell.config, &cell.workload);
     }
-    assert!(cells >= 256, "grid ran {cells} cells, expected >= 256");
+    assert!(
+        grid.len() >= 256,
+        "grid ran {} cells, expected >= 256",
+        grid.len()
+    );
 }
 
 /// Seed-driven random cells across the entire generator space (all nine

@@ -56,6 +56,10 @@ struct Args {
     json: Option<PathBuf>,
     throttle_ms: u64,
     threads: usize,
+    grid: Option<PathBuf>,
+    sim_cells: usize,
+    rank_only: bool,
+    top: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
     let mut json = None;
     let mut throttle_ms = 0u64;
     let mut threads = 0usize;
+    let mut grid = None;
+    let mut sim_cells = 32usize;
+    let mut rank_only = false;
+    let mut top = 20usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -97,6 +105,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
             }
+            "--grid" => {
+                grid = Some(PathBuf::from(args.next().ok_or("--grid needs a value")?));
+            }
+            "--sim-cells" => {
+                let v = args.next().ok_or("--sim-cells needs a value")?;
+                sim_cells = v.parse().map_err(|_| format!("bad cell count '{v}'"))?;
+            }
+            "--rank-only" => rank_only = true,
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|_| format!("bad top count '{v}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -110,11 +130,15 @@ fn parse_args() -> Result<Args, String> {
         json,
         throttle_ms,
         threads,
+        grid,
+        sim_cells,
+        rank_only,
+        top,
     })
 }
 
 fn usage() -> String {
-    "usage: repro <fig2|fig3|fig4|fig5|table1|fig6|table2|validate|channels|augment|mrc|assoc|schemes|ablate|sweep|all> [--scale small|default|full] [--seed N] [--out DIR] [--plot]\n       repro sweep [--journal PATH] [--json PATH] [--throttle-ms N] [--threads N]".into()
+    "usage: repro <fig2|fig3|fig4|fig5|table1|fig6|table2|validate|channels|augment|mrc|assoc|schemes|ablate|sweep|calibrate|explore|all> [--scale small|default|full] [--seed N] [--out DIR] [--plot]\n       repro sweep [--journal PATH] [--json PATH] [--throttle-ms N] [--threads N]\n       repro calibrate [--json ENVELOPE_PATH]\n       repro explore --grid SPEC.json [--json PATH] [--journal PATH] [--sim-cells N] [--rank-only] [--top N] [--threads N] [--throttle-ms N]".into()
 }
 
 fn slug(title: &str) -> String {
@@ -252,6 +276,154 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro calibrate`: refit the analytical model against the simulator
+/// and regenerate the committed envelope artifact. Prints the Rust
+/// constants to paste into `crates/model/src/calibration.rs`.
+fn run_calibrate(args: &Args) -> Result<(), String> {
+    eprintln!("[repro] simulating the calibration corpus ...");
+    let run = hbm_experiments::calibrate::run();
+    println!("{}", hbm_experiments::calibrate::rust_literals(&run));
+    let env = &run.envelope;
+    eprintln!(
+        "[repro] calibrate: {} cells; median |rel err| makespan {:.4} (conformance {:.4}), response {:.4}, inconsistency {:.4}, blocked {:.4}",
+        env.cells,
+        env.makespan.median_abs,
+        env.conformance_makespan_median_abs,
+        env.mean_response.median_abs,
+        env.inconsistency.median_abs,
+        env.blocked_frac.median_abs,
+    );
+    let out = args
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/model_envelope.json"));
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, env.to_json()).map_err(|e| format!("write {}: {e}", out.display()))?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
+/// `repro explore`: rank a declarative config grid analytically, then
+/// simulate only the predicted Pareto frontier plus the highest-
+/// uncertainty cells (journaled, resumable, byte-deterministic artifact).
+fn run_explore(args: &Args) -> Result<(), String> {
+    use hbm_experiments::explore::{
+        artifact_json, rank, sim_targets, simulate, summary_table, ExploreRecord,
+        ExploreRunOptions, ExploreSpec, RankCaps,
+    };
+    use hbm_experiments::journal::JournalFile;
+
+    let grid_path = args
+        .grid
+        .as_ref()
+        .ok_or("explore requires --grid SPEC.json")?;
+    let text = std::fs::read_to_string(grid_path)
+        .map_err(|e| format!("cannot read {}: {e}", grid_path.display()))?;
+    let spec = ExploreSpec::parse(&text)?;
+    eprintln!(
+        "[repro] explore: {} cells ({} workload axes × k {} × q {} × far {} × arb {} × rep {})",
+        spec.total_cells(),
+        spec.workloads.len(),
+        spec.k.len(),
+        spec.q.len(),
+        spec.far_latency.len(),
+        spec.arbitration.len(),
+        spec.replacement.len(),
+    );
+
+    let caps = RankCaps {
+        top: args.top,
+        uncertain: args.sim_cells.max(args.top),
+        frontier: 256,
+    };
+    let t0 = Instant::now();
+    let outcome = rank(&spec, &caps);
+    let dt = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[repro] explore: ranked {} cells in {dt:.2}s ({:.0} cells/s); {} winners, {} frontier",
+        outcome.total_cells,
+        outcome.total_cells as f64 / dt.max(1e-9),
+        outcome.winners,
+        outcome.frontier_total,
+    );
+    if outcome.frontier_total as usize > outcome.frontier.len() {
+        eprintln!(
+            "[repro] explore: frontier capped at {} of {} cells in the artifact",
+            outcome.frontier.len(),
+            outcome.frontier_total
+        );
+    }
+
+    let mut sims = std::collections::HashMap::new();
+    let ephemeral = args.journal.is_none();
+    let journal_path = args.journal.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("repro-explore-{}.jsonl", std::process::id()))
+    });
+    if !args.rank_only {
+        let targets = sim_targets(&outcome, args.sim_cells);
+        let journal = JournalFile::<ExploreRecord>::open(&journal_path)
+            .map_err(|e| format!("cannot open journal {}: {e}", journal_path.display()))?;
+        if !journal.is_empty() {
+            eprintln!(
+                "[repro] journal {} holds {} completed cells",
+                journal_path.display(),
+                journal.len()
+            );
+        }
+        let cancel = hbm_serve::ShutdownFlag::with_signal_handlers();
+        let opts = ExploreRunOptions {
+            budget: CellBudget {
+                max_ticks: spec.max_ticks,
+                max_wall: None,
+            },
+            threads: args.threads,
+            throttle: (args.throttle_ms > 0).then(|| Duration::from_millis(args.throttle_ms)),
+            cancel: Some(cancel),
+        };
+        let sim = simulate(&spec, &targets, &journal, &opts);
+        eprintln!(
+            "[repro] explore: simulated {} of {} selected cells ({} resumed from journal, {} failed, {} cancelled)",
+            sim.results.len(),
+            targets.len(),
+            sim.resumed,
+            sim.failures.len(),
+            sim.cancelled,
+        );
+        if sim.cancelled > 0 {
+            eprintln!(
+                "[repro] explore cancelled: journal {} holds every completed cell",
+                journal_path.display()
+            );
+            return Err(format!(
+                "explore cancelled by signal; resume with --journal {}",
+                journal_path.display()
+            ));
+        }
+        if !sim.failures.is_empty() {
+            for f in &sim.failures {
+                eprintln!("[repro] FAILED {f}");
+            }
+            return Err(format!("{} explore cells failed", sim.failures.len()));
+        }
+        sims = sim.results;
+    }
+
+    println!("{}", summary_table(&spec, &outcome, &sims).to_markdown());
+    if let Some(json_path) = &args.json {
+        std::fs::write(json_path, artifact_json(&spec, &outcome, &sims))
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        eprintln!("wrote {}", json_path.display());
+    }
+    if ephemeral {
+        let _ = std::fs::remove_file(&journal_path);
+    }
+    Ok(())
+}
+
 fn run_command(cmd: &str, scale: Scale, seed: u64) -> Result<Vec<ResultTable>, String> {
     // Monte Carlo budgets for the KNL microbenchmarks per scale.
     let (ops, blocks) = match scale {
@@ -377,6 +549,36 @@ fn main() {
         }
     };
     let t0 = Instant::now();
+    if args.command == "calibrate" {
+        match run_calibrate(&args) {
+            Ok(()) => {
+                eprintln!(
+                    "[repro] calibrate finished in {:.1}s",
+                    t0.elapsed().as_secs_f64()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.command == "explore" {
+        match run_explore(&args) {
+            Ok(()) => {
+                eprintln!(
+                    "[repro] explore finished in {:.1}s",
+                    t0.elapsed().as_secs_f64()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if args.command == "sweep" {
         match run_sweep(&args) {
             Ok(()) => {

@@ -60,18 +60,38 @@ pub fn cell_key(
     h.finish()
 }
 
-/// Append-only JSONL journal of completed [`RatioCell`]s.
-pub struct SweepJournal {
+/// A record type that can live in a [`JournalFile`]: one journal line per
+/// record, keyed by a config hash. Implementations must keep the
+/// byte-identical-resume contract: `parse_line(format_line(k, r)) ==
+/// Some((k, r))` with f64 fields round-tripping **bit-exactly** (journal
+/// them as `{:016x}` bit patterns, not decimal text).
+pub trait JournalRecord: Sized {
+    /// Serializes one record (plus its key) as a single `\n`-terminated
+    /// JSONL line ending in `}`.
+    fn format_line(&self, key: u64) -> String;
+    /// Parses one journal line; `None` for partial or corrupt lines (the
+    /// cell re-runs — a journal is a cache, never an authority).
+    fn parse_line(line: &str) -> Option<(u64, Self)>;
+}
+
+/// Append-only JSONL journal of completed cells of any [`JournalRecord`]
+/// type. [`SweepJournal`] is the ratio-sweep instantiation; the design
+/// explorer journals its simulated frontier cells through the same
+/// machinery (`JournalFile<ExploreRecord>`).
+pub struct JournalFile<T> {
     path: PathBuf,
-    cells: HashMap<u64, RatioCell>,
+    cells: HashMap<u64, T>,
     writer: Mutex<File>,
 }
 
-impl SweepJournal {
+/// Append-only JSONL journal of completed [`RatioCell`]s.
+pub type SweepJournal = JournalFile<RatioCell>;
+
+impl<T: JournalRecord> JournalFile<T> {
     /// Opens (creating if absent) the journal at `path`, loading every
     /// complete line already present. A partial trailing line — the
     /// signature of a mid-append kill — is tolerated and ignored.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<SweepJournal> {
+    pub fn open(path: impl AsRef<Path>) -> io::Result<JournalFile<T>> {
         let path = path.as_ref().to_path_buf();
         let mut cells = HashMap::new();
         match File::open(&path) {
@@ -79,7 +99,7 @@ impl SweepJournal {
                 let mut text = String::new();
                 f.read_to_string(&mut text)?;
                 for line in text.lines() {
-                    if let Some((key, cell)) = parse_line(line) {
+                    if let Some((key, cell)) = T::parse_line(line) {
                         cells.insert(key, cell);
                     }
                 }
@@ -88,7 +108,7 @@ impl SweepJournal {
             Err(e) => return Err(e),
         }
         let writer = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(SweepJournal {
+        Ok(JournalFile {
             path,
             cells,
             writer: Mutex::new(writer),
@@ -111,17 +131,27 @@ impl SweepJournal {
     }
 
     /// The journaled cell for `key`, if its run already completed.
-    pub fn get(&self, key: u64) -> Option<&RatioCell> {
+    pub fn get(&self, key: u64) -> Option<&T> {
         self.cells.get(&key)
     }
 
     /// Appends one completed cell and flushes it to disk before
     /// returning, so a kill after `record` never loses the cell.
-    pub fn record(&self, key: u64, cell: &RatioCell) -> io::Result<()> {
-        let line = format_line(key, cell);
+    pub fn record(&self, key: u64, cell: &T) -> io::Result<()> {
+        let line = cell.format_line(key);
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         w.write_all(line.as_bytes())?;
         w.flush()
+    }
+}
+
+impl JournalRecord for RatioCell {
+    fn format_line(&self, key: u64) -> String {
+        format_line(key, self)
+    }
+
+    fn parse_line(line: &str) -> Option<(u64, RatioCell)> {
+        parse_line(line)
     }
 }
 
@@ -141,7 +171,7 @@ fn format_line(key: u64, c: &RatioCell) -> String {
 }
 
 /// Extracts `"field":"<16 hex digits>"` from a parsed journal object.
-fn json_hex(v: &Json, field: &str) -> Option<u64> {
+pub(crate) fn json_hex(v: &Json, field: &str) -> Option<u64> {
     let s = v.get(field)?.as_str()?;
     if s.len() != 16 {
         return None;

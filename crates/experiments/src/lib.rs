@@ -25,8 +25,10 @@
 pub mod ablations;
 pub mod assoc_exp;
 pub mod augment;
+pub mod calibrate;
 pub mod channels;
 pub mod common;
+pub mod explore;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

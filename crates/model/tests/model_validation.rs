@@ -1,0 +1,210 @@
+//! Validation suite for the analytical model.
+//!
+//! Three layers of protection:
+//!
+//! 1. **Envelope regression** — replays the full 288-cell conformance
+//!    grid against the simulator and fails if the median |relative
+//!    error| on makespan exceeds the acceptance gate (15%) or drifts
+//!    more than 20% above the committed envelope. A model change that
+//!    silently degrades accuracy cannot land.
+//! 2. **Artifact mirror** — the committed `results/model_envelope.json`
+//!    must be byte-identical to what the in-source `ENVELOPE` constants
+//!    serialize to, so the artifact and the code cannot diverge.
+//! 3. **Structural properties** — fault-free predictions are monotone in
+//!    the resources (more HBM or more channels never predicts a worse
+//!    makespan) and always land inside the provable interval.
+
+use hbm_core::testkit::conformance_grid;
+use hbm_core::{ArbitrationKind, ReplacementKind, SimBuilder};
+use hbm_model::calibration::ENVELOPE;
+use hbm_model::predict::predict;
+use hbm_model::ModelConfig;
+use hbm_traces::analysis::WorkloadSummary;
+use hbm_traces::WorkloadSpec;
+use proptest::prelude::*;
+
+/// Nearest-rank median of absolute errors — the same convention the
+/// calibration harness commits into the envelope.
+fn median_abs(mut errs: Vec<f64>) -> f64 {
+    assert!(!errs.is_empty());
+    errs.iter_mut().for_each(|e| *e = e.abs());
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let rank = ((errs.len() as f64) * 0.5).ceil() as usize;
+    errs[rank.saturating_sub(1)]
+}
+
+/// Replays the conformance grid fresh: simulate every cell, predict it
+/// from summary statistics alone, and regress the median error against
+/// the committed envelope.
+#[test]
+fn envelope_regression_on_fresh_conformance_grid() {
+    // The committed claim itself: the acceptance gate is part of the
+    // artifact, not just of this run.
+    assert!(
+        ENVELOPE.conformance_makespan_median_abs <= 0.15,
+        "committed conformance median {} violates the 15% gate",
+        ENVELOPE.conformance_makespan_median_abs
+    );
+
+    let mut errs = Vec::new();
+    for cell in conformance_grid() {
+        let report = SimBuilder::from_config(cell.config).run(&cell.workload);
+        if report.truncated || report.makespan < 2 {
+            continue;
+        }
+        let summary = WorkloadSummary::from_workload(&cell.workload);
+        let cfg = ModelConfig::new(
+            cell.config.hbm_slots,
+            cell.config.channels,
+            cell.config.arbitration,
+            cell.config.replacement,
+        )
+        .far_latency(cell.config.far_latency);
+        let pred = predict(&summary, &cfg);
+        errs.push((pred.makespan.est - report.makespan as f64) / report.makespan as f64);
+    }
+    assert!(
+        errs.len() >= 250,
+        "conformance grid shrank to {} usable cells",
+        errs.len()
+    );
+    let fresh = median_abs(errs);
+    assert!(
+        fresh <= 0.15,
+        "fresh conformance median |rel err| {fresh:.4} exceeds the 15% acceptance gate"
+    );
+    let ceiling = ENVELOPE.conformance_makespan_median_abs * 1.2;
+    assert!(
+        fresh <= ceiling,
+        "fresh conformance median |rel err| {fresh:.4} drifted >20% above the committed \
+         envelope ({:.4}); re-run `repro calibrate` and commit the new constants",
+        ENVELOPE.conformance_makespan_median_abs
+    );
+}
+
+/// The committed artifact is exactly the serialized in-source constants.
+#[test]
+fn committed_envelope_artifact_mirrors_constants() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/model_envelope.json"
+    );
+    let artifact = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed envelope {path}: {e}"));
+    assert_eq!(
+        artifact,
+        ENVELOPE.to_json(),
+        "results/model_envelope.json diverged from the ENVELOPE constants; \
+         re-run `repro calibrate` and commit both together"
+    );
+}
+
+/// Distinct trace shapes for the property tests: cyclic (the adversarial
+/// paper workload), zipf (skewed reuse), uniform (no reuse structure).
+fn summary(wi: usize, p: usize) -> WorkloadSummary {
+    let spec = match wi {
+        0 => WorkloadSpec::Cyclic { pages: 48, reps: 6 },
+        1 => WorkloadSpec::Zipf {
+            pages: 96,
+            len: 800,
+            alpha: 1.1,
+        },
+        _ => WorkloadSpec::Uniform {
+            pages: 96,
+            len: 800,
+        },
+    };
+    WorkloadSummary::from_spec(spec, 11, p)
+}
+
+fn arbitration_kinds() -> impl Strategy<Value = ArbitrationKind> {
+    prop_oneof![
+        Just(ArbitrationKind::Fifo),
+        Just(ArbitrationKind::Priority),
+        Just(ArbitrationKind::DynamicPriority { period: 7 }),
+        Just(ArbitrationKind::CyclePriority { period: 5 }),
+        Just(ArbitrationKind::InterleavePriority { period: 6 }),
+        Just(ArbitrationKind::RandomPick),
+        Just(ArbitrationKind::FrFcfs { row_shift: 2 }),
+    ]
+}
+
+fn replacement_kinds() -> impl Strategy<Value = ReplacementKind> {
+    prop_oneof![
+        Just(ReplacementKind::Lru),
+        Just(ReplacementKind::Fifo),
+        Just(ReplacementKind::Clock),
+        Just(ReplacementKind::Random),
+    ]
+}
+
+proptest! {
+    /// More HBM never predicts a worse makespan (fault-free): the miss
+    /// curve is non-increasing in capacity and every downstream operation
+    /// of the closed form preserves that monotonicity.
+    #[test]
+    fn estimate_monotone_in_k(
+        wi in 0usize..3,
+        p in 1usize..6,
+        k in 1usize..300,
+        dk in 1usize..300,
+        q in 1usize..6,
+        far in 1u64..9,
+        arb in arbitration_kinds(),
+        rep in replacement_kinds(),
+    ) {
+        let s = summary(wi, p);
+        let small = predict(&s, &ModelConfig::new(k, q, arb, rep).far_latency(far));
+        let big = predict(&s, &ModelConfig::new(k + dk, q, arb, rep).far_latency(far));
+        prop_assert!(
+            big.makespan.est <= small.makespan.est * (1.0 + 1e-9),
+            "k {} -> {}: est rose {} -> {}",
+            k, k + dk, small.makespan.est, big.makespan.est
+        );
+    }
+
+    /// More far channels never predict a worse makespan (fault-free):
+    /// channel work divides by q and the lower bound's footprint term
+    /// shrinks with q.
+    #[test]
+    fn estimate_monotone_in_q(
+        wi in 0usize..3,
+        p in 1usize..6,
+        k in 1usize..300,
+        q in 1usize..6,
+        dq in 1usize..6,
+        far in 1u64..9,
+        arb in arbitration_kinds(),
+        rep in replacement_kinds(),
+    ) {
+        let s = summary(wi, p);
+        let narrow = predict(&s, &ModelConfig::new(k, q, arb, rep).far_latency(far));
+        let wide = predict(&s, &ModelConfig::new(k, q + dq, arb, rep).far_latency(far));
+        prop_assert!(
+            wide.makespan.est <= narrow.makespan.est * (1.0 + 1e-9),
+            "q {} -> {}: est rose {} -> {}",
+            q, q + dq, narrow.makespan.est, wide.makespan.est
+        );
+    }
+
+    /// Fault-free predictions always land inside the provable interval,
+    /// and the uncertainty band always brackets the point estimate.
+    #[test]
+    fn estimate_within_proved_interval(
+        wi in 0usize..3,
+        p in 1usize..6,
+        k in 1usize..300,
+        q in 1usize..6,
+        far in 1u64..9,
+        arb in arbitration_kinds(),
+        rep in replacement_kinds(),
+    ) {
+        let s = summary(wi, p);
+        let pred = predict(&s, &ModelConfig::new(k, q, arb, rep).far_latency(far));
+        prop_assert!(pred.makespan.est >= pred.lower_bound as f64);
+        prop_assert!(pred.makespan.est <= pred.upper_bound as f64);
+        prop_assert!(pred.makespan.lo <= pred.makespan.est);
+        prop_assert!(pred.makespan.hi >= pred.makespan.est);
+        prop_assert!(pred.uncertainty.is_finite() && pred.uncertainty >= 0.0);
+    }
+}

@@ -250,7 +250,11 @@ pub const BUILTIN_NAMES: [&str; 8] = [
     "zipf-small",
 ];
 
-fn parse_workload(v: &Json) -> Result<WorkloadSpec, ProtoError> {
+/// Parses the `/simulate` workload grammar: `{"name": "<builtin>"}` or
+/// `{"kind": "...", ...generator parameters}`. Public so offline tools
+/// (the `repro explore` grid-spec loader) accept exactly the grammar the
+/// server does — one vocabulary for workloads everywhere.
+pub fn parse_workload(v: &Json) -> Result<WorkloadSpec, ProtoError> {
     if let Some(name) = v.get("name") {
         let name = name
             .as_str()
@@ -342,7 +346,10 @@ fn parse_workload(v: &Json) -> Result<WorkloadSpec, ProtoError> {
     })
 }
 
-fn parse_arbitration(v: &Json) -> Result<ArbitrationKind, ProtoError> {
+/// Parses the arbitration grammar: a bare policy name (`"fifo"`) or an
+/// object with parameters (`{"kind": "dynamic_priority", "period": 100}`).
+/// Shared with the `repro explore` grid-spec loader.
+pub fn parse_arbitration(v: &Json) -> Result<ArbitrationKind, ProtoError> {
     // Accept both a bare string ("fifo") and an object with parameters
     // ({"kind": "dynamic_priority", "period": 100}).
     let (kind, obj) = match v {
@@ -394,7 +401,9 @@ fn parse_arbitration(v: &Json) -> Result<ArbitrationKind, ProtoError> {
     })
 }
 
-fn parse_replacement(v: &Json) -> Result<ReplacementKind, ProtoError> {
+/// Parses a replacement-policy name (`"lru"`, `"fifo"`, `"clock"`,
+/// `"random"`). Shared with the `repro explore` grid-spec loader.
+pub fn parse_replacement(v: &Json) -> Result<ReplacementKind, ProtoError> {
     let s = v
         .as_str()
         .ok_or_else(|| bad("replacement", "expected a string"))?;
@@ -803,6 +812,39 @@ pub fn report_json(r: &Report) -> Json {
         ),
         ("truncated", Json::from(r.truncated)),
     ])
+}
+
+/// One calibrated uncertainty band as `{lo, est, hi}` — the band brackets
+/// the point estimate by the committed envelope's signed-error quantiles.
+fn band_json(b: &hbm_model::Band) -> Json {
+    Json::obj(vec![
+        ("lo", Json::from(b.lo)),
+        ("est", Json::from(b.est)),
+        ("hi", Json::from(b.hi)),
+    ])
+}
+
+/// Serializes a [`Prediction`](hbm_model::Prediction) to the canonical
+/// compact JSON the `/estimate` endpoint serves — field order fixed,
+/// floats via [`fmt_f64`](crate::json::fmt_f64), deterministic for a
+/// given request body. Every metric is a `{lo, est, hi}` band; the
+/// provable `[lower_bound, upper_bound]` makespan interval and the
+/// dimensionless `uncertainty` (relative band half-width) ride along so
+/// clients can decide when a prediction is trustworthy without a second
+/// round trip.
+pub fn estimate_to_json(pred: &hbm_model::Prediction) -> String {
+    Json::obj(vec![
+        ("makespan", band_json(&pred.makespan)),
+        ("mean_response", band_json(&pred.mean_response)),
+        ("inconsistency", band_json(&pred.inconsistency)),
+        ("blocked_frac", band_json(&pred.blocked_frac)),
+        ("miss_ratio", Json::from(pred.miss_ratio)),
+        ("lower_bound", Json::from(pred.lower_bound)),
+        ("upper_bound", Json::from(pred.upper_bound)),
+        ("uncertainty", Json::from(pred.uncertainty)),
+        ("clamped", Json::from(pred.clamped)),
+    ])
+    .to_string()
 }
 
 /// The first line of a session stream: the accepted streaming parameters

@@ -40,7 +40,7 @@ use crate::http::{read_request, write_response, HttpError, HttpRequest, HttpResp
 use crate::json::{Json, JsonLimits};
 use crate::mux::SessionMux;
 use crate::pool::{run_sim_budgeted_flat, CellBudget};
-use crate::proto::{parse_sim_request, report_to_json, ProtoError, SimRequest};
+use crate::proto::{estimate_to_json, parse_sim_request, report_to_json, ProtoError, SimRequest};
 use crate::session::{serve_resume, serve_session, ResumeTable};
 use crate::shard::{coalesced_submit, ShardState};
 use crate::shutdown::ShutdownFlag;
@@ -484,6 +484,7 @@ fn route(
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state, shard, flag),
         ("POST", "/simulate") => simulate(req, state, shard),
+        ("POST", "/estimate") => estimate(req, state, shard),
         ("POST", "/test/panic") if state.config.enable_test_endpoints => {
             submit_job(shard, || panic!("deliberate test panic"))
         }
@@ -608,6 +609,64 @@ fn execute_sim(shard: &ShardState, sim: &SimRequest, budget: CellBudget) -> Http
         Ok(report) => HttpResponse::json(200, report_to_json(&report)),
         Err(e) => HttpResponse::json(400, error_body(&format!("invalid configuration: {e}"))),
     }
+}
+
+/// `POST /estimate`: the analytical fast path. Accepts the *exact*
+/// `/simulate` body, but answers from the closed-form model — no engine
+/// run, no worker-pool submission, no trace-pool registry traffic. The
+/// only real work is summarizing the workload (one streaming pass per
+/// core, bounded by the same admission limits as `/simulate`), so the
+/// request runs to completion on the connection thread and can never be
+/// queued behind simulations.
+fn estimate(req: &HttpRequest, state: &Arc<ServerState>, shard: &Arc<ShardState>) -> HttpResponse {
+    let sim = match parse_sim_request(&req.body, &state.config.json_limits) {
+        Ok(sim) => sim,
+        Err(e) => {
+            shard.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let status = match e {
+                ProtoError::TooLarge { .. } => 413,
+                _ => 400,
+            };
+            return HttpResponse::json(status, error_body(&e.to_string()));
+        }
+    };
+    // Same 500-with-message contract as pooled jobs: a panic in the model
+    // must reach the client, not kill the connection thread silently.
+    let resp = match catch_unwind(AssertUnwindSafe(|| execute_estimate(&sim))) {
+        Ok(resp) => resp,
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            HttpResponse::json(500, error_body(&format!("request panicked: {msg}")))
+        }
+    };
+    shard.stats.count_response(&resp);
+    resp
+}
+
+/// Validated-request half of [`estimate`]: summary → prediction → JSON.
+fn execute_estimate(sim: &SimRequest) -> HttpResponse {
+    let s = &sim.settings;
+    // The engine path rejects these at `SimConfig::validate`; the model
+    // would divide by them. Mirror the wording of the simulate path.
+    if sim.p == 0 || s.k == 0 || s.q == 0 {
+        return HttpResponse::json(
+            400,
+            error_body("invalid configuration: p, k, and q must be positive"),
+        );
+    }
+    let summary = hbm_traces::analysis::WorkloadSummary::from_spec_opts(
+        sim.workload.spec,
+        sim.workload.trace_seed,
+        sim.p,
+        sim.workload.opts,
+    );
+    let mut cfg = hbm_model::ModelConfig::new(s.k, s.q, s.arbitration, s.replacement)
+        .far_latency(s.far_latency.unwrap_or(1));
+    if !s.faults.is_empty() {
+        cfg = cfg.faults(hbm_model::FaultSummary::from_plan(&s.faults, s.q));
+    }
+    let pred = hbm_model::predict::predict(&summary, &cfg);
+    HttpResponse::json(200, estimate_to_json(&pred))
 }
 
 /// Submits a closure to the shard's worker pool and synchronously awaits

@@ -304,6 +304,95 @@ fn healthz_reports_counters_and_drain_state() {
 }
 
 // ---------------------------------------------------------------------------
+// Analytical estimates: /estimate takes the /simulate body but answers from
+// the closed-form model without touching the engine.
+// ---------------------------------------------------------------------------
+
+/// Pulls one `{lo, est, hi}` band out of an estimate response.
+fn band(est: &Json, metric: &str) -> (f64, f64, f64) {
+    let b = est.get(metric).unwrap();
+    (
+        b.get("lo").unwrap().as_f64().unwrap(),
+        b.get("est").unwrap().as_f64().unwrap(),
+        b.get("hi").unwrap().as_f64().unwrap(),
+    )
+}
+
+#[test]
+fn estimate_brackets_the_simulated_makespan_without_running_the_engine() {
+    let server = start_server(test_config());
+    let (status, body) = request(server.addr, "POST", "/estimate", SIM_BODY.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let est = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let (lo, point, hi) = band(&est, "makespan");
+    assert!(lo <= point && point <= hi, "band must bracket its estimate");
+    let lb = est.get("lower_bound").unwrap().as_u64().unwrap() as f64;
+    let ub = est.get("upper_bound").unwrap().as_u64().unwrap() as f64;
+    assert!(
+        lb <= point && point <= ub,
+        "estimate {point} must respect the provable interval [{lb}, {ub}]"
+    );
+    for metric in ["mean_response", "inconsistency", "blocked_frac"] {
+        let (lo, point, hi) = band(&est, metric);
+        assert!(
+            lo <= point && point <= hi,
+            "{metric} band [{lo}, {hi}] must bracket its estimate {point}"
+        );
+    }
+
+    // The same body through the real engine: the simulated makespan must
+    // land inside the calibrated band widened by 50% each side (the band
+    // is a ~90% envelope, not a guarantee; the slack keeps this a sanity
+    // gate against gross model drift, not a flake).
+    let (status, resp) = request(server.addr, "POST", "/simulate", SIM_BODY.as_bytes());
+    assert_eq!(status, 200);
+    let report = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    let makespan = report.get("makespan").unwrap().as_u64().unwrap() as f64;
+    assert!(
+        lo / 1.5 <= makespan && makespan <= hi * 1.5,
+        "simulated makespan {makespan} outside the widened band [{lo}, {hi}]"
+    );
+
+    // Determinism: the same body must serve identical estimate bytes.
+    let (status, again) = request(server.addr, "POST", "/estimate", SIM_BODY.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(body, again, "estimates must be deterministic");
+
+    let stats = server.stop();
+    // Three 200s total, but only the /simulate call reached the engine or
+    // the trace-pool registry — the estimates were purely analytical.
+    assert_eq!(stats.ok, 3);
+    assert_eq!(
+        stats.cold_runs + stats.warm_runs,
+        1,
+        "/estimate must not run the engine"
+    );
+}
+
+#[test]
+fn malformed_estimate_requests_get_400() {
+    let server = start_server(test_config());
+    let (status, _) = request(server.addr, "POST", "/estimate", b"{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(server.addr, "POST", "/estimate", b"{\"p\": 1}");
+    assert_eq!(status, 400, "missing required fields");
+    // k = 0 parses but is rejected where the engine path would reject it.
+    let zero_k = SIM_BODY.replace("\"k\": 24", "\"k\": 0");
+    let (status, resp) = request(server.addr, "POST", "/estimate", zero_k.as_bytes());
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&resp));
+    let err = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert!(err
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("positive"));
+    let stats = server.stop();
+    assert_eq!(stats.client_errors, 3);
+    assert_eq!(stats.ok, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Batching axis: requests coalesced through the lockstep BatchEngine must be
 // observationally identical to scalar execution.
 // ---------------------------------------------------------------------------

@@ -11,6 +11,10 @@
 //! * [`assoc`] — the direct-mapped-cache transformation of §2 (Lemma 1).
 //! * [`knl`] — the synthetic Knights Landing machine model and the
 //!   pointer-chasing / GLUPS microbenchmarks of §5.
+//! * [`model`] — the closed-form analytical performance model: O(1)
+//!   predictions of makespan / response time / inconsistency / blocked
+//!   fraction with calibrated uncertainty bands, the screening tier
+//!   behind `repro explore` and `POST /estimate`.
 //! * [`experiments`] — ready-made reproductions of every figure and table.
 //! * [`par`] — small std::thread::scope-based parallel sweep utilities and
 //!   the bounded worker pool behind the server.
@@ -39,6 +43,7 @@ pub use hbm_assoc as assoc;
 pub use hbm_core as core;
 pub use hbm_experiments as experiments;
 pub use hbm_knl_model as knl;
+pub use hbm_model as model;
 pub use hbm_par as par;
 pub use hbm_serve as serve;
 pub use hbm_traces as traces;
